@@ -1,0 +1,127 @@
+//! Criterion benchmarks of the runtime pipeline: scheduler stepping,
+//! simulation, trace checking and schedule conversion (benches B1–B4 in
+//! DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use refined_prosa_bench::setup;
+use rossl::{FirstByteCodec, Request, Response, Scheduler};
+use rossl_model::{Instant, OverheadBounds};
+use rossl_schedule::{check_validity, convert};
+use rossl_timing::{
+    check_consistency, check_wcet_compliance, workload, SimulationResult, WorstCase,
+};
+use rossl_trace::{check_functional, ProtocolAutomaton};
+
+/// A prepared run of the canonical system for the checking benchmarks.
+fn prepared_run() -> (
+    refined_prosa::RosslSystem,
+    rossl_sockets::ArrivalSequence,
+    SimulationResult,
+) {
+    let system = setup::canonical();
+    let arrivals = workload::saturating(
+        system.tasks(),
+        &FirstByteCodec,
+        &workload::round_robin_sockets(system.n_sockets()),
+        Instant(50_000),
+    );
+    let run = system
+        .simulate(&arrivals, WorstCase, Instant(60_000))
+        .expect("run");
+    (system, arrivals, run)
+}
+
+/// B1: raw scheduler stepping throughput (markers per second) in an idle
+/// loop — the tightest loop the state machine has.
+fn bench_scheduler_steps(c: &mut Criterion) {
+    let system = setup::canonical();
+    let config = rossl::ClientConfig::new(system.tasks().clone(), system.n_sockets()).unwrap();
+    let mut group = c.benchmark_group("scheduler_steps");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("idle_loop_10k_steps", |b| {
+        b.iter(|| {
+            let mut sched = Scheduler::new(config.clone(), FirstByteCodec);
+            let mut response = None;
+            for _ in 0..10_000 {
+                let step = sched.advance(response.take()).expect("drive");
+                response = match step.request {
+                    Some(Request::Read(_)) => Some(Response::ReadResult(None)),
+                    Some(Request::Execute(_)) => Some(Response::Executed),
+                    None => None,
+                };
+            }
+            sched.jobs_completed()
+        })
+    });
+    group.finish();
+}
+
+/// B2: full virtual-clock simulation of the canonical system.
+fn bench_simulation(c: &mut Criterion) {
+    let system = setup::canonical();
+    let arrivals = workload::saturating(
+        system.tasks(),
+        &FirstByteCodec,
+        &workload::round_robin_sockets(system.n_sockets()),
+        Instant(50_000),
+    );
+    c.bench_function("simulate_50k_ticks", |b| {
+        b.iter(|| {
+            system
+                .simulate(&arrivals, WorstCase, Instant(50_000))
+                .expect("run")
+                .completed_count()
+        })
+    });
+}
+
+/// B3: the trace checkers (protocol, functional, WCET, consistency) on a
+/// prepared saturating run.
+fn bench_checkers(c: &mut Criterion) {
+    let (system, arrivals, run) = prepared_run();
+    let n = system.n_sockets();
+    let mut group = c.benchmark_group("trace_checkers");
+    group.throughput(Throughput::Elements(run.trace.len() as u64));
+    group.bench_function(BenchmarkId::new("protocol", run.trace.len()), |b| {
+        b.iter(|| ProtocolAutomaton::new(n).accept(run.trace.markers()).is_ok())
+    });
+    group.bench_function(BenchmarkId::new("functional", run.trace.len()), |b| {
+        b.iter(|| check_functional(run.trace.markers(), system.tasks()).is_ok())
+    });
+    group.bench_function(BenchmarkId::new("wcet", run.trace.len()), |b| {
+        b.iter(|| check_wcet_compliance(&run.trace, system.tasks(), system.wcet(), n).is_ok())
+    });
+    group.bench_function(BenchmarkId::new("consistency", run.trace.len()), |b| {
+        b.iter(|| check_consistency(&run.trace, &arrivals).is_ok())
+    });
+    group.finish();
+}
+
+/// B4: trace→schedule conversion and validity checking (§2.4).
+fn bench_conversion(c: &mut Criterion) {
+    let (system, _, run) = prepared_run();
+    let n = system.n_sockets();
+    let bounds = OverheadBounds::derive(system.wcet(), n);
+    let mut group = c.benchmark_group("schedule");
+    group.bench_function("convert", |b| {
+        b.iter(|| convert(&run.trace, n).expect("convert").segments().len())
+    });
+    let schedule = convert(&run.trace, n).expect("convert");
+    group.bench_function("validity", |b| {
+        b.iter(|| check_validity(&schedule, system.tasks(), &bounds).is_ok())
+    });
+    group.bench_function("min_supply_window_1k", |b| {
+        b.iter(|| schedule.min_supply_over_windows(rossl_model::Duration(1_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler_steps,
+    bench_simulation,
+    bench_checkers,
+    bench_conversion
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Regenerates the paper's experimental artifacts (see DESIGN.md §4 and
+//! EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release -p refined-prosa-bench --bin paper_experiments            # all
+//! cargo run --release -p refined-prosa-bench --bin paper_experiments -- thm51 --seeds 50
+//! ```
+
+use refined_prosa_bench as exps;
+use rossl_model::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let seeds: u64 = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let horizon: u64 = args
+        .iter()
+        .position(|a| a == "--horizon")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+
+    let run = |name: &str, title: &str, body: &dyn Fn() -> String| {
+        if which == "all" || which == name {
+            println!("==================================================================");
+            println!("{name}: {title}");
+            println!("==================================================================");
+            println!("{}", body());
+        }
+    };
+
+    run("fig3", "the worked example run (Fig. 3)", &exps::exp_fig3);
+    run(
+        "fig5",
+        "scheduler-protocol STS, exhaustively checked (Fig. 5 / Def. 3.1)",
+        &exps::exp_fig5,
+    );
+    run(
+        "thm34",
+        "functional correctness of all traces (Thm. 3.4 / Def. 3.2)",
+        &exps::exp_thm34,
+    );
+    run(
+        "validity",
+        "timing consistency and validity constraints (Defs 2.1/2.2, §2.4)",
+        &exps::exp_validity,
+    );
+    run(
+        "fig7",
+        "release jitter restores policy compliance and work conservation (Fig. 7)",
+        &exps::exp_fig7,
+    );
+    run("sbf", "supply bound function soundness and shape (§4.4)", &exps::exp_sbf);
+    run("thm51", "timing correctness, the headline result (Thm. 5.1)", &|| {
+        exps::exp_thm51(seeds, Instant(horizon))
+    });
+    run(
+        "baseline",
+        "overhead-oblivious RTA is unsound; RefinedProsa is sound (§1.1)",
+        &exps::exp_baseline,
+    );
+    run("curves", "arrival vs release curves (§4.3)", &exps::exp_curves);
+    run(
+        "ablation",
+        "ablations: straddler terms, jitter share, SBF monotonization (E11)",
+        &exps::exp_ablation,
+    );
+    run("schedcurves", "acceptance ratio vs utilization (E12)", &|| {
+        exps::exp_schedulability(40)
+    });
+    run(
+        "sensitivity",
+        "breakdown WCET scaling via bisection (E13)",
+        &exps::exp_sensitivity,
+    );
+    run(
+        "tight",
+        "tightened per-task analysis: dominance and soundness (E14)",
+        &|| exps::exp_tight(seeds),
+    );
+    run(
+        "busywindows",
+        "measured busy spans vs analytical busy-window length (E15)",
+        &|| exps::exp_busy_windows(seeds),
+    );
+    run("loc", "code inventory vs the paper's proof-effort table (§5)", &exps::exp_loc);
+}

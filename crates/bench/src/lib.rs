@@ -1,0 +1,24 @@
+//! Experiment harness for the RefinedProsa reproduction.
+//!
+//! Each public `exp_*` function regenerates one artifact of the paper
+//! (see `DESIGN.md`'s experiment index): it runs the relevant pipeline and
+//! returns a human-readable report. The `paper_experiments` binary prints
+//! them; `EXPERIMENTS.md` records representative output next to what the
+//! paper claims.
+//!
+//! The functions are ordinary library code so the smoke tests can assert
+//! on their reports and the Criterion benches can reuse the setups.
+
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod experiments;
+pub mod jitter;
+pub mod setup;
+
+pub use experiments::{
+    exp_baseline, exp_curves, exp_fig3, exp_fig5, exp_loc, exp_sbf, exp_thm34, exp_thm51,
+    exp_validity,
+};
+pub use ablation::{exp_ablation, exp_busy_windows, exp_schedulability, exp_sensitivity, exp_tight};
+pub use jitter::exp_fig7;

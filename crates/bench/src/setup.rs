@@ -1,0 +1,90 @@
+//! Canonical system configurations shared by experiments and benchmarks.
+
+use refined_prosa::{RosslSystem, SystemBuilder};
+use rossl_model::{Curve, Duration, Priority};
+
+/// The workhorse configuration: three priority tiers on two sockets,
+/// sporadic arrivals — a miniature of the ROS2-executor scenario.
+pub fn canonical() -> RosslSystem {
+    SystemBuilder::new()
+        .task(
+            "logging",
+            Priority(0),
+            Duration(60),
+            Curve::sporadic(Duration(4_000)),
+        )
+        .task(
+            "control",
+            Priority(5),
+            Duration(25),
+            Curve::sporadic(Duration(1_500)),
+        )
+        .task(
+            "safety",
+            Priority(9),
+            Duration(10),
+            Curve::sporadic(Duration(1_000)),
+        )
+        .sockets(2)
+        .build()
+        .expect("canonical system is valid")
+}
+
+/// One task on one socket — the smallest meaningful deployment.
+pub fn single() -> RosslSystem {
+    SystemBuilder::new()
+        .task(
+            "only",
+            Priority(1),
+            Duration(20),
+            Curve::sporadic(Duration(500)),
+        )
+        .sockets(1)
+        .build()
+        .expect("single-task system is valid")
+}
+
+/// Bursty arrivals through a leaky-bucket curve — stresses the polling
+/// phase and the `ReadOvh` attribution.
+pub fn bursty() -> RosslSystem {
+    SystemBuilder::new()
+        .task(
+            "bursty",
+            Priority(3),
+            Duration(15),
+            Curve::leaky_bucket(3, 1, 1_500),
+        )
+        .task(
+            "steady",
+            Priority(6),
+            Duration(10),
+            Curve::sporadic(Duration(800)),
+        )
+        .sockets(2)
+        .build()
+        .expect("bursty system is valid")
+}
+
+/// A parametric system with `n` sporadic tasks on `sockets` sockets, for
+/// scaling benchmarks.
+pub fn scaled(n_tasks: usize, sockets: usize) -> RosslSystem {
+    let mut b = SystemBuilder::new().sockets(sockets);
+    for i in 0..n_tasks {
+        b = b.task(
+            format!("t{i}"),
+            Priority((n_tasks - i) as u32),
+            Duration(10 + 5 * i as u64),
+            Curve::sporadic(Duration(2_000 + 500 * i as u64)),
+        );
+    }
+    b.build().expect("scaled system is valid")
+}
+
+/// All named configurations used by the multi-system experiments.
+pub fn all_systems() -> Vec<(&'static str, RosslSystem)> {
+    vec![
+        ("single", single()),
+        ("canonical", canonical()),
+        ("bursty", bursty()),
+    ]
+}

@@ -1,0 +1,31 @@
+//! Verification of the Rössl implementation — the RefinedC substitute.
+//!
+//! In the paper, RefinedC establishes *foundationally* (for every possible
+//! execution) that Rössl's marker traces satisfy the scheduler protocol
+//! (Def. 3.1) and functional correctness (Def. 3.2), via separation-logic
+//! specifications of the marker functions (§3.1) validated against the
+//! instrumented Caesium semantics (§3.2), culminating in the adequacy
+//! theorem (Thm. 3.4). A Rust reproduction has no foundational C logic to
+//! lean on, so this crate substitutes two mechanical artifacts that check
+//! the *same* properties of the *same* implementation:
+//!
+//! * [`SpecMonitor`] — the marker-function specifications of §3.1 as an
+//!   online Hoare-style monitor: each emitted marker is checked against
+//!   its precondition over the abstract state (`current_trace` /
+//!   `currently_pending`), exactly as the separation-logic triples demand
+//!   (e.g. `idling_start` requires the pending set to be empty).
+//! * [`ModelChecker`] — a bounded *exhaustive* exploration of the real
+//!   [`rossl::Scheduler`] under **every** environment behaviour (each read
+//!   may deliver the next message on the socket or fail), checking the
+//!   monitor online and the full Def. 3.1/3.2 checkers on every explored
+//!   trace. Within the depth bound this is a genuine ∀-traces result —
+//!   the bounded analogue of Thm. 3.4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod mc;
+mod monitor;
+
+pub use mc::{CheckFailure, CheckOutcome, ModelChecker};
+pub use monitor::{SpecMonitor, SpecViolation};

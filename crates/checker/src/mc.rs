@@ -1,0 +1,320 @@
+//! Bounded exhaustive model checking of the scheduler (the Thm. 3.4
+//! analogue).
+//!
+//! The only nondeterminism in Rössl's untimed behaviour is the outcome of
+//! each `read`: the environment may deliver the next message queued on the
+//! socket, or deliver nothing (the message has not arrived yet — or never
+//! arrives). [`ModelChecker`] drives the *actual* [`rossl::Scheduler`]
+//! through **every** resolution of this nondeterminism, up to a step
+//! bound, checking on the fly that every emitted marker satisfies its
+//! §3.1 specification ([`SpecMonitor`]) and at every leaf that the whole
+//! trace passes the Def. 3.1 protocol acceptance and the Def. 3.2
+//! functional-correctness checker.
+//!
+//! Because the scheduler is a cloneable value, exploration is a plain DFS
+//! over `(scheduler, environment)` snapshots — no instrumentation,
+//! process forking or unsafe trickery involved.
+
+use std::fmt;
+
+use rossl::{ClientConfig, FirstByteCodec, Request, Response, Scheduler};
+use rossl_model::MsgData;
+use rossl_trace::{check_functional, Marker, ProtocolAutomaton};
+
+use crate::monitor::{SpecMonitor, SpecViolation};
+
+/// Aggregate result of an exhaustive exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Number of maximal paths explored.
+    pub paths: u64,
+    /// Number of scheduler steps executed in total.
+    pub steps: u64,
+    /// Length of the longest trace explored.
+    pub max_trace_len: usize,
+}
+
+impl fmt::Display for CheckOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} paths, {} steps, longest trace {}",
+            self.paths, self.steps, self.max_trace_len
+        )
+    }
+}
+
+/// A counterexample: the trace that violated an invariant.
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    /// The offending trace (markers emitted up to and including the
+    /// violation).
+    pub trace: Vec<Marker>,
+    /// Human-readable description of the violated invariant.
+    pub reason: String,
+}
+
+impl fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant violated after {} markers: {}", self.trace.len(), self.reason)
+    }
+}
+
+impl std::error::Error for CheckFailure {}
+
+/// Exhaustively explores the scheduler's behaviours over a bounded
+/// environment.
+///
+/// # Examples
+///
+/// ```
+/// use rossl::ClientConfig;
+/// use rossl_model::*;
+/// use rossl_verify::ModelChecker;
+///
+/// let tasks = TaskSet::new(vec![
+///     Task::new(TaskId(0), "a", Priority(1), Duration(5), Curve::sporadic(Duration(10))),
+///     Task::new(TaskId(1), "b", Priority(2), Duration(5), Curve::sporadic(Duration(10))),
+/// ])?;
+/// let config = ClientConfig::new(tasks, 1)?;
+/// // Two messages may arrive on socket 0; explore everything for 30 steps.
+/// let mc = ModelChecker::new(config, vec![vec![vec![0], vec![1]]], 30);
+/// let outcome = mc.check()?;
+/// assert!(outcome.paths > 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelChecker {
+    config: ClientConfig,
+    /// Messages that may arrive, per socket, in FIFO order.
+    pending: Vec<Vec<MsgData>>,
+    max_steps: usize,
+    /// Functional-correctness is checked against this task set; defaults
+    /// to the scheduler's own. Tests use a divergent set to demonstrate
+    /// that the checker detects misprioritizing implementations.
+    spec_tasks: rossl_model::TaskSet,
+}
+
+impl ModelChecker {
+    /// A checker for `config` where `pending[s]` lists the messages that
+    /// may arrive on socket `s` (in FIFO order), exploring up to
+    /// `max_steps` scheduler steps per path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pending` has more entries than the configured socket
+    /// count.
+    pub fn new(config: ClientConfig, mut pending: Vec<Vec<MsgData>>, max_steps: usize) -> ModelChecker {
+        assert!(
+            pending.len() <= config.n_sockets(),
+            "pending messages reference more sockets than configured"
+        );
+        pending.resize(config.n_sockets(), Vec::new());
+        let spec_tasks = config.tasks().clone();
+        ModelChecker {
+            config,
+            pending,
+            max_steps,
+            spec_tasks,
+        }
+    }
+
+    /// Overrides the task set the *specification* is checked against,
+    /// keeping the scheduler's own configuration. With a divergent set
+    /// the checker must find a counterexample — the "does the verifier
+    /// have teeth" self-test.
+    pub fn with_spec_tasks(mut self, tasks: rossl_model::TaskSet) -> ModelChecker {
+        self.spec_tasks = tasks;
+        self
+    }
+
+    /// Runs the exhaustive exploration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CheckFailure`] counterexample.
+    pub fn check(&self) -> Result<CheckOutcome, CheckFailure> {
+        struct Node {
+            scheduler: Scheduler<FirstByteCodec>,
+            monitor: SpecMonitor,
+            trace: Vec<Marker>,
+            /// Cursor into `pending` per socket.
+            consumed: Vec<usize>,
+            steps: usize,
+            response: Option<Response>,
+        }
+
+        let mut outcome = CheckOutcome::default();
+        let root = Node {
+            scheduler: Scheduler::new(self.config.clone(), FirstByteCodec),
+            monitor: SpecMonitor::new(self.spec_tasks.clone(), self.config.n_sockets()),
+            trace: Vec::new(),
+            consumed: vec![0; self.config.n_sockets()],
+            steps: 0,
+            response: None,
+        };
+        let mut stack = vec![root];
+
+        while let Some(mut node) = stack.pop() {
+            loop {
+                if node.steps >= self.max_steps {
+                    self.check_leaf(&node.trace)?;
+                    outcome.paths += 1;
+                    outcome.max_trace_len = outcome.max_trace_len.max(node.trace.len());
+                    break;
+                }
+                node.steps += 1;
+                outcome.steps += 1;
+                let step = node
+                    .scheduler
+                    .advance(node.response.take())
+                    .map_err(|e| CheckFailure {
+                        trace: node.trace.clone(),
+                        reason: format!("scheduler got stuck: {e}"),
+                    })?;
+                node.trace.push(step.marker.clone());
+                if let Err(v) = node.monitor.observe(&step.marker) {
+                    return Err(self.failure(&node.trace, &v));
+                }
+                match step.request {
+                    Some(Request::Read(sock)) => {
+                        let cursor = node.consumed[sock.0];
+                        let available = self.pending[sock.0].get(cursor).cloned();
+                        if let Some(msg) = available {
+                            // Branch: the message has already arrived.
+                            let mut delivered = Node {
+                                scheduler: node.scheduler.clone(),
+                                monitor: node.monitor.clone(),
+                                trace: node.trace.clone(),
+                                consumed: node.consumed.clone(),
+                                steps: node.steps,
+                                response: Some(Response::ReadResult(Some(msg))),
+                            };
+                            delivered.consumed[sock.0] += 1;
+                            stack.push(delivered);
+                        }
+                        // Continue this path with a failed read (the
+                        // message has not arrived yet, or never will).
+                        node.response = Some(Response::ReadResult(None));
+                    }
+                    Some(Request::Execute(_)) => {
+                        node.response = Some(Response::Executed);
+                    }
+                    None => {}
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Leaf check: whole-trace acceptance (Def. 3.1) and functional
+    /// correctness (Def. 3.2) — redundant with the online monitor by
+    /// design (two independently written checkers guard each other).
+    fn check_leaf(&self, trace: &[Marker]) -> Result<(), CheckFailure> {
+        ProtocolAutomaton::new(self.config.n_sockets())
+            .accept(trace)
+            .map_err(|e| CheckFailure {
+                trace: trace.to_vec(),
+                reason: format!("protocol rejected: {e}"),
+            })?;
+        check_functional(trace, &self.spec_tasks).map_err(|e| CheckFailure {
+            trace: trace.to_vec(),
+            reason: format!("functional correctness: {e}"),
+        })
+    }
+
+    fn failure(&self, trace: &[Marker], v: &SpecViolation) -> CheckFailure {
+        CheckFailure {
+            trace: trace.to_vec(),
+            reason: v.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{Curve, Duration, Priority, Task, TaskId, TaskSet};
+
+    fn tasks(prio0: u32, prio1: u32) -> TaskSet {
+        TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "a",
+                Priority(prio0),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+            Task::new(
+                TaskId(1),
+                "b",
+                Priority(prio1),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn exhaustive_exploration_passes_single_socket() {
+        let config = ClientConfig::new(tasks(1, 9), 1).unwrap();
+        let mc = ModelChecker::new(
+            config,
+            vec![vec![vec![0], vec![1], vec![0]]], // three messages
+            40,
+        );
+        let outcome = mc.check().unwrap();
+        assert!(outcome.paths >= 8, "outcome: {outcome}");
+    }
+
+    #[test]
+    fn exhaustive_exploration_passes_two_sockets() {
+        let config = ClientConfig::new(tasks(3, 3), 2).unwrap();
+        let mc = ModelChecker::new(config, vec![vec![vec![0], vec![1]], vec![vec![1]]], 34);
+        let outcome = mc.check().unwrap();
+        assert!(outcome.paths > 10);
+        assert!(outcome.max_trace_len > 10);
+    }
+
+    #[test]
+    fn empty_environment_is_a_single_idle_path() {
+        let config = ClientConfig::new(tasks(1, 2), 1).unwrap();
+        let mc = ModelChecker::new(config, vec![], 20);
+        let outcome = mc.check().unwrap();
+        assert_eq!(outcome.paths, 1);
+    }
+
+    #[test]
+    fn checker_detects_misprioritized_specifications() {
+        // The scheduler runs with priorities (1, 9); the specification
+        // expects (9, 1). Some interleaving reads both messages and
+        // dispatches "the wrong one" per the spec — the checker must find
+        // it. This demonstrates the verification has teeth.
+        let config = ClientConfig::new(tasks(1, 9), 1).unwrap();
+        let mc = ModelChecker::new(config, vec![vec![vec![0], vec![1]]], 40)
+            .with_spec_tasks(tasks(9, 1));
+        let failure = mc.check().unwrap_err();
+        assert!(
+            failure.reason.contains("higher-priority"),
+            "unexpected reason: {}",
+            failure.reason
+        );
+        assert!(!failure.trace.is_empty());
+    }
+
+    #[test]
+    fn step_bound_is_respected() {
+        let config = ClientConfig::new(tasks(1, 2), 1).unwrap();
+        let mc = ModelChecker::new(config, vec![vec![vec![0]]], 7);
+        let outcome = mc.check().unwrap();
+        assert!(outcome.max_trace_len <= 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "more sockets")]
+    fn oversized_pending_panics() {
+        let config = ClientConfig::new(tasks(1, 2), 1).unwrap();
+        let _ = ModelChecker::new(config, vec![vec![], vec![]], 10);
+    }
+}

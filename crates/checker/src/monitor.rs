@@ -1,0 +1,402 @@
+//! Online marker-function specifications (§3.1).
+//!
+//! The paper gives each marker function a separation-logic Hoare triple
+//! over two abstract assertions: `current_trace tr` (the trace produced so
+//! far, whose shape encodes the scheduler-protocol state) and
+//! `currently_pending js` (the set of read-but-not-dispatched jobs). For
+//! example:
+//!
+//! ```text
+//! { current_trace tr ∗ last tr = M_Selection ∗ currently_pending ∅ }
+//!   idling_start()
+//! { current_trace (tr ++ [M_Idling]) }
+//! ```
+//!
+//! [`SpecMonitor`] maintains the same two pieces of abstract state and
+//! checks every marker's precondition as it is emitted. Where RefinedC
+//! *proves* the triples hold along all executions, the monitor *checks*
+//! them along the executions it observes — and the model checker feeds it
+//! every execution of a bounded configuration.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+use rossl_model::{Job, JobId, Priority, TaskSet};
+use rossl_trace::{Marker, ProtocolAutomaton, ProtocolState, ProtocolViolation};
+
+/// A violated marker-function specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecViolation {
+    /// The marker is not enabled in the current protocol state (the
+    /// `current_trace` shape precondition).
+    Protocol {
+        /// Markers observed so far.
+        at_index: usize,
+        /// The underlying protocol violation.
+        violation: ProtocolViolation,
+    },
+    /// `dispatch_start(j)` called although `j` is not pending, or a
+    /// higher-priority job pends.
+    DispatchPrecondition {
+        /// Markers observed so far.
+        at_index: usize,
+        /// The dispatched job.
+        job: JobId,
+        /// A pending job with strictly higher priority, if that is the
+        /// defect.
+        better: Option<JobId>,
+    },
+    /// `idling_start()` called with a non-empty pending set.
+    IdlingPrecondition {
+        /// Markers observed so far.
+        at_index: usize,
+        /// Number of pending jobs.
+        pending: usize,
+    },
+    /// A read re-used an existing job identifier.
+    DuplicateId {
+        /// Markers observed so far.
+        at_index: usize,
+        /// The duplicate id.
+        id: JobId,
+    },
+    /// A marker mentioned a task outside the task set.
+    UnknownTask {
+        /// Markers observed so far.
+        at_index: usize,
+    },
+}
+
+impl fmt::Display for SpecViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecViolation::Protocol {
+                at_index,
+                violation,
+            } => write!(f, "marker {at_index}: protocol precondition: {violation}"),
+            SpecViolation::DispatchPrecondition {
+                at_index,
+                job,
+                better,
+            } => match better {
+                Some(b) => write!(
+                    f,
+                    "marker {at_index}: dispatch_start({job}) while higher-priority {b} pends"
+                ),
+                None => write!(f, "marker {at_index}: dispatch_start({job}) of non-pending job"),
+            },
+            SpecViolation::IdlingPrecondition { at_index, pending } => {
+                write!(f, "marker {at_index}: idling_start() with {pending} pending job(s)")
+            }
+            SpecViolation::DuplicateId { at_index, id } => {
+                write!(f, "marker {at_index}: duplicate job id {id}")
+            }
+            SpecViolation::UnknownTask { at_index } => {
+                write!(f, "marker {at_index}: unknown task")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecViolation {}
+
+/// An online monitor for the marker-function specifications of §3.1.
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::*;
+/// use rossl_trace::Marker;
+/// use rossl_verify::SpecMonitor;
+///
+/// let tasks = TaskSet::new(vec![Task::new(
+///     TaskId(0), "t", Priority(1), Duration(5), Curve::sporadic(Duration(10)),
+/// )])?;
+/// let mut monitor = SpecMonitor::new(tasks, 1);
+/// monitor.observe(&Marker::ReadStart)?;
+/// let j = Job::new(JobId(0), TaskId(0), vec![0]);
+/// monitor.observe(&Marker::ReadEnd { sock: SocketId(0), job: Some(j) })?;
+/// assert_eq!(monitor.pending_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpecMonitor {
+    tasks: TaskSet,
+    automaton: ProtocolAutomaton,
+    state: ProtocolState,
+    pending: BTreeMap<JobId, Job>,
+    seen: HashSet<JobId>,
+    observed: usize,
+}
+
+impl SpecMonitor {
+    /// A monitor for a scheduler over `tasks` and `n_sockets` sockets,
+    /// starting in the initial protocol state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sockets` is zero.
+    pub fn new(tasks: TaskSet, n_sockets: usize) -> SpecMonitor {
+        SpecMonitor {
+            tasks,
+            automaton: ProtocolAutomaton::new(n_sockets),
+            state: ProtocolState::INITIAL,
+            pending: BTreeMap::new(),
+            seen: HashSet::new(),
+            observed: 0,
+        }
+    }
+
+    /// Number of markers observed so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// The current `currently_pending` cardinality.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The current protocol state (the shape of `current_trace`).
+    pub fn protocol_state(&self) -> ProtocolState {
+        self.state
+    }
+
+    fn priority_of(&self, job: &Job) -> Option<Priority> {
+        self.tasks.task(job.task()).map(|t| t.priority())
+    }
+
+    /// Checks `marker` against its specification and advances the
+    /// abstract state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SpecViolation`]; the monitor state is left unchanged
+    /// on failure so the caller can report against it.
+    pub fn observe(&mut self, marker: &Marker) -> Result<(), SpecViolation> {
+        let at_index = self.observed;
+        // Protocol-shape precondition (`current_trace tr` with the right
+        // last marker).
+        let next_state =
+            self.automaton
+                .step(self.state, marker)
+                .map_err(|violation| SpecViolation::Protocol {
+                    at_index,
+                    violation,
+                })?;
+
+        // Marker-specific preconditions over `currently_pending`.
+        match marker {
+            Marker::ReadEnd { job: Some(j), .. } => {
+                if self.seen.contains(&j.id()) {
+                    return Err(SpecViolation::DuplicateId {
+                        at_index,
+                        id: j.id(),
+                    });
+                }
+                if self.priority_of(j).is_none() {
+                    return Err(SpecViolation::UnknownTask { at_index });
+                }
+                self.seen.insert(j.id());
+                self.pending.insert(j.id(), j.clone());
+            }
+            Marker::Dispatch(j) => {
+                if !self.pending.contains_key(&j.id()) {
+                    return Err(SpecViolation::DispatchPrecondition {
+                        at_index,
+                        job: j.id(),
+                        better: None,
+                    });
+                }
+                let p = self
+                    .priority_of(j)
+                    .ok_or(SpecViolation::UnknownTask { at_index })?;
+                for other in self.pending.values() {
+                    let po = self
+                        .priority_of(other)
+                        .ok_or(SpecViolation::UnknownTask { at_index })?;
+                    if po > p {
+                        return Err(SpecViolation::DispatchPrecondition {
+                            at_index,
+                            job: j.id(),
+                            better: Some(other.id()),
+                        });
+                    }
+                }
+                self.pending.remove(&j.id());
+            }
+            Marker::Idling
+                if !self.pending.is_empty() => {
+                    return Err(SpecViolation::IdlingPrecondition {
+                        at_index,
+                        pending: self.pending.len(),
+                    });
+                }
+            _ => {}
+        }
+
+        self.state = next_state;
+        self.observed += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{Curve, Duration, SocketId, Task, TaskId};
+
+    fn tasks() -> TaskSet {
+        TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "low",
+                Priority(1),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+            Task::new(
+                TaskId(1),
+                "high",
+                Priority(9),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn job(id: u64, task: usize) -> Job {
+        Job::new(JobId(id), TaskId(task), vec![task as u8])
+    }
+
+    fn feed(monitor: &mut SpecMonitor, markers: &[Marker]) -> Result<(), SpecViolation> {
+        for m in markers {
+            monitor.observe(m)?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn accepts_a_clean_cycle() {
+        let mut m = SpecMonitor::new(tasks(), 1);
+        feed(
+            &mut m,
+            &[
+                Marker::ReadStart,
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: Some(job(0, 1)),
+                },
+                Marker::ReadStart,
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: None,
+                },
+                Marker::Selection,
+                Marker::Dispatch(job(0, 1)),
+                Marker::Execution(job(0, 1)),
+                Marker::Completion(job(0, 1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.pending_count(), 0);
+        assert_eq!(m.observed(), 8);
+        assert_eq!(m.protocol_state(), ProtocolState::INITIAL);
+    }
+
+    #[test]
+    fn idling_with_pending_jobs_violates_spec() {
+        let mut m = SpecMonitor::new(tasks(), 1);
+        feed(
+            &mut m,
+            &[
+                Marker::ReadStart,
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: Some(job(0, 0)),
+                },
+                Marker::ReadStart,
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: None,
+                },
+                Marker::Selection,
+            ],
+        )
+        .unwrap();
+        let err = m.observe(&Marker::Idling).unwrap_err();
+        assert!(matches!(
+            err,
+            SpecViolation::IdlingPrecondition { pending: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn low_priority_dispatch_violates_spec() {
+        let mut m = SpecMonitor::new(tasks(), 1);
+        feed(
+            &mut m,
+            &[
+                Marker::ReadStart,
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: Some(job(0, 0)),
+                },
+                Marker::ReadStart,
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: Some(job(1, 1)),
+                },
+                Marker::ReadStart,
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: None,
+                },
+                Marker::Selection,
+            ],
+        )
+        .unwrap();
+        let err = m.observe(&Marker::Dispatch(job(0, 0))).unwrap_err();
+        assert!(matches!(
+            err,
+            SpecViolation::DispatchPrecondition {
+                better: Some(JobId(1)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn protocol_shape_is_enforced() {
+        let mut m = SpecMonitor::new(tasks(), 1);
+        let err = m.observe(&Marker::Selection).unwrap_err();
+        assert!(matches!(err, SpecViolation::Protocol { at_index: 0, .. }));
+        // Monitor state unchanged on failure.
+        assert_eq!(m.observed(), 0);
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let mut m = SpecMonitor::new(tasks(), 1);
+        feed(
+            &mut m,
+            &[
+                Marker::ReadStart,
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: Some(job(0, 0)),
+                },
+                Marker::ReadStart,
+            ],
+        )
+        .unwrap();
+        let err = m
+            .observe(&Marker::ReadEnd {
+                sock: SocketId(0),
+                job: Some(job(0, 1)),
+            })
+            .unwrap_err();
+        assert!(matches!(err, SpecViolation::DuplicateId { id: JobId(0), .. }));
+    }
+}

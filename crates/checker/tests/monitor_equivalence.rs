@@ -1,0 +1,112 @@
+//! The online [`SpecMonitor`] must agree with the offline checkers
+//! (`ProtocolAutomaton::accept` + `check_functional`) on *arbitrary*
+//! marker sequences: both reject at exactly the same first index. Two
+//! independently implemented checkers guarding the same invariants is the
+//! reproduction's analogue of the paper's redundancy between the §3.1
+//! specifications and the Def. 3.1/3.2 trace predicates.
+
+use proptest::prelude::*;
+
+use rossl_model::{Curve, Duration, Job, JobId, Priority, SocketId, Task, TaskId, TaskSet};
+use rossl_trace::{check_functional, Marker, ProtocolAutomaton};
+use rossl_verify::SpecMonitor;
+
+fn tasks() -> TaskSet {
+    TaskSet::new(vec![
+        Task::new(
+            TaskId(0),
+            "low",
+            Priority(1),
+            Duration(5),
+            Curve::sporadic(Duration(10)),
+        ),
+        Task::new(
+            TaskId(1),
+            "high",
+            Priority(9),
+            Duration(5),
+            Curve::sporadic(Duration(10)),
+        ),
+    ])
+    .unwrap()
+}
+
+/// Random markers over a small job pool — mostly protocol-invalid, which
+/// is the point: the checkers must agree on *where* it goes wrong.
+fn arb_marker() -> impl Strategy<Value = Marker> {
+    let job = (0u64..4, 0usize..2).prop_map(|(id, task)| Job::new(JobId(id), TaskId(task), vec![task as u8]));
+    prop_oneof![
+        Just(Marker::ReadStart),
+        (0usize..2, proptest::option::of(job.clone())).prop_map(|(s, j)| Marker::ReadEnd {
+            sock: SocketId(s),
+            job: j,
+        }),
+        Just(Marker::Selection),
+        job.clone().prop_map(Marker::Dispatch),
+        job.clone().prop_map(Marker::Execution),
+        job.prop_map(Marker::Completion),
+        Just(Marker::Idling),
+    ]
+}
+
+/// First index at which the offline pair rejects `trace`, or
+/// `trace.len()` if it is fully accepted.
+fn offline_first_failure(trace: &[Marker], n_sockets: usize) -> usize {
+    let sts = ProtocolAutomaton::new(n_sockets);
+    let tasks = tasks();
+    for k in 0..trace.len() {
+        let prefix = &trace[..=k];
+        if sts.accept(prefix).is_err() || check_functional(prefix, &tasks).is_err() {
+            return k;
+        }
+    }
+    trace.len()
+}
+
+/// First index at which the monitor rejects, or `trace.len()`.
+fn monitor_first_failure(trace: &[Marker], n_sockets: usize) -> usize {
+    let mut monitor = SpecMonitor::new(tasks(), n_sockets);
+    for (k, m) in trace.iter().enumerate() {
+        if monitor.observe(m).is_err() {
+            return k;
+        }
+    }
+    trace.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn monitor_agrees_with_offline_checkers(
+        trace in proptest::collection::vec(arb_marker(), 0..30),
+        n_sockets in 1usize..3,
+    ) {
+        prop_assert_eq!(
+            monitor_first_failure(&trace, n_sockets),
+            offline_first_failure(&trace, n_sockets),
+            "divergence on {:?}", trace
+        );
+    }
+}
+
+#[test]
+fn monitor_and_offline_agree_on_a_known_tricky_case() {
+    // Duplicate id hidden behind a dispatch: the protocol is fine, the
+    // functional invariant is not.
+    let j = Job::new(JobId(0), TaskId(1), vec![1]);
+    let trace = vec![
+        Marker::ReadStart,
+        Marker::ReadEnd {
+            sock: SocketId(0),
+            job: Some(j.clone()),
+        },
+        Marker::ReadStart,
+        Marker::ReadEnd {
+            sock: SocketId(0),
+            job: Some(j.clone()), // duplicate id
+        },
+    ];
+    assert_eq!(monitor_first_failure(&trace, 1), 3);
+    assert_eq!(offline_first_failure(&trace, 1), 3);
+}

@@ -1,0 +1,66 @@
+//! # RefinedProsa, reproduced in Rust
+//!
+//! This crate is the top of the workspace reproducing *RefinedProsa:
+//! Connecting Response-Time Analysis with C Verification for
+//! Interrupt-Free Schedulers* (PLDI 2025). It glues the pieces together
+//! into the paper's end-to-end story (Fig. 1):
+//!
+//! 1. **Rössl** ([`rossl`]) — a fixed-priority, non-preemptive,
+//!    interrupt-free scheduler instrumented with marker functions.
+//! 2. **Trace invariants** ([`rossl_trace`], [`rossl_verify`'s model
+//!    checker]) — the scheduler protocol (Fig. 5) and functional
+//!    correctness (Def. 3.2), checked on every run (the RefinedC half).
+//! 3. **Timed traces** ([`rossl_timing`]) — timestamps, WCET compliance
+//!    and arrival consistency (Def. 2.1).
+//! 4. **Schedules** ([`rossl_schedule`]) — the §2.4 conversion and
+//!    validity constraints.
+//! 5. **RTA** ([`prosa`]) — release jitter, supply bound functions and the
+//!    aRSA-style NPFP solver producing `R_i + J_i`.
+//!
+//! [`TimingVerifier`] packages Thm. 5.1 as an executable artifact: given
+//! the static parameters it computes the analytical bounds, and given a
+//! concrete run it checks **every assumption** of the theorem and then the
+//! **conclusion** — each job completes within `R_i + J_i` of its arrival.
+//!
+//! [`rossl_verify`'s model checker]: https://docs.rs/rossl-verify
+//!
+//! # Examples
+//!
+//! ```
+//! use refined_prosa::{RosslSystem, SystemBuilder};
+//! use rossl_model::*;
+//!
+//! // A two-task ROS2-executor-like configuration.
+//! let system = SystemBuilder::new()
+//!     .task("telemetry", Priority(1), Duration(40), Curve::sporadic(Duration(2_000)))
+//!     .task("safety-stop", Priority(9), Duration(15), Curve::sporadic(Duration(1_000)))
+//!     .sockets(2)
+//!     .build()?;
+//!
+//! // Analytical bounds (Thm. 5.1's R_i + J_i).
+//! let bounds = system.analyse(Duration(200_000))?;
+//!
+//! // A simulated run under a randomized workload, fully verified.
+//! let report = system.run_verified(42, Instant(50_000))?;
+//! assert_eq!(report.bound_violations, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod system;
+mod verifier;
+
+pub use system::{RosslSystem, SystemBuilder, SystemError};
+pub use verifier::{TimingVerifier, VerificationError, VerificationReport};
+
+// Re-export the workspace so downstream users need a single dependency.
+pub use prosa;
+pub use rossl;
+pub use rossl_model as model;
+pub use rossl_schedule as schedule;
+pub use rossl_sockets as sockets;
+pub use rossl_timing as timing;
+pub use rossl_trace as trace;
+pub use rossl_verify as verify;

@@ -1,0 +1,335 @@
+//! A convenience facade over the whole pipeline.
+//!
+//! [`SystemBuilder`] assembles a Rössl client configuration (Def. 3.3) in
+//! a few lines; [`RosslSystem`] exposes the three things one does with it:
+//! compute analytical bounds, simulate runs, and verify runs against the
+//! bounds (Thm. 5.1).
+
+use std::fmt;
+
+use prosa::{AnalysisParams, AnalysisResult, RtaError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rossl::{ClientConfig, ConfigError, FirstByteCodec};
+use rossl_model::{
+    Curve, Duration, Instant, ModelError, Priority, Task, TaskId, TaskSet, WcetTable,
+};
+use rossl_sockets::ArrivalSequence;
+use rossl_timing::{workload, CostModel, SimulationError, SimulationResult, Simulator, UniformCost};
+
+use crate::verifier::{TimingVerifier, VerificationError, VerificationReport};
+
+/// Failure assembling or driving a [`RosslSystem`].
+#[derive(Debug)]
+pub enum SystemError {
+    /// Invalid task set or WCET table.
+    Model(ModelError),
+    /// Invalid client configuration.
+    Config(ConfigError),
+    /// The analysis failed (unschedulable).
+    Analysis(RtaError),
+    /// Simulation failed.
+    Simulation(SimulationError),
+    /// Verification of a run failed one of Thm. 5.1's hypotheses.
+    Verification(VerificationError),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Model(e) => write!(f, "{e}"),
+            SystemError::Config(e) => write!(f, "{e}"),
+            SystemError::Analysis(e) => write!(f, "{e}"),
+            SystemError::Simulation(e) => write!(f, "{e}"),
+            SystemError::Verification(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<ModelError> for SystemError {
+    fn from(e: ModelError) -> SystemError {
+        SystemError::Model(e)
+    }
+}
+
+impl From<ConfigError> for SystemError {
+    fn from(e: ConfigError) -> SystemError {
+        SystemError::Config(e)
+    }
+}
+
+impl From<RtaError> for SystemError {
+    fn from(e: RtaError) -> SystemError {
+        SystemError::Analysis(e)
+    }
+}
+
+impl From<SimulationError> for SystemError {
+    fn from(e: SimulationError) -> SystemError {
+        SystemError::Simulation(e)
+    }
+}
+
+impl From<VerificationError> for SystemError {
+    fn from(e: VerificationError) -> SystemError {
+        SystemError::Verification(e)
+    }
+}
+
+/// Builder for a [`RosslSystem`].
+///
+/// # Examples
+///
+/// ```
+/// use refined_prosa::SystemBuilder;
+/// use rossl_model::*;
+///
+/// let system = SystemBuilder::new()
+///     .task("lidar", Priority(5), Duration(80), Curve::sporadic(Duration(5_000)))
+///     .sockets(1)
+///     .build()?;
+/// assert_eq!(system.tasks().len(), 1);
+/// # Ok::<(), refined_prosa::SystemError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SystemBuilder {
+    tasks: Vec<Task>,
+    n_sockets: usize,
+    wcet: Option<WcetTable>,
+}
+
+impl SystemBuilder {
+    /// An empty builder (one socket, example WCET table by default).
+    pub fn new() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// Registers a task; ids are assigned in registration order.
+    pub fn task(
+        mut self,
+        name: impl Into<String>,
+        priority: Priority,
+        wcet: Duration,
+        curve: Curve,
+    ) -> SystemBuilder {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task::new(id, name, priority, wcet, curve));
+        self
+    }
+
+    /// Sets the number of input sockets (default 1).
+    pub fn sockets(mut self, n: usize) -> SystemBuilder {
+        self.n_sockets = n;
+        self
+    }
+
+    /// Sets the basic-action WCET table (default
+    /// [`WcetTable::example`]).
+    pub fn wcet_table(mut self, wcet: WcetTable) -> SystemBuilder {
+        self.wcet = Some(wcet);
+        self
+    }
+
+    /// Validates and builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Model`] / [`SystemError::Config`] /
+    /// [`SystemError::Analysis`] for invalid parameters.
+    pub fn build(self) -> Result<RosslSystem, SystemError> {
+        let tasks = TaskSet::new(self.tasks)?;
+        let n_sockets = if self.n_sockets == 0 { 1 } else { self.n_sockets };
+        let wcet = self.wcet.unwrap_or_default();
+        let params = AnalysisParams::new(tasks.clone(), wcet, n_sockets)?;
+        let config = ClientConfig::new(tasks, n_sockets)?;
+        Ok(RosslSystem { params, config })
+    }
+}
+
+/// A fully configured Rössl deployment: task set, sockets and WCETs.
+#[derive(Debug, Clone)]
+pub struct RosslSystem {
+    params: AnalysisParams,
+    config: ClientConfig,
+}
+
+impl RosslSystem {
+    /// The task set.
+    pub fn tasks(&self) -> &TaskSet {
+        self.params.tasks()
+    }
+
+    /// The number of input sockets.
+    pub fn n_sockets(&self) -> usize {
+        self.params.n_sockets()
+    }
+
+    /// The basic-action WCET table.
+    pub fn wcet(&self) -> &WcetTable {
+        self.params.wcet()
+    }
+
+    /// The raw analysis parameters.
+    pub fn params(&self) -> &AnalysisParams {
+        &self.params
+    }
+
+    /// Computes the analytical bounds `R_i + J_i` (§4, Thm. 5.1), with
+    /// busy-window search capped at `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Analysis`] when unschedulable.
+    pub fn analyse(&self, horizon: Duration) -> Result<AnalysisResult, SystemError> {
+        Ok(prosa::analyse(&self.params, horizon)?)
+    }
+
+    /// Prepares a [`TimingVerifier`] with the same horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Analysis`] when unschedulable.
+    pub fn verifier(&self, analysis_horizon: Duration) -> Result<TimingVerifier, SystemError> {
+        Ok(TimingVerifier::new(self.params.clone(), analysis_horizon)?)
+    }
+
+    /// Simulates one run against `arrivals` under the given cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Simulation`] on workload bugs.
+    pub fn simulate(
+        &self,
+        arrivals: &ArrivalSequence,
+        cost: impl CostModel,
+        horizon: Instant,
+    ) -> Result<SimulationResult, SystemError> {
+        let sim = Simulator::new(self.config.clone(), FirstByteCodec, *self.wcet(), cost)?;
+        Ok(sim.run(arrivals, horizon)?)
+    }
+
+    /// Generates a seeded sporadic workload that respects the arrival
+    /// curves.
+    pub fn random_workload(&self, seed: u64, until: Instant) -> ArrivalSequence {
+        workload::sporadic_random(
+            self.tasks(),
+            &FirstByteCodec,
+            &workload::round_robin_sockets(self.n_sockets()),
+            until,
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+
+    /// Generates a fully randomized, curve-repaired workload
+    /// ([`workload::randomized`]): irregular clustering up to exactly the
+    /// curve limits — shapes the sporadic generator cannot reach.
+    pub fn randomized_workload(&self, seed: u64, until: Instant) -> ArrivalSequence {
+        workload::randomized(
+            self.tasks(),
+            &FirstByteCodec,
+            &workload::round_robin_sockets(self.n_sockets()),
+            until,
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+
+    /// End-to-end: generate a seeded workload, simulate it with seeded
+    /// random costs up to `horizon`, and verify the run against the
+    /// analytical bounds (Thm. 5.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] if the system is unschedulable or a
+    /// theorem hypothesis fails (neither happens for well-formed
+    /// configurations — both would indicate a bug worth surfacing).
+    pub fn run_verified(
+        &self,
+        seed: u64,
+        horizon: Instant,
+    ) -> Result<VerificationReport, SystemError> {
+        let arrivals = self.random_workload(seed, horizon);
+        let run = self.simulate(
+            &arrivals,
+            UniformCost::new(StdRng::seed_from_u64(seed.wrapping_add(0x5eed))),
+            horizon,
+        )?;
+        let analysis_horizon = Duration(horizon.ticks().max(100_000).saturating_mul(4));
+        let verifier = self.verifier(analysis_horizon)?;
+        Ok(verifier.verify(&arrivals, &run)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> RosslSystem {
+        SystemBuilder::new()
+            .task(
+                "low",
+                Priority(1),
+                Duration(25),
+                Curve::sporadic(Duration(2_000)),
+            )
+            .task(
+                "high",
+                Priority(7),
+                Duration(10),
+                Curve::sporadic(Duration(1_000)),
+            )
+            .sockets(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let s = demo();
+        assert_eq!(s.tasks().task(TaskId(0)).unwrap().name(), "low");
+        assert_eq!(s.tasks().task(TaskId(1)).unwrap().name(), "high");
+        assert_eq!(s.n_sockets(), 2);
+    }
+
+    #[test]
+    fn default_socket_count_is_one() {
+        let s = SystemBuilder::new()
+            .task("t", Priority(1), Duration(5), Curve::sporadic(Duration(100)))
+            .build()
+            .unwrap();
+        assert_eq!(s.n_sockets(), 1);
+    }
+
+    #[test]
+    fn empty_task_set_rejected() {
+        assert!(matches!(
+            SystemBuilder::new().build(),
+            Err(SystemError::Model(ModelError::EmptyTaskSet))
+        ));
+    }
+
+    #[test]
+    fn run_verified_round_trips() {
+        let report = demo().run_verified(7, Instant(20_000)).unwrap();
+        assert_eq!(report.bound_violations, 0);
+        assert!(report.jobs_completed > 0);
+    }
+
+    #[test]
+    fn analyse_produces_meaningful_bounds() {
+        let s = demo();
+        let bounds = s.analyse(Duration(400_000)).unwrap();
+        for task in s.tasks() {
+            let b = bounds.bound_for(task.id()).unwrap();
+            // A bound can never undercut the task's own WCET, and the
+            // jitter offset is strictly positive for a real WCET table.
+            assert!(b.total_bound() >= task.wcet());
+            assert!(b.jitter > Duration::ZERO);
+        }
+        // Non-preemptive blocking: the high-priority task still waits for
+        // the low-priority WCET, so its bound exceeds C_high + B.
+        let high = bounds.bound_for(TaskId(1)).unwrap().total_bound();
+        assert!(high >= Duration(10 + 25));
+    }
+}

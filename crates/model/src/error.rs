@@ -1,0 +1,102 @@
+//! Model validation errors.
+
+use std::fmt;
+
+use crate::curve::CurveValidationError;
+use crate::task::TaskId;
+use crate::time::Duration;
+
+/// Validation failure while constructing model values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A task set must contain at least one task.
+    EmptyTaskSet,
+    /// Task ids must be dense and in order (`0..n`).
+    NonDenseTaskIds {
+        /// The id expected at this position.
+        expected: TaskId,
+        /// The id actually found.
+        found: TaskId,
+    },
+    /// Thm. 5.1 requires `0 < C_i` for every task.
+    ZeroWcet {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A task's arrival curve failed validation.
+    InvalidCurve {
+        /// The offending task.
+        task: TaskId,
+        /// The underlying curve error.
+        source: CurveValidationError,
+    },
+    /// A basic-action WCET violates Thm. 5.1's side conditions.
+    InvalidWcetTable {
+        /// Which table entry is out of range.
+        entry: &'static str,
+        /// The minimum permitted value.
+        minimum: Duration,
+        /// The value found.
+        found: Duration,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyTaskSet => write!(f, "task set is empty"),
+            ModelError::NonDenseTaskIds { expected, found } => {
+                write!(f, "task ids must be dense: expected {expected}, found {found}")
+            }
+            ModelError::ZeroWcet { task } => {
+                write!(f, "task {task} has zero WCET but Thm. 5.1 requires 0 < C_i")
+            }
+            ModelError::InvalidCurve { task, source } => {
+                write!(f, "task {task} has an invalid arrival curve: {source}")
+            }
+            ModelError::InvalidWcetTable {
+                entry,
+                minimum,
+                found,
+            } => write!(
+                f,
+                "WCET table entry `{entry}` must be at least {} ticks, found {}",
+                minimum.ticks(),
+                found.ticks()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::InvalidCurve { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ModelError::ZeroWcet { task: TaskId(3) };
+        let msg = e.to_string();
+        assert!(msg.contains("τ3"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn source_chains_curve_errors() {
+        use std::error::Error;
+        let e = ModelError::InvalidCurve {
+            task: TaskId(0),
+            source: CurveValidationError::ZeroInterArrival,
+        };
+        assert!(e.source().is_some());
+    }
+}

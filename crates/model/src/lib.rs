@@ -1,0 +1,48 @@
+//! Domain model for the RefinedProsa reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: discrete [`Instant`]s and [`Duration`]s, [`Task`]s with fixed
+//! [`Priority`] levels and worst-case execution times, [`Job`]s (runtime
+//! instances of tasks carried by [`Message`]s on [`SocketId`]s), the
+//! [`WcetTable`] of basic-action worst-case execution times from §2.3 of the
+//! paper, the derived per-processor-state [`OverheadBounds`] of §2.4/§4.3, and
+//! [`ArrivalCurve`]s (§4.1) bounding how fast jobs may arrive.
+//!
+//! The model follows the paper's conventions:
+//!
+//! * Time is discrete and arbitrarily fine grained (footnote 3: "processor
+//!   cycles"); we use `u64` ticks wrapped in newtypes.
+//! * A job is a pair of message data and a unique identifier assigned at read
+//!   time (Fig. 6: `Job ≜ (msg_data * job_id)`), plus the task resolved via the
+//!   client's `msg_to_task` mapping (Def. 3.3).
+//! * Higher [`Priority`] values denote more urgent tasks.
+//!
+//! # Examples
+//!
+//! ```
+//! use rossl_model::{Task, TaskId, TaskSet, Priority, Duration, Curve};
+//!
+//! let tasks = TaskSet::new(vec![
+//!     Task::new(TaskId(0), "telemetry", Priority(1), Duration(900), Curve::sporadic(Duration(10_000))),
+//!     Task::new(TaskId(1), "emergency-stop", Priority(9), Duration(120), Curve::sporadic(Duration(50_000))),
+//! ]).expect("valid task set");
+//! assert_eq!(tasks.len(), 2);
+//! assert_eq!(tasks.highest_priority().unwrap().name(), "emergency-stop");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod curve;
+mod error;
+mod job;
+mod task;
+mod time;
+mod wcet;
+
+pub use curve::{check_respects, ArrivalCurve, Curve, CurveValidationError, CurveViolation};
+pub use error::ModelError;
+pub use job::{Job, JobId, Message, MsgData, SocketId};
+pub use task::{Priority, Task, TaskId, TaskSet};
+pub use time::{Duration, Instant};
+pub use wcet::{OverheadBounds, WcetTable};

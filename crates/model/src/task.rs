@@ -1,0 +1,374 @@
+//! Tasks, priorities and task sets (the "statics" of §4.1).
+//!
+//! A [`Task`] describes the common characteristics of the jobs it spawns: a
+//! worst-case execution time `C_i`, a fixed [`Priority`] `P_i`, and an
+//! [arrival curve](crate::Curve) `α_i` bounding how many jobs of the task may
+//! arrive in any window of a given length. A [`TaskSet`] is a validated
+//! collection of tasks with dense, distinct [`TaskId`]s.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::curve::{ArrivalCurve, Curve};
+use crate::error::ModelError;
+use crate::time::Duration;
+
+/// Index of a task within a [`TaskSet`]. Task ids are dense: a set of `n`
+/// tasks uses ids `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+/// A fixed priority level. **Higher values are more urgent** — Rössl's
+/// `npfp_dequeue` always selects a pending job of maximal priority (§2.1).
+///
+/// Ties are permitted (Def. 3.2 only requires the selected job's priority to
+/// be "higher-than-or-equal" to every other pending job's); implementations
+/// break ties deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Priority(pub u32);
+
+/// A task type `τ_i` (§4.1 "statics"): WCET `C_i`, priority `P_i`, arrival
+/// curve `α_i`.
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::{Task, TaskId, Priority, Duration, Curve};
+/// let t = Task::new(TaskId(0), "lidar", Priority(5), Duration(800),
+///                   Curve::sporadic(Duration(10_000)));
+/// assert_eq!(t.wcet(), Duration(800));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    id: TaskId,
+    name: String,
+    priority: Priority,
+    wcet: Duration,
+    arrival_curve: Curve,
+}
+
+impl Task {
+    /// Creates a task.
+    pub fn new(
+        id: TaskId,
+        name: impl Into<String>,
+        priority: Priority,
+        wcet: Duration,
+        arrival_curve: Curve,
+    ) -> Task {
+        Task {
+            id,
+            name: name.into(),
+            priority,
+            wcet,
+            arrival_curve,
+        }
+    }
+
+    /// The task's identifier.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Human-readable task name (callback name in the ROS2 analogy).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The task's fixed priority `P_i`.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The worst-case execution time `C_i` of the task's callback.
+    pub fn wcet(&self) -> Duration {
+        self.wcet
+    }
+
+    /// The arrival curve `α_i` bounding the task's job arrivals.
+    pub fn arrival_curve(&self) -> &Curve {
+        &self.arrival_curve
+    }
+}
+
+/// A validated set of tasks (Def. 3.3's `τ`): ids are dense (`0..n`), names
+/// need not be unique, callback WCETs are strictly positive (required by
+/// Thm. 5.1: `0 < C_i`).
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::{Task, TaskId, TaskSet, Priority, Duration, Curve};
+/// let ts = TaskSet::new(vec![
+///     Task::new(TaskId(0), "a", Priority(1), Duration(10), Curve::sporadic(Duration(100))),
+///     Task::new(TaskId(1), "b", Priority(2), Duration(20), Curve::sporadic(Duration(200))),
+/// ])?;
+/// assert_eq!(ts.task(TaskId(1)).unwrap().name(), "b");
+/// # Ok::<(), rossl_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Builds a task set after validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the set is empty, ids are not exactly
+    /// `0..n` in order, any WCET is zero, or any arrival curve is invalid
+    /// (see [`Curve::validate`]).
+    pub fn new(tasks: Vec<Task>) -> Result<TaskSet, ModelError> {
+        if tasks.is_empty() {
+            return Err(ModelError::EmptyTaskSet);
+        }
+        for (i, task) in tasks.iter().enumerate() {
+            if task.id() != TaskId(i) {
+                return Err(ModelError::NonDenseTaskIds {
+                    expected: TaskId(i),
+                    found: task.id(),
+                });
+            }
+            if task.wcet().is_zero() {
+                return Err(ModelError::ZeroWcet { task: task.id() });
+            }
+            task.arrival_curve()
+                .validate()
+                .map_err(|source| ModelError::InvalidCurve {
+                    task: task.id(),
+                    source,
+                })?;
+        }
+        Ok(TaskSet { tasks })
+    }
+
+    /// Number of tasks in the set.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` if the set contains no tasks. Always `false` for a
+    /// successfully constructed set, provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Looks up a task by id.
+    pub fn task(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(id.0)
+    }
+
+    /// Iterates over the tasks in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Task> {
+        self.tasks.iter()
+    }
+
+    /// The task with the numerically greatest priority (ties broken towards
+    /// the smallest id). `None` is impossible for a constructed set but kept
+    /// for symmetry with [`TaskSet::task`].
+    pub fn highest_priority(&self) -> Option<&Task> {
+        self.tasks.iter().max_by(|a, b| {
+            a.priority()
+                .cmp(&b.priority())
+                .then(b.id().cmp(&a.id())) // prefer smaller id on tie
+        })
+    }
+
+    /// Tasks with priority **strictly higher** than `of`'s priority — the
+    /// interfering set for fixed-priority analyses (§4.2).
+    pub fn higher_priority_than(&self, of: TaskId) -> impl Iterator<Item = &Task> {
+        let p = self.tasks[of.0].priority();
+        self.tasks.iter().filter(move |t| t.priority() > p)
+    }
+
+    /// Tasks with priority **strictly lower** than `of`'s priority — the
+    /// sources of non-preemptive blocking (§4.2).
+    pub fn lower_priority_than(&self, of: TaskId) -> impl Iterator<Item = &Task> {
+        let p = self.tasks[of.0].priority();
+        self.tasks.iter().filter(move |t| t.priority() < p)
+    }
+
+    /// Tasks other than `of` with priority higher than or equal to `of`'s —
+    /// the "same-or-higher" interference set used by busy-window analyses
+    /// when equal priorities are served in arrival order.
+    pub fn equal_or_higher_priority_than(&self, of: TaskId) -> impl Iterator<Item = &Task> {
+        let p = self.tasks[of.0].priority();
+        self.tasks
+            .iter()
+            .filter(move |t| t.priority() >= p && t.id() != of)
+    }
+
+    /// An upper bound on the fraction of processor time the task set demands
+    /// in the long run, as `(numerator, denominator)` of Σᵢ Cᵢ·rateᵢ where
+    /// `rateᵢ` is the long-run arrival rate of `α_i` (see
+    /// [`Curve::long_run_rate`]). Returns `None` when any curve has no
+    /// finite long-run rate.
+    pub fn utilization_bound(&self) -> Option<f64> {
+        let mut total = 0.0_f64;
+        for t in &self.tasks {
+            let rate = t.arrival_curve().long_run_rate()?;
+            total += t.wcet().ticks() as f64 * rate;
+        }
+        Some(total)
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskSet {
+    type Item = &'a Task;
+    type IntoIter = std::slice::Iter<'a, Task>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_tasks() -> Vec<Task> {
+        vec![
+            Task::new(
+                TaskId(0),
+                "low",
+                Priority(1),
+                Duration(10),
+                Curve::sporadic(Duration(100)),
+            ),
+            Task::new(
+                TaskId(1),
+                "mid",
+                Priority(5),
+                Duration(20),
+                Curve::sporadic(Duration(200)),
+            ),
+            Task::new(
+                TaskId(2),
+                "high",
+                Priority(9),
+                Duration(5),
+                Curve::sporadic(Duration(50)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn valid_set_constructs() {
+        let ts = TaskSet::new(demo_tasks()).unwrap();
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.highest_priority().unwrap().id(), TaskId(2));
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        assert!(matches!(TaskSet::new(vec![]), Err(ModelError::EmptyTaskSet)));
+    }
+
+    #[test]
+    fn non_dense_ids_rejected() {
+        let mut tasks = demo_tasks();
+        tasks[1] = Task::new(
+            TaskId(7),
+            "mid",
+            Priority(5),
+            Duration(20),
+            Curve::sporadic(Duration(200)),
+        );
+        assert!(matches!(
+            TaskSet::new(tasks),
+            Err(ModelError::NonDenseTaskIds { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_wcet_rejected() {
+        let mut tasks = demo_tasks();
+        tasks[0] = Task::new(
+            TaskId(0),
+            "low",
+            Priority(1),
+            Duration(0),
+            Curve::sporadic(Duration(100)),
+        );
+        assert!(matches!(
+            TaskSet::new(tasks),
+            Err(ModelError::ZeroWcet { task: TaskId(0) })
+        ));
+    }
+
+    #[test]
+    fn priority_partitions() {
+        let ts = TaskSet::new(demo_tasks()).unwrap();
+        let hp: Vec<_> = ts.higher_priority_than(TaskId(1)).map(Task::id).collect();
+        assert_eq!(hp, vec![TaskId(2)]);
+        let lp: Vec<_> = ts.lower_priority_than(TaskId(1)).map(Task::id).collect();
+        assert_eq!(lp, vec![TaskId(0)]);
+        let eh: Vec<_> = ts
+            .equal_or_higher_priority_than(TaskId(1))
+            .map(Task::id)
+            .collect();
+        assert_eq!(eh, vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn equal_priorities_are_permitted() {
+        let ts = TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "a",
+                Priority(3),
+                Duration(1),
+                Curve::sporadic(Duration(10)),
+            ),
+            Task::new(
+                TaskId(1),
+                "b",
+                Priority(3),
+                Duration(1),
+                Curve::sporadic(Duration(10)),
+            ),
+        ])
+        .unwrap();
+        // Tie broken towards the smaller id.
+        assert_eq!(ts.highest_priority().unwrap().id(), TaskId(0));
+        assert_eq!(ts.higher_priority_than(TaskId(0)).count(), 0);
+        assert_eq!(ts.equal_or_higher_priority_than(TaskId(0)).count(), 1);
+    }
+
+    #[test]
+    fn utilization_bound_sums_rates() {
+        let ts = TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "a",
+                Priority(1),
+                Duration(10),
+                Curve::sporadic(Duration(100)),
+            ),
+            Task::new(
+                TaskId(1),
+                "b",
+                Priority(2),
+                Duration(30),
+                Curve::sporadic(Duration(100)),
+            ),
+        ])
+        .unwrap();
+        let u = ts.utilization_bound().unwrap();
+        assert!((u - 0.4).abs() < 1e-9, "u = {u}");
+    }
+}

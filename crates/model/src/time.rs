@@ -1,0 +1,259 @@
+//! Discrete time: instants and durations.
+//!
+//! The paper measures time in "arbitrarily fine-grained units such as
+//! processor cycles" (§2.3, footnote 3). We model an [`Instant`] as a `u64`
+//! tick count since system start and a [`Duration`] as a `u64` tick span.
+//! Arithmetic is checked in debug builds (overflow panics) and saturating in
+//! the explicit `saturating_*` helpers used by analyses that probe large
+//! horizons.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in discrete time, measured in ticks since system start.
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::{Instant, Duration};
+/// let t = Instant(100) + Duration(25);
+/// assert_eq!(t, Instant(125));
+/// assert_eq!(t - Instant(100), Duration(25));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Instant(pub u64);
+
+/// A span of discrete time, measured in ticks.
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::Duration;
+/// assert_eq!(Duration(3) + Duration(4), Duration(7));
+/// assert_eq!(Duration(10).saturating_sub(Duration(25)), Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Duration(pub u64);
+
+impl Instant {
+    /// The origin of time (tick zero).
+    pub const ZERO: Instant = Instant(0);
+    /// The largest representable instant.
+    pub const MAX: Instant = Instant(u64::MAX);
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration from `earlier` to `self`, or `None` if `earlier`
+    /// is later than `self`.
+    #[inline]
+    pub fn checked_duration_since(self, earlier: Instant) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration)
+    }
+
+    /// Returns the duration from `earlier` to `self`, clamped to zero.
+    #[inline]
+    pub fn saturating_duration_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`Instant::MAX`].
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> Instant {
+        Instant(self.0.saturating_add(d.0))
+    }
+}
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+    /// One tick.
+    pub const TICK: Duration = Duration(1);
+    /// The largest representable duration.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this duration is zero ticks long.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtraction clamped to zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Addition saturating at [`Duration::MAX`].
+    #[inline]
+    pub fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies the duration by an integer count, saturating on overflow.
+    ///
+    /// Used pervasively by bound arithmetic (`n_sockets × WcetFR` and
+    /// friends, §2.4) where saturation errs on the safe (pessimistic) side.
+    #[inline]
+    pub fn saturating_mul(self, count: u64) -> Duration {
+        Duration(self.0.saturating_mul(count))
+    }
+
+    /// Checked multiplication by an integer count.
+    #[inline]
+    pub fn checked_mul(self, count: u64) -> Option<Duration> {
+        self.0.checked_mul(count).map(Duration)
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Instant) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |acc, d| acc.saturating_add(d))
+    }
+}
+
+impl From<u64> for Duration {
+    #[inline]
+    fn from(ticks: u64) -> Duration {
+        Duration(ticks)
+    }
+}
+
+impl From<u64> for Instant {
+    #[inline]
+    fn from(ticks: u64) -> Instant {
+        Instant(ticks)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}Δ", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_arithmetic_round_trips() {
+        let t = Instant(10);
+        assert_eq!((t + Duration(5)) - t, Duration(5));
+        assert_eq!(t - Duration(10), Instant::ZERO);
+    }
+
+    #[test]
+    fn checked_duration_since_orders_correctly() {
+        assert_eq!(Instant(5).checked_duration_since(Instant(9)), None);
+        assert_eq!(
+            Instant(9).checked_duration_since(Instant(5)),
+            Some(Duration(4))
+        );
+    }
+
+    #[test]
+    fn saturating_ops_clamp() {
+        assert_eq!(Duration(3).saturating_sub(Duration(7)), Duration::ZERO);
+        assert_eq!(Duration::MAX.saturating_add(Duration(1)), Duration::MAX);
+        assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
+        assert_eq!(Instant::MAX.saturating_add(Duration(1)), Instant::MAX);
+    }
+
+    #[test]
+    fn duration_sum_saturates() {
+        let total: Duration = [Duration::MAX, Duration(1)].into_iter().sum();
+        assert_eq!(total, Duration::MAX);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Instant(7).to_string(), "t7");
+        assert_eq!(Duration(7).to_string(), "7Δ");
+    }
+
+    #[test]
+    fn ordering_matches_ticks() {
+        assert!(Instant(3) < Instant(4));
+        assert!(Duration(3) < Duration(4));
+    }
+}

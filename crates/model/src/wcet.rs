@@ -1,0 +1,310 @@
+//! Worst-case execution times of basic actions and the derived
+//! per-processor-state overhead bounds.
+//!
+//! §2.3 of the paper assumes a WCET for each basic action of the scheduler
+//! as a *parameter* of the verification; [`WcetTable`] carries exactly the
+//! parameters of Thm. 5.1 (`WcetFR`, `WcetSR`, `WcetSel`, `WcetDisp`,
+//! `WcetCompl`, `WcetIdling`). Per-task callback WCETs `C_i` live on
+//! [`Task`](crate::Task).
+//!
+//! [`OverheadBounds`] derives the per-processor-state duration bounds of
+//! §2.4/§4.3 (`PB`, `SB`, `DB`, `CB`, `RB`, `IB`) for a given socket count.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::time::Duration;
+
+/// WCETs of Rössl's basic actions (§2.3, Thm. 5.1 parameters).
+///
+/// Thm. 5.1 requires `1 < WcetFR`, `1 < WcetSR` (a read spans two marker
+/// calls — `M_ReadS` and `M_ReadE` — with strictly increasing timestamps, so
+/// it takes at least two ticks) and strictly positive values for the rest.
+/// [`WcetTable::validate`] enforces these side conditions.
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::{WcetTable, Duration};
+/// let w = WcetTable::new(Duration(4), Duration(6), Duration(3), Duration(2),
+///                        Duration(2), Duration(5));
+/// assert!(w.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WcetTable {
+    /// `WcetFR`: a failed read (`M_ReadS` through the marker following its
+    /// `M_ReadE sock ⊥`).
+    pub failed_read: Duration,
+    /// `WcetSR`: a successful read (`M_ReadS` through the marker following
+    /// its `M_ReadE sock j`), including enqueueing the job.
+    pub successful_read: Duration,
+    /// `WcetSel`: the selection action (`M_Selection` to the following
+    /// `M_Dispatch`/`M_Idling`).
+    pub selection: Duration,
+    /// `WcetDisp`: the dispatch action (`M_Dispatch j` to `M_Execution j`).
+    pub dispatch: Duration,
+    /// `WcetCompl`: the completion action (`M_Completion j` to the next
+    /// `M_ReadS`), covering `free(j)` and the loop back-edge.
+    pub completion: Duration,
+    /// `WcetIdling`: one bounded idle iteration (`M_Idling` to the next
+    /// `M_ReadS`). Interrupt-free idling is busy-polling, so a single idling
+    /// action is loop-free and bounded; long idle periods are sequences of
+    /// idling actions interleaved with failed polling rounds.
+    pub idling: Duration,
+}
+
+impl WcetTable {
+    /// Creates a table; see the field docs for the meaning of each entry.
+    pub fn new(
+        failed_read: Duration,
+        successful_read: Duration,
+        selection: Duration,
+        dispatch: Duration,
+        completion: Duration,
+        idling: Duration,
+    ) -> WcetTable {
+        WcetTable {
+            failed_read,
+            successful_read,
+            selection,
+            dispatch,
+            completion,
+            idling,
+        }
+    }
+
+    /// A small table convenient for examples and tests.
+    pub fn example() -> WcetTable {
+        WcetTable::new(
+            Duration(4),
+            Duration(6),
+            Duration(3),
+            Duration(2),
+            Duration(2),
+            Duration(5),
+        )
+    }
+
+    /// Enforces Thm. 5.1's side conditions: `1 < WcetFR`, `1 < WcetSR`, and
+    /// `0 < WcetSel, WcetDisp, WcetCompl, WcetIdling`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidWcetTable`] naming the offending entry.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let checks: [(&str, Duration, u64); 6] = [
+            ("failed_read", self.failed_read, 2),
+            ("successful_read", self.successful_read, 2),
+            ("selection", self.selection, 1),
+            ("dispatch", self.dispatch, 1),
+            ("completion", self.completion, 1),
+            ("idling", self.idling, 1),
+        ];
+        for (name, value, min) in checks {
+            if value.ticks() < min {
+                return Err(ModelError::InvalidWcetTable {
+                    entry: name,
+                    minimum: Duration(min),
+                    found: value,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for WcetTable {
+    fn default() -> WcetTable {
+        WcetTable::example()
+    }
+}
+
+impl fmt::Display for WcetTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WCET{{FR={}, SR={}, Sel={}, Disp={}, Compl={}, Idle={}}}",
+            self.failed_read.ticks(),
+            self.successful_read.ticks(),
+            self.selection.ticks(),
+            self.dispatch.ticks(),
+            self.completion.ticks(),
+            self.idling.ticks(),
+        )
+    }
+}
+
+/// Upper bounds on the duration of each discrete processor-state instance
+/// (§2.4 "validity constraints", §4.3), derived from a [`WcetTable`] and the
+/// number of input sockets `n`:
+///
+/// * `PB = (2n−1) · WcetFR` — a `PollingOvh` instance: all failed reads
+///   after the *last* successful read of a polling phase. The paper's prose
+///   bound (`|input_socks| × WcetFR`, Def. 2.2) counts only the final
+///   all-failed round; our conversion also charges the ≤ `n−1` failures
+///   between the last success and that final round to `PollingOvh`, so the
+///   two-round-safe bound is `(n−1) + n` failed reads. For `n = 1` both
+///   formulas agree.
+/// * `SB = WcetSel`, `DB = WcetDisp`, `CB = WcetCompl`.
+/// * `RB = 2(n−1) · WcetFR + WcetSR` — a `ReadOvh j` instance: consecutive
+///   failed reads preceding a successful read. Within a polling phase every
+///   complete round before the last has a success, so a failure run spans at
+///   most the tail of one round and the head of the next: `≤ 2(n−1)`
+///   failures, plus the successful read itself. (The paper's prose states
+///   the per-round bound "at most as many failed reads as there are
+///   sockets"; the two-round bound is the safe closure of that argument and
+///   is validated exhaustively in `rossl-schedule`'s tests.)
+/// * `IB = (n−1) · WcetFR + WcetSel + WcetIdling` — the residual `Idle` time
+///   after a job arrives mid-idle: by read/arrival consistency (Def. 2.1) a
+///   read on the job's socket after its arrival cannot fail, so at most the
+///   other `n−1` sockets' failed reads, one failed selection and one idling
+///   action separate the arrival from the polling pass that reads it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OverheadBounds {
+    /// `PB`: bound on a `PollingOvh` instance.
+    pub polling: Duration,
+    /// `SB`: bound on a `SelectionOvh` instance.
+    pub selection: Duration,
+    /// `DB`: bound on a `DispatchOvh` instance.
+    pub dispatch: Duration,
+    /// `CB`: bound on a `CompletionOvh` instance.
+    pub completion: Duration,
+    /// `RB`: bound on a `ReadOvh` instance.
+    pub read: Duration,
+    /// `IB`: bound on the residual `Idle` time after a job's arrival.
+    pub idle_residual: Duration,
+}
+
+impl OverheadBounds {
+    /// Derives the bounds for `n_sockets` input sockets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sockets` is zero: a scheduler with no input sockets
+    /// processes no jobs and has no meaningful overhead bounds.
+    pub fn derive(wcet: &WcetTable, n_sockets: usize) -> OverheadBounds {
+        assert!(n_sockets > 0, "scheduler must have at least one socket");
+        let n = n_sockets as u64;
+        OverheadBounds {
+            polling: wcet.failed_read.saturating_mul(2 * n - 1),
+            selection: wcet.selection,
+            dispatch: wcet.dispatch,
+            completion: wcet.completion,
+            read: wcet
+                .failed_read
+                .saturating_mul(2 * (n - 1))
+                .saturating_add(wcet.successful_read),
+            idle_residual: wcet
+                .failed_read
+                .saturating_mul(n - 1)
+                .saturating_add(wcet.selection)
+                .saturating_add(wcet.idling),
+        }
+    }
+
+    /// Total non-read overhead charged per dispatched job:
+    /// `PB + SB + DB + CB` (used by the `NRB` blackout bound, §4.4).
+    pub fn per_dispatch(&self) -> Duration {
+        self.polling
+            .saturating_add(self.selection)
+            .saturating_add(self.dispatch)
+            .saturating_add(self.completion)
+    }
+
+    /// The release-jitter bound of Def. 4.3:
+    /// `J = 1 + max(PB + SB + DB, IB)`.
+    pub fn max_release_jitter(&self) -> Duration {
+        let policy = self
+            .polling
+            .saturating_add(self.selection)
+            .saturating_add(self.dispatch);
+        Duration(1).saturating_add(policy.max(self.idle_residual))
+    }
+}
+
+impl fmt::Display for OverheadBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Bounds{{PB={}, SB={}, DB={}, CB={}, RB={}, IB={}}}",
+            self.polling.ticks(),
+            self.selection.ticks(),
+            self.dispatch.ticks(),
+            self.completion.ticks(),
+            self.read.ticks(),
+            self.idle_residual.ticks(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_table_is_valid() {
+        assert!(WcetTable::example().validate().is_ok());
+        assert_eq!(WcetTable::default(), WcetTable::example());
+    }
+
+    #[test]
+    fn validation_enforces_theorem_side_conditions() {
+        let mut w = WcetTable::example();
+        w.failed_read = Duration(1); // needs 1 < WcetFR
+        assert!(matches!(
+            w.validate(),
+            Err(ModelError::InvalidWcetTable {
+                entry: "failed_read",
+                ..
+            })
+        ));
+
+        let mut w = WcetTable::example();
+        w.successful_read = Duration(0);
+        assert!(w.validate().is_err());
+
+        let mut w = WcetTable::example();
+        w.selection = Duration(0);
+        assert!(w.validate().is_err());
+
+        let mut w = WcetTable::example();
+        w.idling = Duration(0);
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn derived_bounds_single_socket() {
+        let w = WcetTable::example();
+        let b = OverheadBounds::derive(&w, 1);
+        assert_eq!(b.polling, Duration(4)); // 1 · FR
+        assert_eq!(b.read, Duration(6)); // 0 failed + SR
+        assert_eq!(b.idle_residual, Duration(3 + 5)); // 0·FR + Sel + Idle
+        assert_eq!(b.per_dispatch(), Duration(4 + 3 + 2 + 2));
+    }
+
+    #[test]
+    fn derived_bounds_multi_socket() {
+        let w = WcetTable::example();
+        let b = OverheadBounds::derive(&w, 3);
+        assert_eq!(b.polling, Duration(20)); // (2·3−1) · 4
+        assert_eq!(b.read, Duration(2 * 2 * 4 + 6)); // 2(n−1)·FR + SR
+        assert_eq!(b.idle_residual, Duration(2 * 4 + 3 + 5));
+    }
+
+    #[test]
+    fn jitter_formula_matches_definition() {
+        let w = WcetTable::example();
+        let b = OverheadBounds::derive(&w, 2);
+        let policy = b.polling + b.selection + b.dispatch;
+        let expected = Duration(1) + if policy > b.idle_residual { policy } else { b.idle_residual };
+        assert_eq!(b.max_release_jitter(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one socket")]
+    fn zero_sockets_panics() {
+        let _ = OverheadBounds::derive(&WcetTable::example(), 0);
+    }
+}

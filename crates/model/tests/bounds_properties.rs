@@ -1,0 +1,84 @@
+//! Property-based tests of the derived overhead bounds and the
+//! release-jitter formula (Def. 4.3) across random WCET tables and socket
+//! counts.
+
+use proptest::prelude::*;
+use rossl_model::{Duration, OverheadBounds, WcetTable};
+
+fn arb_wcet() -> impl Strategy<Value = WcetTable> {
+    (2u64..50, 2u64..50, 1u64..30, 1u64..30, 1u64..30, 1u64..30).prop_map(
+        |(fr, sr, sel, disp, compl, idle)| {
+            WcetTable::new(
+                Duration(fr),
+                Duration(sr),
+                Duration(sel),
+                Duration(disp),
+                Duration(compl),
+                Duration(idle),
+            )
+        },
+    )
+}
+
+proptest! {
+    /// Every generated table passes Thm. 5.1's side conditions.
+    #[test]
+    fn generated_tables_validate(w in arb_wcet()) {
+        prop_assert!(w.validate().is_ok());
+    }
+
+    /// The derived bounds follow their closed forms.
+    #[test]
+    fn derived_bounds_closed_forms(w in arb_wcet(), n in 1usize..9) {
+        let b = OverheadBounds::derive(&w, n);
+        let n64 = n as u64;
+        prop_assert_eq!(b.polling, Duration(w.failed_read.ticks() * (2 * n64 - 1)));
+        prop_assert_eq!(b.selection, w.selection);
+        prop_assert_eq!(b.dispatch, w.dispatch);
+        prop_assert_eq!(b.completion, w.completion);
+        prop_assert_eq!(
+            b.read,
+            Duration(w.failed_read.ticks() * 2 * (n64 - 1) + w.successful_read.ticks())
+        );
+        prop_assert_eq!(
+            b.idle_residual,
+            Duration(w.failed_read.ticks() * (n64 - 1) + w.selection.ticks() + w.idling.ticks())
+        );
+        prop_assert_eq!(
+            b.per_dispatch(),
+            b.polling + b.selection + b.dispatch + b.completion
+        );
+    }
+
+    /// Jitter is Def. 4.3 exactly, positive, and monotone in the socket
+    /// count.
+    #[test]
+    fn jitter_closed_form_and_monotonicity(w in arb_wcet(), n in 1usize..8) {
+        let b = OverheadBounds::derive(&w, n);
+        let policy = b.polling + b.selection + b.dispatch;
+        let expected = Duration(1) + if policy > b.idle_residual { policy } else { b.idle_residual };
+        prop_assert_eq!(b.max_release_jitter(), expected);
+        prop_assert!(b.max_release_jitter() > Duration::ZERO);
+        let bigger = OverheadBounds::derive(&w, n + 1);
+        prop_assert!(bigger.max_release_jitter() >= b.max_release_jitter());
+    }
+
+    /// All derived bounds are monotone in every WCET entry.
+    #[test]
+    fn bounds_monotone_in_table_entries(w in arb_wcet(), n in 1usize..6, bump in 1u64..10) {
+        let base = OverheadBounds::derive(&w, n);
+        let mut w2 = w;
+        w2.failed_read = w2.failed_read + Duration(bump);
+        w2.successful_read = w2.successful_read + Duration(bump);
+        w2.selection = w2.selection + Duration(bump);
+        w2.dispatch = w2.dispatch + Duration(bump);
+        w2.completion = w2.completion + Duration(bump);
+        w2.idling = w2.idling + Duration(bump);
+        let bumped = OverheadBounds::derive(&w2, n);
+        prop_assert!(bumped.polling >= base.polling);
+        prop_assert!(bumped.read >= base.read);
+        prop_assert!(bumped.idle_residual >= base.idle_residual);
+        prop_assert!(bumped.per_dispatch() >= base.per_dispatch());
+        prop_assert!(bumped.max_release_jitter() >= base.max_release_jitter());
+    }
+}

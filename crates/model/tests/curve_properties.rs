@@ -1,0 +1,107 @@
+//! Property-based tests of the arrival-curve axioms (§4.1, Eq. 2).
+
+use proptest::prelude::*;
+use rossl_model::{check_respects, ArrivalCurve, Curve, Duration, Instant};
+
+fn arb_curve() -> impl Strategy<Value = Curve> {
+    prop_oneof![
+        (1u64..200).prop_map(|t| Curve::sporadic(Duration(t))),
+        (1u64..200).prop_map(|t| Curve::periodic(Duration(t))),
+        (1u64..8, 0u64..5, 1u64..50)
+            .prop_filter("non-degenerate", |(b, n, _)| *b > 0 || *n > 0)
+            .prop_map(|(b, n, d)| Curve::leaky_bucket(b, n, d)),
+        proptest::collection::vec((1u64..300, 1u64..20), 1..5).prop_map(|mut pts| {
+            pts.sort();
+            pts.dedup_by_key(|p| p.0);
+            let mut acc = 0;
+            let points = pts
+                .into_iter()
+                .map(|(d, n)| {
+                    acc += n;
+                    (Duration(d), acc)
+                })
+                .collect();
+            Curve::staircase(points)
+        }),
+    ]
+}
+
+proptest! {
+    /// α(0) = 0 for every curve.
+    #[test]
+    fn zero_window_admits_no_arrivals(curve in arb_curve()) {
+        prop_assert!(curve.validate().is_ok());
+        prop_assert_eq!(curve.max_arrivals(Duration::ZERO), 0);
+    }
+
+    /// α is monotonically non-decreasing.
+    #[test]
+    fn curves_are_monotone(curve in arb_curve(), a in 0u64..1000, b in 0u64..1000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(curve.max_arrivals(Duration(lo)) <= curve.max_arrivals(Duration(hi)));
+    }
+
+    /// Every increase point reported is a genuine increase, and no increase
+    /// is missed below the horizon.
+    #[test]
+    fn increase_points_are_exact(curve in arb_curve()) {
+        let horizon = Duration(400);
+        let pts = curve.increase_points(horizon);
+        for w in pts.windows(2) {
+            prop_assert!(w[0] < w[1], "increase points must be sorted");
+        }
+        let mut iter = pts.iter().copied().peekable();
+        for d in 1..=horizon.ticks() {
+            let increased =
+                curve.max_arrivals(Duration(d)) > curve.max_arrivals(Duration(d - 1));
+            let reported = iter.peek() == Some(&Duration(d));
+            if reported {
+                iter.next();
+            }
+            prop_assert_eq!(increased, reported, "Δ = {}", d);
+        }
+    }
+
+    /// A sequence spaced by at least the sporadic MIT always respects the
+    /// sporadic curve.
+    #[test]
+    fn sporadic_spacing_respects_sporadic_curve(
+        t in 1u64..100,
+        gaps in proptest::collection::vec(0u64..100, 0..20),
+    ) {
+        let curve = Curve::sporadic(Duration(t));
+        let mut now = 0u64;
+        let mut arrivals = vec![Instant(0)];
+        for g in gaps {
+            now += t + g;
+            arrivals.push(Instant(now));
+        }
+        prop_assert!(check_respects(&curve, &arrivals).is_ok());
+    }
+
+    /// `check_respects` agrees with a brute-force window scan.
+    #[test]
+    fn check_respects_matches_brute_force(
+        curve in arb_curve(),
+        raw in proptest::collection::vec(0u64..300, 0..12),
+    ) {
+        let mut arrivals: Vec<Instant> = raw.into_iter().map(Instant).collect();
+        arrivals.sort();
+        let fast = check_respects(&curve, &arrivals).is_ok();
+        // Brute force: every window [s, s+Δ) with s, Δ in range.
+        let mut brute = true;
+        'outer: for s in 0..=300u64 {
+            for d in 1..=301u64 {
+                let count = arrivals
+                    .iter()
+                    .filter(|a| a.ticks() >= s && a.ticks() < s + d)
+                    .count() as u64;
+                if count > curve.max_arrivals(Duration(d)) {
+                    brute = false;
+                    break 'outer;
+                }
+            }
+        }
+        prop_assert_eq!(fast, brute);
+    }
+}

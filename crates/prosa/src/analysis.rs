@@ -1,0 +1,401 @@
+//! The end-to-end response-time analysis of a Rössl configuration.
+//!
+//! [`analyse`] packages the whole §4 pipeline: derive the overhead bounds
+//! and the release-jitter bound from the WCET table (Def. 4.3), shift the
+//! arrival curves into release curves (§4.3), build the blackout-derived
+//! supply bound function (§4.4), solve the NPFP recurrence per task
+//! (§4.2), and offset the result by the jitter (Thm. 4.2: if `R_i` bounds
+//! response times w.r.t. the release sequence and `J_i` bounds the jitter,
+//! then `R_i + J_i` bounds response times w.r.t. the arrival sequence).
+//!
+//! [`analyse_baseline`] runs the identical solver with an ideal supply and
+//! zero jitter — the classical, overhead-oblivious NPFP RTA that the
+//! paper's introduction argues is unsound for interrupt-free schedulers.
+
+use std::fmt;
+
+use rossl_model::{Duration, ModelError, TaskId, TaskSet, WcetTable};
+
+use crate::blackout::BlackoutBound;
+use crate::curves::{release_curves, ReleaseCurve};
+use crate::sbf::{IdealSupply, RosslSupply, SupplyBound};
+use crate::solver::{npfp_response_time, SolverError};
+
+/// Static inputs of the analysis (§2.5's parameters): the task set with
+/// priorities, WCETs and arrival curves; the basic-action WCET table; and
+/// the socket count.
+#[derive(Debug, Clone)]
+pub struct AnalysisParams {
+    tasks: TaskSet,
+    wcet: WcetTable,
+    n_sockets: usize,
+}
+
+impl AnalysisParams {
+    /// Validates and bundles the analysis inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtaError::Model`] if the WCET table violates Thm. 5.1's
+    /// side conditions or `n_sockets` is zero.
+    pub fn new(tasks: TaskSet, wcet: WcetTable, n_sockets: usize) -> Result<AnalysisParams, RtaError> {
+        wcet.validate().map_err(RtaError::Model)?;
+        if n_sockets == 0 {
+            return Err(RtaError::NoSockets);
+        }
+        Ok(AnalysisParams {
+            tasks,
+            wcet,
+            n_sockets,
+        })
+    }
+
+    /// The task set.
+    pub fn tasks(&self) -> &TaskSet {
+        &self.tasks
+    }
+
+    /// The basic-action WCET table.
+    pub fn wcet(&self) -> &WcetTable {
+        &self.wcet
+    }
+
+    /// The socket count.
+    pub fn n_sockets(&self) -> usize {
+        self.n_sockets
+    }
+}
+
+/// Analysis failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtaError {
+    /// Invalid model parameters.
+    Model(ModelError),
+    /// At least one socket is required.
+    NoSockets,
+    /// The solver failed (unschedulable or horizon too small).
+    Solver(SolverError),
+    /// A schedulability test got the wrong number of deadlines.
+    DeadlineCountMismatch {
+        /// Number of tasks.
+        tasks: usize,
+        /// Number of deadlines supplied.
+        deadlines: usize,
+    },
+}
+
+impl fmt::Display for RtaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtaError::Model(e) => write!(f, "invalid parameters: {e}"),
+            RtaError::NoSockets => write!(f, "at least one input socket is required"),
+            RtaError::Solver(e) => write!(f, "analysis failed: {e}"),
+            RtaError::DeadlineCountMismatch { tasks, deadlines } => {
+                write!(f, "{tasks} tasks but {deadlines} deadlines")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RtaError::Model(e) => Some(e),
+            RtaError::Solver(e) => Some(e),
+            RtaError::NoSockets | RtaError::DeadlineCountMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<SolverError> for RtaError {
+    fn from(e: SolverError) -> RtaError {
+        RtaError::Solver(e)
+    }
+}
+
+/// The per-task outcome of the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskBound {
+    /// The task.
+    pub task: TaskId,
+    /// The release-jitter bound `J_i` (Def. 4.3).
+    pub jitter: Duration,
+    /// The aRSA bound `R_i`, w.r.t. the release sequence.
+    pub response_bound: Duration,
+}
+
+impl TaskBound {
+    /// The final bound w.r.t. the arrival sequence: `R_i + J_i`
+    /// (Thm. 4.2 / Thm. 5.1).
+    pub fn total_bound(&self) -> Duration {
+        self.response_bound.saturating_add(self.jitter)
+    }
+}
+
+impl fmt::Display for TaskBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: R = {}, J = {}, R + J = {}",
+            self.task,
+            self.response_bound.ticks(),
+            self.jitter.ticks(),
+            self.total_bound().ticks()
+        )
+    }
+}
+
+/// The outcome of analysing a whole task set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisResult {
+    bounds: Vec<TaskBound>,
+}
+
+impl AnalysisResult {
+    /// The per-task bounds, in task order.
+    pub fn bounds(&self) -> &[TaskBound] {
+        &self.bounds
+    }
+
+    /// The bound for a specific task.
+    pub fn bound_for(&self, task: TaskId) -> Option<&TaskBound> {
+        self.bounds.iter().find(|b| b.task == task)
+    }
+
+    /// Iterates over the per-task bounds.
+    pub fn iter(&self) -> std::slice::Iter<'_, TaskBound> {
+        self.bounds.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a AnalysisResult {
+    type Item = &'a TaskBound;
+    type IntoIter = std::slice::Iter<'a, TaskBound>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.bounds.iter()
+    }
+}
+
+fn analyse_with(
+    tasks: &TaskSet,
+    curves: &[ReleaseCurve],
+    supply: &impl SupplyBound,
+    jitter: Duration,
+    horizon: Duration,
+) -> Result<AnalysisResult, RtaError> {
+    let mut bounds = Vec::with_capacity(tasks.len());
+    for task in tasks {
+        let response_bound = npfp_response_time(tasks, curves, supply, task.id(), horizon)?;
+        bounds.push(TaskBound {
+            task: task.id(),
+            jitter,
+            response_bound,
+        });
+    }
+    Ok(AnalysisResult { bounds })
+}
+
+/// The overhead-aware RefinedProsa analysis (§4): per-task `R_i` and
+/// `J_i`; `R_i + J_i` bounds every job's response time w.r.t. its arrival
+/// (Thm. 5.1). `horizon` caps the busy-window search; pick it comfortably
+/// above the expected hyperperiod.
+///
+/// # Errors
+///
+/// Returns [`RtaError::Solver`] when a recurrence fails to converge within
+/// `horizon` — the task set is unschedulable at these parameters, or the
+/// horizon is too small.
+pub fn analyse(params: &AnalysisParams, horizon: Duration) -> Result<AnalysisResult, RtaError> {
+    let blackout = BlackoutBound::for_config(params.tasks(), params.wcet(), params.n_sockets());
+    let jitter = blackout.overhead_bounds().max_release_jitter();
+    let curves = release_curves(params.tasks(), jitter);
+    let supply = RosslSupply::new(blackout, horizon);
+    analyse_with(params.tasks(), &curves, &supply, jitter, horizon)
+}
+
+/// The tightened per-task analysis: like [`analyse`], but each task is
+/// solved against its own supply bound function in which dispatch-cycle
+/// overheads count only higher-or-equal-priority releases (plus one
+/// blocking carry-in) — see [`BlackoutBound::for_task`] for the soundness
+/// argument. Bounds are pointwise `≤` those of [`analyse`]; soundness is
+/// exercised end-to-end by experiment E14.
+///
+/// # Errors
+///
+/// Same conditions as [`analyse`].
+pub fn analyse_tight(params: &AnalysisParams, horizon: Duration) -> Result<AnalysisResult, RtaError> {
+    let jitter = BlackoutBound::for_config(params.tasks(), params.wcet(), params.n_sockets())
+        .overhead_bounds()
+        .max_release_jitter();
+    let curves = release_curves(params.tasks(), jitter);
+    let mut bounds = Vec::with_capacity(params.tasks().len());
+    for task in params.tasks() {
+        let blackout = BlackoutBound::for_task(
+            params.tasks(),
+            params.wcet(),
+            params.n_sockets(),
+            task.id(),
+        );
+        let supply = RosslSupply::new(blackout, horizon);
+        let response_bound =
+            npfp_response_time(params.tasks(), &curves, &supply, task.id(), horizon)?;
+        bounds.push(TaskBound {
+            task: task.id(),
+            jitter,
+            response_bound,
+        });
+    }
+    Ok(AnalysisResult { bounds })
+}
+
+/// The overhead-oblivious baseline: the same NPFP solver on an ideal
+/// processor with zero jitter. Provided to reproduce the paper's core
+/// motivation — bounds from this analysis are **not** sound for Rössl
+/// (experiment E8 exhibits violating runs).
+///
+/// # Errors
+///
+/// Same conditions as [`analyse`].
+pub fn analyse_baseline(
+    params: &AnalysisParams,
+    horizon: Duration,
+) -> Result<AnalysisResult, RtaError> {
+    let curves = release_curves(params.tasks(), Duration::ZERO);
+    analyse_with(
+        params.tasks(),
+        &curves,
+        &IdealSupply,
+        Duration::ZERO,
+        horizon,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{Curve, Priority, Task};
+
+    fn params(socks: usize) -> AnalysisParams {
+        let tasks = TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "low",
+                Priority(1),
+                Duration(50),
+                Curve::sporadic(Duration(2_000)),
+            ),
+            Task::new(
+                TaskId(1),
+                "high",
+                Priority(9),
+                Duration(20),
+                Curve::sporadic(Duration(1_000)),
+            ),
+        ])
+        .unwrap();
+        AnalysisParams::new(tasks, WcetTable::example(), socks).unwrap()
+    }
+
+    #[test]
+    fn overhead_aware_bounds_dominate_baseline() {
+        let p = params(2);
+        let horizon = Duration(200_000);
+        let aware = analyse(&p, horizon).unwrap();
+        let naive = analyse_baseline(&p, horizon).unwrap();
+        for (a, n) in aware.iter().zip(naive.iter()) {
+            assert!(
+                a.total_bound() > n.total_bound(),
+                "overhead-aware bound must exceed the ideal-processor bound"
+            );
+            assert_eq!(n.jitter, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn bounds_grow_with_socket_count() {
+        // More sockets mean more failed-read overhead per polling round.
+        let horizon = Duration(400_000);
+        let b1 = analyse(&params(1), horizon).unwrap().bounds()[1].total_bound();
+        let b4 = analyse(&params(4), horizon).unwrap().bounds()[1].total_bound();
+        assert!(b4 > b1, "b1 = {b1}, b4 = {b4}");
+    }
+
+    #[test]
+    fn total_bound_offsets_by_jitter() {
+        let r = analyse(&params(1), Duration(200_000)).unwrap();
+        for b in &r {
+            assert_eq!(b.total_bound(), b.response_bound + b.jitter);
+            assert!(b.jitter > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn bound_lookup() {
+        let r = analyse(&params(1), Duration(200_000)).unwrap();
+        assert!(r.bound_for(TaskId(0)).is_some());
+        assert!(r.bound_for(TaskId(7)).is_none());
+        assert_eq!(r.bounds().len(), 2);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let tasks = TaskSet::new(vec![Task::new(
+            TaskId(0),
+            "t",
+            Priority(1),
+            Duration(1),
+            Curve::sporadic(Duration(10)),
+        )])
+        .unwrap();
+        let mut wcet = WcetTable::example();
+        wcet.selection = Duration(0);
+        assert!(matches!(
+            AnalysisParams::new(tasks.clone(), wcet, 1),
+            Err(RtaError::Model(_))
+        ));
+        assert!(matches!(
+            AnalysisParams::new(tasks, WcetTable::example(), 0),
+            Err(RtaError::NoSockets)
+        ));
+    }
+
+    #[test]
+    fn tight_analysis_dominates_standard() {
+        let p = params(2);
+        let horizon = Duration(400_000);
+        let standard = analyse(&p, horizon).unwrap();
+        let tight = analyse_tight(&p, horizon).unwrap();
+        let mut strictly_better = false;
+        for (s, t) in standard.iter().zip(tight.iter()) {
+            assert!(t.total_bound() <= s.total_bound(), "{}: tight must dominate", t.task);
+            if t.total_bound() < s.total_bound() {
+                strictly_better = true;
+            }
+        }
+        assert!(strictly_better, "the hep-only counting must help somewhere");
+        // The lowest-priority task sees no improvement (everything is hep
+        // for it).
+        assert_eq!(
+            standard.bounds()[0].total_bound(),
+            tight.bounds()[0].total_bound()
+        );
+    }
+
+    #[test]
+    fn overload_reports_no_convergence() {
+        // A task whose period cannot even absorb the per-job overheads.
+        let tasks = TaskSet::new(vec![Task::new(
+            TaskId(0),
+            "hot",
+            Priority(1),
+            Duration(50),
+            Curve::sporadic(Duration(30)),
+        )])
+        .unwrap();
+        let p = AnalysisParams::new(tasks, WcetTable::example(), 1).unwrap();
+        assert!(matches!(
+            analyse(&p, Duration(50_000)),
+            Err(RtaError::Solver(SolverError::NoConvergence { .. }))
+        ));
+    }
+}

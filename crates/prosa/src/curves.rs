@@ -1,0 +1,186 @@
+//! Release curves and request-bound functions (§4.3).
+//!
+//! Rössl's implementation may briefly overlook a freshly arrived job
+//! (between the polling and execution phases) or react late to an arrival
+//! while idling. Both discrepancies from the idealized NPFP model are
+//! absorbed by *release jitter* (Fig. 7): each job's arrival is modelled as
+//! delayed by at most `J_i`, and the analysis runs against the *release
+//! sequence*. The arrival curve must be adjusted accordingly — the release
+//! curve `β_i` bounds releases in a window the way `α_i` bounds arrivals:
+//!
+//! ```text
+//! β_i(Δ) ≜ 0                 if Δ = 0
+//! β_i(Δ) ≜ α_i(Δ + J_i)      otherwise
+//! ```
+
+use rossl_model::{ArrivalCurve, Curve, Duration, OverheadBounds, TaskSet, WcetTable};
+
+/// The release-jitter bound `J` of Def. 4.3:
+/// `J ≜ 1 + max(PB + SB + DB, IB)`.
+///
+/// `PB + SB + DB` delays releases past the start of the next execution
+/// phase (restoring priority-policy compliance); `IB` pushes an arrival
+/// past the residual idle period (restoring work conservation).
+///
+/// # Examples
+///
+/// ```
+/// use prosa::max_release_jitter;
+/// use rossl_model::{Duration, WcetTable};
+/// let j = max_release_jitter(&WcetTable::example(), 1);
+/// // PB+SB+DB = 4+3+2 = 9 vs IB = 0+3+5 = 8 → J = 1 + 9.
+/// assert_eq!(j, Duration(10));
+/// ```
+pub fn max_release_jitter(wcet: &WcetTable, n_sockets: usize) -> Duration {
+    OverheadBounds::derive(wcet, n_sockets).max_release_jitter()
+}
+
+/// An arrival curve shifted by release jitter: `β(Δ) = α(Δ + J)` for
+/// `Δ > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use prosa::ReleaseCurve;
+/// use rossl_model::{ArrivalCurve, Curve, Duration};
+///
+/// let alpha = Curve::sporadic(Duration(100));
+/// let beta = ReleaseCurve::new(alpha.clone(), Duration(10));
+/// assert_eq!(beta.max_arrivals(Duration(0)), 0);
+/// // β(91) = α(101) = 2: two jitter-compressed releases.
+/// assert_eq!(beta.max_arrivals(Duration(91)), 2);
+/// assert_eq!(alpha.max_arrivals(Duration(91)), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleaseCurve {
+    base: Curve,
+    jitter: Duration,
+}
+
+impl ReleaseCurve {
+    /// Shifts `base` by `jitter`.
+    pub fn new(base: Curve, jitter: Duration) -> ReleaseCurve {
+        ReleaseCurve { base, jitter }
+    }
+
+    /// The underlying arrival curve `α`.
+    pub fn base(&self) -> &Curve {
+        &self.base
+    }
+
+    /// The jitter bound `J`.
+    pub fn jitter(&self) -> Duration {
+        self.jitter
+    }
+
+    /// The window lengths `Δ ∈ [1, horizon]` at which `β` increases.
+    /// Increases of `α` at points `p ≤ J + 1` collapse into `Δ = 1`.
+    pub fn increase_points(&self, horizon: Duration) -> Vec<Duration> {
+        let mut out = Vec::new();
+        if self.max_arrivals(Duration(1)) > 0 {
+            out.push(Duration(1));
+        }
+        let alpha_horizon = horizon.saturating_add(self.jitter);
+        for p in self.base.increase_points(alpha_horizon) {
+            if p > self.jitter.saturating_add(Duration(1)) {
+                let d = p - self.jitter;
+                if d <= horizon && Some(&d) != out.last() {
+                    out.push(d);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ArrivalCurve for ReleaseCurve {
+    fn max_arrivals(&self, delta: Duration) -> u64 {
+        if delta.is_zero() {
+            0
+        } else {
+            self.base
+                .max_arrivals(delta.saturating_add(self.jitter))
+        }
+    }
+
+    fn long_run_rate(&self) -> Option<f64> {
+        self.base.long_run_rate()
+    }
+}
+
+/// The request-bound function of a task under a release curve:
+/// `rbf_i(Δ) = β_i(Δ) · C_i` — the maximal execution demand released by
+/// the task in any window of length `Δ`.
+pub fn rbf(curve: &impl ArrivalCurve, wcet: Duration, delta: Duration) -> Duration {
+    wcet.saturating_mul(curve.max_arrivals(delta))
+}
+
+/// Builds the release curves of all tasks in `tasks` for the given jitter
+/// bound, indexed by task id.
+pub(crate) fn release_curves(tasks: &TaskSet, jitter: Duration) -> Vec<ReleaseCurve> {
+    tasks
+        .iter()
+        .map(|t| ReleaseCurve::new(t.arrival_curve().clone(), jitter))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_is_alpha_shifted() {
+        let beta = ReleaseCurve::new(Curve::sporadic(Duration(50)), Duration(7));
+        for d in 1..200u64 {
+            assert_eq!(
+                beta.max_arrivals(Duration(d)),
+                Curve::sporadic(Duration(50)).max_arrivals(Duration(d + 7))
+            );
+        }
+        assert_eq!(beta.max_arrivals(Duration::ZERO), 0);
+    }
+
+    #[test]
+    fn beta_zero_jitter_is_alpha() {
+        let alpha = Curve::leaky_bucket(2, 1, 30);
+        let beta = ReleaseCurve::new(alpha.clone(), Duration::ZERO);
+        for d in 0..150u64 {
+            assert_eq!(beta.max_arrivals(Duration(d)), alpha.max_arrivals(Duration(d)));
+        }
+    }
+
+    #[test]
+    fn increase_points_are_exact() {
+        for (alpha, jitter) in [
+            (Curve::sporadic(Duration(10)), Duration(3)),
+            (Curve::sporadic(Duration(10)), Duration(25)),
+            (Curve::leaky_bucket(2, 1, 7), Duration(4)),
+            (Curve::staircase(vec![(Duration(5), 1), (Duration(40), 3)]), Duration(6)),
+        ] {
+            let beta = ReleaseCurve::new(alpha, jitter);
+            let horizon = Duration(120);
+            let pts = beta.increase_points(horizon);
+            let mut expected = Vec::new();
+            for d in 1..=horizon.ticks() {
+                if beta.max_arrivals(Duration(d)) > beta.max_arrivals(Duration(d - 1)) {
+                    expected.push(Duration(d));
+                }
+            }
+            assert_eq!(pts, expected, "jitter {}", beta.jitter());
+        }
+    }
+
+    #[test]
+    fn rbf_scales_with_wcet() {
+        let beta = ReleaseCurve::new(Curve::sporadic(Duration(10)), Duration::ZERO);
+        assert_eq!(rbf(&beta, Duration(5), Duration(25)), Duration(15)); // 3 jobs · 5
+        assert_eq!(rbf(&beta, Duration(5), Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_formula_examples() {
+        // Larger socket counts increase PB and hence the jitter.
+        let w = WcetTable::example();
+        assert!(max_release_jitter(&w, 4) > max_release_jitter(&w, 1));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the analytical layer: bound orderings, supply
+//! bound function axioms, release-curve laws and sensitivity-analysis
+//! consistency over randomly generated task sets.
+
+use proptest::prelude::*;
+
+use prosa::{
+    analyse, analyse_baseline, breakdown_scale, check_schedulability, max_release_jitter,
+    scale_wcets, AnalysisParams, BlackoutBound, ReleaseCurve, RosslSupply, SupplyBound,
+};
+use rossl_model::{
+    ArrivalCurve, Curve, Duration, Priority, Task, TaskId, TaskSet, WcetTable,
+};
+
+fn arb_task_set() -> impl Strategy<Value = TaskSet> {
+    proptest::collection::vec((1u32..12, 3u64..30, 400u64..3_000), 1..5).prop_map(|specs| {
+        TaskSet::new(
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (prio, wcet, period))| {
+                    Task::new(
+                        TaskId(i),
+                        format!("t{i}"),
+                        Priority(prio),
+                        Duration(wcet),
+                        Curve::sporadic(Duration(period)),
+                    )
+                })
+                .collect(),
+        )
+        .expect("valid")
+    })
+}
+
+const HORIZON: Duration = Duration(300_000);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Overhead-aware bounds dominate baseline bounds task-wise whenever
+    /// both analyses converge.
+    #[test]
+    fn aware_dominates_baseline(tasks in arb_task_set(), n_sockets in 1usize..4) {
+        let params = AnalysisParams::new(tasks, WcetTable::example(), n_sockets).unwrap();
+        let (Ok(aware), Ok(naive)) = (analyse(&params, HORIZON), analyse_baseline(&params, HORIZON))
+        else { return Ok(()); };
+        for (a, n) in aware.iter().zip(naive.iter()) {
+            prop_assert!(a.total_bound() > n.total_bound());
+        }
+    }
+
+    /// Every bound is at least the task's own WCET plus one (the job must
+    /// execute, and starts at the earliest one tick after release).
+    #[test]
+    fn bounds_cover_own_execution(tasks in arb_task_set()) {
+        let params = AnalysisParams::new(tasks.clone(), WcetTable::example(), 1).unwrap();
+        if let Ok(result) = analyse(&params, HORIZON) {
+            for (b, t) in result.iter().zip(tasks.iter()) {
+                prop_assert!(b.total_bound() >= t.wcet());
+            }
+        }
+    }
+
+    /// SBF axioms on random configurations: SBF(0) = 0, SBF(Δ) ≤ Δ,
+    /// monotone, and inverse is a true minimum.
+    #[test]
+    fn sbf_axioms(tasks in arb_task_set(), n_sockets in 1usize..4, probe in 1u64..20_000) {
+        let bb = BlackoutBound::for_config(&tasks, &WcetTable::example(), n_sockets);
+        let sbf = RosslSupply::new(bb, Duration(20_000));
+        prop_assert_eq!(sbf.sbf(Duration::ZERO), Duration::ZERO);
+        let v = sbf.sbf(Duration(probe));
+        prop_assert!(v <= Duration(probe));
+        prop_assert!(v >= sbf.sbf(Duration(probe - 1)));
+        if let Some(d) = sbf.inverse(v, Duration(20_000)) {
+            prop_assert!(sbf.sbf(d) >= v);
+            if !d.is_zero() {
+                prop_assert!(sbf.sbf(d - Duration(1)) < v || v.is_zero());
+            }
+        }
+    }
+
+    /// Release-curve law: β(Δ) = α(Δ + J) for Δ > 0, and β's increase
+    /// points are exactly where its value steps.
+    #[test]
+    fn release_curve_law(period in 5u64..500, jitter in 0u64..200, probe in 1u64..2_000) {
+        let alpha = Curve::sporadic(Duration(period));
+        let beta = ReleaseCurve::new(alpha.clone(), Duration(jitter));
+        prop_assert_eq!(
+            beta.max_arrivals(Duration(probe)),
+            alpha.max_arrivals(Duration(probe + jitter))
+        );
+    }
+
+    /// Jitter grows with the socket count and with each WCET entry.
+    #[test]
+    fn jitter_monotonicity(n in 1usize..8, bump in 1u64..10) {
+        let base = WcetTable::example();
+        let j_n = max_release_jitter(&base, n);
+        let j_n1 = max_release_jitter(&base, n + 1);
+        prop_assert!(j_n1 >= j_n);
+        let mut bigger = base;
+        bigger.failed_read += Duration(bump);
+        prop_assert!(max_release_jitter(&bigger, n) >= j_n);
+    }
+
+    /// Schedulability is antitone in the WCET scale: if a scaled-up set is
+    /// schedulable, the original is too.
+    #[test]
+    fn schedulability_antitone_in_scale(tasks in arb_task_set(), scale in 1_001u64..3_000) {
+        let deadlines: Vec<Duration> = tasks
+            .iter()
+            .map(|t| match t.arrival_curve() {
+                Curve::Sporadic { min_inter_arrival } => *min_inter_arrival,
+                _ => Duration(10_000),
+            })
+            .collect();
+        let scaled = scale_wcets(&tasks, scale, 1000);
+        let p_big = AnalysisParams::new(scaled, WcetTable::example(), 1).unwrap();
+        let p_base = AnalysisParams::new(tasks, WcetTable::example(), 1).unwrap();
+        let big_ok = check_schedulability(&p_big, &deadlines, HORIZON)
+            .unwrap()
+            .all_schedulable();
+        let base_ok = check_schedulability(&p_base, &deadlines, HORIZON)
+            .unwrap()
+            .all_schedulable();
+        prop_assert!(!big_ok || base_ok, "scaled-up schedulable but base not");
+    }
+
+    /// breakdown_scale is consistent with check_schedulability at the
+    /// returned scale.
+    #[test]
+    fn breakdown_is_feasible_at_its_result(tasks in arb_task_set()) {
+        let deadlines: Vec<Duration> = tasks
+            .iter()
+            .map(|t| match t.arrival_curve() {
+                Curve::Sporadic { min_inter_arrival } => {
+                    Duration(min_inter_arrival.ticks() * 2)
+                }
+                _ => Duration(10_000),
+            })
+            .collect();
+        let params = AnalysisParams::new(tasks.clone(), WcetTable::example(), 1).unwrap();
+        if let Some(scale) = breakdown_scale(&params, &deadlines, HORIZON, 20_000).unwrap() {
+            let at = AnalysisParams::new(
+                scale_wcets(&tasks, scale, 1000),
+                WcetTable::example(),
+                1,
+            )
+            .unwrap();
+            prop_assert!(check_schedulability(&at, &deadlines, HORIZON)
+                .unwrap()
+                .all_schedulable());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Message-to-task resolution (Def. 3.3's `msg_to_task` and
+//! `msg_identify_type`).
+//!
+//! A Rössl client "implements a C function `msg_identify_type`, which
+//! computes the task type of a message according to `msg_to_task`". In the
+//! reproduction this is the [`MessageCodec`] trait; the scheduler calls
+//! [`MessageCodec::task_of`] on every received message, and workload
+//! generators call [`MessageCodec::encode`] to build messages the client
+//! will understand.
+
+use rossl_model::{MsgData, TaskId};
+
+/// The client's mapping between message payloads and task types.
+pub trait MessageCodec {
+    /// The task a message belongs to, or `None` for an unrecognized
+    /// payload.
+    fn task_of(&self, data: &[u8]) -> Option<TaskId>;
+
+    /// Builds a message of the given task carrying `payload`.
+    /// `task_of(encode(t, p)) == Some(t)` must hold for all valid `t`.
+    fn encode(&self, task: TaskId, payload: &[u8]) -> MsgData;
+}
+
+/// The default codec: the first byte of the message is the task id, the
+/// rest is opaque payload.
+///
+/// # Examples
+///
+/// ```
+/// use rossl::{FirstByteCodec, MessageCodec};
+/// use rossl_model::TaskId;
+///
+/// let codec = FirstByteCodec;
+/// let msg = codec.encode(TaskId(3), b"hello");
+/// assert_eq!(codec.task_of(&msg), Some(TaskId(3)));
+/// assert_eq!(codec.task_of(&[]), None);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FirstByteCodec;
+
+impl MessageCodec for FirstByteCodec {
+    fn task_of(&self, data: &[u8]) -> Option<TaskId> {
+        data.first().map(|&b| TaskId(b as usize))
+    }
+
+    fn encode(&self, task: TaskId, payload: &[u8]) -> MsgData {
+        assert!(
+            task.0 <= u8::MAX as usize,
+            "FirstByteCodec supports at most 256 tasks"
+        );
+        let mut data = Vec::with_capacity(payload.len() + 1);
+        data.push(task.0 as u8);
+        data.extend_from_slice(payload);
+        data
+    }
+}
+
+impl<F> MessageCodec for F
+where
+    F: Fn(&[u8]) -> Option<TaskId>,
+{
+    fn task_of(&self, data: &[u8]) -> Option<TaskId> {
+        self(data)
+    }
+
+    fn encode(&self, _task: TaskId, _payload: &[u8]) -> MsgData {
+        panic!("closure codecs are decode-only; use a struct codec to encode")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_byte_round_trip() {
+        let c = FirstByteCodec;
+        for t in [0usize, 1, 255] {
+            let m = c.encode(TaskId(t), &[1, 2, 3]);
+            assert_eq!(c.task_of(&m), Some(TaskId(t)));
+            assert_eq!(&m[1..], &[1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn empty_message_is_unrecognized() {
+        assert_eq!(FirstByteCodec.task_of(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256 tasks")]
+    fn oversized_task_id_panics() {
+        let _ = FirstByteCodec.encode(TaskId(300), &[]);
+    }
+
+    #[test]
+    fn closures_are_codecs() {
+        let codec = |data: &[u8]| {
+            if data == b"stop" {
+                Some(TaskId(0))
+            } else {
+                None
+            }
+        };
+        assert_eq!(codec.task_of(b"stop"), Some(TaskId(0)));
+        assert_eq!(codec.task_of(b"go"), None);
+    }
+}

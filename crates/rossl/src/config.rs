@@ -1,0 +1,125 @@
+//! Client configuration (Def. 3.3).
+//!
+//! A client of Rössl provides: the task set `τ` with priorities
+//! (`task_prio`) and callbacks, the input sockets `input_socks`, and the
+//! message-to-task mapping (see [`MessageCodec`](crate::MessageCodec)).
+//! [`ClientConfig`] bundles the static parts; callback *bodies* are
+//! supplied by the driver when it fulfils
+//! [`Request::Execute`](crate::Request) (in the simulator, a callback's
+//! effect is consuming virtual time bounded by its WCET).
+
+use std::fmt;
+
+use rossl_model::{ModelError, TaskSet};
+
+/// Static client configuration: the task set and the number of input
+/// sockets.
+///
+/// # Examples
+///
+/// ```
+/// use rossl::ClientConfig;
+/// use rossl_model::*;
+///
+/// let tasks = TaskSet::new(vec![Task::new(
+///     TaskId(0), "t", Priority(1), Duration(10), Curve::sporadic(Duration(50)),
+/// )])?;
+/// let config = ClientConfig::new(tasks, 2)?;
+/// assert_eq!(config.n_sockets(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    tasks: TaskSet,
+    n_sockets: usize,
+}
+
+/// Error constructing a [`ClientConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The scheduler needs at least one input socket.
+    NoSockets,
+    /// The task set failed validation.
+    Model(ModelError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoSockets => write!(f, "client must register at least one input socket"),
+            ConfigError::Model(e) => write!(f, "invalid task set: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Model(e) => Some(e),
+            ConfigError::NoSockets => None,
+        }
+    }
+}
+
+impl From<ModelError> for ConfigError {
+    fn from(e: ModelError) -> ConfigError {
+        ConfigError::Model(e)
+    }
+}
+
+impl ClientConfig {
+    /// Creates a configuration for `tasks` reading from `n_sockets`
+    /// sockets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NoSockets`] if `n_sockets` is zero.
+    pub fn new(tasks: TaskSet, n_sockets: usize) -> Result<ClientConfig, ConfigError> {
+        if n_sockets == 0 {
+            return Err(ConfigError::NoSockets);
+        }
+        Ok(ClientConfig { tasks, n_sockets })
+    }
+
+    /// The registered task set.
+    pub fn tasks(&self) -> &TaskSet {
+        &self.tasks
+    }
+
+    /// The number of input sockets.
+    pub fn n_sockets(&self) -> usize {
+        self.n_sockets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{Curve, Duration, Priority, Task, TaskId};
+
+    fn tasks() -> TaskSet {
+        TaskSet::new(vec![Task::new(
+            TaskId(0),
+            "t",
+            Priority(1),
+            Duration(1),
+            Curve::sporadic(Duration(10)),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_sockets_rejected() {
+        assert_eq!(
+            ClientConfig::new(tasks(), 0).unwrap_err(),
+            ConfigError::NoSockets
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let c = ClientConfig::new(tasks(), 3).unwrap();
+        assert_eq!(c.n_sockets(), 3);
+        assert_eq!(c.tasks().len(), 1);
+    }
+}

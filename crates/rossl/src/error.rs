@@ -1,0 +1,70 @@
+//! Errors raised while driving the scheduler.
+
+use std::fmt;
+
+use rossl_model::MsgData;
+
+/// Misuse of the [`Scheduler`](crate::Scheduler) driving protocol, or a
+/// message the client cannot classify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriveError {
+    /// `advance` was called without a response while a request was
+    /// outstanding.
+    MissingResponse {
+        /// Description of the outstanding request.
+        outstanding: &'static str,
+    },
+    /// `advance` received a response although no request was outstanding,
+    /// or a response of the wrong kind.
+    UnexpectedResponse {
+        /// Description of what was expected.
+        expected: &'static str,
+    },
+    /// A received message does not map to any task (Def. 3.3's
+    /// `msg_to_task` is undefined on it). The paper assumes all traffic on
+    /// the input sockets is well-formed; the reproduction fails loudly
+    /// instead of silently dropping, so workload bugs surface in tests.
+    UnknownMessageType {
+        /// The unclassifiable payload.
+        data: MsgData,
+    },
+    /// A message mapped to a task id outside the registered task set.
+    UnknownTask {
+        /// The unregistered task index.
+        task: usize,
+    },
+}
+
+impl fmt::Display for DriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriveError::MissingResponse { outstanding } => {
+                write!(f, "advance called without the pending response to {outstanding}")
+            }
+            DriveError::UnexpectedResponse { expected } => {
+                write!(f, "unexpected response; expected {expected}")
+            }
+            DriveError::UnknownMessageType { data } => {
+                write!(f, "message {data:?} does not map to any task")
+            }
+            DriveError::UnknownTask { task } => {
+                write!(f, "message maps to unregistered task index {task}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = DriveError::UnknownMessageType { data: vec![1, 2] };
+        assert!(e.to_string().contains("[1, 2]"));
+        let e = DriveError::UnexpectedResponse { expected: "none" };
+        assert!(e.to_string().contains("expected none"));
+    }
+}

@@ -1,0 +1,154 @@
+//! The pending-job queue behind `npfp_dequeue` (§2.1).
+//!
+//! Rössl's selection phase picks, among all pending (read but not yet
+//! dispatched) jobs, one with maximal priority. Equal priorities are served
+//! in read order (FIFO by [`JobId`], which increases with read order —
+//! Fig. 6's `σ_trace.idx`); this matches the behaviour of callback queues
+//! in ROS2-like executors and makes selection deterministic, which both
+//! Def. 3.2 and the model checker rely on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use rossl_model::{Job, JobId, Priority};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    priority: Priority,
+    order: Reverse<JobId>,
+    job: Job,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then smaller JobId (earlier read).
+        self.priority
+            .cmp(&other.priority)
+            .then(self.order.cmp(&other.order))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A max-priority queue of pending jobs with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use rossl::NpfpQueue;
+/// use rossl_model::{Job, JobId, Priority, TaskId};
+///
+/// let mut q = NpfpQueue::new();
+/// q.enqueue(Job::new(JobId(0), TaskId(0), vec![]), Priority(1));
+/// q.enqueue(Job::new(JobId(1), TaskId(1), vec![]), Priority(9));
+/// assert_eq!(q.dequeue().unwrap().id(), JobId(1)); // higher priority first
+/// assert_eq!(q.dequeue().unwrap().id(), JobId(0));
+/// assert!(q.dequeue().is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NpfpQueue {
+    heap: BinaryHeap<Entry>,
+}
+
+impl NpfpQueue {
+    /// Creates an empty queue.
+    pub fn new() -> NpfpQueue {
+        NpfpQueue::default()
+    }
+
+    /// Adds a pending job with its task's priority.
+    pub fn enqueue(&mut self, job: Job, priority: Priority) {
+        self.heap.push(Entry {
+            priority,
+            order: Reverse(job.id()),
+            job,
+        });
+    }
+
+    /// Removes and returns a highest-priority pending job (`npfp_dequeue`),
+    /// or `None` when nothing pends.
+    pub fn dequeue(&mut self) -> Option<Job> {
+        self.heap.pop().map(|e| e.job)
+    }
+
+    /// The job [`NpfpQueue::dequeue`] would return, without removing it.
+    pub fn peek(&self) -> Option<&Job> {
+        self.heap.peek().map(|e| &e.job)
+    }
+
+    /// Number of pending jobs.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no job is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Iterates over the pending jobs in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = &Job> {
+        self.heap.iter().map(|e| &e.job)
+    }
+}
+
+impl fmt::Display for NpfpQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} pending job(s)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::TaskId;
+
+    fn job(id: u64) -> Job {
+        Job::new(JobId(id), TaskId(0), vec![])
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut q = NpfpQueue::new();
+        q.enqueue(job(0), Priority(3));
+        q.enqueue(job(1), Priority(7));
+        q.enqueue(job(2), Priority(5));
+        assert_eq!(q.dequeue().unwrap().id(), JobId(1));
+        assert_eq!(q.dequeue().unwrap().id(), JobId(2));
+        assert_eq!(q.dequeue().unwrap().id(), JobId(0));
+    }
+
+    #[test]
+    fn fifo_among_equal_priorities() {
+        let mut q = NpfpQueue::new();
+        q.enqueue(job(5), Priority(4));
+        q.enqueue(job(2), Priority(4));
+        q.enqueue(job(9), Priority(4));
+        let order: Vec<JobId> = std::iter::from_fn(|| q.dequeue()).map(|j| j.id()).collect();
+        assert_eq!(order, vec![JobId(2), JobId(5), JobId(9)]);
+    }
+
+    #[test]
+    fn peek_matches_dequeue() {
+        let mut q = NpfpQueue::new();
+        q.enqueue(job(0), Priority(1));
+        q.enqueue(job(1), Priority(2));
+        let peeked = q.peek().unwrap().id();
+        assert_eq!(q.dequeue().unwrap().id(), peeked);
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let mut q = NpfpQueue::new();
+        assert!(q.is_empty());
+        q.enqueue(job(0), Priority(1));
+        q.enqueue(job(1), Priority(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.iter().count(), 2);
+    }
+}

@@ -1,0 +1,526 @@
+//! The Rössl scheduling loop (Fig. 2) as a stepped state machine.
+//!
+//! The C original:
+//!
+//! ```c
+//! int fds_run(struct fd_scheduler *fds) {
+//!   while (1) {
+//!     check_sockets_until_empty(fds);            // polling phase
+//!     selection_start();
+//!     struct job *j = npfp_dequeue(&fds->sched); // selection phase
+//!     if (!j) {
+//!       idling_start();                          // idling
+//!     } else {
+//!       dispatch_start(j);
+//!       npfp_dispatch(&fds->sched, j);           // execution phase
+//!       free(j);
+//!     }}}
+//! ```
+//!
+//! Each call to [`Scheduler::advance`] performs exactly one instrumented
+//! step: it emits one marker function (returned in [`Step::marker`]) and,
+//! when the step needs the environment, returns a [`Request`]. The driver
+//! fulfils the request and passes the [`Response`] to the next `advance`
+//! call. This factoring keeps all nondeterminism (read outcomes) and all
+//! timing (when each marker "happens") outside the scheduler — exactly the
+//! separation the paper engineers with Caesium's instrumented semantics.
+
+use std::fmt;
+
+use rossl_model::{Job, JobId, MsgData, SocketId, TaskId};
+use rossl_trace::Marker;
+
+use crate::codec::MessageCodec;
+use crate::config::ClientConfig;
+use crate::error::DriveError;
+use crate::queue::NpfpQueue;
+
+/// What the scheduler needs from its environment to proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Perform a non-blocking `read` on the given socket; answer with
+    /// [`Response::ReadResult`].
+    Read(SocketId),
+    /// Run the callback of the given job to completion; answer with
+    /// [`Response::Executed`].
+    Execute(Job),
+}
+
+/// The environment's answer to a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Result of a read: the received message's bytes, or `None` if no
+    /// message was available.
+    ReadResult(Option<MsgData>),
+    /// The callback ran to completion.
+    Executed,
+}
+
+/// The result of one [`Scheduler::advance`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The marker function invoked by this step (§2.2); the driver
+    /// timestamps it to build the timed trace of §2.3.
+    pub marker: Marker,
+    /// The environment interaction this step initiated, if any.
+    pub request: Option<Request>,
+}
+
+/// Where in the scheduling loop the machine currently is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LoopState {
+    /// About to issue `M_ReadS` for socket `next`.
+    StartRead { next: usize, round_success: bool },
+    /// A read on socket `next` is outstanding.
+    AwaitRead { next: usize, round_success: bool },
+    /// About to enter the selection phase.
+    StartSelection,
+    /// `npfp_dequeue` runs next: dispatch a job or idle.
+    Decide,
+    /// `M_Dispatch` was emitted; `M_Execution` comes next.
+    StartExecution(Job),
+    /// The callback of the job is running in the environment.
+    AwaitExecution(Job),
+}
+
+/// The Rössl scheduler.
+///
+/// See the [crate docs](crate) for a complete driving example.
+#[derive(Debug, Clone)]
+pub struct Scheduler<C> {
+    config: ClientConfig,
+    codec: C,
+    queue: NpfpQueue,
+    /// Fig. 6's `σ_trace.idx`: incremented on every successful read so that
+    /// every job gets a unique identifier.
+    next_job_id: u64,
+    state: LoopState,
+    jobs_completed: u64,
+}
+
+impl<C: MessageCodec> Scheduler<C> {
+    /// Creates a scheduler for the given client configuration.
+    ///
+    /// The machine starts at the top of the polling phase — Def. 3.1 starts
+    /// protocol runs in the idling state, whose successor is the first
+    /// `M_ReadS`.
+    pub fn new(config: ClientConfig, codec: C) -> Scheduler<C> {
+        Scheduler {
+            config,
+            codec,
+            queue: NpfpQueue::new(),
+            next_job_id: 0,
+            state: LoopState::StartRead {
+                next: 0,
+                round_success: false,
+            },
+            jobs_completed: 0,
+        }
+    }
+
+    /// The client configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Number of jobs currently pending (read, not yet dispatched).
+    pub fn pending_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of jobs whose callbacks have completed.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    /// `true` when a [`Request`] is outstanding and the next
+    /// [`Scheduler::advance`] call must carry a [`Response`].
+    pub fn awaiting_response(&self) -> bool {
+        matches!(
+            self.state,
+            LoopState::AwaitRead { .. } | LoopState::AwaitExecution(_)
+        )
+    }
+
+    /// Performs one step of the scheduling loop: emits exactly one marker
+    /// and possibly a request for the environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriveError`] on protocol misuse (missing/unexpected
+    /// response) or when a received message cannot be attributed to a
+    /// registered task.
+    pub fn advance(&mut self, response: Option<Response>) -> Result<Step, DriveError> {
+        match std::mem::replace(
+            &mut self.state,
+            LoopState::StartRead {
+                next: 0,
+                round_success: false,
+            },
+        ) {
+            LoopState::StartRead {
+                next,
+                round_success,
+            } => {
+                self.expect_no_response(&response, "M_ReadS")?;
+                self.state = LoopState::AwaitRead {
+                    next,
+                    round_success,
+                };
+                Ok(Step {
+                    marker: Marker::ReadStart,
+                    request: Some(Request::Read(SocketId(next))),
+                })
+            }
+            LoopState::AwaitRead {
+                next,
+                round_success,
+            } => {
+                let data = match response {
+                    Some(Response::ReadResult(d)) => d,
+                    Some(_) => {
+                        return Err(DriveError::UnexpectedResponse {
+                            expected: "ReadResult",
+                        })
+                    }
+                    None => {
+                        return Err(DriveError::MissingResponse {
+                            outstanding: "Read",
+                        })
+                    }
+                };
+                // Instrumented read semantics (Fig. 6): on success, mint a
+                // fresh job id and resolve the task.
+                let job = match data {
+                    Some(data) => {
+                        let task = self.identify(&data)?;
+                        let job = Job::new(JobId(self.next_job_id), task, data);
+                        self.next_job_id += 1;
+                        let priority = self
+                            .config
+                            .tasks()
+                            .task(task)
+                            .expect("identify validated the task")
+                            .priority();
+                        self.queue.enqueue(job.clone(), priority);
+                        Some(job)
+                    }
+                    None => None,
+                };
+                let success = job.is_some();
+                let marker = Marker::ReadEnd {
+                    sock: SocketId(next),
+                    job,
+                };
+                let round_success = round_success || success;
+                self.state = if next + 1 < self.config.n_sockets() {
+                    LoopState::StartRead {
+                        next: next + 1,
+                        round_success,
+                    }
+                } else if round_success {
+                    // Some socket had data this round: poll another round
+                    // (`check_sockets_until_empty`).
+                    LoopState::StartRead {
+                        next: 0,
+                        round_success: false,
+                    }
+                } else {
+                    LoopState::StartSelection
+                };
+                Ok(Step {
+                    marker,
+                    request: None,
+                })
+            }
+            LoopState::StartSelection => {
+                self.expect_no_response(&response, "M_Selection")?;
+                self.state = LoopState::Decide;
+                Ok(Step {
+                    marker: Marker::Selection,
+                    request: None,
+                })
+            }
+            LoopState::Decide => {
+                self.expect_no_response(&response, "M_Dispatch/M_Idling")?;
+                match self.queue.dequeue() {
+                    Some(job) => {
+                        self.state = LoopState::StartExecution(job.clone());
+                        Ok(Step {
+                            marker: Marker::Dispatch(job),
+                            request: None,
+                        })
+                    }
+                    None => {
+                        self.state = LoopState::StartRead {
+                            next: 0,
+                            round_success: false,
+                        };
+                        Ok(Step {
+                            marker: Marker::Idling,
+                            request: None,
+                        })
+                    }
+                }
+            }
+            LoopState::StartExecution(job) => {
+                self.expect_no_response(&response, "M_Execution")?;
+                self.state = LoopState::AwaitExecution(job.clone());
+                Ok(Step {
+                    marker: Marker::Execution(job.clone()),
+                    request: Some(Request::Execute(job)),
+                })
+            }
+            LoopState::AwaitExecution(job) => {
+                match response {
+                    Some(Response::Executed) => {}
+                    Some(_) => {
+                        return Err(DriveError::UnexpectedResponse {
+                            expected: "Executed",
+                        })
+                    }
+                    None => {
+                        return Err(DriveError::MissingResponse {
+                            outstanding: "Execute",
+                        })
+                    }
+                }
+                self.jobs_completed += 1;
+                self.state = LoopState::StartRead {
+                    next: 0,
+                    round_success: false,
+                };
+                Ok(Step {
+                    marker: Marker::Completion(job),
+                    request: None,
+                })
+            }
+        }
+    }
+
+    fn identify(&self, data: &[u8]) -> Result<TaskId, DriveError> {
+        let task = self
+            .codec
+            .task_of(data)
+            .ok_or_else(|| DriveError::UnknownMessageType {
+                data: data.to_vec(),
+            })?;
+        if self.config.tasks().task(task).is_none() {
+            return Err(DriveError::UnknownTask { task: task.0 });
+        }
+        Ok(task)
+    }
+
+    fn expect_no_response(
+        &mut self,
+        response: &Option<Response>,
+        at: &'static str,
+    ) -> Result<(), DriveError> {
+        if response.is_some() {
+            return Err(DriveError::UnexpectedResponse { expected: at });
+        }
+        Ok(())
+    }
+}
+
+impl<C> fmt::Display for Scheduler<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Rössl: {} pending, {} completed",
+            self.queue.len(),
+            self.jobs_completed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::FirstByteCodec;
+    use rossl_model::{Curve, Duration, Priority, Task, TaskSet};
+    use rossl_trace::{check_functional, ProtocolAutomaton};
+
+    fn config(n_sockets: usize) -> ClientConfig {
+        let tasks = TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "low",
+                Priority(1),
+                Duration(10),
+                Curve::sporadic(Duration(100)),
+            ),
+            Task::new(
+                TaskId(1),
+                "high",
+                Priority(9),
+                Duration(10),
+                Curve::sporadic(Duration(100)),
+            ),
+        ])
+        .unwrap();
+        ClientConfig::new(tasks, n_sockets).unwrap()
+    }
+
+    /// Drives the scheduler with scripted read outcomes until the script is
+    /// exhausted, executing every callback immediately. Returns the trace.
+    fn drive(n_sockets: usize, mut reads: Vec<Option<MsgData>>) -> Vec<Marker> {
+        reads.reverse(); // pop from the back
+        let mut sched = Scheduler::new(config(n_sockets), FirstByteCodec);
+        let mut trace = Vec::new();
+        let mut response = None;
+        loop {
+            let step = sched.advance(response.take()).expect("drive ok");
+            trace.push(step.marker);
+            match step.request {
+                Some(Request::Read(_)) => match reads.pop() {
+                    Some(r) => response = Some(Response::ReadResult(r)),
+                    None => break, // script exhausted; leave the read dangling
+                },
+                Some(Request::Execute(_)) => response = Some(Response::Executed),
+                None => {}
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn reproduces_fig3_structure() {
+        // One socket; j1 (low) then j2 (high) arrive; then empty.
+        let trace = drive(
+            1,
+            vec![
+                Some(vec![0]), // j0: task 0 (low)
+                Some(vec![1]), // j1: task 1 (high)
+                None,          // polling ends
+                None,          // after exec j1: poll fails
+                None,          // after exec j0: poll fails
+            ],
+        );
+        // High-priority job dispatched first.
+        let dispatches: Vec<JobId> = trace
+            .iter()
+            .filter_map(|m| match m {
+                Marker::Dispatch(j) => Some(j.id()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dispatches, vec![JobId(1), JobId(0)]);
+    }
+
+    #[test]
+    fn produced_traces_satisfy_protocol_and_functional_correctness() {
+        for n in 1..=3usize {
+            let script: Vec<Option<MsgData>> = (0..40)
+                .map(|i| match i % 5 {
+                    0 => Some(vec![(i % 2) as u8]),
+                    _ => None,
+                })
+                .collect();
+            let trace = drive(n, script);
+            let run = ProtocolAutomaton::new(n).accept(&trace).expect("protocol");
+            assert!(!run.actions().is_empty());
+            check_functional(&trace, config(n).tasks()).expect("functional");
+        }
+    }
+
+    #[test]
+    fn idles_when_no_jobs() {
+        let trace = drive(1, vec![None, None]);
+        assert!(trace.contains(&Marker::Idling));
+    }
+
+    #[test]
+    fn job_ids_are_unique_and_sequential() {
+        let trace = drive(1, vec![Some(vec![0]), Some(vec![0]), Some(vec![0]), None]);
+        let ids: Vec<JobId> = trace
+            .iter()
+            .filter_map(|m| match m {
+                Marker::ReadEnd { job: Some(j), .. } => Some(j.id()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![JobId(0), JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn unknown_message_type_errors() {
+        let mut sched = Scheduler::new(config(1), FirstByteCodec);
+        let _ = sched.advance(None).unwrap();
+        let err = sched
+            .advance(Some(Response::ReadResult(Some(vec![])))) // empty: no task byte
+            .unwrap_err();
+        assert!(matches!(err, DriveError::UnknownMessageType { .. }));
+    }
+
+    #[test]
+    fn unregistered_task_errors() {
+        let mut sched = Scheduler::new(config(1), FirstByteCodec);
+        let _ = sched.advance(None).unwrap();
+        let err = sched
+            .advance(Some(Response::ReadResult(Some(vec![42]))))
+            .unwrap_err();
+        assert_eq!(err, DriveError::UnknownTask { task: 42 });
+    }
+
+    #[test]
+    fn missing_response_errors() {
+        let mut sched = Scheduler::new(config(1), FirstByteCodec);
+        let _ = sched.advance(None).unwrap(); // M_ReadS, read outstanding
+        assert!(sched.awaiting_response());
+        let err = sched.advance(None).unwrap_err();
+        assert!(matches!(err, DriveError::MissingResponse { .. }));
+    }
+
+    #[test]
+    fn unexpected_response_errors() {
+        let mut sched = Scheduler::new(config(1), FirstByteCodec);
+        let err = sched.advance(Some(Response::Executed)).unwrap_err();
+        assert!(matches!(err, DriveError::UnexpectedResponse { .. }));
+    }
+
+    #[test]
+    fn round_robin_covers_all_sockets() {
+        let trace = drive(3, vec![None, None, None]);
+        let socks: Vec<SocketId> = trace
+            .iter()
+            .filter_map(|m| match m {
+                Marker::ReadEnd { sock, .. } => Some(*sock),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(socks, vec![SocketId(0), SocketId(1), SocketId(2)]);
+    }
+
+    #[test]
+    fn success_triggers_another_polling_round() {
+        // Socket 0 succeeds in round 1 -> round 2 must happen before
+        // selection.
+        let trace = drive(2, vec![Some(vec![0]), None, None, None]);
+        let reads = trace
+            .iter()
+            .filter(|m| matches!(m, Marker::ReadEnd { .. }))
+            .count();
+        assert_eq!(reads, 4); // 2 rounds × 2 sockets
+        assert!(trace.contains(&Marker::Selection));
+    }
+
+    #[test]
+    fn completion_counter_advances() {
+        let mut sched = Scheduler::new(config(1), FirstByteCodec);
+        let mut response = None;
+        let mut reads = vec![None, Some(vec![1])]; // pop order: job then fail
+        for _ in 0..8 {
+            let step = sched.advance(response.take()).unwrap();
+            match step.request {
+                Some(Request::Read(_)) => {
+                    response = Some(Response::ReadResult(reads.pop().flatten()))
+                }
+                Some(Request::Execute(_)) => response = Some(Response::Executed),
+                None => {}
+            }
+        }
+        assert_eq!(sched.jobs_completed(), 1);
+        assert_eq!(sched.pending_count(), 0);
+    }
+}

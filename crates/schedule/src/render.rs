@@ -1,0 +1,162 @@
+//! ASCII rendering of schedules — a poor man's Fig. 3.
+//!
+//! [`render_timeline`] draws a schedule as a single-line Gantt chart, one
+//! glyph per `scale` ticks:
+//!
+//! ```text
+//! r = ReadOvh     p = PollingOvh   s = SelectionOvh
+//! d = DispatchOvh E = Executes     c = CompletionOvh   . = Idle
+//! ```
+//!
+//! Useful in examples and experiment reports; exactness is tested (each
+//! glyph is the state at the instant it samples).
+
+use std::fmt::Write as _;
+
+use rossl_model::Duration;
+
+use crate::schedule::Schedule;
+use crate::state::{ProcessorState, StateKind};
+
+/// The glyph for a processor state.
+pub fn glyph(state: Option<ProcessorState>) -> char {
+    match state.map(|s| s.kind()) {
+        None => ' ',
+        Some(StateKind::Idle) => '.',
+        Some(StateKind::Executes) => 'E',
+        Some(StateKind::ReadOvh) => 'r',
+        Some(StateKind::PollingOvh) => 'p',
+        Some(StateKind::SelectionOvh) => 's',
+        Some(StateKind::DispatchOvh) => 'd',
+        Some(StateKind::CompletionOvh) => 'c',
+    }
+}
+
+/// Renders the schedule as a one-line timeline, sampling the state every
+/// `scale` ticks, with a tick ruler every ten glyphs.
+///
+/// # Panics
+///
+/// Panics if `scale` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::{Duration, Instant};
+/// use rossl_schedule::{render_timeline, ProcessorState, Schedule, Segment};
+///
+/// let s = Schedule::from_segments(vec![
+///     Segment { start: Instant(0), end: Instant(3), state: ProcessorState::Idle },
+/// ]).map_err(|e| e.to_string())?;
+/// let art = render_timeline(&s, Duration(1));
+/// assert!(art.contains("..."));
+/// # Ok::<(), String>(())
+/// ```
+pub fn render_timeline(schedule: &Schedule, scale: Duration) -> String {
+    assert!(!scale.is_zero(), "scale must be positive");
+    let mut out = String::new();
+    let (Some(start), Some(end)) = (schedule.start(), schedule.end()) else {
+        return "(empty schedule)".to_string();
+    };
+    let mut line = String::new();
+    let mut ruler = String::new();
+    let mut t = start;
+    let mut col = 0u64;
+    while t < end {
+        line.push(glyph(schedule.state_at(t)));
+        if col % 10 == 0 {
+            let label = format!("|{}", t.ticks());
+            ruler.push_str(&label);
+            // Pad the ruler so the next label lands under the next column.
+            for _ in label.len()..10 {
+                ruler.push(' ');
+            }
+        }
+        t = t.saturating_add(scale);
+        col += 1;
+    }
+    let _ = writeln!(out, "{line}");
+    let _ = writeln!(out, "{ruler}");
+    let _ = writeln!(
+        out,
+        "legend: r=read p=polling s=selection d=dispatch E=execute c=completion .=idle \
+         (1 glyph = {} tick(s))",
+        scale.ticks()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Segment;
+    use crate::state::JobRef;
+    use rossl_model::{Instant, JobId, TaskId};
+
+    fn jr() -> JobRef {
+        JobRef {
+            id: JobId(0),
+            task: TaskId(0),
+        }
+    }
+
+    fn demo() -> Schedule {
+        Schedule::from_segments(vec![
+            Segment {
+                start: Instant(0),
+                end: Instant(2),
+                state: ProcessorState::ReadOvh(jr()),
+            },
+            Segment {
+                start: Instant(2),
+                end: Instant(3),
+                state: ProcessorState::SelectionOvh(jr()),
+            },
+            Segment {
+                start: Instant(3),
+                end: Instant(7),
+                state: ProcessorState::Executes(jr()),
+            },
+            Segment {
+                start: Instant(7),
+                end: Instant(9),
+                state: ProcessorState::Idle,
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn glyphs_sample_exactly() {
+        let art = render_timeline(&demo(), Duration(1));
+        let line = art.lines().next().unwrap();
+        assert_eq!(line, "rrsEEEE..");
+    }
+
+    #[test]
+    fn scaling_subsamples() {
+        let art = render_timeline(&demo(), Duration(3));
+        let line = art.lines().next().unwrap();
+        // Samples at t = 0, 3, 6: ReadOvh, Executes, Executes.
+        assert_eq!(line, "rEE");
+    }
+
+    #[test]
+    fn empty_schedule_renders_placeholder() {
+        let art = render_timeline(&Schedule::default(), Duration(1));
+        assert!(art.contains("empty"));
+    }
+
+    #[test]
+    fn ruler_labels_start_at_zero() {
+        let art = render_timeline(&demo(), Duration(1));
+        let ruler = art.lines().nth(1).unwrap();
+        assert!(ruler.starts_with("|0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        let _ = render_timeline(&demo(), Duration::ZERO);
+    }
+}

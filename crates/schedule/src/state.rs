@@ -1,0 +1,189 @@
+//! Processor states (§2.4).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rossl_model::{Job, JobId, TaskId};
+
+/// A lightweight reference to a job (id + task), used inside processor
+/// states so that schedules stay cheap to clone and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JobRef {
+    /// The job's unique id.
+    pub id: JobId,
+    /// The job's task.
+    pub task: TaskId,
+}
+
+impl From<&Job> for JobRef {
+    fn from(j: &Job) -> JobRef {
+        JobRef {
+            id: j.id(),
+            task: j.task(),
+        }
+    }
+}
+
+impl fmt::Display for JobRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.id, self.task)
+    }
+}
+
+/// What the processor is doing at an instant (§2.4):
+///
+/// ```text
+/// ProcessorState ≜ Idle | Executes j | ReadOvh j | PollingOvh j
+///                | SelectionOvh j | DispatchOvh j | CompletionOvh j
+/// ```
+///
+/// Every overhead state is *attributed* to a job so that the total overhead
+/// in a window can be bounded by the number of jobs in it (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessorState {
+    /// Waiting for jobs with nothing pending (includes the failed polling
+    /// round, the failed selection, and the idling action).
+    Idle,
+    /// The callback of the job is running.
+    Executes(JobRef),
+    /// Reading the job's message, including the failed reads immediately
+    /// preceding its successful read.
+    ReadOvh(JobRef),
+    /// The failed reads after the polling phase's last success, attributed
+    /// to the job dispatched next.
+    PollingOvh(JobRef),
+    /// `npfp_dequeue` selecting the job.
+    SelectionOvh(JobRef),
+    /// Dispatch preparation for the job.
+    DispatchOvh(JobRef),
+    /// Cleanup after the job's callback.
+    CompletionOvh(JobRef),
+}
+
+/// The discriminant of a [`ProcessorState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StateKind {
+    /// `Idle`.
+    Idle,
+    /// `Executes`.
+    Executes,
+    /// `ReadOvh`.
+    ReadOvh,
+    /// `PollingOvh`.
+    PollingOvh,
+    /// `SelectionOvh`.
+    SelectionOvh,
+    /// `DispatchOvh`.
+    DispatchOvh,
+    /// `CompletionOvh`.
+    CompletionOvh,
+}
+
+impl ProcessorState {
+    /// The state's discriminant.
+    pub fn kind(&self) -> StateKind {
+        match self {
+            ProcessorState::Idle => StateKind::Idle,
+            ProcessorState::Executes(_) => StateKind::Executes,
+            ProcessorState::ReadOvh(_) => StateKind::ReadOvh,
+            ProcessorState::PollingOvh(_) => StateKind::PollingOvh,
+            ProcessorState::SelectionOvh(_) => StateKind::SelectionOvh,
+            ProcessorState::DispatchOvh(_) => StateKind::DispatchOvh,
+            ProcessorState::CompletionOvh(_) => StateKind::CompletionOvh,
+        }
+    }
+
+    /// The job the state is attributed to, if any.
+    pub fn job(&self) -> Option<JobRef> {
+        match self {
+            ProcessorState::Idle => None,
+            ProcessorState::Executes(j)
+            | ProcessorState::ReadOvh(j)
+            | ProcessorState::PollingOvh(j)
+            | ProcessorState::SelectionOvh(j)
+            | ProcessorState::DispatchOvh(j)
+            | ProcessorState::CompletionOvh(j) => Some(*j),
+        }
+    }
+
+    /// `true` for the five overhead states — the *blackouts* of the aRSA
+    /// instantiation (§4.2): time in which no job makes progress.
+    pub fn is_overhead(&self) -> bool {
+        matches!(
+            self,
+            ProcessorState::ReadOvh(_)
+                | ProcessorState::PollingOvh(_)
+                | ProcessorState::SelectionOvh(_)
+                | ProcessorState::DispatchOvh(_)
+                | ProcessorState::CompletionOvh(_)
+        )
+    }
+
+    /// `true` when the processor supplies service (executing or ready to
+    /// execute): the complement of [`ProcessorState::is_overhead`].
+    pub fn is_supply(&self) -> bool {
+        !self.is_overhead()
+    }
+}
+
+impl fmt::Display for ProcessorState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessorState::Idle => write!(f, "Idle"),
+            ProcessorState::Executes(j) => write!(f, "Executes {j}"),
+            ProcessorState::ReadOvh(j) => write!(f, "ReadOvh {j}"),
+            ProcessorState::PollingOvh(j) => write!(f, "PollingOvh {j}"),
+            ProcessorState::SelectionOvh(j) => write!(f, "SelectionOvh {j}"),
+            ProcessorState::DispatchOvh(j) => write!(f, "DispatchOvh {j}"),
+            ProcessorState::CompletionOvh(j) => write!(f, "CompletionOvh {j}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jr() -> JobRef {
+        JobRef {
+            id: JobId(1),
+            task: TaskId(2),
+        }
+    }
+
+    #[test]
+    fn overhead_classification() {
+        assert!(!ProcessorState::Idle.is_overhead());
+        assert!(!ProcessorState::Executes(jr()).is_overhead());
+        assert!(ProcessorState::ReadOvh(jr()).is_overhead());
+        assert!(ProcessorState::PollingOvh(jr()).is_overhead());
+        assert!(ProcessorState::SelectionOvh(jr()).is_overhead());
+        assert!(ProcessorState::DispatchOvh(jr()).is_overhead());
+        assert!(ProcessorState::CompletionOvh(jr()).is_overhead());
+        assert!(ProcessorState::Idle.is_supply());
+    }
+
+    #[test]
+    fn job_attribution() {
+        assert_eq!(ProcessorState::Idle.job(), None);
+        assert_eq!(ProcessorState::Executes(jr()).job(), Some(jr()));
+    }
+
+    #[test]
+    fn job_ref_from_job() {
+        let j = Job::new(JobId(7), TaskId(3), vec![1]);
+        let r = JobRef::from(&j);
+        assert_eq!(r.id, JobId(7));
+        assert_eq!(r.task, TaskId(3));
+        assert_eq!(r.to_string(), "j7/τ3");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        assert_ne!(
+            ProcessorState::ReadOvh(jr()).kind(),
+            ProcessorState::PollingOvh(jr()).kind()
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end validation of the §2.4 pipeline on real simulated runs:
+//! every schedule converted from a simulator trace satisfies the validity
+//! constraints, and the overhead-attribution bookkeeping adds up.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rossl::{ClientConfig, FirstByteCodec};
+use rossl_model::{
+    Curve, Duration, Instant, OverheadBounds, Priority, Task, TaskId, TaskSet, WcetTable,
+};
+use rossl_schedule::{check_validity, convert, StateKind};
+use rossl_timing::{workload, Simulator, UniformCost, WorstCase};
+
+fn task_set(n: usize) -> TaskSet {
+    let tasks = (0..n)
+        .map(|i| {
+            Task::new(
+                TaskId(i),
+                format!("task{i}"),
+                Priority((n - i) as u32),
+                Duration(10 + 5 * i as u64),
+                Curve::sporadic(Duration(200 + 100 * i as u64)),
+            )
+        })
+        .collect();
+    TaskSet::new(tasks).unwrap()
+}
+
+#[test]
+fn simulated_schedules_satisfy_validity_constraints() {
+    for n_sockets in [1usize, 2, 4] {
+        for n_tasks in [1usize, 3] {
+            for seed in 0..4u64 {
+                let tasks = task_set(n_tasks);
+                let config = ClientConfig::new(tasks.clone(), n_sockets).unwrap();
+                let wcet = WcetTable::example();
+                let arrivals = workload::sporadic_random(
+                    &tasks,
+                    &FirstByteCodec,
+                    &workload::round_robin_sockets(n_sockets),
+                    Instant(8_000),
+                    &mut StdRng::seed_from_u64(seed),
+                );
+                let sim = Simulator::new(
+                    config,
+                    FirstByteCodec,
+                    wcet,
+                    UniformCost::new(StdRng::seed_from_u64(seed + 1000)),
+                )
+                .unwrap();
+                let result = sim.run(&arrivals, Instant(10_000)).unwrap();
+
+                let schedule = convert(&result.trace, n_sockets).unwrap();
+                let bounds = OverheadBounds::derive(&wcet, n_sockets);
+                check_validity(&schedule, &tasks, &bounds).unwrap_or_else(|e| {
+                    panic!("validity violated (sockets={n_sockets}, seed={seed}): {e}")
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn worst_case_runs_saturate_but_respect_bounds() {
+    // Under the WorstCase cost model every instance should be close to its
+    // bound but never exceed it — this exercises the tightness of PB/RB.
+    let n_sockets = 3;
+    let tasks = task_set(2);
+    let config = ClientConfig::new(tasks.clone(), n_sockets).unwrap();
+    let wcet = WcetTable::example();
+    let arrivals = workload::saturating(
+        &tasks,
+        &FirstByteCodec,
+        &workload::round_robin_sockets(n_sockets),
+        Instant(5_000),
+    );
+    let result = Simulator::new(config, FirstByteCodec, wcet, WorstCase)
+        .unwrap()
+        .run(&arrivals, Instant(6_000))
+        .unwrap();
+    let schedule = convert(&result.trace, n_sockets).unwrap();
+    let bounds = OverheadBounds::derive(&wcet, n_sockets);
+    check_validity(&schedule, &tasks, &bounds).unwrap();
+
+    // At least one PollingOvh instance reaches a full failed round under
+    // the worst-case model (n · WcetFR = 12): the bound is not vacuous.
+    let max_polling = schedule
+        .segments()
+        .iter()
+        .filter(|s| s.state.kind() == StateKind::PollingOvh)
+        .map(|s| s.duration())
+        .max()
+        .expect("some job was dispatched");
+    assert!(
+        max_polling >= wcet.failed_read.saturating_mul(n_sockets as u64),
+        "worst-case polling {max_polling} below one full round"
+    );
+}
+
+#[test]
+fn overhead_partition_matches_trace_accounting() {
+    // Blackout + supply must equal the schedule span, and execution time
+    // must equal the total Executes segments.
+    let tasks = task_set(2);
+    let config = ClientConfig::new(tasks.clone(), 2).unwrap();
+    let arrivals = workload::periodic(
+        &tasks,
+        &FirstByteCodec,
+        &workload::round_robin_sockets(2),
+        Instant(4_000),
+    );
+    let result = Simulator::new(config, FirstByteCodec, WcetTable::example(), WorstCase)
+        .unwrap()
+        .run(&arrivals, Instant(5_000))
+        .unwrap();
+    let schedule = convert(&result.trace, 2).unwrap();
+    let (start, end) = (schedule.start().unwrap(), schedule.end().unwrap());
+    let blackout = schedule.blackout_in(start, end);
+    let supply = schedule.supply_in(start, end);
+    assert_eq!(blackout + supply, schedule.span());
+
+    let exec_time = schedule.time_where(start, end, |s| s.kind() == StateKind::Executes);
+    // Each completed job under WorstCase runs exactly its WCET.
+    let expected: Duration = result
+        .jobs
+        .values()
+        .filter(|r| r.completed.is_some())
+        .map(|r| tasks.task(r.task).unwrap().wcet())
+        .sum();
+    // The last job may be mid-execution at the schedule edge; allow the
+    // measured total to exceed by at most one in-flight execution.
+    assert!(
+        exec_time >= expected,
+        "exec {exec_time} < completed-jobs total {expected}"
+    );
+}

@@ -1,0 +1,241 @@
+//! Arrival sequences (§2.3, §4.1 "dynamics").
+//!
+//! An arrival sequence fixes, for each input socket, which messages arrive
+//! at which instants. It is the ∀-quantified description of the
+//! nondeterministic environment in Thm. 5.1.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rossl_model::{
+    check_respects, CurveViolation, Instant, Message, SocketId, TaskId, TaskSet,
+};
+
+/// One message arriving on a socket at an instant.
+///
+/// The task is resolved eagerly (via the client's `msg_to_task`, Def. 3.3)
+/// so that analyses can group arrivals per task without re-decoding
+/// payloads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalEvent {
+    /// Arrival instant `a_{i,j}`.
+    pub time: Instant,
+    /// Socket the message arrives on.
+    pub sock: SocketId,
+    /// Task the message's job belongs to.
+    pub task: TaskId,
+    /// The message payload.
+    pub msg: Message,
+}
+
+/// A time-sorted sequence of arrivals: the paper's
+/// `arr : sock → 𝕋 → list Job` in event-list form.
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::{Instant, Message, SocketId, TaskId};
+/// use rossl_sockets::{ArrivalEvent, ArrivalSequence};
+///
+/// let seq = ArrivalSequence::from_events(vec![
+///     ArrivalEvent { time: Instant(10), sock: SocketId(0), task: TaskId(0),
+///                    msg: Message::new(vec![0]) },
+///     ArrivalEvent { time: Instant(4), sock: SocketId(0), task: TaskId(1),
+///                    msg: Message::new(vec![1]) },
+/// ]);
+/// // Events are sorted by time on construction.
+/// assert_eq!(seq.events()[0].time, Instant(4));
+/// assert_eq!(seq.arrivals_of_task(TaskId(0)), vec![Instant(10)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalSequence {
+    events: Vec<ArrivalEvent>,
+}
+
+impl ArrivalSequence {
+    /// An empty sequence (a silent environment).
+    pub fn new() -> ArrivalSequence {
+        ArrivalSequence::default()
+    }
+
+    /// Builds a sequence, sorting the events by time (stable, so same-time
+    /// arrivals keep their given order, which becomes their socket FIFO
+    /// order).
+    pub fn from_events(mut events: Vec<ArrivalEvent>) -> ArrivalSequence {
+        events.sort_by_key(|e| e.time);
+        ArrivalSequence { events }
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[ArrivalEvent] {
+        &self.events
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no job ever arrives.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The arrival instants of all jobs of `task`, in time order.
+    pub fn arrivals_of_task(&self, task: TaskId) -> Vec<Instant> {
+        self.events
+            .iter()
+            .filter(|e| e.task == task)
+            .map(|e| e.time)
+            .collect()
+    }
+
+    /// The arrival events on `sock`, in time order.
+    pub fn arrivals_on_socket(&self, sock: SocketId) -> impl Iterator<Item = &ArrivalEvent> {
+        self.events.iter().filter(move |e| e.sock == sock)
+    }
+
+    /// The latest arrival instant, or `None` for an empty sequence.
+    pub fn last_arrival(&self) -> Option<Instant> {
+        self.events.last().map(|e| e.time)
+    }
+
+    /// Number of arrivals per task.
+    pub fn counts_per_task(&self) -> BTreeMap<TaskId, usize> {
+        let mut m = BTreeMap::new();
+        for e in &self.events {
+            *m.entry(e.task).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Checks Eq. 2 of the paper: for every task, the arrivals respect the
+    /// task's arrival curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violating task with its [`CurveViolation`].
+    pub fn check_respects_curves(
+        &self,
+        tasks: &TaskSet,
+    ) -> Result<(), (TaskId, CurveViolation)> {
+        for task in tasks {
+            let arrivals = self.arrivals_of_task(task.id());
+            check_respects(task.arrival_curve(), &arrivals)
+                .map_err(|v| (task.id(), v))?;
+        }
+        Ok(())
+    }
+
+    /// The greatest socket index mentioned, plus one (a lower bound on the
+    /// socket count a [`SocketSet`](crate::SocketSet) needs).
+    pub fn min_socket_count(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.sock.0 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for ArrivalSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} arrivals", self.events.len())?;
+        if let Some(last) = self.last_arrival() {
+            write!(f, " (last at {last})")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<ArrivalEvent> for ArrivalSequence {
+    fn from_iter<I: IntoIterator<Item = ArrivalEvent>>(iter: I) -> ArrivalSequence {
+        ArrivalSequence::from_events(iter.into_iter().collect())
+    }
+}
+
+impl Extend<ArrivalEvent> for ArrivalSequence {
+    fn extend<I: IntoIterator<Item = ArrivalEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+        self.events.sort_by_key(|e| e.time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{Curve, Duration, Priority, Task};
+
+    fn ev(t: u64, sock: usize, task: usize) -> ArrivalEvent {
+        ArrivalEvent {
+            time: Instant(t),
+            sock: SocketId(sock),
+            task: TaskId(task),
+            msg: Message::new(vec![task as u8]),
+        }
+    }
+
+    #[test]
+    fn construction_sorts_by_time() {
+        let seq = ArrivalSequence::from_events(vec![ev(9, 0, 0), ev(1, 1, 0), ev(5, 0, 1)]);
+        let times: Vec<u64> = seq.events().iter().map(|e| e.time.ticks()).collect();
+        assert_eq!(times, vec![1, 5, 9]);
+        assert_eq!(seq.min_socket_count(), 2);
+    }
+
+    #[test]
+    fn queries_filter_correctly() {
+        let seq = ArrivalSequence::from_events(vec![ev(1, 0, 0), ev(2, 1, 1), ev(3, 0, 0)]);
+        assert_eq!(
+            seq.arrivals_of_task(TaskId(0)),
+            vec![Instant(1), Instant(3)]
+        );
+        assert_eq!(seq.arrivals_on_socket(SocketId(1)).count(), 1);
+        assert_eq!(seq.counts_per_task().get(&TaskId(0)), Some(&2));
+        assert_eq!(seq.last_arrival(), Some(Instant(3)));
+    }
+
+    #[test]
+    fn curve_respect_detects_bursts() {
+        let tasks = TaskSet::new(vec![Task::new(
+            TaskId(0),
+            "t",
+            Priority(1),
+            Duration(5),
+            Curve::sporadic(Duration(100)),
+        )])
+        .unwrap();
+        let ok = ArrivalSequence::from_events(vec![ev(0, 0, 0), ev(100, 0, 0)]);
+        assert!(ok.check_respects_curves(&tasks).is_ok());
+        let bad = ArrivalSequence::from_events(vec![ev(0, 0, 0), ev(50, 0, 0)]);
+        let (task, _) = bad.check_respects_curves(&tasks).unwrap_err();
+        assert_eq!(task, TaskId(0));
+    }
+
+    #[test]
+    fn collecting_and_extending() {
+        let mut seq: ArrivalSequence = vec![ev(5, 0, 0)].into_iter().collect();
+        seq.extend(vec![ev(1, 0, 0)]);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.events()[0].time, Instant(1));
+        assert!(!seq.is_empty());
+        assert!(ArrivalSequence::new().is_empty());
+    }
+
+    #[test]
+    fn same_time_arrivals_keep_insertion_order() {
+        let a = ArrivalEvent {
+            msg: Message::new(vec![1]),
+            ..ev(5, 0, 0)
+        };
+        let b = ArrivalEvent {
+            msg: Message::new(vec![2]),
+            ..ev(5, 0, 0)
+        };
+        let seq = ArrivalSequence::from_events(vec![a.clone(), b.clone()]);
+        assert_eq!(seq.events()[0].msg, a.msg);
+        assert_eq!(seq.events()[1].msg, b.msg);
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated non-blocking datagram sockets.
+//!
+//! The paper axiomatizes the `read` system call "for the specific case of
+//! non-blocking message-based I/O on datagram sockets" (§3.2, footnote 4):
+//! a read either returns a whole message that arrived earlier
+//! (`READ-STEP-SUCCESS`) or fails because none is available
+//! (`READ-STEP-FAILURE`). Def. 2.1 constrains the failure case: a read on a
+//! socket may fail **only if** every job that arrived on that socket before
+//! the read has already been read.
+//!
+//! [`SocketSet`] implements exactly this semantics against a virtual clock:
+//! messages are enqueued with their arrival [`Instant`](rossl_model::Instant)s (possibly in the
+//! future), and [`SocketSet::try_read`] at time `now` returns the oldest
+//! message with arrival time strictly before `now`, or `None` if there is
+//! none. This makes the OS assumption of §2.5 ("the operating system is
+//! assumed to implement system calls like read correctly") true by
+//! construction — which is precisely the substitution a simulation-based
+//! reproduction needs.
+//!
+//! [`ArrivalSequence`] is the environment's side of the story: the paper's
+//! `arr : sock → 𝕋 → list Job` mapping, represented as a time-sorted event
+//! list that can be loaded into a [`SocketSet`] and queried by the
+//! consistency checkers and the RTA.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod arrivals;
+mod socket_set;
+
+pub use arrivals::{ArrivalEvent, ArrivalSequence};
+pub use socket_set::{ReadOutcome, SocketSet};

@@ -1,0 +1,264 @@
+//! The simulated socket substrate.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use rossl_model::{Instant, Message, SocketId};
+
+use crate::arrivals::ArrivalSequence;
+
+/// The outcome of a simulated `read` system call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// A message was delivered (READ-STEP-SUCCESS).
+    Data {
+        /// The delivered message.
+        msg: Message,
+        /// When the message arrived on the socket (strictly before the
+        /// read). Exposed so drivers can compute measured response times
+        /// without re-matching messages against the arrival sequence.
+        arrived: Instant,
+    },
+    /// No message was available (READ-STEP-FAILURE).
+    WouldBlock,
+}
+
+impl ReadOutcome {
+    /// `true` for [`ReadOutcome::Data`].
+    pub fn is_data(&self) -> bool {
+        matches!(self, ReadOutcome::Data { .. })
+    }
+}
+
+/// A set of non-blocking datagram sockets fed by a virtual-time
+/// environment.
+///
+/// Messages are enqueued (typically from an [`ArrivalSequence`]) with their
+/// arrival instants; a read at time `now` sees exactly the messages that
+/// arrived **strictly before** `now`, matching Def. 2.1's consistency
+/// requirement (`t_a < ts[i]`). Per socket, messages are delivered in
+/// arrival order (datagram queues are FIFO).
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::{Instant, Message, SocketId};
+/// use rossl_sockets::{ReadOutcome, SocketSet};
+///
+/// let mut set = SocketSet::new(1);
+/// set.enqueue(SocketId(0), Instant(10), Message::new(vec![7]));
+/// // At t=10 the message has not yet arrived "strictly before".
+/// assert_eq!(set.try_read(SocketId(0), Instant(10)), ReadOutcome::WouldBlock);
+/// assert!(set.try_read(SocketId(0), Instant(11)).is_data());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SocketSet {
+    queues: Vec<VecDeque<(Instant, Message)>>,
+}
+
+impl SocketSet {
+    /// Creates `n_sockets` empty sockets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sockets` is zero.
+    pub fn new(n_sockets: usize) -> SocketSet {
+        assert!(n_sockets > 0, "scheduler must have at least one socket");
+        SocketSet {
+            queues: vec![VecDeque::new(); n_sockets],
+        }
+    }
+
+    /// Creates sockets preloaded with a whole arrival sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sockets` is zero or smaller than the largest socket
+    /// index in `arrivals`.
+    pub fn with_arrivals(n_sockets: usize, arrivals: &ArrivalSequence) -> SocketSet {
+        assert!(
+            n_sockets >= arrivals.min_socket_count(),
+            "arrival sequence references socket {} but only {} sockets exist",
+            arrivals.min_socket_count().saturating_sub(1),
+            n_sockets,
+        );
+        let mut set = SocketSet::new(n_sockets);
+        for e in arrivals.events() {
+            set.enqueue(e.sock, e.time, e.msg.clone());
+        }
+        set
+    }
+
+    /// Number of sockets.
+    pub fn n_sockets(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Schedules `msg` to arrive on `sock` at `at`. Arrivals may be
+    /// enqueued out of order; delivery is always in arrival order (ties
+    /// keep insertion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sock` is out of range.
+    pub fn enqueue(&mut self, sock: SocketId, at: Instant, msg: Message) {
+        let q = &mut self.queues[sock.0];
+        // Insert after the last element with time <= at to keep FIFO among
+        // equal arrival times.
+        let pos = q.partition_point(|(t, _)| *t <= at);
+        q.insert(pos, (at, msg));
+    }
+
+    /// Simulates the `read` system call on `sock` at virtual time `now`:
+    /// delivers the oldest message that arrived strictly before `now`, or
+    /// reports [`ReadOutcome::WouldBlock`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sock` is out of range.
+    pub fn try_read(&mut self, sock: SocketId, now: Instant) -> ReadOutcome {
+        let q = &mut self.queues[sock.0];
+        match q.front() {
+            Some((t, _)) if *t < now => {
+                let (arrived, msg) = q.pop_front().expect("front exists");
+                ReadOutcome::Data { msg, arrived }
+            }
+            _ => ReadOutcome::WouldBlock,
+        }
+    }
+
+    /// Number of messages on `sock` that have arrived strictly before
+    /// `now` but have not been read — used by assertions and by the
+    /// work-conservation experiments.
+    pub fn unread_arrived(&self, sock: SocketId, now: Instant) -> usize {
+        self.queues[sock.0]
+            .iter()
+            .take_while(|(t, _)| *t < now)
+            .count()
+    }
+
+    /// Total messages still enqueued (arrived or future) across all
+    /// sockets.
+    pub fn total_enqueued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// The earliest arrival instant of any still-enqueued message, across
+    /// all sockets. Drives idle-time fast-forwarding in the simulator.
+    pub fn next_arrival(&self) -> Option<Instant> {
+        self.queues
+            .iter()
+            .filter_map(|q| q.front().map(|(t, _)| *t))
+            .min()
+    }
+}
+
+impl fmt::Display for SocketSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sockets, {} messages enqueued",
+            self.n_sockets(),
+            self.total_enqueued()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::TaskId;
+
+    #[test]
+    fn read_is_strictly_after_arrival() {
+        let mut s = SocketSet::new(1);
+        s.enqueue(SocketId(0), Instant(5), Message::new(vec![1]));
+        assert_eq!(s.try_read(SocketId(0), Instant(5)), ReadOutcome::WouldBlock);
+        assert_eq!(
+            s.try_read(SocketId(0), Instant(6)),
+            ReadOutcome::Data { msg: Message::new(vec![1]), arrived: Instant(5) }
+        );
+        // Consumed: second read fails.
+        assert_eq!(s.try_read(SocketId(0), Instant(7)), ReadOutcome::WouldBlock);
+    }
+
+    #[test]
+    fn fifo_within_socket() {
+        let mut s = SocketSet::new(1);
+        s.enqueue(SocketId(0), Instant(10), Message::new(vec![2]));
+        s.enqueue(SocketId(0), Instant(5), Message::new(vec![1]));
+        s.enqueue(SocketId(0), Instant(10), Message::new(vec![3]));
+        assert_eq!(
+            s.try_read(SocketId(0), Instant(100)),
+            ReadOutcome::Data { msg: Message::new(vec![1]), arrived: Instant(5) }
+        );
+        assert_eq!(
+            s.try_read(SocketId(0), Instant(100)),
+            ReadOutcome::Data { msg: Message::new(vec![2]), arrived: Instant(10) }
+        );
+        // Equal arrival times preserve insertion order.
+        assert_eq!(
+            s.try_read(SocketId(0), Instant(100)),
+            ReadOutcome::Data { msg: Message::new(vec![3]), arrived: Instant(10) }
+        );
+    }
+
+    #[test]
+    fn sockets_are_independent() {
+        let mut s = SocketSet::new(2);
+        s.enqueue(SocketId(1), Instant(0), Message::new(vec![9]));
+        assert_eq!(s.try_read(SocketId(0), Instant(10)), ReadOutcome::WouldBlock);
+        assert!(s.try_read(SocketId(1), Instant(10)).is_data());
+    }
+
+    #[test]
+    fn unread_arrived_counts_only_past_messages() {
+        let mut s = SocketSet::new(1);
+        s.enqueue(SocketId(0), Instant(5), Message::new(vec![1]));
+        s.enqueue(SocketId(0), Instant(50), Message::new(vec![2]));
+        assert_eq!(s.unread_arrived(SocketId(0), Instant(6)), 1);
+        assert_eq!(s.unread_arrived(SocketId(0), Instant(51)), 2);
+        assert_eq!(s.unread_arrived(SocketId(0), Instant(5)), 0);
+    }
+
+    #[test]
+    fn next_arrival_finds_global_minimum() {
+        let mut s = SocketSet::new(2);
+        assert_eq!(s.next_arrival(), None);
+        s.enqueue(SocketId(0), Instant(30), Message::new(vec![1]));
+        s.enqueue(SocketId(1), Instant(20), Message::new(vec![2]));
+        assert_eq!(s.next_arrival(), Some(Instant(20)));
+    }
+
+    #[test]
+    fn with_arrivals_preloads_queues() {
+        use crate::arrivals::{ArrivalEvent, ArrivalSequence};
+        let seq = ArrivalSequence::from_events(vec![ArrivalEvent {
+            time: Instant(3),
+            sock: SocketId(1),
+            task: TaskId(0),
+            msg: Message::new(vec![0]),
+        }]);
+        let s = SocketSet::with_arrivals(2, &seq);
+        assert_eq!(s.total_enqueued(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one socket")]
+    fn zero_sockets_panics() {
+        let _ = SocketSet::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "references socket")]
+    fn undersized_socket_set_panics() {
+        use crate::arrivals::{ArrivalEvent, ArrivalSequence};
+        let seq = ArrivalSequence::from_events(vec![ArrivalEvent {
+            time: Instant(0),
+            sock: SocketId(3),
+            task: TaskId(0),
+            msg: Message::new(vec![]),
+        }]);
+        let _ = SocketSet::with_arrivals(2, &seq);
+    }
+}

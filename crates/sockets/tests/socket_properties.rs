@@ -1,0 +1,136 @@
+//! Property-based tests of the socket substrate against a brute-force
+//! reference model: the simulated `read` must deliver exactly the
+//! Fig. 6 / Def. 2.1 semantics under any interleaving of enqueues and
+//! reads.
+
+use proptest::prelude::*;
+
+use rossl_model::{Instant, Message, SocketId};
+use rossl_sockets::{ReadOutcome, SocketSet};
+
+/// An operation on the socket set.
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue { sock: usize, at: u64, payload: u8 },
+    Read { sock: usize, now: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..2, 0u64..100, 0u8..16)
+                .prop_map(|(sock, at, payload)| Op::Enqueue { sock, at, payload }),
+            (0usize..2, 0u64..120).prop_map(|(sock, now)| Op::Read { sock, now }),
+        ],
+        0..40,
+    )
+}
+
+/// Reference model: a plain vector of (arrival, payload, consumed) per
+/// socket; reads scan for the earliest unconsumed message with
+/// `arrival < now`, FIFO by arrival then insertion order.
+#[derive(Default, Clone)]
+struct Reference {
+    queues: Vec<Vec<(u64, u8, bool)>>,
+}
+
+impl Reference {
+    fn new() -> Reference {
+        Reference {
+            queues: vec![Vec::new(), Vec::new()],
+        }
+    }
+
+    fn enqueue(&mut self, sock: usize, at: u64, payload: u8) {
+        self.queues[sock].push((at, payload, false));
+    }
+
+    fn read(&mut self, sock: usize, now: u64) -> Option<(u64, u8)> {
+        // Stable min by arrival among unconsumed, arrived strictly before
+        // `now`.
+        let mut best: Option<usize> = None;
+        for (i, &(at, _, consumed)) in self.queues[sock].iter().enumerate() {
+            if consumed || at >= now {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) if self.queues[sock][b].0 > at => best = Some(i),
+                _ => {}
+            }
+        }
+        best.map(|i| {
+            self.queues[sock][i].2 = true;
+            (self.queues[sock][i].0, self.queues[sock][i].1)
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The socket set agrees with the reference model on every operation
+    /// sequence.
+    #[test]
+    fn socket_set_matches_reference(ops in arb_ops()) {
+        let mut real = SocketSet::new(2);
+        let mut model = Reference::new();
+        for op in &ops {
+            match *op {
+                Op::Enqueue { sock, at, payload } => {
+                    real.enqueue(SocketId(sock), Instant(at), Message::new(vec![payload]));
+                    model.enqueue(sock, at, payload);
+                }
+                Op::Read { sock, now } => {
+                    let got = real.try_read(SocketId(sock), Instant(now));
+                    let expected = model.read(sock, now);
+                    match (got, expected) {
+                        (ReadOutcome::WouldBlock, None) => {}
+                        (ReadOutcome::Data { msg, arrived }, Some((at, payload))) => {
+                            prop_assert_eq!(arrived, Instant(at));
+                            prop_assert_eq!(msg.data(), &[payload][..]);
+                        }
+                        (got, expected) => {
+                            return Err(TestCaseError::fail(format!(
+                                "divergence: real {got:?} vs model {expected:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        // Residual bookkeeping agrees too.
+        let unconsumed: usize = model
+            .queues
+            .iter()
+            .map(|q| q.iter().filter(|e| !e.2).count())
+            .sum();
+        prop_assert_eq!(real.total_enqueued(), unconsumed);
+    }
+
+    /// `unread_arrived` counts exactly the deliverable messages.
+    #[test]
+    fn unread_arrived_matches_reference(ops in arb_ops(), probe in 0u64..150) {
+        let mut real = SocketSet::new(2);
+        let mut model = Reference::new();
+        for op in &ops {
+            match *op {
+                Op::Enqueue { sock, at, payload } => {
+                    real.enqueue(SocketId(sock), Instant(at), Message::new(vec![payload]));
+                    model.enqueue(sock, at, payload);
+                }
+                Op::Read { sock, now } => {
+                    let _ = real.try_read(SocketId(sock), Instant(now));
+                    let _ = model.read(sock, now);
+                }
+            }
+        }
+        for sock in 0..2usize {
+            let expected = model.queues[sock]
+                .iter()
+                .filter(|&&(at, _, consumed)| !consumed && at < probe)
+                .count();
+            prop_assert_eq!(real.unread_arrived(SocketId(sock), Instant(probe)), expected);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Cost models: how long each code segment takes in a simulated run.
+//!
+//! The paper assumes WCETs for basic actions "to be determined
+//! experimentally or by static analysis" and proves its guarantee "for all
+//! executions where the actual run times of the basic actions and
+//! callbacks stay below their WCETs" (§2.3). A [`CostModel`] picks the
+//! *actual* run time of each segment, always within `[1, max]` where `max`
+//! is the WCET-derived bound the simulator computes — so every simulated
+//! execution is by construction a model of the paper's assumptions.
+//!
+//! Segments are finer-grained than basic actions because a `Read` action
+//! spans two markers: the *probe* (`M_ReadS → M_ReadE`, where the read's
+//! linearization point sits) and the *finish* (`M_ReadE` → next marker).
+
+use rand::Rng;
+
+use rossl_model::{Duration, TaskId};
+
+/// A code segment between two consecutive markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Segment {
+    /// `M_ReadS → M_ReadE`: issuing the read system call up to its
+    /// linearization point.
+    ReadProbe,
+    /// `M_ReadE →` next marker: processing the read's result
+    /// (enqueueing the job on success).
+    ReadFinish {
+        /// Whether the read returned a message.
+        success: bool,
+    },
+    /// `M_Selection →` next marker: `npfp_dequeue`.
+    Selection,
+    /// `M_Dispatch → M_Execution`: dispatch preparation.
+    Dispatch,
+    /// `M_Execution → M_Completion`: the callback body of a job of the
+    /// given task.
+    Execution(TaskId),
+    /// `M_Completion →` next marker: cleanup (`free`) and loop back-edge.
+    Completion,
+    /// `M_Idling →` next marker: one bounded idle iteration.
+    Idling,
+}
+
+/// Chooses actual segment durations within `[1, max]`.
+///
+/// Implementations must return a duration `d` with `1 ≤ d ≤ max` for every
+/// `max ≥ 1`; the simulator guarantees `max ≥ 1` whenever the WCET table
+/// passed validation.
+pub trait CostModel {
+    /// The duration `segment` takes this time, given the WCET-derived
+    /// bound `max`.
+    fn pick(&mut self, segment: Segment, max: Duration) -> Duration;
+}
+
+/// Every segment always takes its worst case. This is the adversarial
+/// model the analytical bounds are tightest against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorstCase;
+
+impl CostModel for WorstCase {
+    fn pick(&mut self, _segment: Segment, max: Duration) -> Duration {
+        max
+    }
+}
+
+/// Every segment takes a fixed fraction of its worst case (at least one
+/// tick). `FixedFraction::new(1, 2)` halves every cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedFraction {
+    num: u64,
+    den: u64,
+}
+
+impl FixedFraction {
+    /// A model running every segment at `num/den` of its WCET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero or `num > den` (costs may not exceed the
+    /// WCET).
+    pub fn new(num: u64, den: u64) -> FixedFraction {
+        assert!(den > 0, "denominator must be positive");
+        assert!(num <= den, "costs may not exceed the WCET");
+        FixedFraction { num, den }
+    }
+}
+
+impl CostModel for FixedFraction {
+    fn pick(&mut self, _segment: Segment, max: Duration) -> Duration {
+        Duration((max.ticks() * self.num / self.den).max(1))
+    }
+}
+
+/// Durations drawn uniformly from `[1, max]`, seeded for reproducibility.
+#[derive(Debug, Clone)]
+pub struct UniformCost<R> {
+    rng: R,
+}
+
+impl<R: Rng> UniformCost<R> {
+    /// Wraps a random-number generator.
+    pub fn new(rng: R) -> UniformCost<R> {
+        UniformCost { rng }
+    }
+}
+
+impl<R: Rng> CostModel for UniformCost<R> {
+    fn pick(&mut self, _segment: Segment, max: Duration) -> Duration {
+        Duration(self.rng.gen_range(1..=max.ticks().max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn worst_case_returns_max() {
+        let mut m = WorstCase;
+        assert_eq!(m.pick(Segment::Selection, Duration(7)), Duration(7));
+    }
+
+    #[test]
+    fn fraction_scales_and_clamps_to_one() {
+        let mut m = FixedFraction::new(1, 2);
+        assert_eq!(m.pick(Segment::Idling, Duration(10)), Duration(5));
+        assert_eq!(m.pick(Segment::Idling, Duration(1)), Duration(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "may not exceed")]
+    fn fraction_above_one_panics() {
+        let _ = FixedFraction::new(3, 2);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut m = UniformCost::new(StdRng::seed_from_u64(42));
+        for _ in 0..1000 {
+            let d = m.pick(Segment::ReadProbe, Duration(9));
+            assert!(d >= Duration(1) && d <= Duration(9));
+        }
+    }
+
+    #[test]
+    fn uniform_is_reproducible() {
+        let picks = |seed| {
+            let mut m = UniformCost::new(StdRng::seed_from_u64(seed));
+            (0..10)
+                .map(|_| m.pick(Segment::Completion, Duration(100)).ticks())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7));
+    }
+}

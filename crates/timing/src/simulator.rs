@@ -1,0 +1,566 @@
+//! The virtual-clock simulator: produces timed traces of real scheduler
+//! runs.
+//!
+//! The simulator plays the role of the paper's physical environment: it
+//! owns the clock, fulfils the scheduler's [`Request`]s against the socket
+//! substrate, and decides (via a [`CostModel`]) how much time every code
+//! segment consumes — always within the WCET table, so every produced run
+//! satisfies the assumptions of Thm. 5.1 by construction. Reads are
+//! linearized at the `M_ReadE` timestamp, exactly where Def. 2.1 samples
+//! them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rossl::{ClientConfig, DriveError, MessageCodec, Request, Response, Scheduler};
+use rossl_model::{
+    Duration, Instant, JobId, ModelError, TaskId, WcetTable,
+};
+use rossl_sockets::{ArrivalSequence, ReadOutcome, SocketSet};
+use rossl_trace::Marker;
+
+use crate::cost::{CostModel, Segment};
+use crate::timed_trace::{TimedTrace, TimedTraceError};
+
+/// Everything known about one job after a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// The job's task.
+    pub task: TaskId,
+    /// When the job's message arrived on its socket (`a_{i,j}`).
+    pub arrived: Instant,
+    /// When the job was read (timestamp of its `M_ReadE`).
+    pub read_at: Instant,
+    /// When the job's callback completed (timestamp of `M_Completion`),
+    /// if it completed within the horizon.
+    pub completed: Option<Instant>,
+}
+
+impl JobRecord {
+    /// The measured response time: completion − arrival.
+    pub fn response_time(&self) -> Option<Duration> {
+        self.completed
+            .map(|c| c.saturating_duration_since(self.arrived))
+    }
+
+    /// The measured read lag: read − arrival (the quantity release jitter
+    /// bounds, §4.3).
+    pub fn read_lag(&self) -> Duration {
+        self.read_at.saturating_duration_since(self.arrived)
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulationError {
+    /// The WCET table violates Thm. 5.1's side conditions.
+    InvalidWcet(ModelError),
+    /// The scheduler rejected the driver protocol (a bug) or a message it
+    /// cannot classify (a workload bug).
+    Drive(DriveError),
+    /// Internal error assembling the timed trace.
+    Trace(TimedTraceError),
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::InvalidWcet(e) => write!(f, "invalid WCET table: {e}"),
+            SimulationError::Drive(e) => write!(f, "scheduler drive error: {e}"),
+            SimulationError::Trace(e) => write!(f, "trace assembly error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimulationError::InvalidWcet(e) => Some(e),
+            SimulationError::Drive(e) => Some(e),
+            SimulationError::Trace(e) => Some(e),
+        }
+    }
+}
+
+impl From<DriveError> for SimulationError {
+    fn from(e: DriveError) -> SimulationError {
+        SimulationError::Drive(e)
+    }
+}
+
+impl From<TimedTraceError> for SimulationError {
+    fn from(e: TimedTraceError) -> SimulationError {
+        SimulationError::Trace(e)
+    }
+}
+
+/// The outcome of a simulated run: the timed trace plus per-job
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// The timed trace `(tr, ts)`.
+    pub trace: TimedTrace,
+    /// Per-job records, keyed by job id.
+    pub jobs: BTreeMap<JobId, JobRecord>,
+    /// The horizon `t_hrzn` up to which the run extends.
+    pub horizon: Instant,
+}
+
+impl SimulationResult {
+    /// Measured response times of all completed jobs.
+    pub fn response_times(&self) -> impl Iterator<Item = (JobId, TaskId, Duration)> + '_ {
+        self.jobs.iter().filter_map(|(&id, r)| {
+            r.response_time().map(|d| (id, r.task, d))
+        })
+    }
+
+    /// The worst measured response time of `task`, if any of its jobs
+    /// completed.
+    pub fn max_response_time(&self, task: TaskId) -> Option<Duration> {
+        self.response_times()
+            .filter(|&(_, t, _)| t == task)
+            .map(|(_, _, d)| d)
+            .max()
+    }
+
+    /// The worst measured read lag (arrival → read) over all jobs.
+    pub fn max_read_lag(&self) -> Option<Duration> {
+        self.jobs.values().map(JobRecord::read_lag).max()
+    }
+
+    /// Number of completed jobs.
+    pub fn completed_count(&self) -> usize {
+        self.jobs.values().filter(|r| r.completed.is_some()).count()
+    }
+}
+
+/// Drives a [`Scheduler`] under a virtual clock against simulated sockets.
+///
+/// # Examples
+///
+/// ```
+/// use rossl::{ClientConfig, FirstByteCodec};
+/// use rossl_model::*;
+/// use rossl_sockets::{ArrivalEvent, ArrivalSequence};
+/// use rossl_timing::{Simulator, WorstCase};
+///
+/// let tasks = TaskSet::new(vec![Task::new(
+///     TaskId(0), "t", Priority(1), Duration(10), Curve::sporadic(Duration(200)),
+/// )])?;
+/// let config = ClientConfig::new(tasks, 1)?;
+/// let arrivals = ArrivalSequence::from_events(vec![ArrivalEvent {
+///     time: Instant(5), sock: SocketId(0), task: TaskId(0),
+///     msg: Message::new(vec![0]),
+/// }]);
+/// let sim = Simulator::new(config, FirstByteCodec, WcetTable::example(), WorstCase)?;
+/// let result = sim.run(&arrivals, Instant(500))?;
+/// assert_eq!(result.completed_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator<C, M> {
+    config: ClientConfig,
+    codec: C,
+    wcet: WcetTable,
+    cost: M,
+}
+
+impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
+    /// Creates a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::InvalidWcet`] if `wcet` violates
+    /// Thm. 5.1's side conditions.
+    pub fn new(
+        config: ClientConfig,
+        codec: C,
+        wcet: WcetTable,
+        cost: M,
+    ) -> Result<Simulator<C, M>, SimulationError> {
+        wcet.validate().map_err(SimulationError::InvalidWcet)?;
+        Ok(Simulator {
+            config,
+            codec,
+            wcet,
+            cost,
+        })
+    }
+
+    /// Runs the scheduler against `arrivals` until the virtual clock
+    /// passes `horizon`. Markers are emitted only at instants `≤ horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimulationError::Drive`] for workload bugs
+    /// (unclassifiable messages).
+    pub fn run(
+        mut self,
+        arrivals: &ArrivalSequence,
+        horizon: Instant,
+    ) -> Result<SimulationResult, SimulationError> {
+        let n_sockets = self.config.n_sockets();
+        let mut scheduler = Scheduler::new(self.config.clone(), self.codec.clone());
+        let mut sockets = SocketSet::with_arrivals(n_sockets, arrivals);
+
+        let mut now = Instant::ZERO;
+        let mut markers: Vec<Marker> = Vec::new();
+        let mut timestamps: Vec<Instant> = Vec::new();
+        let mut jobs: BTreeMap<JobId, JobRecord> = BTreeMap::new();
+
+        let mut response: Option<Response> = None;
+        // The arrival instant of the message just read (staged between the
+        // read fulfilment and the M_ReadE marker that names the job).
+        let mut staged_arrival: Option<Instant> = None;
+        // Duration of the probe segment of the in-flight read, to bound the
+        // finish segment.
+        let mut probe_spent = Duration::ZERO;
+
+        // Probe bound: the read's WCET must leave ≥ 1 tick for the finish
+        // segment for either outcome.
+        let probe_max = Duration(
+            self.wcet
+                .failed_read
+                .ticks()
+                .min(self.wcet.successful_read.ticks())
+                - 1,
+        );
+
+        while now <= horizon {
+            let step = scheduler.advance(response.take())?;
+            markers.push(step.marker.clone());
+            timestamps.push(now);
+
+            // Per-marker bookkeeping and clock advance for the segment the
+            // marker starts.
+            match &step.marker {
+                Marker::ReadStart => {
+                    let d = clamp(self.cost.pick(Segment::ReadProbe, probe_max), probe_max);
+                    probe_spent = d;
+                    now = now.saturating_add(d);
+                    // Fulfil the read at the advanced clock: the read's
+                    // linearization point is the M_ReadE timestamp.
+                    let Some(Request::Read(sock)) = step.request else {
+                        unreachable!("M_ReadS always carries a read request");
+                    };
+                    match sockets.try_read(sock, now) {
+                        ReadOutcome::Data { msg, arrived } => {
+                            staged_arrival = Some(arrived);
+                            response = Some(Response::ReadResult(Some(msg.into_data())));
+                        }
+                        ReadOutcome::WouldBlock => {
+                            staged_arrival = None;
+                            response = Some(Response::ReadResult(None));
+                        }
+                    }
+                }
+                Marker::ReadEnd { job, .. } => {
+                    let success = job.is_some();
+                    if let Some(j) = job {
+                        let arrived = staged_arrival
+                            .take()
+                            .expect("successful read has a staged arrival");
+                        jobs.insert(
+                            j.id(),
+                            JobRecord {
+                                task: j.task(),
+                                arrived,
+                                read_at: now,
+                                completed: None,
+                            },
+                        );
+                    }
+                    let total = if success {
+                        self.wcet.successful_read
+                    } else {
+                        self.wcet.failed_read
+                    };
+                    let max = total.saturating_sub(probe_spent);
+                    let d = clamp(self.cost.pick(Segment::ReadFinish { success }, max), max);
+                    now = now.saturating_add(d);
+                }
+                Marker::Selection => {
+                    let d = clamp(
+                        self.cost.pick(Segment::Selection, self.wcet.selection),
+                        self.wcet.selection,
+                    );
+                    now = now.saturating_add(d);
+                }
+                Marker::Dispatch(_) => {
+                    let d = clamp(
+                        self.cost.pick(Segment::Dispatch, self.wcet.dispatch),
+                        self.wcet.dispatch,
+                    );
+                    now = now.saturating_add(d);
+                }
+                Marker::Execution(j) => {
+                    let budget = self
+                        .config
+                        .tasks()
+                        .task(j.task())
+                        .expect("scheduler validated the task")
+                        .wcet();
+                    let d = clamp(self.cost.pick(Segment::Execution(j.task()), budget), budget);
+                    now = now.saturating_add(d);
+                    response = Some(Response::Executed);
+                }
+                Marker::Completion(j) => {
+                    if let Some(record) = jobs.get_mut(&j.id()) {
+                        record.completed = Some(now);
+                    }
+                    let d = clamp(
+                        self.cost.pick(Segment::Completion, self.wcet.completion),
+                        self.wcet.completion,
+                    );
+                    now = now.saturating_add(d);
+                }
+                Marker::Idling => {
+                    let d = clamp(
+                        self.cost.pick(Segment::Idling, self.wcet.idling),
+                        self.wcet.idling,
+                    );
+                    now = now.saturating_add(d);
+                }
+            }
+        }
+
+        Ok(SimulationResult {
+            trace: TimedTrace::new(markers, timestamps)?,
+            jobs,
+            horizon,
+        })
+    }
+}
+
+/// Defensively clamps a cost-model pick into `[1, max]` so that a buggy
+/// model cannot produce WCET-violating or zero-length segments.
+fn clamp(d: Duration, max: Duration) -> Duration {
+    Duration(d.ticks().clamp(1, max.ticks().max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{FixedFraction, UniformCost, WorstCase};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rossl::FirstByteCodec;
+    use rossl_model::{Curve, Message, Priority, SocketId, Task, TaskSet};
+    use rossl_sockets::ArrivalEvent;
+    use rossl_trace::{check_functional, ProtocolAutomaton};
+
+    use crate::consistency::check_consistency;
+    use crate::wcet_check::check_wcet_compliance;
+
+    fn two_task_config(n_sockets: usize) -> ClientConfig {
+        let tasks = TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "low",
+                Priority(1),
+                Duration(20),
+                Curve::sporadic(Duration(100)),
+            ),
+            Task::new(
+                TaskId(1),
+                "high",
+                Priority(9),
+                Duration(10),
+                Curve::sporadic(Duration(120)),
+            ),
+        ])
+        .unwrap();
+        ClientConfig::new(tasks, n_sockets).unwrap()
+    }
+
+    fn arrival(t: u64, sock: usize, task: usize) -> ArrivalEvent {
+        ArrivalEvent {
+            time: Instant(t),
+            sock: SocketId(sock),
+            task: TaskId(task),
+            msg: Message::new(vec![task as u8]),
+        }
+    }
+
+    #[test]
+    fn single_job_completes() {
+        let arrivals = ArrivalSequence::from_events(vec![arrival(5, 0, 0)]);
+        let sim = Simulator::new(
+            two_task_config(1),
+            FirstByteCodec,
+            WcetTable::example(),
+            WorstCase,
+        )
+        .unwrap();
+        let result = sim.run(&arrivals, Instant(1000)).unwrap();
+        assert_eq!(result.completed_count(), 1);
+        let record = result.jobs.values().next().unwrap();
+        assert_eq!(record.arrived, Instant(5));
+        assert!(record.read_at > record.arrived);
+        assert!(record.completed.unwrap() > record.read_at);
+    }
+
+    #[test]
+    fn produced_runs_satisfy_all_paper_assumptions() {
+        // The central self-check: every simulated run satisfies protocol,
+        // functional correctness, WCET compliance and Def. 2.1 consistency.
+        for n_sockets in [1usize, 2, 3] {
+            for seed in 0..5u64 {
+                let config = two_task_config(n_sockets);
+                let events: Vec<ArrivalEvent> = (0..20)
+                    .map(|k| arrival(7 + 61 * k, (k as usize) % n_sockets, (k % 2) as usize))
+                    .collect();
+                let arrivals = ArrivalSequence::from_events(events);
+                let sim = Simulator::new(
+                    config.clone(),
+                    FirstByteCodec,
+                    WcetTable::example(),
+                    UniformCost::new(StdRng::seed_from_u64(seed)),
+                )
+                .unwrap();
+                let result = sim.run(&arrivals, Instant(5_000)).unwrap();
+
+                ProtocolAutomaton::new(n_sockets)
+                    .accept(result.trace.markers())
+                    .expect("protocol");
+                check_functional(result.trace.markers(), config.tasks()).expect("functional");
+                check_wcet_compliance(
+                    &result.trace,
+                    config.tasks(),
+                    &WcetTable::example(),
+                    n_sockets,
+                )
+                .expect("wcet");
+                check_consistency(&result.trace, &arrivals).expect("consistency");
+            }
+        }
+    }
+
+    #[test]
+    fn high_priority_preempts_queue_order() {
+        // Both jobs arrive before the scheduler first polls; the
+        // high-priority one must complete first.
+        let arrivals =
+            ArrivalSequence::from_events(vec![arrival(1, 0, 0), arrival(2, 0, 1)]);
+        let sim = Simulator::new(
+            two_task_config(1),
+            FirstByteCodec,
+            WcetTable::example(),
+            WorstCase,
+        )
+        .unwrap();
+        let result = sim.run(&arrivals, Instant(1000)).unwrap();
+        let completions = result.trace.completions();
+        assert_eq!(completions.len(), 2);
+        assert_eq!(completions[0].1, TaskId(1), "high priority completes first");
+    }
+
+    #[test]
+    fn horizon_truncates_trace() {
+        let arrivals = ArrivalSequence::new();
+        let sim = Simulator::new(
+            two_task_config(1),
+            FirstByteCodec,
+            WcetTable::example(),
+            WorstCase,
+        )
+        .unwrap();
+        let result = sim.run(&arrivals, Instant(100)).unwrap();
+        assert!(result
+            .trace
+            .timestamps()
+            .iter()
+            .all(|&t| t <= Instant(100)));
+        assert!(result.trace.len() > 3, "idle loop should produce markers");
+    }
+
+    #[test]
+    fn faster_costs_mean_earlier_completions() {
+        let arrivals = ArrivalSequence::from_events(vec![arrival(1, 0, 0)]);
+        let run = |num, den| {
+            Simulator::new(
+                two_task_config(1),
+                FirstByteCodec,
+                WcetTable::example(),
+                FixedFraction::new(num, den),
+            )
+            .unwrap()
+            .run(&arrivals, Instant(1000))
+            .unwrap()
+            .jobs
+            .values()
+            .next()
+            .unwrap()
+            .response_time()
+            .unwrap()
+        };
+        assert!(run(1, 2) <= run(1, 1));
+    }
+
+    #[test]
+    fn read_lag_is_recorded() {
+        let arrivals = ArrivalSequence::from_events(vec![arrival(50, 0, 0)]);
+        let sim = Simulator::new(
+            two_task_config(1),
+            FirstByteCodec,
+            WcetTable::example(),
+            WorstCase,
+        )
+        .unwrap();
+        let result = sim.run(&arrivals, Instant(1000)).unwrap();
+        let lag = result.max_read_lag().unwrap();
+        assert!(lag > Duration::ZERO);
+        // With an otherwise idle system the lag is at most one idle cycle
+        // plus the read itself.
+        assert!(lag < Duration(50), "lag {lag} unexpectedly large");
+    }
+
+    #[test]
+    fn invalid_wcet_rejected() {
+        let mut wcet = WcetTable::example();
+        wcet.failed_read = Duration(1);
+        assert!(matches!(
+            Simulator::new(two_task_config(1), FirstByteCodec, wcet, WorstCase),
+            Err(SimulationError::InvalidWcet(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_message_surfaces_as_drive_error() {
+        let arrivals = ArrivalSequence::from_events(vec![ArrivalEvent {
+            time: Instant(1),
+            sock: SocketId(0),
+            task: TaskId(0),
+            msg: Message::new(vec![]), // no task byte
+        }]);
+        let sim = Simulator::new(
+            two_task_config(1),
+            FirstByteCodec,
+            WcetTable::example(),
+            WorstCase,
+        )
+        .unwrap();
+        assert!(matches!(
+            sim.run(&arrivals, Instant(1000)),
+            Err(SimulationError::Drive(DriveError::UnknownMessageType { .. }))
+        ));
+    }
+
+    #[test]
+    fn max_response_time_filters_by_task() {
+        let arrivals =
+            ArrivalSequence::from_events(vec![arrival(1, 0, 0), arrival(2, 0, 1)]);
+        let sim = Simulator::new(
+            two_task_config(1),
+            FirstByteCodec,
+            WcetTable::example(),
+            WorstCase,
+        )
+        .unwrap();
+        let result = sim.run(&arrivals, Instant(2000)).unwrap();
+        let low = result.max_response_time(TaskId(0)).unwrap();
+        let high = result.max_response_time(TaskId(1)).unwrap();
+        // The low-priority job waits for the high-priority one.
+        assert!(low > high);
+    }
+}

@@ -1,0 +1,397 @@
+//! Plain-text serialization of timed traces and arrival sequences.
+//!
+//! Recording a run's timed trace and its arrival sequence makes the
+//! Thm. 5.1 verification *offline-replayable*: a trace captured on one
+//! machine (or, in a real deployment, on the target hardware) can be
+//! audited later against the analytical bounds. The format is a
+//! line-oriented text format — one marker or arrival per line — chosen
+//! over a binary format so recorded runs double as human-readable
+//! evidence.
+//!
+//! ```text
+//! # rossl-timed-trace v1
+//! 0 ReadS
+//! 3 ReadE 0 ok 0 2 02ff
+//! 16 Selection
+//! 19 Dispatch 0 2 02ff
+//! …
+//! ```
+//!
+//! Payloads are hex-encoded; job ids, tasks and sockets are decimal.
+
+use std::fmt::Write as _;
+use std::num::ParseIntError;
+
+use rossl_model::{Instant, Job, JobId, Message, MsgData, SocketId, TaskId};
+use rossl_sockets::{ArrivalEvent, ArrivalSequence};
+use rossl_trace::Marker;
+
+use crate::timed_trace::{TimedTrace, TimedTraceError};
+
+/// Header line of the trace format.
+pub const TRACE_HEADER: &str = "# rossl-timed-trace v1";
+/// Header line of the arrival-sequence format.
+pub const ARRIVALS_HEADER: &str = "# rossl-arrivals v1";
+
+/// A parse failure, with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<TimedTraceError> for ParseError {
+    fn from(e: TimedTraceError) -> ParseError {
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn hex_encode(data: &[u8]) -> String {
+    if data.is_empty() {
+        return "-".to_string();
+    }
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+fn hex_decode(s: &str, line: usize) -> Result<MsgData, ParseError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    if s.len() % 2 != 0 {
+        return Err(ParseError {
+            line,
+            message: "odd-length hex payload".into(),
+        });
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| ParseError {
+                line,
+                message: format!("bad hex payload: {e}"),
+            })
+        })
+        .collect()
+}
+
+fn job_fields(j: &Job) -> String {
+    format!("{} {} {}", j.id().0, j.task().0, hex_encode(j.data()))
+}
+
+/// Serializes a timed trace to the v1 text format.
+pub fn write_timed_trace(trace: &TimedTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{TRACE_HEADER}");
+    for (m, t) in trace.iter() {
+        let _ = match m {
+            Marker::ReadStart => writeln!(out, "{} ReadS", t.ticks()),
+            Marker::ReadEnd { sock, job: Some(j) } => {
+                writeln!(out, "{} ReadE {} ok {}", t.ticks(), sock.0, job_fields(j))
+            }
+            Marker::ReadEnd { sock, job: None } => {
+                writeln!(out, "{} ReadE {} fail", t.ticks(), sock.0)
+            }
+            Marker::Selection => writeln!(out, "{} Selection", t.ticks()),
+            Marker::Dispatch(j) => writeln!(out, "{} Dispatch {}", t.ticks(), job_fields(j)),
+            Marker::Execution(j) => writeln!(out, "{} Execution {}", t.ticks(), job_fields(j)),
+            Marker::Completion(j) => {
+                writeln!(out, "{} Completion {}", t.ticks(), job_fields(j))
+            }
+            Marker::Idling => writeln!(out, "{} Idling", t.ticks()),
+        };
+    }
+    out
+}
+
+struct Fields<'a> {
+    parts: std::str::SplitWhitespace<'a>,
+    line: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn next_str(&mut self, what: &str) -> Result<&'a str, ParseError> {
+        self.parts.next().ok_or_else(|| ParseError {
+            line: self.line,
+            message: format!("missing {what}"),
+        })
+    }
+
+    fn next_num<T: std::str::FromStr<Err = ParseIntError>>(
+        &mut self,
+        what: &str,
+    ) -> Result<T, ParseError> {
+        let raw = self.next_str(what)?;
+        raw.parse().map_err(|e| ParseError {
+            line: self.line,
+            message: format!("bad {what} `{raw}`: {e}"),
+        })
+    }
+
+    fn job(&mut self) -> Result<Job, ParseError> {
+        let id: u64 = self.next_num("job id")?;
+        let task: usize = self.next_num("task id")?;
+        let data = hex_decode(self.next_str("payload")?, self.line)?;
+        Ok(Job::new(JobId(id), TaskId(task), data))
+    }
+}
+
+/// Parses the v1 text format back into a timed trace.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line; trailing garbage,
+/// unknown marker kinds and non-monotone timestamps are all rejected.
+pub fn parse_timed_trace(text: &str) -> Result<TimedTrace, ParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == TRACE_HEADER => {}
+        _ => {
+            return Err(ParseError {
+                line: 1,
+                message: format!("expected header `{TRACE_HEADER}`"),
+            })
+        }
+    }
+    let mut markers = Vec::new();
+    let mut timestamps = Vec::new();
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut f = Fields {
+            parts: trimmed.split_whitespace(),
+            line,
+        };
+        let ts: u64 = f.next_num("timestamp")?;
+        let kind = f.next_str("marker kind")?;
+        let marker = match kind {
+            "ReadS" => Marker::ReadStart,
+            "ReadE" => {
+                let sock: usize = f.next_num("socket")?;
+                match f.next_str("outcome")? {
+                    "ok" => Marker::ReadEnd {
+                        sock: SocketId(sock),
+                        job: Some(f.job()?),
+                    },
+                    "fail" => Marker::ReadEnd {
+                        sock: SocketId(sock),
+                        job: None,
+                    },
+                    other => {
+                        return Err(ParseError {
+                            line,
+                            message: format!("unknown read outcome `{other}`"),
+                        })
+                    }
+                }
+            }
+            "Selection" => Marker::Selection,
+            "Dispatch" => Marker::Dispatch(f.job()?),
+            "Execution" => Marker::Execution(f.job()?),
+            "Completion" => Marker::Completion(f.job()?),
+            "Idling" => Marker::Idling,
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unknown marker kind `{other}`"),
+                })
+            }
+        };
+        if let Some(extra) = f.parts.next() {
+            return Err(ParseError {
+                line,
+                message: format!("trailing garbage `{extra}`"),
+            });
+        }
+        markers.push(marker);
+        timestamps.push(Instant(ts));
+    }
+    Ok(TimedTrace::new(markers, timestamps)?)
+}
+
+/// Serializes an arrival sequence to the v1 text format.
+pub fn write_arrivals(arrivals: &ArrivalSequence) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{ARRIVALS_HEADER}");
+    for e in arrivals.events() {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            e.time.ticks(),
+            e.sock.0,
+            e.task.0,
+            hex_encode(e.msg.data())
+        );
+    }
+    out
+}
+
+/// Parses the v1 arrivals format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn parse_arrivals(text: &str) -> Result<ArrivalSequence, ParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == ARRIVALS_HEADER => {}
+        _ => {
+            return Err(ParseError {
+                line: 1,
+                message: format!("expected header `{ARRIVALS_HEADER}`"),
+            })
+        }
+    }
+    let mut events = Vec::new();
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut f = Fields {
+            parts: trimmed.split_whitespace(),
+            line,
+        };
+        let time: u64 = f.next_num("arrival time")?;
+        let sock: usize = f.next_num("socket")?;
+        let task: usize = f.next_num("task")?;
+        let data = hex_decode(f.next_str("payload")?, line)?;
+        events.push(ArrivalEvent {
+            time: Instant(time),
+            sock: SocketId(sock),
+            task: TaskId(task),
+            msg: Message::new(data),
+        });
+    }
+    Ok(ArrivalSequence::from_events(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_trace() -> TimedTrace {
+        let j = Job::new(JobId(0), TaskId(2), vec![0x02, 0xff]);
+        TimedTrace::new(
+            vec![
+                Marker::ReadStart,
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: Some(j.clone()),
+                },
+                Marker::ReadStart,
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: None,
+                },
+                Marker::Selection,
+                Marker::Dispatch(j.clone()),
+                Marker::Execution(j.clone()),
+                Marker::Completion(j),
+                Marker::Idling,
+            ],
+            (0..9).map(|k| Instant(3 * k + 1)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        let trace = demo_trace();
+        let text = write_timed_trace(&trace);
+        let parsed = parse_timed_trace(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn arrivals_round_trip() {
+        let arrivals = ArrivalSequence::from_events(vec![
+            ArrivalEvent {
+                time: Instant(5),
+                sock: SocketId(1),
+                task: TaskId(0),
+                msg: Message::new(vec![]),
+            },
+            ArrivalEvent {
+                time: Instant(9),
+                sock: SocketId(0),
+                task: TaskId(3),
+                msg: Message::new(vec![3, 0, 0xaa]),
+            },
+        ]);
+        let text = write_arrivals(&arrivals);
+        assert_eq!(parse_arrivals(&text).unwrap(), arrivals);
+    }
+
+    #[test]
+    fn empty_payload_uses_dash() {
+        let text = write_arrivals(&ArrivalSequence::from_events(vec![ArrivalEvent {
+            time: Instant(1),
+            sock: SocketId(0),
+            task: TaskId(0),
+            msg: Message::new(vec![]),
+        }]));
+        assert!(text.lines().nth(1).unwrap().ends_with(" -"));
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        assert!(parse_timed_trace("0 ReadS\n").is_err());
+        assert!(parse_arrivals("").is_err());
+    }
+
+    #[test]
+    fn bad_lines_are_located() {
+        let text = format!("{TRACE_HEADER}\n0 ReadS\n5 Frobnicate\n");
+        let err = parse_timed_trace(&text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("Frobnicate"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let text = format!("{TRACE_HEADER}\n0 Selection extra\n");
+        let err = parse_timed_trace(&text).unwrap_err();
+        assert!(err.message.contains("trailing garbage"));
+    }
+
+    #[test]
+    fn odd_hex_is_rejected() {
+        let text = format!("{TRACE_HEADER}\n0 Dispatch 1 0 abc\n");
+        let err = parse_timed_trace(&text).unwrap_err();
+        assert!(err.message.contains("odd-length"));
+    }
+
+    #[test]
+    fn non_monotone_timestamps_are_rejected() {
+        let text = format!("{TRACE_HEADER}\n5 ReadS\n5 Selection\n");
+        assert!(parse_timed_trace(&text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!("{TRACE_HEADER}\n\n# a comment\n0 Idling\n");
+        let parsed = parse_timed_trace(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Timed traces `(tr, ts)` (§2.3).
+//!
+//! A timed trace pairs every marker with the instant at which the marker
+//! function was called. Timestamps are strictly increasing: distinct marker
+//! calls happen at distinct times (this is why Thm. 5.1 needs `1 < WcetFR`
+//! and `1 < WcetSR` — a read spans two markers).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rossl_model::{Duration, Instant, Job, JobId, TaskId};
+use rossl_trace::Marker;
+
+/// Construction failure for a [`TimedTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimedTraceError {
+    /// `tr` and `ts` differ in length.
+    LengthMismatch {
+        /// Number of markers.
+        markers: usize,
+        /// Number of timestamps.
+        timestamps: usize,
+    },
+    /// Timestamps are not strictly increasing.
+    NonMonotonicTimestamps {
+        /// Index of the first offending timestamp.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TimedTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimedTraceError::LengthMismatch {
+                markers,
+                timestamps,
+            } => write!(
+                f,
+                "trace has {markers} markers but {timestamps} timestamps"
+            ),
+            TimedTraceError::NonMonotonicTimestamps { index } => {
+                write!(f, "timestamp at index {index} does not strictly increase")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimedTraceError {}
+
+/// A marker trace with one timestamp per marker: the paper's `(tr, ts)`.
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::Instant;
+/// use rossl_timing::TimedTrace;
+/// use rossl_trace::Marker;
+///
+/// let tt = TimedTrace::new(
+///     vec![Marker::ReadStart, Marker::Selection],
+///     vec![Instant(0), Instant(5)],
+/// )?;
+/// assert_eq!(tt.len(), 2);
+/// assert_eq!(tt.timestamp(1), Instant(5));
+/// # Ok::<(), rossl_timing::TimedTraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TimedTrace {
+    markers: Vec<Marker>,
+    timestamps: Vec<Instant>,
+}
+
+impl TimedTrace {
+    /// Pairs a trace with its timestamps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimedTraceError`] if the lengths differ or timestamps are
+    /// not strictly increasing.
+    pub fn new(markers: Vec<Marker>, timestamps: Vec<Instant>) -> Result<TimedTrace, TimedTraceError> {
+        if markers.len() != timestamps.len() {
+            return Err(TimedTraceError::LengthMismatch {
+                markers: markers.len(),
+                timestamps: timestamps.len(),
+            });
+        }
+        for (i, w) in timestamps.windows(2).enumerate() {
+            if w[0] >= w[1] {
+                return Err(TimedTraceError::NonMonotonicTimestamps { index: i + 1 });
+            }
+        }
+        Ok(TimedTrace {
+            markers,
+            timestamps,
+        })
+    }
+
+    /// The untimed marker trace `tr`.
+    pub fn markers(&self) -> &[Marker] {
+        &self.markers
+    }
+
+    /// The timestamp list `ts`.
+    pub fn timestamps(&self) -> &[Instant] {
+        &self.timestamps
+    }
+
+    /// Number of markers.
+    pub fn len(&self) -> usize {
+        self.markers.len()
+    }
+
+    /// `true` for the empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.markers.is_empty()
+    }
+
+    /// The timestamp of marker `i` (`ts[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn timestamp(&self, i: usize) -> Instant {
+        self.timestamps[i]
+    }
+
+    /// Iterates over `(marker, timestamp)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Marker, Instant)> {
+        self.markers
+            .iter()
+            .zip(self.timestamps.iter().copied())
+    }
+
+    /// The span of virtual time covered by the trace, from the first to
+    /// the last marker; zero for traces with fewer than two markers.
+    pub fn span(&self) -> Duration {
+        match (self.timestamps.first(), self.timestamps.last()) {
+            (Some(&a), Some(&b)) => b.saturating_duration_since(a),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// The completion instant of `job`: the timestamp of its
+    /// `M_Completion` marker, if the trace contains one. (Thm. 5.1 phrases
+    /// response-time bounds as the existence of such a marker with a small
+    /// enough timestamp.)
+    pub fn completion_of(&self, job: JobId) -> Option<Instant> {
+        self.iter().find_map(|(m, t)| match m {
+            Marker::Completion(j) if j.id() == job => Some(t),
+            _ => None,
+        })
+    }
+
+    /// The instant at which `job` was read (timestamp of its successful
+    /// `M_ReadE`).
+    pub fn read_time_of(&self, job: JobId) -> Option<Instant> {
+        self.iter().find_map(|(m, t)| match m {
+            Marker::ReadEnd { job: Some(j), .. } if j.id() == job => Some(t),
+            _ => None,
+        })
+    }
+
+    /// All completions in the trace as `(job, task, completion instant)`.
+    pub fn completions(&self) -> Vec<(JobId, TaskId, Instant)> {
+        self.iter()
+            .filter_map(|(m, t)| match m {
+                Marker::Completion(j) => Some((j.id(), j.task(), t)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All jobs read in the trace, in read order.
+    pub fn jobs_read(&self) -> Vec<Job> {
+        self.iter()
+            .filter_map(|(m, _)| match m {
+                Marker::ReadEnd { job: Some(j), .. } => Some(j.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for TimedTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timed trace: {} markers over {}", self.len(), self.span())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::SocketId;
+
+    fn job(id: u64) -> Job {
+        Job::new(JobId(id), TaskId(0), vec![])
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(matches!(
+            TimedTrace::new(vec![Marker::ReadStart], vec![]),
+            Err(TimedTraceError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_monotonic_timestamps() {
+        let err = TimedTrace::new(
+            vec![Marker::ReadStart, Marker::Selection, Marker::Idling],
+            vec![Instant(0), Instant(5), Instant(5)],
+        )
+        .unwrap_err();
+        assert_eq!(err, TimedTraceError::NonMonotonicTimestamps { index: 2 });
+    }
+
+    #[test]
+    fn completion_and_read_lookups() {
+        let tt = TimedTrace::new(
+            vec![
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: Some(job(3)),
+                },
+                Marker::Completion(job(3)),
+            ],
+            vec![Instant(10), Instant(20)],
+        )
+        .unwrap();
+        assert_eq!(tt.read_time_of(JobId(3)), Some(Instant(10)));
+        assert_eq!(tt.completion_of(JobId(3)), Some(Instant(20)));
+        assert_eq!(tt.completion_of(JobId(4)), None);
+        assert_eq!(tt.completions(), vec![(JobId(3), TaskId(0), Instant(20))]);
+        assert_eq!(tt.jobs_read().len(), 1);
+        assert_eq!(tt.span(), Duration(10));
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let tt = TimedTrace::new(vec![], vec![]).unwrap();
+        assert!(tt.is_empty());
+        assert_eq!(tt.span(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,246 @@
+//! WCET compliance of timed traces (§2.3).
+//!
+//! For each basic action in the trace, the time from its starting marker to
+//! the marker starting the next action must not exceed the action's WCET,
+//! e.g. (for dispatch):
+//!
+//! ```text
+//! ∀i j. tr[i] = M_Dispatch j ⟹ ts[i+1] − ts[i] ≤ WcetDisp
+//! ```
+//!
+//! `Read` actions span two markers (`M_ReadS`, `M_ReadE`) and are bounded
+//! by `WcetFR`/`WcetSR` according to their outcome; `Exec j` is bounded by
+//! the WCET `C_i` of `j`'s task.
+
+use std::fmt;
+
+use rossl_model::{Duration, TaskId, TaskSet, WcetTable};
+use rossl_trace::{ActionSpan, BasicAction, ProtocolAutomaton, ProtocolError};
+
+use crate::timed_trace::TimedTrace;
+
+/// A violated WCET assumption (or the inability to interpret the trace).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WcetViolation {
+    /// The trace does not satisfy the scheduler protocol, so basic actions
+    /// cannot be delimited.
+    Protocol(ProtocolError),
+    /// A basic action ran longer than its WCET.
+    ActionOverrun {
+        /// The offending action span (marker indices).
+        span: ActionSpan,
+        /// The WCET bound for the action.
+        bound: Duration,
+        /// The observed duration.
+        actual: Duration,
+    },
+    /// An executed job references a task missing from the task set.
+    UnknownTask {
+        /// The unknown task id.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for WcetViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WcetViolation::Protocol(e) => write!(f, "cannot delimit basic actions: {e}"),
+            WcetViolation::ActionOverrun {
+                span,
+                bound,
+                actual,
+            } => write!(
+                f,
+                "action {span} took {} ticks, exceeding its WCET of {} ticks",
+                actual.ticks(),
+                bound.ticks()
+            ),
+            WcetViolation::UnknownTask { task } => {
+                write!(f, "executed job references unknown task {task}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WcetViolation {}
+
+impl From<ProtocolError> for WcetViolation {
+    fn from(e: ProtocolError) -> WcetViolation {
+        WcetViolation::Protocol(e)
+    }
+}
+
+/// The WCET bound applicable to a basic action.
+fn bound_of(
+    action: &BasicAction,
+    tasks: &TaskSet,
+    wcet: &WcetTable,
+) -> Result<Duration, WcetViolation> {
+    Ok(match action {
+        BasicAction::Read { job: None, .. } => wcet.failed_read,
+        BasicAction::Read { job: Some(_), .. } => wcet.successful_read,
+        BasicAction::Selection(_) => wcet.selection,
+        BasicAction::Dispatch(_) => wcet.dispatch,
+        BasicAction::Execution(j) => tasks
+            .task(j.task())
+            .ok_or(WcetViolation::UnknownTask { task: j.task() })?
+            .wcet(),
+        BasicAction::Completion(_) => wcet.completion,
+        BasicAction::Idling => wcet.idling,
+    })
+}
+
+/// Checks that every complete basic action in `trace` respects its WCET.
+///
+/// Only *complete* actions (whose closing marker is in the trace) are
+/// checked; the trailing in-progress action is unconstrained, matching the
+/// paper's treatment of the horizon.
+///
+/// # Errors
+///
+/// Returns the first [`WcetViolation`] in trace order.
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::*;
+/// use rossl_timing::{check_wcet_compliance, TimedTrace};
+/// use rossl_trace::Marker;
+///
+/// let tasks = TaskSet::new(vec![Task::new(
+///     TaskId(0), "t", Priority(1), Duration(10), Curve::sporadic(Duration(50)),
+/// )])?;
+/// let wcet = WcetTable::example();
+/// // A failed read taking 3 ticks (within WcetFR = 4), then selection.
+/// let tt = TimedTrace::new(
+///     vec![
+///         Marker::ReadStart,
+///         Marker::ReadEnd { sock: SocketId(0), job: None },
+///         Marker::Selection,
+///     ],
+///     vec![Instant(0), Instant(2), Instant(3)],
+/// )?;
+/// assert!(check_wcet_compliance(&tt, &tasks, &wcet, 1).is_ok());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_wcet_compliance(
+    trace: &TimedTrace,
+    tasks: &TaskSet,
+    wcet: &WcetTable,
+    n_sockets: usize,
+) -> Result<(), WcetViolation> {
+    let run = ProtocolAutomaton::new(n_sockets).accept(trace.markers())?;
+    for span in run.complete_actions() {
+        let end = span.end.expect("complete_actions yields closed spans");
+        let actual = trace
+            .timestamp(end)
+            .saturating_duration_since(trace.timestamp(span.start));
+        let bound = bound_of(&span.action, tasks, wcet)?;
+        if actual > bound {
+            return Err(WcetViolation::ActionOverrun {
+                span: span.clone(),
+                bound,
+                actual,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{Curve, Instant, Job, JobId, Priority, SocketId, Task};
+    use rossl_trace::Marker;
+
+    fn tasks() -> TaskSet {
+        TaskSet::new(vec![Task::new(
+            TaskId(0),
+            "t",
+            Priority(1),
+            Duration(10),
+            Curve::sporadic(Duration(50)),
+        )])
+        .unwrap()
+    }
+
+    fn job() -> Job {
+        Job::new(JobId(0), TaskId(0), vec![0])
+    }
+
+    /// One full job cycle with controllable timestamps.
+    fn cycle_markers() -> Vec<Marker> {
+        vec![
+            Marker::ReadStart,                                        // 0
+            Marker::ReadEnd { sock: SocketId(0), job: Some(job()) },  // 1
+            Marker::ReadStart,                                        // 2
+            Marker::ReadEnd { sock: SocketId(0), job: None },         // 3
+            Marker::Selection,                                        // 4
+            Marker::Dispatch(job()),                                  // 5
+            Marker::Execution(job()),                                 // 6
+            Marker::Completion(job()),                                // 7
+            Marker::ReadStart,                                        // 8
+        ]
+    }
+
+    #[test]
+    fn compliant_cycle_passes() {
+        // WCETs: FR=4, SR=6, Sel=3, Disp=2, Compl=2, C_0=10.
+        let ts = vec![0u64, 3, 6, 8, 10, 12, 14, 24, 26]
+            .into_iter()
+            .map(Instant)
+            .collect();
+        let tt = TimedTrace::new(cycle_markers(), ts).unwrap();
+        check_wcet_compliance(&tt, &tasks(), &WcetTable::example(), 1).unwrap();
+    }
+
+    #[test]
+    fn slow_successful_read_is_caught() {
+        // Successful read spans markers 0..2; make it take 7 > WcetSR = 6.
+        let ts = vec![0u64, 5, 7, 9, 11, 13, 15, 25, 27]
+            .into_iter()
+            .map(Instant)
+            .collect();
+        let tt = TimedTrace::new(cycle_markers(), ts).unwrap();
+        let err = check_wcet_compliance(&tt, &tasks(), &WcetTable::example(), 1).unwrap_err();
+        match err {
+            WcetViolation::ActionOverrun { span, bound, actual } => {
+                assert_eq!(span.start, 0);
+                assert_eq!(bound, Duration(6));
+                assert_eq!(actual, Duration(7));
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn callback_overrun_is_caught() {
+        // Execution spans markers 6..7; make it take 11 > C_0 = 10.
+        let ts = vec![0u64, 3, 6, 8, 10, 12, 14, 25, 27]
+            .into_iter()
+            .map(Instant)
+            .collect();
+        let tt = TimedTrace::new(cycle_markers(), ts).unwrap();
+        let err = check_wcet_compliance(&tt, &tasks(), &WcetTable::example(), 1).unwrap_err();
+        assert!(matches!(
+            err,
+            WcetViolation::ActionOverrun { actual: Duration(11), .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_action_is_unconstrained() {
+        // Trace ends right after M_ReadS: nothing to check.
+        let tt = TimedTrace::new(vec![Marker::ReadStart], vec![Instant(0)]).unwrap();
+        assert!(check_wcet_compliance(&tt, &tasks(), &WcetTable::example(), 1).is_ok());
+    }
+
+    #[test]
+    fn protocol_violations_are_surfaced() {
+        let tt = TimedTrace::new(vec![Marker::Selection], vec![Instant(0)]).unwrap();
+        assert!(matches!(
+            check_wcet_compliance(&tt, &tasks(), &WcetTable::example(), 1),
+            Err(WcetViolation::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,182 @@
+//! Basic actions (Fig. 4) and their spans within a trace.
+//!
+//! A basic action is a loop-free segment of the scheduler's execution,
+//! delimited by marker functions (§2.2). Converting a marker trace into a
+//! sequence of basic actions is part of accepting the trace with the
+//! [`ProtocolAutomaton`](crate::ProtocolAutomaton); this module defines the
+//! result types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rossl_model::{Job, SocketId};
+
+/// A basic action (Fig. 4):
+///
+/// ```text
+/// basic_actions ≜ Read sock j⊥ | Selection j⊥ | Disp j | Exec j | Compl j | Idling
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BasicAction {
+    /// `Read sock j⊥`: one `read` system call on `sock`; `job` is the job
+    /// created on success, `None` on failure.
+    Read {
+        /// The socket read.
+        sock: SocketId,
+        /// The job read, if the read succeeded.
+        job: Option<Job>,
+    },
+    /// `Selection j⊥`: one run of `npfp_dequeue`, selecting `job` (or
+    /// nothing when no job is pending).
+    Selection(Option<Job>),
+    /// `Disp j`: preparing to run the callback of `job`.
+    Dispatch(Job),
+    /// `Exec j`: the uninterrupted execution of `job`'s callback.
+    Execution(Job),
+    /// `Compl j`: cleanup after `job`'s callback returned.
+    Completion(Job),
+    /// `Idling`: one bounded idle iteration.
+    Idling,
+}
+
+/// The discriminant of a [`BasicAction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// A successful read.
+    ReadSuccess,
+    /// A failed read.
+    ReadFailure,
+    /// A successful selection.
+    SelectionSuccess,
+    /// A failed selection (no pending job).
+    SelectionFailure,
+    /// Dispatch.
+    Dispatch,
+    /// Callback execution.
+    Execution,
+    /// Completion.
+    Completion,
+    /// Idling.
+    Idling,
+}
+
+impl BasicAction {
+    /// The kind of this action.
+    pub fn kind(&self) -> ActionKind {
+        match self {
+            BasicAction::Read { job: Some(_), .. } => ActionKind::ReadSuccess,
+            BasicAction::Read { job: None, .. } => ActionKind::ReadFailure,
+            BasicAction::Selection(Some(_)) => ActionKind::SelectionSuccess,
+            BasicAction::Selection(None) => ActionKind::SelectionFailure,
+            BasicAction::Dispatch(_) => ActionKind::Dispatch,
+            BasicAction::Execution(_) => ActionKind::Execution,
+            BasicAction::Completion(_) => ActionKind::Completion,
+            BasicAction::Idling => ActionKind::Idling,
+        }
+    }
+
+    /// The job the action concerns, if any.
+    pub fn job(&self) -> Option<&Job> {
+        match self {
+            BasicAction::Read { job, .. } | BasicAction::Selection(job) => job.as_ref(),
+            BasicAction::Dispatch(j) | BasicAction::Execution(j) | BasicAction::Completion(j) => {
+                Some(j)
+            }
+            BasicAction::Idling => None,
+        }
+    }
+}
+
+impl fmt::Display for BasicAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicAction::Read { sock, job: Some(j) } => write!(f, "Read {sock} {j}"),
+            BasicAction::Read { sock, job: None } => write!(f, "Read {sock} ⊥"),
+            BasicAction::Selection(Some(j)) => write!(f, "Selection {j}"),
+            BasicAction::Selection(None) => write!(f, "Selection ⊥"),
+            BasicAction::Dispatch(j) => write!(f, "Disp {j}"),
+            BasicAction::Execution(j) => write!(f, "Exec {j}"),
+            BasicAction::Completion(j) => write!(f, "Compl {j}"),
+            BasicAction::Idling => write!(f, "Idling"),
+        }
+    }
+}
+
+/// A basic action located within a trace: the marker index at which it
+/// starts and the index of the marker that starts the **next** action (if
+/// the trace continues that far).
+///
+/// With a list of timestamps `ts` (one per marker, §2.3), the action
+/// occupies the half-open interval `[ts[start], ts[end])`; its WCET
+/// assumption (§2.3) constrains exactly that difference.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionSpan {
+    /// The action performed.
+    pub action: BasicAction,
+    /// Index of the marker that starts this action.
+    pub start: usize,
+    /// Index of the marker that starts the next action; `None` if the trace
+    /// ends while this action is still in progress.
+    pub end: Option<usize>,
+}
+
+impl ActionSpan {
+    /// `true` if the trace contains the action's full extent.
+    pub fn is_complete(&self) -> bool {
+        self.end.is_some()
+    }
+}
+
+impl fmt::Display for ActionSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.end {
+            Some(end) => write!(f, "{} @ [{}, {})", self.action, self.start, end),
+            None => write!(f, "{} @ [{}, …)", self.action, self.start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{JobId, TaskId};
+
+    fn job() -> Job {
+        Job::new(JobId(0), TaskId(1), vec![1])
+    }
+
+    #[test]
+    fn kinds_cover_success_and_failure() {
+        assert_eq!(
+            BasicAction::Read {
+                sock: SocketId(0),
+                job: None
+            }
+            .kind(),
+            ActionKind::ReadFailure
+        );
+        assert_eq!(
+            BasicAction::Selection(Some(job())).kind(),
+            ActionKind::SelectionSuccess
+        );
+        assert_eq!(BasicAction::Idling.kind(), ActionKind::Idling);
+    }
+
+    #[test]
+    fn span_completeness() {
+        let open = ActionSpan {
+            action: BasicAction::Idling,
+            start: 3,
+            end: None,
+        };
+        assert!(!open.is_complete());
+        assert_eq!(open.to_string(), "Idling @ [3, …)");
+        let closed = ActionSpan {
+            action: BasicAction::Execution(job()),
+            start: 5,
+            end: Some(6),
+        };
+        assert!(closed.is_complete());
+    }
+}

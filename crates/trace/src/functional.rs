@@ -1,0 +1,352 @@
+//! Functional correctness of traces (Def. 3.2, `tr_valid`).
+//!
+//! A trace is functionally correct iff
+//!
+//! 1. **Selected jobs have the highest priority**: whenever
+//!    `tr[i] = M_Dispatch j`, job `j` is pending at `i` and its priority is
+//!    higher-than-or-equal to the priority of every other pending job.
+//! 2. **Idling only if no jobs are pending**: whenever `tr[i] = M_Idling`,
+//!    `pending_jobs(i) = ∅`.
+//! 3. **Jobs have unique identifiers**: distinct successful reads yield
+//!    distinct job ids.
+//!
+//! The checker maintains the pending set incrementally (the paper's
+//! separation-logic assertion `currently_pending js`); its agreement with
+//! the definitional [`pending_jobs`](crate::pending_jobs) recomputation is
+//! covered by property tests.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+use rossl_model::{Job, JobId, TaskId, TaskSet};
+
+use crate::marker::Marker;
+
+/// A violation of Def. 3.2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FunctionalError {
+    /// A dispatched job was not in the pending set.
+    DispatchOfNonPending {
+        /// Index of the offending `M_Dispatch`.
+        index: usize,
+        /// The dispatched job's id.
+        job: JobId,
+    },
+    /// A dispatched job did not have maximal priority among pending jobs.
+    DispatchNotHighestPriority {
+        /// Index of the offending `M_Dispatch`.
+        index: usize,
+        /// The dispatched job's id.
+        dispatched: JobId,
+        /// A pending job with strictly higher priority.
+        better: JobId,
+    },
+    /// The scheduler idled while jobs were pending.
+    IdleWithPendingJobs {
+        /// Index of the offending `M_Idling`.
+        index: usize,
+        /// Number of jobs pending at that index.
+        pending: usize,
+    },
+    /// Two successful reads produced the same job id.
+    DuplicateJobId {
+        /// Index of the second (offending) read.
+        index: usize,
+        /// The duplicated id.
+        id: JobId,
+    },
+    /// A marker referenced a task id outside the task set.
+    UnknownTask {
+        /// Index of the offending marker.
+        index: usize,
+        /// The unknown task.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for FunctionalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionalError::DispatchOfNonPending { index, job } => {
+                write!(f, "index {index}: dispatched job {job} is not pending")
+            }
+            FunctionalError::DispatchNotHighestPriority {
+                index,
+                dispatched,
+                better,
+            } => write!(
+                f,
+                "index {index}: dispatched {dispatched} while higher-priority {better} pends"
+            ),
+            FunctionalError::IdleWithPendingJobs { index, pending } => {
+                write!(f, "index {index}: idling with {pending} pending job(s)")
+            }
+            FunctionalError::DuplicateJobId { index, id } => {
+                write!(f, "index {index}: job id {id} read twice")
+            }
+            FunctionalError::UnknownTask { index, task } => {
+                write!(f, "index {index}: marker references unknown task {task}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FunctionalError {}
+
+/// Checks Def. 3.2 (`tr_valid tr`) against the priorities in `tasks`.
+///
+/// Independent of the scheduler protocol: it can be run on arbitrary marker
+/// sequences (and is, during fault injection). Run it together with
+/// [`ProtocolAutomaton::accept`](crate::ProtocolAutomaton::accept) to
+/// establish both halves of Thm. 3.4.
+///
+/// # Errors
+///
+/// Returns the first [`FunctionalError`] in trace order.
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::*;
+/// use rossl_trace::{check_functional, Marker};
+///
+/// let tasks = TaskSet::new(vec![Task::new(
+///     TaskId(0), "t", Priority(1), Duration(5), Curve::sporadic(Duration(10)),
+/// )])?;
+/// let j = Job::new(JobId(0), TaskId(0), vec![]);
+/// let tr = vec![
+///     Marker::ReadStart,
+///     Marker::ReadEnd { sock: SocketId(0), job: Some(j.clone()) },
+///     Marker::Selection,
+///     Marker::Dispatch(j),
+/// ];
+/// assert!(check_functional(&tr, &tasks).is_ok());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_functional(trace: &[Marker], tasks: &TaskSet) -> Result<(), FunctionalError> {
+    let mut pending: BTreeMap<JobId, Job> = BTreeMap::new();
+    let mut seen_ids: HashSet<JobId> = HashSet::new();
+
+    let priority_of = |index: usize, job: &Job| {
+        tasks
+            .task(job.task())
+            .map(|t| t.priority())
+            .ok_or(FunctionalError::UnknownTask {
+                index,
+                task: job.task(),
+            })
+    };
+
+    for (index, marker) in trace.iter().enumerate() {
+        match marker {
+            Marker::ReadEnd { job: Some(j), .. } => {
+                if !seen_ids.insert(j.id()) {
+                    return Err(FunctionalError::DuplicateJobId {
+                        index,
+                        id: j.id(),
+                    });
+                }
+                priority_of(index, j)?;
+                pending.insert(j.id(), j.clone());
+            }
+            Marker::Dispatch(j) => {
+                if !pending.contains_key(&j.id()) {
+                    return Err(FunctionalError::DispatchOfNonPending {
+                        index,
+                        job: j.id(),
+                    });
+                }
+                let p = priority_of(index, j)?;
+                for other in pending.values() {
+                    if priority_of(index, other)? > p {
+                        return Err(FunctionalError::DispatchNotHighestPriority {
+                            index,
+                            dispatched: j.id(),
+                            better: other.id(),
+                        });
+                    }
+                }
+                pending.remove(&j.id());
+            }
+            Marker::Idling
+                if !pending.is_empty() => {
+                    return Err(FunctionalError::IdleWithPendingJobs {
+                        index,
+                        pending: pending.len(),
+                    });
+                }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{Curve, Duration, Priority, SocketId, Task};
+
+    fn tasks() -> TaskSet {
+        TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "low",
+                Priority(1),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+            Task::new(
+                TaskId(1),
+                "high",
+                Priority(9),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn job(id: u64, task: usize) -> Job {
+        Job::new(JobId(id), TaskId(task), vec![task as u8])
+    }
+
+    fn read(j: Job) -> Marker {
+        Marker::ReadEnd {
+            sock: SocketId(0),
+            job: Some(j),
+        }
+    }
+
+    #[test]
+    fn highest_priority_dispatch_accepted() {
+        let tr = vec![
+            read(job(0, 0)),
+            read(job(1, 1)),
+            Marker::Selection,
+            Marker::Dispatch(job(1, 1)), // high priority first: ok
+            Marker::Selection,
+            Marker::Dispatch(job(0, 0)),
+        ];
+        assert!(check_functional(&tr, &tasks()).is_ok());
+    }
+
+    #[test]
+    fn lower_priority_dispatch_rejected() {
+        let tr = vec![
+            read(job(0, 0)),
+            read(job(1, 1)),
+            Marker::Selection,
+            Marker::Dispatch(job(0, 0)), // low priority while high pends
+        ];
+        let err = check_functional(&tr, &tasks()).unwrap_err();
+        assert_eq!(
+            err,
+            FunctionalError::DispatchNotHighestPriority {
+                index: 3,
+                dispatched: JobId(0),
+                better: JobId(1),
+            }
+        );
+    }
+
+    #[test]
+    fn equal_priority_dispatch_accepted_either_way() {
+        let eq_tasks = TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "a",
+                Priority(5),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+            Task::new(
+                TaskId(1),
+                "b",
+                Priority(5),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+        ])
+        .unwrap();
+        for first in [0u64, 1] {
+            let tr = vec![
+                read(job(0, 0)),
+                read(job(1, 1)),
+                Marker::Dispatch(job(first, first as usize)),
+            ];
+            assert!(check_functional(&tr, &eq_tasks).is_ok(), "first = {first}");
+        }
+    }
+
+    #[test]
+    fn dispatch_of_unread_job_rejected() {
+        let tr = vec![Marker::Dispatch(job(7, 0))];
+        assert_eq!(
+            check_functional(&tr, &tasks()).unwrap_err(),
+            FunctionalError::DispatchOfNonPending {
+                index: 0,
+                job: JobId(7)
+            }
+        );
+    }
+
+    #[test]
+    fn double_dispatch_rejected() {
+        let tr = vec![
+            read(job(0, 1)),
+            Marker::Dispatch(job(0, 1)),
+            Marker::Dispatch(job(0, 1)),
+        ];
+        assert!(matches!(
+            check_functional(&tr, &tasks()).unwrap_err(),
+            FunctionalError::DispatchOfNonPending { index: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn idle_with_pending_rejected() {
+        let tr = vec![read(job(0, 0)), Marker::Idling];
+        assert_eq!(
+            check_functional(&tr, &tasks()).unwrap_err(),
+            FunctionalError::IdleWithPendingJobs {
+                index: 1,
+                pending: 1
+            }
+        );
+    }
+
+    #[test]
+    fn idle_after_dispatch_accepted() {
+        let tr = vec![read(job(0, 0)), Marker::Dispatch(job(0, 0)), Marker::Idling];
+        assert!(check_functional(&tr, &tasks()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let tr = vec![read(job(3, 0)), Marker::Dispatch(job(3, 0)), read(job(3, 0))];
+        assert_eq!(
+            check_functional(&tr, &tasks()).unwrap_err(),
+            FunctionalError::DuplicateJobId {
+                index: 2,
+                id: JobId(3)
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_task_rejected() {
+        let tr = vec![read(job(0, 42))];
+        assert!(matches!(
+            check_functional(&tr, &tasks()).unwrap_err(),
+            FunctionalError::UnknownTask {
+                index: 0,
+                task: TaskId(42)
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert!(check_functional(&[], &tasks()).is_ok());
+    }
+}

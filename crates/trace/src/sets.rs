@@ -1,0 +1,113 @@
+//! The auxiliary job-set definitions of the paper.
+//!
+//! * `read_jobs(i) ≜ { j | ∃k sock. k < i ∧ tr[k] = M_ReadE sock j }`
+//!   (Def. 2.1).
+//! * `pending_jobs(i) ≜ { j | ∃k_r < i. tr[k_r] = M_ReadE _ j ∧
+//!   ∀k < i. tr[k] ≠ M_Dispatch j }` (Def. 3.2).
+//!
+//! These definitional functions recompute the sets from scratch, exactly as
+//! written in the paper — they exist so that tests can cross-check the
+//! incremental implementations used by the checkers.
+
+use rossl_model::Job;
+
+use crate::marker::Marker;
+
+/// All jobs read strictly before index `i` (Def. 2.1's `read_jobs`).
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::{Job, JobId, SocketId, TaskId};
+/// use rossl_trace::{read_jobs, Marker};
+/// let j = Job::new(JobId(0), TaskId(0), vec![]);
+/// let tr = vec![
+///     Marker::ReadStart,
+///     Marker::ReadEnd { sock: SocketId(0), job: Some(j.clone()) },
+/// ];
+/// assert!(read_jobs(&tr, 1).is_empty());
+/// assert_eq!(read_jobs(&tr, 2), vec![j]);
+/// ```
+pub fn read_jobs(trace: &[Marker], i: usize) -> Vec<Job> {
+    trace[..i.min(trace.len())]
+        .iter()
+        .filter_map(|m| match m {
+            Marker::ReadEnd { job: Some(j), .. } => Some(j.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// All jobs read but not yet dispatched strictly before index `i`
+/// (Def. 3.2's `pending_jobs`).
+pub fn pending_jobs(trace: &[Marker], i: usize) -> Vec<Job> {
+    let upto = &trace[..i.min(trace.len())];
+    read_jobs(trace, i)
+        .into_iter()
+        .filter(|j| {
+            !upto
+                .iter()
+                .any(|m| matches!(m, Marker::Dispatch(d) if d.id() == j.id()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{JobId, SocketId, TaskId};
+
+    fn job(id: u64) -> Job {
+        Job::new(JobId(id), TaskId(0), vec![])
+    }
+
+    fn demo_trace() -> Vec<Marker> {
+        vec![
+            Marker::ReadStart,
+            Marker::ReadEnd {
+                sock: SocketId(0),
+                job: Some(job(1)),
+            },
+            Marker::ReadStart,
+            Marker::ReadEnd {
+                sock: SocketId(0),
+                job: Some(job(2)),
+            },
+            Marker::ReadStart,
+            Marker::ReadEnd {
+                sock: SocketId(0),
+                job: None,
+            },
+            Marker::Selection,
+            Marker::Dispatch(job(2)),
+            Marker::Execution(job(2)),
+            Marker::Completion(job(2)),
+        ]
+    }
+
+    #[test]
+    fn read_jobs_grows_with_reads() {
+        let tr = demo_trace();
+        assert!(read_jobs(&tr, 0).is_empty());
+        assert_eq!(read_jobs(&tr, 2).len(), 1);
+        assert_eq!(read_jobs(&tr, 4).len(), 2);
+        assert_eq!(read_jobs(&tr, 6).len(), 2); // failed read adds nothing
+        assert_eq!(read_jobs(&tr, 100).len(), 2); // clamped to trace length
+    }
+
+    #[test]
+    fn pending_excludes_dispatched() {
+        let tr = demo_trace();
+        // Before the dispatch, both jobs pend.
+        let ids: Vec<JobId> = pending_jobs(&tr, 7).iter().map(Job::id).collect();
+        assert_eq!(ids, vec![JobId(1), JobId(2)]);
+        // After the dispatch of j2, only j1 pends.
+        let ids: Vec<JobId> = pending_jobs(&tr, 8).iter().map(Job::id).collect();
+        assert_eq!(ids, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn pending_at_index_zero_is_empty() {
+        assert!(pending_jobs(&demo_trace(), 0).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Summary statistics over traces, used by the experiment harness.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rossl_model::TaskId;
+
+use crate::marker::{Marker, MarkerKind};
+
+/// Counts of trace events, overall and per task.
+///
+/// # Examples
+///
+/// ```
+/// use rossl_model::{Job, JobId, SocketId, TaskId};
+/// use rossl_trace::{Marker, TraceStats};
+/// let j = Job::new(JobId(0), TaskId(0), vec![]);
+/// let tr = vec![
+///     Marker::ReadStart,
+///     Marker::ReadEnd { sock: SocketId(0), job: Some(j.clone()) },
+///     Marker::Dispatch(j.clone()),
+///     Marker::Completion(j),
+/// ];
+/// let stats = TraceStats::compute(&tr);
+/// assert_eq!(stats.jobs_read, 1);
+/// assert_eq!(stats.jobs_completed, 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total markers in the trace.
+    pub markers: usize,
+    /// Successful reads (= jobs entering the system).
+    pub jobs_read: usize,
+    /// Failed reads.
+    pub failed_reads: usize,
+    /// Jobs dispatched.
+    pub jobs_dispatched: usize,
+    /// Jobs completed.
+    pub jobs_completed: usize,
+    /// Idle iterations.
+    pub idle_iterations: usize,
+    /// Selection-phase entries.
+    pub selections: usize,
+    /// Jobs completed, per task.
+    pub completed_per_task: BTreeMap<TaskId, usize>,
+    /// Jobs read, per task.
+    pub read_per_task: BTreeMap<TaskId, usize>,
+}
+
+impl TraceStats {
+    /// Computes the statistics of `trace`.
+    pub fn compute(trace: &[Marker]) -> TraceStats {
+        let mut s = TraceStats {
+            markers: trace.len(),
+            ..TraceStats::default()
+        };
+        for m in trace {
+            match m.kind() {
+                MarkerKind::ReadEndSuccess => {
+                    s.jobs_read += 1;
+                    if let Some(j) = m.job() {
+                        *s.read_per_task.entry(j.task()).or_default() += 1;
+                    }
+                }
+                MarkerKind::ReadEndFailure => s.failed_reads += 1,
+                MarkerKind::Dispatch => s.jobs_dispatched += 1,
+                MarkerKind::Completion => {
+                    s.jobs_completed += 1;
+                    if let Some(j) = m.job() {
+                        *s.completed_per_task.entry(j.task()).or_default() += 1;
+                    }
+                }
+                MarkerKind::Idling => s.idle_iterations += 1,
+                MarkerKind::Selection => s.selections += 1,
+                MarkerKind::ReadStart | MarkerKind::Execution => {}
+            }
+        }
+        s
+    }
+
+    /// Jobs read but not completed by the end of the trace.
+    pub fn jobs_in_flight(&self) -> usize {
+        self.jobs_read.saturating_sub(self.jobs_completed)
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} markers: {} read ({} failed reads), {} dispatched, {} completed, {} idle",
+            self.markers,
+            self.jobs_read,
+            self.failed_reads,
+            self.jobs_dispatched,
+            self.jobs_completed,
+            self.idle_iterations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{Job, JobId, SocketId};
+
+    #[test]
+    fn counts_are_accurate() {
+        let j0 = Job::new(JobId(0), TaskId(0), vec![]);
+        let j1 = Job::new(JobId(1), TaskId(1), vec![]);
+        let tr = vec![
+            Marker::ReadStart,
+            Marker::ReadEnd {
+                sock: SocketId(0),
+                job: Some(j0.clone()),
+            },
+            Marker::ReadStart,
+            Marker::ReadEnd {
+                sock: SocketId(0),
+                job: Some(j1.clone()),
+            },
+            Marker::ReadStart,
+            Marker::ReadEnd {
+                sock: SocketId(0),
+                job: None,
+            },
+            Marker::Selection,
+            Marker::Dispatch(j1.clone()),
+            Marker::Execution(j1.clone()),
+            Marker::Completion(j1),
+            Marker::Selection,
+            Marker::Idling,
+        ];
+        let s = TraceStats::compute(&tr);
+        assert_eq!(s.markers, 12);
+        assert_eq!(s.jobs_read, 2);
+        assert_eq!(s.failed_reads, 1);
+        assert_eq!(s.jobs_dispatched, 1);
+        assert_eq!(s.jobs_completed, 1);
+        assert_eq!(s.idle_iterations, 1);
+        assert_eq!(s.selections, 2);
+        assert_eq!(s.jobs_in_flight(), 1);
+        assert_eq!(s.completed_per_task.get(&TaskId(1)), Some(&1));
+        assert_eq!(s.read_per_task.get(&TaskId(0)), Some(&1));
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = TraceStats::compute(&[]);
+        assert_eq!(s, TraceStats::default());
+        assert!(s.to_string().contains("0 markers"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Why overhead-aware analysis matters (§1.1, §2.2): the overhead-
+//! oblivious classical NPFP RTA declares systems schedulable whose real
+//! (overhead-laden) runs miss the classical bound — while the
+//! RefinedProsa bound remains sound. This example sweeps the arrival rate
+//! and prints where the naive analysis first breaks.
+//!
+//! ```sh
+//! cargo run --example overload_analysis
+//! ```
+
+use refined_prosa::prosa::{analyse, analyse_baseline};
+use refined_prosa::SystemBuilder;
+use rossl::FirstByteCodec;
+use rossl_model::{Curve, Duration, Instant, Priority, TaskId};
+use rossl_timing::{workload, WorstCase};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("period | naive bound | aware bound | worst observed | naive sound?");
+    println!("-------+-------------+-------------+----------------+-------------");
+
+    for period in [400u64, 300, 250, 200, 150, 120] {
+        // Two tasks sharing one socket; shrinking the period raises both
+        // load and per-job overhead pressure.
+        let system = SystemBuilder::new()
+            .task(
+                "worker",
+                Priority(2),
+                Duration(60),
+                Curve::sporadic(Duration(period)),
+            )
+            .task(
+                "monitor",
+                Priority(7),
+                Duration(20),
+                Curve::sporadic(Duration(period * 2)),
+            )
+            .sockets(2)
+            .build()?;
+
+        let horizon = Duration(600_000);
+        let naive = analyse_baseline(system.params(), horizon)?;
+        // `Err` here means the overhead-aware analysis refuses: overloaded.
+        let aware = analyse(system.params(), horizon).ok();
+
+        // Adversarial run: saturating arrivals, worst-case costs.
+        let arrivals = workload::saturating(
+            system.tasks(),
+            &FirstByteCodec,
+            &workload::round_robin_sockets(system.n_sockets()),
+            Instant(60_000),
+        );
+        let run = system.simulate(&arrivals, WorstCase, Instant(120_000))?;
+        let observed = run.max_response_time(TaskId(0));
+
+        let naive_bound = naive.bound_for(TaskId(0)).expect("analysed").total_bound();
+        let naive_sound = observed.map_or(true, |o| o <= naive_bound);
+        println!(
+            "{:>6} | {:>11} | {:>11} | {:>14} | {}",
+            period,
+            naive_bound.ticks(),
+            aware
+                .as_ref()
+                .map(|a| a.bound_for(TaskId(0)).expect("analysed").total_bound().ticks().to_string())
+                .unwrap_or_else(|| "overload".into()),
+            observed.map(|o| o.ticks().to_string()).unwrap_or_else(|| "-".into()),
+            if naive_sound { "yes" } else { "NO — overheads bite" },
+        );
+
+        // Whenever the overhead-aware analysis produces a bound, it must
+        // cover the observation.
+        if let (Some(aware), Some(observed)) = (&aware, observed) {
+            let b = aware.bound_for(TaskId(0)).expect("analysed").total_bound();
+            assert!(observed <= b, "aware bound violated: {observed} > {b}");
+        }
+    }
+
+    println!(
+        "\nThe naive column stops covering the observations before the aware\n\
+         column does — ignoring scheduling overheads in an interrupt-free\n\
+         scheduler yields unsound guarantees (the paper's core motivation)."
+    );
+    Ok(())
+}

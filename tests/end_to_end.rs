@@ -1,0 +1,185 @@
+//! End-to-end integration of the whole RefinedProsa pipeline: analysis,
+//! simulation, verification and the supply-bound comparison — across
+//! several system shapes.
+
+use refined_prosa::prosa::{analyse, analyse_baseline, BlackoutBound, RosslSupply, SupplyBound};
+use refined_prosa::{SystemBuilder, TimingVerifier};
+use rossl::FirstByteCodec;
+use rossl_model::{Curve, Duration, Instant, Priority, TaskId, WcetTable};
+use rossl_schedule::convert;
+use rossl_timing::{workload, WorstCase};
+
+fn builders() -> Vec<(&'static str, refined_prosa::RosslSystem)> {
+    vec![
+        (
+            "single-task-single-socket",
+            SystemBuilder::new()
+                .task("only", Priority(1), Duration(20), Curve::sporadic(Duration(500)))
+                .sockets(1)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "three-tier-two-sockets",
+            SystemBuilder::new()
+                .task("logging", Priority(0), Duration(60), Curve::sporadic(Duration(4_000)))
+                .task("control", Priority(5), Duration(25), Curve::sporadic(Duration(1_500)))
+                .task("safety", Priority(9), Duration(10), Curve::sporadic(Duration(1_000)))
+                .sockets(2)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "bursty-arrivals",
+            SystemBuilder::new()
+                .task("bursty", Priority(3), Duration(15), Curve::leaky_bucket(3, 1, 1_500))
+                .task("steady", Priority(6), Duration(10), Curve::sporadic(Duration(800)))
+                .sockets(2)
+                .build()
+                .unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn every_configuration_verifies_with_zero_violations() {
+    for (name, system) in builders() {
+        for seed in 0..3u64 {
+            let report = system
+                .run_verified(seed, Instant(40_000))
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert_eq!(report.bound_violations, 0, "{name} seed {seed}: {report}");
+            assert!(report.jobs_completed > 0, "{name} produced no completions");
+        }
+    }
+}
+
+#[test]
+fn observed_response_times_stay_under_the_analytical_bound() {
+    for (name, system) in builders() {
+        let verifier = system.verifier(Duration(400_000)).unwrap();
+        // Adversarial: saturating workload, worst-case costs.
+        let arrivals = workload::saturating(
+            system.tasks(),
+            &FirstByteCodec,
+            &workload::round_robin_sockets(system.n_sockets()),
+            Instant(30_000),
+        );
+        let run = system
+            .simulate(&arrivals, WorstCase, Instant(60_000))
+            .unwrap();
+        let report = verifier.verify(&arrivals, &run).unwrap();
+        assert_eq!(report.bound_violations, 0, "{name}: {report}");
+        for outcome in &report.per_task {
+            if let Some(t) = outcome.tightness() {
+                assert!(t <= 1.0, "{name} {}: tightness {t}", outcome.task);
+                // The bound should not be absurdly loose either (shape
+                // check): within ~60x of the observation.
+                assert!(t > 1.0 / 60.0, "{name} {}: bound vacuous? {t}", outcome.task);
+            }
+        }
+    }
+}
+
+#[test]
+fn overhead_aware_bounds_strictly_dominate_the_baseline() {
+    for (name, system) in builders() {
+        let horizon = Duration(400_000);
+        let aware = analyse(system.params(), horizon).unwrap();
+        let naive = analyse_baseline(system.params(), horizon).unwrap();
+        for (a, n) in aware.iter().zip(naive.iter()) {
+            assert!(
+                a.total_bound() > n.total_bound(),
+                "{name} {}: aware {} ≤ naive {}",
+                a.task,
+                a.total_bound(),
+                n.total_bound()
+            );
+        }
+    }
+}
+
+#[test]
+fn analytical_sbf_lower_bounds_measured_supply() {
+    // E6: for every simulated schedule and a sweep of window lengths, the
+    // measured minimum supply must dominate SBF(Δ).
+    for (name, system) in builders() {
+        let arrivals = workload::saturating(
+            system.tasks(),
+            &FirstByteCodec,
+            &workload::round_robin_sockets(system.n_sockets()),
+            Instant(25_000),
+        );
+        let run = system
+            .simulate(&arrivals, WorstCase, Instant(30_000))
+            .unwrap();
+        let schedule = convert(&run.trace, system.n_sockets()).unwrap();
+        let blackout =
+            BlackoutBound::for_config(system.tasks(), system.wcet(), system.n_sockets());
+        let sbf = RosslSupply::new(blackout, Duration(30_000));
+        for delta in [1u64, 10, 50, 100, 500, 1_000, 5_000, 20_000] {
+            let delta = Duration(delta);
+            let Some(measured) = schedule.min_supply_over_windows(delta) else {
+                continue;
+            };
+            let bound = sbf.sbf(delta);
+            assert!(
+                measured >= bound,
+                "{name}: Δ={delta}: measured {measured} < SBF {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn verifier_reports_are_complete() {
+    let system = builders().remove(1).1;
+    let verifier = TimingVerifier::new(system.params().clone(), Duration(400_000)).unwrap();
+    let arrivals = system.random_workload(5, Instant(25_000));
+    let run = system
+        .simulate(&arrivals, WorstCase, Instant(40_000))
+        .unwrap();
+    let report = verifier.verify(&arrivals, &run).unwrap();
+    assert_eq!(report.per_task.len(), 3);
+    assert_eq!(report.jobs_arrived, arrivals.len());
+    assert!(report.jobs_with_due_deadline <= report.jobs_arrived);
+    assert!(report.max_read_lag.is_some());
+    // Bounds reported per task match the verifier's analysis.
+    for outcome in &report.per_task {
+        let expected = verifier
+            .bounds()
+            .bound_for(outcome.task)
+            .unwrap()
+            .total_bound();
+        assert_eq!(outcome.bound, expected);
+    }
+}
+
+#[test]
+fn wcet_table_scaling_scales_bounds() {
+    // Doubling every basic-action WCET can only increase bounds.
+    let build = |scale: u64| {
+        let w = WcetTable::new(
+            Duration(4 * scale),
+            Duration(6 * scale),
+            Duration(3 * scale),
+            Duration(2 * scale),
+            Duration(2 * scale),
+            Duration(5 * scale),
+        );
+        SystemBuilder::new()
+            .task("t", Priority(1), Duration(30), Curve::sporadic(Duration(2_000)))
+            .wcet_table(w)
+            .build()
+            .unwrap()
+    };
+    let bound = |scale| {
+        build(scale)
+            .analyse(Duration(400_000))
+            .unwrap()
+            .bound_for(TaskId(0))
+            .unwrap()
+            .total_bound()
+    };
+    assert!(bound(2) > bound(1));
+}

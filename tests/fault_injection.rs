@@ -1,0 +1,288 @@
+//! Fault injection: every hypothesis checker of the verification pipeline
+//! must detect the fault it guards against. A verification layer that
+//! accepts corrupted runs would make the zero-violations headline result
+//! meaningless, so each class of defect the paper's proofs rule out is
+//! injected here and must be caught.
+
+use refined_prosa::{SystemBuilder, TimingVerifier, VerificationError};
+use rossl_model::{Curve, Duration, Instant, Job, JobId, Priority, TaskId};
+use rossl_sockets::ArrivalSequence;
+use rossl_timing::{SimulationResult, TimedTrace, WorstCase};
+use rossl_trace::Marker;
+
+fn system() -> refined_prosa::RosslSystem {
+    SystemBuilder::new()
+        .task("low", Priority(1), Duration(30), Curve::sporadic(Duration(1_500)))
+        .task("high", Priority(9), Duration(10), Curve::sporadic(Duration(900)))
+        .sockets(1)
+        .build()
+        .unwrap()
+}
+
+/// A clean verified baseline run to mutate.
+fn clean_run(system: &refined_prosa::RosslSystem) -> (ArrivalSequence, SimulationResult) {
+    let arrivals = system.random_workload(11, Instant(15_000));
+    let run = system
+        .simulate(&arrivals, WorstCase, Instant(25_000))
+        .unwrap();
+    (arrivals, run)
+}
+
+fn verifier(system: &refined_prosa::RosslSystem) -> TimingVerifier {
+    system.verifier(Duration(300_000)).unwrap()
+}
+
+/// Rebuilds a run with a mutated trace, keeping the job bookkeeping.
+fn with_trace(run: &SimulationResult, trace: TimedTrace) -> SimulationResult {
+    SimulationResult {
+        trace,
+        jobs: run.jobs.clone(),
+        horizon: run.horizon,
+    }
+}
+
+#[test]
+fn clean_baseline_verifies() {
+    let s = system();
+    let (arrivals, run) = clean_run(&s);
+    let completed = run.completed_count();
+    let report = verifier(&s).verify(&arrivals, &run).unwrap();
+    assert_eq!(report.bound_violations, 0);
+    assert!(completed > 0, "baseline must exercise jobs");
+}
+
+#[test]
+fn protocol_fault_dropped_marker_is_caught() {
+    let s = system();
+    let (arrivals, run) = clean_run(&s);
+    // Drop the first M_Selection: the protocol automaton must object.
+    let mut markers = run.trace.markers().to_vec();
+    let mut timestamps = run.trace.timestamps().to_vec();
+    let idx = markers
+        .iter()
+        .position(|m| matches!(m, Marker::Selection))
+        .expect("run has a selection");
+    markers.remove(idx);
+    timestamps.remove(idx);
+    let mutated = with_trace(&run, TimedTrace::new(markers, timestamps).unwrap());
+    assert!(matches!(
+        verifier(&s).verify(&arrivals, &mutated),
+        Err(VerificationError::Protocol(_))
+    ));
+}
+
+#[test]
+fn functional_fault_idle_with_pending_is_caught() {
+    let s = system();
+    let (arrivals, run) = clean_run(&s);
+    // Replace the first dispatch decision with idling while jobs pend.
+    let mut markers = run.trace.markers().to_vec();
+    let mut timestamps = run.trace.timestamps().to_vec();
+    let idx = markers
+        .iter()
+        .position(|m| matches!(m, Marker::Dispatch(_)))
+        .expect("run dispatches");
+    // Truncate right before the dispatch and idle instead.
+    markers.truncate(idx);
+    timestamps.truncate(idx);
+    markers.push(Marker::Idling);
+    let next = *timestamps.last().unwrap() + Duration(1);
+    timestamps.push(next);
+    let mutated = with_trace(&run, TimedTrace::new(markers, timestamps).unwrap());
+    assert!(matches!(
+        verifier(&s).verify(&arrivals, &mutated),
+        Err(VerificationError::Functional(_))
+    ));
+}
+
+#[test]
+fn wcet_fault_slow_action_is_caught() {
+    let s = system();
+    let (arrivals, run) = clean_run(&s);
+    // Stretch one gap far beyond any WCET by shifting the suffix.
+    let markers = run.trace.markers().to_vec();
+    let mut timestamps = run.trace.timestamps().to_vec();
+    let split = timestamps.len() / 2;
+    for t in &mut timestamps[split..] {
+        *t = t.saturating_add(Duration(10_000));
+    }
+    let mutated = with_trace(&run, TimedTrace::new(markers, timestamps).unwrap());
+    let err = verifier(&s).verify(&arrivals, &mutated).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerificationError::Wcet(_) | VerificationError::Consistency(_)
+        ),
+        "unexpected error class: {err}"
+    );
+}
+
+#[test]
+fn consistency_fault_phantom_job_is_caught() {
+    let s = system();
+    let (arrivals, run) = clean_run(&s);
+    // Corrupt the payload of a successful read: the positional FIFO
+    // matching against the arrival sequence must detect the forgery.
+    // (Flipping a failed read into a success is caught even earlier, by
+    // the protocol automaton — the polling round's success bit changes.)
+    let mut markers = run.trace.markers().to_vec();
+    let timestamps = run.trace.timestamps().to_vec();
+    let (idx, original) = markers
+        .iter()
+        .enumerate()
+        .find_map(|(i, m)| match m {
+            Marker::ReadEnd { job: Some(j), .. } => Some((i, j.clone())),
+            _ => None,
+        })
+        .expect("run has successful reads");
+    let mut forged_data = original.data().to_vec();
+    forged_data.push(0xFF); // same task byte, different payload
+    markers[idx] = Marker::ReadEnd {
+        sock: rossl_model::SocketId(0),
+        job: Some(Job::new(original.id(), original.task(), forged_data)),
+    };
+    let mutated = with_trace(&run, TimedTrace::new(markers, timestamps).unwrap());
+    let err = verifier(&s).verify(&arrivals, &mutated).unwrap_err();
+    assert!(
+        matches!(err, VerificationError::Consistency(_)),
+        "unexpected error class: {err}"
+    );
+}
+
+#[test]
+fn consistency_fault_ignored_arrival_is_caught() {
+    let s = system();
+    let (arrivals, run) = clean_run(&s);
+    // Add an early arrival that the (unchanged) trace never reads: the
+    // failed reads after it become dishonest.
+    let mut events = arrivals.events().to_vec();
+    events.push(rossl_sockets::ArrivalEvent {
+        time: Instant(1),
+        sock: rossl_model::SocketId(0),
+        task: TaskId(1),
+        msg: rossl_model::Message::new(vec![1]),
+    });
+    let arrivals = ArrivalSequence::from_events(events);
+    let err = verifier(&s).verify(&arrivals, &run).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerificationError::Consistency(_) | VerificationError::ArrivalCurve { .. }
+        ),
+        "unexpected error class: {err}"
+    );
+}
+
+#[test]
+fn curve_fault_burst_is_caught() {
+    let s = system();
+    let (_, run) = clean_run(&s);
+    // A burst of the sporadic(900) task: three arrivals 1 tick apart.
+    let events = (0..3)
+        .map(|k| rossl_sockets::ArrivalEvent {
+            time: Instant(10 + k),
+            sock: rossl_model::SocketId(0),
+            task: TaskId(1),
+            msg: rossl_model::Message::new(vec![1]),
+        })
+        .collect();
+    let arrivals = ArrivalSequence::from_events(events);
+    assert!(matches!(
+        verifier(&s).verify(&arrivals, &run),
+        Err(VerificationError::ArrivalCurve { task: TaskId(1), .. })
+    ));
+}
+
+#[test]
+fn duplicate_job_id_is_caught() {
+    let s = system();
+    let (arrivals, run) = clean_run(&s);
+    // Truncate just after a completion, then replay a read of the same
+    // job id: Def. 3.2's uniqueness must reject it.
+    let mut markers = run.trace.markers().to_vec();
+    let mut timestamps = run.trace.timestamps().to_vec();
+    let job = markers
+        .iter()
+        .find_map(|m| match m {
+            Marker::Completion(j) => Some(j.clone()),
+            _ => None,
+        })
+        .expect("run completes a job");
+    let cut = markers
+        .iter()
+        .position(|m| matches!(m, Marker::Completion(_)))
+        .unwrap()
+        + 1;
+    markers.truncate(cut);
+    timestamps.truncate(cut);
+    let mut t = *timestamps.last().unwrap();
+    t += Duration(2);
+    markers.push(Marker::ReadStart);
+    timestamps.push(t);
+    t += Duration(2);
+    markers.push(Marker::ReadEnd {
+        sock: rossl_model::SocketId(0),
+        job: Some(Job::new(job.id(), job.task(), job.data().to_vec())),
+    });
+    timestamps.push(t);
+    let mutated = with_trace(&run, TimedTrace::new(markers, timestamps).unwrap());
+    let err = verifier(&s).verify(&arrivals, &mutated).unwrap_err();
+    assert!(
+        matches!(err, VerificationError::Functional(_)),
+        "unexpected error class: {err}"
+    );
+}
+
+#[test]
+fn wrong_priority_dispatch_is_caught() {
+    // Hand-build a trace where a low-priority job is dispatched while a
+    // high-priority job pends — the defect class behind the refuted ROS2
+    // analyses the paper cites (§1).
+    let s = system();
+    let low = Job::new(JobId(0), TaskId(0), vec![0]);
+    let high = Job::new(JobId(1), TaskId(1), vec![1]);
+    let markers = vec![
+        Marker::ReadStart,
+        Marker::ReadEnd {
+            sock: rossl_model::SocketId(0),
+            job: Some(low.clone()),
+        },
+        Marker::ReadStart,
+        Marker::ReadEnd {
+            sock: rossl_model::SocketId(0),
+            job: Some(high.clone()),
+        },
+        Marker::ReadStart,
+        Marker::ReadEnd {
+            sock: rossl_model::SocketId(0),
+            job: None,
+        },
+        Marker::Selection,
+        Marker::Dispatch(low), // wrong: high pends
+    ];
+    let timestamps = (0..markers.len() as u64).map(|k| Instant(2 + 3 * k)).collect();
+    let trace = TimedTrace::new(markers, timestamps).unwrap();
+    let arrivals = ArrivalSequence::from_events(vec![
+        rossl_sockets::ArrivalEvent {
+            time: Instant(1),
+            sock: rossl_model::SocketId(0),
+            task: TaskId(0),
+            msg: rossl_model::Message::new(vec![0]),
+        },
+        rossl_sockets::ArrivalEvent {
+            time: Instant(2),
+            sock: rossl_model::SocketId(0),
+            task: TaskId(1),
+            msg: rossl_model::Message::new(vec![1]),
+        },
+    ]);
+    let run = SimulationResult {
+        trace,
+        jobs: Default::default(),
+        horizon: Instant(100),
+    };
+    assert!(matches!(
+        verifier(&s).verify(&arrivals, &run),
+        Err(VerificationError::Functional(_))
+    ));
+}

@@ -1,0 +1,303 @@
+//! Cross-crate property-based tests: the structural invariants that the
+//! paper proves once and for all, checked here over randomized scheduler
+//! runs, workloads and cost behaviours.
+
+use proptest::prelude::*;
+
+use refined_prosa::{RosslSystem, SystemBuilder};
+use rossl::FirstByteCodec;
+use rossl_model::{Curve, Duration, Instant, Priority, TaskId};
+use rossl_schedule::{convert, StateKind};
+use rossl_timing::{Simulator, UniformCost, WorstCase};
+use rossl_trace::{pending_jobs, ProtocolAutomaton};
+use rossl_verify::SpecMonitor;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small random system: 1–3 tasks, 1–2 sockets, low utilization.
+fn arb_system() -> impl Strategy<Value = RosslSystem> {
+    (
+        proptest::collection::vec((1u32..10, 5u64..30), 1..4),
+        1usize..3,
+    )
+        .prop_map(|(specs, n_sockets)| {
+            let mut b = SystemBuilder::new().sockets(n_sockets);
+            for (i, (prio, wcet)) in specs.iter().enumerate() {
+                b = b.task(
+                    format!("t{i}"),
+                    Priority(*prio),
+                    Duration(*wcet),
+                    Curve::sporadic(Duration(700 + 400 * i as u64)),
+                );
+            }
+            b.build().expect("valid")
+        })
+}
+
+/// Simulates one seeded run of the system.
+fn run_of(
+    system: &RosslSystem,
+    seed: u64,
+    horizon: u64,
+) -> (rossl_sockets::ArrivalSequence, rossl_timing::SimulationResult) {
+    let arrivals = system.random_workload(seed, Instant(horizon));
+    let run = system
+        .simulate(
+            &arrivals,
+            UniformCost::new(StdRng::seed_from_u64(seed ^ 0xABCD)),
+            Instant(horizon),
+        )
+        .expect("simulation succeeds");
+    (arrivals, run)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Protocol acceptance is prefix-closed on real traces: every prefix
+    /// of an accepted trace is accepted (the STS has no dead ends on real
+    /// runs).
+    #[test]
+    fn protocol_acceptance_is_prefix_closed(system in arb_system(), seed in 0u64..500) {
+        let (_, run) = run_of(&system, seed, 6_000);
+        let markers = run.trace.markers();
+        let sts = ProtocolAutomaton::new(system.n_sockets());
+        // Checking every prefix is quadratic; sample a spread of them.
+        let step = (markers.len() / 16).max(1);
+        for k in (0..=markers.len()).step_by(step) {
+            prop_assert!(sts.accept(&markers[..k]).is_ok(), "prefix {k} rejected");
+        }
+    }
+
+    /// The definitional `pending_jobs` recomputation (Def. 3.2) agrees
+    /// with the incremental Hoare-monitor state at every index.
+    #[test]
+    fn pending_set_definitional_vs_incremental(system in arb_system(), seed in 0u64..500) {
+        let (_, run) = run_of(&system, seed, 4_000);
+        let markers = run.trace.markers();
+        let mut monitor = SpecMonitor::new(system.tasks().clone(), system.n_sockets());
+        for (i, m) in markers.iter().enumerate() {
+            monitor.observe(m).expect("spec holds on real traces");
+            prop_assert_eq!(
+                pending_jobs(markers, i + 1).len(),
+                monitor.pending_count(),
+                "divergence after marker {}", i
+            );
+        }
+    }
+
+    /// Conversion invariants: the schedule tiles a prefix of the trace's
+    /// time span; blackout and supply partition it; every job executes at
+    /// most once and within its WCET.
+    #[test]
+    fn conversion_invariants(system in arb_system(), seed in 0u64..500) {
+        let (_, run) = run_of(&system, seed, 6_000);
+        let schedule = convert(&run.trace, system.n_sockets()).expect("convert");
+        if schedule.is_empty() {
+            return Ok(());
+        }
+        let (start, end) = (schedule.start().unwrap(), schedule.end().unwrap());
+        prop_assert_eq!(Some(start), run.trace.timestamps().first().copied());
+        prop_assert!(end <= *run.trace.timestamps().last().unwrap());
+        prop_assert_eq!(
+            schedule.blackout_in(start, end) + schedule.supply_in(start, end),
+            schedule.span()
+        );
+        // Per-job execution uniqueness and WCET conformance.
+        let mut seen = std::collections::BTreeSet::new();
+        for seg in schedule.segments() {
+            if seg.state.kind() == StateKind::Executes {
+                let job = seg.state.job().unwrap();
+                prop_assert!(seen.insert(job.id), "job {} executes twice", job.id);
+                let wcet = system.tasks().task(job.task).unwrap().wcet();
+                prop_assert!(seg.duration() <= wcet);
+            }
+        }
+    }
+
+    /// The simulator is deterministic: same system, workload and seeds
+    /// produce identical timed traces.
+    #[test]
+    fn simulator_is_deterministic(system in arb_system(), seed in 0u64..500) {
+        let (a1, r1) = run_of(&system, seed, 3_000);
+        let (a2, r2) = run_of(&system, seed, 3_000);
+        prop_assert_eq!(a1, a2);
+        prop_assert_eq!(r1.trace, r2.trace);
+        prop_assert_eq!(r1.jobs, r2.jobs);
+    }
+
+    /// Worst-case costs dominate randomized costs in *every job's*
+    /// completion count: a WorstCase run completes no more jobs than any
+    /// other compliant run over the same horizon (slower costs mean less
+    /// gets done).
+    #[test]
+    fn worst_case_completes_no_more_jobs(system in arb_system(), seed in 0u64..500) {
+        let arrivals = system.random_workload(seed, Instant(5_000));
+        let fast = system
+            .simulate(
+                &arrivals,
+                UniformCost::new(StdRng::seed_from_u64(seed)),
+                Instant(5_000),
+            )
+            .expect("run");
+        let slow = system
+            .simulate(&arrivals, WorstCase, Instant(5_000))
+            .expect("run");
+        prop_assert!(slow.completed_count() <= fast.completed_count() + 1,
+            "worst-case run completed more: {} vs {}",
+            slow.completed_count(), fast.completed_count());
+    }
+
+    /// Analytical bounds are monotone in the callback WCETs: scaling every
+    /// C_i up never shrinks any task's bound.
+    #[test]
+    fn bounds_monotone_in_wcets(system in arb_system(), extra in 1u64..20) {
+        let horizon = Duration(300_000);
+        let base = match system.analyse(horizon) {
+            Ok(b) => b,
+            Err(_) => return Ok(()), // unschedulable base: nothing to compare
+        };
+        let inflated_tasks = prosa::scale_wcets(system.tasks(), 1000 + extra * 10, 1000);
+        let params = prosa::AnalysisParams::new(
+            inflated_tasks,
+            *system.wcet(),
+            system.n_sockets(),
+        )
+        .expect("params");
+        if let Ok(inflated) = prosa::analyse(&params, horizon) {
+            for (b, i) in base.iter().zip(inflated.iter()) {
+                prop_assert!(i.total_bound() >= b.total_bound());
+            }
+        }
+    }
+
+    /// Text serialization round-trips every simulator-produced trace and
+    /// workload exactly.
+    #[test]
+    fn textio_round_trips_real_runs(system in arb_system(), seed in 0u64..500) {
+        let (arrivals, run) = run_of(&system, seed, 4_000);
+        let trace_text = rossl_timing::textio::write_timed_trace(&run.trace);
+        prop_assert_eq!(
+            rossl_timing::textio::parse_timed_trace(&trace_text).expect("parse"),
+            run.trace
+        );
+        let arr_text = rossl_timing::textio::write_arrivals(&arrivals);
+        prop_assert_eq!(
+            rossl_timing::textio::parse_arrivals(&arr_text).expect("parse"),
+            arrivals
+        );
+    }
+
+    /// The tightened per-task analysis dominates the standard one and both
+    /// cover every observation.
+    #[test]
+    fn tight_analysis_dominates_and_covers(system in arb_system(), seed in 0u64..500) {
+        let horizon = Duration(300_000);
+        let (Ok(standard), Ok(tight)) = (
+            system.analyse(horizon),
+            prosa::analyse_tight(system.params(), horizon),
+        ) else { return Ok(()); };
+        for (s, t) in standard.iter().zip(tight.iter()) {
+            prop_assert!(t.total_bound() <= s.total_bound());
+        }
+        let (_, run) = run_of(&system, seed, 6_000);
+        for (id, record) in &run.jobs {
+            let _ = id;
+            if let Some(response) = record.response_time() {
+                let bound = tight
+                    .bound_for(record.task)
+                    .expect("bound exists")
+                    .total_bound();
+                // Only jobs whose deadline fell within the horizon are
+                // guaranteed; completed ones must still be within bound if
+                // they completed in-horizon anyway.
+                if record.arrived.saturating_add(bound) < run.horizon {
+                    prop_assert!(response <= bound,
+                        "task {} response {} > tight bound {}", record.task, response, bound);
+                }
+            }
+        }
+    }
+
+    /// The verified pipeline never reports a bound violation, and per-task
+    /// observations stay within bounds (Thm. 5.1, randomized).
+    #[test]
+    fn verified_runs_have_zero_violations(system in arb_system(), seed in 0u64..500) {
+        match system.run_verified(seed, Instant(8_000)) {
+            Ok(report) => prop_assert_eq!(report.bound_violations, 0),
+            Err(refined_prosa::SystemError::Analysis(_)) => {} // unschedulable
+            Err(e) => return Err(TestCaseError::fail(format!("hypothesis failed: {e}"))),
+        }
+    }
+}
+
+/// Deterministic (non-proptest) structural checks that complement the
+/// random suites.
+#[test]
+fn model_checker_agrees_with_direct_simulation_on_protocol() {
+    // Every trace the simulator produces on a tiny workload must be among
+    // the behaviours the model checker considers legal — checked
+    // indirectly: the simulator trace passes the same monitors the model
+    // checker enforces on every explored path.
+    let system = SystemBuilder::new()
+        .task("a", Priority(1), Duration(5), Curve::sporadic(Duration(50)))
+        .task("b", Priority(2), Duration(5), Curve::sporadic(Duration(70)))
+        .sockets(1)
+        .build()
+        .unwrap();
+    let arrivals = system.random_workload(3, Instant(500));
+    let run = system
+        .simulate(&arrivals, WorstCase, Instant(800))
+        .unwrap();
+    let mut monitor = SpecMonitor::new(system.tasks().clone(), 1);
+    for m in run.trace.markers() {
+        monitor.observe(m).expect("simulator traces satisfy the spec");
+    }
+}
+
+#[test]
+fn bounds_grow_with_socket_count_structurally() {
+    // More sockets -> larger polling overheads -> larger jitter and larger
+    // bounds, for the identical task set.
+    let build = |n: usize| {
+        SystemBuilder::new()
+            .task("t", Priority(1), Duration(20), Curve::sporadic(Duration(1_000)))
+            .sockets(n)
+            .build()
+            .unwrap()
+    };
+    let horizon = Duration(300_000);
+    let mut prev_bound = Duration::ZERO;
+    let mut prev_jitter = Duration::ZERO;
+    for n in [1usize, 2, 4, 8] {
+        let bounds = build(n).analyse(horizon).unwrap();
+        let b = bounds.bound_for(TaskId(0)).unwrap();
+        assert!(b.total_bound() >= prev_bound, "bound shrank at n = {n}");
+        assert!(b.jitter >= prev_jitter, "jitter shrank at n = {n}");
+        prev_bound = b.total_bound();
+        prev_jitter = b.jitter;
+    }
+}
+
+#[test]
+fn simulation_with_no_arrivals_is_pure_idle() {
+    let system = SystemBuilder::new()
+        .task("t", Priority(1), Duration(10), Curve::sporadic(Duration(100)))
+        .build()
+        .unwrap();
+    let arrivals = rossl_sockets::ArrivalSequence::new();
+    let sim = Simulator::new(
+        rossl::ClientConfig::new(system.tasks().clone(), 1).unwrap(),
+        FirstByteCodec,
+        *system.wcet(),
+        WorstCase,
+    )
+    .unwrap();
+    let run = sim.run(&arrivals, Instant(2_000)).unwrap();
+    assert_eq!(run.completed_count(), 0);
+    let schedule = convert(&run.trace, 1).unwrap();
+    for seg in schedule.segments() {
+        assert_eq!(seg.state.kind(), StateKind::Idle);
+    }
+}
