@@ -88,5 +88,10 @@ fn main() {
         "measured busy spans vs analytical busy-window length (E15)",
         &|| exps::exp_busy_windows(seeds),
     );
+    run(
+        "faults",
+        "fault-injection campaign: detection and soundness matrices (E16)",
+        &|| exps::exp_faults(seeds.min(5), Instant(horizon.min(30_000))),
+    );
     run("loc", "code inventory vs the paper's proof-effort table (§5)", &exps::exp_loc);
 }

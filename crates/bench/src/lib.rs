@@ -13,6 +13,7 @@
 
 pub mod ablation;
 pub mod experiments;
+pub mod faults;
 pub mod jitter;
 pub mod setup;
 
@@ -21,4 +22,5 @@ pub use experiments::{
     exp_validity,
 };
 pub use ablation::{exp_ablation, exp_busy_windows, exp_schedulability, exp_sensitivity, exp_tight};
+pub use faults::exp_faults;
 pub use jitter::exp_fig7;

@@ -21,6 +21,7 @@
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
+use rossl::DegradedEvent;
 use rossl_model::{Job, JobId, Priority, TaskSet};
 use rossl_trace::{Marker, ProtocolAutomaton, ProtocolState, ProtocolViolation};
 
@@ -65,6 +66,14 @@ pub enum SpecViolation {
         /// Markers observed so far.
         at_index: usize,
     },
+    /// The watchdog reported shedding a job that is not pending: the
+    /// scheduler and the monitor disagree about `currently_pending`.
+    ShedPrecondition {
+        /// Markers observed so far.
+        at_index: usize,
+        /// The allegedly shed job.
+        job: JobId,
+    },
 }
 
 impl fmt::Display for SpecViolation {
@@ -93,6 +102,9 @@ impl fmt::Display for SpecViolation {
             }
             SpecViolation::UnknownTask { at_index } => {
                 write!(f, "marker {at_index}: unknown task")
+            }
+            SpecViolation::ShedPrecondition { at_index, job } => {
+                write!(f, "marker {at_index}: watchdog shed non-pending job {job}")
             }
         }
     }
@@ -127,6 +139,8 @@ pub struct SpecMonitor {
     pending: BTreeMap<JobId, Job>,
     seen: HashSet<JobId>,
     observed: usize,
+    degraded: bool,
+    shed: Vec<JobId>,
 }
 
 impl SpecMonitor {
@@ -144,7 +158,53 @@ impl SpecMonitor {
             pending: BTreeMap::new(),
             seen: HashSet::new(),
             observed: 0,
+            degraded: false,
+            shed: Vec::new(),
         }
+    }
+
+    /// `true` while the monitored scheduler has reported degraded mode
+    /// (a WCET overrun without a subsequent recovery).
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Jobs the watchdog reported shed, in report order.
+    pub fn shed_jobs(&self) -> &[JobId] {
+        &self.shed
+    }
+
+    /// Folds a watchdog [`DegradedEvent`] into the abstract state.
+    ///
+    /// Shedding removes the job from `currently_pending` — without this
+    /// hook a degraded run would trip the idling precondition, because the
+    /// monitor would still believe the shed jobs pend. While degraded the
+    /// monitor keeps checking every marker spec; degradation relaxes
+    /// *which jobs pend*, not how the scheduler may behave.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecViolation::ShedPrecondition`] when a reportedly shed job is
+    /// not pending (scheduler/monitor state divergence).
+    pub fn observe_degradation(&mut self, event: &DegradedEvent) -> Result<(), SpecViolation> {
+        match event {
+            DegradedEvent::WcetOverrun { .. } => {
+                self.degraded = true;
+            }
+            DegradedEvent::JobShed { job, .. } => {
+                if self.pending.remove(job).is_none() {
+                    return Err(SpecViolation::ShedPrecondition {
+                        at_index: self.observed,
+                        job: *job,
+                    });
+                }
+                self.shed.push(*job);
+            }
+            DegradedEvent::Recovered => {
+                self.degraded = false;
+            }
+        }
+        Ok(())
     }
 
     /// Number of markers observed so far.
@@ -364,6 +424,60 @@ mod tests {
                 better: Some(JobId(1)),
                 ..
             }
+        ));
+    }
+
+    #[test]
+    fn degradation_events_adjust_pending_state() {
+        use rossl_model::Priority as P;
+        let mut m = SpecMonitor::new(tasks(), 1);
+        feed(
+            &mut m,
+            &[
+                Marker::ReadStart,
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: Some(job(0, 0)),
+                },
+                Marker::ReadStart,
+                Marker::ReadEnd {
+                    sock: SocketId(0),
+                    job: None,
+                },
+                Marker::Selection,
+            ],
+        )
+        .unwrap();
+        m.observe_degradation(&DegradedEvent::WcetOverrun {
+            job: JobId(0),
+            task: TaskId(0),
+            budget: Duration(5),
+            measured: Duration(9),
+        })
+        .unwrap();
+        assert!(m.degraded());
+        m.observe_degradation(&DegradedEvent::JobShed {
+            job: JobId(0),
+            task: TaskId(0),
+            priority: P(1),
+        })
+        .unwrap();
+        assert_eq!(m.shed_jobs(), &[JobId(0)]);
+        // The shed job no longer pends, so idling is now within spec.
+        m.observe(&Marker::Idling).unwrap();
+        m.observe_degradation(&DegradedEvent::Recovered).unwrap();
+        assert!(!m.degraded());
+        // Shedding a job the monitor never saw is a state divergence.
+        let err = m
+            .observe_degradation(&DegradedEvent::JobShed {
+                job: JobId(77),
+                task: TaskId(0),
+                priority: P(1),
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SpecViolation::ShedPrecondition { job: JobId(77), .. }
         ));
     }
 

@@ -1,0 +1,211 @@
+//! Offline stand-in for `criterion` (see `crates/compat/README.md`).
+//!
+//! Mirrors the group/bench API the workspace's benches use, but runs
+//! each benchmark body only a handful of timed iterations and prints a
+//! single mean-time line. `cargo test -q` executes `harness = false`
+//! bench binaries, so keeping this fast keeps the test suite fast;
+//! `cargo bench` still produces indicative (not statistically rigorous)
+//! numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, forwarding to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Iteration budget per benchmark: stop after this many iterations or
+/// this much wall-clock time, whichever comes first.
+const MAX_ITERS: u64 = 10;
+const MAX_TIME: Duration = Duration::from_millis(100);
+
+/// Label of one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A parameterized id, rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.param {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_owned(),
+            param: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { name, param: None }
+    }
+}
+
+/// Throughput annotation; recorded but not reported by the shim.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the shim's small iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0;
+        while iters < MAX_ITERS && start.elapsed() < MAX_TIME {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let mean = b.elapsed / b.iters as u32;
+        println!("bench: {label:<40} {mean:>12.2?}/iter ({} iters)", b.iters);
+    } else {
+        println!("bench: {label:<40} (no measurement)");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_bench(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the group's throughput (ignored by the shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the sample count (ignored by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().render());
+        run_bench(&label, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let label = format!("{}/{}", self.name, id.into().render());
+        run_bench(&label, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function over the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    // The real criterion's `Criterion` is not a unit struct; callers
+    // construct it via `Default`, so the shim's test does too.
+    #[allow(clippy::default_constructed_unit_structs)]
+    fn bench_api_round_trips() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::new("param", 4), |b| b.iter(|| 2 * 2));
+        group.bench_with_input(BenchmarkId::new("input", 7), &7u64, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde` (see `crates/compat/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types but
+//! never serializes anything at runtime, so marker traits plus no-op
+//! derives cover the whole used surface.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

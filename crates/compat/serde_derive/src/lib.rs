@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive` in the offline
+//! build environment (see `crates/compat/README.md`).
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as inert
+//! annotations — nothing serializes at runtime — so the derives expand
+//! to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

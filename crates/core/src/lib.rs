@@ -49,15 +49,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod campaign;
 mod system;
 mod verifier;
 
-pub use system::{RosslSystem, SystemBuilder, SystemError};
+pub use campaign::{
+    run_fault_campaign, CampaignOutcome, ClassOutcome, FaultCampaignConfig, RunOutcome,
+};
+pub use system::{FaultyRun, RosslSystem, SystemBuilder, SystemError};
 pub use verifier::{TimingVerifier, VerificationError, VerificationReport};
 
 // Re-export the workspace so downstream users need a single dependency.
 pub use prosa;
 pub use rossl;
+pub use rossl_faults as faults;
 pub use rossl_model as model;
 pub use rossl_schedule as schedule;
 pub use rossl_sockets as sockets;

@@ -14,6 +14,8 @@ use rossl::{ClientConfig, ConfigError, FirstByteCodec};
 use rossl_model::{
     Curve, Duration, Instant, ModelError, Priority, Task, TaskId, TaskSet, WcetTable,
 };
+use rossl::WatchdogConfig;
+use rossl_faults::{FaultPlan, FaultyCostModel, FaultySocketSet, InjectionRecord};
 use rossl_sockets::ArrivalSequence;
 use rossl_timing::{workload, CostModel, SimulationError, SimulationResult, Simulator, UniformCost};
 
@@ -148,6 +150,37 @@ impl SystemBuilder {
     }
 }
 
+/// Outcome of a fault-injected simulation
+/// ([`RosslSystem::simulate_faulty`]).
+#[derive(Debug, Clone)]
+pub struct FaultyRun {
+    /// The simulated run (trace, completion counts, degradation events).
+    pub result: SimulationResult,
+    /// The perturbed sequence the environment actually delivered.
+    pub delivered: ArrivalSequence,
+    /// Every applied injection, socket faults first, then cost faults.
+    pub injections: Vec<InjectionRecord>,
+}
+
+impl FaultyRun {
+    /// The sequence verification should claim for this run: the
+    /// delivered one when the fault class is visible to the system's
+    /// owner ([`rossl_faults::FaultClass::claims_delivered`]), the nominal one for
+    /// silent faults the checkers must expose.
+    pub fn claimed<'a>(
+        &'a self,
+        plan: &FaultPlan,
+        nominal: &'a ArrivalSequence,
+    ) -> &'a ArrivalSequence {
+        let silent = plan.specs.iter().any(|s| !s.class.claims_delivered());
+        if silent {
+            nominal
+        } else {
+            &self.delivered
+        }
+    }
+}
+
 /// A fully configured Rössl deployment: task set, sockets and WCETs.
 #[derive(Debug, Clone)]
 pub struct RosslSystem {
@@ -208,6 +241,51 @@ impl RosslSystem {
     ) -> Result<SimulationResult, SystemError> {
         let sim = Simulator::new(self.config.clone(), FirstByteCodec, *self.wcet(), cost)?;
         Ok(sim.run(arrivals, horizon)?)
+    }
+
+    /// Simulates one run against `arrivals` through the adversarial
+    /// environment described by `plan`.
+    ///
+    /// Socket faults perturb the delivered sequence at load time; cost
+    /// faults perturb segment durations at pick time. The simulator runs
+    /// *unclamped* so injected overruns actually reach the trace, and
+    /// with the watchdog attached when `watchdog` is given, so degraded
+    /// mode can be observed via [`SimulationResult::degradation`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Simulation`] on workload bugs or when the
+    /// perturbed sequence does not fit the socket set.
+    pub fn simulate_faulty(
+        &self,
+        arrivals: &ArrivalSequence,
+        cost: impl CostModel,
+        plan: &FaultPlan,
+        watchdog: Option<WatchdogConfig>,
+        horizon: Instant,
+    ) -> Result<FaultyRun, SystemError> {
+        let sockets = FaultySocketSet::with_arrivals(self.n_sockets(), arrivals, plan)
+            .map_err(|e| SystemError::Simulation(SimulationError::Socket(e)))?;
+        let delivered = sockets.delivered().clone();
+        let mut injections = sockets.injections().to_vec();
+
+        let faulty_cost = FaultyCostModel::new(cost, plan);
+        let cost_log = faulty_cost.log_handle();
+
+        let mut sim =
+            Simulator::new(self.config.clone(), FirstByteCodec, *self.wcet(), faulty_cost)?
+                .unclamped();
+        if let Some(config) = watchdog {
+            sim = sim.with_watchdog(config);
+        }
+        let result = sim.run_with(sockets, horizon)?;
+        injections.extend(cost_log.borrow().iter().copied());
+
+        Ok(FaultyRun {
+            result,
+            delivered,
+            injections,
+        })
     }
 
     /// Generates a seeded sporadic workload that respects the arrival

@@ -79,6 +79,24 @@ impl fmt::Display for VerificationError {
     }
 }
 
+impl VerificationError {
+    /// The short name of the hypothesis checker that raised the error —
+    /// the detector column of the fault-detection matrix (experiment
+    /// E16). Stable across releases; fault campaigns key on it.
+    pub fn checker_name(&self) -> &'static str {
+        match self {
+            VerificationError::ArrivalCurve { .. } => "arrival-curve",
+            VerificationError::Protocol(_) => "protocol",
+            VerificationError::Functional(_) => "functional",
+            VerificationError::Wcet(_) => "wcet",
+            VerificationError::Consistency(_) => "consistency",
+            VerificationError::Conversion(_) => "conversion",
+            VerificationError::Validity(_) => "validity",
+            VerificationError::Analysis(_) => "analysis",
+        }
+    }
+}
+
 impl std::error::Error for VerificationError {}
 
 /// A job that outlived its analytical bound — the event Thm. 5.1 proves

@@ -1,0 +1,192 @@
+//! [`FaultyCostModel`]: a fault-injecting decorator over
+//! [`rossl_timing`] cost models.
+//!
+//! Timing faults perturb the durations the virtual environment charges
+//! for code segments: WCET overruns on callbacks, clock jitter beyond
+//! the basic-action WCETs, and stalled idling. Overrunning picks only
+//! take effect when the simulator runs in *unclamped* mode
+//! ([`rossl_timing::Simulator::unclamped`]); the default simulator
+//! defensively clamps every pick into the model, which is exactly the
+//! assumption these faults exist to break.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rossl_model::{Duration, Instant};
+use rossl_timing::{CostModel, Segment};
+
+use crate::plan::{FaultClass, FaultPlan, FaultSpec, InjectionRecord};
+
+/// Seed salt separating cost-fault decisions from socket-fault decisions
+/// drawn from the same plan seed.
+const COST_SALT: u64 = 0xc057_face;
+
+/// A shared handle onto a [`FaultyCostModel`]'s injection log, readable
+/// after the simulator has consumed the model itself.
+pub type InjectionLog = Rc<RefCell<Vec<InjectionRecord>>>;
+
+/// A cost model whose picks misbehave according to a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultyCostModel<M> {
+    inner: M,
+    specs: Vec<FaultSpec>,
+    rng: StdRng,
+    picks: usize,
+    log: InjectionLog,
+}
+
+impl<M: CostModel> FaultyCostModel<M> {
+    /// Wraps `inner` with the plan's cost-level faults.
+    pub fn new(inner: M, plan: &FaultPlan) -> FaultyCostModel<M> {
+        FaultyCostModel {
+            inner,
+            specs: plan.cost_specs().copied().collect(),
+            rng: StdRng::seed_from_u64(plan.seed ^ COST_SALT),
+            picks: 0,
+            log: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// A handle onto the injection log; clone it out before handing the
+    /// model to a simulator (which consumes the model by value).
+    pub fn log_handle(&self) -> InjectionLog {
+        Rc::clone(&self.log)
+    }
+
+    fn record(&self, class: FaultClass, index: usize) {
+        self.log.borrow_mut().push(InjectionRecord {
+            class,
+            index,
+            time: Instant::ZERO,
+        });
+    }
+}
+
+impl<M: CostModel> CostModel for FaultyCostModel<M> {
+    fn pick(&mut self, segment: Segment, max: Duration) -> Duration {
+        let mut d = self.inner.pick(segment, max);
+        let index = self.picks;
+        self.picks += 1;
+        for i in 0..self.specs.len() {
+            let spec = self.specs[i];
+            let applies = matches!(
+                (spec.class, segment),
+                (FaultClass::WcetOverrun { .. }, Segment::Execution(_))
+                    | (
+                        FaultClass::ClockJitter { .. },
+                        Segment::ReadProbe
+                            | Segment::ReadFinish { .. }
+                            | Segment::Selection
+                            | Segment::Dispatch
+                            | Segment::Completion,
+                    )
+                    | (FaultClass::StalledIdle { .. }, Segment::Idling)
+                    | (FaultClass::ExecutionSlack { .. }, Segment::Execution(_))
+            );
+            if !applies {
+                continue;
+            }
+            if self.rng.gen_range(0u32..1000) >= u32::from(spec.rate_permille) {
+                continue;
+            }
+            match spec.class {
+                // Strictly beyond the budget, so the violation is
+                // unambiguous whatever the budget is.
+                FaultClass::WcetOverrun { factor } => {
+                    d = Duration(max.ticks().saturating_mul(u64::from(factor.max(2))).max(
+                        max.ticks().saturating_add(1),
+                    ));
+                }
+                FaultClass::ClockJitter { extra } => {
+                    d = max.saturating_add(Duration(extra.ticks().max(1)));
+                }
+                FaultClass::StalledIdle { factor } => {
+                    d = Duration(max.ticks().saturating_mul(u64::from(factor.max(2))).max(
+                        max.ticks().saturating_add(1),
+                    ));
+                }
+                // In-model: §2.3 only upper-bounds costs.
+                FaultClass::ExecutionSlack { divisor } => {
+                    d = Duration((d.ticks() / u64::from(divisor.max(1))).max(1));
+                    self.record(spec.class, index);
+                    continue;
+                }
+                _ => continue,
+            }
+            self.record(spec.class, index);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::TaskId;
+    use rossl_timing::WorstCase;
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let plan = FaultPlan::empty(4);
+        let mut faulty = FaultyCostModel::new(WorstCase, &plan);
+        let mut plain = WorstCase;
+        for seg in [
+            Segment::ReadProbe,
+            Segment::Selection,
+            Segment::Execution(TaskId(0)),
+            Segment::Idling,
+        ] {
+            assert_eq!(faulty.pick(seg, Duration(25)), plain.pick(seg, Duration(25)));
+        }
+        assert!(faulty.log_handle().borrow().is_empty());
+    }
+
+    #[test]
+    fn overrun_exceeds_budget_and_is_logged() {
+        let plan = FaultPlan::single(4, FaultClass::WcetOverrun { factor: 3 }, 1000);
+        let mut m = FaultyCostModel::new(WorstCase, &plan);
+        let log = m.log_handle();
+        let d = m.pick(Segment::Execution(TaskId(0)), Duration(20));
+        assert_eq!(d, Duration(60));
+        assert!(d > Duration(20));
+        // Non-execution segments untouched.
+        assert_eq!(m.pick(Segment::Selection, Duration(5)), Duration(5));
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(log.borrow()[0].class, FaultClass::WcetOverrun { factor: 3 });
+    }
+
+    #[test]
+    fn jitter_and_stall_exceed_their_segments() {
+        let plan = FaultPlan::empty(4)
+            .with(FaultSpec::always(FaultClass::ClockJitter { extra: Duration(7) }))
+            .with(FaultSpec::always(FaultClass::StalledIdle { factor: 2 }));
+        let mut m = FaultyCostModel::new(WorstCase, &plan);
+        assert_eq!(m.pick(Segment::Selection, Duration(5)), Duration(12));
+        assert_eq!(m.pick(Segment::Idling, Duration(10)), Duration(20));
+        assert_eq!(m.pick(Segment::Execution(TaskId(0)), Duration(9)), Duration(9));
+    }
+
+    #[test]
+    fn slack_stays_within_budget() {
+        let plan = FaultPlan::single(4, FaultClass::ExecutionSlack { divisor: 4 }, 1000);
+        let mut m = FaultyCostModel::new(WorstCase, &plan);
+        let d = m.pick(Segment::Execution(TaskId(0)), Duration(20));
+        assert_eq!(d, Duration(5));
+        assert!(d <= Duration(20));
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let plan = FaultPlan::single(11, FaultClass::WcetOverrun { factor: 2 }, 400);
+        let run = || {
+            let mut m = FaultyCostModel::new(WorstCase, &plan);
+            let picks: Vec<Duration> = (0..50)
+                .map(|_| m.pick(Segment::Execution(TaskId(0)), Duration(10)))
+                .collect();
+            (picks, m.log_handle().borrow().clone())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,11 @@
+//! Deterministic, seed-replayable fault injection over the Rössl
+//! substrate (sockets + cost models). See `plan`, `socket_set` and
+//! `cost` modules.
+
+mod cost;
+mod plan;
+mod socket_set;
+
+pub use cost::{FaultyCostModel, InjectionLog};
+pub use plan::{FaultClass, FaultPlan, FaultSpec, InjectionRecord};
+pub use socket_set::FaultySocketSet;

@@ -1,0 +1,338 @@
+//! Declarative fault plans: fault class × rate × seed × activation
+//! window.
+//!
+//! A [`FaultPlan`] fully determines an adversarial environment: replaying
+//! the same plan against the same workload produces byte-identical
+//! perturbations (and therefore byte-identical traces downstream). Fault
+//! classes are partitioned into **out-of-model** faults — environments
+//! that violate an assumption of Thm. 5.1 (Def. 2.1 read consistency,
+//! §2.3 WCET compliance, Eq. 2 arrival curves) and must be caught by a
+//! named checker — and **in-model** perturbations, which stay within the
+//! assumptions and must still verify with zero bound violations.
+
+use std::fmt;
+
+use rossl_model::{Duration, Instant};
+
+/// One class of environment fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The environment silently loses a datagram (out-of-model: breaks
+    /// READ-STEP-FAILURE honesty, Def. 2.1).
+    Drop,
+    /// The environment delivers a datagram twice (out-of-model: more
+    /// reads than arrivals on the socket).
+    Duplicate,
+    /// A datagram is rerouted to a different socket (out-of-model:
+    /// cross-socket reorder breaks per-socket FIFO matching).
+    Reroute,
+    /// The environment amplifies an arrival into `factor` copies
+    /// (out-of-model: the delivered sequence violates the arrival curve,
+    /// Eq. 2).
+    Burst {
+        /// Total copies delivered per amplified arrival (≥ 2).
+        factor: u32,
+    },
+    /// A datagram becomes visible only `delay` ticks after its nominal
+    /// arrival (out-of-model when claimed against the nominal sequence:
+    /// failed reads in the gap are dishonest under Def. 2.1).
+    DelayedVisibility {
+        /// Maximum extra visibility latency per message.
+        delay: Duration,
+    },
+    /// The whole arrival sequence shifts later by a constant (in-model:
+    /// inter-arrival gaps — and hence the curves — are preserved, and the
+    /// shifted sequence is what the scheduler is claimed to face).
+    UniformDelay {
+        /// The constant shift.
+        shift: Duration,
+    },
+    /// A callback overruns its task WCET by a factor (out-of-model:
+    /// violates §2.3; also what the scheduler watchdog detects in
+    /// flight).
+    WcetOverrun {
+        /// Execution time multiplier (≥ 2).
+        factor: u32,
+    },
+    /// Clock jitter inflates basic scheduler actions (reads, selection,
+    /// dispatch) beyond their WCET table entries (out-of-model).
+    ClockJitter {
+        /// Extra ticks beyond the segment's WCET.
+        extra: Duration,
+    },
+    /// The idle loop stalls for a multiple of its WCET (out-of-model:
+    /// breaks the polling-latency bound behind release jitter).
+    StalledIdle {
+        /// Idle segment multiplier (≥ 2).
+        factor: u32,
+    },
+    /// Callbacks run faster than their WCET by an integer divisor
+    /// (in-model: §2.3 only upper-bounds execution time).
+    ExecutionSlack {
+        /// Cost divisor (≥ 1).
+        divisor: u32,
+    },
+}
+
+impl FaultClass {
+    /// Short stable name, used in campaign matrices and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultClass::Drop => "drop",
+            FaultClass::Duplicate => "duplicate",
+            FaultClass::Reroute => "reroute",
+            FaultClass::Burst { .. } => "burst",
+            FaultClass::DelayedVisibility { .. } => "delayed-visibility",
+            FaultClass::UniformDelay { .. } => "uniform-delay",
+            FaultClass::WcetOverrun { .. } => "wcet-overrun",
+            FaultClass::ClockJitter { .. } => "clock-jitter",
+            FaultClass::StalledIdle { .. } => "stalled-idle",
+            FaultClass::ExecutionSlack { .. } => "execution-slack",
+        }
+    }
+
+    /// `true` when the perturbed environment still satisfies every
+    /// assumption of Thm. 5.1 (soundness matrix: bounds must hold).
+    pub fn in_model(&self) -> bool {
+        matches!(
+            self,
+            FaultClass::UniformDelay { .. } | FaultClass::ExecutionSlack { .. }
+        )
+    }
+
+    /// `true` for faults applied at the socket substrate (vs the cost
+    /// model).
+    pub fn is_socket_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultClass::Drop
+                | FaultClass::Duplicate
+                | FaultClass::Reroute
+                | FaultClass::Burst { .. }
+                | FaultClass::DelayedVisibility { .. }
+                | FaultClass::UniformDelay { .. }
+        )
+    }
+
+    /// `true` when verification should claim the *delivered* (perturbed)
+    /// arrival sequence rather than the nominal one.
+    ///
+    /// Silent faults (drop, duplicate, reroute, delayed visibility) are
+    /// invisible to the system's owner, so the claim is the nominal
+    /// sequence and the checkers must expose the mismatch. Burst and the
+    /// in-model perturbations describe environments the owner knows
+    /// about, so the delivered sequence is claimed — bursts are then
+    /// caught by the arrival-curve check itself.
+    pub fn claims_delivered(&self) -> bool {
+        matches!(
+            self,
+            FaultClass::Burst { .. }
+                | FaultClass::UniformDelay { .. }
+                | FaultClass::WcetOverrun { .. }
+                | FaultClass::ClockJitter { .. }
+                | FaultClass::StalledIdle { .. }
+                | FaultClass::ExecutionSlack { .. }
+        )
+    }
+
+    /// The Thm. 5.1 assumption this class violates (DESIGN.md §5
+    /// taxonomy), or `"none"` for in-model perturbations.
+    pub fn violated_assumption(&self) -> &'static str {
+        match self {
+            FaultClass::Drop => "Def. 2.1 (failed reads are honest)",
+            FaultClass::Duplicate => "Def. 2.1 (reads match arrivals 1:1)",
+            FaultClass::Reroute => "Def. 2.1 (per-socket FIFO delivery)",
+            FaultClass::Burst { .. } => "Eq. 2 (arrival curve)",
+            FaultClass::DelayedVisibility { .. } => "Def. 2.1 (reads see prior arrivals)",
+            FaultClass::WcetOverrun { .. } => "§2.3 (callback WCET)",
+            FaultClass::ClockJitter { .. } => "§2.3 (basic-action WCET)",
+            FaultClass::StalledIdle { .. } => "§2.3 (idle-segment WCET)",
+            FaultClass::UniformDelay { .. } | FaultClass::ExecutionSlack { .. } => "none",
+        }
+    }
+
+    /// The checkers expected to flag this class (by
+    /// `VerificationError::checker_name`), empty for in-model
+    /// perturbations.
+    pub fn expected_detectors(&self) -> &'static [&'static str] {
+        match self {
+            FaultClass::Drop | FaultClass::Duplicate | FaultClass::Reroute => &["consistency"],
+            FaultClass::DelayedVisibility { .. } => &["consistency"],
+            FaultClass::Burst { .. } => &["arrival-curve"],
+            FaultClass::WcetOverrun { .. }
+            | FaultClass::ClockJitter { .. }
+            | FaultClass::StalledIdle { .. } => &["wcet", "validity"],
+            FaultClass::UniformDelay { .. } | FaultClass::ExecutionSlack { .. } => &[],
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fault class with its injection rate and activation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What to inject.
+    pub class: FaultClass,
+    /// Injection probability per opportunity, in permille (1000 = every
+    /// opportunity).
+    pub rate_permille: u16,
+    /// Half-open activation window `[start, end)`; `None` = always
+    /// active. Only meaningful for socket faults (cost models have no
+    /// notion of time).
+    pub window: Option<(Instant, Instant)>,
+}
+
+impl FaultSpec {
+    /// A spec firing at every opportunity, always active.
+    pub fn always(class: FaultClass) -> FaultSpec {
+        FaultSpec {
+            class,
+            rate_permille: 1000,
+            window: None,
+        }
+    }
+
+    /// A spec firing with the given permille rate, always active.
+    pub fn at_rate(class: FaultClass, rate_permille: u16) -> FaultSpec {
+        FaultSpec {
+            class,
+            rate_permille,
+            window: None,
+        }
+    }
+
+    /// Restricts the spec to the half-open window `[start, end)`.
+    pub fn within(mut self, start: Instant, end: Instant) -> FaultSpec {
+        self.window = Some((start, end));
+        self
+    }
+
+    /// `true` when the spec applies to an opportunity at `t`.
+    pub fn active_at(&self, t: Instant) -> bool {
+        match self.window {
+            Some((start, end)) => start <= t && t < end,
+            None => true,
+        }
+    }
+}
+
+/// A deterministic, seed-replayable adversarial environment description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for every injection decision.
+    pub seed: u64,
+    /// The faults to inject.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing: decorators driven by it behave exactly
+    /// like the undecorated substrate.
+    pub fn empty(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// A plan with a single always-active spec.
+    pub fn single(seed: u64, class: FaultClass, rate_permille: u16) -> FaultPlan {
+        FaultPlan {
+            seed,
+            specs: vec![FaultSpec::at_rate(class, rate_permille)],
+        }
+    }
+
+    /// Adds a spec.
+    pub fn with(mut self, spec: FaultSpec) -> FaultPlan {
+        self.specs.push(spec);
+        self
+    }
+
+    /// The socket-level specs.
+    pub fn socket_specs(&self) -> impl Iterator<Item = &FaultSpec> {
+        self.specs.iter().filter(|s| s.class.is_socket_fault())
+    }
+
+    /// The cost-model specs.
+    pub fn cost_specs(&self) -> impl Iterator<Item = &FaultSpec> {
+        self.specs.iter().filter(|s| !s.class.is_socket_fault())
+    }
+
+    /// `true` when every spec stays within the model assumptions.
+    pub fn in_model(&self) -> bool {
+        self.specs.iter().all(|s| s.class.in_model())
+    }
+}
+
+/// A record of one applied injection, for campaign accounting and
+/// replay debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// The injected class.
+    pub class: FaultClass,
+    /// Index of the affected opportunity (arrival-event index for socket
+    /// faults, pick index for cost faults).
+    pub index: usize,
+    /// Virtual time of the opportunity (arrival instant for socket
+    /// faults, [`Instant::ZERO`] for cost faults, which are timeless).
+    pub time: Instant,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_two_sided() {
+        let out_of_model = [
+            FaultClass::Drop,
+            FaultClass::Duplicate,
+            FaultClass::Reroute,
+            FaultClass::Burst { factor: 3 },
+            FaultClass::DelayedVisibility { delay: Duration(50) },
+            FaultClass::WcetOverrun { factor: 3 },
+            FaultClass::ClockJitter { extra: Duration(40) },
+            FaultClass::StalledIdle { factor: 4 },
+        ];
+        for c in out_of_model {
+            assert!(!c.in_model(), "{c} must be out-of-model");
+            assert!(!c.expected_detectors().is_empty(), "{c} needs a detector");
+            assert_ne!(c.violated_assumption(), "none");
+        }
+        for c in [
+            FaultClass::UniformDelay { shift: Duration(100) },
+            FaultClass::ExecutionSlack { divisor: 2 },
+        ] {
+            assert!(c.in_model(), "{c} must be in-model");
+            assert!(c.expected_detectors().is_empty());
+            assert_eq!(c.violated_assumption(), "none");
+        }
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let spec = FaultSpec::always(FaultClass::Drop).within(Instant(10), Instant(20));
+        assert!(!spec.active_at(Instant(9)));
+        assert!(spec.active_at(Instant(10)));
+        assert!(spec.active_at(Instant(19)));
+        assert!(!spec.active_at(Instant(20)));
+        assert!(FaultSpec::always(FaultClass::Drop).active_at(Instant(9999)));
+    }
+
+    #[test]
+    fn plans_partition_specs_by_layer() {
+        let plan = FaultPlan::empty(1)
+            .with(FaultSpec::always(FaultClass::Drop))
+            .with(FaultSpec::always(FaultClass::WcetOverrun { factor: 2 }));
+        assert_eq!(plan.socket_specs().count(), 1);
+        assert_eq!(plan.cost_specs().count(), 1);
+        assert!(!plan.in_model());
+        assert!(FaultPlan::empty(0).in_model());
+    }
+}

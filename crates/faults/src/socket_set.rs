@@ -1,0 +1,234 @@
+//! [`FaultySocketSet`]: a fault-injecting decorator over
+//! [`rossl_sockets::SocketSet`].
+//!
+//! All socket-level faults are applied deterministically when the
+//! arrival sequence is loaded, driven solely by the plan's seed, so a
+//! replay with the same plan and workload yields a byte-identical
+//! environment. At the read interface the decorator behaves exactly like
+//! the honest substrate over the *perturbed* sequence — the scheduler
+//! cannot tell it is being attacked, which is the point.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rossl_model::{Instant, SocketId};
+use rossl_sockets::{
+    ArrivalEvent, ArrivalSequence, DatagramSource, ReadOutcome, SocketError, SocketSet,
+};
+
+use crate::plan::{FaultClass, FaultPlan, InjectionRecord};
+
+/// Seed salt separating socket-fault decisions from cost-fault decisions
+/// drawn from the same plan seed.
+const SOCKET_SALT: u64 = 0x5eed_50c7;
+
+/// A [`SocketSet`] whose environment misbehaves according to a
+/// [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultySocketSet {
+    inner: SocketSet,
+    delivered: ArrivalSequence,
+    injections: Vec<InjectionRecord>,
+}
+
+impl FaultySocketSet {
+    /// Loads `arrivals` through the plan's socket faults into a
+    /// `n_sockets`-socket substrate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocketError`] when the (perturbed) sequence does not fit
+    /// the socket set — e.g. a reroute target outside the set, which
+    /// cannot happen for plans produced by this crate.
+    pub fn with_arrivals(
+        n_sockets: usize,
+        arrivals: &ArrivalSequence,
+        plan: &FaultPlan,
+    ) -> Result<FaultySocketSet, SocketError> {
+        let mut rng = StdRng::seed_from_u64(plan.seed ^ SOCKET_SALT);
+        let mut events: Vec<ArrivalEvent> = Vec::with_capacity(arrivals.len());
+        let mut injections = Vec::new();
+
+        for (index, e) in arrivals.events().iter().enumerate() {
+            let mut event = e.clone();
+            let mut keep = true;
+            for spec in plan.socket_specs() {
+                if !spec.active_at(e.time) {
+                    continue;
+                }
+                if matches!(spec.class, FaultClass::UniformDelay { .. }) {
+                    // Applied uniformly below: shifting only some events
+                    // would change inter-arrival gaps and leave the model.
+                    continue;
+                }
+                if rng.gen_range(0u32..1000) >= u32::from(spec.rate_permille) {
+                    continue;
+                }
+                match spec.class {
+                    FaultClass::Drop => keep = false,
+                    FaultClass::Duplicate => {
+                        events.push(event.clone());
+                    }
+                    FaultClass::Reroute => {
+                        if n_sockets > 1 {
+                            let shift = rng.gen_range(1..n_sockets);
+                            event.sock = SocketId((event.sock.0 + shift) % n_sockets);
+                        } else {
+                            continue; // nowhere to reroute to
+                        }
+                    }
+                    FaultClass::Burst { factor } => {
+                        for _ in 1..factor.max(2) {
+                            events.push(event.clone());
+                        }
+                    }
+                    FaultClass::DelayedVisibility { delay } => {
+                        let extra = rng.gen_range(1..=delay.ticks().max(1));
+                        event.time = event.time.saturating_add(rossl_model::Duration(extra));
+                    }
+                    FaultClass::UniformDelay { .. }
+                    | FaultClass::WcetOverrun { .. }
+                    | FaultClass::ClockJitter { .. }
+                    | FaultClass::StalledIdle { .. }
+                    | FaultClass::ExecutionSlack { .. } => continue,
+                }
+                injections.push(InjectionRecord {
+                    class: spec.class,
+                    index,
+                    time: e.time,
+                });
+            }
+            if keep {
+                events.push(event);
+            }
+        }
+
+        // Uniform delay preserves every inter-arrival gap, so it is applied
+        // to the whole sequence at once.
+        for spec in plan.socket_specs() {
+            if let FaultClass::UniformDelay { shift } = spec.class {
+                for event in &mut events {
+                    event.time = event.time.saturating_add(shift);
+                }
+                if !events.is_empty() {
+                    injections.push(InjectionRecord {
+                        class: spec.class,
+                        index: 0,
+                        time: Instant::ZERO,
+                    });
+                }
+            }
+        }
+
+        let delivered = ArrivalSequence::from_events(events);
+        let inner = SocketSet::try_with_arrivals(n_sockets, &delivered)?;
+        Ok(FaultySocketSet {
+            inner,
+            delivered,
+            injections,
+        })
+    }
+
+    /// The perturbed sequence the environment actually delivers.
+    pub fn delivered(&self) -> &ArrivalSequence {
+        &self.delivered
+    }
+
+    /// Every injection that was applied, in nominal event order.
+    pub fn injections(&self) -> &[InjectionRecord] {
+        &self.injections
+    }
+
+    /// The underlying honest substrate (loaded with the perturbed
+    /// sequence).
+    pub fn inner(&self) -> &SocketSet {
+        &self.inner
+    }
+}
+
+impl DatagramSource for FaultySocketSet {
+    fn n_sockets(&self) -> usize {
+        self.inner.n_sockets()
+    }
+
+    fn try_read(&mut self, sock: SocketId, now: Instant) -> Result<ReadOutcome, SocketError> {
+        self.inner.try_read(sock, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{Duration, Message, TaskId};
+
+    fn seq(times: &[u64]) -> ArrivalSequence {
+        ArrivalSequence::from_events(
+            times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| ArrivalEvent {
+                    time: Instant(t),
+                    sock: SocketId(i % 2),
+                    task: TaskId(0),
+                    msg: Message::new(vec![0, i as u8]),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let arrivals = seq(&[5, 10, 20, 40]);
+        let f = FaultySocketSet::with_arrivals(2, &arrivals, &FaultPlan::empty(9)).unwrap();
+        assert_eq!(f.delivered(), &arrivals);
+        assert!(f.injections().is_empty());
+    }
+
+    #[test]
+    fn drop_removes_events_and_records_them() {
+        let arrivals = seq(&[5, 10, 20, 40]);
+        let plan = FaultPlan::single(3, FaultClass::Drop, 1000);
+        let f = FaultySocketSet::with_arrivals(2, &arrivals, &plan).unwrap();
+        assert_eq!(f.delivered().len(), 0);
+        assert_eq!(f.injections().len(), 4);
+    }
+
+    #[test]
+    fn burst_amplifies() {
+        let arrivals = seq(&[5]);
+        let plan = FaultPlan::single(3, FaultClass::Burst { factor: 4 }, 1000);
+        let f = FaultySocketSet::with_arrivals(2, &arrivals, &plan).unwrap();
+        assert_eq!(f.delivered().len(), 4);
+    }
+
+    #[test]
+    fn uniform_delay_preserves_gaps() {
+        let arrivals = seq(&[5, 10, 40]);
+        let plan = FaultPlan::single(3, FaultClass::UniformDelay { shift: Duration(100) }, 1000);
+        let f = FaultySocketSet::with_arrivals(2, &arrivals, &plan).unwrap();
+        let times: Vec<u64> = f.delivered().events().iter().map(|e| e.time.ticks()).collect();
+        assert_eq!(times, vec![105, 110, 140]);
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let arrivals = seq(&[5, 10, 20, 40, 80, 160]);
+        let plan = FaultPlan::empty(77)
+            .with(crate::plan::FaultSpec::at_rate(FaultClass::Drop, 300))
+            .with(crate::plan::FaultSpec::at_rate(FaultClass::Duplicate, 300));
+        let a = FaultySocketSet::with_arrivals(2, &arrivals, &plan).unwrap();
+        let b = FaultySocketSet::with_arrivals(2, &arrivals, &plan).unwrap();
+        assert_eq!(a.delivered(), b.delivered());
+        assert_eq!(a.injections(), b.injections());
+    }
+
+    #[test]
+    fn window_limits_injection() {
+        let arrivals = seq(&[5, 10, 20, 40]);
+        let plan = FaultPlan::empty(3).with(
+            crate::plan::FaultSpec::always(FaultClass::Drop).within(Instant(10), Instant(30)),
+        );
+        let f = FaultySocketSet::with_arrivals(2, &arrivals, &plan).unwrap();
+        let times: Vec<u64> = f.delivered().events().iter().map(|e| e.time.ticks()).collect();
+        assert_eq!(times, vec![5, 40]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests of the fault-injection layer's two defining contracts:
+//!
+//! 1. **Replay** — a `FaultPlan` is fully deterministic: the same plan
+//!    against the same workload produces byte-identical perturbations
+//!    (delivered sequences, injection logs, cost picks).
+//! 2. **Transparency** — an empty plan is indistinguishable from the
+//!    undecorated substrate, at both the socket and the cost layer.
+
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rossl_faults::{FaultClass, FaultPlan, FaultSpec, FaultyCostModel, FaultySocketSet};
+use rossl_model::{Duration, Instant, Message, SocketId, TaskId};
+use rossl_sockets::{ArrivalEvent, ArrivalSequence, DatagramSource, SocketSet};
+use rossl_timing::{CostModel, Segment, UniformCost};
+
+fn arb_class() -> impl Strategy<Value = FaultClass> {
+    prop_oneof![
+        Just(FaultClass::Drop),
+        Just(FaultClass::Duplicate),
+        Just(FaultClass::Reroute),
+        (2u32..5).prop_map(|factor| FaultClass::Burst { factor }),
+        (1u64..100).prop_map(|d| FaultClass::DelayedVisibility { delay: Duration(d) }),
+        (1u64..200).prop_map(|s| FaultClass::UniformDelay { shift: Duration(s) }),
+        (2u32..6).prop_map(|factor| FaultClass::WcetOverrun { factor }),
+        (1u64..50).prop_map(|e| FaultClass::ClockJitter { extra: Duration(e) }),
+        (2u32..6).prop_map(|factor| FaultClass::StalledIdle { factor }),
+        (1u32..5).prop_map(|d| FaultClass::ExecutionSlack { divisor: d }),
+    ]
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0u64..1_000,
+        proptest::collection::vec((arb_class(), 0u64..=1000), 0..4),
+    )
+        .prop_map(|(seed, specs)| FaultPlan {
+            seed,
+            specs: specs
+                .into_iter()
+                .map(|(class, rate)| FaultSpec::at_rate(class, rate as u16))
+                .collect(),
+        })
+}
+
+fn arb_arrivals() -> impl Strategy<Value = ArrivalSequence> {
+    proptest::collection::vec((0u64..500, 0usize..2, 0u8..16), 0..20).prop_map(|raw| {
+        ArrivalSequence::from_events(
+            raw.into_iter()
+                .map(|(time, sock, payload)| ArrivalEvent {
+                    time: Instant(time),
+                    sock: SocketId(sock),
+                    task: TaskId(usize::from(payload % 2)),
+                    msg: Message::new(vec![payload % 2, payload]),
+                })
+                .collect(),
+        )
+    })
+}
+
+/// A fixed segment schedule exercising every `Segment` variant.
+fn segment_schedule() -> Vec<(Segment, Duration)> {
+    let mut out = Vec::new();
+    for round in 1u64..=30 {
+        out.push((Segment::ReadProbe, Duration(5 + round % 3)));
+        out.push((Segment::ReadFinish { success: round % 2 == 0 }, Duration(4)));
+        out.push((Segment::Selection, Duration(6)));
+        out.push((Segment::Dispatch, Duration(3)));
+        out.push((Segment::Execution(TaskId(round as usize % 2)), Duration(20 + round)));
+        out.push((Segment::Completion, Duration(4)));
+        out.push((Segment::Idling, Duration(7)));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Loading the same (plan, workload) pair twice yields byte-identical
+    /// delivered sequences and injection logs, and identical read streams.
+    #[test]
+    fn same_seed_socket_replay_is_byte_identical(
+        plan in arb_plan(),
+        arrivals in arb_arrivals(),
+    ) {
+        let mut a = FaultySocketSet::with_arrivals(2, &arrivals, &plan).unwrap();
+        let mut b = FaultySocketSet::with_arrivals(2, &arrivals, &plan).unwrap();
+        prop_assert_eq!(a.delivered(), b.delivered());
+        prop_assert_eq!(a.injections(), b.injections());
+        for now in (0u64..600).step_by(7) {
+            for sock in 0..2usize {
+                let ra = a.try_read(SocketId(sock), Instant(now)).unwrap();
+                let rb = b.try_read(SocketId(sock), Instant(now)).unwrap();
+                prop_assert_eq!(ra, rb);
+            }
+        }
+    }
+
+    /// The same plan produces the identical cost-pick stream on replay,
+    /// including the injection log.
+    #[test]
+    fn same_seed_cost_replay_is_byte_identical(plan in arb_plan(), inner_seed in 0u64..1_000) {
+        let mut a = FaultyCostModel::new(
+            UniformCost::new(StdRng::seed_from_u64(inner_seed)),
+            &plan,
+        );
+        let mut b = FaultyCostModel::new(
+            UniformCost::new(StdRng::seed_from_u64(inner_seed)),
+            &plan,
+        );
+        let log_a = a.log_handle();
+        let log_b = b.log_handle();
+        for (segment, max) in segment_schedule() {
+            prop_assert_eq!(a.pick(segment, max), b.pick(segment, max));
+        }
+        prop_assert_eq!(&*log_a.borrow(), &*log_b.borrow());
+    }
+
+    /// An empty plan leaves the socket substrate exactly as the honest
+    /// `SocketSet` would be: same delivered events, same read outcomes.
+    #[test]
+    fn empty_plan_socket_set_equals_undecorated(
+        arrivals in arb_arrivals(),
+        seed in 0u64..1_000,
+    ) {
+        let mut faulty =
+            FaultySocketSet::with_arrivals(2, &arrivals, &FaultPlan::empty(seed)).unwrap();
+        let mut honest = SocketSet::try_with_arrivals(2, &arrivals).unwrap();
+        prop_assert_eq!(faulty.delivered(), &arrivals);
+        prop_assert!(faulty.injections().is_empty());
+        for now in (0u64..600).step_by(5) {
+            for sock in 0..2usize {
+                let rf = faulty.try_read(SocketId(sock), Instant(now)).unwrap();
+                let rh = honest.try_read(SocketId(sock), Instant(now)).unwrap();
+                prop_assert_eq!(rf, rh);
+            }
+        }
+    }
+
+    /// An empty plan leaves the cost model exactly as the inner model:
+    /// identical pick streams, nothing logged.
+    #[test]
+    fn empty_plan_cost_model_equals_undecorated(
+        plan_seed in 0u64..1_000,
+        inner_seed in 0u64..1_000,
+    ) {
+        let mut faulty = FaultyCostModel::new(
+            UniformCost::new(StdRng::seed_from_u64(inner_seed)),
+            &FaultPlan::empty(plan_seed),
+        );
+        let mut inner = UniformCost::new(StdRng::seed_from_u64(inner_seed));
+        let log = faulty.log_handle();
+        for (segment, max) in segment_schedule() {
+            prop_assert_eq!(faulty.pick(segment, max), inner.pick(segment, max));
+        }
+        prop_assert!(log.borrow().is_empty());
+    }
+}

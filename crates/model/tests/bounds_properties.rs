@@ -68,12 +68,12 @@ proptest! {
     fn bounds_monotone_in_table_entries(w in arb_wcet(), n in 1usize..6, bump in 1u64..10) {
         let base = OverheadBounds::derive(&w, n);
         let mut w2 = w;
-        w2.failed_read = w2.failed_read + Duration(bump);
-        w2.successful_read = w2.successful_read + Duration(bump);
-        w2.selection = w2.selection + Duration(bump);
-        w2.dispatch = w2.dispatch + Duration(bump);
-        w2.completion = w2.completion + Duration(bump);
-        w2.idling = w2.idling + Duration(bump);
+        w2.failed_read += Duration(bump);
+        w2.successful_read += Duration(bump);
+        w2.selection += Duration(bump);
+        w2.dispatch += Duration(bump);
+        w2.completion += Duration(bump);
+        w2.idling += Duration(bump);
         let bumped = OverheadBounds::derive(&w2, n);
         prop_assert!(bumped.polling >= base.polling);
         prop_assert!(bumped.read >= base.read);

@@ -57,6 +57,18 @@ pub enum SolverError {
         /// Number of curves supplied.
         curves: usize,
     },
+    /// The fixed-point iteration hit its hard cap without settling *or*
+    /// exhausting the horizon — the iterates grew without making the
+    /// supply inverse fail. Genuine convergence happens in far fewer
+    /// steps (the workload functions step at finitely many points), so
+    /// this flags a degenerate input (e.g. a pathological supply or
+    /// curve) rather than an unschedulable task set.
+    Divergent {
+        /// The task under analysis.
+        task: TaskId,
+        /// The iteration cap that was hit.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -70,6 +82,10 @@ impl fmt::Display for SolverError {
             SolverError::CurveCountMismatch { tasks, curves } => {
                 write!(f, "{tasks} tasks but {curves} release curves")
             }
+            SolverError::Divergent { task, iterations } => write!(
+                f,
+                "fixed-point iteration for {task} diverged ({iterations} iterations without settling)"
+            ),
         }
     }
 }
@@ -156,7 +172,10 @@ pub fn busy_window_length(
         }
         busy = next;
     }
-    Err(no_convergence)
+    Err(SolverError::Divergent {
+        task,
+        iterations: MAX_ITERATIONS,
+    })
 }
 
 /// The aRSA-style response-time bound `R_i` for `task`, **w.r.t. the
@@ -167,6 +186,8 @@ pub fn busy_window_length(
 ///
 /// * [`SolverError::NoConvergence`] when the recurrence exceeds `horizon`
 ///   (unschedulable or horizon too small);
+/// * [`SolverError::Divergent`] when the iteration cap is hit without the
+///   horizon ever being exhausted (a degenerate supply or curve);
 /// * [`SolverError::UnknownTask`] / [`SolverError::CurveCountMismatch`]
 ///   for malformed inputs.
 pub fn npfp_response_time(
@@ -239,7 +260,10 @@ pub fn npfp_response_time(
             s = next;
         }
         if !converged {
-            return Err(no_convergence);
+            return Err(SolverError::Divergent {
+                task,
+                iterations: MAX_ITERATIONS,
+            });
         }
         // Busy window quiesced before this release: dominated by A = 0.
         if s <= a {
@@ -346,6 +370,37 @@ mod tests {
         assert!(matches!(
             npfp_response_time(&tasks, &curves, &IdealSupply, TaskId(0), Duration(10_000)),
             Err(SolverError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn runaway_supply_is_flagged_as_divergent() {
+        // A (deliberately broken) supply whose inverse always answers with
+        // a larger window instead of admitting defeat at the horizon. The
+        // iterates then grow forever; the cap must convert that into a
+        // typed `Divergent`, not an endless loop or a misleading
+        // `NoConvergence`.
+        struct RunawaySupply;
+        impl SupplyBound for RunawaySupply {
+            fn sbf(&self, _delta: Duration) -> Duration {
+                Duration::ZERO
+            }
+            fn inverse(&self, supply: Duration, _cap: Duration) -> Option<Duration> {
+                Some(supply.saturating_add(Duration(1)))
+            }
+        }
+        // C = T = 1: demand grows linearly with the window, so the
+        // iterates creep upward one tick at a time and hit the cap long
+        // before the (infinite) horizon or integer saturation.
+        let tasks = ts(&[(1, 1, 1)]);
+        let curves = release_curves(&tasks, Duration::ZERO);
+        assert!(matches!(
+            busy_window_length(&tasks, &curves, &RunawaySupply, TaskId(0), Duration(u64::MAX)),
+            Err(SolverError::Divergent { task: TaskId(0), .. })
+        ));
+        assert!(matches!(
+            npfp_response_time(&tasks, &curves, &RunawaySupply, TaskId(0), Duration(u64::MAX)),
+            Err(SolverError::Divergent { task: TaskId(0), .. })
         ));
     }
 

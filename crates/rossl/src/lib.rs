@@ -69,9 +69,11 @@ mod config;
 mod error;
 mod queue;
 mod scheduler;
+mod watchdog;
 
 pub use codec::{FirstByteCodec, MessageCodec};
 pub use config::{ClientConfig, ConfigError};
 pub use error::DriveError;
 pub use queue::NpfpQueue;
 pub use scheduler::{Request, Response, Scheduler, Step};
+pub use watchdog::{DegradedEvent, WatchdogConfig};

@@ -95,6 +95,24 @@ impl NpfpQueue {
     pub fn iter(&self) -> impl Iterator<Item = &Job> {
         self.heap.iter().map(|e| &e.job)
     }
+
+    /// Removes pending jobs until at most `keep` remain, shedding
+    /// lowest-priority first and, among equals, latest-read first — the
+    /// exact reverse of the selection order, so the jobs that survive are
+    /// the ones `npfp_dequeue` would have served soonest.
+    ///
+    /// Returns the shed jobs with their priorities, worst first.
+    pub fn shed_lowest(&mut self, keep: usize) -> Vec<(Job, Priority)> {
+        if self.heap.len() <= keep {
+            return Vec::new();
+        }
+        // Ascending order puts the worst entry (lowest priority, latest
+        // read) first.
+        let mut entries = std::mem::take(&mut self.heap).into_sorted_vec();
+        let kept = entries.split_off(entries.len() - keep);
+        self.heap = kept.into_iter().collect();
+        entries.into_iter().map(|e| (e.job, e.priority)).collect()
+    }
 }
 
 impl fmt::Display for NpfpQueue {
@@ -140,6 +158,23 @@ mod tests {
         q.enqueue(job(1), Priority(2));
         let peeked = q.peek().unwrap().id();
         assert_eq!(q.dequeue().unwrap().id(), peeked);
+    }
+
+    #[test]
+    fn shed_lowest_keeps_the_selection_front() {
+        let mut q = NpfpQueue::new();
+        q.enqueue(job(0), Priority(5));
+        q.enqueue(job(1), Priority(1));
+        q.enqueue(job(2), Priority(1));
+        q.enqueue(job(3), Priority(9));
+        let shed: Vec<JobId> = q.shed_lowest(2).into_iter().map(|(j, _)| j.id()).collect();
+        // Lowest priority first; among the two Priority(1) jobs the later
+        // read (JobId 2) goes first.
+        assert_eq!(shed, vec![JobId(2), JobId(1)]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dequeue().unwrap().id(), JobId(3));
+        assert_eq!(q.dequeue().unwrap().id(), JobId(0));
+        assert!(q.shed_lowest(2).is_empty());
     }
 
     #[test]

@@ -27,13 +27,14 @@
 
 use std::fmt;
 
-use rossl_model::{Job, JobId, MsgData, SocketId, TaskId};
+use rossl_model::{Duration, Job, JobId, MsgData, SocketId, TaskId};
 use rossl_trace::Marker;
 
 use crate::codec::MessageCodec;
 use crate::config::ClientConfig;
 use crate::error::DriveError;
 use crate::queue::NpfpQueue;
+use crate::watchdog::{DegradedEvent, WatchdogConfig};
 
 /// What the scheduler needs from its environment to proceed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +55,11 @@ pub enum Response {
     ReadResult(Option<MsgData>),
     /// The callback ran to completion.
     Executed,
+    /// The callback ran to completion and the environment measured how
+    /// long it took. Equivalent to [`Response::Executed`] unless a
+    /// watchdog is installed, in which case the measurement is checked
+    /// against the task's declared WCET.
+    ExecutedIn(Duration),
 }
 
 /// The result of one [`Scheduler::advance`] call.
@@ -96,6 +102,9 @@ pub struct Scheduler<C> {
     next_job_id: u64,
     state: LoopState,
     jobs_completed: u64,
+    watchdog: Option<WatchdogConfig>,
+    degraded: bool,
+    degradation: Vec<DegradedEvent>,
 }
 
 impl<C: MessageCodec> Scheduler<C> {
@@ -115,12 +124,37 @@ impl<C: MessageCodec> Scheduler<C> {
                 round_success: false,
             },
             jobs_completed: 0,
+            watchdog: None,
+            degraded: false,
+            degradation: Vec::new(),
         }
+    }
+
+    /// Installs an execution-budget watchdog (§ graceful degradation).
+    ///
+    /// With a watchdog, [`Response::ExecutedIn`] measurements exceeding the
+    /// executing task's WCET switch the scheduler into degraded mode: it
+    /// keeps running, but sheds the pending queue down to
+    /// [`WatchdogConfig::max_pending`] at every selection phase until the
+    /// queue drains, emitting a [`DegradedEvent`] for every reaction.
+    pub fn with_watchdog(mut self, config: WatchdogConfig) -> Scheduler<C> {
+        self.watchdog = Some(config);
+        self
     }
 
     /// The client configuration.
     pub fn config(&self) -> &ClientConfig {
         &self.config
+    }
+
+    /// `true` while the watchdog has the scheduler in degraded mode.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Drains the degradation events recorded since the last call.
+    pub fn take_degradation_events(&mut self) -> Vec<DegradedEvent> {
+        std::mem::take(&mut self.degradation)
     }
 
     /// Number of jobs currently pending (read, not yet dispatched).
@@ -200,7 +234,7 @@ impl<C: MessageCodec> Scheduler<C> {
                             .config
                             .tasks()
                             .task(task)
-                            .expect("identify validated the task")
+                            .ok_or(DriveError::UnknownTask { task: task.0 })?
                             .priority();
                         self.queue.enqueue(job.clone(), priority);
                         Some(job)
@@ -243,6 +277,7 @@ impl<C: MessageCodec> Scheduler<C> {
             }
             LoopState::Decide => {
                 self.expect_no_response(&response, "M_Dispatch/M_Idling")?;
+                self.shed_if_degraded();
                 match self.queue.dequeue() {
                     Some(job) => {
                         self.state = LoopState::StartExecution(job.clone());
@@ -252,6 +287,12 @@ impl<C: MessageCodec> Scheduler<C> {
                         })
                     }
                     None => {
+                        if self.degraded {
+                            // The backlog is gone; the guarantee can hold
+                            // again from here on.
+                            self.degraded = false;
+                            self.degradation.push(DegradedEvent::Recovered);
+                        }
                         self.state = LoopState::StartRead {
                             next: 0,
                             round_success: false,
@@ -274,6 +315,9 @@ impl<C: MessageCodec> Scheduler<C> {
             LoopState::AwaitExecution(job) => {
                 match response {
                     Some(Response::Executed) => {}
+                    Some(Response::ExecutedIn(measured)) => {
+                        self.check_budget(&job, measured)?;
+                    }
                     Some(_) => {
                         return Err(DriveError::UnexpectedResponse {
                             expected: "Executed",
@@ -295,6 +339,50 @@ impl<C: MessageCodec> Scheduler<C> {
                     request: None,
                 })
             }
+        }
+    }
+
+    /// Compares a measured execution time against the job's task budget
+    /// and enters degraded mode on overrun (watchdog installed only).
+    fn check_budget(&mut self, job: &Job, measured: Duration) -> Result<(), DriveError> {
+        if self.watchdog.is_none() {
+            return Ok(());
+        }
+        let budget = self
+            .config
+            .tasks()
+            .task(job.task())
+            .ok_or(DriveError::UnknownTask {
+                task: job.task().0,
+            })?
+            .wcet();
+        if measured > budget {
+            self.degraded = true;
+            self.degradation.push(DegradedEvent::WcetOverrun {
+                job: job.id(),
+                task: job.task(),
+                budget,
+                measured,
+            });
+        }
+        Ok(())
+    }
+
+    /// While degraded, bounds the pending queue by shedding its
+    /// lowest-priority jobs before selection.
+    fn shed_if_degraded(&mut self) {
+        let Some(watchdog) = self.watchdog else {
+            return;
+        };
+        if !self.degraded {
+            return;
+        }
+        for (job, priority) in self.queue.shed_lowest(watchdog.max_pending) {
+            self.degradation.push(DegradedEvent::JobShed {
+                job: job.id(),
+                task: job.task(),
+                priority,
+            });
         }
     }
 
@@ -503,6 +591,96 @@ mod tests {
             .count();
         assert_eq!(reads, 4); // 2 rounds × 2 sockets
         assert!(trace.contains(&Marker::Selection));
+    }
+
+    #[test]
+    fn watchdog_degrades_sheds_and_recovers() {
+        use crate::watchdog::{DegradedEvent, WatchdogConfig};
+        use rossl_model::Duration;
+
+        let mut sched =
+            Scheduler::new(config(1), FirstByteCodec).with_watchdog(WatchdogConfig::new(1));
+        // Deliver 4 low-priority jobs, then a failing read ends polling.
+        let mut reads: Vec<Option<MsgData>> = vec![
+            Some(vec![0]),
+            Some(vec![0]),
+            Some(vec![0]),
+            Some(vec![0]),
+            None, // polling ends; overrunning dispatch follows
+            None, // after exec j0: poll fails, shedding happens at Decide
+            None, // after exec j1: poll fails, queue is empty -> recovery
+        ];
+        reads.reverse();
+        let mut response = None;
+        let mut first_execution = true;
+        loop {
+            let step = sched.advance(response.take()).expect("drive ok");
+            match step.request {
+                Some(Request::Read(_)) => match reads.pop() {
+                    Some(r) => response = Some(Response::ReadResult(r)),
+                    None => break,
+                },
+                Some(Request::Execute(_)) => {
+                    // First callback blows its 10-tick budget; the rest are
+                    // fine.
+                    response = Some(Response::ExecutedIn(if first_execution {
+                        Duration(35)
+                    } else {
+                        Duration(5)
+                    }));
+                    first_execution = false;
+                }
+                None => {}
+            }
+            if matches!(step.marker, Marker::Idling) {
+                break;
+            }
+        }
+        let events = sched.take_degradation_events();
+        assert!(matches!(
+            events[0],
+            DegradedEvent::WcetOverrun {
+                job: JobId(0),
+                budget: Duration(10),
+                measured: Duration(35),
+                ..
+            }
+        ));
+        // 3 jobs pended after the overrun; the queue was shed down to 1.
+        let shed: Vec<JobId> = events
+            .iter()
+            .filter_map(|e| match e {
+                DegradedEvent::JobShed { job, .. } => Some(*job),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shed, vec![JobId(3), JobId(2)]);
+        assert_eq!(*events.last().unwrap(), DegradedEvent::Recovered);
+        assert!(!sched.degraded());
+        assert_eq!(sched.jobs_completed(), 2); // 4 read − 2 shed
+    }
+
+    #[test]
+    fn executed_in_without_watchdog_is_plain_completion() {
+        use rossl_model::Duration;
+        let mut sched = Scheduler::new(config(1), FirstByteCodec);
+        let mut response = None;
+        let mut reads = vec![None, Some(vec![0])];
+        for _ in 0..8 {
+            let step = sched.advance(response.take()).unwrap();
+            match step.request {
+                Some(Request::Read(_)) => {
+                    response = Some(Response::ReadResult(reads.pop().flatten()))
+                }
+                Some(Request::Execute(_)) => {
+                    response = Some(Response::ExecutedIn(Duration(1_000_000)))
+                }
+                None => {}
+            }
+        }
+        assert_eq!(sched.jobs_completed(), 1);
+        assert!(!sched.degraded());
+        assert!(sched.take_degradation_events().is_empty());
     }
 
     #[test]

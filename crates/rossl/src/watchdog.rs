@@ -1,0 +1,107 @@
+//! Graceful degradation under overload: the execution-budget watchdog.
+//!
+//! The paper's response-time guarantee (Thm 5.1) is conditional on every
+//! callback finishing within its declared WCET. A deployed scheduler
+//! cannot *enforce* that — it is non-preemptive — but it can *detect* the
+//! violation as soon as the overrunning callback returns, report it as a
+//! typed [`DegradedEvent`], and shed load so the pending queue stays
+//! bounded while the guarantee is void. The watchdog never panics: every
+//! reaction is an event the driver (and the spec monitor) can observe.
+
+use std::fmt;
+
+use rossl_model::{Duration, JobId, Priority, TaskId};
+
+/// Configuration for the execution-budget watchdog.
+///
+/// Passed to [`Scheduler::with_watchdog`](crate::Scheduler::with_watchdog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// While degraded, the pending queue is shed down to this many jobs at
+    /// every selection phase (lowest priority first, latest-read first
+    /// among equals).
+    pub max_pending: usize,
+}
+
+impl WatchdogConfig {
+    /// A watchdog that sheds the pending queue down to `max_pending` while
+    /// degraded.
+    pub fn new(max_pending: usize) -> WatchdogConfig {
+        WatchdogConfig { max_pending }
+    }
+}
+
+/// A degradation event emitted by the watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedEvent {
+    /// A callback ran longer than its task's declared WCET; the scheduler
+    /// has entered degraded mode.
+    WcetOverrun {
+        /// The overrunning job.
+        job: JobId,
+        /// Its task.
+        task: TaskId,
+        /// The declared execution budget (the task's WCET).
+        budget: Duration,
+        /// The measured execution time reported by the environment.
+        measured: Duration,
+    },
+    /// A pending job was shed to keep the queue bounded while degraded.
+    JobShed {
+        /// The shed job.
+        job: JobId,
+        /// Its task.
+        task: TaskId,
+        /// Its priority (always minimal among the jobs pending when shed).
+        priority: Priority,
+    },
+    /// The pending queue drained while degraded; the scheduler returned to
+    /// nominal mode.
+    Recovered,
+}
+
+impl fmt::Display for DegradedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradedEvent::WcetOverrun {
+                job,
+                task,
+                budget,
+                measured,
+            } => write!(
+                f,
+                "job {} (task {}) overran its budget: {} > {}",
+                job.0, task.0, measured, budget
+            ),
+            DegradedEvent::JobShed {
+                job,
+                task,
+                priority,
+            } => write!(
+                f,
+                "shed pending job {} (task {}, priority {})",
+                job.0, task.0, priority.0
+            ),
+            DegradedEvent::Recovered => write!(f, "recovered to nominal mode"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = DegradedEvent::WcetOverrun {
+            job: JobId(3),
+            task: TaskId(1),
+            budget: Duration(10),
+            measured: Duration(25),
+        };
+        let s = e.to_string();
+        assert!(s.contains("job 3"));
+        assert!(s.contains("overran"));
+        assert_eq!(DegradedEvent::Recovered.to_string(), "recovered to nominal mode");
+    }
+}

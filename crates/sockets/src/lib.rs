@@ -29,4 +29,4 @@ mod arrivals;
 mod socket_set;
 
 pub use arrivals::{ArrivalEvent, ArrivalSequence};
-pub use socket_set::{ReadOutcome, SocketSet};
+pub use socket_set::{DatagramSource, ReadOutcome, SocketError, SocketSet};

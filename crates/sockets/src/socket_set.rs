@@ -30,6 +30,69 @@ impl ReadOutcome {
     }
 }
 
+/// Misuse of the socket substrate: configuration or addressing errors.
+///
+/// These used to be panics; they are typed so that fault-injection layers
+/// and drivers can surface environment bugs as recoverable errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketError {
+    /// A socket set needs at least one socket.
+    NoSockets,
+    /// An operation addressed a socket index outside the set.
+    OutOfRange {
+        /// The offending socket.
+        sock: SocketId,
+        /// How many sockets exist.
+        n_sockets: usize,
+    },
+    /// An arrival sequence references more sockets than the set has.
+    Undersized {
+        /// Largest socket index referenced (plus one).
+        referenced: usize,
+        /// How many sockets exist.
+        n_sockets: usize,
+    },
+}
+
+impl fmt::Display for SocketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocketError::NoSockets => write!(f, "scheduler must have at least one socket"),
+            SocketError::OutOfRange { sock, n_sockets } => {
+                write!(f, "{sock} is out of range for {n_sockets} socket(s)")
+            }
+            SocketError::Undersized {
+                referenced,
+                n_sockets,
+            } => write!(
+                f,
+                "arrival sequence references socket {} but only {} sockets exist",
+                referenced.saturating_sub(1),
+                n_sockets,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SocketError {}
+
+/// Anything the simulator can read datagrams from.
+///
+/// [`SocketSet`] is the honest substrate; decorators (e.g. the
+/// fault-injection layer in `rossl-faults`) wrap it to model adversarial
+/// environments while keeping the same read semantics at the interface.
+pub trait DatagramSource {
+    /// Number of sockets.
+    fn n_sockets(&self) -> usize;
+
+    /// Simulates the `read` system call on `sock` at virtual time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocketError::OutOfRange`] if `sock` does not exist.
+    fn try_read(&mut self, sock: SocketId, now: Instant) -> Result<ReadOutcome, SocketError>;
+}
+
 /// A set of non-blocking datagram sockets fed by a virtual-time
 /// environment.
 ///
@@ -46,10 +109,11 @@ impl ReadOutcome {
 /// use rossl_sockets::{ReadOutcome, SocketSet};
 ///
 /// let mut set = SocketSet::new(1);
-/// set.enqueue(SocketId(0), Instant(10), Message::new(vec![7]));
+/// set.enqueue(SocketId(0), Instant(10), Message::new(vec![7]))?;
 /// // At t=10 the message has not yet arrived "strictly before".
-/// assert_eq!(set.try_read(SocketId(0), Instant(10)), ReadOutcome::WouldBlock);
-/// assert!(set.try_read(SocketId(0), Instant(11)).is_data());
+/// assert_eq!(set.try_read(SocketId(0), Instant(10))?, ReadOutcome::WouldBlock);
+/// assert!(set.try_read(SocketId(0), Instant(11))?.is_data());
+/// # Ok::<(), rossl_sockets::SocketError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct SocketSet {
@@ -61,7 +125,8 @@ impl SocketSet {
     ///
     /// # Panics
     ///
-    /// Panics if `n_sockets` is zero.
+    /// Panics if `n_sockets` is zero; see [`SocketSet::try_new`] for the
+    /// fallible variant.
     pub fn new(n_sockets: usize) -> SocketSet {
         assert!(n_sockets > 0, "scheduler must have at least one socket");
         SocketSet {
@@ -69,12 +134,27 @@ impl SocketSet {
         }
     }
 
+    /// Creates `n_sockets` empty sockets, rejecting an empty set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocketError::NoSockets`] if `n_sockets` is zero.
+    pub fn try_new(n_sockets: usize) -> Result<SocketSet, SocketError> {
+        if n_sockets == 0 {
+            return Err(SocketError::NoSockets);
+        }
+        Ok(SocketSet {
+            queues: vec![VecDeque::new(); n_sockets],
+        })
+    }
+
     /// Creates sockets preloaded with a whole arrival sequence.
     ///
     /// # Panics
     ///
     /// Panics if `n_sockets` is zero or smaller than the largest socket
-    /// index in `arrivals`.
+    /// index in `arrivals`; see [`SocketSet::try_with_arrivals`] for the
+    /// fallible variant.
     pub fn with_arrivals(n_sockets: usize, arrivals: &ArrivalSequence) -> SocketSet {
         assert!(
             n_sockets >= arrivals.min_socket_count(),
@@ -82,11 +162,32 @@ impl SocketSet {
             arrivals.min_socket_count().saturating_sub(1),
             n_sockets,
         );
-        let mut set = SocketSet::new(n_sockets);
-        for e in arrivals.events() {
-            set.enqueue(e.sock, e.time, e.msg.clone());
+        SocketSet::try_with_arrivals(n_sockets, arrivals)
+            .expect("socket count checked above")
+    }
+
+    /// Creates sockets preloaded with a whole arrival sequence, rejecting
+    /// undersized sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocketError::NoSockets`] / [`SocketError::Undersized`]
+    /// when the set cannot hold the sequence.
+    pub fn try_with_arrivals(
+        n_sockets: usize,
+        arrivals: &ArrivalSequence,
+    ) -> Result<SocketSet, SocketError> {
+        if n_sockets < arrivals.min_socket_count() {
+            return Err(SocketError::Undersized {
+                referenced: arrivals.min_socket_count(),
+                n_sockets,
+            });
         }
-        set
+        let mut set = SocketSet::try_new(n_sockets)?;
+        for e in arrivals.events() {
+            set.enqueue(e.sock, e.time, e.msg.clone())?;
+        }
+        Ok(set)
     }
 
     /// Number of sockets.
@@ -98,43 +199,62 @@ impl SocketSet {
     /// enqueued out of order; delivery is always in arrival order (ties
     /// keep insertion order).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `sock` is out of range.
-    pub fn enqueue(&mut self, sock: SocketId, at: Instant, msg: Message) {
-        let q = &mut self.queues[sock.0];
+    /// Returns [`SocketError::OutOfRange`] if `sock` does not exist.
+    pub fn enqueue(
+        &mut self,
+        sock: SocketId,
+        at: Instant,
+        msg: Message,
+    ) -> Result<(), SocketError> {
+        let n_sockets = self.queues.len();
+        let q = self
+            .queues
+            .get_mut(sock.0)
+            .ok_or(SocketError::OutOfRange { sock, n_sockets })?;
         // Insert after the last element with time <= at to keep FIFO among
         // equal arrival times.
         let pos = q.partition_point(|(t, _)| *t <= at);
         q.insert(pos, (at, msg));
+        Ok(())
     }
 
     /// Simulates the `read` system call on `sock` at virtual time `now`:
     /// delivers the oldest message that arrived strictly before `now`, or
     /// reports [`ReadOutcome::WouldBlock`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `sock` is out of range.
-    pub fn try_read(&mut self, sock: SocketId, now: Instant) -> ReadOutcome {
-        let q = &mut self.queues[sock.0];
-        match q.front() {
-            Some((t, _)) if *t < now => {
-                let (arrived, msg) = q.pop_front().expect("front exists");
-                ReadOutcome::Data { msg, arrived }
-            }
+    /// Returns [`SocketError::OutOfRange`] if `sock` does not exist.
+    pub fn try_read(
+        &mut self,
+        sock: SocketId,
+        now: Instant,
+    ) -> Result<ReadOutcome, SocketError> {
+        let n_sockets = self.queues.len();
+        let q = self
+            .queues
+            .get_mut(sock.0)
+            .ok_or(SocketError::OutOfRange { sock, n_sockets })?;
+        Ok(match q.front() {
+            Some((t, _)) if *t < now => match q.pop_front() {
+                Some((arrived, msg)) => ReadOutcome::Data { msg, arrived },
+                None => ReadOutcome::WouldBlock,
+            },
             _ => ReadOutcome::WouldBlock,
-        }
+        })
     }
 
     /// Number of messages on `sock` that have arrived strictly before
     /// `now` but have not been read — used by assertions and by the
-    /// work-conservation experiments.
+    /// work-conservation experiments. Total: an out-of-range socket holds
+    /// no messages, so the count is 0.
     pub fn unread_arrived(&self, sock: SocketId, now: Instant) -> usize {
-        self.queues[sock.0]
-            .iter()
-            .take_while(|(t, _)| *t < now)
-            .count()
+        self.queues
+            .get(sock.0)
+            .map(|q| q.iter().take_while(|(t, _)| *t < now).count())
+            .unwrap_or(0)
     }
 
     /// Total messages still enqueued (arrived or future) across all
@@ -150,6 +270,16 @@ impl SocketSet {
             .iter()
             .filter_map(|q| q.front().map(|(t, _)| *t))
             .min()
+    }
+}
+
+impl DatagramSource for SocketSet {
+    fn n_sockets(&self) -> usize {
+        SocketSet::n_sockets(self)
+    }
+
+    fn try_read(&mut self, sock: SocketId, now: Instant) -> Result<ReadOutcome, SocketError> {
+        SocketSet::try_read(self, sock, now)
     }
 }
 
@@ -172,50 +302,74 @@ mod tests {
     #[test]
     fn read_is_strictly_after_arrival() {
         let mut s = SocketSet::new(1);
-        s.enqueue(SocketId(0), Instant(5), Message::new(vec![1]));
-        assert_eq!(s.try_read(SocketId(0), Instant(5)), ReadOutcome::WouldBlock);
+        s.enqueue(SocketId(0), Instant(5), Message::new(vec![1])).unwrap();
+        assert_eq!(
+            s.try_read(SocketId(0), Instant(5)),
+            Ok(ReadOutcome::WouldBlock)
+        );
         assert_eq!(
             s.try_read(SocketId(0), Instant(6)),
-            ReadOutcome::Data { msg: Message::new(vec![1]), arrived: Instant(5) }
+            Ok(ReadOutcome::Data { msg: Message::new(vec![1]), arrived: Instant(5) })
         );
         // Consumed: second read fails.
-        assert_eq!(s.try_read(SocketId(0), Instant(7)), ReadOutcome::WouldBlock);
+        assert_eq!(
+            s.try_read(SocketId(0), Instant(7)),
+            Ok(ReadOutcome::WouldBlock)
+        );
     }
 
     #[test]
     fn fifo_within_socket() {
         let mut s = SocketSet::new(1);
-        s.enqueue(SocketId(0), Instant(10), Message::new(vec![2]));
-        s.enqueue(SocketId(0), Instant(5), Message::new(vec![1]));
-        s.enqueue(SocketId(0), Instant(10), Message::new(vec![3]));
+        s.enqueue(SocketId(0), Instant(10), Message::new(vec![2])).unwrap();
+        s.enqueue(SocketId(0), Instant(5), Message::new(vec![1])).unwrap();
+        s.enqueue(SocketId(0), Instant(10), Message::new(vec![3])).unwrap();
         assert_eq!(
             s.try_read(SocketId(0), Instant(100)),
-            ReadOutcome::Data { msg: Message::new(vec![1]), arrived: Instant(5) }
+            Ok(ReadOutcome::Data { msg: Message::new(vec![1]), arrived: Instant(5) })
         );
         assert_eq!(
             s.try_read(SocketId(0), Instant(100)),
-            ReadOutcome::Data { msg: Message::new(vec![2]), arrived: Instant(10) }
+            Ok(ReadOutcome::Data { msg: Message::new(vec![2]), arrived: Instant(10) })
         );
         // Equal arrival times preserve insertion order.
         assert_eq!(
             s.try_read(SocketId(0), Instant(100)),
-            ReadOutcome::Data { msg: Message::new(vec![3]), arrived: Instant(10) }
+            Ok(ReadOutcome::Data { msg: Message::new(vec![3]), arrived: Instant(10) })
         );
     }
 
     #[test]
     fn sockets_are_independent() {
         let mut s = SocketSet::new(2);
-        s.enqueue(SocketId(1), Instant(0), Message::new(vec![9]));
-        assert_eq!(s.try_read(SocketId(0), Instant(10)), ReadOutcome::WouldBlock);
-        assert!(s.try_read(SocketId(1), Instant(10)).is_data());
+        s.enqueue(SocketId(1), Instant(0), Message::new(vec![9])).unwrap();
+        assert_eq!(
+            s.try_read(SocketId(0), Instant(10)),
+            Ok(ReadOutcome::WouldBlock)
+        );
+        assert!(s.try_read(SocketId(1), Instant(10)).unwrap().is_data());
+    }
+
+    #[test]
+    fn out_of_range_is_a_typed_error() {
+        let mut s = SocketSet::new(2);
+        assert_eq!(
+            s.try_read(SocketId(2), Instant(10)),
+            Err(SocketError::OutOfRange { sock: SocketId(2), n_sockets: 2 })
+        );
+        assert_eq!(
+            s.enqueue(SocketId(5), Instant(0), Message::new(vec![])),
+            Err(SocketError::OutOfRange { sock: SocketId(5), n_sockets: 2 })
+        );
+        assert_eq!(s.unread_arrived(SocketId(9), Instant(100)), 0);
+        assert_eq!(SocketSet::try_new(0).unwrap_err(), SocketError::NoSockets);
     }
 
     #[test]
     fn unread_arrived_counts_only_past_messages() {
         let mut s = SocketSet::new(1);
-        s.enqueue(SocketId(0), Instant(5), Message::new(vec![1]));
-        s.enqueue(SocketId(0), Instant(50), Message::new(vec![2]));
+        s.enqueue(SocketId(0), Instant(5), Message::new(vec![1])).unwrap();
+        s.enqueue(SocketId(0), Instant(50), Message::new(vec![2])).unwrap();
         assert_eq!(s.unread_arrived(SocketId(0), Instant(6)), 1);
         assert_eq!(s.unread_arrived(SocketId(0), Instant(51)), 2);
         assert_eq!(s.unread_arrived(SocketId(0), Instant(5)), 0);
@@ -225,8 +379,8 @@ mod tests {
     fn next_arrival_finds_global_minimum() {
         let mut s = SocketSet::new(2);
         assert_eq!(s.next_arrival(), None);
-        s.enqueue(SocketId(0), Instant(30), Message::new(vec![1]));
-        s.enqueue(SocketId(1), Instant(20), Message::new(vec![2]));
+        s.enqueue(SocketId(0), Instant(30), Message::new(vec![1])).unwrap();
+        s.enqueue(SocketId(1), Instant(20), Message::new(vec![2])).unwrap();
         assert_eq!(s.next_arrival(), Some(Instant(20)));
     }
 
@@ -260,5 +414,20 @@ mod tests {
             msg: Message::new(vec![]),
         }]);
         let _ = SocketSet::with_arrivals(2, &seq);
+    }
+
+    #[test]
+    fn try_with_arrivals_rejects_undersized_sets() {
+        use crate::arrivals::{ArrivalEvent, ArrivalSequence};
+        let seq = ArrivalSequence::from_events(vec![ArrivalEvent {
+            time: Instant(0),
+            sock: SocketId(3),
+            task: TaskId(0),
+            msg: Message::new(vec![]),
+        }]);
+        assert_eq!(
+            SocketSet::try_with_arrivals(2, &seq).unwrap_err(),
+            SocketError::Undersized { referenced: 4, n_sockets: 2 }
+        );
     }
 }

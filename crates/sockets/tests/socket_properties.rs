@@ -78,11 +78,14 @@ proptest! {
         for op in &ops {
             match *op {
                 Op::Enqueue { sock, at, payload } => {
-                    real.enqueue(SocketId(sock), Instant(at), Message::new(vec![payload]));
+                    real.enqueue(SocketId(sock), Instant(at), Message::new(vec![payload]))
+                        .expect("generated sockets are in range");
                     model.enqueue(sock, at, payload);
                 }
                 Op::Read { sock, now } => {
-                    let got = real.try_read(SocketId(sock), Instant(now));
+                    let got = real
+                        .try_read(SocketId(sock), Instant(now))
+                        .expect("generated sockets are in range");
                     let expected = model.read(sock, now);
                     match (got, expected) {
                         (ReadOutcome::WouldBlock, None) => {}
@@ -116,7 +119,7 @@ proptest! {
         for op in &ops {
             match *op {
                 Op::Enqueue { sock, at, payload } => {
-                    real.enqueue(SocketId(sock), Instant(at), Message::new(vec![payload]));
+                    let _ = real.enqueue(SocketId(sock), Instant(at), Message::new(vec![payload]));
                     model.enqueue(sock, at, payload);
                 }
                 Op::Read { sock, now } => {

@@ -12,11 +12,14 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use rossl::{ClientConfig, DriveError, MessageCodec, Request, Response, Scheduler};
+use rossl::{
+    ClientConfig, DegradedEvent, DriveError, MessageCodec, Request, Response, Scheduler,
+    WatchdogConfig,
+};
 use rossl_model::{
     Duration, Instant, JobId, ModelError, TaskId, WcetTable,
 };
-use rossl_sockets::{ArrivalSequence, ReadOutcome, SocketSet};
+use rossl_sockets::{ArrivalSequence, DatagramSource, ReadOutcome, SocketError, SocketSet};
 use rossl_trace::Marker;
 
 use crate::cost::{CostModel, Segment};
@@ -60,6 +63,12 @@ pub enum SimulationError {
     Drive(DriveError),
     /// Internal error assembling the timed trace.
     Trace(TimedTraceError),
+    /// The socket substrate rejected the workload (e.g. an arrival
+    /// referencing a socket outside the set).
+    Socket(SocketError),
+    /// An internal simulator invariant failed. Replaces what used to be a
+    /// panic, so fault campaigns can observe instead of abort.
+    Internal(&'static str),
 }
 
 impl fmt::Display for SimulationError {
@@ -68,6 +77,8 @@ impl fmt::Display for SimulationError {
             SimulationError::InvalidWcet(e) => write!(f, "invalid WCET table: {e}"),
             SimulationError::Drive(e) => write!(f, "scheduler drive error: {e}"),
             SimulationError::Trace(e) => write!(f, "trace assembly error: {e}"),
+            SimulationError::Socket(e) => write!(f, "socket substrate error: {e}"),
+            SimulationError::Internal(what) => write!(f, "simulator invariant violated: {what}"),
         }
     }
 }
@@ -78,7 +89,15 @@ impl std::error::Error for SimulationError {
             SimulationError::InvalidWcet(e) => Some(e),
             SimulationError::Drive(e) => Some(e),
             SimulationError::Trace(e) => Some(e),
+            SimulationError::Socket(e) => Some(e),
+            SimulationError::Internal(_) => None,
         }
+    }
+}
+
+impl From<SocketError> for SimulationError {
+    fn from(e: SocketError) -> SimulationError {
+        SimulationError::Socket(e)
     }
 }
 
@@ -104,6 +123,9 @@ pub struct SimulationResult {
     pub jobs: BTreeMap<JobId, JobRecord>,
     /// The horizon `t_hrzn` up to which the run extends.
     pub horizon: Instant,
+    /// Degradation events the scheduler's watchdog emitted during the run
+    /// (empty without a watchdog, and for every nominal run).
+    pub degradation: Vec<DegradedEvent>,
 }
 
 impl SimulationResult {
@@ -163,6 +185,8 @@ pub struct Simulator<C, M> {
     codec: C,
     wcet: WcetTable,
     cost: M,
+    unclamped: bool,
+    watchdog: Option<WatchdogConfig>,
 }
 
 impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
@@ -184,7 +208,31 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
             codec,
             wcet,
             cost,
+            unclamped: false,
+            watchdog: None,
         })
+    }
+
+    /// Disables the defensive clamping of cost-model picks to the WCET
+    /// table.
+    ///
+    /// By default every pick is forced into `[1, max]`, so every produced
+    /// run satisfies Thm. 5.1's assumptions by construction. Fault
+    /// injection needs the opposite: an out-of-model cost model (e.g. a
+    /// WCET overrun) must be allowed to actually overrun. Unclamped mode
+    /// keeps the lower bound of 1 tick (the clock must advance) but lets
+    /// picks exceed their budgets.
+    pub fn unclamped(mut self) -> Simulator<C, M> {
+        self.unclamped = true;
+        self
+    }
+
+    /// Installs an execution-budget watchdog on the driven scheduler and
+    /// reports measured execution times to it (see
+    /// [`Scheduler::with_watchdog`]).
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Simulator<C, M> {
+        self.watchdog = Some(watchdog);
+        self
     }
 
     /// Runs the scheduler against `arrivals` until the virtual clock
@@ -195,13 +243,35 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
     /// Propagates [`SimulationError::Drive`] for workload bugs
     /// (unclassifiable messages).
     pub fn run(
-        mut self,
+        self,
         arrivals: &ArrivalSequence,
         horizon: Instant,
     ) -> Result<SimulationResult, SimulationError> {
-        let n_sockets = self.config.n_sockets();
+        let sockets = SocketSet::try_with_arrivals(self.config.n_sockets(), arrivals)?;
+        self.run_with(sockets, horizon)
+    }
+
+    /// Like [`Simulator::run`], but against an arbitrary
+    /// [`DatagramSource`] — e.g. a fault-injecting decorator around the
+    /// honest substrate.
+    ///
+    /// The source should expose the client configuration's socket count; a
+    /// source with fewer sockets surfaces as
+    /// [`SocketError::OutOfRange`] on the first read past its range.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`], plus [`SimulationError::Socket`] if the
+    /// source rejects a read.
+    pub fn run_with<S: DatagramSource>(
+        mut self,
+        mut sockets: S,
+        horizon: Instant,
+    ) -> Result<SimulationResult, SimulationError> {
         let mut scheduler = Scheduler::new(self.config.clone(), self.codec.clone());
-        let mut sockets = SocketSet::with_arrivals(n_sockets, arrivals);
+        if let Some(watchdog) = self.watchdog {
+            scheduler = scheduler.with_watchdog(watchdog);
+        }
 
         let mut now = Instant::ZERO;
         let mut markers: Vec<Marker> = Vec::new();
@@ -223,7 +293,7 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
                 .failed_read
                 .ticks()
                 .min(self.wcet.successful_read.ticks())
-                - 1,
+                .saturating_sub(1),
         );
 
         while now <= horizon {
@@ -235,15 +305,18 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
             // marker starts.
             match &step.marker {
                 Marker::ReadStart => {
-                    let d = clamp(self.cost.pick(Segment::ReadProbe, probe_max), probe_max);
+                    let pick = self.cost.pick(Segment::ReadProbe, probe_max);
+                    let d = self.bound(pick, probe_max);
                     probe_spent = d;
                     now = now.saturating_add(d);
                     // Fulfil the read at the advanced clock: the read's
                     // linearization point is the M_ReadE timestamp.
                     let Some(Request::Read(sock)) = step.request else {
-                        unreachable!("M_ReadS always carries a read request");
+                        return Err(SimulationError::Internal(
+                            "M_ReadS must carry a read request",
+                        ));
                     };
-                    match sockets.try_read(sock, now) {
+                    match sockets.try_read(sock, now)? {
                         ReadOutcome::Data { msg, arrived } => {
                             staged_arrival = Some(arrived);
                             response = Some(Response::ReadResult(Some(msg.into_data())));
@@ -257,9 +330,9 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
                 Marker::ReadEnd { job, .. } => {
                     let success = job.is_some();
                     if let Some(j) = job {
-                        let arrived = staged_arrival
-                            .take()
-                            .expect("successful read has a staged arrival");
+                        let arrived = staged_arrival.take().ok_or(SimulationError::Internal(
+                            "successful read must have a staged arrival",
+                        ))?;
                         jobs.insert(
                             j.id(),
                             JobRecord {
@@ -276,21 +349,18 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
                         self.wcet.failed_read
                     };
                     let max = total.saturating_sub(probe_spent);
-                    let d = clamp(self.cost.pick(Segment::ReadFinish { success }, max), max);
+                    let pick = self.cost.pick(Segment::ReadFinish { success }, max);
+                    let d = self.bound(pick, max);
                     now = now.saturating_add(d);
                 }
                 Marker::Selection => {
-                    let d = clamp(
-                        self.cost.pick(Segment::Selection, self.wcet.selection),
-                        self.wcet.selection,
-                    );
+                    let pick = self.cost.pick(Segment::Selection, self.wcet.selection);
+                    let d = self.bound(pick, self.wcet.selection);
                     now = now.saturating_add(d);
                 }
                 Marker::Dispatch(_) => {
-                    let d = clamp(
-                        self.cost.pick(Segment::Dispatch, self.wcet.dispatch),
-                        self.wcet.dispatch,
-                    );
+                    let pick = self.cost.pick(Segment::Dispatch, self.wcet.dispatch);
+                    let d = self.bound(pick, self.wcet.dispatch);
                     now = now.saturating_add(d);
                 }
                 Marker::Execution(j) => {
@@ -298,27 +368,28 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
                         .config
                         .tasks()
                         .task(j.task())
-                        .expect("scheduler validated the task")
+                        .ok_or(SimulationError::Drive(DriveError::UnknownTask {
+                            task: j.task().0,
+                        }))?
                         .wcet();
-                    let d = clamp(self.cost.pick(Segment::Execution(j.task()), budget), budget);
+                    let pick = self.cost.pick(Segment::Execution(j.task()), budget);
+                    let d = self.bound(pick, budget);
                     now = now.saturating_add(d);
-                    response = Some(Response::Executed);
+                    // Report the measured execution time; without a
+                    // watchdog this is equivalent to plain `Executed`.
+                    response = Some(Response::ExecutedIn(d));
                 }
                 Marker::Completion(j) => {
                     if let Some(record) = jobs.get_mut(&j.id()) {
                         record.completed = Some(now);
                     }
-                    let d = clamp(
-                        self.cost.pick(Segment::Completion, self.wcet.completion),
-                        self.wcet.completion,
-                    );
+                    let pick = self.cost.pick(Segment::Completion, self.wcet.completion);
+                    let d = self.bound(pick, self.wcet.completion);
                     now = now.saturating_add(d);
                 }
                 Marker::Idling => {
-                    let d = clamp(
-                        self.cost.pick(Segment::Idling, self.wcet.idling),
-                        self.wcet.idling,
-                    );
+                    let pick = self.cost.pick(Segment::Idling, self.wcet.idling);
+                    let d = self.bound(pick, self.wcet.idling);
                     now = now.saturating_add(d);
                 }
             }
@@ -328,14 +399,22 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
             trace: TimedTrace::new(markers, timestamps)?,
             jobs,
             horizon,
+            degradation: scheduler.take_degradation_events(),
         })
     }
-}
 
-/// Defensively clamps a cost-model pick into `[1, max]` so that a buggy
-/// model cannot produce WCET-violating or zero-length segments.
-fn clamp(d: Duration, max: Duration) -> Duration {
-    Duration(d.ticks().clamp(1, max.ticks().max(1)))
+    /// Defensively clamps a cost-model pick into `[1, max]` so that a
+    /// buggy model cannot produce WCET-violating or zero-length segments.
+    /// In [`Simulator::unclamped`] mode only the lower bound is kept: the
+    /// clock must advance, but picks may exceed their budgets — that is
+    /// what fault injection is for.
+    fn bound(&self, d: Duration, max: Duration) -> Duration {
+        if self.unclamped {
+            Duration(d.ticks().max(1))
+        } else {
+            Duration(d.ticks().clamp(1, max.ticks().max(1)))
+        }
+    }
 }
 
 #[cfg(test)]

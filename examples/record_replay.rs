@@ -51,6 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace: replayed_trace,
         jobs: run.jobs.clone(), // job bookkeeping is derivable; reused here
         horizon: run.horizon,
+        degradation: Vec::new(),
     };
     let verifier = system.verifier(Duration(300_000))?;
     let report = verifier.verify(&replayed_arrivals, &replayed_run)?;

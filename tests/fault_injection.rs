@@ -4,6 +4,8 @@
 //! meaningless, so each class of defect the paper's proofs rule out is
 //! injected here and must be caught.
 
+use refined_prosa::faults::{FaultClass, FaultPlan, FaultSpec};
+use refined_prosa::rossl::{DegradedEvent, WatchdogConfig};
 use refined_prosa::{SystemBuilder, TimingVerifier, VerificationError};
 use rossl_model::{Curve, Duration, Instant, Job, JobId, Priority, TaskId};
 use rossl_sockets::ArrivalSequence;
@@ -38,6 +40,7 @@ fn with_trace(run: &SimulationResult, trace: TimedTrace) -> SimulationResult {
         trace,
         jobs: run.jobs.clone(),
         horizon: run.horizon,
+        degradation: run.degradation.clone(),
     }
 }
 
@@ -280,9 +283,184 @@ fn wrong_priority_dispatch_is_caught() {
         trace,
         jobs: Default::default(),
         horizon: Instant(100),
+        degradation: Vec::new(),
     };
     assert!(matches!(
         verifier(&s).verify(&arrivals, &run),
         Err(VerificationError::Functional(_))
     ));
+}
+
+// ---------------------------------------------------------------------------
+// Environment-level fault injection: instead of mutating traces by hand, the
+// environment itself misbehaves (via `FaultySocketSet` / `FaultyCostModel`)
+// and the honest scheduler runs on top of it. The checkers must still expose
+// every out-of-model fault, and in-model perturbations must stay sound.
+// ---------------------------------------------------------------------------
+
+/// Runs the system through a fault plan and verifies the claimed sequence.
+fn faulty_verdict(
+    s: &refined_prosa::RosslSystem,
+    plan: &FaultPlan,
+) -> (usize, Result<usize, VerificationError>) {
+    let arrivals = s.random_workload(11, Instant(15_000));
+    let run = s
+        .simulate_faulty(&arrivals, WorstCase, plan, None, Instant(25_000))
+        .unwrap();
+    let claimed = run.claimed(plan, &arrivals);
+    let verdict = verifier(s)
+        .verify(claimed, &run.result)
+        .map(|report| report.bound_violations);
+    (run.injections.len(), verdict)
+}
+
+#[test]
+fn env_dropped_datagrams_are_caught_by_consistency() {
+    let s = system();
+    let plan = FaultPlan::single(7, FaultClass::Drop, 1000);
+    let (injections, verdict) = faulty_verdict(&s, &plan);
+    assert!(injections > 0, "the plan must actually drop something");
+    assert!(
+        matches!(verdict, Err(VerificationError::Consistency(_))),
+        "unexpected verdict: {verdict:?}"
+    );
+}
+
+#[test]
+fn env_duplicated_datagrams_are_caught_by_consistency() {
+    let s = system();
+    let plan = FaultPlan::single(7, FaultClass::Duplicate, 1000);
+    let (injections, verdict) = faulty_verdict(&s, &plan);
+    assert!(injections > 0);
+    assert!(
+        matches!(verdict, Err(VerificationError::Consistency(_))),
+        "unexpected verdict: {verdict:?}"
+    );
+}
+
+#[test]
+fn env_burst_amplification_is_caught_by_arrival_curve() {
+    let s = system();
+    let plan = FaultPlan::single(7, FaultClass::Burst { factor: 3 }, 1000);
+    let (injections, verdict) = faulty_verdict(&s, &plan);
+    assert!(injections > 0);
+    assert!(
+        matches!(verdict, Err(VerificationError::ArrivalCurve { .. })),
+        "unexpected verdict: {verdict:?}"
+    );
+}
+
+#[test]
+fn env_delayed_visibility_is_caught_by_consistency() {
+    let s = system();
+    let plan = FaultPlan::single(
+        7,
+        FaultClass::DelayedVisibility {
+            delay: Duration(300),
+        },
+        1000,
+    );
+    let (injections, verdict) = faulty_verdict(&s, &plan);
+    assert!(injections > 0);
+    assert!(
+        matches!(verdict, Err(VerificationError::Consistency(_))),
+        "unexpected verdict: {verdict:?}"
+    );
+}
+
+#[test]
+fn env_wcet_overrun_is_caught_in_unclamped_mode() {
+    let s = system();
+    let plan = FaultPlan::single(7, FaultClass::WcetOverrun { factor: 5 }, 1000);
+    let (injections, verdict) = faulty_verdict(&s, &plan);
+    assert!(injections > 0);
+    assert!(
+        matches!(
+            verdict,
+            Err(VerificationError::Wcet(_)) | Err(VerificationError::Validity(_))
+        ),
+        "unexpected verdict: {verdict:?}"
+    );
+}
+
+#[test]
+fn env_in_model_perturbations_verify_with_zero_violations() {
+    let s = system();
+    for class in [
+        FaultClass::UniformDelay {
+            shift: Duration(200),
+        },
+        FaultClass::ExecutionSlack { divisor: 3 },
+    ] {
+        let plan = FaultPlan::single(7, class, 1000);
+        let (injections, verdict) = faulty_verdict(&s, &plan);
+        assert!(injections > 0, "{class}: nothing perturbed");
+        assert_eq!(
+            verdict.as_ref().ok(),
+            Some(&0),
+            "{class}: in-model perturbation must stay sound, got {verdict:?}"
+        );
+    }
+}
+
+#[test]
+fn env_empty_plan_is_equivalent_to_the_honest_environment() {
+    let s = system();
+    let arrivals = s.random_workload(11, Instant(15_000));
+    let honest = s.simulate(&arrivals, WorstCase, Instant(25_000)).unwrap();
+    let faulty = s
+        .simulate_faulty(
+            &arrivals,
+            WorstCase,
+            &FaultPlan::empty(99),
+            None,
+            Instant(25_000),
+        )
+        .unwrap();
+    assert!(faulty.injections.is_empty());
+    assert_eq!(faulty.delivered, arrivals);
+    assert_eq!(faulty.result.trace.markers(), honest.trace.markers());
+    assert_eq!(faulty.result.trace.timestamps(), honest.trace.timestamps());
+}
+
+#[test]
+fn watchdog_sheds_under_combined_overrun_and_burst_without_panicking() {
+    let s = system();
+    let arrivals = s.random_workload(11, Instant(15_000));
+    let plan = FaultPlan::single(7, FaultClass::WcetOverrun { factor: 6 }, 1000)
+        .with(FaultSpec::at_rate(FaultClass::Burst { factor: 4 }, 800));
+    let run = s
+        .simulate_faulty(
+            &arrivals,
+            WorstCase,
+            &plan,
+            Some(WatchdogConfig::new(1)),
+            Instant(25_000),
+        )
+        .unwrap();
+    let overruns = run
+        .result
+        .degradation
+        .iter()
+        .filter(|e| matches!(e, DegradedEvent::WcetOverrun { .. }))
+        .count();
+    let shed = run
+        .result
+        .degradation
+        .iter()
+        .filter(|e| matches!(e, DegradedEvent::JobShed { .. }))
+        .count();
+    let recovered = run
+        .result
+        .degradation
+        .iter()
+        .filter(|e| matches!(e, DegradedEvent::Recovered))
+        .count();
+    assert!(overruns > 0, "sustained overruns must trip the watchdog");
+    assert!(shed > 0, "the overfull queue must be shed, not grown");
+    assert!(recovered > 0, "the scheduler must return to nominal mode");
+    assert!(
+        run.result.completed_count() > 0,
+        "degraded mode must still make progress"
+    );
 }
