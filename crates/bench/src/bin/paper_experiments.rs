@@ -93,5 +93,10 @@ fn main() {
         "fault-injection campaign: detection and soundness matrices (E16)",
         &|| exps::exp_faults(seeds.min(5), Instant(horizon.min(30_000))),
     );
+    run(
+        "crash",
+        "exhaustive crash-point recovery sweep (E17)",
+        &|| exps::exp_crash_recovery(seeds.min(12) as usize + 4),
+    );
     run("loc", "code inventory vs the paper's proof-effort table (§5)", &exps::exp_loc);
 }

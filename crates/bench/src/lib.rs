@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod crash;
 pub mod experiments;
 pub mod faults;
 pub mod jitter;
@@ -22,5 +23,6 @@ pub use experiments::{
     exp_validity,
 };
 pub use ablation::{exp_ablation, exp_busy_windows, exp_schedulability, exp_sensitivity, exp_tight};
+pub use crash::exp_crash_recovery;
 pub use faults::exp_faults;
 pub use jitter::exp_fig7;

@@ -1,0 +1,364 @@
+//! Exhaustive crash-point verification — the crash-recovery analogue of
+//! the bounded model checking in [`ModelChecker`](crate::ModelChecker).
+//!
+//! For every crash point `k` up to the depth bound, [`CrashSweep`] drives
+//! the real [`rossl::Scheduler`] through **every** resolution of read
+//! nondeterminism, journaling each marker write-ahead; after the `k`-th
+//! marker the scheduler value is dropped (the crash), a torn half-record
+//! is appended to the journal (the interrupted write), and the
+//! [`rossl::Supervisor`] restarts a fresh scheduler from the journal's
+//! committed prefix. The post-crash scheduler is driven on — against the
+//! same environment, whose consumed messages stay consumed — and at every
+//! leaf the pre-/post-crash segments are stitched and checked with
+//! [`check_stitched`]: per-segment protocol, cross-seam functional
+//! correctness, and the seam accounting that no accepted job was lost
+//! and no completed job re-dispatched.
+//!
+//! Within the bounds this is a genuine ∀ crash-points × ∀ read-outcomes
+//! result: *every* reachable crash recovers to a passing stitched trace.
+
+use std::fmt;
+
+use rossl::{
+    ClientConfig, FirstByteCodec, Request, Response, RestartPolicy, Scheduler, Supervisor,
+};
+use rossl_journal::{JournalWriter, KIND_EVENT};
+use rossl_model::{Instant, MsgData};
+use rossl_trace::{check_stitched, Marker, StitchedTrace};
+
+/// Aggregate result of a crash-point sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashSweepOutcome {
+    /// Crash points swept (one per reachable pre-crash step).
+    pub crash_points: u64,
+    /// Supervised restarts performed (one per explored pre-crash path).
+    pub recoveries: u64,
+    /// Stitched traces checked at leaves.
+    pub stitched_checked: u64,
+    /// Leaves in which the crash voided a dispatch and the job was
+    /// re-dispatched after recovery (at-least-once executions).
+    pub redispatched: u64,
+    /// Total scheduler steps executed, across both segments.
+    pub steps: u64,
+}
+
+impl fmt::Display for CrashSweepOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} crash points, {} recoveries, {} stitched traces ({} redispatches), {} steps",
+            self.crash_points,
+            self.recoveries,
+            self.stitched_checked,
+            self.redispatched,
+            self.steps
+        )
+    }
+}
+
+/// A counterexample: a crash point whose recovery does not stitch into a
+/// passing trace.
+#[derive(Debug, Clone)]
+pub struct CrashSweepFailure {
+    /// The marker index after which the crash was injected.
+    pub crash_at: usize,
+    /// The pre- and post-crash segments at the point of failure.
+    pub segments: Vec<Vec<Marker>>,
+    /// Human-readable description of the violated invariant.
+    pub reason: String,
+}
+
+impl fmt::Display for CrashSweepFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crash after marker {} not recovered: {}",
+            self.crash_at, self.reason
+        )
+    }
+}
+
+impl std::error::Error for CrashSweepFailure {}
+
+/// One explored `(scheduler, environment, journal)` snapshot.
+#[derive(Debug, Clone)]
+struct Node {
+    scheduler: Scheduler<FirstByteCodec>,
+    journal: JournalWriter,
+    segments: Vec<Vec<Marker>>,
+    /// Cursor into `pending` per socket — survives the crash: a message
+    /// consumed from the transport stays consumed.
+    consumed: Vec<usize>,
+    steps: usize,
+    crashed: bool,
+    response: Option<Response>,
+    clock: u64,
+}
+
+/// Exhaustively verifies recovery from a crash at every reachable step.
+///
+/// # Examples
+///
+/// ```
+/// use rossl::ClientConfig;
+/// use rossl_model::*;
+/// use rossl_verify::CrashSweep;
+///
+/// let tasks = TaskSet::new(vec![
+///     Task::new(TaskId(0), "a", Priority(1), Duration(5), Curve::sporadic(Duration(10))),
+///     Task::new(TaskId(1), "b", Priority(2), Duration(5), Curve::sporadic(Duration(10))),
+/// ])?;
+/// let config = ClientConfig::new(tasks, 1)?;
+/// let sweep = CrashSweep::new(config, vec![vec![vec![0], vec![1]]], 12);
+/// let outcome = sweep.sweep()?;
+/// assert_eq!(outcome.crash_points, 12);
+/// assert!(outcome.redispatched > 0); // some crash lands mid-execution
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrashSweep {
+    config: ClientConfig,
+    /// Messages that may arrive, per socket, in FIFO order.
+    pending: Vec<Vec<MsgData>>,
+    /// Depth bound: crash points range over `0..max_steps`, and each
+    /// segment (pre- and post-crash) runs at most `max_steps` steps.
+    max_steps: usize,
+}
+
+impl CrashSweep {
+    /// A sweep over `config` where `pending[s]` lists the messages that
+    /// may arrive on socket `s`, injecting a crash after every marker
+    /// index in `0..max_steps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pending` has more entries than the configured socket
+    /// count.
+    pub fn new(config: ClientConfig, mut pending: Vec<Vec<MsgData>>, max_steps: usize) -> CrashSweep {
+        assert!(
+            pending.len() <= config.n_sockets(),
+            "pending messages reference more sockets than configured"
+        );
+        pending.resize(config.n_sockets(), Vec::new());
+        CrashSweep {
+            config,
+            pending,
+            max_steps,
+        }
+    }
+
+    /// Runs the full sweep: every crash point, every read resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CrashSweepFailure`] counterexample.
+    pub fn sweep(&self) -> Result<CrashSweepOutcome, CrashSweepFailure> {
+        let mut outcome = CrashSweepOutcome::default();
+        for crash_at in 0..self.max_steps {
+            self.sweep_one(crash_at, &mut outcome)?;
+            outcome.crash_points += 1;
+        }
+        Ok(outcome)
+    }
+
+    /// Explores every read resolution with a crash after marker
+    /// `crash_at`.
+    fn sweep_one(
+        &self,
+        crash_at: usize,
+        outcome: &mut CrashSweepOutcome,
+    ) -> Result<(), CrashSweepFailure> {
+        let root = Node {
+            scheduler: Scheduler::new(self.config.clone(), FirstByteCodec),
+            journal: JournalWriter::new(),
+            segments: vec![Vec::new()],
+            consumed: vec![0; self.config.n_sockets()],
+            steps: 0,
+            crashed: false,
+            response: None,
+            clock: 0,
+        };
+        let mut stack = vec![root];
+
+        while let Some(mut node) = stack.pop() {
+            loop {
+                let budget = if node.crashed {
+                    // The post-crash segment gets its own depth bound so
+                    // a voided dispatch has room to be re-issued.
+                    crash_at + 1 + self.max_steps
+                } else {
+                    crash_at + 1
+                };
+                if node.steps >= budget && node.crashed {
+                    let redispatched = self.check_leaf(crash_at, &node)?;
+                    outcome.stitched_checked += 1;
+                    outcome.redispatched += redispatched as u64;
+                    break;
+                }
+                node.steps += 1;
+                outcome.steps += 1;
+                node.clock += 1;
+                let step = node
+                    .scheduler
+                    .advance(node.response.take())
+                    .map_err(|e| CrashSweepFailure {
+                        crash_at,
+                        segments: node.segments.clone(),
+                        reason: format!("scheduler got stuck: {e}"),
+                    })?;
+                node.journal.append(&step.marker, Instant(node.clock));
+                node.journal.commit();
+                node.segments
+                    .last_mut()
+                    .expect("segment list is never empty")
+                    .push(step.marker.clone());
+
+                if !node.crashed && node.steps == crash_at + 1 {
+                    // The crash: the scheduler value dies here, any
+                    // outstanding request with it. The interrupted final
+                    // write leaves a torn half-record on the journal.
+                    self.recover(crash_at, &mut node)?;
+                    outcome.recoveries += 1;
+                    continue;
+                }
+
+                match step.request {
+                    Some(Request::Read(sock)) => {
+                        let cursor = node.consumed[sock.0];
+                        if let Some(msg) = self.pending[sock.0].get(cursor).cloned() {
+                            // Branch: the message has already arrived.
+                            let mut delivered = node.clone();
+                            delivered.response = Some(Response::ReadResult(Some(msg)));
+                            delivered.consumed[sock.0] += 1;
+                            stack.push(delivered);
+                        }
+                        node.response = Some(Response::ReadResult(None));
+                    }
+                    Some(Request::Execute(_)) => {
+                        node.response = Some(Response::Executed);
+                    }
+                    None => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Kills the scheduler in `node` and replaces it with one rebuilt by
+    /// the supervisor from the journal's committed prefix.
+    fn recover(&self, crash_at: usize, node: &mut Node) -> Result<(), CrashSweepFailure> {
+        let pre_completed = node.scheduler.jobs_completed();
+        let mut bytes = node.journal.bytes().to_vec();
+        // The write the crash interrupted: a torn event header.
+        bytes.extend_from_slice(&[KIND_EVENT, 0xFF, 0xFF]);
+
+        let mut supervisor = Supervisor::new(RestartPolicy::default());
+        let (sched, state, corruption) = supervisor
+            .restart(&bytes, self.config.clone(), FirstByteCodec)
+            .map_err(|e| CrashSweepFailure {
+                crash_at,
+                segments: node.segments.clone(),
+                reason: format!("supervised restart failed: {e}"),
+            })?;
+        if corruption.is_none() {
+            return Err(CrashSweepFailure {
+                crash_at,
+                segments: node.segments.clone(),
+                reason: "torn tail went undetected by journal recovery".into(),
+            });
+        }
+        if state.jobs_completed != pre_completed {
+            return Err(CrashSweepFailure {
+                crash_at,
+                segments: node.segments.clone(),
+                reason: format!(
+                    "recovered completion counter {} disagrees with the crashed scheduler's {}",
+                    state.jobs_completed, pre_completed
+                ),
+            });
+        }
+        node.scheduler = sched;
+        node.journal = JournalWriter::new();
+        node.segments.push(Vec::new());
+        node.crashed = true;
+        node.response = None;
+        Ok(())
+    }
+
+    /// Leaf check: the stitched pre-/post-crash trace passes protocol,
+    /// functional and seam checking, with the environment's consumed
+    /// counts as the lost-job accounting. Returns the number of
+    /// at-least-once re-dispatches observed in this trace.
+    fn check_leaf(&self, crash_at: usize, node: &Node) -> Result<usize, CrashSweepFailure> {
+        let stitched = StitchedTrace::new(node.segments.clone());
+        let report = check_stitched(
+            &stitched,
+            self.config.tasks(),
+            self.config.n_sockets(),
+            Some(&node.consumed),
+        )
+        .map_err(|e| CrashSweepFailure {
+            crash_at,
+            segments: node.segments.clone(),
+            reason: format!("stitched trace rejected: {e}"),
+        })?;
+        Ok(report.redispatched.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{Curve, Duration, Priority, Task, TaskId, TaskSet};
+
+    fn config(n_sockets: usize) -> ClientConfig {
+        let tasks = TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "low",
+                Priority(1),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+            Task::new(
+                TaskId(1),
+                "high",
+                Priority(9),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+        ])
+        .unwrap();
+        ClientConfig::new(tasks, n_sockets).unwrap()
+    }
+
+    #[test]
+    fn every_crash_point_recovers_single_socket() {
+        let sweep = CrashSweep::new(config(1), vec![vec![vec![0], vec![1]]], 14);
+        let outcome = sweep.sweep().unwrap();
+        assert_eq!(outcome.crash_points, 14);
+        assert!(outcome.recoveries >= 14);
+        assert!(outcome.stitched_checked >= outcome.recoveries);
+    }
+
+    #[test]
+    fn every_crash_point_recovers_two_sockets() {
+        let sweep = CrashSweep::new(
+            config(2),
+            vec![vec![vec![0]], vec![vec![1]]],
+            12,
+        );
+        let outcome = sweep.sweep().unwrap();
+        assert_eq!(outcome.crash_points, 12);
+        assert!(outcome.stitched_checked > 12);
+    }
+
+    #[test]
+    fn empty_environment_sweeps_cleanly() {
+        let sweep = CrashSweep::new(config(1), vec![], 10);
+        let outcome = sweep.sweep().unwrap();
+        assert_eq!(outcome.crash_points, 10);
+        // One idle path per crash point.
+        assert_eq!(outcome.recoveries, 10);
+    }
+}

@@ -20,12 +20,18 @@
 //!   monitor online and the full Def. 3.1/3.2 checkers on every explored
 //!   trace. Within the depth bound this is a genuine ∀-traces result —
 //!   the bounded analogue of Thm. 3.4.
+//! * [`CrashSweep`] — the crash-recovery extension (DESIGN §5.3): a crash
+//!   is injected after *every* reachable marker, the supervisor restarts
+//!   the scheduler from its journal, and every stitched pre-/post-crash
+//!   trace must pass the protocol, functional, and crash-seam checkers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod crash;
 mod mc;
 mod monitor;
 
+pub use crash::{CrashSweep, CrashSweepFailure, CrashSweepOutcome};
 pub use mc::{CheckFailure, CheckOutcome, ModelChecker};
 pub use monitor::{SpecMonitor, SpecViolation};

@@ -15,8 +15,10 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use prosa::{RtaError, SolverError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rossl::WatchdogConfig;
 use rossl_faults::{FaultClass, FaultPlan};
 use rossl_model::{Duration, Instant};
 use rossl_timing::UniformCost;
@@ -40,6 +42,11 @@ pub struct FaultCampaignConfig {
     pub analysis_horizon: Duration,
     /// The fault matrix to sweep.
     pub classes: Vec<FaultClass>,
+    /// Optional execution-budget watchdog for every run; its
+    /// [`DegradedEvent`](rossl::DegradedEvent)s are counted per run and
+    /// summarized in the report. `None` (the default) preserves the
+    /// plain E16 campaign.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl FaultCampaignConfig {
@@ -52,6 +59,7 @@ impl FaultCampaignConfig {
             horizon,
             analysis_horizon: Duration(horizon.ticks().max(100_000).saturating_mul(4)),
             classes: FaultCampaignConfig::full_matrix(),
+            watchdog: None,
         }
     }
 
@@ -92,6 +100,9 @@ pub struct RunOutcome {
     /// Conclusion violations (missed response-time bounds) when the
     /// hypotheses passed.
     pub bound_violations: usize,
+    /// Watchdog degradation events observed during the run (WCET
+    /// overruns detected, jobs shed). Always 0 without a watchdog.
+    pub degraded_events: usize,
 }
 
 /// All runs of one fault class.
@@ -124,6 +135,11 @@ impl ClassOutcome {
         self.runs.iter().map(|r| r.bound_violations).sum()
     }
 
+    /// Total watchdog degradation events across the class's runs.
+    pub fn degraded_events(&self) -> usize {
+        self.runs.iter().map(|r| r.degraded_events).sum()
+    }
+
     /// The class's side of the two-sided property.
     ///
     /// Out-of-model: the matrix exercised the class (≥ 1 injection),
@@ -152,12 +168,23 @@ impl ClassOutcome {
 pub struct CampaignOutcome {
     /// One row per fault class.
     pub per_class: Vec<ClassOutcome>,
+    /// Rendered solver `Divergent` error when the analytical bounds
+    /// could not be computed at all — surfaced in the report instead of
+    /// aborting the campaign with an opaque infrastructure error. The
+    /// matrices are empty in that case.
+    pub solver_divergence: Option<String>,
 }
 
 impl CampaignOutcome {
-    /// `true` when the two-sided property holds for every class.
+    /// `true` when the two-sided property holds for every class and the
+    /// analysis itself converged.
     pub fn holds(&self) -> bool {
-        self.per_class.iter().all(ClassOutcome::holds)
+        self.solver_divergence.is_none() && self.per_class.iter().all(ClassOutcome::holds)
+    }
+
+    /// Total watchdog degradation events across the whole campaign.
+    pub fn degraded_events(&self) -> usize {
+        self.per_class.iter().map(ClassOutcome::degraded_events).sum()
     }
 
     /// The classes whose side of the property failed.
@@ -178,6 +205,11 @@ impl CampaignOutcome {
 
 impl fmt::Display for CampaignOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(divergence) = &self.solver_divergence {
+            writeln!(f, "ANALYSIS FAILED — solver divergence: {divergence}")?;
+            writeln!(f, "(no detection or soundness matrices were produced)")?;
+            return Ok(());
+        }
         writeln!(f, "Detection matrix (out-of-model faults):")?;
         writeln!(
             f,
@@ -218,6 +250,19 @@ impl fmt::Display for CampaignOutcome {
                 if row.holds() { "SOUND" } else { "UNSOUND" },
             )?;
         }
+        writeln!(
+            f,
+            "Degradation summary: {} watchdog event(s) across all runs",
+            self.degraded_events()
+        )?;
+        for row in self.per_class.iter().filter(|c| c.degraded_events() > 0) {
+            writeln!(
+                f,
+                "  {:<20} {} degraded event(s)",
+                row.class.name(),
+                row.degraded_events()
+            )?;
+        }
         Ok(())
     }
 }
@@ -236,7 +281,18 @@ pub fn run_fault_campaign(
     system: &RosslSystem,
     config: &FaultCampaignConfig,
 ) -> Result<CampaignOutcome, SystemError> {
-    let verifier = system.verifier(config.analysis_horizon)?;
+    let verifier = match system.verifier(config.analysis_horizon) {
+        Ok(v) => v,
+        // A diverging fixed-point iteration is a reportable campaign
+        // outcome (degenerate analysis input), not an opaque abort.
+        Err(SystemError::Analysis(RtaError::Solver(e @ SolverError::Divergent { .. }))) => {
+            return Ok(CampaignOutcome {
+                per_class: Vec::new(),
+                solver_divergence: Some(e.to_string()),
+            });
+        }
+        Err(e) => return Err(e),
+    };
     let mut per_class = Vec::with_capacity(config.classes.len());
 
     for &class in &config.classes {
@@ -248,7 +304,7 @@ pub fn run_fault_campaign(
                 &nominal,
                 UniformCost::new(StdRng::seed_from_u64(seed ^ CAMPAIGN_COST_SALT)),
                 &plan,
-                None,
+                config.watchdog,
                 config.horizon,
             )?;
             let claimed = run.claimed(&plan, &nominal);
@@ -261,12 +317,16 @@ pub fn run_fault_campaign(
                 injections: run.injections.len(),
                 detected_by,
                 bound_violations,
+                degraded_events: run.result.degradation.len(),
             });
         }
         per_class.push(ClassOutcome { class, runs });
     }
 
-    Ok(CampaignOutcome { per_class })
+    Ok(CampaignOutcome {
+        per_class,
+        solver_divergence: None,
+    })
 }
 
 #[cfg(test)]
@@ -307,6 +367,41 @@ mod tests {
         );
         assert_eq!(outcome.detection_rows().count(), 8);
         assert_eq!(outcome.soundness_rows().count(), 2);
+    }
+
+    #[test]
+    fn watchdogged_campaign_surfaces_degraded_events() {
+        // A watchdog plus the WCET-overrun class: overruns are detected
+        // as degradation events and must show up in the report summary.
+        let outcome = run_fault_campaign(
+            &system(),
+            &FaultCampaignConfig {
+                seeds: vec![11, 23],
+                classes: vec![FaultClass::WcetOverrun { factor: 4 }],
+                watchdog: Some(WatchdogConfig::new(4)),
+                ..FaultCampaignConfig::new(Instant(20_000))
+            },
+        )
+        .unwrap();
+        assert!(
+            outcome.degraded_events() > 0,
+            "a watchdogged overrun campaign must degrade:\n{outcome}"
+        );
+        let rendered = outcome.to_string();
+        assert!(rendered.contains("Degradation summary"), "{rendered}");
+        assert!(rendered.contains("degraded event(s)"), "{rendered}");
+    }
+
+    #[test]
+    fn solver_divergence_is_a_reported_outcome_not_an_abort() {
+        let diverged = CampaignOutcome {
+            per_class: Vec::new(),
+            solver_divergence: Some("fixed-point iteration for τ0 diverged".into()),
+        };
+        assert!(!diverged.holds());
+        let rendered = diverged.to_string();
+        assert!(rendered.contains("solver divergence"), "{rendered}");
+        assert!(rendered.contains("diverged"), "{rendered}");
     }
 
     #[test]

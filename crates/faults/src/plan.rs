@@ -72,6 +72,19 @@ pub enum FaultClass {
         /// Cost divisor (≥ 1).
         divisor: u32,
     },
+    /// The scheduler process itself dies after emitting its `at_step`-th
+    /// marker (a *process* fault — neither a socket nor a cost fault).
+    /// Out-of-model in a distinct sense: Thm. 5.1 only covers traces the
+    /// scheduler completes, so a crash is not caught by any timing
+    /// checker. Instead the supervisor must restart the scheduler from
+    /// the journal's committed prefix and the *stitched* trace must pass
+    /// `rossl_trace::check_stitched` (DESIGN §5.3).
+    Crash {
+        /// Zero-based marker index at which the process dies: the crash
+        /// happens immediately after the `at_step`-th marker is emitted
+        /// (and journaled, possibly torn).
+        at_step: u64,
+    },
 }
 
 impl FaultClass {
@@ -88,6 +101,7 @@ impl FaultClass {
             FaultClass::ClockJitter { .. } => "clock-jitter",
             FaultClass::StalledIdle { .. } => "stalled-idle",
             FaultClass::ExecutionSlack { .. } => "execution-slack",
+            FaultClass::Crash { .. } => "crash",
         }
     }
 
@@ -98,6 +112,13 @@ impl FaultClass {
             self,
             FaultClass::UniformDelay { .. } | FaultClass::ExecutionSlack { .. }
         )
+    }
+
+    /// `true` for the process fault: the scheduler itself dies and must
+    /// be recovered by the supervisor. Neither a socket nor a cost
+    /// fault — it is injected at the drive loop, not at a substrate.
+    pub fn is_process_fault(&self) -> bool {
+        matches!(self, FaultClass::Crash { .. })
     }
 
     /// `true` for faults applied at the socket substrate (vs the cost
@@ -147,6 +168,7 @@ impl FaultClass {
             FaultClass::WcetOverrun { .. } => "§2.3 (callback WCET)",
             FaultClass::ClockJitter { .. } => "§2.3 (basic-action WCET)",
             FaultClass::StalledIdle { .. } => "§2.3 (idle-segment WCET)",
+            FaultClass::Crash { .. } => "Thm. 5.1 scope (uninterrupted execution)",
             FaultClass::UniformDelay { .. } | FaultClass::ExecutionSlack { .. } => "none",
         }
     }
@@ -162,6 +184,10 @@ impl FaultClass {
             FaultClass::WcetOverrun { .. }
             | FaultClass::ClockJitter { .. }
             | FaultClass::StalledIdle { .. } => &["wcet", "validity"],
+            // A crash is recovered, not detected: the obligation is that
+            // the stitched trace passes `check_stitched`, asserted by the
+            // crash sweep (E17) rather than a named timing checker.
+            FaultClass::Crash { .. } => &[],
             FaultClass::UniformDelay { .. } | FaultClass::ExecutionSlack { .. } => &[],
         }
     }
@@ -261,7 +287,25 @@ impl FaultPlan {
 
     /// The cost-model specs.
     pub fn cost_specs(&self) -> impl Iterator<Item = &FaultSpec> {
-        self.specs.iter().filter(|s| !s.class.is_socket_fault())
+        self.specs
+            .iter()
+            .filter(|s| !s.class.is_socket_fault() && !s.class.is_process_fault())
+    }
+
+    /// A plan that crashes the scheduler after its `at_step`-th marker.
+    pub fn crash_at(seed: u64, at_step: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            specs: vec![FaultSpec::always(FaultClass::Crash { at_step })],
+        }
+    }
+
+    /// The first crash point in the plan, if any.
+    pub fn crash_point(&self) -> Option<u64> {
+        self.specs.iter().find_map(|s| match s.class {
+            FaultClass::Crash { at_step } => Some(at_step),
+            _ => None,
+        })
     }
 
     /// `true` when every spec stays within the model assumptions.
@@ -313,6 +357,23 @@ mod tests {
             assert!(c.expected_detectors().is_empty());
             assert_eq!(c.violated_assumption(), "none");
         }
+    }
+
+    #[test]
+    fn crash_is_its_own_partition() {
+        let c = FaultClass::Crash { at_step: 5 };
+        assert!(c.is_process_fault());
+        assert!(!c.is_socket_fault());
+        assert!(!c.in_model());
+        assert!(c.expected_detectors().is_empty());
+        assert_ne!(c.violated_assumption(), "none");
+
+        let plan = FaultPlan::crash_at(7, 5);
+        assert_eq!(plan.crash_point(), Some(5));
+        // A crash spec reaches neither the socket nor the cost layer.
+        assert_eq!(plan.socket_specs().count(), 0);
+        assert_eq!(plan.cost_specs().count(), 0);
+        assert_eq!(FaultPlan::empty(0).crash_point(), None);
     }
 
     #[test]

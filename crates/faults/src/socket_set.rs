@@ -89,7 +89,8 @@ impl FaultySocketSet {
                     | FaultClass::WcetOverrun { .. }
                     | FaultClass::ClockJitter { .. }
                     | FaultClass::StalledIdle { .. }
-                    | FaultClass::ExecutionSlack { .. } => continue,
+                    | FaultClass::ExecutionSlack { .. }
+                    | FaultClass::Crash { .. } => continue,
                 }
                 injections.push(InjectionRecord {
                     class: spec.class,

@@ -1,19 +1,28 @@
-//! Property tests of the fault-injection layer's two defining contracts:
+//! Property tests of the fault-injection layer's three defining
+//! contracts:
 //!
 //! 1. **Replay** — a `FaultPlan` is fully deterministic: the same plan
 //!    against the same workload produces byte-identical perturbations
 //!    (delivered sequences, injection logs, cost picks).
 //! 2. **Transparency** — an empty plan is indistinguishable from the
 //!    undecorated substrate, at both the socket and the cost layer.
+//! 3. **Crash replay** — the replay guarantee extends across a crash:
+//!    the same plan seed and the same crash point yield a byte-identical
+//!    stitched trace, journal included (DESIGN.md §5.3).
 
 use proptest::prelude::*;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rossl::{
+    ClientConfig, FirstByteCodec, Request, Response, RestartPolicy, Scheduler, Supervisor,
+};
 use rossl_faults::{FaultClass, FaultPlan, FaultSpec, FaultyCostModel, FaultySocketSet};
-use rossl_model::{Duration, Instant, Message, SocketId, TaskId};
-use rossl_sockets::{ArrivalEvent, ArrivalSequence, DatagramSource, SocketSet};
+use rossl_journal::JournalWriter;
+use rossl_model::{Curve, Duration, Instant, Message, Priority, SocketId, Task, TaskId, TaskSet};
+use rossl_sockets::{ArrivalEvent, ArrivalSequence, DatagramSource, ReadOutcome, SocketSet};
 use rossl_timing::{CostModel, Segment, UniformCost};
+use rossl_trace::Marker;
 
 fn arb_class() -> impl Strategy<Value = FaultClass> {
     prop_oneof![
@@ -72,6 +81,91 @@ fn segment_schedule() -> Vec<(Segment, Duration)> {
         out.push((Segment::Idling, Duration(7)));
     }
     out
+}
+
+fn crash_config() -> ClientConfig {
+    let tasks = TaskSet::new(vec![
+        Task::new(
+            TaskId(0),
+            "low",
+            Priority(1),
+            Duration(10),
+            Curve::sporadic(Duration(100)),
+        ),
+        Task::new(
+            TaskId(1),
+            "high",
+            Priority(9),
+            Duration(10),
+            Curve::sporadic(Duration(100)),
+        ),
+    ])
+    .unwrap();
+    ClientConfig::new(tasks, 2).unwrap()
+}
+
+/// Drives `sched` for at most `steps` markers against the (possibly
+/// faulty) socket substrate, journaling each marker with a commit.
+fn drive_against_sockets<S: DatagramSource>(
+    sched: &mut Scheduler<FirstByteCodec>,
+    sockets: &mut S,
+    steps: usize,
+    journal: &mut JournalWriter,
+    clock: &mut u64,
+) -> Vec<Marker> {
+    let mut trace = Vec::new();
+    let mut response = None;
+    for _ in 0..steps {
+        let step = sched.advance(response.take()).expect("drive ok");
+        *clock += 1;
+        journal.append(&step.marker, Instant(*clock));
+        journal.commit();
+        trace.push(step.marker);
+        match step.request {
+            Some(Request::Read(sock)) => {
+                let msg = match sockets.try_read(sock, Instant(*clock)).expect("in range") {
+                    ReadOutcome::Data { msg, .. } => Some(msg.data().to_vec()),
+                    _ => None,
+                };
+                response = Some(Response::ReadResult(msg));
+            }
+            Some(Request::Execute(_)) => response = Some(Response::Executed),
+            None => {}
+        }
+    }
+    trace
+}
+
+/// One full crash–recovery run under `plan`: drive to the crash point,
+/// tear the journal, restart under the supervisor, drive the remainder.
+/// Returns the stitched segments plus the raw bytes of both journals —
+/// the complete observable record of the run.
+fn run_crash_scenario(
+    plan: &FaultPlan,
+    arrivals: &ArrivalSequence,
+    post_steps: usize,
+) -> (Vec<Vec<Marker>>, Vec<Vec<u8>>) {
+    let crash_at = plan.crash_point().expect("plan carries a crash") as usize;
+    let mut sockets = FaultySocketSet::with_arrivals(2, arrivals, plan).unwrap();
+    let mut sched = Scheduler::new(crash_config(), FirstByteCodec);
+    let mut journal = JournalWriter::new();
+    let mut clock = 0;
+    let seg0 = drive_against_sockets(&mut sched, &mut sockets, crash_at + 1, &mut journal, &mut clock);
+    drop(sched); // the crash
+
+    let mut bytes0 = journal.into_bytes();
+    bytes0.extend_from_slice(&[rossl_journal::KIND_EVENT, 0x7f]); // torn write
+
+    let mut sup = Supervisor::new(RestartPolicy::default());
+    let (mut sched, _state, corruption) = sup
+        .restart(&bytes0, crash_config(), FirstByteCodec)
+        .expect("recovery");
+    assert!(corruption.is_some(), "the torn tail must be reported");
+
+    let mut journal2 = JournalWriter::new();
+    let seg1 =
+        drive_against_sockets(&mut sched, &mut sockets, post_steps, &mut journal2, &mut clock);
+    (vec![seg0, seg1], vec![bytes0, journal2.into_bytes()])
 }
 
 proptest! {
@@ -136,6 +230,25 @@ proptest! {
                 prop_assert_eq!(rf, rh);
             }
         }
+    }
+
+    /// The replay guarantee extends across crashes: the same plan seed
+    /// and the same crash point reproduce the run byte for byte — the
+    /// same stitched segments and the very same journal bytes, torn
+    /// tail included.
+    #[test]
+    fn same_seed_and_crash_point_replay_is_byte_identical(
+        base in arb_plan(),
+        arrivals in arb_arrivals(),
+        crash_at in 0u64..16,
+    ) {
+        let mut plan = base;
+        plan.specs.push(FaultSpec::always(FaultClass::Crash { at_step: crash_at }));
+        prop_assert_eq!(plan.crash_point(), Some(crash_at));
+        let (segs_a, bytes_a) = run_crash_scenario(&plan, &arrivals, 24);
+        let (segs_b, bytes_b) = run_crash_scenario(&plan, &arrivals, 24);
+        prop_assert_eq!(segs_a, segs_b);
+        prop_assert_eq!(bytes_a, bytes_b);
     }
 
     /// An empty plan leaves the cost model exactly as the inner model:

@@ -1,0 +1,283 @@
+//! Compact binary encoding of [`Marker`]s for journal event payloads.
+//!
+//! The encoding is lossless and canonical: `decode(encode(m)) == m` for
+//! every marker, and equal markers encode to identical bytes — the
+//! byte-identity half of the journal round-trip property rests on this.
+//!
+//! ```text
+//! marker ≜ 0                                  M_ReadS
+//!        | 1 sock:u64le                       M_ReadE sock ⊥
+//!        | 2 sock:u64le job                   M_ReadE sock j
+//!        | 3                                  M_Selection
+//!        | 4 job                              M_Dispatch j
+//!        | 5 job                              M_Execution j
+//!        | 6 job                              M_Completion j
+//!        | 7                                  M_Idling
+//! job    ≜ id:u64le task:u64le dlen:u32le data[dlen]
+//! ```
+
+use std::fmt;
+
+use rossl_model::{Job, JobId, SocketId, TaskId};
+use rossl_trace::Marker;
+
+/// A marker payload that could not be decoded. The offset is relative to
+/// the start of the payload being decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarkerDecodeError {
+    /// The payload ended before the field at `offset` was complete.
+    Truncated {
+        /// Offset of the incomplete field.
+        offset: usize,
+    },
+    /// The leading tag byte is not a known marker tag.
+    UnknownTag {
+        /// The unrecognized tag.
+        tag: u8,
+    },
+    /// A job's declared payload length exceeds the bytes remaining — a
+    /// flipped length field; rejected before allocation.
+    OversizedJobData {
+        /// The declared length.
+        declared: u32,
+        /// The bytes actually remaining.
+        remaining: usize,
+    },
+    /// Valid marker followed by unconsumed bytes.
+    TrailingBytes {
+        /// Number of leftover bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for MarkerDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkerDecodeError::Truncated { offset } => {
+                write!(f, "marker payload truncated at offset {offset}")
+            }
+            MarkerDecodeError::UnknownTag { tag } => write!(f, "unknown marker tag {tag}"),
+            MarkerDecodeError::OversizedJobData {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "job data length {declared} exceeds the {remaining} bytes remaining"
+            ),
+            MarkerDecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} unconsumed byte(s) after the marker")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MarkerDecodeError {}
+
+fn put_job(out: &mut Vec<u8>, j: &Job) {
+    out.extend_from_slice(&j.id().0.to_le_bytes());
+    out.extend_from_slice(&(j.task().0 as u64).to_le_bytes());
+    out.extend_from_slice(&(j.data().len() as u32).to_le_bytes());
+    out.extend_from_slice(j.data());
+}
+
+/// Appends the canonical encoding of `marker` to `out`.
+pub fn encode_marker(marker: &Marker, out: &mut Vec<u8>) {
+    match marker {
+        Marker::ReadStart => out.push(0),
+        Marker::ReadEnd { sock, job: None } => {
+            out.push(1);
+            out.extend_from_slice(&(sock.0 as u64).to_le_bytes());
+        }
+        Marker::ReadEnd { sock, job: Some(j) } => {
+            out.push(2);
+            out.extend_from_slice(&(sock.0 as u64).to_le_bytes());
+            put_job(out, j);
+        }
+        Marker::Selection => out.push(3),
+        Marker::Dispatch(j) => {
+            out.push(4);
+            put_job(out, j);
+        }
+        Marker::Execution(j) => {
+            out.push(5);
+            put_job(out, j);
+        }
+        Marker::Completion(j) => {
+            out.push(6);
+            put_job(out, j);
+        }
+        Marker::Idling => out.push(7),
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MarkerDecodeError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(MarkerDecodeError::Truncated { offset: self.pos });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, MarkerDecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, MarkerDecodeError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, MarkerDecodeError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    fn job(&mut self) -> Result<Job, MarkerDecodeError> {
+        let id = self.u64()?;
+        let task = self.u64()?;
+        let dlen = self.u32()?;
+        let remaining = self.bytes.len() - self.pos;
+        // Pre-size check: validate the declared length against the bytes
+        // actually present before allocating anything.
+        if dlen as usize > remaining {
+            return Err(MarkerDecodeError::OversizedJobData {
+                declared: dlen,
+                remaining,
+            });
+        }
+        let data = self.take(dlen as usize)?.to_vec();
+        Ok(Job::new(JobId(id), TaskId(task as usize), data))
+    }
+}
+
+/// Decodes one marker from `bytes`, requiring the whole slice to be
+/// consumed.
+///
+/// # Errors
+///
+/// Returns a [`MarkerDecodeError`] for truncated, oversized, unknown or
+/// trailing-garbage payloads; never panics or over-allocates.
+pub fn decode_marker(bytes: &[u8]) -> Result<Marker, MarkerDecodeError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let marker = match c.u8()? {
+        0 => Marker::ReadStart,
+        1 => Marker::ReadEnd {
+            sock: SocketId(c.u64()? as usize),
+            job: None,
+        },
+        2 => Marker::ReadEnd {
+            sock: SocketId(c.u64()? as usize),
+            job: Some(c.job()?),
+        },
+        3 => Marker::Selection,
+        4 => Marker::Dispatch(c.job()?),
+        5 => Marker::Execution(c.job()?),
+        6 => Marker::Completion(c.job()?),
+        7 => Marker::Idling,
+        tag => return Err(MarkerDecodeError::UnknownTag { tag }),
+    };
+    if c.pos != bytes.len() {
+        return Err(MarkerDecodeError::TrailingBytes {
+            extra: bytes.len() - c.pos,
+        });
+    }
+    Ok(marker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_markers() -> Vec<Marker> {
+        let j = Job::new(JobId(7), TaskId(2), vec![2, 0xaa, 0xff]);
+        vec![
+            Marker::ReadStart,
+            Marker::ReadEnd {
+                sock: SocketId(3),
+                job: None,
+            },
+            Marker::ReadEnd {
+                sock: SocketId(0),
+                job: Some(j.clone()),
+            },
+            Marker::Selection,
+            Marker::Dispatch(j.clone()),
+            Marker::Execution(j.clone()),
+            Marker::Completion(j),
+            Marker::Idling,
+        ]
+    }
+
+    #[test]
+    fn every_marker_round_trips() {
+        for m in all_markers() {
+            let mut bytes = Vec::new();
+            encode_marker(&m, &mut bytes);
+            assert_eq!(decode_marker(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        for m in all_markers() {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            encode_marker(&m, &mut a);
+            encode_marker(&m.clone(), &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn truncations_yield_typed_errors() {
+        for m in all_markers() {
+            let mut bytes = Vec::new();
+            encode_marker(&m, &mut bytes);
+            for cut in 0..bytes.len() {
+                let err = decode_marker(&bytes[..cut]);
+                if cut == 0 {
+                    assert!(matches!(err, Err(MarkerDecodeError::Truncated { .. })));
+                } else {
+                    assert!(err.is_err(), "{m}: cut at {cut} accepted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_job_length_is_rejected_before_allocation() {
+        // Dispatch with a job claiming u32::MAX data bytes.
+        let mut bytes = vec![4u8];
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_marker(&bytes),
+            Err(MarkerDecodeError::OversizedJobData {
+                declared: u32::MAX,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_rejected() {
+        assert_eq!(
+            decode_marker(&[99]),
+            Err(MarkerDecodeError::UnknownTag { tag: 99 })
+        );
+        assert_eq!(
+            decode_marker(&[7, 0]),
+            Err(MarkerDecodeError::TrailingBytes { extra: 1 })
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! The append side of the journal.
+
+use rossl_model::Instant;
+use rossl_trace::Marker;
+
+use crate::codec::encode_marker;
+use crate::crc::crc32;
+use crate::{KIND_COMMIT, KIND_EVENT, MAGIC};
+
+/// An in-memory journal being built record by record.
+///
+/// The writer owns the byte buffer; deployments that persist to real
+/// storage flush [`JournalWriter::bytes`] after each append (write-ahead
+/// discipline: the marker reaches the journal *before* the scheduler
+/// takes the step it describes). Appending is infallible — all
+/// validation lives on the [`recover`](crate::recover) side, which must
+/// survive arbitrary bytes anyway.
+#[derive(Debug, Clone)]
+pub struct JournalWriter {
+    buf: Vec<u8>,
+    events_written: u64,
+}
+
+impl JournalWriter {
+    /// Starts a fresh journal containing only the magic header.
+    pub fn new() -> JournalWriter {
+        JournalWriter {
+            buf: MAGIC.to_vec(),
+            events_written: 0,
+        }
+    }
+
+    fn push_record(&mut self, kind: u8, payload: &[u8]) {
+        let start = self.buf.len();
+        self.buf.push(kind);
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        let crc = crc32(&self.buf[start..]);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Appends one `(marker, timestamp)` event record.
+    pub fn append(&mut self, marker: &Marker, at: Instant) {
+        let mut payload = at.0.to_le_bytes().to_vec();
+        encode_marker(marker, &mut payload);
+        self.push_record(KIND_EVENT, &payload);
+        self.events_written += 1;
+    }
+
+    /// Appends a commit record sealing every event written so far.
+    pub fn commit(&mut self) {
+        let payload = self.events_written.to_le_bytes();
+        self.push_record(KIND_COMMIT, &payload);
+    }
+
+    /// Number of event records appended so far (committed or not).
+    pub fn events_written(&self) -> u64 {
+        self.events_written
+    }
+
+    /// The journal bytes accumulated so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the journal bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Default for JournalWriter {
+    fn default() -> JournalWriter {
+        JournalWriter::new()
+    }
+}

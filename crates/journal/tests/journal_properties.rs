@@ -1,0 +1,163 @@
+//! Property tests of the journal's two defining contracts:
+//!
+//! 1. **Round trip** — writing a sequence of timed markers and reading
+//!    it back is lossless, and re-writing the recovered events is
+//!    byte-identical to the original journal.
+//! 2. **Prefix recovery** — truncating the journal at *every* byte
+//!    offset yields either a hard `BadHeader` (cuts inside the magic)
+//!    or a valid prefix of the original events, with damage reported as
+//!    a typed corruption — never a panic.
+
+use proptest::prelude::*;
+
+use rossl_journal::{recover, JournalError, JournalWriter, MAGIC};
+use rossl_model::{Instant, Job, JobId, SocketId, TaskId};
+use rossl_trace::Marker;
+
+fn arb_job() -> impl Strategy<Value = Job> {
+    (
+        0u64..1_000,
+        0usize..4,
+        proptest::collection::vec(0u8..=255, 0..12),
+    )
+        .prop_map(|(id, task, data)| Job::new(JobId(id), TaskId(task), data))
+}
+
+fn arb_marker() -> impl Strategy<Value = Marker> {
+    prop_oneof![
+        Just(Marker::ReadStart),
+        (0usize..4).prop_map(|s| Marker::ReadEnd {
+            sock: SocketId(s),
+            job: None,
+        }),
+        (0usize..4, arb_job()).prop_map(|(s, j)| Marker::ReadEnd {
+            sock: SocketId(s),
+            job: Some(j),
+        }),
+        Just(Marker::Selection),
+        arb_job().prop_map(Marker::Dispatch),
+        arb_job().prop_map(Marker::Execution),
+        arb_job().prop_map(Marker::Completion),
+        Just(Marker::Idling),
+    ]
+}
+
+/// Events interleaved with commit points: `true` at index i means
+/// "commit after event i".
+fn arb_history() -> impl Strategy<Value = Vec<(Marker, u64, bool)>> {
+    proptest::collection::vec((arb_marker(), 0u64..10_000, proptest::bool::ANY), 0..24)
+}
+
+fn write_history(history: &[(Marker, u64, bool)]) -> JournalWriter {
+    let mut w = JournalWriter::new();
+    for (marker, ts, commit_after) in history {
+        w.append(marker, Instant(*ts));
+        if *commit_after {
+            w.commit();
+        }
+    }
+    w
+}
+
+proptest! {
+    #[test]
+    fn round_trip_is_lossless_and_byte_identical(history in arb_history()) {
+        let w = write_history(&history);
+        let bytes = w.into_bytes();
+
+        let rec = recover(&bytes).unwrap();
+        prop_assert!(rec.corruption.is_none());
+
+        // Lossless: every appended event comes back, in order.
+        let all: Vec<_> = rec.committed.iter().chain(&rec.uncommitted).collect();
+        prop_assert_eq!(all.len(), history.len());
+        for (got, (marker, ts, _)) in all.iter().zip(&history) {
+            prop_assert_eq!(&got.marker, marker);
+            prop_assert_eq!(got.at, Instant(*ts));
+        }
+
+        // Committed/uncommitted split matches the last commit point.
+        let committed_len = history
+            .iter()
+            .rposition(|(_, _, c)| *c)
+            .map_or(0, |i| i + 1);
+        prop_assert_eq!(rec.committed.len(), committed_len);
+
+        // Byte identity: re-journaling the recovered events with the
+        // same commit points reproduces the original bytes exactly.
+        let rewritten = write_history(&history).into_bytes();
+        prop_assert_eq!(bytes, rewritten);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_yields_a_valid_prefix(history in arb_history()) {
+        let bytes = write_history(&history).into_bytes();
+        let full = recover(&bytes).unwrap();
+        let all: Vec<_> = full
+            .committed
+            .iter()
+            .chain(&full.uncommitted)
+            .cloned()
+            .collect();
+
+        for cut in 0..bytes.len() {
+            if cut < MAGIC.len() {
+                prop_assert_eq!(
+                    recover(&bytes[..cut]),
+                    Err(JournalError::BadHeader),
+                    "cut at {} inside magic",
+                    cut
+                );
+                continue;
+            }
+            let rec = recover(&bytes[..cut]).unwrap();
+            let got: Vec<_> = rec
+                .committed
+                .iter()
+                .chain(&rec.uncommitted)
+                .cloned()
+                .collect();
+            prop_assert!(got.len() <= all.len());
+            prop_assert_eq!(&all[..got.len()], &got[..], "cut at {}", cut);
+            // The committed prefix never exceeds what the full journal
+            // had committed.
+            prop_assert!(rec.committed.len() <= full.committed.len());
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic_and_are_reported(history in arb_history(), byte_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let bytes = write_history(&history).into_bytes();
+        if bytes.len() <= MAGIC.len() {
+            return Ok(());
+        }
+        // Pick a flip position inside the record area.
+        let span = bytes.len() - MAGIC.len();
+        let byte = MAGIC.len() + ((byte_frac * span as f64) as usize).min(span - 1);
+        let mut flipped = bytes.clone();
+        flipped[byte] ^= 1 << bit;
+        let rec = recover(&flipped).unwrap();
+        prop_assert!(
+            rec.corruption.is_some(),
+            "flip at {}:{} went undetected",
+            byte,
+            bit
+        );
+        // The salvaged prefix is still a prefix of the original.
+        let full = recover(&bytes).unwrap();
+        let all: Vec<_> = full
+            .committed
+            .iter()
+            .chain(&full.uncommitted)
+            .cloned()
+            .collect();
+        let got: Vec<_> = rec
+            .committed
+            .iter()
+            .chain(&rec.uncommitted)
+            .cloned()
+            .collect();
+        prop_assert!(got.len() <= all.len());
+        prop_assert_eq!(&all[..got.len()], &got[..]);
+    }
+}

@@ -8,17 +8,54 @@
 //! generators call [`MessageCodec::encode`] to build messages the client
 //! will understand.
 
+use std::fmt;
+
 use rossl_model::{MsgData, TaskId};
+
+/// A typed encoding failure — the fallible counterpart of the panics
+/// documented on [`MessageCodec::encode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The task id cannot be represented in the codec's wire format.
+    TaskIdOutOfRange {
+        /// The unrepresentable task id.
+        task: TaskId,
+        /// The largest id this codec can encode.
+        max: usize,
+    },
+    /// The codec can decode but not encode (e.g. closure codecs).
+    EncodeUnsupported,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::TaskIdOutOfRange { task, max } => {
+                write!(f, "task id {} exceeds the codec's maximum of {max}", task.0)
+            }
+            CodecError::EncodeUnsupported => write!(f, "this codec is decode-only"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
 
 /// The client's mapping between message payloads and task types.
 pub trait MessageCodec {
     /// The task a message belongs to, or `None` for an unrecognized
-    /// payload.
+    /// payload. Must never panic, whatever the bytes.
     fn task_of(&self, data: &[u8]) -> Option<TaskId>;
 
     /// Builds a message of the given task carrying `payload`.
     /// `task_of(encode(t, p)) == Some(t)` must hold for all valid `t`.
     fn encode(&self, task: TaskId, payload: &[u8]) -> MsgData;
+
+    /// Fallible [`encode`](MessageCodec::encode): returns a typed
+    /// [`CodecError`] where `encode` would panic. The default refuses to
+    /// encode; codecs that can encode should override it.
+    fn try_encode(&self, _task: TaskId, _payload: &[u8]) -> Result<MsgData, CodecError> {
+        Err(CodecError::EncodeUnsupported)
+    }
 }
 
 /// The default codec: the first byte of the message is the task id, the
@@ -43,15 +80,30 @@ impl MessageCodec for FirstByteCodec {
         data.first().map(|&b| TaskId(b as usize))
     }
 
+    /// # Panics
+    ///
+    /// Panics if `task.0 > 255`; use
+    /// [`try_encode`](MessageCodec::try_encode) to handle that case as a
+    /// typed error instead.
     fn encode(&self, task: TaskId, payload: &[u8]) -> MsgData {
         assert!(
             task.0 <= u8::MAX as usize,
             "FirstByteCodec supports at most 256 tasks"
         );
+        self.try_encode(task, payload).expect("range just checked")
+    }
+
+    fn try_encode(&self, task: TaskId, payload: &[u8]) -> Result<MsgData, CodecError> {
+        if task.0 > u8::MAX as usize {
+            return Err(CodecError::TaskIdOutOfRange {
+                task,
+                max: u8::MAX as usize,
+            });
+        }
         let mut data = Vec::with_capacity(payload.len() + 1);
         data.push(task.0 as u8);
         data.extend_from_slice(payload);
-        data
+        Ok(data)
     }
 }
 
@@ -91,6 +143,30 @@ mod tests {
     #[should_panic(expected = "at most 256 tasks")]
     fn oversized_task_id_panics() {
         let _ = FirstByteCodec.encode(TaskId(300), &[]);
+    }
+
+    #[test]
+    fn try_encode_reports_range_errors_instead_of_panicking() {
+        assert_eq!(
+            FirstByteCodec.try_encode(TaskId(300), &[]),
+            Err(CodecError::TaskIdOutOfRange {
+                task: TaskId(300),
+                max: 255
+            })
+        );
+        assert_eq!(
+            FirstByteCodec.try_encode(TaskId(7), &[1, 2]),
+            Ok(vec![7, 1, 2])
+        );
+    }
+
+    #[test]
+    fn closure_codecs_refuse_to_encode_via_try_encode() {
+        let codec = |_: &[u8]| None::<TaskId>;
+        assert_eq!(
+            codec.try_encode(TaskId(0), &[]),
+            Err(CodecError::EncodeUnsupported)
+        );
     }
 
     #[test]

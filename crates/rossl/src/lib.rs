@@ -69,11 +69,13 @@ mod config;
 mod error;
 mod queue;
 mod scheduler;
+mod supervisor;
 mod watchdog;
 
-pub use codec::{FirstByteCodec, MessageCodec};
+pub use codec::{CodecError, FirstByteCodec, MessageCodec};
 pub use config::{ClientConfig, ConfigError};
 pub use error::DriveError;
 pub use queue::NpfpQueue;
 pub use scheduler::{Request, Response, Scheduler, Step};
+pub use supervisor::{RecoveredState, RecoveryError, RestartPolicy, Supervisor};
 pub use watchdog::{DegradedEvent, WatchdogConfig};

@@ -130,6 +130,41 @@ impl<C: MessageCodec> Scheduler<C> {
         }
     }
 
+    /// Creates a scheduler restarted from journal-recovered state.
+    ///
+    /// The supervisor rebuilds `pending` (accepted-but-uncompleted jobs,
+    /// including a job whose dispatch a crash voided), the job-id
+    /// counter and the completion counter from the journal's committed
+    /// prefix; the machine re-enters the loop at the top of the polling
+    /// phase, exactly like a fresh start — the protocol automaton treats
+    /// each post-crash segment as a run from its initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriveError::UnknownTask`] if a recovered job's task is
+    /// not in the configuration (a configuration/journal mismatch).
+    pub fn recovered(
+        config: ClientConfig,
+        codec: C,
+        pending: Vec<Job>,
+        next_job_id: u64,
+        jobs_completed: u64,
+    ) -> Result<Scheduler<C>, DriveError> {
+        let mut sched = Scheduler::new(config, codec);
+        for job in pending {
+            let priority = sched
+                .config
+                .tasks()
+                .task(job.task())
+                .ok_or(DriveError::UnknownTask { task: job.task().0 })?
+                .priority();
+            sched.queue.enqueue(job, priority);
+        }
+        sched.next_job_id = next_job_id;
+        sched.jobs_completed = jobs_completed;
+        Ok(sched)
+    }
+
     /// Installs an execution-budget watchdog (§ graceful degradation).
     ///
     /// With a watchdog, [`Response::ExecutedIn`] measurements exceeding the

@@ -1,0 +1,422 @@
+//! Supervised restart: rebuilding a crashed scheduler from its journal.
+//!
+//! The supervisor owns the crash-recovery protocol (DESIGN §5.3). A
+//! deployment journals every marker through
+//! [`JournalWriter`](rossl_journal::JournalWriter) *before* acting on
+//! it; when the scheduler process dies, the supervisor
+//!
+//! 1. recovers the journal's committed prefix ([`rossl_journal::recover`]
+//!    — torn tails and bit flips surface as typed corruption, never a
+//!    panic),
+//! 2. replays the committed markers into a [`RecoveredState`]: the
+//!    pending set (accepted jobs not yet completed), the job-id counter
+//!    and the completion counter, returning a job whose dispatch the
+//!    crash voided to the pending set (at-least-once execution),
+//! 3. builds a fresh [`Scheduler`] from that state
+//!    ([`Scheduler::recovered`]) which re-enters the loop at the top of
+//!    the polling phase,
+//!
+//! under a bounded-restart policy with deterministic exponential
+//! backoff. Backoff is *recorded*, not slept: the simulation's notion of
+//! time lives in the driver, and determinism (same journal + same
+//! policy ⇒ same recovery) is what the replay guarantee rests on.
+//!
+//! The pre-crash committed trace and the post-crash trace are stitched
+//! into a [`StitchedTrace`](rossl_trace::StitchedTrace) and checked with
+//! [`check_stitched`](rossl_trace::check_stitched) — per-segment
+//! protocol, cross-seam functional correctness, and the seam rule (no
+//! duplicated completion, no lost accepted job).
+
+use std::fmt;
+
+use rossl_journal::{recover, Corruption, JournalError, TimedEvent};
+use rossl_model::{Duration, Job, JobId};
+use rossl_trace::Marker;
+
+use crate::codec::MessageCodec;
+use crate::config::ClientConfig;
+use crate::error::DriveError;
+use crate::scheduler::Scheduler;
+
+/// How many times, and how eagerly, the supervisor restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Maximum number of restarts before the supervisor gives up.
+    pub max_restarts: u32,
+    /// Base backoff delay; restart `k` records a backoff of
+    /// `backoff_base << k` ticks (saturating).
+    pub backoff_base: Duration,
+}
+
+impl RestartPolicy {
+    /// A policy allowing `max_restarts` restarts with the given base
+    /// backoff.
+    pub fn new(max_restarts: u32, backoff_base: Duration) -> RestartPolicy {
+        RestartPolicy {
+            max_restarts,
+            backoff_base,
+        }
+    }
+}
+
+impl Default for RestartPolicy {
+    /// Three restarts, starting from a one-tick backoff.
+    fn default() -> RestartPolicy {
+        RestartPolicy::new(3, Duration(1))
+    }
+}
+
+/// Scheduler state reconstructed from a journal's committed prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredState {
+    /// Accepted jobs not yet completed, in re-enqueue order. A job whose
+    /// dispatch the crash voided is at the front: it was selected as
+    /// highest-priority, so FIFO-within-priority puts it first again.
+    pub pending: Vec<Job>,
+    /// The next fresh job id (one past the largest id ever read).
+    pub next_job_id: u64,
+    /// Jobs completed before the crash.
+    pub jobs_completed: u64,
+    /// The job whose dispatch was voided by the crash, if any. Its
+    /// execution becomes at-least-once: it is in `pending` and will be
+    /// dispatched again.
+    pub redispatch: Option<JobId>,
+}
+
+impl RecoveredState {
+    /// Replays committed journal events into recovered scheduler state.
+    pub fn from_events(events: &[TimedEvent]) -> RecoveredState {
+        let mut pending: Vec<Job> = Vec::new();
+        let mut in_flight: Option<Job> = None;
+        let mut next_job_id = 0u64;
+        let mut jobs_completed = 0u64;
+
+        for ev in events {
+            match &ev.marker {
+                Marker::ReadEnd { job: Some(j), .. } => {
+                    next_job_id = next_job_id.max(j.id().0 + 1);
+                    pending.push(j.clone());
+                }
+                Marker::Dispatch(j) => {
+                    pending.retain(|p| p.id() != j.id());
+                    in_flight = Some(j.clone());
+                }
+                Marker::Completion(_) => {
+                    jobs_completed += 1;
+                    in_flight = None;
+                }
+                _ => {}
+            }
+        }
+
+        let redispatch = in_flight.as_ref().map(Job::id);
+        if let Some(j) = in_flight {
+            pending.insert(0, j);
+        }
+        RecoveredState {
+            pending,
+            next_job_id,
+            jobs_completed,
+            redispatch,
+        }
+    }
+}
+
+/// Why a supervised restart failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The journal has no salvageable prefix at all.
+    Journal(JournalError),
+    /// The restart budget is spent.
+    RestartBudgetExhausted {
+        /// Restarts already performed.
+        attempts: u32,
+        /// The policy's limit.
+        max_restarts: u32,
+    },
+    /// A recovered job does not fit the configuration.
+    Rebuild(DriveError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Journal(e) => write!(f, "journal unrecoverable: {e}"),
+            RecoveryError::RestartBudgetExhausted {
+                attempts,
+                max_restarts,
+            } => write!(
+                f,
+                "restart budget exhausted ({attempts} of {max_restarts} restarts used)"
+            ),
+            RecoveryError::Rebuild(e) => write!(f, "recovered state rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<JournalError> for RecoveryError {
+    fn from(e: JournalError) -> RecoveryError {
+        RecoveryError::Journal(e)
+    }
+}
+
+/// The restart supervisor: bounded retries with recorded backoff.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    policy: RestartPolicy,
+    restarts: u32,
+    backoff_log: Vec<Duration>,
+}
+
+impl Supervisor {
+    /// A supervisor enforcing `policy`.
+    pub fn new(policy: RestartPolicy) -> Supervisor {
+        Supervisor {
+            policy,
+            restarts: 0,
+            backoff_log: Vec::new(),
+        }
+    }
+
+    /// The enforced policy.
+    pub fn policy(&self) -> RestartPolicy {
+        self.policy
+    }
+
+    /// Restarts performed so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// The backoff recorded before each restart, in restart order.
+    pub fn backoff_log(&self) -> &[Duration] {
+        &self.backoff_log
+    }
+
+    /// Performs one supervised restart from the journal bytes.
+    ///
+    /// On success, returns the restarted scheduler, the state it was
+    /// rebuilt from, and the journal corruption encountered (if any —
+    /// a torn tail from the crash itself is the common case and is
+    /// *not* an error: the committed prefix survives it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryError`] when the restart budget is spent,
+    /// the journal header is unreadable, or a recovered job does not
+    /// fit the configuration.
+    pub fn restart<C: MessageCodec>(
+        &mut self,
+        journal: &[u8],
+        config: ClientConfig,
+        codec: C,
+    ) -> Result<(Scheduler<C>, RecoveredState, Option<Corruption>), RecoveryError> {
+        if self.restarts >= self.policy.max_restarts {
+            return Err(RecoveryError::RestartBudgetExhausted {
+                attempts: self.restarts,
+                max_restarts: self.policy.max_restarts,
+            });
+        }
+        let backoff = Duration(
+            self.policy
+                .backoff_base
+                .ticks()
+                .checked_shl(self.restarts)
+                .unwrap_or(u64::MAX),
+        );
+        let recovered = recover(journal)?;
+        let state = RecoveredState::from_events(&recovered.committed);
+        let sched = Scheduler::recovered(
+            config,
+            codec,
+            state.pending.clone(),
+            state.next_job_id,
+            state.jobs_completed,
+        )
+        .map_err(RecoveryError::Rebuild)?;
+        self.restarts += 1;
+        self.backoff_log.push(backoff);
+        Ok((sched, state, recovered.corruption))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::FirstByteCodec;
+    use crate::scheduler::{Request, Response};
+    use rossl_journal::JournalWriter;
+    use rossl_model::{Curve, Instant, MsgData, Priority, Task, TaskId, TaskSet};
+    use rossl_trace::{check_stitched, StitchedTrace};
+
+    fn config() -> ClientConfig {
+        let tasks = TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "low",
+                Priority(1),
+                Duration(10),
+                Curve::sporadic(Duration(100)),
+            ),
+            Task::new(
+                TaskId(1),
+                "high",
+                Priority(9),
+                Duration(10),
+                Curve::sporadic(Duration(100)),
+            ),
+        ])
+        .unwrap();
+        ClientConfig::new(tasks, 1).unwrap()
+    }
+
+    /// Drives `sched` for at most `steps` markers, journaling each with
+    /// a commit, feeding scripted reads. Returns the emitted markers.
+    fn drive_journaled(
+        sched: &mut Scheduler<FirstByteCodec>,
+        reads: &mut Vec<Option<MsgData>>,
+        steps: usize,
+        journal: &mut JournalWriter,
+        clock: &mut u64,
+    ) -> Vec<Marker> {
+        let mut trace = Vec::new();
+        let mut response = None;
+        for _ in 0..steps {
+            let step = sched.advance(response.take()).expect("drive ok");
+            *clock += 1;
+            journal.append(&step.marker, Instant(*clock));
+            journal.commit();
+            trace.push(step.marker);
+            match step.request {
+                Some(Request::Read(_)) => match reads.pop() {
+                    Some(r) => response = Some(Response::ReadResult(r)),
+                    None => break,
+                },
+                Some(Request::Execute(_)) => response = Some(Response::Executed),
+                None => {}
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn crash_mid_execution_recovers_and_stitches() {
+        // Script: one low job arrives, polling ends, dispatch, execute —
+        // crash right after M_Execution (before M_Completion).
+        let mut reads = vec![None, Some(vec![0])]; // popped from the back
+        let mut journal = JournalWriter::new();
+        let mut clock = 0;
+        let mut sched = Scheduler::new(config(), FirstByteCodec);
+        // 7 markers: ReadS, ReadE j0, ReadS, ReadE ⊥, Selection,
+        // Dispatch j0, Execution j0.
+        let seg0 = drive_journaled(&mut sched, &mut reads, 7, &mut journal, &mut clock);
+        assert!(matches!(seg0.last(), Some(Marker::Execution(_))));
+        drop(sched); // the crash
+
+        // The crash tears the next write in half.
+        let mut bytes = journal.into_bytes();
+        bytes.extend_from_slice(&[rossl_journal::KIND_EVENT, 0xAA]);
+
+        let mut sup = Supervisor::new(RestartPolicy::default());
+        let (mut sched, state, corruption) = sup
+            .restart(&bytes, config(), FirstByteCodec)
+            .expect("recovery");
+        // The torn tail is reported but harmless.
+        assert!(corruption.is_some());
+        assert_eq!(state.redispatch, Some(JobId(0)));
+        assert_eq!(state.pending.len(), 1);
+        assert_eq!(state.next_job_id, 1);
+        assert_eq!(state.jobs_completed, 0);
+        assert_eq!(sup.restarts(), 1);
+        assert_eq!(sup.backoff_log(), &[Duration(1)]);
+
+        // Restarted run: poll fails, re-dispatch j0, complete it.
+        let mut reads = vec![None, None];
+        let mut journal2 = JournalWriter::new();
+        let seg1 = drive_journaled(&mut sched, &mut reads, 8, &mut journal2, &mut clock);
+        assert!(seg1.contains(&Marker::Completion(Job::new(
+            JobId(0),
+            TaskId(0),
+            vec![0]
+        ))));
+        assert_eq!(sched.jobs_completed(), 1);
+
+        // The stitched trace passes all three checking layers, with the
+        // environment having consumed exactly one message from sock 0.
+        let st = StitchedTrace::new(vec![seg0, seg1]);
+        let report = check_stitched(&st, config().tasks(), 1, Some(&[1])).expect("stitched");
+        assert_eq!(report.jobs_completed, 1);
+        assert_eq!(report.redispatched, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn fresh_job_ids_after_recovery_do_not_collide() {
+        let mut events = Vec::new();
+        let j = Job::new(JobId(41), TaskId(0), vec![0]);
+        events.push(TimedEvent {
+            marker: Marker::ReadEnd {
+                sock: rossl_model::SocketId(0),
+                job: Some(j),
+            },
+            at: Instant(1),
+        });
+        let state = RecoveredState::from_events(&events);
+        assert_eq!(state.next_job_id, 42);
+    }
+
+    #[test]
+    fn restart_budget_is_enforced() {
+        let journal = JournalWriter::new().into_bytes();
+        let mut sup = Supervisor::new(RestartPolicy::new(2, Duration(3)));
+        for _ in 0..2 {
+            sup.restart(&journal, config(), FirstByteCodec)
+                .expect("within budget");
+        }
+        let err = sup.restart(&journal, config(), FirstByteCodec).unwrap_err();
+        assert_eq!(
+            err,
+            RecoveryError::RestartBudgetExhausted {
+                attempts: 2,
+                max_restarts: 2,
+            }
+        );
+        // Exponential backoff: 3, then 6.
+        assert_eq!(sup.backoff_log(), &[Duration(3), Duration(6)]);
+    }
+
+    #[test]
+    fn unrecoverable_journal_is_a_typed_error() {
+        let mut sup = Supervisor::new(RestartPolicy::default());
+        let err = sup
+            .restart(b"not a journal", config(), FirstByteCodec)
+            .unwrap_err();
+        assert_eq!(err, RecoveryError::Journal(JournalError::BadHeader));
+    }
+
+    #[test]
+    fn completed_jobs_are_not_repended() {
+        let j = Job::new(JobId(0), TaskId(0), vec![0]);
+        let events: Vec<TimedEvent> = [
+            Marker::ReadEnd {
+                sock: rossl_model::SocketId(0),
+                job: Some(j.clone()),
+            },
+            Marker::Dispatch(j.clone()),
+            Marker::Execution(j.clone()),
+            Marker::Completion(j),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, marker)| TimedEvent {
+            marker,
+            at: Instant(i as u64),
+        })
+        .collect();
+        let state = RecoveredState::from_events(&events);
+        assert!(state.pending.is_empty());
+        assert_eq!(state.redispatch, None);
+        assert_eq!(state.jobs_completed, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Adversarial-input properties of the message codec: decoding is total
+//! on arbitrary bytes and `try_encode` upholds the codec law
+//! `task_of(encode(t, p)) == Some(t)` without panicking anywhere in the
+//! task-id space.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rossl::{CodecError, FirstByteCodec, MessageCodec};
+use rossl_model::TaskId;
+
+proptest! {
+    /// `task_of` never panics on arbitrary bytes, and agrees with the
+    /// wire format: empty is unrecognized, otherwise the first byte.
+    #[test]
+    fn task_of_is_total(data in vec(0u8..=255, 0..64)) {
+        let got = FirstByteCodec.task_of(&data);
+        match data.first() {
+            None => prop_assert_eq!(got, None),
+            Some(&b) => prop_assert_eq!(got, Some(TaskId(b as usize))),
+        }
+    }
+
+    /// `try_encode` round-trips every representable task id and returns
+    /// a typed error — never a panic — for every unrepresentable one.
+    #[test]
+    fn try_encode_round_trips_or_errors(task in 0usize..1024, payload in vec(0u8..=255, 0..32)) {
+        match FirstByteCodec.try_encode(TaskId(task), &payload) {
+            Ok(msg) => {
+                prop_assert!(task <= 255);
+                prop_assert_eq!(FirstByteCodec.task_of(&msg), Some(TaskId(task)));
+                prop_assert_eq!(&msg[1..], payload.as_slice());
+            }
+            Err(CodecError::TaskIdOutOfRange { task: t, max }) => {
+                prop_assert!(task > 255);
+                prop_assert_eq!(t, TaskId(task));
+                prop_assert_eq!(max, 255);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+}

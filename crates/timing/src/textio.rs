@@ -32,6 +32,9 @@ use crate::timed_trace::{TimedTrace, TimedTraceError};
 pub const TRACE_HEADER: &str = "# rossl-timed-trace v1";
 /// Header line of the arrival-sequence format.
 pub const ARRIVALS_HEADER: &str = "# rossl-arrivals v1";
+/// Maximum decoded payload size accepted by the parsers. Checked before
+/// any allocation, so an adversarial line cannot force a huge buffer.
+pub const MAX_PAYLOAD_BYTES: usize = 1 << 20;
 
 /// A parse failure, with the offending line number (1-based).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,25 +73,51 @@ fn hex_encode(data: &[u8]) -> String {
     s
 }
 
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Byte-wise hex decoding: works on `as_bytes()` so multi-byte UTF-8 in
+/// an adversarial payload can never hit a char-boundary panic, and the
+/// size is checked against [`MAX_PAYLOAD_BYTES`] before allocating.
 fn hex_decode(s: &str, line: usize) -> Result<MsgData, ParseError> {
     if s == "-" {
         return Ok(Vec::new());
     }
-    if s.len() % 2 != 0 {
+    let bytes = s.as_bytes();
+    if bytes.len() % 2 != 0 {
         return Err(ParseError {
             line,
             message: "odd-length hex payload".into(),
         });
     }
-    (0..s.len())
-        .step_by(2)
-        .map(|i| {
-            u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| ParseError {
-                line,
-                message: format!("bad hex payload: {e}"),
-            })
-        })
-        .collect()
+    if bytes.len() / 2 > MAX_PAYLOAD_BYTES {
+        return Err(ParseError {
+            line,
+            message: format!(
+                "payload of {} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte limit",
+                bytes.len() / 2
+            ),
+        });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        match (hex_val(pair[0]), hex_val(pair[1])) {
+            (Some(hi), Some(lo)) => out.push(hi << 4 | lo),
+            _ => {
+                return Err(ParseError {
+                    line,
+                    message: "bad hex payload: invalid digit".into(),
+                })
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn job_fields(j: &Job) -> String {
@@ -386,6 +415,23 @@ mod tests {
     fn non_monotone_timestamps_are_rejected() {
         let text = format!("{TRACE_HEADER}\n5 ReadS\n5 Selection\n");
         assert!(parse_timed_trace(&text).is_err());
+    }
+
+    #[test]
+    fn multibyte_utf8_payload_is_rejected_without_panicking() {
+        // "€a" is 4 bytes (even) but index 2 is mid-character; a naive
+        // `&s[i..i + 2]` slice would panic on the char boundary.
+        let text = format!("{TRACE_HEADER}\n0 Dispatch 1 0 €a\n");
+        let err = parse_timed_trace(&text).unwrap_err();
+        assert!(err.message.contains("hex"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_allocation() {
+        let huge = "ab".repeat(MAX_PAYLOAD_BYTES + 1);
+        let text = format!("{ARRIVALS_HEADER}\n0 0 0 {huge}\n");
+        let err = parse_arrivals(&text).unwrap_err();
+        assert!(err.message.contains("exceeds"), "got: {}", err.message);
     }
 
     #[test]

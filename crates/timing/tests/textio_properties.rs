@@ -1,0 +1,90 @@
+//! Adversarial-input properties of the text serializers: the parsers
+//! must be total functions — any input yields either a parsed value or
+//! a typed [`ParseError`](rossl_timing::textio::ParseError), never a
+//! panic — and well-formed recordings round-trip exactly.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rossl_model::{Instant, Job, JobId, Message, SocketId, TaskId};
+use rossl_sockets::{ArrivalEvent, ArrivalSequence};
+use rossl_timing::textio::{
+    parse_arrivals, parse_timed_trace, write_arrivals, write_timed_trace, TRACE_HEADER,
+};
+use rossl_timing::TimedTrace;
+use rossl_trace::Marker;
+
+fn arb_marker() -> impl Strategy<Value = Marker> {
+    (0u8..=7, 0u64..100, 0usize..4, 0usize..3, vec(0u8..=255, 0..4)).prop_map(
+        |(tag, id, task, sock, data)| {
+            let job = Job::new(JobId(id), TaskId(task), data);
+            match tag {
+                0 => Marker::ReadStart,
+                1 => Marker::ReadEnd {
+                    sock: SocketId(sock),
+                    job: None,
+                },
+                2 => Marker::ReadEnd {
+                    sock: SocketId(sock),
+                    job: Some(job),
+                },
+                3 => Marker::Selection,
+                4 => Marker::Dispatch(job),
+                5 => Marker::Execution(job),
+                6 => Marker::Completion(job),
+                _ => Marker::Idling,
+            }
+        },
+    )
+}
+
+proptest! {
+    /// Any well-formed timed trace round-trips through the text format.
+    #[test]
+    fn trace_round_trips(markers in vec(arb_marker(), 0..20)) {
+        let timestamps = (0..markers.len()).map(|i| Instant(2 * i as u64 + 1)).collect();
+        let trace = TimedTrace::new(markers, timestamps).expect("valid");
+        let parsed = parse_timed_trace(&write_timed_trace(&trace)).expect("round trip");
+        prop_assert_eq!(parsed, trace);
+    }
+
+    /// Any well-formed arrival sequence round-trips.
+    #[test]
+    fn arrivals_round_trip(
+        raw in vec((0u64..1000, 0usize..3, 0usize..4, vec(0u8..=255, 0..4)), 0..12)
+    ) {
+        let arrivals = ArrivalSequence::from_events(
+            raw.into_iter()
+                .map(|(t, s, k, d)| ArrivalEvent {
+                    time: Instant(t),
+                    sock: SocketId(s),
+                    task: TaskId(k),
+                    msg: Message::new(d),
+                })
+                .collect(),
+        );
+        let parsed = parse_arrivals(&write_arrivals(&arrivals)).expect("round trip");
+        prop_assert_eq!(parsed, arrivals);
+    }
+
+    /// Arbitrary bytes (lossily decoded, so multi-byte UTF-8 sequences
+    /// appear) never panic either parser: every outcome is `Ok` or a
+    /// typed error.
+    #[test]
+    fn parsers_are_total_on_garbage(bytes in vec(0u8..=255, 0..300)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_timed_trace(&text);
+        let _ = parse_arrivals(&text);
+    }
+
+    /// A valid header followed by arbitrary garbage lines still cannot
+    /// panic — adversarial payload fields (huge lengths, non-hex,
+    /// multi-byte UTF-8) become typed errors.
+    #[test]
+    fn garbage_after_header_is_a_typed_error(bytes in vec(0u8..=255, 0..200)) {
+        let text = format!("{TRACE_HEADER}\n{}", String::from_utf8_lossy(&bytes));
+        if let Err(e) = parse_timed_trace(&text) {
+            prop_assert!(e.line >= 1);
+        }
+    }
+}

@@ -55,6 +55,7 @@ mod marker;
 mod protocol;
 mod sets;
 mod stats;
+mod stitched;
 
 pub use action::{ActionKind, ActionSpan, BasicAction};
 pub use functional::{check_functional, FunctionalError};
@@ -62,6 +63,7 @@ pub use marker::{Marker, MarkerKind};
 pub use protocol::{ProtocolAutomaton, ProtocolError, ProtocolRun, ProtocolState, ProtocolViolation};
 pub use sets::{pending_jobs, read_jobs};
 pub use stats::TraceStats;
+pub use stitched::{check_stitched, SeamViolation, StitchedError, StitchedReport, StitchedTrace};
 
 /// A trace of marker functions, ordered by emission.
 pub type Trace = Vec<Marker>;

@@ -1,0 +1,578 @@
+//! Stitched traces: checking across crash/restart seams.
+//!
+//! A crash partitions the scheduler's history into *segments*: the
+//! committed journal prefix before each crash, and the fresh trace the
+//! restarted scheduler emits afterwards. A [`StitchedTrace`] holds these
+//! segments in order; [`check_stitched`] extends Defs 3.1 and 3.2 to the
+//! stitched whole:
+//!
+//! * **Protocol, per segment** — each segment must independently satisfy
+//!   the scheduler protocol from [`ProtocolState::INITIAL`]: a restart
+//!   re-enters the loop at the top of the polling phase, and the
+//!   pre-crash segment is allowed to end mid-action (the automaton's
+//!   open trailing span).
+//! * **Functional, globally** — the pending set, job-id uniqueness and
+//!   priority obligations carry *across* seams: a job accepted before a
+//!   crash is still pending after it, and must still be dispatched in
+//!   priority order.
+//! * **Seam well-formedness** — the crash seam itself must neither
+//!   duplicate nor lose work:
+//!   * a job already **completed** before the crash must not be
+//!     dispatched or completed again ([`SeamViolation::DuplicateDispatch`],
+//!     [`SeamViolation::DuplicateCompletion`]);
+//!   * a job **in flight** at the crash (dispatched, not completed) is
+//!     returned to the pending set — execution is *at least once*, and
+//!     the voided dispatch must be re-issued;
+//!   * no **accepted job is lost**: with the per-socket consumed counts
+//!     from the environment, the successful reads visible in the
+//!     stitched trace must account for every message actually consumed
+//!     ([`SeamViolation::LostAcceptedJob`]). This is the rule with
+//!     teeth: a scheduler that reads a message but crashes before the
+//!     journal commit has consumed input invisibly, and only this
+//!     external accounting can tell.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+use rossl_model::{Job, JobId, SocketId, TaskSet};
+
+use crate::functional::FunctionalError;
+use crate::marker::Marker;
+use crate::protocol::{ProtocolAutomaton, ProtocolError};
+use crate::Trace;
+
+/// A logical trace assembled from crash-separated segments.
+///
+/// Segment `0` is the (journal-recovered) trace up to the first crash,
+/// segment `1` the trace of the first restart, and so on. A run with no
+/// crashes is a stitched trace with one segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StitchedTrace {
+    segments: Vec<Trace>,
+}
+
+impl StitchedTrace {
+    /// Builds a stitched trace from its segments, in crash order.
+    pub fn new(segments: Vec<Trace>) -> StitchedTrace {
+        StitchedTrace { segments }
+    }
+
+    /// Wraps a crash-free trace as a single segment.
+    pub fn single(trace: Trace) -> StitchedTrace {
+        StitchedTrace {
+            segments: vec![trace],
+        }
+    }
+
+    /// The segments, in order.
+    pub fn segments(&self) -> &[Trace] {
+        &self.segments
+    }
+
+    /// Number of crash/restart seams (segments minus one).
+    pub fn seam_count(&self) -> usize {
+        self.segments.len().saturating_sub(1)
+    }
+
+    /// Total number of markers across all segments.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the stitched trace contains no markers at all.
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(Vec::is_empty)
+    }
+
+    /// Iterates over all markers in logical order, ignoring seams.
+    pub fn markers(&self) -> impl Iterator<Item = &Marker> {
+        self.segments.iter().flatten()
+    }
+}
+
+/// A violation of the crash-seam well-formedness rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeamViolation {
+    /// A job completed before a crash was dispatched again afterwards —
+    /// duplicated work the recovery protocol promised to prevent.
+    DuplicateDispatch {
+        /// Segment containing the offending dispatch.
+        segment: usize,
+        /// Marker index within that segment.
+        index: usize,
+        /// The re-dispatched job.
+        job: JobId,
+    },
+    /// A job was completed twice across segments.
+    DuplicateCompletion {
+        /// Segment containing the second completion.
+        segment: usize,
+        /// Marker index within that segment.
+        index: usize,
+        /// The doubly-completed job.
+        job: JobId,
+    },
+    /// The successful reads visible in the stitched trace do not account
+    /// for every message consumed from a socket: jobs were accepted and
+    /// then lost across a crash (consumed > observed), or appeared from
+    /// nowhere (observed > consumed).
+    LostAcceptedJob {
+        /// The socket whose accounting is off.
+        sock: SocketId,
+        /// Messages the environment recorded as consumed.
+        consumed: usize,
+        /// Successful reads of that socket in the stitched trace.
+        observed: usize,
+    },
+}
+
+impl fmt::Display for SeamViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeamViolation::DuplicateDispatch {
+                segment,
+                index,
+                job,
+            } => write!(
+                f,
+                "segment {segment} index {index}: job {job} dispatched again after completing"
+            ),
+            SeamViolation::DuplicateCompletion {
+                segment,
+                index,
+                job,
+            } => write!(f, "segment {segment} index {index}: job {job} completed twice"),
+            SeamViolation::LostAcceptedJob {
+                sock,
+                consumed,
+                observed,
+            } => write!(
+                f,
+                "{sock}: {consumed} message(s) consumed but {observed} read(s) visible"
+            ),
+        }
+    }
+}
+
+/// Why a stitched trace was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StitchedError {
+    /// A segment violates the scheduler protocol on its own.
+    Protocol {
+        /// Index of the offending segment.
+        segment: usize,
+        /// The underlying protocol error (indices segment-relative).
+        error: ProtocolError,
+    },
+    /// The stitched whole violates functional correctness (Def. 3.2
+    /// carried across seams).
+    Functional {
+        /// Segment containing the offending marker.
+        segment: usize,
+        /// The underlying functional error (indices segment-relative).
+        error: FunctionalError,
+    },
+    /// The crash seam duplicated or lost work.
+    Seam(SeamViolation),
+}
+
+impl fmt::Display for StitchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StitchedError::Protocol { segment, error } => {
+                write!(f, "segment {segment}: {error}")
+            }
+            StitchedError::Functional { segment, error } => {
+                write!(f, "segment {segment}: {error}")
+            }
+            StitchedError::Seam(v) => write!(f, "crash seam: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for StitchedError {}
+
+/// What a successful stitched check established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StitchedReport {
+    /// Jobs completed across all segments.
+    pub jobs_completed: usize,
+    /// Jobs still pending when the final segment ends.
+    pub jobs_pending_at_end: usize,
+    /// Jobs whose dispatch was voided by a crash and re-issued later —
+    /// the at-least-once executions.
+    pub redispatched: Vec<JobId>,
+}
+
+/// Checks a stitched trace: per-segment protocol, cross-segment
+/// functional correctness, and crash-seam well-formedness.
+///
+/// `consumed`, when provided, gives the number of messages the
+/// environment recorded as consumed per socket (index = socket id); it
+/// enables the lost-accepted-job check, which is impossible from the
+/// trace alone.
+///
+/// # Errors
+///
+/// Returns the first [`StitchedError`] in segment order.
+pub fn check_stitched(
+    stitched: &StitchedTrace,
+    tasks: &TaskSet,
+    n_sockets: usize,
+    consumed: Option<&[usize]>,
+) -> Result<StitchedReport, StitchedError> {
+    let sts = ProtocolAutomaton::new(n_sockets);
+
+    // Layer 1: each segment independently satisfies the protocol from
+    // the initial state — a restart re-enters at the top of the loop.
+    for (segment, trace) in stitched.segments().iter().enumerate() {
+        sts.accept(trace)
+            .map_err(|error| StitchedError::Protocol { segment, error })?;
+    }
+
+    // Layers 2 and 3: one global functional pass with seam rules.
+    let mut pending: BTreeMap<JobId, Job> = BTreeMap::new();
+    let mut seen_ids: HashSet<JobId> = HashSet::new();
+    let mut completed: HashSet<JobId> = HashSet::new();
+    let mut in_flight: Option<Job> = None;
+    let mut redispatched: Vec<JobId> = Vec::new();
+    let mut voided: HashSet<JobId> = HashSet::new();
+    let mut reads_per_sock: Vec<usize> = vec![0; n_sockets];
+
+    let priority_of = |segment: usize, index: usize, job: &Job| {
+        tasks.task(job.task()).map(|t| t.priority()).ok_or_else(|| {
+            StitchedError::Functional {
+                segment,
+                error: FunctionalError::UnknownTask {
+                    index,
+                    task: job.task(),
+                },
+            }
+        })
+    };
+
+    for (segment, trace) in stitched.segments().iter().enumerate() {
+        if segment > 0 {
+            // Crash seam: a job dispatched but not completed returns to
+            // the pending set — its dispatch is voided and execution
+            // becomes at-least-once.
+            if let Some(j) = in_flight.take() {
+                voided.insert(j.id());
+                pending.insert(j.id(), j);
+            }
+        }
+        for (index, marker) in trace.iter().enumerate() {
+            match marker {
+                Marker::ReadEnd { sock, job: Some(j) } => {
+                    if !seen_ids.insert(j.id()) {
+                        return Err(StitchedError::Functional {
+                            segment,
+                            error: FunctionalError::DuplicateJobId {
+                                index,
+                                id: j.id(),
+                            },
+                        });
+                    }
+                    priority_of(segment, index, j)?;
+                    if sock.0 < n_sockets {
+                        reads_per_sock[sock.0] += 1;
+                    }
+                    pending.insert(j.id(), j.clone());
+                }
+                Marker::Dispatch(j) => {
+                    if completed.contains(&j.id()) {
+                        return Err(StitchedError::Seam(SeamViolation::DuplicateDispatch {
+                            segment,
+                            index,
+                            job: j.id(),
+                        }));
+                    }
+                    if !pending.contains_key(&j.id()) {
+                        return Err(StitchedError::Functional {
+                            segment,
+                            error: FunctionalError::DispatchOfNonPending {
+                                index,
+                                job: j.id(),
+                            },
+                        });
+                    }
+                    let p = priority_of(segment, index, j)?;
+                    for other in pending.values() {
+                        if priority_of(segment, index, other)? > p {
+                            return Err(StitchedError::Functional {
+                                segment,
+                                error: FunctionalError::DispatchNotHighestPriority {
+                                    index,
+                                    dispatched: j.id(),
+                                    better: other.id(),
+                                },
+                            });
+                        }
+                    }
+                    pending.remove(&j.id());
+                    if voided.contains(&j.id()) {
+                        redispatched.push(j.id());
+                    }
+                    in_flight = Some(j.clone());
+                }
+                Marker::Completion(j) => {
+                    if !completed.insert(j.id()) {
+                        return Err(StitchedError::Seam(SeamViolation::DuplicateCompletion {
+                            segment,
+                            index,
+                            job: j.id(),
+                        }));
+                    }
+                    in_flight = None;
+                }
+                Marker::Idling if !pending.is_empty() => {
+                    return Err(StitchedError::Functional {
+                        segment,
+                        error: FunctionalError::IdleWithPendingJobs {
+                            index,
+                            pending: pending.len(),
+                        },
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Layer 3b: accepted-job accounting against the environment.
+    if let Some(consumed) = consumed {
+        for (sock, &observed) in reads_per_sock.iter().enumerate() {
+            let consumed = consumed.get(sock).copied().unwrap_or(0);
+            if consumed != observed {
+                return Err(StitchedError::Seam(SeamViolation::LostAcceptedJob {
+                    sock: SocketId(sock),
+                    consumed,
+                    observed,
+                }));
+            }
+        }
+    }
+
+    Ok(StitchedReport {
+        jobs_completed: completed.len(),
+        jobs_pending_at_end: pending.len() + usize::from(in_flight.is_some()),
+        redispatched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{Curve, Duration, Priority, Task, TaskId};
+
+    fn tasks() -> TaskSet {
+        TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "low",
+                Priority(1),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+            Task::new(
+                TaskId(1),
+                "high",
+                Priority(9),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn job(id: u64, task: usize) -> Job {
+        Job::new(JobId(id), TaskId(task), vec![task as u8])
+    }
+
+    fn read_ok(sock: usize, j: Job) -> [Marker; 2] {
+        [
+            Marker::ReadStart,
+            Marker::ReadEnd {
+                sock: SocketId(sock),
+                job: Some(j),
+            },
+        ]
+    }
+
+    fn read_fail(sock: usize) -> [Marker; 2] {
+        [
+            Marker::ReadStart,
+            Marker::ReadEnd {
+                sock: SocketId(sock),
+                job: None,
+            },
+        ]
+    }
+
+    /// j0 read and fully executed before the crash; restart idles.
+    #[test]
+    fn clean_crash_between_iterations_passes() {
+        let mut seg0 = Vec::new();
+        seg0.extend(read_ok(0, job(0, 0)));
+        seg0.extend(read_fail(0));
+        seg0.push(Marker::Selection);
+        seg0.push(Marker::Dispatch(job(0, 0)));
+        seg0.push(Marker::Execution(job(0, 0)));
+        seg0.push(Marker::Completion(job(0, 0)));
+        let mut seg1 = Vec::new();
+        seg1.extend(read_fail(0));
+        seg1.push(Marker::Selection);
+        seg1.push(Marker::Idling);
+
+        let st = StitchedTrace::new(vec![seg0, seg1]);
+        let report = check_stitched(&st, &tasks(), 1, Some(&[1])).unwrap();
+        assert_eq!(report.jobs_completed, 1);
+        assert_eq!(report.jobs_pending_at_end, 0);
+        assert!(report.redispatched.is_empty());
+    }
+
+    /// Crash mid-execution: the in-flight job returns to pending and is
+    /// re-dispatched after the restart (at-least-once execution).
+    #[test]
+    fn in_flight_job_is_redispatched_after_crash() {
+        let mut seg0 = Vec::new();
+        seg0.extend(read_ok(0, job(0, 0)));
+        seg0.extend(read_fail(0));
+        seg0.push(Marker::Selection);
+        seg0.push(Marker::Dispatch(job(0, 0)));
+        seg0.push(Marker::Execution(job(0, 0)));
+        // crash before M_Completion
+        let mut seg1 = Vec::new();
+        seg1.extend(read_fail(0));
+        seg1.push(Marker::Selection);
+        seg1.push(Marker::Dispatch(job(0, 0)));
+        seg1.push(Marker::Execution(job(0, 0)));
+        seg1.push(Marker::Completion(job(0, 0)));
+
+        let st = StitchedTrace::new(vec![seg0, seg1]);
+        let report = check_stitched(&st, &tasks(), 1, Some(&[1])).unwrap();
+        assert_eq!(report.jobs_completed, 1);
+        assert_eq!(report.redispatched, vec![JobId(0)]);
+    }
+
+    /// Without the seam rule the second dispatch would be
+    /// `DispatchOfNonPending`; with it, priority order still binds: the
+    /// re-pended low job must wait for a higher-priority arrival.
+    #[test]
+    fn redispatch_still_respects_priority() {
+        let mut seg0 = Vec::new();
+        seg0.extend(read_ok(0, job(0, 0))); // low
+        seg0.extend(read_fail(0));
+        seg0.push(Marker::Selection);
+        seg0.push(Marker::Dispatch(job(0, 0)));
+        // crash mid-dispatch
+        let mut seg1 = Vec::new();
+        seg1.extend(read_ok(0, job(1, 1))); // high arrives after restart
+        seg1.extend(read_fail(0));
+        seg1.push(Marker::Selection);
+        seg1.push(Marker::Dispatch(job(0, 0))); // low before high: violation
+
+        let st = StitchedTrace::new(vec![seg0, seg1]);
+        let err = check_stitched(&st, &tasks(), 1, None).unwrap_err();
+        assert!(matches!(
+            err,
+            StitchedError::Functional {
+                segment: 1,
+                error: FunctionalError::DispatchNotHighestPriority { .. },
+            }
+        ));
+    }
+
+    #[test]
+    fn duplicate_completion_across_seam_is_rejected() {
+        let mut seg0 = Vec::new();
+        seg0.extend(read_ok(0, job(0, 0)));
+        seg0.extend(read_fail(0));
+        seg0.push(Marker::Selection);
+        seg0.push(Marker::Dispatch(job(0, 0)));
+        seg0.push(Marker::Execution(job(0, 0)));
+        seg0.push(Marker::Completion(job(0, 0)));
+        // A buggy recovery that re-pends an already-completed job.
+        let mut seg1 = Vec::new();
+        seg1.extend(read_fail(0));
+        seg1.push(Marker::Selection);
+        seg1.push(Marker::Dispatch(job(0, 0)));
+
+        let st = StitchedTrace::new(vec![seg0, seg1]);
+        let err = check_stitched(&st, &tasks(), 1, None).unwrap_err();
+        assert_eq!(
+            err,
+            StitchedError::Seam(SeamViolation::DuplicateDispatch {
+                segment: 1,
+                index: 3,
+                job: JobId(0),
+            })
+        );
+    }
+
+    /// A lazy-commit recovery consumed a message whose read never made
+    /// it into the journal: only the environment accounting catches it.
+    #[test]
+    fn lost_accepted_job_is_caught_by_consumed_accounting() {
+        let mut seg0 = Vec::new();
+        seg0.extend(read_fail(0));
+        seg0.push(Marker::Selection);
+        seg0.push(Marker::Idling);
+        // The read of the consumed message was in the uncommitted tail
+        // and vanished; the restart sees an empty world.
+        let mut seg1 = Vec::new();
+        seg1.extend(read_fail(0));
+        seg1.push(Marker::Selection);
+        seg1.push(Marker::Idling);
+
+        let st = StitchedTrace::new(vec![seg0, seg1]);
+        // The environment consumed one message from sock0.
+        let err = check_stitched(&st, &tasks(), 1, Some(&[1])).unwrap_err();
+        assert_eq!(
+            err,
+            StitchedError::Seam(SeamViolation::LostAcceptedJob {
+                sock: SocketId(0),
+                consumed: 1,
+                observed: 0,
+            })
+        );
+    }
+
+    /// Each segment is checked from the initial protocol state: a
+    /// restart that resumes mid-phase (here: a bare M_ReadE) violates
+    /// the protocol even though the pre-crash segment ended mid-read.
+    #[test]
+    fn restart_must_reenter_at_loop_top() {
+        let seg0 = vec![Marker::ReadStart]; // crash mid-read: fine
+        let seg1 = vec![Marker::ReadEnd {
+            sock: SocketId(0),
+            job: None,
+        }];
+        let st = StitchedTrace::new(vec![seg0, seg1]);
+        let err = check_stitched(&st, &tasks(), 1, None).unwrap_err();
+        assert!(matches!(err, StitchedError::Protocol { segment: 1, .. }));
+    }
+
+    #[test]
+    fn single_segment_behaves_like_plain_checks() {
+        let mut tr = Vec::new();
+        tr.extend(read_ok(0, job(0, 1)));
+        tr.extend(read_fail(0));
+        tr.push(Marker::Selection);
+        tr.push(Marker::Dispatch(job(0, 1)));
+        tr.push(Marker::Execution(job(0, 1)));
+        tr.push(Marker::Completion(job(0, 1)));
+        let st = StitchedTrace::single(tr);
+        assert_eq!(st.seam_count(), 0);
+        let report = check_stitched(&st, &tasks(), 1, Some(&[1])).unwrap();
+        assert_eq!(report.jobs_completed, 1);
+    }
+
+    #[test]
+    fn empty_stitched_trace_is_valid() {
+        let st = StitchedTrace::new(vec![vec![], vec![]]);
+        assert!(st.is_empty());
+        let report = check_stitched(&st, &tasks(), 2, Some(&[0, 0])).unwrap();
+        assert_eq!(report.jobs_completed, 0);
+    }
+}
