@@ -18,6 +18,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
+    let smoke = args.iter().any(|a| a == "--smoke");
     let horizon: u64 = args
         .iter()
         .position(|a| a == "--horizon")
@@ -97,6 +98,11 @@ fn main() {
         "crash",
         "exhaustive crash-point recovery sweep (E17)",
         &|| exps::exp_crash_recovery(seeds.min(12) as usize + 4),
+    );
+    run(
+        "verify-bench",
+        "parallel + deduplicated exploration vs the sequential walk (E18)",
+        &|| exps::exp_verify_bench(smoke),
     );
     run("loc", "code inventory vs the paper's proof-effort table (§5)", &exps::exp_loc);
 }

@@ -17,6 +17,7 @@ pub mod experiments;
 pub mod faults;
 pub mod jitter;
 pub mod setup;
+pub mod verify_bench;
 
 pub use experiments::{
     exp_baseline, exp_curves, exp_fig3, exp_fig5, exp_loc, exp_sbf, exp_thm34, exp_thm51,
@@ -26,3 +27,4 @@ pub use ablation::{exp_ablation, exp_busy_windows, exp_schedulability, exp_sensi
 pub use crash::exp_crash_recovery;
 pub use faults::exp_faults;
 pub use jitter::exp_fig7;
+pub use verify_bench::exp_verify_bench;

@@ -14,17 +14,37 @@
 //! correctness, and the seam accounting that no accepted job was lost
 //! and no completed job re-dispatched.
 //!
+//! All crash points are swept in a **single** exploration of the
+//! pre-crash behaviour tree: at every reachable step the walk forks a
+//! crash-and-recover branch (capturing the journal as an `Arc`-shared
+//! marker prefix and replaying it at the fork) and continues uncrashed.
+//! The naive formulation — one full re-exploration of the prefix tree
+//! per crash point — costs a number of pre-crash steps *quadratic* in the
+//! depth bound even on a branch-free environment; the fold executes each
+//! pre-crash step exactly once, so total work is linear in the tree (plus
+//! one recovery subtree per fork, sized by
+//! [`CrashSweep::with_recovery_budget`]). Recovery branches are
+//! independent work items, so [`CrashSweep::with_threads`] spreads them
+//! over a [`rossl_par::Pool`] with results — counterexample included —
+//! identical to the sequential sweep.
+//!
 //! Within the bounds this is a genuine ∀ crash-points × ∀ read-outcomes
 //! result: *every* reachable crash recovers to a passing stitched trace.
 
 use std::fmt;
+use std::sync::Arc;
 
 use rossl::{
     ClientConfig, FirstByteCodec, Request, Response, RestartPolicy, Scheduler, Supervisor,
 };
 use rossl_journal::{JournalWriter, KIND_EVENT};
 use rossl_model::{Instant, MsgData};
+use rossl_par::{Ctx, Pool, Reduce};
 use rossl_trace::{check_stitched, Marker, StitchedTrace};
+
+use crate::shared::{
+    materialize_path, materialize_trace, push_path, push_trace, FailState, PathLink, TraceLink,
+};
 
 /// Aggregate result of a crash-point sweep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,7 +58,9 @@ pub struct CrashSweepOutcome {
     /// Leaves in which the crash voided a dispatch and the job was
     /// re-dispatched after recovery (at-least-once executions).
     pub redispatched: u64,
-    /// Total scheduler steps executed, across both segments.
+    /// Total scheduler steps executed, across both segments. Each
+    /// pre-crash step is executed (and counted) once, however many crash
+    /// points fork off it.
     pub steps: u64,
 }
 
@@ -80,19 +102,44 @@ impl fmt::Display for CrashSweepFailure {
 
 impl std::error::Error for CrashSweepFailure {}
 
-/// One explored `(scheduler, environment, journal)` snapshot.
-#[derive(Debug, Clone)]
+/// One explored snapshot. Uncrashed nodes walk the shared pre-crash
+/// tree; a crash fork (`scheduler: None`) carries the `Arc`-shared
+/// pre-crash trace from which its journal is replayed, and after
+/// recovery walks its post-crash segment. Doubles as the pool's work
+/// item when a branch is donated.
 struct Node {
-    scheduler: Scheduler<FirstByteCodec>,
-    journal: JournalWriter,
-    segments: Vec<Vec<Marker>>,
+    /// The live scheduler; `None` for a crash fork awaiting recovery.
+    scheduler: Option<Scheduler<FirstByteCodec>>,
+    pre_trace: TraceLink,
+    post_trace: TraceLink,
+    /// The marker index after which this branch crashed, if it did.
+    crash_at: Option<usize>,
+    /// `jobs_completed` of the crashed scheduler, checked against the
+    /// recovered state.
+    pre_completed: u64,
     /// Cursor into `pending` per socket — survives the crash: a message
     /// consumed from the transport stays consumed.
     consumed: Vec<usize>,
     steps: usize,
-    crashed: bool,
     response: Option<Response>,
-    clock: u64,
+    path: PathLink,
+}
+
+/// The per-worker accumulator: all fields are sums, so merging is
+/// interleaving-independent. `crash_points` is filled in after the run.
+#[derive(Default)]
+struct SweepAcc {
+    outcome: CrashSweepOutcome,
+}
+
+impl Reduce for SweepAcc {
+    fn merge(&mut self, other: SweepAcc) {
+        self.outcome.crash_points += other.outcome.crash_points;
+        self.outcome.recoveries += other.outcome.recoveries;
+        self.outcome.stitched_checked += other.outcome.stitched_checked;
+        self.outcome.redispatched += other.outcome.redispatched;
+        self.outcome.steps += other.outcome.steps;
+    }
 }
 
 /// Exhaustively verifies recovery from a crash at every reachable step.
@@ -120,15 +167,19 @@ pub struct CrashSweep {
     config: ClientConfig,
     /// Messages that may arrive, per socket, in FIFO order.
     pending: Vec<Vec<MsgData>>,
-    /// Depth bound: crash points range over `0..max_steps`, and each
-    /// segment (pre- and post-crash) runs at most `max_steps` steps.
+    /// Depth bound: crash points range over `0..max_steps`.
     max_steps: usize,
+    /// Post-crash steps granted to each recovery.
+    recovery_budget: usize,
+    threads: usize,
 }
 
 impl CrashSweep {
     /// A sweep over `config` where `pending[s]` lists the messages that
     /// may arrive on socket `s`, injecting a crash after every marker
-    /// index in `0..max_steps`.
+    /// index in `0..max_steps`. Each recovery runs a further `max_steps`
+    /// post-crash steps by default; see
+    /// [`CrashSweep::with_recovery_budget`].
     ///
     /// # Panics
     ///
@@ -144,162 +195,280 @@ impl CrashSweep {
             config,
             pending,
             max_steps,
+            recovery_budget: max_steps,
+            threads: 1,
         }
+    }
+
+    /// Overrides the post-crash step budget per recovery (default:
+    /// `max_steps`). With a constant budget the sweep's total step count
+    /// grows linearly in the depth bound on a branch-free environment —
+    /// the E18 scaling measurement — at the cost of less room for a
+    /// voided dispatch to be re-issued before the stitched leaf check.
+    pub fn with_recovery_budget(mut self, recovery_budget: usize) -> CrashSweep {
+        self.recovery_budget = recovery_budget;
+        self
+    }
+
+    /// Sweeps on `threads` pool workers (zero is clamped to one). The
+    /// result — outcome totals and reported counterexample alike — is
+    /// identical to the sequential sweep for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> CrashSweep {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Runs the full sweep: every crash point, every read resolution.
     ///
     /// # Errors
     ///
-    /// Returns the first [`CrashSweepFailure`] counterexample.
+    /// Returns the [`CrashSweepFailure`] counterexample with the
+    /// lexicographically smallest branch path, independent of thread
+    /// count.
     pub fn sweep(&self) -> Result<CrashSweepOutcome, CrashSweepFailure> {
-        let mut outcome = CrashSweepOutcome::default();
-        for crash_at in 0..self.max_steps {
-            self.sweep_one(crash_at, &mut outcome)?;
-            outcome.crash_points += 1;
-        }
-        Ok(outcome)
-    }
-
-    /// Explores every read resolution with a crash after marker
-    /// `crash_at`.
-    fn sweep_one(
-        &self,
-        crash_at: usize,
-        outcome: &mut CrashSweepOutcome,
-    ) -> Result<(), CrashSweepFailure> {
+        let config = Arc::new(self.config.clone());
         let root = Node {
-            scheduler: Scheduler::new(self.config.clone(), FirstByteCodec),
-            journal: JournalWriter::new(),
-            segments: vec![Vec::new()],
+            scheduler: Some(Scheduler::with_shared_config(config.clone(), FirstByteCodec)),
+            pre_trace: None,
+            post_trace: None,
+            crash_at: None,
+            pre_completed: 0,
             consumed: vec![0; self.config.n_sockets()],
             steps: 0,
-            crashed: false,
             response: None,
-            clock: 0,
+            path: None,
         };
-        let mut stack = vec![root];
+        let fail = FailState::new();
 
-        while let Some(mut node) = stack.pop() {
-            loop {
-                let budget = if node.crashed {
-                    // The post-crash segment gets its own depth bound so
-                    // a voided dispatch has room to be re-issued.
-                    crash_at + 1 + self.max_steps
-                } else {
-                    crash_at + 1
-                };
-                if node.steps >= budget && node.crashed {
-                    let redispatched = self.check_leaf(crash_at, &node)?;
-                    outcome.stitched_checked += 1;
-                    outcome.redispatched += redispatched as u64;
-                    break;
-                }
-                node.steps += 1;
-                outcome.steps += 1;
-                node.clock += 1;
-                let step = node
-                    .scheduler
-                    .advance(node.response.take())
-                    .map_err(|e| CrashSweepFailure {
-                        crash_at,
-                        segments: node.segments.clone(),
-                        reason: format!("scheduler got stuck: {e}"),
-                    })?;
-                node.journal.append(&step.marker, Instant(node.clock));
-                node.journal.commit();
-                node.segments
-                    .last_mut()
-                    .expect("segment list is never empty")
-                    .push(step.marker.clone());
+        let acc = Pool::new(self.threads).run(vec![root], SweepAcc::default, |item, ctx| {
+            let path = materialize_path(&item.path);
+            if fail.beats(&path) {
+                return;
+            }
+            self.explore(item, path, ctx, &fail, &config);
+        });
 
-                if !node.crashed && node.steps == crash_at + 1 {
-                    // The crash: the scheduler value dies here, any
-                    // outstanding request with it. The interrupted final
-                    // write leaves a torn half-record on the journal.
-                    self.recover(crash_at, &mut node)?;
-                    outcome.recoveries += 1;
-                    continue;
-                }
-
-                match step.request {
-                    Some(Request::Read(sock)) => {
-                        let cursor = node.consumed[sock.0];
-                        if let Some(msg) = self.pending[sock.0].get(cursor).cloned() {
-                            // Branch: the message has already arrived.
-                            let mut delivered = node.clone();
-                            delivered.response = Some(Response::ReadResult(Some(msg)));
-                            delivered.consumed[sock.0] += 1;
-                            stack.push(delivered);
-                        }
-                        node.response = Some(Response::ReadResult(None));
-                    }
-                    Some(Request::Execute(_)) => {
-                        node.response = Some(Response::Executed);
-                    }
-                    None => {}
-                }
+        match fail.into_best() {
+            Some(failure) => Err(failure),
+            None => {
+                let mut outcome = acc.outcome;
+                outcome.crash_points = self.max_steps as u64;
+                Ok(outcome)
             }
         }
-        Ok(())
     }
 
-    /// Kills the scheduler in `node` and replaces it with one rebuilt by
-    /// the supervisor from the journal's committed prefix.
-    fn recover(&self, crash_at: usize, node: &mut Node) -> Result<(), CrashSweepFailure> {
-        let pre_completed = node.scheduler.jobs_completed();
-        let mut bytes = node.journal.bytes().to_vec();
+    /// Walks the subtree rooted at `node`: recovery first for a crash
+    /// fork, then the step loop, forking a crash branch after every
+    /// uncrashed step and a delivered branch at every readable message.
+    /// Branches are donated to idle workers under starvation, recursed
+    /// otherwise.
+    fn explore(
+        &self,
+        mut node: Node,
+        mut path: Vec<u8>,
+        ctx: &mut Ctx<'_, Node, SweepAcc>,
+        fail: &FailState<CrashSweepFailure>,
+        config: &Arc<ClientConfig>,
+    ) {
+        let mut scheduler = match node.scheduler.take() {
+            Some(scheduler) => scheduler,
+            None => match self.recover(&node, config) {
+                Ok(scheduler) => {
+                    ctx.acc().outcome.recoveries += 1;
+                    scheduler
+                }
+                Err(failure) => {
+                    fail.record(path, failure);
+                    return;
+                }
+            },
+        };
+
+        loop {
+            if fail.beats(&path) {
+                return;
+            }
+            match node.crash_at {
+                Some(crash_at) => {
+                    if node.steps >= crash_at + 1 + self.recovery_budget {
+                        // Post-crash leaf: stitch and check.
+                        let segments = self.segments(&node);
+                        match self.check_leaf(crash_at, &segments, &node.consumed) {
+                            Ok(redispatched) => {
+                                let acc = ctx.acc();
+                                acc.outcome.stitched_checked += 1;
+                                acc.outcome.redispatched += redispatched as u64;
+                            }
+                            Err(failure) => fail.record(path, failure),
+                        }
+                        return;
+                    }
+                }
+                None => {
+                    // The uncrashed continuation past the last crash
+                    // point contributes nothing further.
+                    if node.steps >= self.max_steps {
+                        return;
+                    }
+                }
+            }
+
+            node.steps += 1;
+            ctx.acc().outcome.steps += 1;
+            let step = match scheduler.advance(node.response.take()) {
+                Ok(step) => step,
+                Err(e) => {
+                    fail.record(
+                        path,
+                        CrashSweepFailure {
+                            crash_at: node.crash_at.unwrap_or(node.steps - 1),
+                            segments: self.segments(&node),
+                            reason: format!("scheduler got stuck: {e}"),
+                        },
+                    );
+                    return;
+                }
+            };
+
+            if node.crash_at.is_some() {
+                node.post_trace = push_trace(&node.post_trace, step.marker.clone());
+            } else {
+                node.pre_trace = push_trace(&node.pre_trace, step.marker.clone());
+                // Fork the crash branch: the scheduler value dies right
+                // here — after the marker was journaled, before the
+                // request is served — and the interrupted final write
+                // leaves a torn half-record on the journal. Every other
+                // crash point reuses this same prefix walk.
+                let fork = Node {
+                    scheduler: None,
+                    pre_trace: node.pre_trace.clone(),
+                    post_trace: None,
+                    crash_at: Some(node.steps - 1),
+                    pre_completed: scheduler.jobs_completed(),
+                    consumed: node.consumed.clone(),
+                    steps: node.steps,
+                    response: None,
+                    path: push_path(&node.path, 0),
+                };
+                node.path = push_path(&node.path, 1);
+                let mut fork_path = path.clone();
+                fork_path.push(0);
+                path.push(1);
+                if self.threads > 1 && ctx.starving() {
+                    ctx.spawn(fork);
+                } else if !fail.beats(&fork_path) {
+                    self.explore(fork, fork_path, ctx, fail, config);
+                }
+            }
+
+            match step.request {
+                Some(Request::Read(sock)) => {
+                    let cursor = node.consumed[sock.0];
+                    if let Some(msg) = self.pending[sock.0].get(cursor).cloned() {
+                        // Branch: the message has already arrived.
+                        let mut delivered = Node {
+                            scheduler: Some(scheduler.clone()),
+                            pre_trace: node.pre_trace.clone(),
+                            post_trace: node.post_trace.clone(),
+                            crash_at: node.crash_at,
+                            pre_completed: node.pre_completed,
+                            consumed: node.consumed.clone(),
+                            steps: node.steps,
+                            response: Some(Response::ReadResult(Some(msg))),
+                            path: push_path(&node.path, 1),
+                        };
+                        delivered.consumed[sock.0] += 1;
+                        node.path = push_path(&node.path, 0);
+                        let mut delivered_path = path.clone();
+                        delivered_path.push(1);
+                        path.push(0);
+                        if self.threads > 1 && ctx.starving() {
+                            ctx.spawn(delivered);
+                        } else if !fail.beats(&delivered_path) {
+                            self.explore(delivered, delivered_path, ctx, fail, config);
+                        }
+                    }
+                    node.response = Some(Response::ReadResult(None));
+                }
+                Some(Request::Execute(_)) => {
+                    node.response = Some(Response::Executed);
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Replays the `Arc`-shared pre-crash markers into a fresh journal
+    /// (clock = step index, exactly as the live walk journaled them),
+    /// appends the torn half-record, and performs the supervised restart.
+    fn recover(
+        &self,
+        node: &Node,
+        config: &Arc<ClientConfig>,
+    ) -> Result<Scheduler<FirstByteCodec>, CrashSweepFailure> {
+        let crash_at = node.crash_at.expect("recovery is only for crash forks");
+        let pre = materialize_trace(&node.pre_trace);
+        let mut journal = JournalWriter::new();
+        for (i, marker) in pre.iter().enumerate() {
+            journal.append(marker, Instant(i as u64 + 1));
+            journal.commit();
+        }
+        let mut bytes = journal.into_bytes();
         // The write the crash interrupted: a torn event header.
         bytes.extend_from_slice(&[KIND_EVENT, 0xFF, 0xFF]);
 
+        let failure = |reason: String| CrashSweepFailure {
+            crash_at,
+            segments: vec![pre.clone()],
+            reason,
+        };
         let mut supervisor = Supervisor::new(RestartPolicy::default());
         let (sched, state, corruption) = supervisor
-            .restart(&bytes, self.config.clone(), FirstByteCodec)
-            .map_err(|e| CrashSweepFailure {
-                crash_at,
-                segments: node.segments.clone(),
-                reason: format!("supervised restart failed: {e}"),
-            })?;
+            .restart_shared(&bytes, config.clone(), FirstByteCodec)
+            .map_err(|e| failure(format!("supervised restart failed: {e}")))?;
         if corruption.is_none() {
-            return Err(CrashSweepFailure {
-                crash_at,
-                segments: node.segments.clone(),
-                reason: "torn tail went undetected by journal recovery".into(),
-            });
+            return Err(failure("torn tail went undetected by journal recovery".into()));
         }
-        if state.jobs_completed != pre_completed {
-            return Err(CrashSweepFailure {
-                crash_at,
-                segments: node.segments.clone(),
-                reason: format!(
-                    "recovered completion counter {} disagrees with the crashed scheduler's {}",
-                    state.jobs_completed, pre_completed
-                ),
-            });
+        if state.jobs_completed != node.pre_completed {
+            return Err(failure(format!(
+                "recovered completion counter {} disagrees with the crashed scheduler's {}",
+                state.jobs_completed, node.pre_completed
+            )));
         }
-        node.scheduler = sched;
-        node.journal = JournalWriter::new();
-        node.segments.push(Vec::new());
-        node.crashed = true;
-        node.response = None;
-        Ok(())
+        Ok(sched)
+    }
+
+    /// The materialized pre-/post-crash segments of `node`, in the shape
+    /// the stitched checker and failure reports expect.
+    fn segments(&self, node: &Node) -> Vec<Vec<Marker>> {
+        let mut segments = vec![materialize_trace(&node.pre_trace)];
+        if node.crash_at.is_some() {
+            segments.push(materialize_trace(&node.post_trace));
+        }
+        segments
     }
 
     /// Leaf check: the stitched pre-/post-crash trace passes protocol,
     /// functional and seam checking, with the environment's consumed
     /// counts as the lost-job accounting. Returns the number of
     /// at-least-once re-dispatches observed in this trace.
-    fn check_leaf(&self, crash_at: usize, node: &Node) -> Result<usize, CrashSweepFailure> {
-        let stitched = StitchedTrace::new(node.segments.clone());
+    fn check_leaf(
+        &self,
+        crash_at: usize,
+        segments: &[Vec<Marker>],
+        consumed: &[usize],
+    ) -> Result<usize, CrashSweepFailure> {
+        let stitched = StitchedTrace::new(segments.to_vec());
         let report = check_stitched(
             &stitched,
             self.config.tasks(),
             self.config.n_sockets(),
-            Some(&node.consumed),
+            Some(consumed),
         )
         .map_err(|e| CrashSweepFailure {
             crash_at,
-            segments: node.segments.clone(),
+            segments: segments.to_vec(),
             reason: format!("stitched trace rejected: {e}"),
         })?;
         Ok(report.redispatched.len())
@@ -360,5 +529,31 @@ mod tests {
         assert_eq!(outcome.crash_points, 10);
         // One idle path per crash point.
         assert_eq!(outcome.recoveries, 10);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let sweep = CrashSweep::new(config(1), vec![vec![vec![0], vec![1]]], 12);
+        let baseline = sweep.sweep().unwrap();
+        for threads in [2, 4, 8] {
+            let outcome = sweep.clone().with_threads(threads).sweep().unwrap();
+            assert_eq!(outcome, baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn constant_recovery_budget_gives_linear_steps() {
+        // Branch-free environment: the pre-crash tree is a single chain,
+        // so with a constant post-crash budget b the fold executes
+        // exactly depth × (1 + b) steps — linear in the depth bound,
+        // where the per-crash-point formulation re-executed the prefix
+        // and cost Θ(depth²).
+        for depth in [5usize, 10, 20] {
+            let sweep = CrashSweep::new(config(1), vec![], depth).with_recovery_budget(6);
+            let outcome = sweep.sweep().unwrap();
+            assert_eq!(outcome.steps, (depth * (1 + 6)) as u64);
+            assert_eq!(outcome.recoveries, depth as u64);
+            assert_eq!(outcome.crash_points, depth as u64);
+        }
     }
 }

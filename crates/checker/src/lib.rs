@@ -31,7 +31,8 @@
 mod crash;
 mod mc;
 mod monitor;
+mod shared;
 
 pub use crash::{CrashSweep, CrashSweepFailure, CrashSweepOutcome};
-pub use mc::{CheckFailure, CheckOutcome, ModelChecker};
+pub use mc::{CheckFailure, CheckOutcome, ExploreStats, ModelChecker};
 pub use monitor::{SpecMonitor, SpecViolation};

@@ -11,19 +11,47 @@
 //! trace passes the Def. 3.1 protocol acceptance and the Def. 3.2
 //! functional-correctness checker.
 //!
-//! Because the scheduler is a cloneable value, exploration is a plain DFS
-//! over `(scheduler, environment)` snapshots — no instrumentation,
-//! process forking or unsafe trickery involved.
+//! Because the scheduler is a cloneable value, exploration is a plain
+//! tree walk over `(scheduler, environment)` snapshots — no
+//! instrumentation, process forking or unsafe trickery involved. Two
+//! orthogonal accelerators are layered on top (DESIGN §6), both
+//! preserving the sequential result bit for bit:
+//!
+//! * **Parallelism** ([`ModelChecker::with_threads`]): branch nodes
+//!   become stealable work items on a [`rossl_par::Pool`]; outcomes are
+//!   folded through a commutative reduction, and the reported
+//!   counterexample is the one with the lexicographically smallest
+//!   branch path — exactly the failure a sequential depth-first walk
+//!   reports first, regardless of interleaving.
+//! * **Deduplication** ([`ModelChecker::with_dedup`]): every visited
+//!   node is fingerprinted (scheduler state, monitor state, environment
+//!   cursors, depth, pending response). When a fingerprint recurs, the
+//!   memoized subtree *summary* (paths, steps, maximal trace length) of
+//!   its first occurrence is credited instead of re-exploring, so
+//!   [`CheckOutcome`] still reports full-tree totals while the machine
+//!   only walks each distinct state once per depth.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 use rossl::{ClientConfig, FirstByteCodec, Request, Response, Scheduler};
 use rossl_model::MsgData;
+use rossl_par::{Ctx, Pool, Reduce};
 use rossl_trace::{check_functional, Marker, ProtocolAutomaton};
 
-use crate::monitor::{SpecMonitor, SpecViolation};
+use crate::monitor::SpecMonitor;
+use crate::shared::{
+    materialize_path, materialize_trace, push_path, push_trace, FailState, PathLink, TraceLink,
+};
 
 /// Aggregate result of an exhaustive exploration.
+///
+/// The counts describe the *full* behaviour tree: with deduplication on,
+/// pruned subtrees are credited from their memoized summaries, so the
+/// totals are identical to a non-deduplicated run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CheckOutcome {
     /// Number of maximal paths explored.
@@ -40,6 +68,33 @@ impl fmt::Display for CheckOutcome {
             f,
             "{} paths, {} steps, longest trace {}",
             self.paths, self.steps, self.max_trace_len
+        )
+    }
+}
+
+/// How much work the machine actually performed for a [`CheckOutcome`],
+/// as opposed to what the outcome credits (see
+/// [`ModelChecker::check_with_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Maximal paths actually driven through the scheduler.
+    pub explored_paths: u64,
+    /// Scheduler steps actually executed.
+    pub explored_steps: u64,
+    /// Fingerprint-memo hits (subtrees credited without re-exploration).
+    pub memo_hits: u64,
+    /// Paths credited from memoized summaries instead of execution.
+    pub pruned_paths: u64,
+    /// Steps credited from memoized summaries instead of execution.
+    pub pruned_steps: u64,
+}
+
+impl fmt::Display for ExploreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "explored {} paths / {} steps, pruned {} paths / {} steps over {} memo hits",
+            self.explored_paths, self.explored_steps, self.pruned_paths, self.pruned_steps, self.memo_hits
         )
     }
 }
@@ -61,6 +116,88 @@ impl fmt::Display for CheckFailure {
 }
 
 impl std::error::Error for CheckFailure {}
+
+/// One exploration snapshot: a scheduler about to take its next step.
+/// Doubles as the pool's work item when a subtree is donated.
+struct ExploreNode {
+    scheduler: Scheduler<FirstByteCodec>,
+    monitor: SpecMonitor,
+    trace: TraceLink,
+    /// Cursor into `pending` per socket.
+    consumed: Vec<usize>,
+    steps: usize,
+    response: Option<Response>,
+    path: PathLink,
+}
+
+/// What a fully explored subtree contributes, relative to its root: used
+/// both for crediting memo hits and for propagating summaries up to
+/// ancestor fingerprints.
+#[derive(Debug, Clone, Copy, Default)]
+struct SubtreeSummary {
+    paths: u64,
+    steps: u64,
+    /// Longest trace in the subtree, in markers *beyond* the root's.
+    max_suffix: usize,
+}
+
+const MEMO_SHARDS: usize = 64;
+
+/// Sharded fingerprint → summary map. Sharding by the low fingerprint
+/// bits keeps lock contention negligible even when every worker hits the
+/// memo on every step.
+struct Memo {
+    shards: Vec<Mutex<HashMap<u128, SubtreeSummary>>>,
+}
+
+impl Memo {
+    fn new() -> Memo {
+        Memo {
+            shards: (0..MEMO_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, fp: u128) -> &Mutex<HashMap<u128, SubtreeSummary>> {
+        &self.shards[(fp as usize) & (MEMO_SHARDS - 1)]
+    }
+
+    fn get(&self, fp: u128) -> Option<SubtreeSummary> {
+        self.shard(fp).lock().expect("memo shard poisoned").get(&fp).copied()
+    }
+
+    fn insert(&self, fp: u128, summary: SubtreeSummary) {
+        // First insertion wins; racing workers compute identical
+        // summaries for identical fingerprints, so which one lands is
+        // immaterial.
+        self.shard(fp)
+            .lock()
+            .expect("memo shard poisoned")
+            .entry(fp)
+            .or_insert(summary);
+    }
+}
+
+/// The per-worker accumulator the pool merges: full-tree outcome totals
+/// plus machine-work statistics. Addition and max are commutative, so
+/// the merged value is interleaving-independent.
+#[derive(Default)]
+struct ExploreAcc {
+    outcome: CheckOutcome,
+    stats: ExploreStats,
+}
+
+impl Reduce for ExploreAcc {
+    fn merge(&mut self, other: ExploreAcc) {
+        self.outcome.paths += other.outcome.paths;
+        self.outcome.steps += other.outcome.steps;
+        self.outcome.max_trace_len = self.outcome.max_trace_len.max(other.outcome.max_trace_len);
+        self.stats.explored_paths += other.stats.explored_paths;
+        self.stats.explored_steps += other.stats.explored_steps;
+        self.stats.memo_hits += other.stats.memo_hits;
+        self.stats.pruned_paths += other.stats.pruned_paths;
+        self.stats.pruned_steps += other.stats.pruned_steps;
+    }
+}
 
 /// Exhaustively explores the scheduler's behaviours over a bounded
 /// environment.
@@ -93,12 +230,16 @@ pub struct ModelChecker {
     /// to the scheduler's own. Tests use a divergent set to demonstrate
     /// that the checker detects misprioritizing implementations.
     spec_tasks: rossl_model::TaskSet,
+    threads: usize,
+    dedup: bool,
 }
 
 impl ModelChecker {
     /// A checker for `config` where `pending[s]` lists the messages that
     /// may arrive on socket `s` (in FIFO order), exploring up to
-    /// `max_steps` scheduler steps per path.
+    /// `max_steps` scheduler steps per path. Sequential and exhaustive by
+    /// default; see [`ModelChecker::with_threads`] and
+    /// [`ModelChecker::with_dedup`].
     ///
     /// # Panics
     ///
@@ -116,6 +257,8 @@ impl ModelChecker {
             pending,
             max_steps,
             spec_tasks,
+            threads: 1,
+            dedup: false,
         }
     }
 
@@ -128,83 +271,282 @@ impl ModelChecker {
         self
     }
 
+    /// Explores on `threads` pool workers (zero is clamped to one). The
+    /// result — outcome totals and reported counterexample alike — is
+    /// identical to the sequential run for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> ModelChecker {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables (or disables) fingerprint deduplication. Confluent
+    /// interleavings that reconverge to the same scheduler, monitor and
+    /// environment state at the same depth are explored once and credited
+    /// from a memoized summary thereafter; [`CheckOutcome`] still reports
+    /// full-tree totals. The trade-off is the (documented, DESIGN §6)
+    /// 2⁻¹²⁸-per-pair fingerprint collision risk; run with `dedup(false)`
+    /// — the default — for the fully exhaustive walk.
+    pub fn with_dedup(mut self, dedup: bool) -> ModelChecker {
+        self.dedup = dedup;
+        self
+    }
+
     /// Runs the exhaustive exploration.
     ///
     /// # Errors
     ///
-    /// Returns the first [`CheckFailure`] counterexample.
+    /// Returns the [`CheckFailure`] counterexample with the
+    /// lexicographically smallest branch path — the one a sequential
+    /// depth-first exploration reports first — regardless of thread
+    /// count and deduplication.
     pub fn check(&self) -> Result<CheckOutcome, CheckFailure> {
-        struct Node {
-            scheduler: Scheduler<FirstByteCodec>,
-            monitor: SpecMonitor,
-            trace: Vec<Marker>,
-            /// Cursor into `pending` per socket.
-            consumed: Vec<usize>,
-            steps: usize,
-            response: Option<Response>,
-        }
+        self.check_with_stats().map(|(outcome, _)| outcome)
+    }
 
-        let mut outcome = CheckOutcome::default();
-        let root = Node {
+    /// [`ModelChecker::check`], additionally reporting how much work the
+    /// machine actually performed. Without deduplication
+    /// `explored == outcome` and the pruned counts are zero; with it,
+    /// `explored_steps + pruned_steps == outcome.steps` (and likewise for
+    /// paths) — the invariant the E18 benchmark reports against.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelChecker::check`].
+    pub fn check_with_stats(&self) -> Result<(CheckOutcome, ExploreStats), CheckFailure> {
+        let root = ExploreNode {
             scheduler: Scheduler::new(self.config.clone(), FirstByteCodec),
             monitor: SpecMonitor::new(self.spec_tasks.clone(), self.config.n_sockets()),
-            trace: Vec::new(),
+            trace: None,
             consumed: vec![0; self.config.n_sockets()],
             steps: 0,
             response: None,
+            path: None,
         };
-        let mut stack = vec![root];
+        let fail = FailState::new();
+        let memo = if self.dedup { Some(Memo::new()) } else { None };
 
-        while let Some(mut node) = stack.pop() {
-            loop {
-                if node.steps >= self.max_steps {
-                    self.check_leaf(&node.trace)?;
-                    outcome.paths += 1;
-                    outcome.max_trace_len = outcome.max_trace_len.max(node.trace.len());
+        let acc = Pool::new(self.threads).run(vec![root], ExploreAcc::default, |item, ctx| {
+            let path = materialize_path(&item.path);
+            if fail.beats(&path) {
+                return;
+            }
+            self.explore(item, path, ctx, &fail, memo.as_ref());
+        });
+
+        match fail.into_best() {
+            Some(failure) => Err(failure),
+            None => Ok((acc.outcome, acc.stats)),
+        }
+    }
+
+    /// Depth-first walk of the subtree rooted at `node` (whose branch
+    /// path is `path`), folding leaf and memo contributions into the
+    /// worker accumulator.
+    ///
+    /// Returns the subtree's summary when this call explored it
+    /// completely — the condition for memoizing the fingerprints
+    /// collected along the way. Returns `None` when part of the subtree
+    /// was donated to the pool (its contribution arrives through another
+    /// worker's accumulator, so no frame on this stack may memoize) or
+    /// when the walk aborted on a failure.
+    fn explore(
+        &self,
+        mut node: ExploreNode,
+        mut path: Vec<u8>,
+        ctx: &mut Ctx<'_, ExploreNode, ExploreAcc>,
+        fail: &FailState<CheckFailure>,
+        memo: Option<&Memo>,
+    ) -> Option<SubtreeSummary> {
+        let entry_steps = node.steps;
+        let mut paths_below: u64 = 0;
+        let mut steps_below: u64 = 0;
+        let mut max_len = entry_steps;
+        // Fingerprints of this call's linear segment (between branch
+        // points every node dominates the rest of the subtree, so they
+        // all share the summary modulo depth offsets).
+        let mut seg: Vec<(u128, usize)> = Vec::new();
+        let mut clean = true;
+
+        loop {
+            if fail.beats(&path) {
+                return None;
+            }
+            if let Some(memo) = memo {
+                let fp = self.fingerprint(&node);
+                if let Some(hit) = memo.get(fp) {
+                    let acc = ctx.acc();
+                    acc.outcome.paths += hit.paths;
+                    acc.outcome.steps += hit.steps;
+                    acc.outcome.max_trace_len = acc.outcome.max_trace_len.max(node.steps + hit.max_suffix);
+                    acc.stats.memo_hits += 1;
+                    acc.stats.pruned_paths += hit.paths;
+                    acc.stats.pruned_steps += hit.steps;
+                    paths_below += hit.paths;
+                    steps_below += hit.steps;
+                    max_len = max_len.max(node.steps + hit.max_suffix);
                     break;
                 }
-                node.steps += 1;
-                outcome.steps += 1;
-                let step = node
-                    .scheduler
-                    .advance(node.response.take())
-                    .map_err(|e| CheckFailure {
-                        trace: node.trace.clone(),
-                        reason: format!("scheduler got stuck: {e}"),
-                    })?;
-                node.trace.push(step.marker.clone());
-                if let Err(v) = node.monitor.observe(&step.marker) {
-                    return Err(self.failure(&node.trace, &v));
+                seg.push((fp, node.steps));
+            }
+            if node.steps >= self.max_steps {
+                let trace = materialize_trace(&node.trace);
+                if let Err(failure) = self.check_leaf(&trace) {
+                    fail.record(path, failure);
+                    return None;
                 }
-                match step.request {
-                    Some(Request::Read(sock)) => {
-                        let cursor = node.consumed[sock.0];
-                        let available = self.pending[sock.0].get(cursor).cloned();
-                        if let Some(msg) = available {
-                            // Branch: the message has already arrived.
-                            let mut delivered = Node {
-                                scheduler: node.scheduler.clone(),
-                                monitor: node.monitor.clone(),
-                                trace: node.trace.clone(),
-                                consumed: node.consumed.clone(),
-                                steps: node.steps,
-                                response: Some(Response::ReadResult(Some(msg))),
+                let acc = ctx.acc();
+                acc.outcome.paths += 1;
+                acc.outcome.max_trace_len = acc.outcome.max_trace_len.max(node.steps);
+                acc.stats.explored_paths += 1;
+                paths_below += 1;
+                max_len = max_len.max(node.steps);
+                break;
+            }
+
+            node.steps += 1;
+            {
+                let acc = ctx.acc();
+                acc.outcome.steps += 1;
+                acc.stats.explored_steps += 1;
+            }
+            steps_below += 1;
+            let step = match node.scheduler.advance(node.response.take()) {
+                Ok(step) => step,
+                Err(e) => {
+                    fail.record(
+                        path,
+                        CheckFailure {
+                            trace: materialize_trace(&node.trace),
+                            reason: format!("scheduler got stuck: {e}"),
+                        },
+                    );
+                    return None;
+                }
+            };
+            node.trace = push_trace(&node.trace, step.marker.clone());
+            if let Err(v) = node.monitor.observe(&step.marker) {
+                fail.record(
+                    path,
+                    CheckFailure {
+                        trace: materialize_trace(&node.trace),
+                        reason: v.to_string(),
+                    },
+                );
+                return None;
+            }
+
+            match step.request {
+                Some(Request::Read(sock)) => {
+                    let cursor = node.consumed[sock.0];
+                    if let Some(msg) = self.pending[sock.0].get(cursor).cloned() {
+                        // Branch point: the message may have arrived
+                        // (digit 1) or not (digit 0, explored first).
+                        let mut delivered = ExploreNode {
+                            scheduler: node.scheduler.clone(),
+                            monitor: node.monitor.clone(),
+                            trace: node.trace.clone(),
+                            consumed: node.consumed.clone(),
+                            steps: node.steps,
+                            response: Some(Response::ReadResult(Some(msg))),
+                            path: push_path(&node.path, 1),
+                        };
+                        delivered.consumed[sock.0] += 1;
+                        node.response = Some(Response::ReadResult(None));
+                        node.path = push_path(&node.path, 0);
+
+                        if self.threads > 1 && ctx.starving() {
+                            // An idle worker is asking for work: donate
+                            // the delivered branch and keep walking the
+                            // read-failed chain here. Its results now
+                            // flow through another accumulator, so
+                            // nothing on this frame stack may memoize.
+                            ctx.spawn(delivered);
+                            clean = false;
+                            path.push(0);
+                        } else {
+                            let branch_depth = node.steps;
+                            let mut path0 = path.clone();
+                            path0.push(0);
+                            let mut path1 = path;
+                            path1.push(1);
+                            let s0 = if fail.beats(&path0) {
+                                None
+                            } else {
+                                self.explore(node, path0, ctx, fail, memo)
                             };
-                            delivered.consumed[sock.0] += 1;
-                            stack.push(delivered);
+                            let s1 = if fail.beats(&path1) {
+                                None
+                            } else {
+                                self.explore(delivered, path1, ctx, fail, memo)
+                            };
+                            match (s0, s1) {
+                                (Some(a), Some(b)) => {
+                                    paths_below += a.paths + b.paths;
+                                    steps_below += a.steps + b.steps;
+                                    max_len = max_len
+                                        .max(branch_depth + a.max_suffix)
+                                        .max(branch_depth + b.max_suffix);
+                                }
+                                _ => clean = false,
+                            }
+                            break;
                         }
-                        // Continue this path with a failed read (the
-                        // message has not arrived yet, or never will).
+                    } else {
+                        // No message left on this socket: the read can
+                        // only fail — not a branch point.
                         node.response = Some(Response::ReadResult(None));
                     }
-                    Some(Request::Execute(_)) => {
-                        node.response = Some(Response::Executed);
-                    }
-                    None => {}
                 }
+                Some(Request::Execute(_)) => {
+                    node.response = Some(Response::Executed);
+                }
+                None => {}
             }
         }
-        Ok(outcome)
+
+        if !clean {
+            return None;
+        }
+        if let Some(memo) = memo {
+            for &(fp, at_steps) in &seg {
+                memo.insert(
+                    fp,
+                    SubtreeSummary {
+                        paths: paths_below,
+                        steps: steps_below - (at_steps - entry_steps) as u64,
+                        max_suffix: max_len.saturating_sub(at_steps),
+                    },
+                );
+            }
+        }
+        Some(SubtreeSummary {
+            paths: paths_below,
+            steps: steps_below,
+            max_suffix: max_len - entry_steps,
+        })
+    }
+
+    /// The 128-bit state fingerprint deduplication keys on: scheduler
+    /// state (canonical pending-queue digest, loop phase, counters,
+    /// degradation), monitor abstract state, environment cursors, depth
+    /// and the buffered response. Two nodes with equal fingerprints have
+    /// (collisions aside) identical behaviour subtrees — see DESIGN §6
+    /// for the argument.
+    fn fingerprint(&self, node: &ExploreNode) -> u128 {
+        let feed = |h: &mut DefaultHasher| {
+            node.scheduler.state_digest(h);
+            node.monitor.state_digest(h);
+            node.consumed.hash(h);
+            node.steps.hash(h);
+            node.response.hash(h);
+        };
+        let mut h1 = DefaultHasher::new();
+        h1.write_u64(0x9e37_79b9_7f4a_7c15);
+        feed(&mut h1);
+        let mut h2 = DefaultHasher::new();
+        h2.write_u64(0xc2b2_ae3d_27d4_eb4f);
+        feed(&mut h2);
+        ((h1.finish() as u128) << 64) | h2.finish() as u128
     }
 
     /// Leaf check: whole-trace acceptance (Def. 3.1) and functional
@@ -221,13 +563,6 @@ impl ModelChecker {
             trace: trace.to_vec(),
             reason: format!("functional correctness: {e}"),
         })
-    }
-
-    fn failure(&self, trace: &[Marker], v: &SpecViolation) -> CheckFailure {
-        CheckFailure {
-            trace: trace.to_vec(),
-            reason: v.to_string(),
-        }
     }
 }
 
@@ -316,5 +651,61 @@ mod tests {
     fn oversized_pending_panics() {
         let config = ClientConfig::new(tasks(1, 2), 1).unwrap();
         let _ = ModelChecker::new(config, vec![vec![], vec![]], 10);
+    }
+
+    #[test]
+    fn parallel_outcome_matches_sequential() {
+        let config = ClientConfig::new(tasks(1, 9), 1).unwrap();
+        let mc = ModelChecker::new(config, vec![vec![vec![0], vec![1], vec![0]]], 40);
+        let baseline = mc.check().unwrap();
+        for threads in [2, 4, 8] {
+            let outcome = mc.clone().with_threads(threads).check().unwrap();
+            assert_eq!(outcome, baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dedup_outcome_matches_exhaustive() {
+        let config = ClientConfig::new(tasks(1, 9), 1).unwrap();
+        let mc = ModelChecker::new(config, vec![vec![vec![0], vec![1], vec![0]]], 40);
+        let baseline = mc.check().unwrap();
+        let (outcome, stats) = mc.clone().with_dedup(true).check_with_stats().unwrap();
+        assert_eq!(outcome, baseline);
+        assert!(stats.memo_hits > 0, "stats: {stats}");
+        assert!(stats.explored_steps < outcome.steps, "stats: {stats}");
+        assert_eq!(stats.explored_steps + stats.pruned_steps, outcome.steps);
+        assert_eq!(stats.explored_paths + stats.pruned_paths, outcome.paths);
+    }
+
+    #[test]
+    fn without_dedup_stats_equal_outcome() {
+        let config = ClientConfig::new(tasks(1, 2), 1).unwrap();
+        let mc = ModelChecker::new(config, vec![vec![vec![0]]], 20);
+        let (outcome, stats) = mc.check_with_stats().unwrap();
+        assert_eq!(stats.explored_paths, outcome.paths);
+        assert_eq!(stats.explored_steps, outcome.steps);
+        assert_eq!(stats.memo_hits, 0);
+        assert_eq!(stats.pruned_paths, 0);
+    }
+
+    #[test]
+    fn parallel_and_dedup_find_the_sequential_counterexample() {
+        let config = ClientConfig::new(tasks(1, 9), 1).unwrap();
+        let mc = ModelChecker::new(config, vec![vec![vec![0], vec![1]]], 40)
+            .with_spec_tasks(tasks(9, 1));
+        let baseline = mc.check().unwrap_err();
+        for (threads, dedup) in [(1, true), (4, false), (4, true), (8, true)] {
+            let failure = mc
+                .clone()
+                .with_threads(threads)
+                .with_dedup(dedup)
+                .check()
+                .unwrap_err();
+            assert_eq!(
+                failure.trace, baseline.trace,
+                "threads={threads} dedup={dedup}"
+            );
+            assert_eq!(failure.reason, baseline.reason);
+        }
     }
 }

@@ -212,6 +212,32 @@ impl SpecMonitor {
         self.observed
     }
 
+    /// Feeds a canonical digest of the abstract state into `hasher`: the
+    /// protocol state, the pending map in key order, the seen-id set in
+    /// sorted order, the observation count, the degradation flag and the
+    /// shed list.
+    ///
+    /// This covers everything a future [`SpecMonitor::observe`] or
+    /// [`SpecMonitor::observe_degradation`] verdict can depend on, which
+    /// is what makes the model checker's fingerprint pruning sound
+    /// (DESIGN §6). The task set and socket count are deliberately
+    /// excluded: they are fixed for the lifetime of a checker run.
+    pub fn state_digest<H: std::hash::Hasher>(&self, hasher: &mut H) {
+        use std::hash::Hash;
+        self.state.hash(hasher);
+        self.pending.len().hash(hasher);
+        for (id, job) in &self.pending {
+            id.hash(hasher);
+            job.hash(hasher);
+        }
+        let mut seen: Vec<&JobId> = self.seen.iter().collect();
+        seen.sort();
+        seen.hash(hasher);
+        self.observed.hash(hasher);
+        self.degraded.hash(hasher);
+        self.shed.hash(hasher);
+    }
+
     /// The current `currently_pending` cardinality.
     pub fn pending_count(&self) -> usize {
         self.pending.len()

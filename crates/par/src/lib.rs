@@ -1,0 +1,66 @@
+//! A work-stealing exploration pool with *deterministic reduction*.
+//!
+//! The state-space engines in `rossl-verify` explore trees whose shape is
+//! only discovered while exploring: a work item (a branch node) may spawn
+//! further items. This crate provides the minimal scheduling substrate for
+//! that workload using nothing but `std`:
+//!
+//! * [`Pool`] — a fixed set of scoped [`std::thread`] workers, each owning
+//!   a double-ended work queue. Owners push and pop at the back (LIFO, so
+//!   exploration stays depth-first and cache-warm); idle workers steal
+//!   from the *front* of a victim's queue (FIFO, so thieves take the
+//!   shallowest — largest — subtrees).
+//! * [`Reduce`] — the deterministic reduction contract. Every worker folds
+//!   its results into a private accumulator; the pool merges the
+//!   per-worker accumulators when all work has drained. Because which
+//!   worker processes which item is scheduling-dependent, `merge` **must
+//!   be commutative and associative**; under that contract the reduced
+//!   value is bit-identical for every thread count and interleaving.
+//!   Sums, maxima, and keyed minima (e.g. "lexicographically smallest
+//!   failing branch path") all qualify.
+//! * [`Ctx`] — handed to the item closure: [`Ctx::spawn`] publishes new
+//!   items, [`Ctx::acc`] exposes the worker-local accumulator, and
+//!   [`Ctx::starving`] reports whether some worker is idle with nothing
+//!   left to steal — the signal to *donate* part of an in-progress
+//!   traversal as fresh items instead of keeping it on the local call
+//!   stack.
+//!
+//! With one thread the pool runs entirely inline on the caller's thread
+//! (no spawning, no locking overhead beyond uncontended mutexes), which is
+//! the sequential baseline the verifier benchmarks against.
+//!
+//! # Examples
+//!
+//! Summing a spawned tree, identically on any thread count:
+//!
+//! ```
+//! use rossl_par::{Pool, Reduce};
+//!
+//! #[derive(Default)]
+//! struct Sum(u64);
+//! impl Reduce for Sum {
+//!     fn merge(&mut self, other: Sum) {
+//!         self.0 += other.0;
+//!     }
+//! }
+//!
+//! let run = |threads| {
+//!     Pool::new(threads).run(vec![6u64], Sum::default, |item, ctx| {
+//!         ctx.acc().0 += item;
+//!         if item > 1 {
+//!             ctx.spawn(item - 1);
+//!             ctx.spawn(item - 2);
+//!         }
+//!     })
+//! };
+//! assert_eq!(run(1).0, run(4).0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod pool;
+mod reduce;
+
+pub use pool::{Ctx, Pool};
+pub use reduce::{MinKeyed, Reduce};

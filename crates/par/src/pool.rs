@@ -1,0 +1,326 @@
+//! The scoped work-stealing pool.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::reduce::Reduce;
+
+/// How long an idle worker sleeps between steal attempts. Exploration
+/// items cost microseconds to milliseconds, so this keeps idle spinning
+/// negligible without adding wake-up latency anyone can measure.
+const IDLE_NAP: Duration = Duration::from_micros(50);
+
+/// A fixed-size pool of scoped worker threads over work-stealing deques.
+///
+/// See the [crate docs](crate) for the execution model and the
+/// determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+struct Shared<I> {
+    /// One deque per worker. Owner pushes/pops the back; thieves take the
+    /// front (the shallowest, typically largest, subtrees).
+    queues: Vec<Mutex<VecDeque<I>>>,
+    /// Items spawned but not yet fully processed. Workers exit when this
+    /// reaches zero: nothing queued, nothing in flight that could spawn.
+    pending: AtomicUsize,
+    /// Items currently sitting in some deque.
+    queued: AtomicUsize,
+    /// Workers currently failing to find work.
+    idle: AtomicUsize,
+}
+
+impl<I> Shared<I> {
+    fn new(workers: usize) -> Shared<I> {
+        Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            idle: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, me: usize, item: I) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.queues[me]
+            .lock()
+            .expect("worker queue poisoned")
+            .push_back(item);
+    }
+
+    /// Pops from the own queue's back, then tries to steal from the front
+    /// of the other queues, round-robin from the right neighbour.
+    fn pop_or_steal(&self, me: usize) -> Option<I> {
+        if let Some(item) = self.queues[me]
+            .lock()
+            .expect("worker queue poisoned")
+            .pop_back()
+        {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(item);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(item) = self.queues[victim]
+                .lock()
+                .expect("worker queue poisoned")
+                .pop_front()
+            {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+/// The per-item execution context: spawn further work, accumulate
+/// results, and sense starvation.
+pub struct Ctx<'a, I, A> {
+    shared: &'a Shared<I>,
+    me: usize,
+    acc: &'a mut A,
+}
+
+impl<I, A> fmt::Debug for Ctx<'_, I, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx").field("worker", &self.me).finish()
+    }
+}
+
+impl<I, A> Ctx<'_, I, A> {
+    /// Publishes a new work item. It lands at the back of this worker's
+    /// own deque (depth-first locality) where any idle worker can steal
+    /// it from the front.
+    pub fn spawn(&mut self, item: I) {
+        self.shared.push(self.me, item);
+    }
+
+    /// The worker-local accumulator results are folded into.
+    pub fn acc(&mut self) -> &mut A {
+        self.acc
+    }
+
+    /// `true` when some worker is idle and the queues are (nearly) empty:
+    /// the signal for a long-running item to donate part of its pending
+    /// traversal via [`Ctx::spawn`] instead of keeping it on its own
+    /// stack. Always `false` on a single-threaded pool.
+    pub fn starving(&self) -> bool {
+        self.shared.idle.load(Ordering::Relaxed) > self.shared.queued.load(Ordering::Relaxed)
+    }
+
+    /// The index of the worker running this item (0-based, stable for the
+    /// lifetime of the [`Pool::run`] call).
+    pub fn worker(&self) -> usize {
+        self.me
+    }
+}
+
+impl Pool {
+    /// A pool with `threads` workers; zero is clamped to one.
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the machine: one worker per available core.
+    pub fn machine_sized() -> Pool {
+        Pool::new(Pool::default_threads())
+    }
+
+    /// The number of hardware threads available to this process, with a
+    /// fallback of 1 when the platform will not say.
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// The number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Processes `roots` and everything they transitively [`Ctx::spawn`],
+    /// returning the merge of all per-worker accumulators.
+    ///
+    /// `make_acc` is called once per worker on the calling thread. The
+    /// final value is deterministic across thread counts and
+    /// interleavings **iff** the [`Reduce`] contract (commutative,
+    /// associative `merge`) holds and `f` itself folds results in an
+    /// order-insensitive way.
+    ///
+    /// With one worker everything runs inline on the calling thread in
+    /// strict LIFO (depth-first) order — the sequential reference
+    /// semantics.
+    pub fn run<I, A, F>(&self, roots: Vec<I>, make_acc: impl Fn() -> A, f: F) -> A
+    where
+        I: Send,
+        A: Reduce,
+        F: Fn(I, &mut Ctx<'_, I, A>) + Sync,
+    {
+        let shared = Shared::new(self.threads);
+        for (i, root) in roots.into_iter().enumerate() {
+            shared.push(i % self.threads, root);
+        }
+
+        if self.threads == 1 {
+            let mut acc = make_acc();
+            Pool::drain_inline(&shared, 0, &mut acc, &f);
+            return acc;
+        }
+
+        let mut accs: Vec<A> = (0..self.threads).map(|_| make_acc()).collect();
+        let shared_ref = &shared;
+        let f_ref = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = accs
+                .drain(..)
+                .enumerate()
+                .map(|(me, mut acc)| {
+                    scope.spawn(move || {
+                        Pool::drain_stealing(shared_ref, me, &mut acc, f_ref);
+                        acc
+                    })
+                })
+                .collect();
+            let mut merged: Option<A> = None;
+            for handle in handles {
+                let acc = handle.join().expect("pool worker panicked");
+                match &mut merged {
+                    None => merged = Some(acc),
+                    Some(m) => m.merge(acc),
+                }
+            }
+            merged.expect("pool has at least one worker")
+        })
+    }
+
+    /// Single-threaded drain: strict LIFO, no idling.
+    fn drain_inline<I, A, F>(shared: &Shared<I>, me: usize, acc: &mut A, f: &F)
+    where
+        F: Fn(I, &mut Ctx<'_, I, A>),
+    {
+        while let Some(item) = shared.pop_or_steal(me) {
+            f(item, &mut Ctx { shared, me, acc });
+            shared.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Multi-threaded drain: work, steal, or nap until nothing is pending.
+    fn drain_stealing<I, A, F>(shared: &Shared<I>, me: usize, acc: &mut A, f: &F)
+    where
+        F: Fn(I, &mut Ctx<'_, I, A>),
+    {
+        loop {
+            match shared.pop_or_steal(me) {
+                Some(item) => {
+                    f(item, &mut Ctx { shared, me, acc });
+                    shared.pending.fetch_sub(1, Ordering::SeqCst);
+                }
+                None => {
+                    if shared.pending.load(Ordering::SeqCst) == 0 {
+                        return;
+                    }
+                    // Some item is in flight and may yet spawn; advertise
+                    // starvation so it donates, then nap briefly.
+                    shared.idle.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(IDLE_NAP);
+                    shared.idle.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Sum {
+        total: u64,
+        items: u64,
+    }
+
+    impl Reduce for Sum {
+        fn merge(&mut self, other: Sum) {
+            self.total += other.total;
+            self.items += other.items;
+        }
+    }
+
+    fn fib_tree(threads: usize, n: u64) -> (u64, u64) {
+        let sum = Pool::new(threads).run(vec![n], Sum::default, |item, ctx| {
+            ctx.acc().total += item;
+            ctx.acc().items += 1;
+            if item > 1 {
+                ctx.spawn(item - 1);
+                ctx.spawn(item - 2);
+            }
+        });
+        (sum.total, sum.items)
+    }
+
+    #[test]
+    fn tree_sum_is_thread_count_invariant() {
+        let baseline = fib_tree(1, 14);
+        for threads in [2, 3, 8] {
+            assert_eq!(fib_tree(threads, 14), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn empty_roots_return_identity() {
+        let sum = Pool::new(4).run(Vec::<u64>::new(), Sum::default, |_, _| {});
+        assert_eq!(sum.total, 0);
+    }
+
+    #[test]
+    fn starving_is_false_single_threaded() {
+        Pool::new(1).run(vec![0u8], Sum::default, |_, ctx| {
+            assert!(!ctx.starving());
+        });
+    }
+
+    #[test]
+    fn donation_under_starvation_spreads_work() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let donated = AtomicBool::new(false);
+        // One long root that keeps checking for starvation and donates
+        // leaves; with >1 threads someone must eventually starve and the
+        // donated work must be processed.
+        let sum = Pool::new(4).run(vec![100u64], Sum::default, |item, ctx| {
+            if item == 100 {
+                let mut left = 32u64;
+                while left > 0 {
+                    if ctx.starving() {
+                        donated.store(true, Ordering::SeqCst);
+                        ctx.spawn(1);
+                        left -= 1;
+                    } else {
+                        std::thread::sleep(Duration::from_micros(10));
+                    }
+                }
+            } else {
+                ctx.acc().total += item;
+            }
+        });
+        assert!(donated.load(Ordering::SeqCst));
+        assert_eq!(sum.total, 32);
+    }
+}

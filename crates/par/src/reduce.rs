@@ -1,0 +1,110 @@
+//! The deterministic reduction contract.
+
+/// A per-worker result accumulator that can be merged.
+///
+/// The pool gives every worker its own accumulator and merges them once
+/// all work has drained. Which worker processes which item depends on
+/// scheduling, so determinism of the final value rests on a contract the
+/// implementor must uphold: **`merge` is commutative and associative**
+/// (order- and grouping-insensitive). Sums, maxima/minima, set unions and
+/// keyed minima satisfy it; anything order-sensitive (e.g. "last seen
+/// wins") does not.
+pub trait Reduce: Send {
+    /// Folds `other` into `self`. Must be commutative and associative.
+    fn merge(&mut self, other: Self);
+}
+
+/// A keyed minimum: keeps the value with the smallest key seen so far.
+///
+/// The canonical use is deterministic counterexample selection — the key
+/// is the branch path of the failure, ordered lexicographically, so the
+/// retained failure is the one a sequential depth-first exploration would
+/// have found first, regardless of which worker found what.
+///
+/// Ties (equal keys) keep the incumbent; in tree exploration keys are
+/// branch paths, which are unique per node, so ties only arise when the
+/// same node is reported twice with the same value.
+///
+/// # Examples
+///
+/// ```
+/// use rossl_par::{MinKeyed, Reduce};
+///
+/// let mut a = MinKeyed::default();
+/// a.offer(vec![0, 1], "late");
+/// let mut b = MinKeyed::default();
+/// b.offer(vec![0, 0, 1], "early");
+/// a.merge(b);
+/// assert_eq!(a.take(), Some((vec![0, 0, 1], "early")));
+/// ```
+#[derive(Debug)]
+pub struct MinKeyed<K: Ord, V> {
+    best: Option<(K, V)>,
+}
+
+impl<K: Ord, V> Default for MinKeyed<K, V> {
+    fn default() -> MinKeyed<K, V> {
+        MinKeyed { best: None }
+    }
+}
+
+impl<K: Ord, V> MinKeyed<K, V> {
+    /// Offers a candidate; kept only if its key beats the incumbent.
+    pub fn offer(&mut self, key: K, value: V) {
+        match &self.best {
+            Some((k, _)) if *k <= key => {}
+            _ => self.best = Some((key, value)),
+        }
+    }
+
+    /// The current best key, if any.
+    pub fn best_key(&self) -> Option<&K> {
+        self.best.as_ref().map(|(k, _)| k)
+    }
+
+    /// Consumes the reducer, returning the winning entry.
+    pub fn take(self) -> Option<(K, V)> {
+        self.best
+    }
+}
+
+impl<K: Ord + Send, V: Send> Reduce for MinKeyed<K, V> {
+    fn merge(&mut self, other: MinKeyed<K, V>) {
+        if let Some((k, v)) = other.best {
+            self.offer(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_smallest_key_commutatively() {
+        let mut left: MinKeyed<Vec<u8>, u32> = MinKeyed::default();
+        left.offer(vec![1, 0], 10);
+        left.offer(vec![0, 1, 1], 11);
+        let mut right: MinKeyed<Vec<u8>, u32> = MinKeyed::default();
+        right.offer(vec![0, 1], 20);
+
+        let mut ab = MinKeyed::default();
+        ab.offer(vec![1, 0], 10);
+        ab.offer(vec![0, 1, 1], 11);
+        ab.merge(right);
+        // A prefix sorts before its extensions: [0,1] < [0,1,1].
+        assert_eq!(ab.take(), Some((vec![0, 1], 20)));
+
+        let mut ba: MinKeyed<Vec<u8>, u32> = MinKeyed::default();
+        ba.offer(vec![0, 1], 20);
+        ba.merge(left);
+        assert_eq!(ba.take(), Some((vec![0, 1], 20)));
+    }
+
+    #[test]
+    fn empty_merge_is_identity() {
+        let mut m: MinKeyed<u8, u8> = MinKeyed::default();
+        m.merge(MinKeyed::default());
+        assert!(m.take().is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Determinism properties of the pool: the reduced value of a spawned
+//! tree must be bit-identical across thread counts, including the keyed
+//! minimum used for counterexample selection.
+
+use rossl_par::{MinKeyed, Pool, Reduce};
+
+/// A work item: a node in a synthetic ternary tree, addressed by its
+/// branch path.
+#[derive(Clone)]
+struct Node {
+    path: Vec<u8>,
+    depth: u8,
+}
+
+struct Acc {
+    leaves: u64,
+    checksum: u64,
+    worst: MinKeyed<Vec<u8>, u64>,
+}
+
+impl Acc {
+    fn new() -> Acc {
+        Acc {
+            leaves: 0,
+            checksum: 0,
+            worst: MinKeyed::default(),
+        }
+    }
+}
+
+impl Reduce for Acc {
+    fn merge(&mut self, other: Acc) {
+        self.leaves += other.leaves;
+        self.checksum = self.checksum.wrapping_add(other.checksum);
+        self.worst.merge(other.worst);
+    }
+}
+
+fn path_hash(path: &[u8]) -> u64 {
+    path.iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3)
+        })
+}
+
+fn explore(threads: usize, depth: u8) -> (u64, u64, Option<(Vec<u8>, u64)>) {
+    let root = Node {
+        path: Vec::new(),
+        depth,
+    };
+    let acc = Pool::new(threads).run(vec![root], Acc::new, |node, ctx| {
+        if node.depth == 0 {
+            let h = path_hash(&node.path);
+            ctx.acc().leaves += 1;
+            ctx.acc().checksum = ctx.acc().checksum.wrapping_add(h);
+            // "Fails" on a sparse, deterministic predicate; the reducer
+            // must keep the lexicographically smallest failing path.
+            if h % 7 == 0 {
+                ctx.acc().worst.offer(node.path.clone(), h);
+            }
+            return;
+        }
+        for digit in 0..3u8 {
+            let mut path = node.path.clone();
+            path.push(digit);
+            ctx.spawn(Node {
+                path,
+                depth: node.depth - 1,
+            });
+        }
+    });
+    (acc.leaves, acc.checksum, acc.worst.take())
+}
+
+#[test]
+fn reduction_is_identical_across_thread_counts() {
+    let baseline = explore(1, 7); // 3^7 = 2187 leaves
+    assert_eq!(baseline.0, 2187);
+    assert!(baseline.2.is_some(), "predicate should fire somewhere");
+    for threads in [2, 4, 8] {
+        assert_eq!(explore(threads, 7), baseline, "threads={threads}");
+    }
+}
+
+#[test]
+fn repeated_runs_are_stable() {
+    let a = explore(4, 6);
+    let b = explore(4, 6);
+    assert_eq!(a, b);
+}

@@ -62,4 +62,4 @@ pub use blackout::BlackoutBound;
 pub use curves::{max_release_jitter, rbf, ReleaseCurve};
 pub use sbf::{IdealSupply, RosslSupply, SupplyBound};
 pub use schedulability::{breakdown_scale, check_schedulability, scale_wcets, Schedulability, TaskVerdict};
-pub use solver::{busy_window_length, npfp_response_time, SolverError};
+pub use solver::{busy_window_length, npfp_response_time, npfp_response_time_uncached, SolverError};

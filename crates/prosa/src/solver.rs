@@ -27,6 +27,8 @@
 //!   release — those cases are dominated by `A = 0` of the restarted
 //!   window and are skipped.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 
 use rossl_model::{ArrivalCurve, Duration, Task, TaskId, TaskSet};
@@ -101,11 +103,27 @@ struct Ctx<'a, S> {
     curves: &'a [ReleaseCurve],
     supply: &'a S,
     horizon: Duration,
+    /// Per-call `β` memo. Curve evaluation is the hot inner operation of
+    /// the fixed-point loops — every iteration re-evaluates every task's
+    /// curve at the trial window, and within one solver call the same
+    /// `(task, Δ)` pairs recur across iterations and across offsets
+    /// (the busy-window loop and all per-offset start-time loops probe
+    /// overlapping windows). `None` is the memoization-free reference
+    /// path kept for differential testing.
+    beta_cache: Option<RefCell<HashMap<(TaskId, Duration), u64>>>,
 }
 
 impl<S: SupplyBound> Ctx<'_, S> {
     fn beta(&self, task: TaskId, delta: Duration) -> u64 {
-        self.curves[task.0].max_arrivals(delta)
+        let Some(cache) = &self.beta_cache else {
+            return self.curves[task.0].max_arrivals(delta);
+        };
+        if let Some(&cached) = cache.borrow().get(&(task, delta)) {
+            return cached;
+        }
+        let value = self.curves[task.0].max_arrivals(delta);
+        cache.borrow_mut().insert((task, delta), value);
+        value
     }
 
     /// Σ over `others` of `β_j(Δ)·C_j`.
@@ -146,7 +164,17 @@ pub fn busy_window_length(
         curves,
         supply,
         horizon,
+        beta_cache: Some(RefCell::new(HashMap::new())),
     };
+    busy_window_in(&ctx, this)
+}
+
+/// [`busy_window_length`] over an already-validated context, so
+/// [`npfp_response_time`] can share one `β` memo between the busy-window
+/// loop and the per-offset start-time loops.
+fn busy_window_in<S: SupplyBound>(ctx: &Ctx<'_, S>, this: &Task) -> Result<Duration, SolverError> {
+    let task = this.id();
+    let horizon = ctx.horizon;
     let blocking = ctx
         .tasks
         .lower_priority_than(task)
@@ -197,6 +225,35 @@ pub fn npfp_response_time(
     task: TaskId,
     horizon: Duration,
 ) -> Result<Duration, SolverError> {
+    solve(tasks, curves, supply, task, horizon, true)
+}
+
+/// The memoization-free reference path of [`npfp_response_time`]: bit-for
+/// bit the same recurrence, re-evaluating every curve instead of caching.
+/// Exists so regression tests and benchmarks can difference the memoized
+/// solver against it; there is no other reason to call it.
+///
+/// # Errors
+///
+/// As [`npfp_response_time`].
+pub fn npfp_response_time_uncached(
+    tasks: &TaskSet,
+    curves: &[ReleaseCurve],
+    supply: &impl SupplyBound,
+    task: TaskId,
+    horizon: Duration,
+) -> Result<Duration, SolverError> {
+    solve(tasks, curves, supply, task, horizon, false)
+}
+
+fn solve(
+    tasks: &TaskSet,
+    curves: &[ReleaseCurve],
+    supply: &impl SupplyBound,
+    task: TaskId,
+    horizon: Duration,
+    memoize: bool,
+) -> Result<Duration, SolverError> {
     if curves.len() != tasks.len() {
         return Err(SolverError::CurveCountMismatch {
             tasks: tasks.len(),
@@ -211,6 +268,7 @@ pub fn npfp_response_time(
         curves,
         supply,
         horizon,
+        beta_cache: memoize.then(|| RefCell::new(HashMap::new())),
     };
 
     // Non-preemptive blocking by a lower-priority job.
@@ -223,7 +281,7 @@ pub fn npfp_response_time(
 
     let no_convergence = SolverError::NoConvergence { task, horizon };
 
-    let busy = busy_window_length(tasks, curves, supply, task, horizon)?;
+    let busy = busy_window_in(&ctx, this)?;
 
     // Candidate offsets: where β_i steps, within the busy window.
     let mut offsets: Vec<Duration> = ctx.curves[task.0]
@@ -432,6 +490,46 @@ mod tests {
             npfp_response_time(&tasks, &[], &IdealSupply, TaskId(0), Duration(1_000)),
             Err(SolverError::CurveCountMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn memoized_solver_matches_uncached_reference() {
+        let sets = [
+            ts(&[(1, 10, 100)]),
+            ts(&[(1, 10, 1000), (9, 5, 500)]),
+            ts(&[(5, 4, 100), (5, 6, 100)]),
+            ts(&[(1, 9, 10)]),
+            ts(&[(1, 10, 200), (9, 7, 100), (4, 3, 50)]),
+        ];
+        for tasks in &sets {
+            for jitter in [Duration::ZERO, Duration(25)] {
+                let curves = release_curves(tasks, jitter);
+                for t in 0..tasks.len() {
+                    let cached = npfp_response_time(
+                        tasks,
+                        &curves,
+                        &IdealSupply,
+                        TaskId(t),
+                        Duration(1_000_000),
+                    );
+                    let uncached = npfp_response_time_uncached(
+                        tasks,
+                        &curves,
+                        &IdealSupply,
+                        TaskId(t),
+                        Duration(1_000_000),
+                    );
+                    assert_eq!(cached, uncached, "task {t}, jitter {jitter}");
+                }
+            }
+        }
+        // Error verdicts agree too.
+        let overload = ts(&[(1, 11, 10)]);
+        let curves = release_curves(&overload, Duration::ZERO);
+        assert_eq!(
+            npfp_response_time(&overload, &curves, &IdealSupply, TaskId(0), Duration(10_000)),
+            npfp_response_time_uncached(&overload, &curves, &IdealSupply, TaskId(0), Duration(10_000)),
+        );
     }
 
     #[test]

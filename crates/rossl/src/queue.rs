@@ -96,6 +96,23 @@ impl NpfpQueue {
         self.heap.iter().map(|e| &e.job)
     }
 
+    /// Feeds a canonical digest of the pending set into `hasher`:
+    /// `(priority, job)` pairs in read order ([`JobId`] ascending).
+    ///
+    /// Two queues holding the same pending jobs digest identically even
+    /// when their internal heap layouts differ (layout depends on the
+    /// insertion sequence, which exploration interleavings vary).
+    pub fn digest_into<H: std::hash::Hasher>(&self, hasher: &mut H) {
+        use std::hash::Hash;
+        let mut entries: Vec<&Entry> = self.heap.iter().collect();
+        entries.sort_by_key(|e| e.job.id());
+        self.heap.len().hash(hasher);
+        for e in entries {
+            e.priority.hash(hasher);
+            e.job.hash(hasher);
+        }
+    }
+
     /// Removes pending jobs until at most `keep` remain, shedding
     /// lowest-priority first and, among equals, latest-read first — the
     /// exact reverse of the selection order, so the jobs that survive are

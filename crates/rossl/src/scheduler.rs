@@ -26,6 +26,7 @@
 //! separation the paper engineers with Caesium's instrumented semantics.
 
 use std::fmt;
+use std::sync::Arc;
 
 use rossl_model::{Duration, Job, JobId, MsgData, SocketId, TaskId};
 use rossl_trace::Marker;
@@ -37,7 +38,7 @@ use crate::queue::NpfpQueue;
 use crate::watchdog::{DegradedEvent, WatchdogConfig};
 
 /// What the scheduler needs from its environment to proceed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Request {
     /// Perform a non-blocking `read` on the given socket; answer with
     /// [`Response::ReadResult`].
@@ -48,7 +49,7 @@ pub enum Request {
 }
 
 /// The environment's answer to a [`Request`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Response {
     /// Result of a read: the received message's bytes, or `None` if no
     /// message was available.
@@ -73,7 +74,7 @@ pub struct Step {
 }
 
 /// Where in the scheduling loop the machine currently is.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum LoopState {
     /// About to issue `M_ReadS` for socket `next`.
     StartRead { next: usize, round_success: bool },
@@ -94,7 +95,10 @@ enum LoopState {
 /// See the [crate docs](crate) for a complete driving example.
 #[derive(Debug, Clone)]
 pub struct Scheduler<C> {
-    config: ClientConfig,
+    /// Shared immutable configuration. Behind an [`Arc`] so that cloning
+    /// a scheduler — the model checker clones one per explored branch —
+    /// costs a reference-count bump instead of a deep task-set copy.
+    config: Arc<ClientConfig>,
     codec: C,
     queue: NpfpQueue,
     /// Fig. 6's `σ_trace.idx`: incremented on every successful read so that
@@ -114,6 +118,13 @@ impl<C: MessageCodec> Scheduler<C> {
     /// protocol runs in the idling state, whose successor is the first
     /// `M_ReadS`.
     pub fn new(config: ClientConfig, codec: C) -> Scheduler<C> {
+        Scheduler::with_shared_config(Arc::new(config), codec)
+    }
+
+    /// Creates a scheduler sharing an already-[`Arc`]ed configuration —
+    /// the zero-copy constructor exploration engines use when minting
+    /// many schedulers over one configuration.
+    pub fn with_shared_config(config: Arc<ClientConfig>, codec: C) -> Scheduler<C> {
         Scheduler {
             config,
             codec,
@@ -150,7 +161,24 @@ impl<C: MessageCodec> Scheduler<C> {
         next_job_id: u64,
         jobs_completed: u64,
     ) -> Result<Scheduler<C>, DriveError> {
-        let mut sched = Scheduler::new(config, codec);
+        Scheduler::recovered_shared(Arc::new(config), codec, pending, next_job_id, jobs_completed)
+    }
+
+    /// [`Scheduler::recovered`] over an already-shared configuration;
+    /// avoids the deep task-set copy on the crash-sweep hot path, where a
+    /// restart happens at every explored crash point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::recovered`].
+    pub fn recovered_shared(
+        config: Arc<ClientConfig>,
+        codec: C,
+        pending: Vec<Job>,
+        next_job_id: u64,
+        jobs_completed: u64,
+    ) -> Result<Scheduler<C>, DriveError> {
+        let mut sched = Scheduler::with_shared_config(config, codec);
         for job in pending {
             let priority = sched
                 .config
@@ -200,6 +228,28 @@ impl<C: MessageCodec> Scheduler<C> {
     /// Number of jobs whose callbacks have completed.
     pub fn jobs_completed(&self) -> u64 {
         self.jobs_completed
+    }
+
+    /// Feeds a canonical digest of the scheduler's dynamic state into
+    /// `hasher`: the pending queue (in read order, independent of heap
+    /// layout), the job-id and completion counters, the loop position
+    /// (including any job in flight), and the watchdog/degradation state.
+    ///
+    /// Two schedulers over the same configuration that digest equally are
+    /// behaviourally indistinguishable: every future [`Scheduler::advance`]
+    /// depends only on this state, the configuration, and the responses
+    /// fed in. The *static* configuration and codec are deliberately not
+    /// digested — exploration engines fingerprint states within a single
+    /// run, where both are fixed.
+    pub fn state_digest<H: std::hash::Hasher>(&self, hasher: &mut H) {
+        use std::hash::Hash;
+        self.queue.digest_into(hasher);
+        self.next_job_id.hash(hasher);
+        self.state.hash(hasher);
+        self.jobs_completed.hash(hasher);
+        self.watchdog.hash(hasher);
+        self.degraded.hash(hasher);
+        self.degradation.hash(hasher);
     }
 
     /// `true` when a [`Request`] is outstanding and the next

@@ -213,6 +213,22 @@ impl Supervisor {
         config: ClientConfig,
         codec: C,
     ) -> Result<(Scheduler<C>, RecoveredState, Option<Corruption>), RecoveryError> {
+        self.restart_shared(journal, std::sync::Arc::new(config), codec)
+    }
+
+    /// [`Supervisor::restart`] over an already-shared configuration;
+    /// avoids re-cloning the task set per restart on exploration hot
+    /// paths that recover at every crash point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Supervisor::restart`].
+    pub fn restart_shared<C: MessageCodec>(
+        &mut self,
+        journal: &[u8],
+        config: std::sync::Arc<ClientConfig>,
+        codec: C,
+    ) -> Result<(Scheduler<C>, RecoveredState, Option<Corruption>), RecoveryError> {
         if self.restarts >= self.policy.max_restarts {
             return Err(RecoveryError::RestartBudgetExhausted {
                 attempts: self.restarts,
@@ -228,7 +244,7 @@ impl Supervisor {
         );
         let recovered = recover(journal)?;
         let state = RecoveredState::from_events(&recovered.committed);
-        let sched = Scheduler::recovered(
+        let sched = Scheduler::recovered_shared(
             config,
             codec,
             state.pending.clone(),

@@ -15,7 +15,7 @@ use rossl_model::{Duration, JobId, Priority, TaskId};
 /// Configuration for the execution-budget watchdog.
 ///
 /// Passed to [`Scheduler::with_watchdog`](crate::Scheduler::with_watchdog).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WatchdogConfig {
     /// While degraded, the pending queue is shed down to this many jobs at
     /// every selection phase (lowest priority first, latest-read first
@@ -32,7 +32,7 @@ impl WatchdogConfig {
 }
 
 /// A degradation event emitted by the watchdog.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DegradedEvent {
     /// A callback ran longer than its task's declared WCET; the scheduler
     /// has entered degraded mode.
