@@ -4,13 +4,44 @@
 //! ```sh
 //! cargo run --release -p refined-prosa-bench --bin paper_experiments            # all
 //! cargo run --release -p refined-prosa-bench --bin paper_experiments -- thm51 --seeds 50
+//! cargo run --release -p refined-prosa-bench --bin paper_experiments -- --list  # index
 //! ```
 
 use refined_prosa_bench as exps;
 use rossl_model::Instant;
 
+/// The experiment index: `(E-number, CLI name, one-line description)`,
+/// in EXPERIMENTS.md order. `--list` prints it.
+const INDEX: &[(&str, &str, &str)] = &[
+    ("E1", "fig3", "the worked example run (Fig. 3)"),
+    ("E2", "fig5", "scheduler-protocol STS, exhaustively checked (Fig. 5 / Def. 3.1)"),
+    ("E3", "thm34", "functional correctness of all traces (Thm. 3.4 / Def. 3.2)"),
+    ("E4", "validity", "timing consistency and validity constraints (Defs 2.1/2.2, §2.4)"),
+    ("E5", "fig7", "release jitter restores policy compliance and work conservation (Fig. 7)"),
+    ("E6", "sbf", "supply bound function soundness and shape (§4.4)"),
+    ("E7", "thm51", "timing correctness, the headline result (Thm. 5.1)"),
+    ("E8", "baseline", "overhead-oblivious RTA is unsound; RefinedProsa is sound (§1.1)"),
+    ("E9", "loc", "code inventory vs the paper's proof-effort table (§5)"),
+    ("E10", "curves", "arrival vs release curves (§4.3)"),
+    ("E11", "ablation", "ablations: straddler terms, jitter share, SBF monotonization"),
+    ("E12", "schedcurves", "acceptance ratio vs utilization"),
+    ("E13", "sensitivity", "breakdown WCET scaling via bisection"),
+    ("E14", "tight", "tightened per-task analysis: dominance and soundness"),
+    ("E15", "busywindows", "measured busy spans vs analytical busy-window length"),
+    ("E16", "faults", "fault-injection campaign: detection and soundness matrices"),
+    ("E17", "crash", "exhaustive crash-point recovery sweep"),
+    ("E18", "verify-bench", "parallel + deduplicated exploration vs the sequential walk"),
+    ("E19", "obs", "runtime telemetry: bound margins, alert fidelity, hot-path overhead"),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (e, name, what) in INDEX {
+            println!("{e:<5} {name:<14} {what}");
+        }
+        return;
+    }
     let which = args.first().map(String::as_str).unwrap_or("all");
     let seeds: u64 = args
         .iter()
@@ -103,6 +134,11 @@ fn main() {
         "verify-bench",
         "parallel + deduplicated exploration vs the sequential walk (E18)",
         &|| exps::exp_verify_bench(smoke),
+    );
+    run(
+        "obs",
+        "runtime telemetry: bound margins, alert fidelity, hot-path overhead (E19)",
+        &|| exps::exp_obs(smoke),
     );
     run("loc", "code inventory vs the paper's proof-effort table (§5)", &exps::exp_loc);
 }

@@ -16,6 +16,7 @@ pub mod crash;
 pub mod experiments;
 pub mod faults;
 pub mod jitter;
+pub mod obs;
 pub mod setup;
 pub mod verify_bench;
 
@@ -27,4 +28,5 @@ pub use ablation::{exp_ablation, exp_busy_windows, exp_schedulability, exp_sensi
 pub use crash::exp_crash_recovery;
 pub use faults::exp_faults;
 pub use jitter::exp_fig7;
+pub use obs::exp_obs;
 pub use verify_bench::exp_verify_bench;

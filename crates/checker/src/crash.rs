@@ -172,6 +172,8 @@ pub struct CrashSweep {
     /// Post-crash steps granted to each recovery.
     recovery_budget: usize,
     threads: usize,
+    /// Telemetry bundle fed after each sweep; purely observational.
+    metrics: Option<Arc<rossl_obs::VerifierMetrics>>,
 }
 
 impl CrashSweep {
@@ -197,6 +199,7 @@ impl CrashSweep {
             max_steps,
             recovery_budget: max_steps,
             threads: 1,
+            metrics: None,
         }
     }
 
@@ -215,6 +218,14 @@ impl CrashSweep {
     /// identical to the sequential sweep for every thread count.
     pub fn with_threads(mut self, threads: usize) -> CrashSweep {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Feeds each successful sweep's totals — crash points, recoveries,
+    /// scheduler steps, frontier depth — into a `verify.*` telemetry
+    /// bundle. Observation only: the sweep result is unchanged.
+    pub fn with_metrics(mut self, metrics: Arc<rossl_obs::VerifierMetrics>) -> CrashSweep {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -253,6 +264,14 @@ impl CrashSweep {
             None => {
                 let mut outcome = acc.outcome;
                 outcome.crash_points = self.max_steps as u64;
+                if let Some(m) = &self.metrics {
+                    m.crash_points.add(outcome.crash_points);
+                    m.crash_recoveries.add(outcome.recoveries);
+                    m.explored_steps.add(outcome.steps);
+                    m.explored_paths.add(outcome.stitched_checked);
+                    m.frontier_depth
+                        .observe(self.max_steps as u64 + self.recovery_budget as u64);
+                }
                 Ok(outcome)
             }
         }
@@ -508,6 +527,25 @@ mod tests {
         assert_eq!(outcome.crash_points, 14);
         assert!(outcome.recoveries >= 14);
         assert!(outcome.stitched_checked >= outcome.recoveries);
+    }
+
+    #[test]
+    fn metrics_bundle_receives_sweep_totals() {
+        use rossl_obs::{Registry, VerifierMetrics};
+
+        let registry = Registry::new();
+        let bundle = VerifierMetrics::register(&registry);
+        let sweep = CrashSweep::new(config(1), vec![vec![vec![0], vec![1]]], 10)
+            .with_metrics(Arc::clone(&bundle));
+        let plain = CrashSweep::new(config(1), vec![vec![vec![0], vec![1]]], 10);
+        let outcome = sweep.sweep().unwrap();
+        // Observation only: identical outcome with the bundle attached.
+        assert_eq!(outcome, plain.sweep().unwrap());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("verify.crash_points"), Some(outcome.crash_points));
+        assert_eq!(snap.counter("verify.crash_recoveries"), Some(outcome.recoveries));
+        assert_eq!(snap.counter("verify.explored_steps"), Some(outcome.steps));
     }
 
     #[test]

@@ -81,20 +81,30 @@ pub struct ExploreStats {
     pub explored_paths: u64,
     /// Scheduler steps actually executed.
     pub explored_steps: u64,
+    /// Fingerprint-memo lookups performed (zero without dedup).
+    pub memo_lookups: u64,
     /// Fingerprint-memo hits (subtrees credited without re-exploration).
     pub memo_hits: u64,
     /// Paths credited from memoized summaries instead of execution.
     pub pruned_paths: u64,
     /// Steps credited from memoized summaries instead of execution.
     pub pruned_steps: u64,
+    /// Branch nodes donated to starving pool workers (the steal count).
+    pub donated_subtrees: u64,
 }
 
 impl fmt::Display for ExploreStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "explored {} paths / {} steps, pruned {} paths / {} steps over {} memo hits",
-            self.explored_paths, self.explored_steps, self.pruned_paths, self.pruned_steps, self.memo_hits
+            "explored {} paths / {} steps, pruned {} paths / {} steps over {}/{} memo hits, {} donations",
+            self.explored_paths,
+            self.explored_steps,
+            self.pruned_paths,
+            self.pruned_steps,
+            self.memo_hits,
+            self.memo_lookups,
+            self.donated_subtrees
         )
     }
 }
@@ -193,9 +203,11 @@ impl Reduce for ExploreAcc {
         self.outcome.max_trace_len = self.outcome.max_trace_len.max(other.outcome.max_trace_len);
         self.stats.explored_paths += other.stats.explored_paths;
         self.stats.explored_steps += other.stats.explored_steps;
+        self.stats.memo_lookups += other.stats.memo_lookups;
         self.stats.memo_hits += other.stats.memo_hits;
         self.stats.pruned_paths += other.stats.pruned_paths;
         self.stats.pruned_steps += other.stats.pruned_steps;
+        self.stats.donated_subtrees += other.stats.donated_subtrees;
     }
 }
 
@@ -232,6 +244,9 @@ pub struct ModelChecker {
     spec_tasks: rossl_model::TaskSet,
     threads: usize,
     dedup: bool,
+    /// Telemetry bundle fed after each run; purely observational, never
+    /// consulted during exploration.
+    metrics: Option<std::sync::Arc<rossl_obs::VerifierMetrics>>,
 }
 
 impl ModelChecker {
@@ -259,6 +274,7 @@ impl ModelChecker {
             spec_tasks,
             threads: 1,
             dedup: false,
+            metrics: None,
         }
     }
 
@@ -288,6 +304,16 @@ impl ModelChecker {
     /// — the default — for the fully exhaustive walk.
     pub fn with_dedup(mut self, dedup: bool) -> ModelChecker {
         self.dedup = dedup;
+        self
+    }
+
+    /// Feeds each exploration's work split — explored/pruned totals,
+    /// memo hit rate, steal count, frontier depth — into a `verify.*`
+    /// telemetry bundle after every successful [`ModelChecker::check`].
+    /// Observation only: the exploration itself is bit-identical with or
+    /// without the bundle.
+    pub fn with_metrics(mut self, metrics: std::sync::Arc<rossl_obs::VerifierMetrics>) -> ModelChecker {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -335,7 +361,37 @@ impl ModelChecker {
 
         match fail.into_best() {
             Some(failure) => Err(failure),
-            None => Ok((acc.outcome, acc.stats)),
+            None => {
+                // The work-conservation invariant the stats are defined
+                // by: every path (and step) of the full tree is either
+                // executed or credited from a memo — never both, never
+                // neither. Held by convention since E18; promoted to an
+                // assertion so any future accounting drift fails loudly
+                // in debug builds.
+                debug_assert_eq!(
+                    acc.stats.explored_paths + acc.stats.pruned_paths,
+                    acc.outcome.paths,
+                    "explored + pruned paths must equal outcome paths"
+                );
+                debug_assert_eq!(
+                    acc.stats.explored_steps + acc.stats.pruned_steps,
+                    acc.outcome.steps,
+                    "explored + pruned steps must equal outcome steps"
+                );
+                if let Some(m) = &self.metrics {
+                    m.record_exploration(
+                        acc.stats.explored_paths,
+                        acc.stats.explored_steps,
+                        acc.stats.pruned_paths,
+                        acc.stats.pruned_steps,
+                        acc.stats.memo_lookups,
+                        acc.stats.memo_hits,
+                        acc.outcome.max_trace_len as u64,
+                    );
+                    m.donations.add(acc.stats.donated_subtrees);
+                }
+                Ok((acc.outcome, acc.stats))
+            }
         }
     }
 
@@ -373,6 +429,7 @@ impl ModelChecker {
             }
             if let Some(memo) = memo {
                 let fp = self.fingerprint(&node);
+                ctx.acc().stats.memo_lookups += 1;
                 if let Some(hit) = memo.get(fp) {
                     let acc = ctx.acc();
                     acc.outcome.paths += hit.paths;
@@ -461,6 +518,7 @@ impl ModelChecker {
                             // flow through another accumulator, so
                             // nothing on this frame stack may memoize.
                             ctx.spawn(delivered);
+                            ctx.acc().stats.donated_subtrees += 1;
                             clean = false;
                             path.push(0);
                         } else {
@@ -684,8 +742,75 @@ mod tests {
         let (outcome, stats) = mc.check_with_stats().unwrap();
         assert_eq!(stats.explored_paths, outcome.paths);
         assert_eq!(stats.explored_steps, outcome.steps);
+        assert_eq!(stats.memo_lookups, 0);
         assert_eq!(stats.memo_hits, 0);
         assert_eq!(stats.pruned_paths, 0);
+    }
+
+    /// The `explored + pruned == outcome` invariant is now a
+    /// `debug_assert!` inside `check_with_stats`, so merely running the
+    /// checker exercises it; this test additionally pins it across every
+    /// thread/dedup combination, where the accounting is hardest.
+    #[test]
+    fn work_conservation_invariant_holds_for_all_modes() {
+        let config = ClientConfig::new(tasks(1, 9), 1).unwrap();
+        let mc = ModelChecker::new(config, vec![vec![vec![0], vec![1], vec![0]]], 40);
+        for (threads, dedup) in [(1, false), (1, true), (4, false), (4, true)] {
+            let (outcome, stats) = mc
+                .clone()
+                .with_threads(threads)
+                .with_dedup(dedup)
+                .check_with_stats()
+                .unwrap();
+            assert_eq!(
+                stats.explored_paths + stats.pruned_paths,
+                outcome.paths,
+                "threads={threads} dedup={dedup}: {stats}"
+            );
+            assert_eq!(
+                stats.explored_steps + stats.pruned_steps,
+                outcome.steps,
+                "threads={threads} dedup={dedup}: {stats}"
+            );
+            assert!(
+                stats.memo_hits <= stats.memo_lookups,
+                "threads={threads} dedup={dedup}: {stats}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_bundle_receives_the_work_split() {
+        use rossl_obs::{Registry, VerifierMetrics};
+
+        let registry = Registry::new();
+        let bundle = VerifierMetrics::register(&registry);
+        let config = ClientConfig::new(tasks(1, 9), 1).unwrap();
+        let mc = ModelChecker::new(config, vec![vec![vec![0], vec![1], vec![0]]], 40)
+            .with_dedup(true)
+            .with_metrics(std::sync::Arc::clone(&bundle));
+        let (outcome, stats) = mc.check_with_stats().unwrap();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("verify.explored_paths"), Some(stats.explored_paths));
+        assert_eq!(snap.counter("verify.explored_steps"), Some(stats.explored_steps));
+        assert_eq!(snap.counter("verify.pruned_paths"), Some(stats.pruned_paths));
+        assert_eq!(snap.counter("verify.pruned_steps"), Some(stats.pruned_steps));
+        assert_eq!(snap.counter("verify.memo_lookups"), Some(stats.memo_lookups));
+        assert_eq!(snap.counter("verify.memo_hits"), Some(stats.memo_hits));
+        assert_eq!(
+            snap.high_water("verify.frontier_depth"),
+            Some(outcome.max_trace_len as u64)
+        );
+        // Both totals of the promoted invariant are visible through the
+        // registry, and they reassemble the outcome.
+        assert_eq!(
+            snap.counter("verify.explored_steps").unwrap()
+                + snap.counter("verify.pruned_steps").unwrap(),
+            outcome.steps
+        );
+        let permille = snap.gauge("verify.dedup_hit_permille").unwrap();
+        assert!((0..=1000).contains(&permille), "permille: {permille}");
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct FaultCampaignConfig {
     /// summarized in the report. `None` (the default) preserves the
     /// plain E16 campaign.
     pub watchdog: Option<WatchdogConfig>,
+    /// Optional `campaign.*` telemetry bundle: every run records its
+    /// class, seed, injection count, detection verdict and verification
+    /// wall time (the per-class detection latency). `None` (the
+    /// default) records nothing.
+    pub metrics: Option<std::sync::Arc<rossl_obs::CampaignMetrics>>,
 }
 
 impl FaultCampaignConfig {
@@ -60,6 +65,7 @@ impl FaultCampaignConfig {
             analysis_horizon: Duration(horizon.ticks().max(100_000).saturating_mul(4)),
             classes: FaultCampaignConfig::full_matrix(),
             watchdog: None,
+            metrics: None,
         }
     }
 
@@ -308,10 +314,20 @@ pub fn run_fault_campaign(
                 config.horizon,
             )?;
             let claimed = run.claimed(&plan, &nominal);
+            let verify_started = std::time::Instant::now();
             let (detected_by, bound_violations) = match verifier.verify(claimed, &run.result) {
                 Ok(report) => (None, report.bound_violations),
                 Err(e) => (Some(e.checker_name()), 0),
             };
+            if let Some(m) = &config.metrics {
+                m.record_run(
+                    class.name(),
+                    seed,
+                    run.injections.len() as u64,
+                    detected_by.is_some(),
+                    verify_started.elapsed().as_micros() as u64,
+                );
+            }
             runs.push(RunOutcome {
                 seed,
                 injections: run.injections.len(),
@@ -390,6 +406,47 @@ mod tests {
         let rendered = outcome.to_string();
         assert!(rendered.contains("Degradation summary"), "{rendered}");
         assert!(rendered.contains("degraded event(s)"), "{rendered}");
+    }
+
+    #[test]
+    fn campaign_metrics_record_per_class_detection_latency() {
+        use rossl_obs::{CampaignMetrics, Registry, SpanLog};
+        use std::sync::Arc;
+
+        let registry = Arc::new(Registry::new());
+        let spans = Arc::new(SpanLog::new());
+        let metrics = CampaignMetrics::register(Arc::clone(&registry), Arc::clone(&spans));
+        let outcome = run_fault_campaign(
+            &system(),
+            &FaultCampaignConfig {
+                seeds: vec![11, 23],
+                classes: vec![
+                    FaultClass::WcetOverrun { factor: 4 },
+                    FaultClass::ExecutionSlack { divisor: 2 },
+                ],
+                metrics: Some(Arc::clone(&metrics)),
+                ..FaultCampaignConfig::new(Instant(20_000))
+            },
+        )
+        .unwrap();
+        assert!(outcome.holds(), "{outcome}");
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("campaign.runs"), Some(4));
+        assert_eq!(snap.counter("campaign.runs.wcet-overrun"), Some(2));
+        // The out-of-model class is detected, the in-model one is not.
+        assert_eq!(snap.counter("campaign.detected.wcet-overrun"), Some(2));
+        assert_eq!(snap.counter("campaign.escapes"), Some(2));
+        assert_eq!(
+            snap.histogram("campaign.detection_latency_us.wcet-overrun")
+                .map(|h| h.count),
+            Some(2)
+        );
+        // One span per run, carrying the seed and the verdict.
+        let events = spans.events_in("campaign");
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().any(|e| e.get("seed") == Some(11)
+            && e.get("detected") == Some(1)));
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod verifier;
 pub use campaign::{
     run_fault_campaign, CampaignOutcome, ClassOutcome, FaultCampaignConfig, RunOutcome,
 };
-pub use system::{FaultyRun, RosslSystem, SystemBuilder, SystemError};
+pub use system::{FaultyRun, RosslSystem, RunTelemetry, SystemBuilder, SystemError};
 pub use verifier::{TimingVerifier, VerificationError, VerificationReport};
 
 // Re-export the workspace so downstream users need a single dependency.
@@ -64,6 +64,7 @@ pub use prosa;
 pub use rossl;
 pub use rossl_faults as faults;
 pub use rossl_model as model;
+pub use rossl_obs as obs;
 pub use rossl_schedule as schedule;
 pub use rossl_sockets as sockets;
 pub use rossl_timing as timing;

@@ -16,6 +16,7 @@ use rossl_model::{
 };
 use rossl::WatchdogConfig;
 use rossl_faults::{FaultPlan, FaultyCostModel, FaultySocketSet, InjectionRecord};
+use rossl_obs::{BoundObservatory, Registry, SchedSink};
 use rossl_sockets::ArrivalSequence;
 use rossl_timing::{workload, CostModel, SimulationError, SimulationResult, Simulator, UniformCost};
 
@@ -150,6 +151,42 @@ impl SystemBuilder {
     }
 }
 
+/// Telemetry attachments for a simulated run: where the scheduler's
+/// hot-path counters flush, and the bound-margin observatory fed at
+/// every dispatch and completion. The default attaches nothing —
+/// [`SchedSink::Noop`] and no observatory — so
+/// [`RosslSystem::simulate`] stays cost-free.
+#[derive(Debug, Clone, Default)]
+pub struct RunTelemetry {
+    /// Scheduler hot-path sink (see [`rossl::Scheduler::with_telemetry`]).
+    pub sink: SchedSink,
+    /// Bound-margin observatory (see [`RosslSystem::observatory`]).
+    pub observatory: Option<std::sync::Arc<BoundObservatory>>,
+}
+
+impl RunTelemetry {
+    /// No instrumentation: equivalent to the plain simulation entry
+    /// points.
+    pub fn disabled() -> RunTelemetry {
+        RunTelemetry::default()
+    }
+
+    /// Routes scheduler-loop counters into `sink`.
+    pub fn with_sink(mut self, sink: SchedSink) -> RunTelemetry {
+        self.sink = sink;
+        self
+    }
+
+    /// Feeds dispatch waits and response times into `observatory`.
+    pub fn with_observatory(
+        mut self,
+        observatory: std::sync::Arc<BoundObservatory>,
+    ) -> RunTelemetry {
+        self.observatory = Some(observatory);
+        self
+    }
+}
+
 /// Outcome of a fault-injected simulation
 /// ([`RosslSystem::simulate_faulty`]).
 #[derive(Debug, Clone)]
@@ -228,6 +265,34 @@ impl RosslSystem {
         Ok(TimingVerifier::new(self.params.clone(), analysis_horizon)?)
     }
 
+    /// Builds a [`BoundObservatory`] tracking every task of this system
+    /// against its analytical bound `R_i + J_i` (the Thm. 5.1 claim
+    /// stated against arrival — exactly the quantity
+    /// [`rossl_timing::JobRecord::response_time`] measures), registering
+    /// the per-task `obs.*` metrics in `registry`. Busy-window search is
+    /// capped at `analysis_horizon`, as in [`RosslSystem::analyse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Analysis`] when unschedulable — there are
+    /// no bounds to observe against.
+    pub fn observatory(
+        &self,
+        registry: &Registry,
+        analysis_horizon: Duration,
+    ) -> Result<std::sync::Arc<BoundObservatory>, SystemError> {
+        let bounds = self.analyse(analysis_horizon)?;
+        let mut obs = BoundObservatory::new();
+        for task in self.tasks() {
+            let bound = bounds
+                .bound_for(task.id())
+                .map(|b| b.total_bound())
+                .unwrap_or(Duration::ZERO);
+            obs.track(registry, task.id().0, task.name(), bound.ticks());
+        }
+        Ok(std::sync::Arc::new(obs))
+    }
+
     /// Simulates one run against `arrivals` under the given cost model.
     ///
     /// # Errors
@@ -239,7 +304,28 @@ impl RosslSystem {
         cost: impl CostModel,
         horizon: Instant,
     ) -> Result<SimulationResult, SystemError> {
-        let sim = Simulator::new(self.config.clone(), FirstByteCodec, *self.wcet(), cost)?;
+        self.simulate_with_telemetry(arrivals, cost, horizon, &RunTelemetry::disabled())
+    }
+
+    /// [`RosslSystem::simulate`] with telemetry attached: scheduler-loop
+    /// counters flush into `telemetry.sink`, and every dispatch wait and
+    /// response time feeds `telemetry.observatory`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RosslSystem::simulate`].
+    pub fn simulate_with_telemetry(
+        &self,
+        arrivals: &ArrivalSequence,
+        cost: impl CostModel,
+        horizon: Instant,
+        telemetry: &RunTelemetry,
+    ) -> Result<SimulationResult, SystemError> {
+        let mut sim = Simulator::new(self.config.clone(), FirstByteCodec, *self.wcet(), cost)?
+            .with_telemetry(telemetry.sink.clone());
+        if let Some(obs) = &telemetry.observatory {
+            sim = sim.with_observatory(std::sync::Arc::clone(obs));
+        }
         Ok(sim.run(arrivals, horizon)?)
     }
 
@@ -264,6 +350,34 @@ impl RosslSystem {
         watchdog: Option<WatchdogConfig>,
         horizon: Instant,
     ) -> Result<FaultyRun, SystemError> {
+        self.simulate_faulty_with_telemetry(
+            arrivals,
+            cost,
+            plan,
+            watchdog,
+            horizon,
+            &RunTelemetry::disabled(),
+        )
+    }
+
+    /// [`RosslSystem::simulate_faulty`] with telemetry attached (see
+    /// [`RosslSystem::simulate_with_telemetry`]). This is how E19 shows
+    /// the observatory raising a [`rossl_obs::BoundViolation`] on a
+    /// seeded WCET-overrun plan: the injected overruns drive observed
+    /// response times past the analytical bounds.
+    ///
+    /// # Errors
+    ///
+    /// As [`RosslSystem::simulate_faulty`].
+    pub fn simulate_faulty_with_telemetry(
+        &self,
+        arrivals: &ArrivalSequence,
+        cost: impl CostModel,
+        plan: &FaultPlan,
+        watchdog: Option<WatchdogConfig>,
+        horizon: Instant,
+        telemetry: &RunTelemetry,
+    ) -> Result<FaultyRun, SystemError> {
         let sockets = FaultySocketSet::with_arrivals(self.n_sockets(), arrivals, plan)
             .map_err(|e| SystemError::Simulation(SimulationError::Socket(e)))?;
         let delivered = sockets.delivered().clone();
@@ -274,7 +388,11 @@ impl RosslSystem {
 
         let mut sim =
             Simulator::new(self.config.clone(), FirstByteCodec, *self.wcet(), faulty_cost)?
-                .unclamped();
+                .unclamped()
+                .with_telemetry(telemetry.sink.clone());
+        if let Some(obs) = &telemetry.observatory {
+            sim = sim.with_observatory(std::sync::Arc::clone(obs));
+        }
         if let Some(config) = watchdog {
             sim = sim.with_watchdog(config);
         }
@@ -392,6 +510,61 @@ mod tests {
         let report = demo().run_verified(7, Instant(20_000)).unwrap();
         assert_eq!(report.bound_violations, 0);
         assert!(report.jobs_completed > 0);
+    }
+
+    #[test]
+    fn observatory_tracks_every_task_at_its_analytical_bound() {
+        let s = demo();
+        let registry = Registry::new();
+        let horizon = Duration(400_000);
+        let obs = s.observatory(&registry, horizon).unwrap();
+        let bounds = s.analyse(horizon).unwrap();
+        assert_eq!(obs.tracked_tasks().len(), s.tasks().len());
+        for task in s.tasks() {
+            let expected = bounds.bound_for(task.id()).unwrap().total_bound().ticks();
+            assert_eq!(obs.bound(task.id().0), Some(expected), "{}", task.name());
+        }
+        // The bound gauges are visible under the task names.
+        let snap = registry.snapshot();
+        assert!(snap.gauge("obs.bound.low").is_some());
+        assert!(snap.gauge("obs.bound.high").is_some());
+    }
+
+    #[test]
+    fn telemetry_run_observes_without_changing_the_result() {
+        use rossl_obs::{Registry, SchedulerMetrics};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use rossl_timing::UniformCost;
+
+        let s = demo();
+        let horizon = Instant(20_000);
+        let arrivals = s.random_workload(3, horizon);
+        let cost = || UniformCost::new(StdRng::seed_from_u64(99));
+        let plain = s.simulate(&arrivals, cost(), horizon).unwrap();
+
+        let registry = Registry::new();
+        let obs = s.observatory(&registry, Duration(400_000)).unwrap();
+        let telemetry = RunTelemetry::disabled()
+            .with_sink(SchedSink::Metrics(SchedulerMetrics::register(&registry)))
+            .with_observatory(std::sync::Arc::clone(&obs));
+        let observed = s
+            .simulate_with_telemetry(&arrivals, cost(), horizon, &telemetry)
+            .unwrap();
+
+        // Observation is free of side effects on the run itself.
+        assert_eq!(observed.trace.markers(), plain.trace.markers());
+        assert_eq!(observed.jobs, plain.jobs);
+        // In-model runs never violate their bounds, but the margins are
+        // live: every completed task has a populated response histogram.
+        assert_eq!(obs.violation_count(), 0);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.histogram("obs.response.low").map(|h| h.count).unwrap_or(0)
+                + snap.histogram("obs.response.high").map(|h| h.count).unwrap_or(0),
+            plain.completed_count() as u64
+        );
+        assert!(snap.counter("sched.steps").unwrap() > 0);
     }
 
     #[test]

@@ -14,13 +14,14 @@
 //! # Format
 //!
 //! ```text
-//! journal ≜ magic record*
-//! magic   ≜ "RSSLWAL1"                          (8 bytes)
-//! record  ≜ kind:u8 len:u32le payload[len] crc:u32le
-//! kind    ≜ 1 (event) | 2 (commit)
-//! event   ≜ ts:u64le marker
-//! commit  ≜ count:u64le                          (events sealed so far)
-//! marker  ≜ tag:u8 fields…                       (see `codec`)
+//! journal   ≜ magic record*
+//! magic     ≜ "RSSLWAL1"                        (8 bytes)
+//! record    ≜ kind:u8 len:u32le payload[len] crc:u32le
+//! kind      ≜ 1 (event) | 2 (commit) | 3 (telemetry)
+//! event     ≜ ts:u64le marker
+//! commit    ≜ count:u64le                        (events sealed so far)
+//! telemetry ≜ ts:u64le blob                      (opaque `rossl-obs` snapshot)
+//! marker    ≜ tag:u8 fields…                     (see `codec`)
 //! ```
 //!
 //! The CRC-32 (IEEE) covers `kind`, `len` and the payload, so a flip in
@@ -37,9 +38,18 @@
 //! * the **uncommitted** tail events (valid frames after the last
 //!   commit — present but not sealed; recovery protocols that require
 //!   atomicity with environment effects must discard them),
+//! * the **telemetry** snapshots (committed and uncommitted), carried
+//!   as opaque blobs under the same commit discipline,
 //! * an optional typed [`Corruption`] describing why scanning stopped
 //!   early (torn tail, checksum mismatch, oversized or malformed
 //!   record) with the byte offset of the offending frame.
+//!
+//! A checksum-valid frame with an *unknown kind byte* is **not**
+//! corruption: its CRC proves it was written intact, so it must come
+//! from a newer writer. The scanner steps over it, records a
+//! [`SkippedRecord`], and keeps going — forward compatibility that
+//! lets old readers survive journals with record kinds minted after
+//! them (exactly how kind 3, telemetry, was introduced).
 //!
 //! Only a missing or damaged magic header is a hard [`JournalError`] —
 //! there is no prefix to salvage in that case.
@@ -73,7 +83,10 @@ mod writer;
 
 pub use codec::{decode_marker, encode_marker, MarkerDecodeError};
 pub use crc::crc32;
-pub use reader::{recover, Corruption, CorruptionKind, JournalError, Recovered, TimedEvent};
+pub use reader::{
+    recover, Corruption, CorruptionKind, JournalError, Recovered, SkippedRecord, TelemetryRecord,
+    TimedEvent,
+};
 pub use writer::JournalWriter;
 
 /// The 8-byte magic prefix of every journal.
@@ -83,6 +96,9 @@ pub const MAGIC: &[u8; 8] = b"RSSLWAL1";
 pub const KIND_EVENT: u8 = 1;
 /// Record kind: a commit sealing every event written so far.
 pub const KIND_COMMIT: u8 = 2;
+/// Record kind: an opaque timestamped telemetry snapshot (`rossl-obs`
+/// binary format).
+pub const KIND_TELEMETRY: u8 = 3;
 
 /// Upper bound on a single record's payload length. Anything larger is
 /// reported as [`CorruptionKind::OversizedRecord`] *before* allocation:

@@ -9,7 +9,7 @@ use rossl_trace::Marker;
 
 use crate::codec::{decode_marker, MarkerDecodeError};
 use crate::crc::crc32;
-use crate::{KIND_COMMIT, KIND_EVENT, MAGIC, MAX_RECORD_LEN};
+use crate::{KIND_COMMIT, KIND_EVENT, KIND_TELEMETRY, MAGIC, MAX_RECORD_LEN};
 
 /// One journaled marker with the instant it was recorded at.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,16 +45,16 @@ pub enum CorruptionKind {
         /// The declared payload length.
         declared: u32,
     },
-    /// A frame with a valid checksum but an unknown record kind.
-    UnknownRecordKind {
-        /// The unrecognized kind byte.
-        kind: u8,
-    },
     /// An event record whose payload does not decode to a marker.
     MalformedEvent(MarkerDecodeError),
     /// A commit record whose payload is the wrong size or whose sealed
     /// count disagrees with the events actually seen.
     MalformedCommit,
+    /// A telemetry record too short to carry its timestamp.
+    MalformedTelemetry {
+        /// The payload length found (a valid record needs ≥ 8 bytes).
+        len: usize,
+    },
 }
 
 /// A typed description of journal corruption: what went wrong and the
@@ -83,11 +83,11 @@ impl fmt::Display for Corruption {
             CorruptionKind::OversizedRecord { declared } => {
                 write!(f, "declared payload length {declared} exceeds the record cap")
             }
-            CorruptionKind::UnknownRecordKind { kind } => {
-                write!(f, "unknown record kind {kind}")
-            }
             CorruptionKind::MalformedEvent(e) => write!(f, "malformed event: {e}"),
             CorruptionKind::MalformedCommit => write!(f, "malformed commit record"),
+            CorruptionKind::MalformedTelemetry { len } => {
+                write!(f, "telemetry record payload too short ({len} bytes)")
+            }
         }
     }
 }
@@ -111,6 +111,32 @@ impl fmt::Display for JournalError {
 
 impl std::error::Error for JournalError {}
 
+/// One journaled telemetry snapshot: an opaque payload (the
+/// `rossl-obs` binary snapshot format) with the instant it was taken.
+/// The journal does not interpret the blob — `rossl-obs` owns its
+/// layout — so telemetry framing stays stable even as the metric set
+/// evolves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryRecord {
+    /// When the snapshot was taken.
+    pub at: Instant,
+    /// The encoded snapshot bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A record the scanner stepped over because its kind byte is not one
+/// this build understands (forward compatibility: its checksum was
+/// valid, so it was written by a newer writer, not damaged in place).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkippedRecord {
+    /// Byte offset of the skipped frame.
+    pub offset: usize,
+    /// The unrecognized kind byte.
+    pub kind: u8,
+    /// The frame's declared payload length.
+    pub len: u32,
+}
+
 /// The result of recovering a journal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Recovered {
@@ -121,6 +147,14 @@ pub struct Recovered {
     /// never sealed; recovery protocols requiring atomicity with
     /// environment effects must discard them.
     pub uncommitted: Vec<TimedEvent>,
+    /// Telemetry snapshots sealed by the last valid commit record.
+    pub telemetry: Vec<TelemetryRecord>,
+    /// Valid telemetry frames after the last commit (written, never
+    /// sealed).
+    pub uncommitted_telemetry: Vec<TelemetryRecord>,
+    /// Checksum-valid records with kind bytes this build does not
+    /// understand, skipped in place (the scan continued past them).
+    pub skipped: Vec<SkippedRecord>,
     /// Why scanning stopped before the physical end, if it did.
     pub corruption: Option<Corruption>,
 }
@@ -142,7 +176,10 @@ pub fn recover(bytes: &[u8]) -> Result<Recovered, JournalError> {
     }
 
     let mut events: Vec<TimedEvent> = Vec::new();
+    let mut telemetry: Vec<TelemetryRecord> = Vec::new();
+    let mut skipped: Vec<SkippedRecord> = Vec::new();
     let mut committed_len = 0usize;
+    let mut committed_telemetry_len = 0usize;
     let mut corruption = None;
     let mut pos = MAGIC.len();
 
@@ -243,22 +280,51 @@ pub fn recover(bytes: &[u8]) -> Result<Recovered, JournalError> {
                     break;
                 }
                 committed_len = events.len();
+                committed_telemetry_len = telemetry.len();
             }
-            other => {
-                corruption = Some(Corruption {
-                    offset: pos,
-                    kind: CorruptionKind::UnknownRecordKind { kind: other },
+            KIND_TELEMETRY => {
+                if payload.len() < 8 {
+                    corruption = Some(Corruption {
+                        offset: pos,
+                        kind: CorruptionKind::MalformedTelemetry {
+                            len: payload.len(),
+                        },
+                    });
+                    break;
+                }
+                let ts = u64::from_le_bytes([
+                    payload[0], payload[1], payload[2], payload[3], payload[4], payload[5],
+                    payload[6], payload[7],
+                ]);
+                telemetry.push(TelemetryRecord {
+                    at: Instant(ts),
+                    payload: payload[8..].to_vec(),
                 });
-                break;
+            }
+            // Forward compatibility: the checksum already proved this
+            // frame was written intact, so an unrecognized kind byte
+            // means a newer writer, not damage. Step over it and keep
+            // scanning — the frame length is trustworthy for the same
+            // reason.
+            other => {
+                skipped.push(SkippedRecord {
+                    offset: pos,
+                    kind: other,
+                    len,
+                });
             }
         }
         pos += frame_len;
     }
 
     let uncommitted = events.split_off(committed_len);
+    let uncommitted_telemetry = telemetry.split_off(committed_telemetry_len);
     Ok(Recovered {
         committed: events,
         uncommitted,
+        telemetry,
+        uncommitted_telemetry,
+        skipped,
         corruption,
     })
 }
@@ -388,11 +454,65 @@ mod tests {
     }
 
     #[test]
-    fn unknown_record_kind_with_valid_crc_is_reported() {
+    fn unknown_record_kind_with_valid_crc_is_skipped_not_fatal() {
+        // An unknown-but-intact record must not end the scan: the
+        // event after it is still recovered, and the skip is reported.
         let mut bytes = MAGIC.to_vec();
         let start = bytes.len();
         bytes.push(9); // unknown kind
-        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(b"xyz");
+        let crc = crc32(&bytes[start..]);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let mut w = JournalWriter::new();
+        w.append(&Marker::ReadStart, Instant(7));
+        w.commit();
+        bytes.extend_from_slice(&w.into_bytes()[MAGIC.len()..]);
+
+        let rec = recover(&bytes).unwrap();
+        assert!(rec.corruption.is_none());
+        assert_eq!(
+            rec.skipped,
+            vec![SkippedRecord {
+                offset: start,
+                kind: 9,
+                len: 3,
+            }]
+        );
+        assert_eq!(rec.committed.len(), 1);
+        assert_eq!(rec.committed[0].at, Instant(7));
+    }
+
+    #[test]
+    fn telemetry_records_ride_alongside_events_and_commit_seals_both() {
+        let mut w = JournalWriter::new();
+        w.append(&Marker::ReadStart, Instant(1));
+        w.append_telemetry(b"snap-one", Instant(2));
+        w.commit();
+        w.append_telemetry(b"snap-two", Instant(3));
+        let rec = recover(&w.into_bytes()).unwrap();
+        assert_eq!(rec.committed.len(), 1);
+        assert_eq!(
+            rec.telemetry,
+            vec![TelemetryRecord {
+                at: Instant(2),
+                payload: b"snap-one".to_vec(),
+            }]
+        );
+        assert_eq!(rec.uncommitted_telemetry.len(), 1);
+        assert_eq!(rec.uncommitted_telemetry[0].at, Instant(3));
+        assert!(rec.corruption.is_none());
+        assert!(rec.skipped.is_empty());
+    }
+
+    #[test]
+    fn short_telemetry_record_is_malformed() {
+        // A telemetry frame too short for its timestamp.
+        let mut bytes = MAGIC.to_vec();
+        let start = bytes.len();
+        bytes.push(super::KIND_TELEMETRY);
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3, 4]);
         let crc = crc32(&bytes[start..]);
         bytes.extend_from_slice(&crc.to_le_bytes());
         let rec = recover(&bytes).unwrap();
@@ -400,7 +520,7 @@ mod tests {
             rec.corruption,
             Some(Corruption {
                 offset: start,
-                kind: CorruptionKind::UnknownRecordKind { kind: 9 },
+                kind: CorruptionKind::MalformedTelemetry { len: 4 },
             })
         );
     }

@@ -5,7 +5,7 @@ use rossl_trace::Marker;
 
 use crate::codec::encode_marker;
 use crate::crc::crc32;
-use crate::{KIND_COMMIT, KIND_EVENT, MAGIC};
+use crate::{KIND_COMMIT, KIND_EVENT, KIND_TELEMETRY, MAGIC};
 
 /// An in-memory journal being built record by record.
 ///
@@ -46,6 +46,17 @@ impl JournalWriter {
         encode_marker(marker, &mut payload);
         self.push_record(KIND_EVENT, &payload);
         self.events_written += 1;
+    }
+
+    /// Appends one telemetry record: an opaque snapshot blob (the
+    /// `rossl-obs` binary format) stamped with the instant it was
+    /// taken. Telemetry rides in the same commit discipline as events:
+    /// records after the last commit are reported as uncommitted by
+    /// recovery.
+    pub fn append_telemetry(&mut self, snapshot: &[u8], at: Instant) {
+        let mut payload = at.0.to_le_bytes().to_vec();
+        payload.extend_from_slice(snapshot);
+        self.push_record(KIND_TELEMETRY, &payload);
     }
 
     /// Appends a commit record sealing every event written so far.

@@ -7,10 +7,14 @@
 //!    offset yields either a hard `BadHeader` (cuts inside the magic)
 //!    or a valid prefix of the original events, with damage reported as
 //!    a typed corruption — never a panic.
+//! 3. **Forward compatibility** — a checksum-valid record with an
+//!    unknown kind byte, spliced in at *any* record boundary, is
+//!    skipped and reported without disturbing the events, the
+//!    commit split, or the telemetry around it.
 
 use proptest::prelude::*;
 
-use rossl_journal::{recover, JournalError, JournalWriter, MAGIC};
+use rossl_journal::{recover, crc32, JournalError, JournalWriter, MAGIC};
 use rossl_model::{Instant, Job, JobId, SocketId, TaskId};
 use rossl_trace::Marker;
 
@@ -57,6 +61,38 @@ fn write_history(history: &[(Marker, u64, bool)]) -> JournalWriter {
         }
     }
     w
+}
+
+/// Like [`write_history`], also returning every record-boundary byte
+/// offset (positions where a foreign record can legally be spliced).
+fn write_history_with_boundaries(history: &[(Marker, u64, bool)]) -> (Vec<u8>, Vec<usize>) {
+    let mut w = JournalWriter::new();
+    let mut boundaries = vec![w.bytes().len()];
+    for (marker, ts, commit_after) in history {
+        w.append(marker, Instant(*ts));
+        boundaries.push(w.bytes().len());
+        if *commit_after {
+            w.commit();
+            boundaries.push(w.bytes().len());
+        }
+    }
+    (w.into_bytes(), boundaries)
+}
+
+/// A checksum-valid frame whose kind byte no current reader knows.
+fn foreign_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = vec![kind];
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let crc = crc32(&frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+/// Kind bytes no current reader understands (1–3 are event, commit,
+/// telemetry).
+fn arb_unknown_kind() -> impl Strategy<Value = u8> {
+    prop_oneof![Just(0u8), 4u8..=255]
 }
 
 proptest! {
@@ -159,5 +195,64 @@ proptest! {
             .collect();
         prop_assert!(got.len() <= all.len());
         prop_assert_eq!(&all[..got.len()], &got[..]);
+    }
+
+    /// Splicing one checksum-valid unknown-kind record at EVERY record
+    /// boundary leaves the recovered events, the committed/uncommitted
+    /// split, and the corruption status untouched; the alien record is
+    /// reported in `skipped` at its exact offset.
+    #[test]
+    fn unknown_kind_record_at_every_boundary_is_skipped_losslessly(
+        history in arb_history(),
+        kind in arb_unknown_kind(),
+        payload in proptest::collection::vec(0u8..=255, 0..16),
+    ) {
+        let (bytes, boundaries) = write_history_with_boundaries(&history);
+        let clean = recover(&bytes).unwrap();
+        prop_assert!(clean.corruption.is_none());
+        let frame = foreign_frame(kind, &payload);
+
+        for &at in &boundaries {
+            let mut spliced = bytes[..at].to_vec();
+            spliced.extend_from_slice(&frame);
+            spliced.extend_from_slice(&bytes[at..]);
+
+            let rec = recover(&spliced).unwrap();
+            prop_assert!(rec.corruption.is_none(), "splice at {} broke the scan", at);
+            prop_assert_eq!(&rec.committed, &clean.committed, "splice at {}", at);
+            prop_assert_eq!(&rec.uncommitted, &clean.uncommitted, "splice at {}", at);
+            prop_assert_eq!(rec.skipped.len(), 1, "splice at {}", at);
+            prop_assert_eq!(rec.skipped[0].offset, at);
+            prop_assert_eq!(rec.skipped[0].kind, kind);
+            prop_assert_eq!(rec.skipped[0].len, payload.len() as u32);
+        }
+    }
+
+    /// Telemetry records ride the same commit discipline as events:
+    /// blobs round-trip byte-for-byte and split at the last commit.
+    #[test]
+    fn telemetry_round_trips_under_the_commit_discipline(
+        blobs in proptest::collection::vec(
+            (proptest::collection::vec(0u8..=255, 0..32), 0u64..10_000, proptest::bool::ANY),
+            0..12,
+        ),
+    ) {
+        let mut w = JournalWriter::new();
+        for (blob, ts, commit_after) in &blobs {
+            w.append_telemetry(blob, Instant(*ts));
+            if *commit_after {
+                w.commit();
+            }
+        }
+        let rec = recover(&w.into_bytes()).unwrap();
+        prop_assert!(rec.corruption.is_none());
+        let all: Vec<_> = rec.telemetry.iter().chain(&rec.uncommitted_telemetry).collect();
+        prop_assert_eq!(all.len(), blobs.len());
+        for (got, (blob, ts, _)) in all.iter().zip(&blobs) {
+            prop_assert_eq!(&got.payload, blob);
+            prop_assert_eq!(got.at, Instant(*ts));
+        }
+        let committed_len = blobs.iter().rposition(|(_, _, c)| *c).map_or(0, |i| i + 1);
+        prop_assert_eq!(rec.telemetry.len(), committed_len);
     }
 }

@@ -1,0 +1,420 @@
+//! Pre-wired instrument bundles for each instrumented subsystem, plus
+//! the scheduler's batched hot-path sink.
+//!
+//! The bundles fix the metric names (the `sched.*`, `supervisor.*`,
+//! `verify.*`, `campaign.*` namespaces documented in DESIGN §7) so
+//! every layer reports into the same registry without string plumbing
+//! at call sites.
+//!
+//! ## The hot-path contract
+//!
+//! The scheduler does not touch an atomic per step. It accumulates
+//! plain-integer [`StepCounts`] locally and hands the whole batch to
+//! [`SchedSink::flush`] at quiescent points (idle decisions, job
+//! completions, end of run). With [`SchedSink::Noop`] the flush is one
+//! discriminant test — that branch is the entire cost of disabled
+//! instrumentation, which E19 measures and DESIGN §7 budgets at < 5%.
+
+use std::sync::Arc;
+
+use crate::hist::Histogram;
+use crate::metrics::{Counter, Gauge, HighWater};
+use crate::registry::Registry;
+use crate::span::{SpanEvent, SpanLog};
+
+/// Locally accumulated scheduler-loop counts, flushed in one batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepCounts {
+    /// State-machine steps taken (`advance` calls).
+    pub steps: u64,
+    /// Socket reads that returned a message.
+    pub reads_ok: u64,
+    /// Socket reads that found every queue empty.
+    pub reads_empty: u64,
+    /// Jobs dispatched to execution.
+    pub dispatches: u64,
+    /// Jobs that ran to completion.
+    pub completions: u64,
+    /// Idle decisions (nothing pending).
+    pub idles: u64,
+    /// Arrivals shed by overload degradation.
+    pub sheds: u64,
+    /// Watchdog-detected budget overruns.
+    pub overruns: u64,
+}
+
+impl StepCounts {
+    /// True when nothing has been accumulated since the last flush.
+    pub fn is_empty(&self) -> bool {
+        self.steps == 0
+    }
+}
+
+/// Scheduler-loop instruments, registered under `sched.*`.
+#[derive(Debug)]
+pub struct SchedulerMetrics {
+    /// Total `advance` steps.
+    pub steps: Arc<Counter>,
+    /// Reads that delivered a message.
+    pub reads_ok: Arc<Counter>,
+    /// Reads that found all queues empty.
+    pub reads_empty: Arc<Counter>,
+    /// Dispatched jobs.
+    pub dispatches: Arc<Counter>,
+    /// Completed jobs.
+    pub completions: Arc<Counter>,
+    /// Idle decisions.
+    pub idles: Arc<Counter>,
+    /// Shed arrivals (overload degradation).
+    pub sheds: Arc<Counter>,
+    /// Watchdog overruns.
+    pub overruns: Arc<Counter>,
+    /// Pending-queue depth at the last flush.
+    pub queue_depth: Arc<Gauge>,
+    /// Deepest pending queue seen at any flush.
+    pub queue_high_water: Arc<HighWater>,
+    /// Batch flushes performed (telemetry meta-metric).
+    pub flushes: Arc<Counter>,
+}
+
+impl SchedulerMetrics {
+    /// Registers the `sched.*` instruments in `registry`.
+    pub fn register(registry: &Registry) -> Arc<SchedulerMetrics> {
+        Arc::new(SchedulerMetrics {
+            steps: registry.counter("sched.steps"),
+            reads_ok: registry.counter("sched.reads_ok"),
+            reads_empty: registry.counter("sched.reads_empty"),
+            dispatches: registry.counter("sched.dispatches"),
+            completions: registry.counter("sched.completions"),
+            idles: registry.counter("sched.idles"),
+            sheds: registry.counter("sched.sheds"),
+            overruns: registry.counter("sched.overruns"),
+            queue_depth: registry.gauge("sched.queue_depth"),
+            queue_high_water: registry.high_water("sched.queue_high_water"),
+            flushes: registry.counter("sched.telemetry_flushes"),
+        })
+    }
+
+    /// Applies one accumulated batch plus the current queue depth.
+    pub fn apply(&self, batch: StepCounts, queue_depth: u64) {
+        self.steps.add(batch.steps);
+        self.reads_ok.add(batch.reads_ok);
+        self.reads_empty.add(batch.reads_empty);
+        self.dispatches.add(batch.dispatches);
+        self.completions.add(batch.completions);
+        self.idles.add(batch.idles);
+        self.sheds.add(batch.sheds);
+        self.overruns.add(batch.overruns);
+        self.queue_depth
+            .set(i64::try_from(queue_depth).unwrap_or(i64::MAX));
+        self.queue_high_water.observe(queue_depth);
+        self.flushes.inc();
+    }
+}
+
+/// Where the scheduler's batched counts go. `Noop` costs one branch.
+#[derive(Debug, Clone, Default)]
+pub enum SchedSink {
+    /// Instrumentation disabled: flushes are discarded.
+    #[default]
+    Noop,
+    /// Instrumentation enabled: flushes land in a [`SchedulerMetrics`]
+    /// bundle.
+    Metrics(Arc<SchedulerMetrics>),
+}
+
+impl SchedSink {
+    /// True when flushes reach a live bundle.
+    pub fn enabled(&self) -> bool {
+        matches!(self, SchedSink::Metrics(_))
+    }
+
+    /// Delivers one batch (no-op for [`SchedSink::Noop`]).
+    pub fn flush(&self, batch: StepCounts, queue_depth: u64) {
+        if let SchedSink::Metrics(m) = self {
+            m.apply(batch, queue_depth);
+        }
+    }
+}
+
+/// Supervisor instruments, registered under `supervisor.*`.
+#[derive(Debug)]
+pub struct SupervisorMetrics {
+    /// Successful restarts.
+    pub restarts: Arc<Counter>,
+    /// Restart attempts that themselves crashed.
+    pub failed_restarts: Arc<Counter>,
+    /// Backoff waited before each restart, in ticks.
+    pub backoff_ticks: Arc<Histogram>,
+    /// Journal events replayed per restart.
+    pub replayed_events: Arc<Histogram>,
+    /// Jobs re-pended from the journal per restart.
+    pub repended_jobs: Arc<Histogram>,
+    /// Wall-clock restart duration (recover + rebuild), microseconds.
+    pub restart_us: Arc<Histogram>,
+    /// Span log receiving one `restart` span per recovery.
+    pub spans: Arc<SpanLog>,
+}
+
+impl SupervisorMetrics {
+    /// Registers the `supervisor.*` instruments in `registry`, sharing
+    /// `spans` with other bundles.
+    pub fn register(registry: &Registry, spans: Arc<SpanLog>) -> Arc<SupervisorMetrics> {
+        Arc::new(SupervisorMetrics {
+            restarts: registry.counter("supervisor.restarts"),
+            failed_restarts: registry.counter("supervisor.failed_restarts"),
+            backoff_ticks: registry.histogram("supervisor.backoff_ticks"),
+            replayed_events: registry.histogram("supervisor.replayed_events"),
+            repended_jobs: registry.histogram("supervisor.repended_jobs"),
+            restart_us: registry.histogram("supervisor.restart_us"),
+            spans,
+        })
+    }
+
+    /// Records one successful restart: the backoff it waited, what it
+    /// replayed, and how long recovery took.
+    pub fn record_restart(
+        &self,
+        attempt: u64,
+        backoff_ticks: u64,
+        replayed_events: u64,
+        repended_jobs: u64,
+        wall_us: u64,
+    ) {
+        self.restarts.inc();
+        self.backoff_ticks.observe(backoff_ticks);
+        self.replayed_events.observe(replayed_events);
+        self.repended_jobs.observe(repended_jobs);
+        self.restart_us.observe(wall_us);
+        self.spans.record(
+            SpanEvent::new("supervisor", "restart")
+                .field("attempt", attempt)
+                .field("backoff_ticks", backoff_ticks)
+                .field("replayed_events", replayed_events)
+                .field("repended_jobs", repended_jobs)
+                .field("wall_us", wall_us),
+        );
+    }
+}
+
+/// Model-checker / crash-sweep instruments, registered under
+/// `verify.*`.
+#[derive(Debug)]
+pub struct VerifierMetrics {
+    /// Paths walked to their ends.
+    pub explored_paths: Arc<Counter>,
+    /// Steps taken on explored paths.
+    pub explored_steps: Arc<Counter>,
+    /// Paths cut off by deduplication.
+    pub pruned_paths: Arc<Counter>,
+    /// Steps saved by deduplication.
+    pub pruned_steps: Arc<Counter>,
+    /// Memo-table lookups.
+    pub memo_lookups: Arc<Counter>,
+    /// Memo-table hits.
+    pub memo_hits: Arc<Counter>,
+    /// Subtrees donated to starving workers (steal count).
+    pub donations: Arc<Counter>,
+    /// Deepest exploration frontier reached, in steps.
+    pub frontier_depth: Arc<HighWater>,
+    /// Dedup hit rate at the last recorded run, in permille.
+    pub dedup_hit_permille: Arc<Gauge>,
+    /// Crash points enumerated by the crash sweep.
+    pub crash_points: Arc<Counter>,
+    /// Recovery continuations explored by the crash sweep.
+    pub crash_recoveries: Arc<Counter>,
+}
+
+impl VerifierMetrics {
+    /// Registers the `verify.*` instruments in `registry`.
+    pub fn register(registry: &Registry) -> Arc<VerifierMetrics> {
+        Arc::new(VerifierMetrics {
+            explored_paths: registry.counter("verify.explored_paths"),
+            explored_steps: registry.counter("verify.explored_steps"),
+            pruned_paths: registry.counter("verify.pruned_paths"),
+            pruned_steps: registry.counter("verify.pruned_steps"),
+            memo_lookups: registry.counter("verify.memo_lookups"),
+            memo_hits: registry.counter("verify.memo_hits"),
+            donations: registry.counter("verify.donations"),
+            frontier_depth: registry.high_water("verify.frontier_depth"),
+            dedup_hit_permille: registry.gauge("verify.dedup_hit_permille"),
+            crash_points: registry.counter("verify.crash_points"),
+            crash_recoveries: registry.counter("verify.crash_recoveries"),
+        })
+    }
+
+    /// Records one exploration's work split (the checker passes its
+    /// `ExploreStats` fields so this crate stays dependency-free).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_exploration(
+        &self,
+        explored_paths: u64,
+        explored_steps: u64,
+        pruned_paths: u64,
+        pruned_steps: u64,
+        memo_lookups: u64,
+        memo_hits: u64,
+        max_depth: u64,
+    ) {
+        self.explored_paths.add(explored_paths);
+        self.explored_steps.add(explored_steps);
+        self.pruned_paths.add(pruned_paths);
+        self.pruned_steps.add(pruned_steps);
+        self.memo_lookups.add(memo_lookups);
+        self.memo_hits.add(memo_hits);
+        self.frontier_depth.observe(max_depth);
+        let permille = memo_hits
+            .saturating_mul(1000)
+            .checked_div(memo_lookups)
+            .unwrap_or(0);
+        self.dedup_hit_permille.set(permille as i64);
+    }
+}
+
+/// Fault-campaign instruments, registered under `campaign.*`.
+///
+/// Per-class detection-latency histograms are registered lazily (the
+/// class set is data, not code), so the bundle keeps its registry.
+#[derive(Debug)]
+pub struct CampaignMetrics {
+    registry: Arc<Registry>,
+    /// Faulty runs executed.
+    pub runs: Arc<Counter>,
+    /// Runs whose injected fault was detected by a checker.
+    pub detections: Arc<Counter>,
+    /// Runs whose injected fault escaped every checker.
+    pub escapes: Arc<Counter>,
+    /// Span log receiving one span per faulty run.
+    pub spans: Arc<SpanLog>,
+}
+
+impl CampaignMetrics {
+    /// Registers the `campaign.*` instruments in `registry`, sharing
+    /// `spans` with other bundles.
+    pub fn register(registry: Arc<Registry>, spans: Arc<SpanLog>) -> Arc<CampaignMetrics> {
+        Arc::new(CampaignMetrics {
+            runs: registry.counter("campaign.runs"),
+            detections: registry.counter("campaign.detections"),
+            escapes: registry.counter("campaign.escapes"),
+            registry,
+            spans,
+        })
+    }
+
+    /// Records one faulty run: which class, whether a checker caught
+    /// it, and the verification wall time (the detection latency).
+    pub fn record_run(
+        &self,
+        class: &str,
+        seed: u64,
+        injections: u64,
+        detected: bool,
+        verify_wall_us: u64,
+    ) {
+        self.runs.inc();
+        self.registry
+            .counter(&format!("campaign.runs.{class}"))
+            .inc();
+        self.registry
+            .histogram(&format!("campaign.verify_us.{class}"))
+            .observe(verify_wall_us);
+        if detected {
+            self.detections.inc();
+            self.registry
+                .counter(&format!("campaign.detected.{class}"))
+                .inc();
+            self.registry
+                .histogram(&format!("campaign.detection_latency_us.{class}"))
+                .observe(verify_wall_us);
+        } else {
+            self.escapes.inc();
+        }
+        self.spans.record(
+            SpanEvent::new("campaign", class.to_string())
+                .field("seed", seed)
+                .field("injections", injections)
+                .field("detected", u64::from(detected))
+                .field("verify_wall_us", verify_wall_us),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_discards_and_metrics_sink_applies() {
+        let batch = StepCounts {
+            steps: 10,
+            reads_ok: 2,
+            reads_empty: 3,
+            dispatches: 2,
+            completions: 2,
+            idles: 1,
+            sheds: 0,
+            overruns: 0,
+        };
+        assert!(!SchedSink::Noop.enabled());
+        SchedSink::Noop.flush(batch, 4); // must not panic, goes nowhere
+
+        let reg = Registry::new();
+        let bundle = SchedulerMetrics::register(&reg);
+        let sink = SchedSink::Metrics(Arc::clone(&bundle));
+        assert!(sink.enabled());
+        sink.flush(batch, 4);
+        sink.flush(batch, 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sched.steps"), Some(20));
+        assert_eq!(snap.counter("sched.completions"), Some(4));
+        assert_eq!(snap.gauge("sched.queue_depth"), Some(2));
+        assert_eq!(snap.high_water("sched.queue_high_water"), Some(4));
+        assert_eq!(snap.counter("sched.telemetry_flushes"), Some(2));
+    }
+
+    #[test]
+    fn supervisor_restart_feeds_metrics_and_span() {
+        let reg = Registry::new();
+        let spans = Arc::new(SpanLog::new());
+        let sup = SupervisorMetrics::register(&reg, Arc::clone(&spans));
+        sup.record_restart(1, 8, 40, 3, 120);
+        assert_eq!(reg.snapshot().counter("supervisor.restarts"), Some(1));
+        let span = &spans.events_in("supervisor")[0];
+        assert_eq!(span.get("backoff_ticks"), Some(8));
+        assert_eq!(span.get("replayed_events"), Some(40));
+        assert_eq!(span.get("repended_jobs"), Some(3));
+    }
+
+    #[test]
+    fn verifier_exploration_sets_dedup_rate() {
+        let reg = Registry::new();
+        let vm = VerifierMetrics::register(&reg);
+        vm.record_exploration(100, 5000, 40, 2000, 140, 40, 60);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("verify.explored_steps"), Some(5000));
+        assert_eq!(snap.counter("verify.pruned_paths"), Some(40));
+        assert_eq!(snap.gauge("verify.dedup_hit_permille"), Some(285));
+        assert_eq!(snap.high_water("verify.frontier_depth"), Some(60));
+    }
+
+    #[test]
+    fn campaign_records_per_class_lazily() {
+        let reg = Arc::new(Registry::new());
+        let spans = Arc::new(SpanLog::new());
+        let cm = CampaignMetrics::register(Arc::clone(&reg), Arc::clone(&spans));
+        cm.record_run("wcet_overrun", 7, 3, true, 900);
+        cm.record_run("wcet_overrun", 8, 2, false, 700);
+        cm.record_run("drop_marker", 9, 1, true, 50);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("campaign.runs"), Some(3));
+        assert_eq!(snap.counter("campaign.detections"), Some(2));
+        assert_eq!(snap.counter("campaign.escapes"), Some(1));
+        assert_eq!(snap.counter("campaign.detected.wcet_overrun"), Some(1));
+        assert_eq!(
+            snap.histogram("campaign.detection_latency_us.drop_marker")
+                .map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(spans.events_in("campaign").len(), 3);
+    }
+}

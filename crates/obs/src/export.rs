@@ -1,0 +1,399 @@
+//! Snapshot exporters: text, JSON, and a binary codec for the journal.
+//!
+//! The binary format is the payload of the journal's `Telemetry`
+//! record kind (see `rossl-journal`): the journal stores it as an
+//! opaque blob, and this module is the single owner of its layout.
+//!
+//! ## Binary layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! snapshot  = ver:u8(=1) n:u32 metric*
+//! metric    = tag:u8 name_len:u16 name:utf8 value
+//! value     = counter:   v:u64                         (tag 1)
+//!           | gauge:     v:i64                         (tag 2)
+//!           | highwater: v:u64                         (tag 3)
+//!           | histogram: sum:u64 max:u64 nb:u16        (tag 4)
+//!                        (idx:u16 count:u64)*
+//! ```
+//!
+//! The histogram count is not stored: it is recomputed from the bucket
+//! list on decode, which preserves the `count == Σ buckets` invariant
+//! across the round trip.
+
+use std::fmt::Write as _;
+
+use crate::hist::{bucket_floor, HistogramSnapshot};
+use crate::registry::{MetricSnapshot, MetricValue, Snapshot};
+
+/// Binary snapshot format version written by [`encode_snapshot`].
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+const TAG_COUNTER: u8 = 1;
+const TAG_GAUGE: u8 = 2;
+const TAG_HIGH_WATER: u8 = 3;
+const TAG_HISTOGRAM: u8 = 4;
+
+/// Renders a snapshot as aligned human-readable text, one metric per
+/// line, histograms summarized by count/quantiles/max.
+pub fn render_text(snapshot: &Snapshot) -> String {
+    let width = snapshot
+        .metrics
+        .iter()
+        .map(|m| m.name.len())
+        .max()
+        .unwrap_or(0)
+        .max(16);
+    let mut out = String::new();
+    for m in &snapshot.metrics {
+        match &m.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "counter    {:width$}  {v}", m.name);
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "gauge      {:width$}  {v}", m.name);
+            }
+            MetricValue::HighWater(v) => {
+                let _ = writeln!(out, "high-water {:width$}  {v}", m.name);
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(
+                    out,
+                    "histogram  {:width$}  count={} mean={:.1} p50~{} p99~{} max={}",
+                    m.name,
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.max
+                );
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a snapshot as a JSON document: an object with a `metrics`
+/// array; histogram buckets carry their lower-bound value alongside
+/// the raw bucket index.
+pub fn render_json(snapshot: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"metrics\": [");
+    for (i, m) in snapshot.metrics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"name\": \"");
+        json_escape(&m.name, &mut out);
+        out.push_str("\", ");
+        match &m.value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "\"kind\": \"counter\", \"value\": {v}}}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, "\"kind\": \"gauge\", \"value\": {v}}}");
+            }
+            MetricValue::HighWater(v) => {
+                let _ = write!(out, "\"kind\": \"high_water\", \"value\": {v}}}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    "\"kind\": \"histogram\", \"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [",
+                    h.count, h.sum, h.max
+                );
+                for (j, &(idx, n)) in h.buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "[{}, {}, {}]", idx, bucket_floor(idx as usize), n);
+                }
+                out.push_str("]}");
+            }
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Serializes a snapshot into the version-1 binary layout.
+pub fn encode_snapshot(snapshot: &Snapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.push(SNAPSHOT_VERSION);
+    buf.extend_from_slice(&(snapshot.metrics.len() as u32).to_le_bytes());
+    for m in &snapshot.metrics {
+        let (tag, name) = match &m.value {
+            MetricValue::Counter(_) => (TAG_COUNTER, &m.name),
+            MetricValue::Gauge(_) => (TAG_GAUGE, &m.name),
+            MetricValue::HighWater(_) => (TAG_HIGH_WATER, &m.name),
+            MetricValue::Histogram(_) => (TAG_HISTOGRAM, &m.name),
+        };
+        buf.push(tag);
+        let name_bytes = name.as_bytes();
+        buf.extend_from_slice(&(name_bytes.len().min(u16::MAX as usize) as u16).to_le_bytes());
+        buf.extend_from_slice(&name_bytes[..name_bytes.len().min(u16::MAX as usize)]);
+        match &m.value {
+            MetricValue::Counter(v) | MetricValue::HighWater(v) => {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            MetricValue::Gauge(v) => buf.extend_from_slice(&v.to_le_bytes()),
+            MetricValue::Histogram(h) => {
+                buf.extend_from_slice(&h.sum.to_le_bytes());
+                buf.extend_from_slice(&h.max.to_le_bytes());
+                buf.extend_from_slice(&(h.buckets.len() as u16).to_le_bytes());
+                for &(idx, n) in &h.buckets {
+                    buf.extend_from_slice(&idx.to_le_bytes());
+                    buf.extend_from_slice(&n.to_le_bytes());
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Why a binary snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotDecodeError {
+    /// The payload ended before the structure it promised.
+    Truncated {
+        /// Byte offset at which more input was required.
+        offset: usize,
+    },
+    /// The leading version byte is not one this build understands.
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// A metric carried an unknown kind tag.
+    UnknownTag {
+        /// The tag byte found.
+        tag: u8,
+    },
+    /// A metric name was not valid UTF-8.
+    BadName,
+    /// Input remained after the last promised metric.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotDecodeError::Truncated { offset } => {
+                write!(f, "telemetry snapshot truncated at byte {offset}")
+            }
+            SnapshotDecodeError::BadVersion { found } => {
+                write!(
+                    f,
+                    "telemetry snapshot version {found} is not supported (expected {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotDecodeError::UnknownTag { tag } => {
+                write!(f, "telemetry snapshot contains unknown metric tag {tag}")
+            }
+            SnapshotDecodeError::BadName => {
+                write!(f, "telemetry snapshot metric name is not valid UTF-8")
+            }
+            SnapshotDecodeError::TrailingBytes { extra } => {
+                write!(f, "telemetry snapshot has {extra} trailing bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotDecodeError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(SnapshotDecodeError::Truncated { offset: self.pos });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotDecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotDecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotDecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotDecodeError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+}
+
+/// Parses a version-1 binary snapshot produced by [`encode_snapshot`].
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, SnapshotDecodeError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let ver = cur.u8()?;
+    if ver != SNAPSHOT_VERSION {
+        return Err(SnapshotDecodeError::BadVersion { found: ver });
+    }
+    let n = cur.u32()? as usize;
+    let mut metrics = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let tag = cur.u8()?;
+        let name_len = cur.u16()? as usize;
+        let name = std::str::from_utf8(cur.take(name_len)?)
+            .map_err(|_| SnapshotDecodeError::BadName)?
+            .to_string();
+        let value = match tag {
+            TAG_COUNTER => MetricValue::Counter(cur.u64()?),
+            TAG_GAUGE => MetricValue::Gauge(i64::from_le_bytes(cur.u64()?.to_le_bytes())),
+            TAG_HIGH_WATER => MetricValue::HighWater(cur.u64()?),
+            TAG_HISTOGRAM => {
+                let sum = cur.u64()?;
+                let max = cur.u64()?;
+                let nb = cur.u16()? as usize;
+                let mut buckets = Vec::with_capacity(nb.min(1024));
+                let mut count = 0u64;
+                for _ in 0..nb {
+                    let idx = cur.u16()?;
+                    let bn = cur.u64()?;
+                    count = count.wrapping_add(bn);
+                    buckets.push((idx, bn));
+                }
+                MetricValue::Histogram(HistogramSnapshot {
+                    count,
+                    sum,
+                    max,
+                    buckets,
+                })
+            }
+            tag => return Err(SnapshotDecodeError::UnknownTag { tag }),
+        };
+        metrics.push(MetricSnapshot { name, value });
+    }
+    if cur.pos != bytes.len() {
+        return Err(SnapshotDecodeError::TrailingBytes {
+            extra: bytes.len() - cur.pos,
+        });
+    }
+    Ok(Snapshot { metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("sched.steps").add(4242);
+        reg.gauge("obs.margin.control").set(-17);
+        reg.high_water("sched.queue_high_water").observe(9);
+        let h = reg.histogram("obs.response.control");
+        for v in [3u64, 40, 40, 500] {
+            h.observe(v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact() {
+        let snap = sample();
+        let decoded = decode_snapshot(&encode_snapshot(&snap)).expect("round trip");
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        assert_eq!(decode_snapshot(&encode_snapshot(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode_snapshot(&sample());
+        for cut in 0..bytes.len() {
+            let err = decode_snapshot(&bytes[..cut]).expect_err("truncated input must fail");
+            assert!(
+                matches!(err, SnapshotDecodeError::Truncated { .. }),
+                "cut at {cut}: got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_snapshot(&sample());
+        bytes.push(0);
+        assert_eq!(
+            decode_snapshot(&bytes),
+            Err(SnapshotDecodeError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_version_and_tag_are_typed() {
+        let mut bytes = encode_snapshot(&sample());
+        bytes[0] = 9;
+        assert_eq!(
+            decode_snapshot(&bytes),
+            Err(SnapshotDecodeError::BadVersion { found: 9 })
+        );
+        bytes[0] = SNAPSHOT_VERSION;
+        bytes[5] = 200; // first metric's kind tag
+        assert_eq!(
+            decode_snapshot(&bytes),
+            Err(SnapshotDecodeError::UnknownTag { tag: 200 })
+        );
+    }
+
+    #[test]
+    fn text_render_mentions_every_metric() {
+        let text = render_text(&sample());
+        for name in [
+            "sched.steps",
+            "obs.margin.control",
+            "sched.queue_high_water",
+            "obs.response.control",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("count=4"));
+        assert!(text.contains("-17"));
+    }
+
+    #[test]
+    fn json_render_is_structured_and_escaped() {
+        let reg = Registry::new();
+        reg.counter("weird\"name\\x").inc();
+        let json = render_json(&reg.snapshot());
+        assert!(json.contains("\"weird\\\"name\\\\x\""), "json:\n{json}");
+        let json = render_json(&sample());
+        assert!(json.contains("\"kind\": \"histogram\""));
+        assert!(json.contains("\"kind\": \"gauge\", \"value\": -17"));
+        // Bucket triples are [index, floor, count].
+        assert!(json.contains("[3, 3, 1]"), "json:\n{json}");
+    }
+}

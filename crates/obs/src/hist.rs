@@ -1,0 +1,252 @@
+//! Lock-free log-linear histograms.
+//!
+//! Values are bucketed on a log-linear grid: four linear sub-buckets
+//! per power of two, so relative bucket width is bounded by 25% across
+//! the whole `u64` range while the table stays small (252 buckets).
+//! This is the classic HdrHistogram/DDSketch trade-off, rebuilt on
+//! plain atomics so recording is a single `fetch_add` with no locking,
+//! no allocation and no failure path.
+//!
+//! Recording updates three families of atomics (bucket, sum, max) with
+//! `Relaxed` ordering. A concurrent snapshot may therefore observe a
+//! value's bucket increment without its sum increment (or vice versa);
+//! once writers quiesce, all views agree exactly. The snapshot *count*
+//! is always derived from the bucket array itself, so the invariant
+//! `count == Σ buckets` holds in every snapshot by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Total bucket count covering all of `u64`: values 0..4 get exact
+/// buckets, then 4 linear sub-buckets (2 mantissa bits) for each
+/// magnitude 2..=63.
+pub const BUCKETS: usize = 4 + 4 * 62;
+
+/// The bucket index holding `v`.
+///
+/// Exact for `v < 4`; above that, the index packs the magnitude
+/// (position of the most significant bit) with the top two mantissa
+/// bits below it.
+pub fn bucket_index(v: u64) -> usize {
+    let msb = 63 - (v | 1).leading_zeros() as usize;
+    if msb < 2 {
+        v as usize
+    } else {
+        4 * (msb - 1) + ((v >> (msb - 2)) & 3) as usize
+    }
+}
+
+/// The smallest value that lands in bucket `idx` (the inverse of
+/// [`bucket_index`] on bucket lower bounds).
+pub fn bucket_floor(idx: usize) -> u64 {
+    if idx < 4 {
+        idx as u64
+    } else {
+        let mag = idx / 4 + 1;
+        let sub = (idx % 4) as u64;
+        (1u64 << mag) + sub * (1u64 << (mag - 2))
+    }
+}
+
+/// A concurrent log-linear histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free: one `fetch_add` on the bucket,
+    /// one on the sum, one `fetch_max` on the max.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples (one pass over the buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy. The count is derived from the copied
+    /// bucket array, so `snapshot.count == Σ snapshot.buckets` holds
+    /// even while writers are racing.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                count += n;
+                buckets.push((idx as u16, n));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            max: self.max(),
+            buckets,
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state: only non-empty
+/// buckets are materialized, as `(bucket index, sample count)` pairs
+/// sorted by index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples, always equal to the sum of `buckets` counts.
+    pub count: u64,
+    /// Sum of all samples (may lag `count` under concurrent writes).
+    pub sum: u64,
+    /// Largest sample recorded.
+    pub max: u64,
+    /// Non-empty `(bucket index, count)` pairs in ascending index order.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// An approximate quantile (`q` in `[0, 1]`): the lower bound of
+    /// the bucket containing the `⌈q·count⌉`-th sample, clamped to
+    /// `max` for the top bucket. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(idx as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean sample value (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn floors_are_fixed_points_and_indices_are_monotone() {
+        for idx in 0..BUCKETS {
+            assert_eq!(
+                bucket_index(bucket_floor(idx)),
+                idx,
+                "floor of bucket {idx} must map back to it"
+            );
+        }
+        let mut prev = 0;
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 100, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "bucket index must be monotone in the value");
+            assert!(idx < BUCKETS);
+            assert!(bucket_floor(idx) <= v, "floor must not exceed the value");
+            prev = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Above the exact range, the bucket width is a quarter of the
+        // magnitude, so floor(v) > v * 4/5 always holds.
+        for shift in 2..63 {
+            for off in [0u64, 1, (1 << shift) / 3, (1 << shift) - 1] {
+                let v = (1u64 << shift) + off;
+                let lo = bucket_floor(bucket_index(v));
+                assert!(lo <= v);
+                assert!(
+                    (v - lo) * 4 < v,
+                    "bucket floor too far below value: v={v} lo={lo}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_internally_consistent() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 5, 5, 900, 900, 900, u64::MAX] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.count, s.buckets.iter().map(|&(_, n)| n).sum::<u64>());
+        assert_eq!(s.max, u64::MAX);
+        // The atomic sum wraps on overflow, as `fetch_add` does.
+        assert_eq!(s.sum, (1u64 + 2 + 3 + 5 + 5 + 900 * 3).wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!((400..=500).contains(&p50), "p50 ~ 500, got {p50}");
+        assert!((792..=990).contains(&p99), "p99 ~ 990, got {p99}");
+        assert_eq!(s.quantile(1.0), 1000);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Scalar metric primitives: counters, gauges and high-water marks.
+//!
+//! All three are single atomic words updated with `Relaxed` ordering:
+//! recording never takes a lock, never allocates and never fails, so an
+//! instrument can sit on the scheduler hot path. Cross-metric ordering
+//! is deliberately unspecified — a snapshot is a statistical picture,
+//! not a linearization point — but no increment is ever lost: every
+//! update is an atomic read-modify-write.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depth, margin, …): last write
+/// wins.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// A gauge starting at `v`.
+    pub fn with_value(v: i64) -> Gauge {
+        Gauge(AtomicI64::new(v))
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Shifts the value by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A running maximum: records the largest value ever observed.
+#[derive(Debug, Default)]
+pub struct HighWater(AtomicU64);
+
+impl HighWater {
+    /// A high-water mark starting at zero.
+    pub fn new() -> HighWater {
+        HighWater(AtomicU64::new(0))
+    }
+
+    /// Raises the mark to `v` if `v` exceeds it.
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The largest value observed so far.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_sets_and_shifts() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-25);
+        assert_eq!(g.get(), -15);
+        assert_eq!(Gauge::with_value(-3).get(), -3);
+    }
+
+    #[test]
+    fn high_water_only_rises() {
+        let h = HighWater::new();
+        h.observe(7);
+        h.observe(3);
+        assert_eq!(h.get(), 7);
+        h.observe(9);
+        assert_eq!(h.get(), 9);
+    }
+}

@@ -1,0 +1,288 @@
+//! The bound-margin observatory: live comparison of observed response
+//! times against the analytical bounds.
+//!
+//! The Prosa-side analysis produces, per task, a response-time bound
+//! `R_i` (plus arrival jitter `J_i` when the claim is stated against
+//! arrival; see Thm 5.1 in the paper). The observatory holds one
+//! channel per tracked task: an observed response-time histogram, a
+//! high-water mark, a *margin* gauge (`bound − high-water`, which goes
+//! negative exactly when the bound has been broken), and a violations
+//! counter. Feeding an observation that exceeds the bound returns a
+//! typed [`BoundViolation`] naming the job and the gap, and appends it
+//! to a bounded alert buffer.
+//!
+//! Task and job identities are plain integers here — the crate is
+//! dependency-free by design, so callers pass `TaskId.0` / `JobId.0`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::hist::Histogram;
+use crate::metrics::{Counter, Gauge, HighWater};
+use crate::registry::Registry;
+
+/// Default capacity of the alert ring buffer.
+const DEFAULT_ALERT_CAP: usize = 256;
+
+/// An observed response time exceeded the analytical bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundViolation {
+    /// The raw job id (`JobId.0`) whose response broke the bound.
+    pub job: u64,
+    /// The raw task id (`TaskId.0`) the job belongs to.
+    pub task: usize,
+    /// The observed response time, in ticks.
+    pub observed_ticks: u64,
+    /// The analytical bound it was compared against, in ticks.
+    pub bound_ticks: u64,
+}
+
+impl BoundViolation {
+    /// How far past the bound the observation landed, in ticks. This
+    /// is the (negated) pessimism gap: a violation means the analysis
+    /// was *optimistic* by this much for this run.
+    pub fn pessimism_gap(&self) -> u64 {
+        self.observed_ticks.saturating_sub(self.bound_ticks)
+    }
+}
+
+impl std::fmt::Display for BoundViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} (task {}) responded in {} ticks, {} past its bound of {}",
+            self.job,
+            self.task,
+            self.observed_ticks,
+            self.pessimism_gap(),
+            self.bound_ticks
+        )
+    }
+}
+
+#[derive(Debug)]
+struct TaskChannel {
+    bound: u64,
+    response: Arc<Histogram>,
+    wait: Arc<Histogram>,
+    high_water: Arc<HighWater>,
+    margin: Arc<Gauge>,
+    violations: Arc<Counter>,
+}
+
+/// Per-task observed-vs-analytical response-time comparison.
+///
+/// Construction (`track`) registers the per-task metrics; observation
+/// (`observe_completion`, `observe_dispatch_wait`) is lock-free except
+/// for the alert buffer, which is only touched when a bound actually
+/// breaks.
+#[derive(Debug, Default)]
+pub struct BoundObservatory {
+    channels: HashMap<usize, TaskChannel>,
+    alerts: Mutex<Vec<BoundViolation>>,
+    alerts_dropped: Counter,
+    alert_cap: usize,
+}
+
+impl BoundObservatory {
+    /// An observatory tracking no tasks yet.
+    pub fn new() -> BoundObservatory {
+        BoundObservatory {
+            channels: HashMap::new(),
+            alerts: Mutex::new(Vec::new()),
+            alerts_dropped: Counter::new(),
+            alert_cap: DEFAULT_ALERT_CAP,
+        }
+    }
+
+    /// Caps the alert buffer at `cap` violations (further ones are
+    /// counted but not stored).
+    pub fn with_alert_capacity(mut self, cap: usize) -> BoundObservatory {
+        self.alert_cap = cap;
+        self
+    }
+
+    /// Starts tracking `task` against `bound_ticks`, registering its
+    /// metrics under `obs.*.{name}` in `registry`. The margin gauge
+    /// starts at the full bound (nothing observed yet).
+    pub fn track(&mut self, registry: &Registry, task: usize, name: &str, bound_ticks: u64) {
+        let margin = registry.gauge(&format!("obs.margin.{name}"));
+        margin.set(saturating_i64(bound_ticks));
+        registry
+            .gauge(&format!("obs.bound.{name}"))
+            .set(saturating_i64(bound_ticks));
+        self.channels.insert(
+            task,
+            TaskChannel {
+                bound: bound_ticks,
+                response: registry.histogram(&format!("obs.response.{name}")),
+                wait: registry.histogram(&format!("obs.wait.{name}")),
+                high_water: registry.high_water(&format!("obs.response_high_water.{name}")),
+                margin,
+                violations: registry.counter(&format!("obs.violations.{name}")),
+            },
+        );
+    }
+
+    /// The bound `task` is tracked against, if it is tracked.
+    pub fn bound(&self, task: usize) -> Option<u64> {
+        self.channels.get(&task).map(|c| c.bound)
+    }
+
+    /// The current margin (`bound − observed high-water`) for `task`;
+    /// negative once the bound has been broken.
+    pub fn margin(&self, task: usize) -> Option<i64> {
+        self.channels.get(&task).map(|c| c.margin.get())
+    }
+
+    /// Feeds one completed job's observed response time. Returns the
+    /// violation if the observation broke the task's bound; untracked
+    /// tasks are ignored.
+    pub fn observe_completion(
+        &self,
+        task: usize,
+        job: u64,
+        observed_ticks: u64,
+    ) -> Option<BoundViolation> {
+        let ch = self.channels.get(&task)?;
+        ch.response.observe(observed_ticks);
+        ch.high_water.observe(observed_ticks);
+        ch.margin
+            .set(saturating_i64(ch.bound) - saturating_i64(ch.high_water.get()));
+        if observed_ticks <= ch.bound {
+            return None;
+        }
+        ch.violations.inc();
+        let violation = BoundViolation {
+            job,
+            task,
+            observed_ticks,
+            bound_ticks: ch.bound,
+        };
+        let mut alerts = self.alerts.lock().unwrap_or_else(|e| e.into_inner());
+        if alerts.len() < self.alert_cap {
+            alerts.push(violation);
+        } else {
+            self.alerts_dropped.inc();
+        }
+        Some(violation)
+    }
+
+    /// Feeds one job's observed dispatch wait (arrival → first
+    /// dispatch), which has no bound of its own but contextualizes
+    /// response-time spikes.
+    pub fn observe_dispatch_wait(&self, task: usize, wait_ticks: u64) {
+        if let Some(ch) = self.channels.get(&task) {
+            ch.wait.observe(wait_ticks);
+        }
+    }
+
+    /// All stored violations, in observation order.
+    pub fn alerts(&self) -> Vec<BoundViolation> {
+        self.alerts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Total violations recorded across all tracked tasks (including
+    /// any whose alerts were dropped by the buffer cap).
+    pub fn violation_count(&self) -> u64 {
+        self.channels.values().map(|c| c.violations.get()).sum()
+    }
+
+    /// How many violations were counted but not stored because the
+    /// alert buffer was full.
+    pub fn alerts_dropped(&self) -> u64 {
+        self.alerts_dropped.get()
+    }
+
+    /// The tracked task ids, in no particular order.
+    pub fn tracked_tasks(&self) -> Vec<usize> {
+        self.channels.keys().copied().collect()
+    }
+}
+
+fn saturating_i64(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observatory(reg: &Registry) -> BoundObservatory {
+        let mut obs = BoundObservatory::new();
+        obs.track(reg, 0, "control", 100);
+        obs.track(reg, 1, "logging", 250);
+        obs
+    }
+
+    #[test]
+    fn within_bound_updates_margin_without_alerts() {
+        let reg = Registry::new();
+        let obs = observatory(&reg);
+        assert_eq!(obs.margin(0), Some(100));
+        assert_eq!(obs.observe_completion(0, 7, 60), None);
+        assert_eq!(obs.observe_completion(0, 8, 40), None);
+        assert_eq!(obs.margin(0), Some(40), "margin follows the high-water mark");
+        assert_eq!(obs.violation_count(), 0);
+        assert!(obs.alerts().is_empty());
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("obs.response.control").map(|h| h.count), Some(2));
+        assert_eq!(snap.high_water("obs.response_high_water.control"), Some(60));
+        assert_eq!(snap.gauge("obs.margin.control"), Some(40));
+    }
+
+    #[test]
+    fn violation_names_job_and_gap_and_goes_negative() {
+        let reg = Registry::new();
+        let obs = observatory(&reg);
+        let v = obs
+            .observe_completion(1, 42, 300)
+            .expect("300 > bound 250 must alert");
+        assert_eq!(v.job, 42);
+        assert_eq!(v.task, 1);
+        assert_eq!(v.pessimism_gap(), 50);
+        assert_eq!(obs.margin(1), Some(-50));
+        assert_eq!(obs.violation_count(), 1);
+        assert_eq!(obs.alerts(), vec![v]);
+        assert!(v.to_string().contains("job 42"));
+        assert_eq!(reg.snapshot().counter("obs.violations.logging"), Some(1));
+    }
+
+    #[test]
+    fn untracked_tasks_are_ignored() {
+        let reg = Registry::new();
+        let obs = observatory(&reg);
+        assert_eq!(obs.observe_completion(99, 1, u64::MAX), None);
+        obs.observe_dispatch_wait(99, 5);
+        assert_eq!(obs.violation_count(), 0);
+        assert_eq!(obs.bound(99), None);
+    }
+
+    #[test]
+    fn alert_buffer_caps_but_counting_continues() {
+        let reg = Registry::new();
+        let mut obs = BoundObservatory::new().with_alert_capacity(2);
+        obs.track(&reg, 0, "t", 1);
+        for job in 0..5 {
+            assert!(obs.observe_completion(0, job, 10).is_some());
+        }
+        assert_eq!(obs.alerts().len(), 2);
+        assert_eq!(obs.violation_count(), 5);
+        assert_eq!(obs.alerts_dropped(), 3);
+    }
+
+    #[test]
+    fn dispatch_wait_feeds_the_wait_histogram() {
+        let reg = Registry::new();
+        let obs = observatory(&reg);
+        obs.observe_dispatch_wait(0, 3);
+        obs.observe_dispatch_wait(0, 9);
+        let snap = reg.snapshot();
+        let wait = snap.histogram("obs.wait.control").expect("tracked");
+        assert_eq!(wait.count, 2);
+        assert_eq!(wait.max, 9);
+    }
+}

@@ -1,0 +1,263 @@
+//! The sharded metric registry.
+//!
+//! Registration (name → metric handle) goes through one of 16 mutexed
+//! shards keyed by a hash of the name; it happens once per metric, at
+//! wiring time. *Recording* never touches the registry at all — the
+//! handles are `Arc`s to plain atomics, so the hot path is lock-free
+//! regardless of how the metric was obtained.
+//!
+//! Re-registering a name returns the existing handle. Re-registering a
+//! name with a *different kind* is a wiring bug; rather than panic in
+//! library code, the registry hands back a detached metric (recorded
+//! values go nowhere) and bumps an internal conflict counter that
+//! [`Registry::kind_conflicts`] and the snapshot expose.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge, HighWater};
+
+const SHARDS: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    HighWater(Arc<HighWater>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A process-wide (or run-wide) collection of named metrics.
+#[derive(Debug)]
+pub struct Registry {
+    shards: Vec<Mutex<HashMap<String, Slot>>>,
+    conflicts: Counter,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            conflicts: Counter::new(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Slot>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn slot<T, F, G>(&self, name: &str, make: F, cast: G) -> Arc<T>
+    where
+        T: Default,
+        F: FnOnce(Arc<T>) -> Slot,
+        G: FnOnce(&Slot) -> Option<Arc<T>>,
+    {
+        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = shard.get(name) {
+            match cast(existing) {
+                Some(handle) => handle,
+                None => {
+                    // Kind conflict: return a detached metric so the
+                    // caller keeps working, and record the wiring bug.
+                    self.conflicts.inc();
+                    Arc::new(T::default())
+                }
+            }
+        } else {
+            let handle = Arc::new(T::default());
+            shard.insert(name.to_string(), make(Arc::clone(&handle)));
+            handle
+        }
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.slot(name, Slot::Counter, |s| match s {
+            Slot::Counter(c) => Some(Arc::clone(c)),
+            _ => None,
+        })
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.slot(name, Slot::Gauge, |s| match s {
+            Slot::Gauge(g) => Some(Arc::clone(g)),
+            _ => None,
+        })
+    }
+
+    /// The high-water mark registered under `name`, creating it on
+    /// first use.
+    pub fn high_water(&self, name: &str) -> Arc<HighWater> {
+        self.slot(name, Slot::HighWater, |s| match s {
+            Slot::HighWater(h) => Some(Arc::clone(h)),
+            _ => None,
+        })
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.slot(name, Slot::Histogram, |s| match s {
+            Slot::Histogram(h) => Some(Arc::clone(h)),
+            _ => None,
+        })
+    }
+
+    /// How many registrations asked for a name under a conflicting
+    /// kind (each one received a detached metric).
+    pub fn kind_conflicts(&self) -> u64 {
+        self.conflicts.get()
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by
+    /// name. Histograms are snapshotted with the derived-count
+    /// guarantee described on [`Histogram::snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let mut metrics = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (name, slot) in shard.iter() {
+                let value = match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::HighWater(h) => MetricValue::HighWater(h.get()),
+                    Slot::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                metrics.push(MetricSnapshot {
+                    name: name.clone(),
+                    value,
+                });
+            }
+        }
+        metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot { metrics }
+    }
+}
+
+/// One metric's state inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// The registered name.
+    pub name: String,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+/// A captured metric value, tagged by kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A [`Counter`] reading.
+    Counter(u64),
+    /// A [`Gauge`] reading.
+    Gauge(i64),
+    /// A [`HighWater`] reading.
+    HighWater(u64),
+    /// A [`Histogram`] snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of a whole [`Registry`], sorted by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// All captured metrics in ascending name order.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// The captured value under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .binary_search_by(|m| m.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].value)
+    }
+
+    /// The counter reading under `name` (`None` if absent or another
+    /// kind).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge reading under `name`.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The high-water reading under `name`.
+    pub fn high_water(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::HighWater(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram snapshot under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let reg = Registry::new();
+        reg.counter("a").add(3);
+        reg.counter("a").add(4);
+        assert_eq!(reg.counter("a").get(), 7);
+    }
+
+    #[test]
+    fn kind_conflict_detaches_and_counts() {
+        let reg = Registry::new();
+        reg.counter("x").inc();
+        let g = reg.gauge("x");
+        g.set(99); // goes to the detached gauge, not the counter
+        assert_eq!(reg.kind_conflicts(), 1);
+        assert_eq!(reg.counter("x").get(), 1);
+        assert_eq!(reg.snapshot().counter("x"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_lookup_works() {
+        let reg = Registry::new();
+        reg.counter("z.last").add(1);
+        reg.gauge("a.first").set(-5);
+        reg.high_water("m.mid").observe(17);
+        reg.histogram("h.mid").observe(100);
+        let s = reg.snapshot();
+        let names: Vec<&str> = s.metrics.iter().map(|m| m.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(s.counter("z.last"), Some(1));
+        assert_eq!(s.gauge("a.first"), Some(-5));
+        assert_eq!(s.high_water("m.mid"), Some(17));
+        assert_eq!(s.histogram("h.mid").map(|h| h.count), Some(1));
+        assert_eq!(s.get("absent"), None);
+        assert_eq!(s.counter("a.first"), None, "kind-checked lookup");
+    }
+}

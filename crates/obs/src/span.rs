@@ -1,0 +1,170 @@
+//! Structured span events.
+//!
+//! A [`SpanEvent`] is a completed, timed unit of work with a static
+//! scope (which subsystem), a label (which operation / which fault
+//! class), and a flat list of named `u64` fields — durations, counts,
+//! seeds. Events land in a bounded in-memory ring ([`SpanLog`]); the
+//! newest events win, and the number of displaced events is counted so
+//! truncation is never silent.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::metrics::Counter;
+
+/// Default event capacity of a [`SpanLog`].
+const DEFAULT_CAP: usize = 1024;
+
+/// One completed, timed unit of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The emitting subsystem (`"supervisor"`, `"campaign"`, …).
+    pub scope: &'static str,
+    /// What happened (operation name, fault class, …).
+    pub label: String,
+    /// Named measurements: durations, counts, seeds.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl SpanEvent {
+    /// A span in `scope` labelled `label` with no fields yet.
+    pub fn new(scope: &'static str, label: impl Into<String>) -> SpanEvent {
+        SpanEvent {
+            scope,
+            label: label.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a named measurement.
+    pub fn field(mut self, name: &'static str, value: u64) -> SpanEvent {
+        self.fields.push((name, value));
+        self
+    }
+
+    /// The value of field `name`, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.fields.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+}
+
+impl std::fmt::Display for SpanEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.scope, self.label)?;
+        for (name, value) in &self.fields {
+            write!(f, " {name}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A bounded ring of recent [`SpanEvent`]s.
+#[derive(Debug)]
+pub struct SpanLog {
+    inner: Mutex<VecDeque<SpanEvent>>,
+    recorded: Counter,
+    displaced: Counter,
+    cap: usize,
+}
+
+impl Default for SpanLog {
+    fn default() -> SpanLog {
+        SpanLog::new()
+    }
+}
+
+impl SpanLog {
+    /// A log keeping the most recent 1024 events.
+    pub fn new() -> SpanLog {
+        SpanLog::with_capacity(DEFAULT_CAP)
+    }
+
+    /// A log keeping the most recent `cap` events.
+    pub fn with_capacity(cap: usize) -> SpanLog {
+        SpanLog {
+            inner: Mutex::new(VecDeque::with_capacity(cap.min(DEFAULT_CAP))),
+            recorded: Counter::new(),
+            displaced: Counter::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Appends an event, displacing the oldest if the ring is full.
+    pub fn record(&self, event: SpanEvent) {
+        let mut ring = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.cap {
+            ring.pop_front();
+            self.displaced.inc();
+        }
+        ring.push_back(event);
+        self.recorded.inc();
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained events in `scope`, oldest first.
+    pub fn events_in(&self, scope: &str) -> Vec<SpanEvent> {
+        self.events().into_iter().filter(|e| e.scope == scope).collect()
+    }
+
+    /// Total events ever recorded (including displaced ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.get()
+    }
+
+    /// Events pushed out of the ring by newer ones.
+    pub fn displaced(&self) -> u64 {
+        self.displaced.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_fields_and_lookup() {
+        let e = SpanEvent::new("supervisor", "restart")
+            .field("backoff_ticks", 8)
+            .field("replayed_events", 40);
+        assert_eq!(e.get("backoff_ticks"), Some(8));
+        assert_eq!(e.get("absent"), None);
+        assert_eq!(
+            e.to_string(),
+            "[supervisor] restart backoff_ticks=8 replayed_events=40"
+        );
+    }
+
+    #[test]
+    fn ring_displaces_oldest_and_counts() {
+        let log = SpanLog::with_capacity(2);
+        for i in 0..5u64 {
+            log.record(SpanEvent::new("s", format!("e{i}")).field("i", i));
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].label, "e3");
+        assert_eq!(events[1].label, "e4");
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.displaced(), 3);
+    }
+
+    #[test]
+    fn scope_filter() {
+        let log = SpanLog::new();
+        log.record(SpanEvent::new("a", "one"));
+        log.record(SpanEvent::new("b", "two"));
+        log.record(SpanEvent::new("a", "three"));
+        let scoped = log.events_in("a");
+        assert_eq!(scoped.len(), 2);
+        assert!(scoped.iter().all(|e| e.scope == "a"));
+    }
+}

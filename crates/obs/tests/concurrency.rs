@@ -1,0 +1,116 @@
+//! Concurrency properties of the metrics layer (ISSUE 4, satellite 3):
+//! under N threads hammering the same counters and histograms, no
+//! increment is ever lost, and every [`Registry::snapshot`] — including
+//! ones taken *while* writers are running — is internally consistent
+//! (a histogram's count equals the sum of its bucket counts).
+
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+
+use rossl_obs::Registry;
+
+proptest! {
+    /// Every increment lands: counters, gauges, high-water marks and
+    /// histograms all agree with the arithmetic after the threads join.
+    #[test]
+    fn no_increment_is_lost_across_threads(
+        threads in 2usize..8,
+        per_thread in 1u64..300,
+        values in proptest::collection::vec(1u64..1_000_000, 1..8),
+    ) {
+        let registry = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let registry = Arc::clone(&registry);
+                let values = values.clone();
+                thread::spawn(move || {
+                    let counter = registry.counter("stress.counter");
+                    let gauge = registry.gauge("stress.gauge");
+                    let high = registry.high_water("stress.high");
+                    let hist = registry.histogram("stress.hist");
+                    for k in 0..per_thread {
+                        counter.inc();
+                        gauge.add(1);
+                        high.observe(t as u64 * per_thread + k);
+                        hist.observe(values[(k as usize) % values.len()]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread panicked");
+        }
+
+        let total = threads as u64 * per_thread;
+        let snap = registry.snapshot();
+        prop_assert_eq!(snap.counter("stress.counter"), Some(total));
+        prop_assert_eq!(snap.gauge("stress.gauge"), Some(total as i64));
+        // The largest observed value came from the last thread's last
+        // iteration.
+        prop_assert_eq!(
+            snap.high_water("stress.high"),
+            Some((threads as u64 - 1) * per_thread + (per_thread - 1))
+        );
+
+        let hist = snap.histogram("stress.hist").expect("registered");
+        prop_assert_eq!(hist.count, total);
+        let expected_sum: u64 = (0..per_thread)
+            .map(|k| values[(k as usize) % values.len()])
+            .sum::<u64>()
+            * threads as u64;
+        prop_assert_eq!(hist.sum, expected_sum);
+        prop_assert_eq!(hist.max, values.iter().copied().max().unwrap());
+        // Internal consistency: the count is exactly the bucket mass.
+        let bucket_mass: u64 = hist.buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(hist.count, bucket_mass);
+    }
+
+    /// Snapshots taken mid-flight, racing the writers, are each
+    /// internally consistent and monotone in observation count.
+    #[test]
+    fn racing_snapshots_are_internally_consistent(
+        writers in 2usize..6,
+        per_thread in 50u64..400,
+    ) {
+        let registry = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..writers)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                thread::spawn(move || {
+                    let hist = registry.histogram("race.hist");
+                    let counter = registry.counter("race.counter");
+                    for k in 0..per_thread {
+                        hist.observe(k + 1);
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+
+        let total = writers as u64 * per_thread;
+        let mut last_count = 0u64;
+        loop {
+            let snap = registry.snapshot();
+            if let Some(hist) = snap.histogram("race.hist") {
+                let bucket_mass: u64 = hist.buckets.iter().map(|&(_, c)| c).sum();
+                prop_assert_eq!(hist.count, bucket_mass);
+                prop_assert!(hist.count >= last_count, "snapshot count went backwards");
+                prop_assert!(hist.count <= total);
+                // Quantiles never panic on a mid-flight snapshot.
+                let _ = hist.quantile(0.5);
+                let _ = hist.quantile(1.0);
+                last_count = hist.count;
+                if hist.count == total {
+                    break;
+                }
+            }
+            thread::yield_now();
+        }
+        for h in handles {
+            h.join().expect("writer thread panicked");
+        }
+        prop_assert_eq!(registry.snapshot().counter("race.counter"), Some(total));
+    }
+}

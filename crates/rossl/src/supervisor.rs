@@ -168,6 +168,7 @@ pub struct Supervisor {
     policy: RestartPolicy,
     restarts: u32,
     backoff_log: Vec<Duration>,
+    metrics: Option<std::sync::Arc<rossl_obs::SupervisorMetrics>>,
 }
 
 impl Supervisor {
@@ -177,7 +178,18 @@ impl Supervisor {
             policy,
             restarts: 0,
             backoff_log: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Reports restart telemetry (counts, backoff/replay histograms,
+    /// one `restart` span per recovery) into `metrics`.
+    pub fn with_telemetry(
+        mut self,
+        metrics: std::sync::Arc<rossl_obs::SupervisorMetrics>,
+    ) -> Supervisor {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The enforced policy.
@@ -242,7 +254,13 @@ impl Supervisor {
                 .checked_shl(self.restarts)
                 .unwrap_or(u64::MAX),
         );
-        let recovered = recover(journal)?;
+        let started = std::time::Instant::now();
+        let recovered = recover(journal).map_err(|e| {
+            if let Some(m) = &self.metrics {
+                m.failed_restarts.inc();
+            }
+            RecoveryError::Journal(e)
+        })?;
         let state = RecoveredState::from_events(&recovered.committed);
         let sched = Scheduler::recovered_shared(
             config,
@@ -251,9 +269,23 @@ impl Supervisor {
             state.next_job_id,
             state.jobs_completed,
         )
-        .map_err(RecoveryError::Rebuild)?;
+        .map_err(|e| {
+            if let Some(m) = &self.metrics {
+                m.failed_restarts.inc();
+            }
+            RecoveryError::Rebuild(e)
+        })?;
         self.restarts += 1;
         self.backoff_log.push(backoff);
+        if let Some(m) = &self.metrics {
+            m.record_restart(
+                u64::from(self.restarts),
+                backoff.ticks(),
+                recovered.committed.len() as u64,
+                state.pending.len() as u64,
+                started.elapsed().as_micros() as u64,
+            );
+        }
         Ok((sched, state, recovered.corruption))
     }
 }
@@ -409,6 +441,53 @@ mod tests {
             .restart(b"not a journal", config(), FirstByteCodec)
             .unwrap_err();
         assert_eq!(err, RecoveryError::Journal(JournalError::BadHeader));
+    }
+
+    #[test]
+    fn restart_telemetry_records_span_and_histograms() {
+        use rossl_obs::{Registry, SpanLog, SupervisorMetrics};
+        use std::sync::Arc;
+
+        // Journal: one job read and committed, then a crash.
+        let mut journal = JournalWriter::new();
+        let j = Job::new(JobId(0), TaskId(0), vec![0]);
+        journal.append(
+            &Marker::ReadEnd {
+                sock: rossl_model::SocketId(0),
+                job: Some(j),
+            },
+            Instant(1),
+        );
+        journal.commit();
+
+        let registry = Registry::new();
+        let spans = Arc::new(SpanLog::new());
+        let metrics = SupervisorMetrics::register(&registry, Arc::clone(&spans));
+        let mut sup = Supervisor::new(RestartPolicy::new(3, Duration(4))).with_telemetry(metrics);
+        sup.restart(&journal.into_bytes(), config(), FirstByteCodec)
+            .expect("recovery");
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("supervisor.restarts"), Some(1));
+        assert_eq!(snap.counter("supervisor.failed_restarts"), Some(0));
+        assert_eq!(
+            snap.histogram("supervisor.replayed_events").map(|h| h.max),
+            Some(1)
+        );
+        let span = &spans.events_in("supervisor")[0];
+        assert_eq!(span.label, "restart");
+        assert_eq!(span.get("backoff_ticks"), Some(4));
+        assert_eq!(span.get("replayed_events"), Some(1));
+        assert_eq!(span.get("repended_jobs"), Some(1));
+        assert!(span.get("wall_us").is_some());
+
+        // A failed restart (bad journal) bumps the failure counter.
+        let err = sup.restart(b"garbage", config(), FirstByteCodec).unwrap_err();
+        assert!(matches!(err, RecoveryError::Journal(_)));
+        assert_eq!(
+            registry.snapshot().counter("supervisor.failed_restarts"),
+            Some(1)
+        );
     }
 
     #[test]

@@ -187,6 +187,11 @@ pub struct Simulator<C, M> {
     cost: M,
     unclamped: bool,
     watchdog: Option<WatchdogConfig>,
+    /// Batched scheduler-loop counters ([`rossl_obs::SchedSink::Noop`]
+    /// by default — one discriminant test per flush point).
+    sink: rossl_obs::SchedSink,
+    /// Bound-margin observatory fed at dispatch and completion markers.
+    observatory: Option<std::sync::Arc<rossl_obs::BoundObservatory>>,
 }
 
 impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
@@ -210,6 +215,8 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
             cost,
             unclamped: false,
             watchdog: None,
+            sink: rossl_obs::SchedSink::Noop,
+            observatory: None,
         })
     }
 
@@ -232,6 +239,28 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
     /// [`Scheduler::with_watchdog`]).
     pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Simulator<C, M> {
         self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Routes the driven scheduler's batched hot-path counters into
+    /// `sink` (see [`rossl::Scheduler::with_telemetry`]); any batch
+    /// still pending at the horizon is flushed before the result is
+    /// assembled.
+    pub fn with_telemetry(mut self, sink: rossl_obs::SchedSink) -> Simulator<C, M> {
+        self.sink = sink;
+        self
+    }
+
+    /// Feeds every dispatch wait (arrival → dispatch) and response time
+    /// (arrival → completion) observed during the run into `observatory`,
+    /// which compares them live against its per-task bounds. The caller
+    /// keeps a clone of the [`Arc`](std::sync::Arc) to read margins and
+    /// [`rossl_obs::BoundViolation`] alerts afterwards.
+    pub fn with_observatory(
+        mut self,
+        observatory: std::sync::Arc<rossl_obs::BoundObservatory>,
+    ) -> Simulator<C, M> {
+        self.observatory = Some(observatory);
         self
     }
 
@@ -268,7 +297,8 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
         mut sockets: S,
         horizon: Instant,
     ) -> Result<SimulationResult, SimulationError> {
-        let mut scheduler = Scheduler::new(self.config.clone(), self.codec.clone());
+        let mut scheduler = Scheduler::new(self.config.clone(), self.codec.clone())
+            .with_telemetry(self.sink.clone());
         if let Some(watchdog) = self.watchdog {
             scheduler = scheduler.with_watchdog(watchdog);
         }
@@ -358,7 +388,15 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
                     let d = self.bound(pick, self.wcet.selection);
                     now = now.saturating_add(d);
                 }
-                Marker::Dispatch(_) => {
+                Marker::Dispatch(j) => {
+                    if let Some(obs) = &self.observatory {
+                        if let Some(record) = jobs.get(&j.id()) {
+                            obs.observe_dispatch_wait(
+                                j.task().0,
+                                now.saturating_duration_since(record.arrived).ticks(),
+                            );
+                        }
+                    }
                     let pick = self.cost.pick(Segment::Dispatch, self.wcet.dispatch);
                     let d = self.bound(pick, self.wcet.dispatch);
                     now = now.saturating_add(d);
@@ -382,6 +420,16 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
                 Marker::Completion(j) => {
                     if let Some(record) = jobs.get_mut(&j.id()) {
                         record.completed = Some(now);
+                        if let Some(obs) = &self.observatory {
+                            // The return value is also stored in the
+                            // observatory's alert buffer; the simulator
+                            // observes and moves on.
+                            let _ = obs.observe_completion(
+                                j.task().0,
+                                j.id().0,
+                                now.saturating_duration_since(record.arrived).ticks(),
+                            );
+                        }
                     }
                     let pick = self.cost.pick(Segment::Completion, self.wcet.completion);
                     let d = self.bound(pick, self.wcet.completion);
@@ -394,6 +442,8 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
                 }
             }
         }
+
+        scheduler.flush_telemetry();
 
         Ok(SimulationResult {
             trace: TimedTrace::new(markers, timestamps)?,
@@ -623,6 +673,108 @@ mod tests {
             sim.run(&arrivals, Instant(1000)),
             Err(SimulationError::Drive(DriveError::UnknownMessageType { .. }))
         ));
+    }
+
+    #[test]
+    fn observatory_sees_margins_and_no_false_alerts_in_model() {
+        use rossl_obs::{BoundObservatory, Registry};
+        use std::sync::Arc;
+
+        let registry = Registry::new();
+        let mut obs = BoundObservatory::new();
+        // Generous bounds: an in-model run must never alert.
+        obs.track(&registry, 0, "low", 10_000);
+        obs.track(&registry, 1, "high", 10_000);
+        let obs = Arc::new(obs);
+
+        let arrivals =
+            ArrivalSequence::from_events(vec![arrival(1, 0, 0), arrival(2, 0, 1)]);
+        let sim = Simulator::new(
+            two_task_config(1),
+            FirstByteCodec,
+            WcetTable::example(),
+            WorstCase,
+        )
+        .unwrap()
+        .with_observatory(Arc::clone(&obs));
+        let result = sim.run(&arrivals, Instant(2000)).unwrap();
+        assert_eq!(result.completed_count(), 2);
+
+        assert_eq!(obs.violation_count(), 0);
+        assert!(obs.alerts().is_empty());
+        let snap = registry.snapshot();
+        let low = snap.histogram("obs.response.low").expect("tracked");
+        assert_eq!(low.count, 1);
+        // The histogram saw exactly the measured response time.
+        let measured = result.max_response_time(TaskId(0)).unwrap().ticks();
+        assert_eq!(low.max, measured);
+        assert_eq!(
+            snap.gauge("obs.margin.low"),
+            Some(10_000 - measured as i64)
+        );
+        // Dispatch waits were fed too (both jobs waited to be read).
+        assert!(snap.histogram("obs.wait.high").unwrap().count >= 1);
+    }
+
+    #[test]
+    fn observatory_alert_names_the_offending_job() {
+        use rossl_obs::{BoundObservatory, Registry};
+        use std::sync::Arc;
+
+        let registry = Registry::new();
+        let mut obs = BoundObservatory::new();
+        // A 1-tick bound no real completion can meet: every completed job
+        // of task 0 must alert, naming itself.
+        obs.track(&registry, 0, "low", 1);
+        let obs = Arc::new(obs);
+
+        let arrivals = ArrivalSequence::from_events(vec![arrival(5, 0, 0)]);
+        let sim = Simulator::new(
+            two_task_config(1),
+            FirstByteCodec,
+            WcetTable::example(),
+            WorstCase,
+        )
+        .unwrap()
+        .with_observatory(Arc::clone(&obs));
+        let result = sim.run(&arrivals, Instant(1000)).unwrap();
+
+        let (&job_id, record) = result.jobs.iter().next().unwrap();
+        let alerts = obs.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].job, job_id.0);
+        assert_eq!(alerts[0].task, 0);
+        assert_eq!(alerts[0].observed_ticks, record.response_time().unwrap().ticks());
+        assert_eq!(alerts[0].bound_ticks, 1);
+        assert!(obs.margin(0).unwrap() < 0, "broken bound drives the margin negative");
+    }
+
+    #[test]
+    fn scheduler_telemetry_flows_through_the_simulator() {
+        use rossl_obs::{Registry, SchedSink, SchedulerMetrics};
+        use std::sync::Arc;
+
+        let registry = Registry::new();
+        let bundle = SchedulerMetrics::register(&registry);
+        let arrivals =
+            ArrivalSequence::from_events(vec![arrival(1, 0, 0), arrival(2, 0, 1)]);
+        let sim = Simulator::new(
+            two_task_config(1),
+            FirstByteCodec,
+            WcetTable::example(),
+            WorstCase,
+        )
+        .unwrap()
+        .with_telemetry(SchedSink::Metrics(Arc::clone(&bundle)));
+        let result = sim.run(&arrivals, Instant(2000)).unwrap();
+
+        let snap = registry.snapshot();
+        // The end-of-run flush accounts for every advance call: steps
+        // equal markers emitted (plus any step past the horizon cut).
+        assert!(snap.counter("sched.steps").unwrap() >= result.trace.len() as u64);
+        assert_eq!(snap.counter("sched.completions"), Some(2));
+        assert_eq!(snap.counter("sched.dispatches"), Some(2));
+        assert!(snap.counter("sched.telemetry_flushes").unwrap() >= 1);
     }
 
     #[test]
