@@ -32,6 +32,7 @@ const INDEX: &[(&str, &str, &str)] = &[
     ("E17", "crash", "exhaustive crash-point recovery sweep"),
     ("E18", "verify-bench", "parallel + deduplicated exploration vs the sequential walk"),
     ("E19", "obs", "runtime telemetry: bound margins, alert fidelity, hot-path overhead"),
+    ("E20", "fuzz", "differential fuzzing: clean-run soundness, oracle teeth, shrink quality"),
 ];
 
 fn main() {
@@ -139,6 +140,11 @@ fn main() {
         "obs",
         "runtime telemetry: bound margins, alert fidelity, hot-path overhead (E19)",
         &|| exps::exp_obs(smoke),
+    );
+    run(
+        "fuzz",
+        "differential fuzzing: clean-run soundness, oracle teeth, shrink quality (E20)",
+        &|| exps::exp_fuzz(smoke),
     );
     run("loc", "code inventory vs the paper's proof-effort table (§5)", &exps::exp_loc);
 }

@@ -1,0 +1,175 @@
+//! E20: the coverage-guided differential fuzzer — clean-run soundness,
+//! oracle teeth, and minimizer quality (see DESIGN.md §8 and
+//! EXPERIMENTS.md row E20).
+//!
+//! Three claims, demonstrated deterministically (fixed seeds, iteration
+//! bounds rather than wall-clock, so the artifact is reproducible):
+//!
+//! 1. **Clean-run soundness**: a fixed-seed campaign over the honest
+//!    stack reports *zero* oracle disagreements while the corpus and all
+//!    three coverage channels grow — the oracle matrix does not cry
+//!    wolf on the implementation we ship.
+//! 2. **Teeth**: for every [`rossl::SeededBug`], a budgeted campaign
+//!    against the bugged stack produces a finding — the matrix has no
+//!    blind spot a known bug can hide in.
+//! 3. **Minimizer quality**: each finding's reproducer is shrunk, still
+//!    fails on the same oracle, and is reported with its size ratio
+//!    against the originally-failing input.
+//!
+//! Results are written to `BENCH_fuzz.json` (the `BENCH_*.json`
+//! perf-trajectory convention), including the corpus growth curve and
+//! the per-bug detection matrix the CI `fuzz-smoke` job archives.
+
+use std::fmt::Write as _;
+use std::time::Instant as Wall;
+
+use rossl::SeededBug;
+use rossl_fuzz::{run_campaign, FuzzConfig};
+
+/// E20: clean-run soundness, per-bug teeth, and shrink ratios. `smoke`
+/// shrinks the clean campaign's iteration budget for CI; every
+/// assertion runs either way.
+pub fn exp_fuzz(smoke: bool) -> String {
+    let mut out = String::new();
+
+    // ---- 1. Fixed-seed clean campaign: zero disagreements ----------
+    let clean_iters: u64 = if smoke { 400 } else { 4_000 };
+    let started = Wall::now();
+    let clean = run_campaign(&FuzzConfig {
+        seed: 42,
+        max_iters: clean_iters,
+        ..FuzzConfig::default()
+    });
+    let clean_secs = started.elapsed().as_secs_f64();
+    assert!(
+        clean.findings.is_empty(),
+        "honest stack produced oracle disagreements: {:?}",
+        clean.findings.iter().map(|f| &f.finding).collect::<Vec<_>>()
+    );
+    let (digests, bigrams, buckets) = clean.coverage;
+    assert!(
+        digests > 0 && bigrams > 0 && buckets > 0 && clean.corpus_size > 0,
+        "clean campaign gathered no coverage"
+    );
+    let _ = writeln!(
+        out,
+        "clean campaign (seed 42, {clean_iters} iterations): 0 disagreements, \
+         {} scheduler steps, corpus {}, coverage {digests} digest slots / \
+         {bigrams} bigrams / {buckets} buckets, {:.2}s ({:.0} execs/s)",
+        clean.steps,
+        clean.corpus_size,
+        clean_secs,
+        clean.iterations as f64 / clean_secs.max(1e-9),
+    );
+    let mut growth_json = String::new();
+    for (iter, size) in &clean.growth {
+        if !growth_json.is_empty() {
+            growth_json.push_str(", ");
+        }
+        let _ = write!(growth_json, "[{iter}, {size}]");
+    }
+
+    // ---- 2 + 3. Teeth with shrink quality --------------------------
+    let _ = writeln!(
+        out,
+        "{:<26} {:>10} {:>6} {:>8} {:>8} {:>7}",
+        "seeded bug", "oracle", "iters", "in (B)", "min (B)", "ratio"
+    );
+    let mut teeth_json = String::new();
+    for (i, &bug) in SeededBug::ALL.iter().enumerate() {
+        let started = Wall::now();
+        let report = run_campaign(&FuzzConfig {
+            seed: 0xBEEF ^ i as u64,
+            max_iters: 300,
+            bug: Some(bug),
+            force_crash: bug.is_driver_bug(),
+            max_findings: 1,
+            ..FuzzConfig::default()
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+        let f = report
+            .findings
+            .first()
+            .unwrap_or_else(|| panic!("{bug} escaped {} iterations", report.iterations));
+        let before = f.input.to_text().len();
+        let after = f.shrunk.to_text().len();
+        assert!(after <= before, "minimizer grew the input for {bug}");
+        let ratio = after as f64 / before as f64;
+        let _ = writeln!(
+            out,
+            "{:<26} {:>10} {:>6} {:>8} {:>8} {:>6.0}%",
+            bug.name(),
+            f.finding.oracle,
+            f.iteration,
+            before,
+            after,
+            ratio * 100.0
+        );
+        if !teeth_json.is_empty() {
+            teeth_json.push_str(",\n");
+        }
+        let _ = write!(
+            teeth_json,
+            concat!(
+                "    {{\"bug\": \"{}\", \"detected\": true, \"oracle\": \"{}\", ",
+                "\"iterations\": {}, \"input_bytes\": {}, \"minimized_bytes\": {}, ",
+                "\"shrink_ratio\": {:.3}, \"secs\": {:.3}}}"
+            ),
+            bug.name(),
+            f.finding.oracle,
+            f.iteration,
+            before,
+            after,
+            ratio,
+            elapsed
+        );
+    }
+    let _ = writeln!(out, "teeth: all {} seeded bugs detected", SeededBug::ALL.len());
+
+    // ---- Artifact --------------------------------------------------
+    let json = format!(
+        concat!(
+            "{{\n  \"experiment\": \"E20\",\n  \"smoke\": {},\n",
+            "  \"clean\": {{\"seed\": 42, \"iterations\": {}, \"steps\": {}, ",
+            "\"findings\": 0, \"corpus\": {}, \"digest_slots\": {}, \"bigrams\": {}, ",
+            "\"buckets\": {}, \"secs\": {:.3}}},\n",
+            "  \"corpus_growth\": [{}],\n",
+            "  \"teeth\": [\n{}\n  ]\n}}\n"
+        ),
+        smoke,
+        clean.iterations,
+        clean.steps,
+        clean.corpus_size,
+        digests,
+        bigrams,
+        buckets,
+        clean_secs,
+        growth_json,
+        teeth_json
+    );
+    match std::fs::write("BENCH_fuzz.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote BENCH_fuzz.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "could not write BENCH_fuzz.json: {e}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_smoke_passes_and_reports() {
+        let report = exp_fuzz(true);
+        // The test runs from the crate directory; drop the artifact it
+        // writes there (the real one is produced from the repo root).
+        let _ = std::fs::remove_file("BENCH_fuzz.json");
+        assert!(report.contains("0 disagreements"), "report:\n{report}");
+        assert!(report.contains("all 4 seeded bugs detected"), "report:\n{report}");
+        assert!(report.contains("skipped-commit"), "report:\n{report}");
+    }
+}

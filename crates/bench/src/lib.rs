@@ -15,6 +15,7 @@ pub mod ablation;
 pub mod crash;
 pub mod experiments;
 pub mod faults;
+pub mod fuzz;
 pub mod jitter;
 pub mod obs;
 pub mod setup;
@@ -27,6 +28,7 @@ pub use experiments::{
 pub use ablation::{exp_ablation, exp_busy_windows, exp_schedulability, exp_sensitivity, exp_tight};
 pub use crash::exp_crash_recovery;
 pub use faults::exp_faults;
+pub use fuzz::exp_fuzz;
 pub use jitter::exp_fig7;
 pub use obs::exp_obs;
 pub use verify_bench::exp_verify_bench;

@@ -1,0 +1,141 @@
+//! The `fuzz` CLI: coverage-guided differential fuzzing and oracle
+//! mutation testing from one command.
+//!
+//! ```text
+//! fuzz [--seed N] [--iters N] [--budget-secs N] [--corpus DIR] [--repro DIR]
+//! fuzz --teeth [--seed N] [--iters N] [--budget-secs N]
+//! ```
+//!
+//! Default mode fuzzes the honest stack and exits nonzero on any oracle
+//! disagreement (printing the minimized reproducers); `--teeth` seeds
+//! each known bug in turn and exits nonzero if any escapes its budget.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rossl_fuzz::{run_campaign, run_teeth, FuzzConfig};
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    budget: Option<Duration>,
+    teeth: bool,
+    corpus: Option<PathBuf>,
+    repro: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 0,
+        iters: 0,
+        budget: None,
+        teeth: false,
+        corpus: None,
+        repro: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--iters" => {
+                args.iters = value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?
+            }
+            "--budget-secs" => {
+                let secs: u64 = value("--budget-secs")?
+                    .parse()
+                    .map_err(|e| format!("--budget-secs: {e}"))?;
+                args.budget = Some(Duration::from_secs(secs));
+            }
+            "--teeth" => args.teeth = true,
+            "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus")?)),
+            "--repro" => args.repro = Some(PathBuf::from(value("--repro")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: fuzz [--seed N] [--iters N] [--budget-secs N] \
+                     [--corpus DIR] [--repro DIR] [--teeth]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.iters == 0 && args.budget.is_none() {
+        // Neither bound given: a sane default so `fuzz` terminates.
+        args.budget = Some(Duration::from_secs(30));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.teeth {
+        let reports = run_teeth(args.seed, args.iters, args.budget);
+        let mut all = true;
+        for r in &reports {
+            println!("{r}");
+            all &= r.detected;
+        }
+        if all {
+            println!("teeth: all {} seeded bugs detected", reports.len());
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("teeth: at least one seeded bug escaped — the oracles lost their bite");
+            ExitCode::FAILURE
+        }
+    } else {
+        let config = FuzzConfig {
+            seed: args.seed,
+            max_iters: args.iters,
+            budget: args.budget,
+            corpus_dir: args.corpus,
+            ..FuzzConfig::default()
+        };
+        let report = run_campaign(&config);
+        let (digests, bigrams, buckets) = report.coverage;
+        println!(
+            "fuzz: {} iterations, {} steps, corpus {}, coverage {digests} digests / \
+             {bigrams} bigrams / {buckets} buckets, {:.1}s",
+            report.iterations,
+            report.steps,
+            report.corpus_size,
+            report.elapsed.as_secs_f64()
+        );
+        if report.findings.is_empty() {
+            println!("fuzz: no oracle disagreements");
+            return ExitCode::SUCCESS;
+        }
+        for (i, f) in report.findings.iter().enumerate() {
+            eprintln!(
+                "finding #{i} (iteration {}): {}\nminimized input:\n{}",
+                f.iteration,
+                f.finding,
+                f.shrunk.to_text()
+            );
+            if let Some(dir) = &args.repro {
+                if std::fs::create_dir_all(dir).is_ok() {
+                    let path = dir.join(format!("fuzz_regression_{i}.rs"));
+                    if let Err(e) = std::fs::write(&path, &f.repro) {
+                        eprintln!("fuzz: could not write {}: {e}", path.display());
+                    } else {
+                        eprintln!("reproducer written to {}", path.display());
+                    }
+                }
+            } else {
+                eprintln!("reproducer:\n{}", f.repro);
+            }
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,154 @@
+//! The replayable corpus: coverage-novel inputs as diffable text files.
+//!
+//! Each entry is one [`FuzzInput`] in its canonical text form, stored
+//! under a content-hash filename (`<fnv64-hex>.fuzz`), so corpus merges
+//! are git-friendly and re-adding an existing input is a no-op. Loading
+//! sorts by filename, which makes corpus replay order — and therefore
+//! the whole campaign — independent of directory iteration order.
+
+use std::collections::HashSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::input::FuzzInput;
+
+/// FNV-1a, fixed offset/prime — a stable content hash across platforms
+/// and std versions (unlike `DefaultHasher`, which is unspecified).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An in-memory corpus, optionally persisted to a directory.
+#[derive(Debug)]
+pub struct Corpus {
+    dir: Option<PathBuf>,
+    entries: Vec<FuzzInput>,
+    seen: HashSet<u64>,
+}
+
+impl Corpus {
+    /// An empty, unpersisted corpus.
+    pub fn in_memory() -> Corpus {
+        Corpus {
+            dir: None,
+            entries: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Loads every `*.fuzz` file under `dir` (created if missing);
+    /// additions will be persisted there. Unparseable files are skipped,
+    /// not fatal — a corpus survives format evolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` if the directory cannot be created or read.
+    pub fn load(dir: &Path) -> io::Result<Corpus> {
+        fs::create_dir_all(dir)?;
+        let mut files: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "fuzz"))
+            .collect();
+        files.sort();
+        let mut corpus = Corpus {
+            dir: Some(dir.to_path_buf()),
+            entries: Vec::new(),
+            seen: HashSet::new(),
+        };
+        for file in files {
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            if let Ok(input) = FuzzInput::from_text(&text) {
+                corpus.seen.insert(fnv1a64(input.to_text().as_bytes()));
+                corpus.entries.push(input);
+            }
+        }
+        Ok(corpus)
+    }
+
+    /// Adds `input` unless an identical entry exists; persists it when
+    /// the corpus is directory-backed. Returns whether it was new.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` if persisting the entry fails.
+    pub fn add(&mut self, input: &FuzzInput) -> io::Result<bool> {
+        let text = input.to_text();
+        let hash = fnv1a64(text.as_bytes());
+        if !self.seen.insert(hash) {
+            return Ok(false);
+        }
+        if let Some(dir) = &self.dir {
+            fs::write(dir.join(format!("{hash:016x}.fuzz")), &text)?;
+        }
+        self.entries.push(input.clone());
+        Ok(true)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the corpus holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `i`-th entry, in load/add order.
+    pub fn get(&self, i: usize) -> &FuzzInput {
+        &self.entries[i]
+    }
+
+    /// All entries, in load/add order.
+    pub fn entries(&self) -> &[FuzzInput] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitRng;
+
+    #[test]
+    fn add_is_idempotent_in_memory() {
+        let mut rng = SplitRng::new(1);
+        let input = FuzzInput::generate(&mut rng);
+        let mut corpus = Corpus::in_memory();
+        assert!(corpus.add(&input).unwrap());
+        assert!(!corpus.add(&input).unwrap());
+        assert_eq!(corpus.len(), 1);
+    }
+
+    #[test]
+    fn persisted_corpus_round_trips() {
+        let dir = std::env::temp_dir().join(format!("rossl-fuzz-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut rng = SplitRng::new(2);
+        let mut corpus = Corpus::load(&dir).unwrap();
+        let a = FuzzInput::generate(&mut rng);
+        let b = FuzzInput::generate(&mut rng);
+        corpus.add(&a).unwrap();
+        corpus.add(&b).unwrap();
+
+        let reloaded = Corpus::load(&dir).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert!(reloaded.entries().contains(&a));
+        assert!(reloaded.entries().contains(&b));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,159 @@
+//! The coverage signal: what makes an input "interesting".
+//!
+//! Three cheap, complementary feedback channels (DESIGN §8.2):
+//!
+//! 1. **State-digest novelty** — `Scheduler::digest64` sampled after
+//!    every step of the raw drive, folded into a bounded bitmap of
+//!    [`DIGEST_SLOTS`] slots (AFL-style). Raw digests are near-unique —
+//!    they hash monotone counters — so the *slot* occupancy is the
+//!    saturating novelty signal; without the fold every input would be
+//!    "interesting" and the corpus would grow without bound.
+//! 2. **Marker bigrams** — consecutive [`MarkerKind`] pairs of the
+//!    produced trace, the trace-shape analogue of branch-pair coverage.
+//! 3. **Histogram-bucket occupancy** — response times and read lags
+//!    pushed through `rossl-obs`'s log-linear [`bucket_index`], so an
+//!    input that produces a latency regime never seen before counts as
+//!    novel even when its trace shape is familiar.
+//!
+//! An input joins the corpus iff merging its [`CoverageSample`] into the
+//! global [`CoverageMap`] adds at least one new point on any channel.
+
+use std::collections::HashSet;
+
+use rossl_obs::bucket_index;
+use rossl_trace::{Marker, MarkerKind};
+
+/// Size of the state-digest bitmap. Large enough that distinct dynamic
+/// states rarely collide, small enough that the channel saturates and
+/// stops admitting corpus entries.
+pub const DIGEST_SLOTS: u64 = 8192;
+
+/// Coverage gathered from one execution.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageSample {
+    /// Occupied slots of the state-digest bitmap.
+    pub digests: HashSet<u64>,
+    /// Consecutive marker-kind pairs of the trace(s).
+    pub bigrams: HashSet<(u8, u8)>,
+    /// `(channel, bucket)` occupancy of latency histograms.
+    pub buckets: HashSet<(u8, usize)>,
+}
+
+/// Latency channels feeding the bucket-occupancy signal.
+pub mod channel {
+    /// Response time (arrival → completion).
+    pub const RESPONSE: u8 = 0;
+    /// Read lag (arrival → read).
+    pub const READ_LAG: u8 = 1;
+    /// Trace length, bucketed.
+    pub const TRACE_LEN: u8 = 2;
+}
+
+fn kind_code(kind: MarkerKind) -> u8 {
+    match kind {
+        MarkerKind::ReadStart => 0,
+        MarkerKind::ReadEndSuccess => 1,
+        MarkerKind::ReadEndFailure => 2,
+        MarkerKind::Selection => 3,
+        MarkerKind::Dispatch => 4,
+        MarkerKind::Execution => 5,
+        MarkerKind::Completion => 6,
+        MarkerKind::Idling => 7,
+    }
+}
+
+impl CoverageSample {
+    /// Records one scheduler state digest (folded into its bitmap slot).
+    pub fn digest(&mut self, digest: u64) {
+        self.digests.insert(digest % DIGEST_SLOTS);
+    }
+
+    /// Records the marker bigrams of a trace segment.
+    pub fn trace(&mut self, markers: &[Marker]) {
+        for w in markers.windows(2) {
+            self.bigrams
+                .insert((kind_code(w[0].kind()), kind_code(w[1].kind())));
+        }
+        self.buckets
+            .insert((channel::TRACE_LEN, bucket_index(markers.len() as u64)));
+    }
+
+    /// Records a latency observation on `channel`.
+    pub fn latency(&mut self, channel: u8, ticks: u64) {
+        self.buckets.insert((channel, bucket_index(ticks)));
+    }
+}
+
+/// The campaign-global coverage accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    digests: HashSet<u64>,
+    bigrams: HashSet<(u8, u8)>,
+    buckets: HashSet<(u8, usize)>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Merges `sample`; returns `true` if any channel gained a new
+    /// point (the input is interesting and belongs in the corpus).
+    pub fn merge(&mut self, sample: &CoverageSample) -> bool {
+        let mut novel = false;
+        for d in &sample.digests {
+            novel |= self.digests.insert(*d);
+        }
+        for b in &sample.bigrams {
+            novel |= self.bigrams.insert(*b);
+        }
+        for b in &sample.buckets {
+            novel |= self.buckets.insert(*b);
+        }
+        novel
+    }
+
+    /// `(digests, bigrams, buckets)` sizes, for reporting.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.digests.len(), self.bigrams.len(), self.buckets.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_reports_novelty_once() {
+        let mut map = CoverageMap::new();
+        let mut s = CoverageSample::default();
+        s.digest(1);
+        s.latency(channel::RESPONSE, 100);
+        assert!(map.merge(&s));
+        assert!(!map.merge(&s), "second merge of same sample is not novel");
+        let mut s2 = CoverageSample::default();
+        s2.digest(2);
+        assert!(map.merge(&s2));
+    }
+
+    #[test]
+    fn trace_bigrams_distinguish_shapes() {
+        use rossl_model::SocketId;
+        let mut a = CoverageSample::default();
+        a.trace(&[
+            Marker::ReadStart,
+            Marker::ReadEnd {
+                sock: SocketId(0),
+                job: None,
+            },
+            Marker::Selection,
+            Marker::Idling,
+        ]);
+        let mut map = CoverageMap::new();
+        assert!(map.merge(&a));
+        let mut b = CoverageSample::default();
+        b.trace(&[Marker::Selection, Marker::Selection]);
+        assert!(map.merge(&b), "new bigram (Selection,Selection) is novel");
+    }
+}

@@ -1,0 +1,775 @@
+//! The differential executor: one [`FuzzInput`], every oracle at once.
+//!
+//! Each input is executed twice over:
+//!
+//! 1. **Raw journaled drive** — the real [`Scheduler`] stepped against a
+//!    per-socket FIFO environment with a virtual clock, journaling every
+//!    marker write-ahead with commit-per-record discipline. This is the
+//!    source of the state-digest coverage signal and the substrate for
+//!    the crash path: at `crash_at` markers the scheduler value is
+//!    dropped, a torn half-record is appended, and the [`Supervisor`]
+//!    restarts from the committed prefix — then the recovered state is
+//!    cross-checked against an *independent* replay of the journal, the
+//!    restarted scheduler's digest against a recounted rebuild, and the
+//!    stitched pre-/post-crash trace against the seam accounting.
+//! 2. **Timed simulation** (crash-free inputs only) — the [`Simulator`]
+//!    with seeded random costs, honest or through the input's fault
+//!    plan, feeding the latency-bucket coverage channels and the
+//!    consistency / WCET-compliance / Prosa-bound oracles.
+//!
+//! The crash fork mirrors `rossl-verify`'s `CrashSweep` ordering
+//! exactly: the crash lands after a marker is journaled but *before*
+//! that step's request is served, so every message consumed from the
+//! environment has its `ReadEnd` in the committed prefix and the seam
+//! accounting has no false positives on the honest scheduler.
+//!
+//! In teeth mode the seeded bug is installed on the pre-crash scheduler,
+//! the post-crash scheduler (same buggy binary) and the timed simulator;
+//! [`SeededBug::SkippedCommit`] is a *driver* bug interpreted here: the
+//! journaling loop stops committing at the first successful read it
+//! journals, so a crash loses that read while the environment has
+//! already consumed the message — exactly what the stitched
+//! `LostAcceptedJob` accounting exists to catch.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refined_prosa::RosslSystem;
+use rossl::{
+    ClientConfig, FirstByteCodec, Request, Response, RestartPolicy, Scheduler, SeededBug,
+    Supervisor,
+};
+use rossl_faults::{FaultyCostModel, FaultySocketSet};
+use rossl_journal::{recover, JournalWriter, KIND_EVENT};
+use rossl_model::{Duration, Instant, Job, MsgData, TaskSet, WcetTable};
+use rossl_obs::{Registry, SchedSink, SchedulerMetrics};
+use rossl_timing::{
+    check_consistency, check_wcet_compliance, SimulationResult, Simulator, UniformCost,
+};
+use rossl_trace::{
+    check_functional, check_stitched, pending_jobs, Marker, MarkerKind, ProtocolAutomaton,
+    StitchedTrace,
+};
+use rossl_verify::SpecMonitor;
+
+use crate::coverage::{channel, CoverageSample};
+use crate::input::FuzzInput;
+
+/// Step cap per drive segment — a backstop against pathological inputs,
+/// far above what any in-grammar input needs to quiesce.
+const MAX_DRIVE_STEPS: usize = 4096;
+
+/// One oracle disagreement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Finding {
+    /// The oracle that flagged the run (see the crate-level matrix).
+    pub oracle: &'static str,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Everything one execution produced.
+#[derive(Debug, Clone, Default)]
+pub struct RunOutcome {
+    /// Oracle disagreements, in detection order.
+    pub findings: Vec<Finding>,
+    /// The coverage sample to merge into the campaign map.
+    pub coverage: CoverageSample,
+    /// Scheduler steps executed across all segments and drives.
+    pub steps: u64,
+}
+
+impl RunOutcome {
+    /// `true` when no oracle disagreed.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+fn finding(findings: &mut Vec<Finding>, oracle: &'static str, detail: String) {
+    findings.push(Finding { oracle, detail });
+}
+
+/// The per-socket FIFO environment of the raw drive. Consumed cursors
+/// survive a crash: a message popped from the transport stays popped.
+struct Env {
+    fifos: Vec<VecDeque<(u64, MsgData)>>,
+    consumed: Vec<usize>,
+}
+
+impl Env {
+    fn new(input: &FuzzInput) -> Env {
+        let mut fifos = vec![VecDeque::new(); input.n_sockets];
+        for a in &input.arrivals {
+            fifos[a.sock].push_back((a.time, vec![a.task as u8]));
+        }
+        Env {
+            fifos,
+            consumed: vec![0; input.n_sockets],
+        }
+    }
+
+    fn try_read(&mut self, sock: usize, now: u64) -> Option<MsgData> {
+        if self.fifos[sock].front().is_some_and(|(t, _)| *t <= now) {
+            self.consumed[sock] += 1;
+            return self.fifos[sock].pop_front().map(|(_, m)| m);
+        }
+        None
+    }
+
+    fn next_arrival(&self) -> Option<u64> {
+        self.fifos
+            .iter()
+            .filter_map(|f| f.front().map(|(t, _)| *t))
+            .min()
+    }
+
+    fn drained(&self) -> bool {
+        self.next_arrival().is_none()
+    }
+}
+
+/// Virtual-clock cost of one marker in the raw drive. Only arrival
+/// gating and journal timestamps depend on it; every cost is ≥ 1 so the
+/// clock is strictly monotone.
+fn marker_cost(marker: &Marker, wcet: &WcetTable, tasks: &TaskSet) -> u64 {
+    match marker {
+        Marker::ReadStart | Marker::ReadEnd { .. } => 1,
+        Marker::Selection => wcet.selection.ticks(),
+        Marker::Dispatch(_) => wcet.dispatch.ticks(),
+        Marker::Execution(j) => tasks
+            .task(j.task())
+            .map(|t| t.wcet().ticks())
+            .unwrap_or(1)
+            .max(1),
+        Marker::Completion(_) => wcet.completion.ticks(),
+        Marker::Idling => wcet.idling.ticks(),
+    }
+}
+
+/// Executes `input` through the raw journaled drive (always) and the
+/// timed simulation (crash-free inputs), running the full oracle matrix.
+/// `bug` installs a seeded scheduler/driver bug for mutation testing;
+/// `None` is the honest stack, on which every finding is a real
+/// disagreement.
+pub fn execute(input: &FuzzInput, bug: Option<SeededBug>) -> RunOutcome {
+    let system = input.system();
+    let config = Arc::new(
+        ClientConfig::new(system.tasks().clone(), input.n_sockets)
+            .expect("sanitized input yields a valid client config"),
+    );
+    let mut out = RunOutcome::default();
+    raw_drive(input, bug, &system, &config, &mut out);
+    if input.crash_at.is_none() {
+        timed_drive(input, bug, &system, &mut out);
+    }
+    out
+}
+
+fn raw_drive(
+    input: &FuzzInput,
+    bug: Option<SeededBug>,
+    system: &RosslSystem,
+    config: &Arc<ClientConfig>,
+    out: &mut RunOutcome,
+) {
+    let wcet = *system.wcet();
+    let tasks = system.tasks();
+    let registry = Registry::new();
+    let bundle = SchedulerMetrics::register(&registry);
+    let mut sched = Scheduler::with_shared_config(Arc::clone(config), FirstByteCodec)
+        .with_telemetry(SchedSink::Metrics(Arc::clone(&bundle)));
+    if let Some(b) = bug {
+        sched = sched.with_seeded_bug(b);
+    }
+
+    let mut env = Env::new(input);
+    let mut journal = JournalWriter::new();
+    let mut commits_enabled = true;
+    let mut trace: Vec<Marker> = Vec::new();
+    let mut now = 0u64;
+    let mut response: Option<Response> = None;
+    let mut crashed = false;
+    let mut quiesced = false;
+
+    loop {
+        let step = match sched.advance(response.take()) {
+            Ok(step) => step,
+            Err(e) => {
+                finding(
+                    &mut out.findings,
+                    "drive",
+                    format!("raw drive stuck after {} markers: {e}", trace.len()),
+                );
+                return;
+            }
+        };
+        out.steps += 1;
+        now += marker_cost(&step.marker, &wcet, tasks);
+        journal.append(&step.marker, Instant(now));
+        // The SkippedCommit driver bug: stop committing at the first
+        // successful read journaled — the read record itself included.
+        if bug == Some(SeededBug::SkippedCommit)
+            && matches!(step.marker, Marker::ReadEnd { job: Some(_), .. })
+        {
+            commits_enabled = false;
+        }
+        if commits_enabled {
+            journal.commit();
+        }
+        trace.push(step.marker.clone());
+        out.coverage.digest(sched.digest64());
+
+        // Crash lands after the marker is journaled, before the request
+        // is served — the same fork point CrashSweep uses, so consumed
+        // cursors never outrun the committed prefix.
+        if input.crash_at.is_some_and(|k| trace.len() as u64 >= k) {
+            crashed = true;
+            break;
+        }
+
+        match step.request {
+            Some(Request::Read(sock)) => {
+                response = Some(Response::ReadResult(env.try_read(sock.0, now)));
+            }
+            Some(Request::Execute(_)) => response = Some(Response::Executed),
+            None => {}
+        }
+
+        if matches!(step.marker, Marker::Idling) {
+            if env.drained() {
+                quiesced = true;
+                break;
+            }
+            // Fast-forward the idle gap: reads would fail until the next
+            // arrival becomes visible anyway.
+            if let Some(next) = env.next_arrival() {
+                now = now.max(next);
+            }
+        }
+        if trace.len() >= MAX_DRIVE_STEPS {
+            break;
+        }
+    }
+
+    out.coverage.trace(&trace);
+
+    if crashed {
+        crash_oracles(input, bug, system, config, &mut env, journal, &trace, sched, now, out);
+        return;
+    }
+
+    sched.flush_telemetry();
+
+    if let Err(e) = ProtocolAutomaton::new(input.n_sockets).accept(&trace) {
+        finding(&mut out.findings, "protocol", format!("{e}"));
+    }
+    if let Err(e) = check_functional(&trace, tasks) {
+        finding(&mut out.findings, "functional", format!("{e}"));
+    }
+    // Online/offline differential: the streaming monitor must agree with
+    // the batch checkers marker for marker.
+    let mut monitor = SpecMonitor::new(tasks.clone(), input.n_sockets);
+    for (i, m) in trace.iter().enumerate() {
+        if let Err(v) = monitor.observe(m) {
+            finding(
+                &mut out.findings,
+                "monitor",
+                format!("online monitor rejected marker {i}: {v}"),
+            );
+            break;
+        }
+    }
+    // Ghost-set differential: at quiescence the scheduler's live queue
+    // must match the trace's pending-jobs set.
+    if quiesced {
+        let ghost = pending_jobs(&trace, trace.len());
+        if ghost.len() != sched.pending_count() {
+            finding(
+                &mut out.findings,
+                "pending",
+                format!(
+                    "trace says {} pending job(s) at quiescence, scheduler queue holds {}",
+                    ghost.len(),
+                    sched.pending_count()
+                ),
+            );
+        }
+    }
+    // Journal round-trip: committed ++ uncommitted must replay to
+    // exactly the trace, with no corruption on a clean shutdown.
+    match recover(&journal.into_bytes()) {
+        Ok(rec) => {
+            if let Some(c) = rec.corruption {
+                finding(
+                    &mut out.findings,
+                    "journal",
+                    format!("corruption reported on clean shutdown: {c}"),
+                );
+            }
+            let replayed: Vec<Marker> = rec
+                .committed
+                .iter()
+                .chain(rec.uncommitted.iter())
+                .map(|e| e.marker.clone())
+                .collect();
+            if replayed != trace {
+                finding(
+                    &mut out.findings,
+                    "journal",
+                    format!(
+                        "round-trip mismatch: journal replays {} marker(s), trace has {}",
+                        replayed.len(),
+                        trace.len()
+                    ),
+                );
+            }
+        }
+        Err(e) => finding(&mut out.findings, "journal", format!("unreadable journal: {e}")),
+    }
+    telemetry_recount(&trace, 0, 0, &registry, &mut out.findings);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn crash_oracles(
+    input: &FuzzInput,
+    bug: Option<SeededBug>,
+    system: &RosslSystem,
+    config: &Arc<ClientConfig>,
+    env: &mut Env,
+    journal: JournalWriter,
+    pre_trace: &[Marker],
+    crashed_sched: Scheduler<FirstByteCodec>,
+    mut now: u64,
+    out: &mut RunOutcome,
+) {
+    let wcet = *system.wcet();
+    let tasks = system.tasks();
+    let pre_completed = crashed_sched.jobs_completed();
+    drop(crashed_sched);
+
+    let mut bytes = journal.into_bytes();
+    // The write the crash interrupted: a torn event header.
+    bytes.extend_from_slice(&[KIND_EVENT, 0xFF, 0xFF]);
+
+    // Independent offline view of the committed prefix.
+    let committed: Vec<Marker> = match recover(&bytes) {
+        Ok(rec) => rec.committed.iter().map(|e| e.marker.clone()).collect(),
+        Err(e) => {
+            finding(
+                &mut out.findings,
+                "journal",
+                format!("crashed journal unreadable: {e}"),
+            );
+            return;
+        }
+    };
+
+    let mut supervisor = Supervisor::new(RestartPolicy::default());
+    let (sched2, state, corruption) =
+        match supervisor.restart_shared(&bytes, Arc::clone(config), FirstByteCodec) {
+            Ok(t) => t,
+            Err(e) => {
+                finding(
+                    &mut out.findings,
+                    "recovery",
+                    format!("supervised restart failed at marker {}: {e}", pre_trace.len()),
+                );
+                return;
+            }
+        };
+    if corruption.is_none() {
+        finding(
+            &mut out.findings,
+            "journal",
+            "torn tail went undetected by journal recovery".to_string(),
+        );
+    }
+
+    // Recount the recovered state from the committed markers ourselves
+    // and hold the supervisor to it.
+    let mut pending: Vec<Job> = Vec::new();
+    let mut in_flight: Option<Job> = None;
+    let mut next_id = 0u64;
+    let mut completed = 0u64;
+    for m in &committed {
+        match m {
+            Marker::ReadEnd { job: Some(j), .. } => {
+                next_id = next_id.max(j.id().0 + 1);
+                pending.push(j.clone());
+            }
+            Marker::Dispatch(j) => {
+                pending.retain(|p| p.id() != j.id());
+                in_flight = Some(j.clone());
+            }
+            Marker::Completion(_) => {
+                completed += 1;
+                in_flight = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(j) = in_flight {
+        pending.insert(0, j);
+    }
+
+    if state.next_job_id != next_id || state.jobs_completed != completed {
+        finding(
+            &mut out.findings,
+            "recovery",
+            format!(
+                "recovered counters (next_id={}, completed={}) disagree with journal recount \
+                 (next_id={next_id}, completed={completed})",
+                state.next_job_id, state.jobs_completed
+            ),
+        );
+    }
+    if completed != pre_completed {
+        finding(
+            &mut out.findings,
+            "recovery",
+            format!(
+                "committed journal records {completed} completion(s); the crashed scheduler \
+                 had performed {pre_completed}"
+            ),
+        );
+    }
+    let state_ids: Vec<u64> = state.pending.iter().map(|j| j.id().0).collect();
+    let mine_ids: Vec<u64> = pending.iter().map(|j| j.id().0).collect();
+    if state_ids != mine_ids {
+        finding(
+            &mut out.findings,
+            "recovery",
+            format!("recovered pending jobs {state_ids:?} disagree with journal recount {mine_ids:?}"),
+        );
+    }
+
+    // Digest differential: a scheduler rebuilt from our own recount must
+    // be bit-for-bit indistinguishable from the supervisor's.
+    match Scheduler::recovered_shared(
+        Arc::clone(config),
+        FirstByteCodec,
+        pending.clone(),
+        next_id,
+        completed,
+    ) {
+        Ok(mine) => {
+            if mine.digest64() != sched2.digest64() {
+                finding(
+                    &mut out.findings,
+                    "digest",
+                    "restarted scheduler's state digest disagrees with a rebuild from the \
+                     journal recount"
+                        .to_string(),
+                );
+            }
+        }
+        Err(e) => finding(
+            &mut out.findings,
+            "recovery",
+            format!("journal recount references an unknown task: {e}"),
+        ),
+    }
+
+    // Drive the post-crash segment — same buggy binary, same environment.
+    let mut sched2 = sched2;
+    if let Some(b) = bug {
+        sched2 = sched2.with_seeded_bug(b);
+    }
+    let mut seg1: Vec<Marker> = Vec::new();
+    let mut response: Option<Response> = None;
+    loop {
+        let step = match sched2.advance(response.take()) {
+            Ok(step) => step,
+            Err(e) => {
+                finding(
+                    &mut out.findings,
+                    "drive",
+                    format!("post-crash drive stuck after {} markers: {e}", seg1.len()),
+                );
+                break;
+            }
+        };
+        out.steps += 1;
+        now += marker_cost(&step.marker, &wcet, tasks);
+        seg1.push(step.marker.clone());
+        out.coverage.digest(sched2.digest64());
+        match step.request {
+            Some(Request::Read(sock)) => {
+                response = Some(Response::ReadResult(env.try_read(sock.0, now)));
+            }
+            Some(Request::Execute(_)) => response = Some(Response::Executed),
+            None => {}
+        }
+        if matches!(step.marker, Marker::Idling) {
+            if env.drained() {
+                break;
+            }
+            if let Some(next) = env.next_arrival() {
+                now = now.max(next);
+            }
+        }
+        if seg1.len() >= MAX_DRIVE_STEPS {
+            break;
+        }
+    }
+    out.coverage.trace(&seg1);
+
+    // Completion-counter consistency across the crash.
+    let seg1_completions = seg1
+        .iter()
+        .filter(|m| m.kind() == MarkerKind::Completion)
+        .count() as u64;
+    if sched2.jobs_completed() != completed + seg1_completions {
+        finding(
+            &mut out.findings,
+            "recovery",
+            format!(
+                "post-crash completion counter {} != recovered {completed} + {seg1_completions} \
+                 observed",
+                sched2.jobs_completed()
+            ),
+        );
+    }
+
+    // The stitched verdict: per-segment protocol, cross-seam functional
+    // correctness, and the consumed-message accounting.
+    let stitched = StitchedTrace::new(vec![committed, seg1]);
+    if let Err(e) = check_stitched(&stitched, tasks, input.n_sockets, Some(&env.consumed)) {
+        finding(&mut out.findings, "stitched", format!("{e}"));
+    }
+}
+
+fn timed_drive(
+    input: &FuzzInput,
+    bug: Option<SeededBug>,
+    system: &RosslSystem,
+    out: &mut RunOutcome,
+) {
+    let arrivals = input.arrival_sequence();
+    let horizon = Instant(input.horizon);
+    let tasks = system.tasks();
+    let registry = Registry::new();
+    let bundle = SchedulerMetrics::register(&registry);
+    let sink = SchedSink::Metrics(Arc::clone(&bundle));
+    let cost = UniformCost::new(StdRng::seed_from_u64(input.seed));
+    let config = ClientConfig::new(tasks.clone(), input.n_sockets)
+        .expect("sanitized input yields a valid client config");
+
+    let result: SimulationResult = if input.faults.is_empty() {
+        let sim = match Simulator::new(config, FirstByteCodec, *system.wcet(), cost) {
+            Ok(sim) => sim,
+            Err(e) => {
+                finding(&mut out.findings, "drive", format!("simulator rejected input: {e}"));
+                return;
+            }
+        };
+        let mut sim = sim.with_telemetry(sink);
+        if let Some(b) = bug {
+            sim = sim.with_seeded_bug(b);
+        }
+        match sim.run(&arrivals, horizon) {
+            Ok(result) => result,
+            Err(e) => {
+                finding(&mut out.findings, "drive", format!("timed simulation failed: {e}"));
+                return;
+            }
+        }
+    } else {
+        // Mirrors RosslSystem::simulate_faulty_with_telemetry, with the
+        // seeded bug threaded through.
+        let plan = input.fault_plan();
+        let sockets = match FaultySocketSet::with_arrivals(input.n_sockets, &arrivals, &plan) {
+            Ok(sockets) => sockets,
+            Err(e) => {
+                finding(
+                    &mut out.findings,
+                    "drive",
+                    format!("fault plan broke the socket set: {e}"),
+                );
+                return;
+            }
+        };
+        let faulty_cost = FaultyCostModel::new(cost, &plan);
+        let sim = match Simulator::new(config, FirstByteCodec, *system.wcet(), faulty_cost) {
+            Ok(sim) => sim,
+            Err(e) => {
+                finding(&mut out.findings, "drive", format!("simulator rejected input: {e}"));
+                return;
+            }
+        };
+        let mut sim = sim.unclamped().with_telemetry(sink);
+        if let Some(b) = bug {
+            sim = sim.with_seeded_bug(b);
+        }
+        match sim.run_with(sockets, horizon) {
+            Ok(result) => result,
+            Err(e) => {
+                finding(&mut out.findings, "drive", format!("faulty simulation failed: {e}"));
+                return;
+            }
+        }
+    };
+
+    let markers = result.trace.markers();
+    if let Err(e) = ProtocolAutomaton::new(input.n_sockets).accept(markers) {
+        finding(&mut out.findings, "protocol", format!("timed trace: {e}"));
+    }
+    if let Err(e) = check_functional(markers, tasks) {
+        finding(&mut out.findings, "functional", format!("timed trace: {e}"));
+    }
+    if input.faults.is_empty() {
+        // Both checkers assume the honest environment: socket faults
+        // legitimately perturb delivery, cost faults legitimately break
+        // the WCET table.
+        if let Err(e) = check_consistency(&result.trace, &arrivals) {
+            finding(&mut out.findings, "consistency", format!("{e}"));
+        }
+        if let Err(e) = check_wcet_compliance(&result.trace, tasks, system.wcet(), input.n_sockets)
+        {
+            finding(&mut out.findings, "wcet", format!("{e}"));
+        }
+    }
+    let sheds = result
+        .degradation
+        .iter()
+        .filter(|e| matches!(e, rossl::DegradedEvent::JobShed { .. }))
+        .count() as u64;
+    let overruns = result
+        .degradation
+        .iter()
+        .filter(|e| matches!(e, rossl::DegradedEvent::WcetOverrun { .. }))
+        .count() as u64;
+    telemetry_recount(markers, sheds, overruns, &registry, &mut out.findings);
+
+    // The Prosa bound oracle: sound only for honest, curve-respecting
+    // runs of a schedulable system.
+    if input.faults.is_empty() && input.respects_curves() {
+        let analysis_horizon = Duration(input.horizon.max(100_000).saturating_mul(4));
+        if let Ok(analysis) = system.analyse(analysis_horizon) {
+            for (job, task, rt) in result.response_times() {
+                if let Some(b) = analysis.bound_for(task) {
+                    if rt > b.total_bound() {
+                        finding(
+                            &mut out.findings,
+                            "bound",
+                            format!(
+                                "job {} of task {}: response time {} exceeds Prosa bound {}",
+                                job.0,
+                                task.0,
+                                rt.ticks(),
+                                b.total_bound().ticks()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    out.steps += markers.len() as u64;
+    out.coverage.trace(markers);
+    for rec in result.jobs.values() {
+        if let Some(rt) = rec.response_time() {
+            out.coverage.latency(channel::RESPONSE, rt.ticks());
+        }
+        out.coverage.latency(channel::READ_LAG, rec.read_lag().ticks());
+    }
+}
+
+/// Compares the flushed `sched.*` counters against an offline recount of
+/// the trace — the telemetry subsystem must agree exactly with ground
+/// truth (one marker per step, flush-complete at run end).
+fn telemetry_recount(
+    markers: &[Marker],
+    sheds: u64,
+    overruns: u64,
+    registry: &Registry,
+    findings: &mut Vec<Finding>,
+) {
+    let snap = registry.snapshot();
+    let count = |k: MarkerKind| markers.iter().filter(|m| m.kind() == k).count() as u64;
+    let expected = [
+        ("sched.steps", markers.len() as u64),
+        ("sched.reads_ok", count(MarkerKind::ReadEndSuccess)),
+        ("sched.reads_empty", count(MarkerKind::ReadEndFailure)),
+        ("sched.dispatches", count(MarkerKind::Dispatch)),
+        ("sched.completions", count(MarkerKind::Completion)),
+        ("sched.idles", count(MarkerKind::Idling)),
+        ("sched.sheds", sheds),
+        ("sched.overruns", overruns),
+    ];
+    for (name, want) in expected {
+        let got = snap.counter(name).unwrap_or(0);
+        if got != want {
+            findings.push(Finding {
+                oracle: "telemetry",
+                detail: format!("{name}: counter {got} != offline recount {want}"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitRng;
+
+    #[test]
+    fn honest_generated_inputs_are_clean() {
+        let mut rng = SplitRng::new(0xC1EA);
+        for i in 0..25 {
+            let input = FuzzInput::generate(&mut rng);
+            let out = execute(&input, None);
+            assert!(
+                out.clean(),
+                "honest input #{i} produced findings: {:?}\ninput:\n{}",
+                out.findings,
+                input.to_text()
+            );
+            assert!(out.steps > 0);
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let mut rng = SplitRng::new(7);
+        let input = FuzzInput::generate(&mut rng);
+        let a = execute(&input, None);
+        let b = execute(&input, None);
+        assert_eq!(a.findings, b.findings);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    /// Each seeded bug is detected by fuzzing a handful of inputs — the
+    /// in-crate smoke version of `fuzz --teeth`.
+    #[test]
+    fn seeded_bugs_are_detected() {
+        for bug in SeededBug::ALL {
+            let mut rng = SplitRng::new(0xB06 ^ bug as u64);
+            let mut detected = false;
+            for _ in 0..60 {
+                let mut input = FuzzInput::generate(&mut rng);
+                if bug.is_driver_bug() {
+                    // Driver bugs only surface through crash recovery.
+                    input.crash_at = Some(rng.range(5, 120));
+                    input.sanitize();
+                }
+                if !execute(&input, Some(bug)).clean() {
+                    detected = true;
+                    break;
+                }
+            }
+            assert!(detected, "seeded bug {bug} escaped 60 fuzz inputs");
+        }
+    }
+}

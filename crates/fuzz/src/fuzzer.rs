@@ -1,0 +1,248 @@
+//! The campaign loop: generate/mutate → execute → merge coverage →
+//! shrink findings.
+//!
+//! Determinism contract: the campaign is a pure function of
+//! [`FuzzConfig`] plus the corpus contents at start — the seed is split
+//! into independent streams for generation, mutation and corpus picks,
+//! execution is deterministic, and shrinking is deterministic. Wall-clock
+//! only *stops* the loop (`budget`); it never changes what any iteration
+//! does, so a longer budget strictly extends a shorter campaign.
+
+use std::path::PathBuf;
+use std::time::{Duration as WallDuration, Instant as WallInstant};
+
+use rossl::SeededBug;
+
+use crate::corpus::Corpus;
+use crate::coverage::CoverageMap;
+use crate::exec::{execute, Finding};
+use crate::input::FuzzInput;
+use crate::mutate::mutate;
+use crate::repro::to_rust_test;
+use crate::rng::SplitRng;
+use crate::shrink::shrink;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; split into generation/mutation/pick streams.
+    pub seed: u64,
+    /// Iteration cap (`0` = unbounded, budget-limited).
+    pub max_iters: u64,
+    /// Wall-clock budget; `None` = iterate to `max_iters`.
+    pub budget: Option<WallDuration>,
+    /// Seeded bug for mutation-testing mode (`fuzz --teeth`).
+    pub bug: Option<SeededBug>,
+    /// Corpus directory; `None` keeps the corpus in memory.
+    pub corpus_dir: Option<PathBuf>,
+    /// Minimize failing inputs before reporting.
+    pub shrink: bool,
+    /// Force a crash point onto every input that lacks one — used by
+    /// teeth mode for driver bugs, which only crash recovery can see.
+    pub force_crash: bool,
+    /// Stop after this many findings (`0` = never stop on findings).
+    pub max_findings: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 0,
+            max_iters: 1_000,
+            budget: None,
+            bug: None,
+            corpus_dir: None,
+            shrink: true,
+            force_crash: false,
+            max_findings: 5,
+        }
+    }
+}
+
+/// A finding with its provenance and minimized reproducer.
+#[derive(Debug, Clone)]
+pub struct CampaignFinding {
+    /// The oracle disagreement (from the minimized input's execution).
+    pub finding: Finding,
+    /// The input that first triggered it.
+    pub input: FuzzInput,
+    /// The minimized input (equals `input` when shrinking is off).
+    pub shrunk: FuzzInput,
+    /// 1-based iteration at which it was found.
+    pub iteration: u64,
+    /// A compiling `#[test]` snippet reproducing it.
+    pub repro: String,
+}
+
+/// What a campaign did.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Total scheduler steps across all executions.
+    pub steps: u64,
+    /// Oracle disagreements, in discovery order.
+    pub findings: Vec<CampaignFinding>,
+    /// Corpus size at exit.
+    pub corpus_size: usize,
+    /// `(digests, bigrams, buckets)` coverage at exit.
+    pub coverage: (usize, usize, usize),
+    /// Corpus growth curve: `(iteration, corpus_size)` at each addition.
+    pub growth: Vec<(u64, usize)>,
+    /// Wall-clock spent.
+    pub elapsed: WallDuration,
+}
+
+/// Runs one campaign. Corpus I/O errors are not fatal to fuzzing — a
+/// read-only corpus directory degrades to in-memory operation.
+pub fn run_campaign(config: &FuzzConfig) -> FuzzReport {
+    let started = WallInstant::now();
+    let mut rng = SplitRng::new(config.seed);
+    let mut gen_rng = rng.split();
+    let mut mut_rng = rng.split();
+    let mut pick_rng = rng.split();
+
+    let mut corpus = match &config.corpus_dir {
+        Some(dir) => Corpus::load(dir).unwrap_or_else(|_| Corpus::in_memory()),
+        None => Corpus::in_memory(),
+    };
+    let mut map = CoverageMap::new();
+    let mut report = FuzzReport::default();
+
+    // Replay the existing corpus to rebuild the coverage baseline, so
+    // "interesting" means interesting relative to everything checked in.
+    for entry in corpus.entries().to_vec() {
+        let out = execute(&entry, config.bug);
+        report.steps += out.steps;
+        map.merge(&out.coverage);
+    }
+
+    loop {
+        if config.max_iters > 0 && report.iterations >= config.max_iters {
+            break;
+        }
+        if config
+            .budget
+            .is_some_and(|budget| started.elapsed() >= budget)
+        {
+            break;
+        }
+        report.iterations += 1;
+
+        let mut input = if !corpus.is_empty() && pick_rng.chance(700) {
+            let base = corpus.get(pick_rng.index(corpus.len())).clone();
+            mutate(&base, &mut mut_rng)
+        } else {
+            FuzzInput::generate(&mut gen_rng)
+        };
+        if config.force_crash && input.crash_at.is_none() {
+            input.crash_at = Some(mut_rng.range(2, 150));
+            input.sanitize();
+        }
+
+        let out = execute(&input, config.bug);
+        report.steps += out.steps;
+        if map.merge(&out.coverage) && corpus.add(&input).unwrap_or(false) {
+            report.growth.push((report.iterations, corpus.len()));
+        }
+
+        if !out.findings.is_empty() {
+            let shrunk = if config.shrink {
+                shrink(&input, config.bug)
+            } else {
+                input.clone()
+            };
+            let finding = execute(&shrunk, config.bug)
+                .findings
+                .first()
+                .cloned()
+                .unwrap_or_else(|| out.findings[0].clone());
+            let name = format!("fuzz_regression_{}", report.findings.len());
+            let repro = to_rust_test(&name, &shrunk, config.bug, &finding);
+            report.findings.push(CampaignFinding {
+                finding,
+                input,
+                shrunk,
+                iteration: report.iterations,
+                repro,
+            });
+            if config.max_findings > 0 && report.findings.len() >= config.max_findings {
+                break;
+            }
+        }
+    }
+
+    report.corpus_size = corpus.len();
+    report.coverage = map.counts();
+    report.elapsed = started.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip_clock(mut r: FuzzReport) -> FuzzReport {
+        r.elapsed = WallDuration::ZERO;
+        r
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let config = FuzzConfig {
+            seed: 0xDE7,
+            max_iters: 30,
+            ..FuzzConfig::default()
+        };
+        let a = strip_clock(run_campaign(&config));
+        let b = strip_clock(run_campaign(&config));
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.corpus_size, b.corpus_size);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.growth, b.growth);
+        assert_eq!(
+            a.findings.iter().map(|f| &f.repro).collect::<Vec<_>>(),
+            b.findings.iter().map(|f| &f.repro).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn honest_campaign_is_clean_and_grows_coverage() {
+        let config = FuzzConfig {
+            seed: 1,
+            max_iters: 40,
+            ..FuzzConfig::default()
+        };
+        let report = run_campaign(&config);
+        assert_eq!(report.iterations, 40);
+        assert!(
+            report.findings.is_empty(),
+            "honest stack produced findings: {:?}",
+            report.findings.iter().map(|f| &f.finding).collect::<Vec<_>>()
+        );
+        assert!(report.corpus_size > 0, "no input was ever interesting");
+        let (digests, bigrams, buckets) = report.coverage;
+        assert!(digests > 0 && bigrams > 0 && buckets > 0);
+    }
+
+    #[test]
+    fn seeded_bug_campaign_finds_and_minimizes() {
+        let config = FuzzConfig {
+            seed: 2,
+            max_iters: 200,
+            bug: Some(SeededBug::OffByOnePriorityPick),
+            max_findings: 1,
+            ..FuzzConfig::default()
+        };
+        let report = run_campaign(&config);
+        assert!(!report.findings.is_empty(), "bug escaped 200 iterations");
+        let f = &report.findings[0];
+        assert!(f.shrunk.arrivals.len() <= f.input.arrivals.len());
+        assert!(f.repro.contains("#[test]"));
+        // The minimized input still fails, and the honest stack is clean
+        // on it — exactly what the emitted snippet asserts.
+        assert!(!execute(&f.shrunk, config.bug).findings.is_empty());
+        assert!(execute(&f.shrunk, None).clean());
+    }
+}

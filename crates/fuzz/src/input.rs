@@ -1,0 +1,530 @@
+//! The fuzzer's structured input grammar and its canonical text codec.
+//!
+//! A [`FuzzInput`] is everything one differential execution needs: a
+//! task set, a socket count, an arrival schedule, an optional fault
+//! plan, an optional crash point, and a horizon. Inputs are generated
+//! and mutated as plain data and only lowered to the stack's real types
+//! ([`RosslSystem`], [`ArrivalSequence`], [`FaultPlan`]) at execution
+//! time, so the corpus stays a set of small, diffable text files under
+//! `fuzz/corpus/` — one line per clause, stable field order, no floats —
+//! that replay byte-identically across runs and machines.
+//!
+//! [`FuzzInput::sanitize`] is the single place where validity is
+//! enforced (every generator/mutator output passes through it), which
+//! guarantees [`FuzzInput::system`] cannot fail on task-set or
+//! configuration grounds.
+
+use std::fmt::Write as _;
+
+use refined_prosa::{RosslSystem, SystemBuilder};
+use rossl_faults::{FaultClass, FaultPlan, FaultSpec};
+use rossl_model::{Duration, Instant, Message, Priority, SocketId, TaskId};
+use rossl_model::Curve;
+use rossl_sockets::{ArrivalEvent, ArrivalSequence};
+
+use crate::rng::SplitRng;
+
+/// Grammar bounds, shared by generation, mutation and sanitization.
+pub mod bounds {
+    /// Maximum number of tasks.
+    pub const MAX_TASKS: usize = 4;
+    /// Maximum number of sockets.
+    pub const MAX_SOCKETS: usize = 3;
+    /// Maximum number of arrivals.
+    pub const MAX_ARRIVALS: usize = 24;
+    /// Maximum number of fault clauses.
+    pub const MAX_FAULTS: usize = 3;
+    /// Task priority range (inclusive).
+    pub const PRIORITY: (u64, u64) = (0, 9);
+    /// Task WCET range in ticks (inclusive).
+    pub const WCET: (u64, u64) = (1, 25);
+    /// Sporadic period range in ticks (inclusive).
+    pub const PERIOD: (u64, u64) = (40, 2_000);
+    /// Horizon range in ticks (inclusive).
+    pub const HORIZON: (u64, u64) = (200, 20_000);
+    /// Maximum crash point, in markers into the raw drive.
+    pub const MAX_CRASH_AT: u64 = 300;
+}
+
+/// One task of the generated task set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskSpec {
+    /// Fixed priority (higher wins).
+    pub priority: u64,
+    /// Declared worst-case execution time, ticks.
+    pub wcet: u64,
+    /// Sporadic minimum inter-arrival time, ticks.
+    pub period: u64,
+}
+
+/// One message arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrivalSpec {
+    /// Nominal arrival instant, ticks.
+    pub time: u64,
+    /// Destination socket (index into the socket set).
+    pub sock: usize,
+    /// The task the message belongs to (index into the task list).
+    pub task: usize,
+}
+
+/// A fault clause: a [`FaultClass`] (minus `Crash`, which the grammar
+/// models separately as [`FuzzInput::crash_at`]) plus an injection rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultEntry {
+    /// The fault kind and its parameter.
+    pub kind: FaultKind,
+    /// Injection rate in permille.
+    pub rate_permille: u16,
+}
+
+/// The grammar's closed set of injectable fault kinds. Mirrors
+/// [`FaultClass`] without `Crash`; parameters are plain integers so the
+/// text codec stays trivial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FaultKind {
+    Drop,
+    Duplicate,
+    Reroute,
+    Burst(u32),
+    DelayedVisibility(u64),
+    UniformDelay(u64),
+    WcetOverrun(u32),
+    ClockJitter(u64),
+    StalledIdle(u32),
+    ExecutionSlack(u32),
+}
+
+impl FaultKind {
+    /// All kinds with a representative parameter, for generation.
+    pub(crate) fn generate(rng: &mut SplitRng) -> FaultKind {
+        match rng.below(10) {
+            0 => FaultKind::Drop,
+            1 => FaultKind::Duplicate,
+            2 => FaultKind::Reroute,
+            3 => FaultKind::Burst(rng.range(2, 4) as u32),
+            4 => FaultKind::DelayedVisibility(rng.range(1, 50)),
+            5 => FaultKind::UniformDelay(rng.range(1, 20)),
+            6 => FaultKind::WcetOverrun(rng.range(2, 4) as u32),
+            7 => FaultKind::ClockJitter(rng.range(1, 10)),
+            8 => FaultKind::StalledIdle(rng.range(2, 4) as u32),
+            _ => FaultKind::ExecutionSlack(rng.range(2, 4) as u32),
+        }
+    }
+
+    /// Lowers to the real [`FaultClass`].
+    pub fn class(self) -> FaultClass {
+        match self {
+            FaultKind::Drop => FaultClass::Drop,
+            FaultKind::Duplicate => FaultClass::Duplicate,
+            FaultKind::Reroute => FaultClass::Reroute,
+            FaultKind::Burst(f) => FaultClass::Burst { factor: f.max(2) },
+            FaultKind::DelayedVisibility(d) => FaultClass::DelayedVisibility {
+                delay: Duration(d.max(1)),
+            },
+            FaultKind::UniformDelay(s) => FaultClass::UniformDelay {
+                shift: Duration(s.max(1)),
+            },
+            FaultKind::WcetOverrun(f) => FaultClass::WcetOverrun { factor: f.max(2) },
+            FaultKind::ClockJitter(e) => FaultClass::ClockJitter {
+                extra: Duration(e.max(1)),
+            },
+            FaultKind::StalledIdle(f) => FaultClass::StalledIdle { factor: f.max(2) },
+            FaultKind::ExecutionSlack(d) => FaultClass::ExecutionSlack { divisor: d.max(1) },
+        }
+    }
+
+    fn codec_name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Reroute => "reroute",
+            FaultKind::Burst(_) => "burst",
+            FaultKind::DelayedVisibility(_) => "delayed-visibility",
+            FaultKind::UniformDelay(_) => "uniform-delay",
+            FaultKind::WcetOverrun(_) => "wcet-overrun",
+            FaultKind::ClockJitter(_) => "clock-jitter",
+            FaultKind::StalledIdle(_) => "stalled-idle",
+            FaultKind::ExecutionSlack(_) => "execution-slack",
+        }
+    }
+
+    fn param(self) -> u64 {
+        match self {
+            FaultKind::Drop | FaultKind::Duplicate | FaultKind::Reroute => 0,
+            FaultKind::Burst(f) | FaultKind::WcetOverrun(f) | FaultKind::StalledIdle(f) => f.into(),
+            FaultKind::ExecutionSlack(d) => d.into(),
+            FaultKind::DelayedVisibility(p)
+            | FaultKind::UniformDelay(p)
+            | FaultKind::ClockJitter(p) => p,
+        }
+    }
+
+    fn from_codec(name: &str, param: u64) -> Option<FaultKind> {
+        Some(match name {
+            "drop" => FaultKind::Drop,
+            "duplicate" => FaultKind::Duplicate,
+            "reroute" => FaultKind::Reroute,
+            "burst" => FaultKind::Burst(param as u32),
+            "delayed-visibility" => FaultKind::DelayedVisibility(param),
+            "uniform-delay" => FaultKind::UniformDelay(param),
+            "wcet-overrun" => FaultKind::WcetOverrun(param as u32),
+            "clock-jitter" => FaultKind::ClockJitter(param),
+            "stalled-idle" => FaultKind::StalledIdle(param as u32),
+            "execution-slack" => FaultKind::ExecutionSlack(param as u32),
+            _ => return None,
+        })
+    }
+}
+
+/// A structured fuzz input: one point of the grammar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FuzzInput {
+    /// Seed for the stochastic parts of execution (cost-model draws).
+    pub seed: u64,
+    /// Number of sockets (1..=[`bounds::MAX_SOCKETS`]).
+    pub n_sockets: usize,
+    /// The task set (1..=[`bounds::MAX_TASKS`] entries).
+    pub tasks: Vec<TaskSpec>,
+    /// The arrival schedule (sorted by time after sanitization).
+    pub arrivals: Vec<ArrivalSpec>,
+    /// Environment/cost fault clauses (empty = honest environment).
+    pub faults: Vec<FaultEntry>,
+    /// Crash the scheduler after this many markers of the raw drive.
+    pub crash_at: Option<u64>,
+    /// Timed-simulation horizon, ticks.
+    pub horizon: u64,
+}
+
+/// Why a corpus file failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const HEADER: &str = "rossl-fuzz-input v1";
+
+impl FuzzInput {
+    /// Generates a fresh input from `rng`; the result is sanitized.
+    pub fn generate(rng: &mut SplitRng) -> FuzzInput {
+        let n_tasks = rng.range(1, bounds::MAX_TASKS as u64) as usize;
+        let tasks = (0..n_tasks)
+            .map(|_| TaskSpec {
+                priority: rng.range(bounds::PRIORITY.0, bounds::PRIORITY.1),
+                wcet: rng.range(bounds::WCET.0, bounds::WCET.1),
+                period: rng.range(bounds::PERIOD.0, bounds::PERIOD.1),
+            })
+            .collect::<Vec<_>>();
+        let n_sockets = rng.range(1, bounds::MAX_SOCKETS as u64) as usize;
+        let horizon = rng.range(bounds::HORIZON.0, bounds::HORIZON.1);
+        let n_arrivals = rng.range(0, bounds::MAX_ARRIVALS as u64) as usize;
+        // Arrivals cluster in bursts half the time: simultaneous pending
+        // jobs are where priority-order bugs live.
+        let mut arrivals = Vec::with_capacity(n_arrivals);
+        let mut t = 0u64;
+        for _ in 0..n_arrivals {
+            if rng.chance(500) {
+                t = rng.range(0, horizon);
+            }
+            arrivals.push(ArrivalSpec {
+                time: t,
+                sock: rng.index(n_sockets),
+                task: rng.index(n_tasks),
+            });
+        }
+        let faults = if rng.chance(300) {
+            (0..rng.range(1, bounds::MAX_FAULTS as u64))
+                .map(|_| FaultEntry {
+                    kind: FaultKind::generate(rng),
+                    rate_permille: rng.range(100, 1000) as u16,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let crash_at = rng
+            .chance(350)
+            .then(|| rng.range(1, bounds::MAX_CRASH_AT));
+        let mut input = FuzzInput {
+            seed: rng.next_u64(),
+            n_sockets,
+            tasks,
+            arrivals,
+            faults,
+            crash_at,
+            horizon,
+        };
+        input.sanitize();
+        input
+    }
+
+    /// Clamps every field into the grammar bounds and restores the
+    /// canonical form (arrivals sorted by time, then socket, then task).
+    /// Idempotent; called after every generation and mutation, so
+    /// [`FuzzInput::system`] never fails for grammar reasons.
+    pub fn sanitize(&mut self) {
+        if self.tasks.is_empty() {
+            self.tasks.push(TaskSpec {
+                priority: 1,
+                wcet: 5,
+                period: 100,
+            });
+        }
+        self.tasks.truncate(bounds::MAX_TASKS);
+        for t in &mut self.tasks {
+            t.priority = t.priority.clamp(bounds::PRIORITY.0, bounds::PRIORITY.1);
+            t.wcet = t.wcet.clamp(bounds::WCET.0, bounds::WCET.1);
+            t.period = t.period.clamp(bounds::PERIOD.0, bounds::PERIOD.1);
+        }
+        self.n_sockets = self.n_sockets.clamp(1, bounds::MAX_SOCKETS);
+        self.horizon = self.horizon.clamp(bounds::HORIZON.0, bounds::HORIZON.1);
+        self.arrivals.truncate(bounds::MAX_ARRIVALS);
+        let n_tasks = self.tasks.len();
+        let n_sockets = self.n_sockets;
+        let horizon = self.horizon;
+        for a in &mut self.arrivals {
+            a.time = a.time.min(horizon);
+            a.sock %= n_sockets;
+            a.task %= n_tasks;
+        }
+        self.arrivals
+            .sort_by_key(|a| (a.time, a.sock, a.task));
+        self.faults.truncate(bounds::MAX_FAULTS);
+        for f in &mut self.faults {
+            f.rate_permille = f.rate_permille.clamp(1, 1000);
+        }
+        if let Some(at) = &mut self.crash_at {
+            *at = (*at).clamp(1, bounds::MAX_CRASH_AT);
+        }
+    }
+
+    /// Lowers the task set and socket count to a built [`RosslSystem`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input was not sanitized (grammar-invalid inputs
+    /// cannot be built); every constructor in this crate sanitizes.
+    pub fn system(&self) -> RosslSystem {
+        let mut b = SystemBuilder::new().sockets(self.n_sockets);
+        for (i, t) in self.tasks.iter().enumerate() {
+            b = b.task(
+                format!("t{i}"),
+                Priority(t.priority as u32),
+                Duration(t.wcet),
+                Curve::sporadic(Duration(t.period)),
+            );
+        }
+        b.build().expect("sanitized input must build")
+    }
+
+    /// Lowers the arrival schedule. Message payloads are the task index
+    /// (first-byte codec).
+    pub fn arrival_sequence(&self) -> ArrivalSequence {
+        ArrivalSequence::from_events(
+            self.arrivals
+                .iter()
+                .map(|a| ArrivalEvent {
+                    time: Instant(a.time),
+                    sock: SocketId(a.sock),
+                    task: TaskId(a.task),
+                    msg: Message::new(vec![a.task as u8]),
+                })
+                .collect(),
+        )
+    }
+
+    /// Lowers the fault clauses to a [`FaultPlan`] seeded from
+    /// [`FuzzInput::seed`].
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::empty(self.seed);
+        for f in &self.faults {
+            plan = plan.with(FaultSpec::at_rate(f.kind.class(), f.rate_permille));
+        }
+        plan
+    }
+
+    /// `true` when the (nominal) arrival schedule respects every task's
+    /// sporadic curve — the precondition of the Prosa bound oracle.
+    pub fn respects_curves(&self) -> bool {
+        for (task, spec) in self.tasks.iter().enumerate() {
+            let mut times: Vec<u64> = self
+                .arrivals
+                .iter()
+                .filter(|a| a.task == task)
+                .map(|a| a.time)
+                .collect();
+            times.sort_unstable();
+            if times.windows(2).any(|w| w[1] - w[0] < spec.period) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serializes to the canonical line-based corpus format. The output
+    /// of a sanitized input re-parses to an equal input.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{HEADER}");
+        let _ = writeln!(s, "seed {}", self.seed);
+        let _ = writeln!(s, "sockets {}", self.n_sockets);
+        let _ = writeln!(s, "horizon {}", self.horizon);
+        for t in &self.tasks {
+            let _ = writeln!(s, "task {} {} {}", t.priority, t.wcet, t.period);
+        }
+        for a in &self.arrivals {
+            let _ = writeln!(s, "arrival {} {} {}", a.time, a.sock, a.task);
+        }
+        for f in &self.faults {
+            let _ = writeln!(
+                s,
+                "fault {} {} {}",
+                f.kind.codec_name(),
+                f.kind.param(),
+                f.rate_permille
+            );
+        }
+        if let Some(at) = self.crash_at {
+            let _ = writeln!(s, "crash {at}");
+        }
+        s
+    }
+
+    /// Parses the canonical text format; the result is sanitized.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming the first offending line.
+    pub fn from_text(text: &str) -> Result<FuzzInput, ParseError> {
+        let err = |line: usize, reason: &str| ParseError {
+            line,
+            reason: reason.to_string(),
+        };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h.trim() == HEADER => {}
+            _ => return Err(err(1, "missing header")),
+        }
+        let mut input = FuzzInput {
+            seed: 0,
+            n_sockets: 1,
+            tasks: Vec::new(),
+            arrivals: Vec::new(),
+            faults: Vec::new(),
+            crash_at: None,
+            horizon: 1_000,
+        };
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let keyword = parts.next().unwrap_or("");
+            let mut num = |what: &str| -> Result<u64, ParseError> {
+                parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| err(i + 1, what))
+            };
+            match keyword {
+                "seed" => input.seed = num("bad seed")?,
+                "sockets" => input.n_sockets = num("bad socket count")? as usize,
+                "horizon" => input.horizon = num("bad horizon")?,
+                "task" => {
+                    let priority = num("bad task priority")?;
+                    let wcet = num("bad task wcet")?;
+                    let period = num("bad task period")?;
+                    input.tasks.push(TaskSpec {
+                        priority,
+                        wcet,
+                        period,
+                    });
+                }
+                "arrival" => {
+                    let time = num("bad arrival time")?;
+                    let sock = num("bad arrival socket")? as usize;
+                    let task = num("bad arrival task")? as usize;
+                    input.arrivals.push(ArrivalSpec { time, sock, task });
+                }
+                "fault" => {
+                    let name = line.split_whitespace().nth(1).unwrap_or("");
+                    let mut rest = line.split_whitespace().skip(2);
+                    let param: u64 = rest
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| err(i + 1, "bad fault parameter"))?;
+                    let rate: u16 = rest
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| err(i + 1, "bad fault rate"))?;
+                    let kind = FaultKind::from_codec(name, param)
+                        .ok_or_else(|| err(i + 1, "unknown fault kind"))?;
+                    input.faults.push(FaultEntry {
+                        kind,
+                        rate_permille: rate,
+                    });
+                }
+                "crash" => input.crash_at = Some(num("bad crash point")?),
+                _ => return Err(err(i + 1, "unknown keyword")),
+            }
+        }
+        input.sanitize();
+        Ok(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_inputs_round_trip_through_text() {
+        let mut rng = SplitRng::new(0xF0CC);
+        for _ in 0..50 {
+            let input = FuzzInput::generate(&mut rng);
+            let parsed = FuzzInput::from_text(&input.to_text()).expect("parse");
+            assert_eq!(parsed, input);
+        }
+    }
+
+    #[test]
+    fn generated_inputs_build() {
+        let mut rng = SplitRng::new(1);
+        for _ in 0..20 {
+            let input = FuzzInput::generate(&mut rng);
+            let system = input.system();
+            assert_eq!(system.n_sockets(), input.n_sockets);
+            assert_eq!(system.tasks().len(), input.tasks.len());
+        }
+    }
+
+    #[test]
+    fn sanitize_is_idempotent() {
+        let mut rng = SplitRng::new(2);
+        for _ in 0..20 {
+            let input = FuzzInput::generate(&mut rng);
+            let mut again = input.clone();
+            again.sanitize();
+            assert_eq!(again, input);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FuzzInput::from_text("not a corpus file").is_err());
+        assert!(FuzzInput::from_text("rossl-fuzz-input v1\nbogus 1").is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Structured mutation over [`FuzzInput`]s.
+//!
+//! Mutations act on the grammar, not on bytes: add/remove/perturb
+//! arrivals, retune tasks, toggle fault clauses, move the crash point.
+//! Every output is re-sanitized, so a mutant is always executable — the
+//! fuzzer never wastes budget on parse or build failures (the classic
+//! argument for structured fuzzing of highly-constrained inputs).
+
+use crate::input::{bounds, ArrivalSpec, FaultEntry, FaultKind, FuzzInput, TaskSpec};
+use crate::rng::SplitRng;
+
+/// Produces a mutant of `input`, applying 1–3 random mutation operators.
+pub fn mutate(input: &FuzzInput, rng: &mut SplitRng) -> FuzzInput {
+    let mut out = input.clone();
+    let ops = rng.range(1, 3);
+    for _ in 0..ops {
+        apply_one(&mut out, rng);
+    }
+    out.sanitize();
+    out
+}
+
+fn apply_one(input: &mut FuzzInput, rng: &mut SplitRng) {
+    match rng.below(12) {
+        // Arrival schedule.
+        0 => {
+            // Add an arrival; half the time duplicate an existing
+            // instant so jobs pile up.
+            let time = if !input.arrivals.is_empty() && rng.chance(500) {
+                input.arrivals[rng.index(input.arrivals.len())].time
+            } else {
+                rng.range(0, input.horizon)
+            };
+            input.arrivals.push(ArrivalSpec {
+                time,
+                sock: rng.index(input.n_sockets),
+                task: rng.index(input.tasks.len()),
+            });
+        }
+        1 => {
+            if !input.arrivals.is_empty() {
+                let i = rng.index(input.arrivals.len());
+                input.arrivals.remove(i);
+            }
+        }
+        2 => {
+            if !input.arrivals.is_empty() {
+                let i = rng.index(input.arrivals.len());
+                let a = &mut input.arrivals[i];
+                let delta = rng.range(1, 200);
+                a.time = if rng.chance(500) {
+                    a.time.saturating_add(delta)
+                } else {
+                    a.time.saturating_sub(delta)
+                };
+            }
+        }
+        3 => {
+            if !input.arrivals.is_empty() {
+                let i = rng.index(input.arrivals.len());
+                input.arrivals[i].sock = rng.index(input.n_sockets);
+            }
+        }
+        // Task set.
+        4 => {
+            if input.tasks.len() < bounds::MAX_TASKS {
+                input.tasks.push(TaskSpec {
+                    priority: rng.range(bounds::PRIORITY.0, bounds::PRIORITY.1),
+                    wcet: rng.range(bounds::WCET.0, bounds::WCET.1),
+                    period: rng.range(bounds::PERIOD.0, bounds::PERIOD.1),
+                });
+            }
+        }
+        5 => {
+            if input.tasks.len() > 1 {
+                let i = rng.index(input.tasks.len());
+                input.tasks.remove(i);
+                // sanitize() remaps arrival task indices.
+            }
+        }
+        6 => {
+            let i = rng.index(input.tasks.len());
+            input.tasks[i].priority = rng.range(bounds::PRIORITY.0, bounds::PRIORITY.1);
+        }
+        7 => {
+            let i = rng.index(input.tasks.len());
+            input.tasks[i].wcet = rng.range(bounds::WCET.0, bounds::WCET.1);
+        }
+        // Fault plan.
+        8 => {
+            if input.faults.len() < bounds::MAX_FAULTS && rng.chance(600) {
+                input.faults.push(FaultEntry {
+                    kind: FaultKind::generate(rng),
+                    rate_permille: rng.range(100, 1000) as u16,
+                });
+            } else {
+                input.faults.clear();
+            }
+        }
+        // Crash point.
+        9 => {
+            input.crash_at = match input.crash_at {
+                None => Some(rng.range(1, bounds::MAX_CRASH_AT)),
+                Some(_) if rng.chance(300) => None,
+                Some(at) => {
+                    let delta = rng.range(1, 20);
+                    Some(if rng.chance(500) {
+                        at.saturating_add(delta)
+                    } else {
+                        at.saturating_sub(delta).max(1)
+                    })
+                }
+            };
+        }
+        // Environment shape.
+        10 => input.n_sockets = rng.range(1, bounds::MAX_SOCKETS as u64) as usize,
+        _ => {
+            input.seed = rng.next_u64();
+            if rng.chance(300) {
+                input.horizon = rng.range(bounds::HORIZON.0, bounds::HORIZON.1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutants_stay_in_grammar() {
+        let mut rng = SplitRng::new(99);
+        let mut input = FuzzInput::generate(&mut rng);
+        for _ in 0..200 {
+            input = mutate(&input, &mut rng);
+            let mut resan = input.clone();
+            resan.sanitize();
+            assert_eq!(resan, input, "mutant must already be sanitized");
+            let _ = input.system(); // must build
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let mut rng_a = SplitRng::new(5);
+        let mut rng_b = SplitRng::new(5);
+        let base_a = FuzzInput::generate(&mut rng_a);
+        let base_b = FuzzInput::generate(&mut rng_b);
+        assert_eq!(mutate(&base_a, &mut rng_a), mutate(&base_b, &mut rng_b));
+    }
+}

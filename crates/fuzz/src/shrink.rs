@@ -1,0 +1,218 @@
+//! Deterministic input minimization (delta debugging over the grammar).
+//!
+//! [`shrink`] takes a failing input and greedily removes structure while
+//! the failure — *the same oracle* as the original first finding —
+//! still reproduces: chunked arrival removal (ddmin-style halving),
+//! unused-task drops, fault-clause removal, crash-point, horizon, seed
+//! and socket-count reduction, iterated to a fixpoint under an
+//! execution budget.
+//!
+//! No randomness is involved anywhere, so the minimizer is a pure
+//! function of `(input, bug)`: the same failing input always shrinks to
+//! the byte-identical reproducer (`crates/fuzz/tests/shrink_properties.rs`
+//! proves this property over generated inputs).
+
+use rossl::SeededBug;
+
+use crate::exec::execute;
+use crate::input::{bounds, FuzzInput};
+
+/// Execution budget: minimization is best-effort and stops here.
+const MAX_SHRINK_EXECS: usize = 300;
+
+struct Shrinker {
+    bug: Option<SeededBug>,
+    target: &'static str,
+    execs: usize,
+}
+
+impl Shrinker {
+    /// `true` iff `cand` still triggers the target oracle (and budget
+    /// remains). Candidates are sanitized before execution.
+    fn reproduces(&mut self, cand: &FuzzInput) -> bool {
+        if self.execs >= MAX_SHRINK_EXECS {
+            return false;
+        }
+        self.execs += 1;
+        execute(cand, self.bug)
+            .findings
+            .iter()
+            .any(|f| f.oracle == self.target)
+    }
+
+    /// Tries `mutated(best)`; keeps it when it still reproduces.
+    fn attempt(&mut self, best: &mut FuzzInput, mutated: impl FnOnce(&mut FuzzInput)) -> bool {
+        let mut cand = best.clone();
+        mutated(&mut cand);
+        cand.sanitize();
+        if cand != *best && self.reproduces(&cand) {
+            *best = cand;
+            return true;
+        }
+        false
+    }
+}
+
+/// Minimizes `input` while its first finding's oracle keeps firing.
+/// Inputs that execute cleanly are returned unchanged.
+pub fn shrink(input: &FuzzInput, bug: Option<SeededBug>) -> FuzzInput {
+    let Some(target) = execute(input, bug).findings.first().map(|f| f.oracle) else {
+        return input.clone();
+    };
+    let mut sh = Shrinker {
+        bug,
+        target,
+        execs: 0,
+    };
+    let mut best = input.clone();
+    loop {
+        let mut changed = false;
+        changed |= shrink_arrivals(&mut sh, &mut best);
+        changed |= drop_unused_tasks(&mut sh, &mut best);
+        changed |= shrink_faults(&mut sh, &mut best);
+        changed |= shrink_scalars(&mut sh, &mut best);
+        if !changed || sh.execs >= MAX_SHRINK_EXECS {
+            break;
+        }
+    }
+    best
+}
+
+/// ddmin over the arrival schedule: remove chunks of halving size.
+fn shrink_arrivals(sh: &mut Shrinker, best: &mut FuzzInput) -> bool {
+    let mut changed = false;
+    let mut chunk = best.arrivals.len().div_ceil(2).max(1);
+    loop {
+        let mut i = 0;
+        while i < best.arrivals.len() {
+            let hi = (i + chunk).min(best.arrivals.len());
+            let removed = sh.attempt(best, |c| {
+                c.arrivals.drain(i..hi);
+            });
+            if removed {
+                changed = true;
+                // Retry the same window: the schedule shifted left.
+            } else {
+                i = hi;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    changed
+}
+
+/// Drops tasks no arrival references, remapping the survivors' indices.
+fn drop_unused_tasks(sh: &mut Shrinker, best: &mut FuzzInput) -> bool {
+    let mut changed = false;
+    let mut k = 0;
+    while k < best.tasks.len() && best.tasks.len() > 1 {
+        let used = best.arrivals.iter().any(|a| a.task == k);
+        if !used
+            && sh.attempt(best, |c| {
+                c.tasks.remove(k);
+                for a in &mut c.arrivals {
+                    if a.task > k {
+                        a.task -= 1;
+                    }
+                }
+            })
+        {
+            changed = true;
+            // Same index now names the next task.
+        } else {
+            k += 1;
+        }
+    }
+    changed
+}
+
+/// Removes fault clauses one at a time.
+fn shrink_faults(sh: &mut Shrinker, best: &mut FuzzInput) -> bool {
+    let mut changed = false;
+    let mut k = 0;
+    while k < best.faults.len() {
+        if sh.attempt(best, |c| {
+            c.faults.remove(k);
+        }) {
+            changed = true;
+        } else {
+            k += 1;
+        }
+    }
+    changed
+}
+
+/// Scalar reductions: crash point toward 1, horizon toward its floor,
+/// seed toward 0, socket count toward 1.
+fn shrink_scalars(sh: &mut Shrinker, best: &mut FuzzInput) -> bool {
+    let mut changed = false;
+    if let Some(at) = best.crash_at {
+        for cand in [1, at / 2, at.saturating_sub(1).max(1)] {
+            if cand < at && sh.attempt(best, |c| c.crash_at = Some(cand)) {
+                changed = true;
+                break;
+            }
+        }
+    }
+    if best.horizon > bounds::HORIZON.0 {
+        for cand in [bounds::HORIZON.0, best.horizon / 2] {
+            if cand < best.horizon && sh.attempt(best, |c| c.horizon = cand) {
+                changed = true;
+                break;
+            }
+        }
+    }
+    if best.seed != 0 && sh.attempt(best, |c| c.seed = 0) {
+        changed = true;
+    }
+    if best.n_sockets > 1 && sh.attempt(best, |c| c.n_sockets = 1) {
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitRng;
+
+    /// A seeded-bug failure shrinks to something no bigger that still
+    /// fails on the same oracle.
+    #[test]
+    fn shrunk_input_still_reproduces_and_is_no_bigger() {
+        let bug = SeededBug::OffByOnePriorityPick;
+        let mut rng = SplitRng::new(0x5111);
+        for _ in 0..40 {
+            let input = FuzzInput::generate(&mut rng);
+            let out = execute(&input, Some(bug));
+            let Some(first) = out.findings.first() else {
+                continue;
+            };
+            let target = first.oracle;
+            let small = shrink(&input, Some(bug));
+            assert!(
+                execute(&small, Some(bug))
+                    .findings
+                    .iter()
+                    .any(|f| f.oracle == target),
+                "shrunk input lost the {target} finding"
+            );
+            assert!(small.arrivals.len() <= input.arrivals.len());
+            assert!(small.tasks.len() <= input.tasks.len());
+            return; // one failing input suffices for this unit test
+        }
+        panic!("no failing input found to shrink");
+    }
+
+    #[test]
+    fn clean_inputs_shrink_to_themselves() {
+        let mut rng = SplitRng::new(3);
+        let input = FuzzInput::generate(&mut rng);
+        if execute(&input, None).clean() {
+            assert_eq!(shrink(&input, None), input);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Shrinker determinism properties (DESIGN §8.4).
+//!
+//! The minimizer is advertised as a pure function of `(input, bug)`:
+//! no randomness, no wall-clock influence. These properties drive that
+//! claim over generated inputs — the same failing input must always
+//! shrink to the *byte-identical* reproducer, the shrunk input must
+//! still trigger the same oracle, and it must never be bigger than what
+//! it was shrunk from. A campaign-level property checks the same holds
+//! end to end through `run_campaign`.
+
+use proptest::prelude::*;
+
+use rossl::SeededBug;
+use rossl_fuzz::{execute, run_campaign, shrink, to_rust_test, FuzzConfig, FuzzInput, SplitRng};
+
+/// Draws a `(seed, bug)` pair; the input itself is derived from the
+/// seed through the fuzzer's own generator so the property ranges over
+/// exactly the population the campaign explores.
+fn arb_case() -> impl Strategy<Value = (u64, SeededBug)> {
+    (
+        0u64..1_000_000,
+        prop_oneof![
+            Just(SeededBug::OffByOnePriorityPick),
+            Just(SeededBug::LostPendingJob),
+            Just(SeededBug::StaleJobId),
+            Just(SeededBug::SkippedCommit),
+        ],
+    )
+}
+
+/// Generates the input for a case, forcing a crash point for driver
+/// bugs (mirroring teeth mode — those bugs are invisible without one).
+fn input_for(seed: u64, bug: SeededBug) -> FuzzInput {
+    let mut rng = SplitRng::new(seed);
+    let mut input = FuzzInput::generate(&mut rng);
+    if bug.is_driver_bug() && input.crash_at.is_none() {
+        input.crash_at = Some(rng.range(2, 150));
+        input.sanitize();
+    }
+    input
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same failing input + same bug ⇒ byte-identical minimized
+    /// reproducer, across both the canonical text form and the emitted
+    /// Rust test snippet.
+    #[test]
+    fn shrinking_is_deterministic((seed, bug) in arb_case()) {
+        let input = input_for(seed, bug);
+        let out = execute(&input, Some(bug));
+        if let Some(first) = out.findings.first() {
+            let a = shrink(&input, Some(bug));
+            let b = shrink(&input, Some(bug));
+            prop_assert_eq!(&a, &b, "shrink diverged on seed {}", seed);
+            prop_assert_eq!(a.to_text(), b.to_text());
+            let finding_a = execute(&a, Some(bug)).findings.first().cloned();
+            let finding_b = execute(&b, Some(bug)).findings.first().cloned();
+            prop_assert_eq!(&finding_a, &finding_b);
+            let f = finding_a.unwrap_or_else(|| first.clone());
+            prop_assert_eq!(
+                to_rust_test("fuzz_regression_0", &a, Some(bug), &f),
+                to_rust_test("fuzz_regression_0", &b, Some(bug), &f)
+            );
+        }
+    }
+
+    /// The shrunk input still triggers the oracle that made the
+    /// original input a finding, and is no bigger on any axis the
+    /// minimizer works on.
+    #[test]
+    fn shrunk_input_reproduces_and_never_grows((seed, bug) in arb_case()) {
+        let input = input_for(seed, bug);
+        let out = execute(&input, Some(bug));
+        if let Some(first) = out.findings.first() {
+            let target = first.oracle;
+            let small = shrink(&input, Some(bug));
+            prop_assert!(
+                execute(&small, Some(bug)).findings.iter().any(|f| f.oracle == target),
+                "shrunk input lost the '{}' finding (seed {})", target, seed
+            );
+            prop_assert!(small.arrivals.len() <= input.arrivals.len());
+            prop_assert!(small.tasks.len() <= input.tasks.len());
+            prop_assert!(small.faults.len() <= input.faults.len());
+            prop_assert!(small.horizon <= input.horizon);
+            prop_assert!(small.n_sockets <= input.n_sockets);
+            if let (Some(s), Some(o)) = (small.crash_at, input.crash_at) {
+                prop_assert!(s <= o);
+            }
+        }
+    }
+
+    /// Clean inputs are returned unchanged — the minimizer never
+    /// invents a failure to chase.
+    #[test]
+    fn clean_inputs_are_fixpoints(seed in 0u64..1_000_000) {
+        let mut rng = SplitRng::new(seed);
+        let input = FuzzInput::generate(&mut rng);
+        if execute(&input, None).clean() {
+            prop_assert_eq!(shrink(&input, None), input);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// End-to-end: two runs of the same seeded-bug campaign emit
+    /// byte-identical reproducer snippets. Wall-clock is deliberately
+    /// unbounded here — the budget may stop a campaign early but must
+    /// never change what any iteration produced.
+    #[test]
+    fn campaigns_emit_identical_reproducers(seed in 0u64..100_000) {
+        let config = FuzzConfig {
+            seed,
+            max_iters: 40,
+            bug: Some(SeededBug::OffByOnePriorityPick),
+            max_findings: 1,
+            ..FuzzConfig::default()
+        };
+        let a = run_campaign(&config);
+        let b = run_campaign(&config);
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(
+            a.findings.iter().map(|f| f.repro.clone()).collect::<Vec<_>>(),
+            b.findings.iter().map(|f| f.repro.clone()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -67,6 +67,7 @@
 mod codec;
 mod config;
 mod error;
+mod mutation;
 mod queue;
 mod scheduler;
 mod supervisor;
@@ -75,6 +76,7 @@ mod watchdog;
 pub use codec::{CodecError, FirstByteCodec, MessageCodec};
 pub use config::{ClientConfig, ConfigError};
 pub use error::DriveError;
+pub use mutation::SeededBug;
 pub use queue::NpfpQueue;
 pub use scheduler::{Request, Response, Scheduler, Step};
 pub use supervisor::{RecoveredState, RecoveryError, RestartPolicy, Supervisor};

@@ -1,0 +1,93 @@
+//! Seeded bugs for oracle mutation testing (`fuzz --teeth`).
+//!
+//! The fuzzer's oracles only earn trust if they demonstrably *fail* when
+//! the implementation is broken. Each [`SeededBug`] variant re-introduces
+//! a classic scheduler defect behind a runtime flag
+//! ([`Scheduler::with_seeded_bug`](crate::Scheduler::with_seeded_bug));
+//! production constructors never set it, so the unmutated scheduler is
+//! byte-for-byte the verified one. The teeth harness in `rossl-fuzz`
+//! installs one bug at a time and asserts that fuzzing detects it within
+//! a budget.
+//!
+//! The bugs are chosen so that each is caught by a *different* oracle,
+//! proving the oracle matrix has no redundant rows:
+//!
+//! | bug | broken invariant | detecting oracle |
+//! |-----|------------------|------------------|
+//! | [`OffByOnePriorityPick`](SeededBug::OffByOnePriorityPick) | highest-priority-first (Def. 3.2) | functional: `DispatchNotHighestPriority` |
+//! | [`LostPendingJob`](SeededBug::LostPendingJob) | accepted jobs stay pending | functional: `IdleWithPendingJobs` + pending-count differential |
+//! | [`StaleJobId`](SeededBug::StaleJobId) | `σ_trace.idx` uniqueness (Fig. 6) | functional: `DuplicateJobId` |
+//! | [`SkippedCommit`](SeededBug::SkippedCommit) | journal durability at crash | stitched seam: `LostAcceptedJob` |
+
+use std::fmt;
+
+/// A deliberately seeded scheduler/journal bug, used only by mutation
+/// testing. See the [module docs](self) for the bug-to-oracle matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeededBug {
+    /// The selection phase dequeues the highest-priority job, puts it
+    /// back, and dispatches the runner-up instead — an off-by-one in the
+    /// priority pick. Only observable with ≥ 2 jobs pending.
+    OffByOnePriorityPick,
+    /// Every second successful read reports the job in its `M_ReadE`
+    /// marker but never enqueues it: the job is accepted and then lost.
+    LostPendingJob,
+    /// Every second successful read forgets to increment the job-id
+    /// counter (`σ_trace.idx`), so a later job reuses the stale id.
+    StaleJobId,
+    /// The journaling driver stops writing commit records after the
+    /// first successful read, so a crash loses accepted jobs that the
+    /// environment already handed over. Interpreted by journaling
+    /// drivers (the fuzz executor), not by the scheduler itself.
+    SkippedCommit,
+}
+
+impl SeededBug {
+    /// All seeded bugs, in teeth-harness order.
+    pub const ALL: [SeededBug; 4] = [
+        SeededBug::OffByOnePriorityPick,
+        SeededBug::LostPendingJob,
+        SeededBug::StaleJobId,
+        SeededBug::SkippedCommit,
+    ];
+
+    /// Stable kebab-case name, used in reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SeededBug::OffByOnePriorityPick => "off-by-one-priority-pick",
+            SeededBug::LostPendingJob => "lost-pending-job",
+            SeededBug::StaleJobId => "stale-job-id",
+            SeededBug::SkippedCommit => "skipped-commit",
+        }
+    }
+
+    /// Parses a bug from its [`name`](SeededBug::name).
+    pub fn from_name(name: &str) -> Option<SeededBug> {
+        SeededBug::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// `true` for bugs interpreted by journaling drivers rather than by
+    /// the scheduler state machine (the scheduler ignores them).
+    pub fn is_driver_bug(&self) -> bool {
+        matches!(self, SeededBug::SkippedCommit)
+    }
+}
+
+impl fmt::Display for SeededBug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for bug in SeededBug::ALL {
+            assert_eq!(SeededBug::from_name(bug.name()), Some(bug));
+        }
+        assert_eq!(SeededBug::from_name("no-such-bug"), None);
+    }
+}

@@ -35,6 +35,7 @@ use rossl_trace::Marker;
 use crate::codec::MessageCodec;
 use crate::config::ClientConfig;
 use crate::error::DriveError;
+use crate::mutation::SeededBug;
 use crate::queue::NpfpQueue;
 use crate::watchdog::{DegradedEvent, WatchdogConfig};
 
@@ -117,6 +118,11 @@ pub struct Scheduler<C> {
     /// integers, so the per-step cost of instrumentation is ordinary
     /// arithmetic, never an atomic.
     batch: StepCounts,
+    /// Mutation-testing hook (`None` in production; see [`SeededBug`]).
+    seeded_bug: Option<SeededBug>,
+    /// Successful-read counter driving the deterministic triggers of the
+    /// read-path seeded bugs.
+    bug_trigger: u64,
 }
 
 /// How many steps the scheduler accumulates locally before pushing the
@@ -155,6 +161,8 @@ impl<C: MessageCodec> Scheduler<C> {
             degradation: Vec::new(),
             sink: SchedSink::Noop,
             batch: StepCounts::default(),
+            seeded_bug: None,
+            bug_trigger: 0,
         }
     }
 
@@ -235,6 +243,20 @@ impl<C: MessageCodec> Scheduler<C> {
         self
     }
 
+    /// Installs a deliberately seeded bug for oracle mutation testing
+    /// (`fuzz --teeth`). Never used by production constructors; with no
+    /// bug installed the scheduler's behaviour is exactly the verified
+    /// one. See [`SeededBug`] for the bug-to-oracle matrix.
+    pub fn with_seeded_bug(mut self, bug: SeededBug) -> Scheduler<C> {
+        self.seeded_bug = Some(bug);
+        self
+    }
+
+    /// The installed seeded bug, if any (mutation testing only).
+    pub fn seeded_bug(&self) -> Option<SeededBug> {
+        self.seeded_bug
+    }
+
     /// Pushes any locally accumulated step counts to the telemetry
     /// sink. A no-op when nothing accumulated or the sink is
     /// [`SchedSink::Noop`].
@@ -300,6 +322,18 @@ impl<C: MessageCodec> Scheduler<C> {
         self.degradation.hash(hasher);
     }
 
+    /// [`Scheduler::state_digest`] folded through the standard library's
+    /// default hasher — the convenience form coverage-guided fuzzing uses
+    /// as its state-novelty signal. The mutation-testing hook state is
+    /// not digested (like telemetry, it is not part of the modelled
+    /// machine).
+    pub fn digest64(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.state_digest(&mut hasher);
+        hasher.finish()
+    }
+
     /// `true` when a [`Request`] is outstanding and the next
     /// [`Scheduler::advance`] call must carry a [`Response`].
     pub fn awaiting_response(&self) -> bool {
@@ -363,14 +397,19 @@ impl<C: MessageCodec> Scheduler<C> {
                     Some(data) => {
                         let task = self.identify(&data)?;
                         let job = Job::new(JobId(self.next_job_id), task, data);
-                        self.next_job_id += 1;
+                        self.bug_trigger += 1;
+                        if !self.bug_fires(SeededBug::StaleJobId) {
+                            self.next_job_id += 1;
+                        }
                         let priority = self
                             .config
                             .tasks()
                             .task(task)
                             .ok_or(DriveError::UnknownTask { task: task.0 })?
                             .priority();
-                        self.queue.enqueue(job.clone(), priority);
+                        if !self.bug_fires(SeededBug::LostPendingJob) {
+                            self.queue.enqueue(job.clone(), priority);
+                        }
                         Some(job)
                     }
                     None => None,
@@ -417,7 +456,7 @@ impl<C: MessageCodec> Scheduler<C> {
             LoopState::Decide => {
                 self.expect_no_response(&response, "M_Dispatch/M_Idling")?;
                 self.shed_if_degraded();
-                match self.queue.dequeue() {
+                match self.dequeue_for_dispatch() {
                     Some(job) => {
                         self.batch.dispatches += 1;
                         self.state = LoopState::StartExecution(job.clone());
@@ -484,6 +523,32 @@ impl<C: MessageCodec> Scheduler<C> {
                 })
             }
         }
+    }
+
+    /// `true` when `bug` is installed and its deterministic trigger fires
+    /// for the current successful read (every second one).
+    fn bug_fires(&self, bug: SeededBug) -> bool {
+        self.seeded_bug == Some(bug) && self.bug_trigger % 2 == 0
+    }
+
+    /// The selection-phase dequeue, with the off-by-one mutation hook:
+    /// with [`SeededBug::OffByOnePriorityPick`] installed and ≥ 2 jobs
+    /// pending, the best job is put back and the runner-up dispatched.
+    fn dequeue_for_dispatch(&mut self) -> Option<Job> {
+        let first = self.queue.dequeue()?;
+        if self.seeded_bug == Some(SeededBug::OffByOnePriorityPick) {
+            if let Some(second) = self.queue.dequeue() {
+                let priority = self
+                    .config
+                    .tasks()
+                    .task(first.task())
+                    .map(|t| t.priority())
+                    .unwrap_or(rossl_model::Priority(0));
+                self.queue.enqueue(first, priority);
+                return Some(second);
+            }
+        }
+        Some(first)
     }
 
     /// Compares a measured execution time against the job's task budget
@@ -909,6 +974,85 @@ mod tests {
             SchedSink::Metrics(rossl_obs::SchedulerMetrics::register(&registry)),
         );
         assert_eq!(digest(&plain), digest(&instrumented));
+    }
+
+    /// Drives an already-configured scheduler with scripted reads.
+    fn drive_sched(
+        sched: &mut Scheduler<FirstByteCodec>,
+        mut reads: Vec<Option<MsgData>>,
+    ) -> Vec<Marker> {
+        reads.reverse();
+        let mut trace = Vec::new();
+        let mut response = None;
+        loop {
+            let step = sched.advance(response.take()).expect("drive ok");
+            trace.push(step.marker);
+            match step.request {
+                Some(Request::Read(_)) => match reads.pop() {
+                    Some(r) => response = Some(Response::ReadResult(r)),
+                    None => break,
+                },
+                Some(Request::Execute(_)) => response = Some(Response::Executed),
+                None => {}
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn seeded_off_by_one_pick_violates_priority_order() {
+        use crate::mutation::SeededBug;
+        let mut sched = Scheduler::new(config(1), FirstByteCodec)
+            .with_seeded_bug(SeededBug::OffByOnePriorityPick);
+        // Low then high arrive together: the bug dispatches low first.
+        let trace = drive_sched(&mut sched, vec![Some(vec![0]), Some(vec![1]), None, None, None]);
+        let err = check_functional(&trace, config(1).tasks()).unwrap_err();
+        assert!(matches!(
+            err,
+            rossl_trace::FunctionalError::DispatchNotHighestPriority { .. }
+        ));
+    }
+
+    #[test]
+    fn seeded_lost_pending_job_idles_with_pending_work() {
+        use crate::mutation::SeededBug;
+        let mut sched =
+            Scheduler::new(config(1), FirstByteCodec).with_seeded_bug(SeededBug::LostPendingJob);
+        // The second successful read is accepted but silently dropped.
+        let trace =
+            drive_sched(&mut sched, vec![Some(vec![0]), Some(vec![0]), None, None, None, None]);
+        let err = check_functional(&trace, config(1).tasks()).unwrap_err();
+        assert!(matches!(
+            err,
+            rossl_trace::FunctionalError::IdleWithPendingJobs { .. }
+        ));
+        // The differential signal: the trace says one job is still pending,
+        // the scheduler's own queue disagrees.
+        assert_eq!(sched.pending_count(), 0);
+    }
+
+    #[test]
+    fn seeded_stale_job_id_mints_a_duplicate() {
+        use crate::mutation::SeededBug;
+        let mut sched =
+            Scheduler::new(config(1), FirstByteCodec).with_seeded_bug(SeededBug::StaleJobId);
+        let trace = drive_sched(
+            &mut sched,
+            vec![Some(vec![0]), Some(vec![0]), Some(vec![0]), None, None, None, None],
+        );
+        let err = check_functional(&trace, config(1).tasks()).unwrap_err();
+        assert!(matches!(err, rossl_trace::FunctionalError::DuplicateJobId { .. }));
+    }
+
+    #[test]
+    fn driver_only_bugs_leave_the_scheduler_untouched() {
+        use crate::mutation::SeededBug;
+        let mut buggy =
+            Scheduler::new(config(1), FirstByteCodec).with_seeded_bug(SeededBug::SkippedCommit);
+        let mut plain = Scheduler::new(config(1), FirstByteCodec);
+        let script = vec![Some(vec![0]), Some(vec![1]), None, None, None];
+        assert_eq!(drive_sched(&mut buggy, script.clone()), drive_sched(&mut plain, script));
+        assert_eq!(buggy.digest64(), plain.digest64());
     }
 
     #[test]

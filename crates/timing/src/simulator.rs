@@ -192,6 +192,9 @@ pub struct Simulator<C, M> {
     sink: rossl_obs::SchedSink,
     /// Bound-margin observatory fed at dispatch and completion markers.
     observatory: Option<std::sync::Arc<rossl_obs::BoundObservatory>>,
+    /// Mutation-testing hook passed through to the driven scheduler
+    /// (`None` outside `fuzz --teeth`).
+    seeded_bug: Option<rossl::SeededBug>,
 }
 
 impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
@@ -217,6 +220,7 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
             watchdog: None,
             sink: rossl_obs::SchedSink::Noop,
             observatory: None,
+            seeded_bug: None,
         })
     }
 
@@ -264,6 +268,15 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
         self
     }
 
+    /// Installs a deliberately seeded bug on the driven scheduler (see
+    /// [`rossl::Scheduler::with_seeded_bug`]). Mutation testing only:
+    /// the fuzzer's teeth mode uses this to prove its oracles detect
+    /// known-broken schedulers through the timed pipeline too.
+    pub fn with_seeded_bug(mut self, bug: rossl::SeededBug) -> Simulator<C, M> {
+        self.seeded_bug = Some(bug);
+        self
+    }
+
     /// Runs the scheduler against `arrivals` until the virtual clock
     /// passes `horizon`. Markers are emitted only at instants `≤ horizon`.
     ///
@@ -301,6 +314,9 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
             .with_telemetry(self.sink.clone());
         if let Some(watchdog) = self.watchdog {
             scheduler = scheduler.with_watchdog(watchdog);
+        }
+        if let Some(bug) = self.seeded_bug {
+            scheduler = scheduler.with_seeded_bug(bug);
         }
 
         let mut now = Instant::ZERO;

@@ -30,6 +30,13 @@
 //!     teeth: a scheduler that reads a message but crashes before the
 //!     journal commit has consumed input invisibly, and only this
 //!     external accounting can tell.
+//!
+//! [`check_stitched`] evaluates the functional and seam layers before
+//! the per-segment protocol layer, so forged or corrupted recoveries are
+//! diagnosed as the seam violation they commit rather than as whatever
+//! protocol violation the forgery happens to carry (see the function
+//! docs for why the opposite order made
+//! [`SeamViolation::DuplicateCompletion`] unreachable).
 
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
@@ -214,23 +221,28 @@ pub struct StitchedReport {
 ///
 /// # Errors
 ///
-/// Returns the first [`StitchedError`] in segment order.
+/// Returns the first [`StitchedError`] found, checking the functional
+/// and seam layers (which walk all segments in order) *before* the
+/// per-segment protocol layer. The ordering matters for diagnosis: the
+/// functional pass is defined on arbitrary marker sequences (see
+/// [`check_functional`](crate::check_functional)), so a forged or
+/// corrupted recovery that, say, completes an already-completed job is
+/// reported as the seam violation it is
+/// ([`SeamViolation::DuplicateCompletion`]) rather than being shadowed
+/// by the incidental protocol violation the same forgery usually
+/// carries. (Protocol-valid traces can only re-complete a job through a
+/// re-dispatch, which the seam layer already reports as
+/// [`SeamViolation::DuplicateDispatch`] — with protocol checked first,
+/// `DuplicateCompletion` was unreachable.)
 pub fn check_stitched(
     stitched: &StitchedTrace,
     tasks: &TaskSet,
     n_sockets: usize,
     consumed: Option<&[usize]>,
 ) -> Result<StitchedReport, StitchedError> {
-    let sts = ProtocolAutomaton::new(n_sockets);
-
-    // Layer 1: each segment independently satisfies the protocol from
-    // the initial state — a restart re-enters at the top of the loop.
-    for (segment, trace) in stitched.segments().iter().enumerate() {
-        sts.accept(trace)
-            .map_err(|error| StitchedError::Protocol { segment, error })?;
-    }
-
-    // Layers 2 and 3: one global functional pass with seam rules.
+    // Layers 1 and 2: one global functional pass with seam rules. This
+    // runs before the protocol layer so seam violations are reported as
+    // such even on segments that are not protocol-valid.
     let mut pending: BTreeMap<JobId, Job> = BTreeMap::new();
     let mut seen_ids: HashSet<JobId> = HashSet::new();
     let mut completed: HashSet<JobId> = HashSet::new();
@@ -339,7 +351,7 @@ pub fn check_stitched(
         }
     }
 
-    // Layer 3b: accepted-job accounting against the environment.
+    // Layer 2b: accepted-job accounting against the environment.
     if let Some(consumed) = consumed {
         for (sock, &observed) in reads_per_sock.iter().enumerate() {
             let consumed = consumed.get(sock).copied().unwrap_or(0);
@@ -351,6 +363,14 @@ pub fn check_stitched(
                 }));
             }
         }
+    }
+
+    // Layer 3: each segment independently satisfies the protocol from
+    // the initial state — a restart re-enters at the top of the loop.
+    let sts = ProtocolAutomaton::new(n_sockets);
+    for (segment, trace) in stitched.segments().iter().enumerate() {
+        sts.accept(trace)
+            .map_err(|error| StitchedError::Protocol { segment, error })?;
     }
 
     Ok(StitchedReport {
@@ -484,7 +504,7 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_completion_across_seam_is_rejected() {
+    fn duplicate_dispatch_across_seam_is_rejected() {
         let mut seg0 = Vec::new();
         seg0.extend(read_ok(0, job(0, 0)));
         seg0.extend(read_fail(0));
@@ -506,6 +526,84 @@ mod tests {
                 segment: 1,
                 index: 3,
                 job: JobId(0),
+            })
+        );
+    }
+
+    /// A forged restart segment that replays a completion without any
+    /// dispatch. Protocol-invalid, but the *seam* diagnosis is the one
+    /// with explanatory power — with the protocol layer checked first
+    /// this was misreported as `Protocol { segment: 1 }` and
+    /// `DuplicateCompletion` was dead code.
+    #[test]
+    fn duplicate_completion_across_seam_is_rejected() {
+        let mut seg0 = Vec::new();
+        seg0.extend(read_ok(0, job(0, 0)));
+        seg0.extend(read_fail(0));
+        seg0.push(Marker::Selection);
+        seg0.push(Marker::Dispatch(job(0, 0)));
+        seg0.push(Marker::Execution(job(0, 0)));
+        seg0.push(Marker::Completion(job(0, 0)));
+        let seg1 = vec![Marker::Completion(job(0, 0))];
+
+        let st = StitchedTrace::new(vec![seg0, seg1]);
+        let err = check_stitched(&st, &tasks(), 1, None).unwrap_err();
+        assert_eq!(
+            err,
+            StitchedError::Seam(SeamViolation::DuplicateCompletion {
+                segment: 1,
+                index: 0,
+                job: JobId(0),
+            })
+        );
+    }
+
+    /// A doubled journal record completing the same job twice *within*
+    /// one segment is the same seam violation, not a protocol error.
+    #[test]
+    fn duplicate_completion_within_a_segment_is_rejected() {
+        let mut seg0 = Vec::new();
+        seg0.extend(read_ok(0, job(0, 0)));
+        seg0.extend(read_fail(0));
+        seg0.push(Marker::Selection);
+        seg0.push(Marker::Dispatch(job(0, 0)));
+        seg0.push(Marker::Execution(job(0, 0)));
+        seg0.push(Marker::Completion(job(0, 0)));
+        seg0.push(Marker::Completion(job(0, 0)));
+
+        let st = StitchedTrace::new(vec![seg0]);
+        let err = check_stitched(&st, &tasks(), 1, None).unwrap_err();
+        assert_eq!(
+            err,
+            StitchedError::Seam(SeamViolation::DuplicateCompletion {
+                segment: 0,
+                index: 8,
+                job: JobId(0),
+            })
+        );
+    }
+
+    /// The consumed accounting is two-sided: a journal replaying a read
+    /// the environment never served (observed > consumed) is also a
+    /// lost/duplicated-work seam violation.
+    #[test]
+    fn phantom_read_is_caught_by_consumed_accounting() {
+        let mut seg0 = Vec::new();
+        seg0.extend(read_ok(0, job(0, 0)));
+        seg0.extend(read_fail(0));
+        seg0.push(Marker::Selection);
+        seg0.push(Marker::Dispatch(job(0, 0)));
+        seg0.push(Marker::Execution(job(0, 0)));
+        seg0.push(Marker::Completion(job(0, 0)));
+
+        let st = StitchedTrace::new(vec![seg0]);
+        let err = check_stitched(&st, &tasks(), 1, Some(&[0])).unwrap_err();
+        assert_eq!(
+            err,
+            StitchedError::Seam(SeamViolation::LostAcceptedJob {
+                sock: SocketId(0),
+                consumed: 0,
+                observed: 1,
             })
         );
     }

@@ -1,0 +1,204 @@
+//! Corpus-derived fuzz regressions (ISSUE 5, satellite 1; DESIGN §8.5).
+//!
+//! Every case here is a *minimized, deterministic* input checked in from
+//! a fuzzing campaign — no fuzzing happens at test time. Two families:
+//!
+//! * **Seeded-bug reproducers** — the snippets `fuzz --teeth` emitted
+//!   for each [`rossl::SeededBug`] (seed `0xBEEF`), pasted verbatim
+//!   apart from the test names. Each asserts the documented oracle
+//!   fires on the bugged stack *and* that the honest stack is clean on
+//!   the same input — the differential both ways.
+//! * **Honest corpus pins** — small entries from `fuzz/corpus/` that
+//!   exercise the crash, fault and multi-socket paths end to end; the
+//!   full oracle matrix must stay silent on them forever.
+//!
+//! Regenerate the first family with:
+//!
+//! ```text
+//! cargo run --release -p rossl-fuzz --bin fuzz -- --teeth --seed 48879 --iters 300
+//! ```
+
+/// Off-by-one in the priority pick: the scheduler dispatches the
+/// *second*-highest-priority pending job. Caught by the functional
+/// checker ("dispatched j0 while higher-priority j1 pends").
+#[test]
+fn off_by_one_priority_pick_is_caught_by_functional_oracle() {
+    let text = concat!(
+        "rossl-fuzz-input v1\n",
+        "seed 0\n",
+        "sockets 1\n",
+        "horizon 200\n",
+        "task 3 11 445\n",
+        "task 9 14 1285\n",
+        "arrival 200 0 0\n",
+        "arrival 200 0 1\n",
+    );
+    let input = rossl_fuzz::FuzzInput::from_text(text).expect("corpus text parses");
+    let out = rossl_fuzz::execute(&input, Some(rossl::SeededBug::OffByOnePriorityPick));
+    assert!(
+        out.findings.iter().any(|f| f.oracle == "functional"),
+        "expected a 'functional' finding, got {:?}",
+        out.findings
+    );
+    // The differential half: the honest stack is clean on this input.
+    assert!(rossl_fuzz::execute(&input, None).clean());
+}
+
+/// A pending job silently dropped on read: the scheduler goes idle with
+/// work outstanding. Caught by the functional checker ("idling with 1
+/// pending job(s)").
+#[test]
+fn lost_pending_job_is_caught_by_functional_oracle() {
+    let text = concat!(
+        "rossl-fuzz-input v1\n",
+        "seed 0\n",
+        "sockets 1\n",
+        "horizon 200\n",
+        "task 7 11 489\n",
+        "task 3 10 819\n",
+        "arrival 200 0 0\n",
+        "arrival 200 0 1\n",
+    );
+    let input = rossl_fuzz::FuzzInput::from_text(text).expect("corpus text parses");
+    let out = rossl_fuzz::execute(&input, Some(rossl::SeededBug::LostPendingJob));
+    assert!(
+        out.findings.iter().any(|f| f.oracle == "functional"),
+        "expected a 'functional' finding, got {:?}",
+        out.findings
+    );
+    assert!(rossl_fuzz::execute(&input, None).clean());
+}
+
+/// A stale job-id counter hands two jobs the same identity. Caught by
+/// the functional checker ("job id j1 read twice").
+#[test]
+fn stale_job_id_is_caught_by_functional_oracle() {
+    let text = concat!(
+        "rossl-fuzz-input v1\n",
+        "seed 0\n",
+        "sockets 1\n",
+        "horizon 200\n",
+        "task 1 21 724\n",
+        "task 9 12 1933\n",
+        "arrival 200 0 0\n",
+        "arrival 200 0 0\n",
+        "arrival 200 0 1\n",
+    );
+    let input = rossl_fuzz::FuzzInput::from_text(text).expect("corpus text parses");
+    let out = rossl_fuzz::execute(&input, Some(rossl::SeededBug::StaleJobId));
+    assert!(
+        out.findings.iter().any(|f| f.oracle == "functional"),
+        "expected a 'functional' finding, got {:?}",
+        out.findings
+    );
+    assert!(rossl_fuzz::execute(&input, None).clean());
+}
+
+/// The journaling driver stops committing after the first successful
+/// read — invisible until a crash, then recovery comes back short.
+/// Caught by the recovery oracle ("committed journal records 0
+/// completion(s); the crashed scheduler had performed 1").
+#[test]
+fn skipped_commit_is_caught_by_recovery_oracle() {
+    let text = concat!(
+        "rossl-fuzz-input v1\n",
+        "seed 0\n",
+        "sockets 1\n",
+        "horizon 200\n",
+        "task 9 1 88\n",
+        "arrival 200 0 0\n",
+        "crash 12\n",
+    );
+    let input = rossl_fuzz::FuzzInput::from_text(text).expect("corpus text parses");
+    let out = rossl_fuzz::execute(&input, Some(rossl::SeededBug::SkippedCommit));
+    assert!(
+        out.findings.iter().any(|f| f.oracle == "recovery"),
+        "expected a 'recovery' finding, got {:?}",
+        out.findings
+    );
+    assert!(rossl_fuzz::execute(&input, None).clean());
+}
+
+/// Honest pin: the smallest crash-path corpus entry — one arrival on a
+/// two-socket system, crash mid-drive. Exercises journal round-trip,
+/// torn-tail recovery, the state-digest differential and seam checking.
+#[test]
+fn honest_minimal_crash_input_stays_clean() {
+    let text = concat!(
+        "rossl-fuzz-input v1\n",
+        "seed 5855033114114129269\n",
+        "sockets 2\n",
+        "horizon 3376\n",
+        "task 3 6 394\n",
+        "arrival 0 1 0\n",
+        "crash 37\n",
+    );
+    let input = rossl_fuzz::FuzzInput::from_text(text).expect("corpus text parses");
+    let out = rossl_fuzz::execute(&input, None);
+    assert!(out.clean(), "oracle disagreement on honest input: {:?}", out.findings);
+}
+
+/// Honest pin: a three-task single-socket schedule with a crash point —
+/// the densest crash-path entry the seed-42 campaign admitted first.
+#[test]
+fn honest_crash_with_contention_stays_clean() {
+    let text = concat!(
+        "rossl-fuzz-input v1\n",
+        "seed 7232982180604803730\n",
+        "sockets 1\n",
+        "horizon 5343\n",
+        "task 0 18 1894\n",
+        "task 0 5 1178\n",
+        "task 7 12 990\n",
+        "arrival 108 0 0\n",
+        "arrival 1350 0 1\n",
+        "arrival 1722 0 0\n",
+        "arrival 1722 0 2\n",
+        "arrival 1790 0 1\n",
+        "arrival 1790 0 2\n",
+        "arrival 1948 0 2\n",
+        "arrival 4852 0 0\n",
+        "arrival 4852 0 0\n",
+        "arrival 4852 0 2\n",
+        "crash 265\n",
+    );
+    let input = rossl_fuzz::FuzzInput::from_text(text).expect("corpus text parses");
+    let out = rossl_fuzz::execute(&input, None);
+    assert!(out.clean(), "oracle disagreement on honest input: {:?}", out.findings);
+}
+
+/// Honest pin: three sockets, a duplicate-delivery fault clause and a
+/// crash point together — fault injection must not trip the crash-path
+/// oracles, and vice versa.
+#[test]
+fn honest_faulty_multi_socket_crash_stays_clean() {
+    let text = concat!(
+        "rossl-fuzz-input v1\n",
+        "seed 8847811493797077052\n",
+        "sockets 3\n",
+        "horizon 8530\n",
+        "task 1 4 64\n",
+        "task 4 13 1304\n",
+        "arrival 30 0 0\n",
+        "arrival 30 0 1\n",
+        "arrival 80 0 0\n",
+        "arrival 2045 0 0\n",
+        "arrival 2862 0 1\n",
+        "arrival 4044 0 1\n",
+        "arrival 4435 0 0\n",
+        "arrival 4435 0 1\n",
+        "arrival 4435 0 1\n",
+        "arrival 4435 1 0\n",
+        "arrival 4435 1 1\n",
+        "arrival 6660 1 0\n",
+        "arrival 6660 1 1\n",
+        "arrival 7823 2 1\n",
+        "arrival 8321 0 0\n",
+        "arrival 8471 2 0\n",
+        "fault duplicate 0 953\n",
+        "crash 190\n",
+    );
+    let input = rossl_fuzz::FuzzInput::from_text(text).expect("corpus text parses");
+    let out = rossl_fuzz::execute(&input, None);
+    assert!(out.clean(), "oracle disagreement on honest input: {:?}", out.findings);
+}

@@ -4,12 +4,14 @@
 
 use proptest::prelude::*;
 
-use refined_prosa::{RosslSystem, SystemBuilder};
-use rossl::FirstByteCodec;
+use refined_prosa::{RosslSystem, RunTelemetry, SystemBuilder};
+use rossl::{DegradedEvent, FirstByteCodec, WatchdogConfig};
+use rossl_faults::{FaultClass, FaultPlan};
 use rossl_model::{Curve, Duration, Instant, Priority, TaskId};
+use rossl_obs::{Registry, SchedSink, SchedulerMetrics};
 use rossl_schedule::{convert, StateKind};
 use rossl_timing::{Simulator, UniformCost, WorstCase};
-use rossl_trace::{pending_jobs, ProtocolAutomaton};
+use rossl_trace::{pending_jobs, MarkerKind, ProtocolAutomaton};
 use rossl_verify::SpecMonitor;
 
 use rand::rngs::StdRng;
@@ -228,6 +230,112 @@ proptest! {
             Ok(report) => prop_assert_eq!(report.bound_violations, 0),
             Err(refined_prosa::SystemError::Analysis(_)) => {} // unschedulable
             Err(e) => return Err(TestCaseError::fail(format!("hypothesis failed: {e}"))),
+        }
+    }
+}
+
+/// Every non-process fault class, with its parameters drawn small enough
+/// to keep faulty runs within the test horizon. `Crash` is excluded: it
+/// is a process fault handled by the supervisor path, not by
+/// `simulate_faulty` (DESIGN §5.3).
+fn arb_fault_class() -> impl Strategy<Value = FaultClass> {
+    prop_oneof![
+        Just(FaultClass::Drop),
+        Just(FaultClass::Duplicate),
+        Just(FaultClass::Reroute),
+        (2u32..5).prop_map(|factor| FaultClass::Burst { factor }),
+        (1u64..40).prop_map(|d| FaultClass::DelayedVisibility { delay: Duration(d) }),
+        (1u64..60).prop_map(|s| FaultClass::UniformDelay { shift: Duration(s) }),
+        (2u32..5).prop_map(|factor| FaultClass::WcetOverrun { factor }),
+        (1u64..10).prop_map(|e| FaultClass::ClockJitter { extra: Duration(e) }),
+        (2u32..4).prop_map(|factor| FaultClass::StalledIdle { factor }),
+        (1u32..4).prop_map(|divisor| FaultClass::ExecutionSlack { divisor }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Telemetry is pure observation (ISSUE 5, satellite 2): under every
+    /// fault class, `simulate_faulty_with_telemetry` produces the exact
+    /// trace of its untelemetered twin, and every hot-path counter equals
+    /// an offline recount of that twin's trace. Sheds and overruns are
+    /// recounted from the twin's degradation events — the scheduler
+    /// increments those counters exactly when it pushes the event.
+    #[test]
+    fn faulty_telemetry_counters_match_offline_recount(
+        system in arb_system(),
+        seed in 0u64..300,
+        class in arb_fault_class(),
+        rate in 300u16..=1000,
+    ) {
+        let horizon = Instant(5_000);
+        let arrivals = system.random_workload(seed, horizon);
+        let plan = FaultPlan::single(seed ^ 0x51, class, rate);
+        // A tight watchdog so overload sheds actually happen under
+        // Burst/Duplicate plans, exercising the sheds/overruns counters.
+        let watchdog = Some(WatchdogConfig::new(3));
+
+        let plain = system
+            .simulate_faulty(
+                &arrivals,
+                UniformCost::new(StdRng::seed_from_u64(seed ^ 0xABCD)),
+                &plan,
+                watchdog,
+                horizon,
+            )
+            .expect("faulty run");
+
+        let registry = Registry::new();
+        let telemetry = RunTelemetry::disabled()
+            .with_sink(SchedSink::Metrics(SchedulerMetrics::register(&registry)));
+        let instrumented = system
+            .simulate_faulty_with_telemetry(
+                &arrivals,
+                UniformCost::new(StdRng::seed_from_u64(seed ^ 0xABCD)),
+                &plan,
+                watchdog,
+                horizon,
+                &telemetry,
+            )
+            .expect("faulty run");
+
+        // Observation changes nothing observable.
+        prop_assert_eq!(&instrumented.result.trace, &plain.result.trace);
+        prop_assert_eq!(&instrumented.result.degradation, &plain.result.degradation);
+
+        // Offline recount from the *twin* — the instrumented run never
+        // grades its own homework.
+        let markers = plain.result.trace.markers();
+        let count = |k: MarkerKind| markers.iter().filter(|m| m.kind() == k).count() as u64;
+        let sheds = plain
+            .result
+            .degradation
+            .iter()
+            .filter(|e| matches!(e, DegradedEvent::JobShed { .. }))
+            .count() as u64;
+        let overruns = plain
+            .result
+            .degradation
+            .iter()
+            .filter(|e| matches!(e, DegradedEvent::WcetOverrun { .. }))
+            .count() as u64;
+        let snap = registry.snapshot();
+        let expected = [
+            ("sched.steps", markers.len() as u64),
+            ("sched.reads_ok", count(MarkerKind::ReadEndSuccess)),
+            ("sched.reads_empty", count(MarkerKind::ReadEndFailure)),
+            ("sched.dispatches", count(MarkerKind::Dispatch)),
+            ("sched.completions", count(MarkerKind::Completion)),
+            ("sched.idles", count(MarkerKind::Idling)),
+            ("sched.sheds", sheds),
+            ("sched.overruns", overruns),
+        ];
+        for (name, want) in expected {
+            prop_assert_eq!(
+                snap.counter(name).unwrap_or(0), want,
+                "{} diverged from offline recount under {:?}", name, plan
+            );
         }
     }
 }
