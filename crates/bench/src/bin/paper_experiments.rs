@@ -33,6 +33,7 @@ const INDEX: &[(&str, &str, &str)] = &[
     ("E18", "verify-bench", "parallel + deduplicated exploration vs the sequential walk"),
     ("E19", "obs", "runtime telemetry: bound margins, alert fidelity, hot-path overhead"),
     ("E20", "fuzz", "differential fuzzing: clean-run soundness, oracle teeth, shrink quality"),
+    ("E21", "amc", "mixed criticality: two-sided degradation property + AMC acceptance sweep"),
 ];
 
 fn main() {
@@ -146,5 +147,10 @@ fn main() {
         "differential fuzzing: clean-run soundness, oracle teeth, shrink quality (E20)",
         &|| exps::exp_fuzz(smoke),
     );
-    run("loc", "code inventory vs the paper's proof-effort table (§5)", &exps::exp_loc);
+    run(
+        "amc",
+        "mixed criticality: two-sided degradation property + AMC acceptance sweep (E21)",
+        &|| exps::exp_amc(smoke),
+    );
+    run("loc","code inventory vs the paper's proof-effort table (§5)", &exps::exp_loc);
 }

@@ -164,12 +164,14 @@ mod tests {
 
     #[test]
     fn fuzz_smoke_passes_and_reports() {
+        let _serial = crate::smoke_lock();
         let report = exp_fuzz(true);
         // The test runs from the crate directory; drop the artifact it
         // writes there (the real one is produced from the repo root).
         let _ = std::fs::remove_file("BENCH_fuzz.json");
         assert!(report.contains("0 disagreements"), "report:\n{report}");
-        assert!(report.contains("all 4 seeded bugs detected"), "report:\n{report}");
+        assert!(report.contains("all 5 seeded bugs detected"), "report:\n{report}");
         assert!(report.contains("skipped-commit"), "report:\n{report}");
+        assert!(report.contains("skipped-mode-switch"), "report:\n{report}");
     }
 }

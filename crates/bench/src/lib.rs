@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod amc;
 pub mod crash;
 pub mod experiments;
 pub mod faults;
@@ -26,9 +27,20 @@ pub use experiments::{
     exp_validity,
 };
 pub use ablation::{exp_ablation, exp_busy_windows, exp_schedulability, exp_sensitivity, exp_tight};
+pub use amc::exp_amc;
 pub use crash::exp_crash_recovery;
 pub use faults::exp_faults;
 pub use fuzz::exp_fuzz;
 pub use jitter::exp_fig7;
 pub use obs::exp_obs;
 pub use verify_bench::exp_verify_bench;
+
+/// Serializes the heavyweight experiment smoke tests (E18–E21): they
+/// write `BENCH_*.json` artifacts into the crate directory and E19
+/// measures wall-clock overhead, so running them concurrently makes
+/// the timing assertion flaky.
+#[cfg(test)]
+pub(crate) fn smoke_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

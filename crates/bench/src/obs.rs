@@ -341,6 +341,7 @@ mod tests {
 
     #[test]
     fn obs_smoke_passes_and_reports() {
+        let _serial = crate::smoke_lock();
         let report = exp_obs(true);
         // The test runs from the crate directory; drop the artifacts it
         // writes there (the real ones are produced from the repo root).

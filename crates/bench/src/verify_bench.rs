@@ -272,6 +272,7 @@ mod tests {
 
     #[test]
     fn verify_bench_smoke_passes_and_reports() {
+        let _serial = crate::smoke_lock();
         let report = exp_verify_bench(true);
         // The test runs from the crate directory; drop the artifact it
         // writes there (the real one is produced from the repo root).

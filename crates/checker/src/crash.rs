@@ -35,10 +35,11 @@ use std::fmt;
 use std::sync::Arc;
 
 use rossl::{
-    ClientConfig, FirstByteCodec, Request, Response, RestartPolicy, Scheduler, Supervisor,
+    ClientConfig, FirstByteCodec, ModePolicy, Request, Response, RestartPolicy, Scheduler,
+    Supervisor,
 };
 use rossl_journal::{JournalWriter, KIND_EVENT};
-use rossl_model::{Instant, MsgData};
+use rossl_model::{Criticality, Duration, Instant, Job, MsgData};
 use rossl_par::{Ctx, Pool, Reduce};
 use rossl_trace::{check_stitched, Marker, StitchedTrace};
 
@@ -171,6 +172,10 @@ pub struct CrashSweep {
     max_steps: usize,
     /// Post-crash steps granted to each recovery.
     recovery_budget: usize,
+    /// Mixed-criticality policy installed on the pre-crash scheduler and
+    /// re-installed (with the journal-recovered mode) after every
+    /// restart. Enables overrun branching.
+    mode_policy: Option<ModePolicy>,
     threads: usize,
     /// Telemetry bundle fed after each sweep; purely observational.
     metrics: Option<Arc<rossl_obs::VerifierMetrics>>,
@@ -198,9 +203,23 @@ impl CrashSweep {
             pending,
             max_steps,
             recovery_budget: max_steps,
+            mode_policy: None,
             threads: 1,
             metrics: None,
         }
+    }
+
+    /// Installs a mixed-criticality [`ModePolicy`] and enables overrun
+    /// branching: each `Execute` of a HI task with `C_HI` headroom over
+    /// the current mode's budget branches between completing within
+    /// budget and overrunning to `C_HI`. Crash points then land before,
+    /// *during* (armed but unenacted — legitimately lost, no
+    /// `ModeSwitch` was committed) and after every mode switch; each
+    /// recovery resumes in the last committed mode, which the
+    /// mode-aware stitched checker holds across the seam.
+    pub fn with_mode_policy(mut self, policy: ModePolicy) -> CrashSweep {
+        self.mode_policy = Some(policy);
+        self
     }
 
     /// Overrides the post-crash step budget per recovery (default:
@@ -238,8 +257,12 @@ impl CrashSweep {
     /// count.
     pub fn sweep(&self) -> Result<CrashSweepOutcome, CrashSweepFailure> {
         let config = Arc::new(self.config.clone());
+        let mut scheduler = Scheduler::with_shared_config(config.clone(), FirstByteCodec);
+        if let Some(policy) = self.mode_policy {
+            scheduler = scheduler.with_mode_policy(policy);
+        }
         let root = Node {
-            scheduler: Some(Scheduler::with_shared_config(config.clone(), FirstByteCodec)),
+            scheduler: Some(scheduler),
             pre_trace: None,
             post_trace: None,
             crash_at: None,
@@ -410,12 +433,50 @@ impl CrashSweep {
                     }
                     node.response = Some(Response::ReadResult(None));
                 }
-                Some(Request::Execute(_)) => {
+                Some(Request::Execute(job)) => {
+                    if let Some(measured) = self.overrun_of(&scheduler, &job) {
+                        // Branch: the callback overruns to C_HI —
+                        // within the Vestal envelope, so the AMC mode
+                        // switch it provokes must recover from every
+                        // crash point like any other behaviour.
+                        let overran = Node {
+                            scheduler: Some(scheduler.clone()),
+                            pre_trace: node.pre_trace.clone(),
+                            post_trace: node.post_trace.clone(),
+                            crash_at: node.crash_at,
+                            pre_completed: node.pre_completed,
+                            consumed: node.consumed.clone(),
+                            steps: node.steps,
+                            response: Some(Response::ExecutedIn(measured)),
+                            path: push_path(&node.path, 1),
+                        };
+                        node.path = push_path(&node.path, 0);
+                        let mut overran_path = path.clone();
+                        overran_path.push(1);
+                        path.push(0);
+                        if self.threads > 1 && ctx.starving() {
+                            ctx.spawn(overran);
+                        } else if !fail.beats(&overran_path) {
+                            self.explore(overran, overran_path, ctx, fail, config);
+                        }
+                    }
                     node.response = Some(Response::Executed);
                 }
                 None => {}
             }
         }
+    }
+
+    /// The measured execution time the overrun branch reports for
+    /// `job`, when overrun branching applies: a mode policy is
+    /// installed, the task is HI-criticality, and its `C_HI` exceeds
+    /// the budget of the scheduler's *current* mode.
+    fn overrun_of(&self, scheduler: &Scheduler<FirstByteCodec>, job: &Job) -> Option<Duration> {
+        self.mode_policy?;
+        let task = self.config.tasks().task(job.task())?;
+        (task.criticality() == Criticality::Hi
+            && task.wcet_hi() > task.wcet_in_mode(scheduler.mode()))
+        .then(|| task.wcet_hi())
     }
 
     /// Replays the `Arc`-shared pre-crash markers into a fresh journal
@@ -455,6 +516,16 @@ impl CrashSweep {
                 state.jobs_completed, node.pre_completed
             )));
         }
+        // Re-install the mode machinery: the supervisor recovers the
+        // *state* (the mode of the last committed ModeSwitch); the
+        // policy is configuration. A crash mid-switch (armed, not yet
+        // enacted) loses the arming legitimately — no ModeSwitch record
+        // was committed, so the recovered scheduler re-detects the
+        // overrun if the HI backlog re-manifests.
+        let sched = match self.mode_policy {
+            Some(policy) => sched.with_mode_policy(policy).resume_in_mode(state.mode),
+            None => sched,
+        };
         Ok(sched)
     }
 
@@ -572,6 +643,63 @@ mod tests {
     #[test]
     fn parallel_sweep_matches_sequential() {
         let sweep = CrashSweep::new(config(1), vec![vec![vec![0], vec![1]]], 12);
+        let baseline = sweep.sweep().unwrap();
+        for threads in [2, 4, 8] {
+            let outcome = sweep.clone().with_threads(threads).sweep().unwrap();
+            assert_eq!(outcome, baseline, "threads={threads}");
+        }
+    }
+
+    /// A LO task and a HI task with `headroom` ticks of C_HI over C_LO.
+    fn mixed_config(headroom: u64) -> ClientConfig {
+        let tasks = TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "lo",
+                Priority(1),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            )
+            .with_criticality(Criticality::Lo),
+            Task::new(
+                TaskId(1),
+                "hi",
+                Priority(9),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            )
+            .with_criticality(Criticality::Hi)
+            .with_wcet_hi(Duration(5 + headroom)),
+        ])
+        .unwrap();
+        ClientConfig::new(tasks, 1).unwrap()
+    }
+
+    #[test]
+    fn mode_switches_recover_from_every_crash_point() {
+        // Crash points land before, during (armed, unenacted) and after
+        // LO→HI switches, LO-job suspensions and hysteresis returns;
+        // every recovery resumes in the last committed mode and the
+        // mode-aware stitched checker holds it across the seam.
+        let pending = vec![vec![vec![1], vec![0]]];
+        let sweep = CrashSweep::new(mixed_config(7), pending.clone(), 16)
+            .with_mode_policy(ModePolicy::Amc { hysteresis_idles: 1 });
+        let outcome = sweep.sweep().unwrap();
+        assert_eq!(outcome.crash_points, 16);
+        // Overrun branching multiplies the recovered behaviours over the
+        // policy-free sweep of the same environment.
+        let plain = CrashSweep::new(mixed_config(7), pending, 16).sweep().unwrap();
+        assert!(
+            outcome.recoveries > plain.recoveries,
+            "policy: {outcome}, plain: {plain}"
+        );
+        assert!(outcome.stitched_checked >= outcome.recoveries);
+    }
+
+    #[test]
+    fn parallel_mode_sweep_matches_sequential() {
+        let sweep = CrashSweep::new(mixed_config(7), vec![vec![vec![1], vec![0]]], 14)
+            .with_mode_policy(ModePolicy::Adaptive { hysteresis_idles: 1 });
         let baseline = sweep.sweep().unwrap();
         for threads in [2, 4, 8] {
             let outcome = sweep.clone().with_threads(threads).sweep().unwrap();

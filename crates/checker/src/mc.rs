@@ -11,6 +11,15 @@
 //! trace passes the Def. 3.1 protocol acceptance and the Def. 3.2
 //! functional-correctness checker.
 //!
+//! With a [`ModePolicy`] installed ([`ModelChecker::with_mode_policy`])
+//! a second axis of nondeterminism opens: every `Execute` of a
+//! HI-criticality task with `C_HI` headroom over the current mode's
+//! budget branches between completing within budget and overrunning to
+//! `C_HI` — still inside the Vestal envelope, so the scheduler's AMC
+//! reaction (mode switch, LO-job suspension, hysteresis return) is
+//! *correct* behaviour the checker must accept, at every placement
+//! against every read resolution.
+//!
 //! Because the scheduler is a cloneable value, exploration is a plain
 //! tree walk over `(scheduler, environment)` snapshots — no
 //! instrumentation, process forking or unsafe trickery involved. Two
@@ -37,8 +46,8 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
-use rossl::{ClientConfig, FirstByteCodec, Request, Response, Scheduler};
-use rossl_model::MsgData;
+use rossl::{ClientConfig, FirstByteCodec, ModePolicy, Request, Response, Scheduler};
+use rossl_model::{Criticality, Duration, Job, MsgData};
 use rossl_par::{Ctx, Pool, Reduce};
 use rossl_trace::{check_functional, Marker, ProtocolAutomaton};
 
@@ -242,6 +251,9 @@ pub struct ModelChecker {
     /// to the scheduler's own. Tests use a divergent set to demonstrate
     /// that the checker detects misprioritizing implementations.
     spec_tasks: rossl_model::TaskSet,
+    /// Mixed-criticality policy installed on the explored scheduler (and
+    /// mirrored on the online monitor). Enables overrun branching.
+    mode_policy: Option<ModePolicy>,
     threads: usize,
     dedup: bool,
     /// Telemetry bundle fed after each run; purely observational, never
@@ -272,10 +284,24 @@ impl ModelChecker {
             pending,
             max_steps,
             spec_tasks,
+            mode_policy: None,
             threads: 1,
             dedup: false,
             metrics: None,
         }
+    }
+
+    /// Installs a mixed-criticality [`ModePolicy`] on the explored
+    /// scheduler, mirrored on the online [`SpecMonitor`], and enables
+    /// *overrun branching*: each `Execute` of a HI task whose `C_HI`
+    /// exceeds the current mode's budget becomes a branch point — the
+    /// callback completes within budget (digit 0, explored first) or
+    /// reports a measured time of `C_HI` (digit 1). The exploration then
+    /// covers every placement of the AMC mode switch, the suspensions it
+    /// causes and the hysteresis return, against every read resolution.
+    pub fn with_mode_policy(mut self, policy: ModePolicy) -> ModelChecker {
+        self.mode_policy = Some(policy);
+        self
     }
 
     /// Overrides the task set the *specification* is checked against,
@@ -339,9 +365,15 @@ impl ModelChecker {
     ///
     /// As [`ModelChecker::check`].
     pub fn check_with_stats(&self) -> Result<(CheckOutcome, ExploreStats), CheckFailure> {
+        let mut scheduler = Scheduler::new(self.config.clone(), FirstByteCodec);
+        let mut monitor = SpecMonitor::new(self.spec_tasks.clone(), self.config.n_sockets());
+        if let Some(policy) = self.mode_policy {
+            scheduler = scheduler.with_mode_policy(policy);
+            monitor = monitor.with_policy(policy);
+        }
         let root = ExploreNode {
-            scheduler: Scheduler::new(self.config.clone(), FirstByteCodec),
-            monitor: SpecMonitor::new(self.spec_tasks.clone(), self.config.n_sockets()),
+            scheduler,
+            monitor,
             trace: None,
             consumed: vec![0; self.config.n_sockets()],
             steps: 0,
@@ -491,6 +523,23 @@ impl ModelChecker {
                 );
                 return None;
             }
+            // Feed the same step's degradation events — an overrun arming
+            // a switch, a suspension, a resume — after the marker, as the
+            // live executor does. Draining also keeps the event buffer
+            // out of the fingerprint, which would otherwise grow
+            // monotonically and defeat deduplication.
+            for event in node.scheduler.take_degradation_events() {
+                if let Err(v) = node.monitor.observe_degradation(&event) {
+                    fail.record(
+                        path,
+                        CheckFailure {
+                            trace: materialize_trace(&node.trace),
+                            reason: v.to_string(),
+                        },
+                    );
+                    return None;
+                }
+            }
 
             match step.request {
                 Some(Request::Read(sock)) => {
@@ -510,44 +559,15 @@ impl ModelChecker {
                         delivered.consumed[sock.0] += 1;
                         node.response = Some(Response::ReadResult(None));
                         node.path = push_path(&node.path, 0);
-
-                        if self.threads > 1 && ctx.starving() {
-                            // An idle worker is asking for work: donate
-                            // the delivered branch and keep walking the
-                            // read-failed chain here. Its results now
-                            // flow through another accumulator, so
-                            // nothing on this frame stack may memoize.
-                            ctx.spawn(delivered);
-                            ctx.acc().stats.donated_subtrees += 1;
-                            clean = false;
-                            path.push(0);
-                        } else {
-                            let branch_depth = node.steps;
-                            let mut path0 = path.clone();
-                            path0.push(0);
-                            let mut path1 = path;
-                            path1.push(1);
-                            let s0 = if fail.beats(&path0) {
-                                None
-                            } else {
-                                self.explore(node, path0, ctx, fail, memo)
-                            };
-                            let s1 = if fail.beats(&path1) {
-                                None
-                            } else {
-                                self.explore(delivered, path1, ctx, fail, memo)
-                            };
-                            match (s0, s1) {
-                                (Some(a), Some(b)) => {
-                                    paths_below += a.paths + b.paths;
-                                    steps_below += a.steps + b.steps;
-                                    max_len = max_len
-                                        .max(branch_depth + a.max_suffix)
-                                        .max(branch_depth + b.max_suffix);
-                                }
-                                _ => clean = false,
+                        match self.fork(
+                            node, delivered, path, ctx, fail, memo,
+                            &mut paths_below, &mut steps_below, &mut max_len, &mut clean,
+                        ) {
+                            Some((n, p)) => {
+                                node = n;
+                                path = p;
                             }
-                            break;
+                            None => break,
                         }
                     } else {
                         // No message left on this socket: the read can
@@ -555,8 +575,37 @@ impl ModelChecker {
                         node.response = Some(Response::ReadResult(None));
                     }
                 }
-                Some(Request::Execute(_)) => {
-                    node.response = Some(Response::Executed);
+                Some(Request::Execute(job)) => {
+                    if let Some(measured) = self.overrun_of(&node, &job) {
+                        // Branch point: the callback completes within
+                        // budget (digit 0, explored first) or overruns
+                        // to C_HI (digit 1) — inside the Vestal
+                        // envelope, so the scheduler's AMC reaction is
+                        // correct behaviour, not a failure.
+                        let overran = ExploreNode {
+                            scheduler: node.scheduler.clone(),
+                            monitor: node.monitor.clone(),
+                            trace: node.trace.clone(),
+                            consumed: node.consumed.clone(),
+                            steps: node.steps,
+                            response: Some(Response::ExecutedIn(measured)),
+                            path: push_path(&node.path, 1),
+                        };
+                        node.response = Some(Response::Executed);
+                        node.path = push_path(&node.path, 0);
+                        match self.fork(
+                            node, overran, path, ctx, fail, memo,
+                            &mut paths_below, &mut steps_below, &mut max_len, &mut clean,
+                        ) {
+                            Some((n, p)) => {
+                                node = n;
+                                path = p;
+                            }
+                            None => break,
+                        }
+                    } else {
+                        node.response = Some(Response::Executed);
+                    }
                 }
                 None => {}
             }
@@ -582,6 +631,78 @@ impl ModelChecker {
             steps: steps_below,
             max_suffix: max_len - entry_steps,
         })
+    }
+
+    /// Resolves a branch point with children `zero` (explored first)
+    /// and `one`. Under starvation the `one` child is donated to an
+    /// idle pool worker and `Some((zero, path))` is returned for the
+    /// caller to keep walking inline — its results then flow through
+    /// another accumulator, so nothing on the calling frame stack may
+    /// memoize. Otherwise both children are recursed depth-first, their
+    /// summaries folded into the caller's subtree accounting, and
+    /// `None` ends the caller's linear segment.
+    #[allow(clippy::too_many_arguments)]
+    fn fork(
+        &self,
+        zero: ExploreNode,
+        one: ExploreNode,
+        path: Vec<u8>,
+        ctx: &mut Ctx<'_, ExploreNode, ExploreAcc>,
+        fail: &FailState<CheckFailure>,
+        memo: Option<&Memo>,
+        paths_below: &mut u64,
+        steps_below: &mut u64,
+        max_len: &mut usize,
+        clean: &mut bool,
+    ) -> Option<(ExploreNode, Vec<u8>)> {
+        if self.threads > 1 && ctx.starving() {
+            ctx.spawn(one);
+            ctx.acc().stats.donated_subtrees += 1;
+            *clean = false;
+            let mut path = path;
+            path.push(0);
+            return Some((zero, path));
+        }
+        let branch_depth = zero.steps;
+        let mut path0 = path.clone();
+        path0.push(0);
+        let mut path1 = path;
+        path1.push(1);
+        let s0 = if fail.beats(&path0) {
+            None
+        } else {
+            self.explore(zero, path0, ctx, fail, memo)
+        };
+        let s1 = if fail.beats(&path1) {
+            None
+        } else {
+            self.explore(one, path1, ctx, fail, memo)
+        };
+        match (s0, s1) {
+            (Some(a), Some(b)) => {
+                *paths_below += a.paths + b.paths;
+                *steps_below += a.steps + b.steps;
+                *max_len = (*max_len)
+                    .max(branch_depth + a.max_suffix)
+                    .max(branch_depth + b.max_suffix);
+            }
+            _ => *clean = false,
+        }
+        None
+    }
+
+    /// The measured execution time the overrun branch reports for
+    /// `job`, when overrun branching applies: a mode policy is
+    /// installed, the task is HI-criticality, and its `C_HI` exceeds
+    /// the budget of the scheduler's *current* mode. (In HI mode the
+    /// budget *is* `C_HI`, so an overrun branch there would only
+    /// duplicate the within-budget child.)
+    fn overrun_of(&self, node: &ExploreNode, job: &Job) -> Option<Duration> {
+        self.mode_policy?;
+        let task = self.config.tasks().task(job.task())?;
+        (task.criticality() == Criticality::Hi
+            && task.wcet_hi() > task.wcet_in_mode(node.scheduler.mode()))
+        .then(|| task.wcet_hi())
     }
 
     /// The 128-bit state fingerprint deduplication keys on: scheduler
@@ -811,6 +932,156 @@ mod tests {
         );
         let permille = snap.gauge("verify.dedup_hit_permille").unwrap();
         assert!((0..=1000).contains(&permille), "permille: {permille}");
+    }
+
+    /// A LO task and a HI task with `headroom` ticks of C_HI over C_LO.
+    fn mixed_tasks(headroom: u64) -> TaskSet {
+        TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "lo",
+                Priority(1),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            )
+            .with_criticality(Criticality::Lo),
+            Task::new(
+                TaskId(1),
+                "hi",
+                Priority(9),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            )
+            .with_criticality(Criticality::Hi)
+            .with_wcet_hi(Duration(5 + headroom)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn overrun_branching_explores_mode_switch_placements() {
+        let pending = vec![vec![vec![0], vec![1], vec![0]]];
+        let plain = ModelChecker::new(
+            ClientConfig::new(mixed_tasks(7), 1).unwrap(),
+            pending.clone(),
+            44,
+        )
+        .check()
+        .unwrap();
+        let outcome = ModelChecker::new(
+            ClientConfig::new(mixed_tasks(7), 1).unwrap(),
+            pending,
+            44,
+        )
+        .with_mode_policy(ModePolicy::Amc { hysteresis_idles: 1 })
+        .check()
+        .unwrap();
+        // Every HI execute in LO mode doubled: switches, suspensions and
+        // hysteresis returns are all explored — and all pass the online
+        // monitor and the mode-aware leaf checks.
+        assert!(
+            outcome.paths > plain.paths,
+            "policy: {outcome}, plain: {plain}"
+        );
+    }
+
+    #[test]
+    fn no_headroom_means_no_extra_branching() {
+        // C_HI == C_LO: an overrun to C_HI is not observable, so the
+        // policy must not add branch points.
+        let pending = vec![vec![vec![0], vec![1]]];
+        let plain = ModelChecker::new(
+            ClientConfig::new(mixed_tasks(0), 1).unwrap(),
+            pending.clone(),
+            40,
+        )
+        .check()
+        .unwrap();
+        let outcome = ModelChecker::new(
+            ClientConfig::new(mixed_tasks(0), 1).unwrap(),
+            pending,
+            40,
+        )
+        .with_mode_policy(ModePolicy::Amc { hysteresis_idles: 1 })
+        .check()
+        .unwrap();
+        assert_eq!(outcome, plain);
+    }
+
+    #[test]
+    fn mode_exploration_agrees_across_threads_and_dedup() {
+        let mc = ModelChecker::new(
+            ClientConfig::new(mixed_tasks(7), 1).unwrap(),
+            vec![vec![vec![0], vec![1], vec![0]]],
+            44,
+        )
+        .with_mode_policy(ModePolicy::Adaptive { hysteresis_idles: 1 });
+        let baseline = mc.check().unwrap();
+        for (threads, dedup) in [(1, true), (4, false), (4, true)] {
+            let (outcome, stats) = mc
+                .clone()
+                .with_threads(threads)
+                .with_dedup(dedup)
+                .check_with_stats()
+                .unwrap();
+            assert_eq!(outcome, baseline, "threads={threads} dedup={dedup}");
+            assert_eq!(
+                stats.explored_paths + stats.pruned_paths,
+                outcome.paths,
+                "threads={threads} dedup={dedup}: {stats}"
+            );
+        }
+    }
+
+    #[test]
+    fn divergent_criticality_spec_rejects_the_explored_switch() {
+        // The scheduler's HI task is LO-criticality per the spec: the
+        // spec monitor records no HI overrun, so the switch the overrun
+        // branch provokes is unjustified — the checker must surface it.
+        let spec = TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "lo",
+                Priority(1),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            )
+            .with_criticality(Criticality::Lo),
+            Task::new(
+                TaskId(1),
+                "hi",
+                Priority(9),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            )
+            .with_criticality(Criticality::Lo)
+            .with_wcet_hi(Duration(12)),
+        ])
+        .unwrap();
+        let mc = ModelChecker::new(
+            ClientConfig::new(mixed_tasks(7), 1).unwrap(),
+            vec![vec![vec![1]]],
+            40,
+        )
+        .with_mode_policy(ModePolicy::Amc { hysteresis_idles: 1 })
+        .with_spec_tasks(spec);
+        let failure = mc.check().unwrap_err();
+        assert!(
+            failure.reason.contains("without a recorded"),
+            "unexpected reason: {}",
+            failure.reason
+        );
+        // The counterexample is stable across the accelerators.
+        for (threads, dedup) in [(1, true), (4, true)] {
+            let again = mc
+                .clone()
+                .with_threads(threads)
+                .with_dedup(dedup)
+                .check()
+                .unwrap_err();
+            assert_eq!(again.reason, failure.reason);
+            assert_eq!(again.trace, failure.trace);
+        }
     }
 
     #[test]

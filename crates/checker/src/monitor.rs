@@ -21,8 +21,8 @@
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
-use rossl::DegradedEvent;
-use rossl_model::{Job, JobId, Priority, TaskSet};
+use rossl::{DegradedEvent, ModePolicy};
+use rossl_model::{Criticality, Job, JobId, Mode, Priority, TaskSet};
 use rossl_trace::{Marker, ProtocolAutomaton, ProtocolState, ProtocolViolation};
 
 /// A violated marker-function specification.
@@ -74,6 +74,58 @@ pub enum SpecViolation {
         /// The allegedly shed job.
         job: JobId,
     },
+    /// A mode-switch marker's source mode disagrees with the monitor's
+    /// mode — the trace and the abstract state diverged.
+    ModeSwitchPrecondition {
+        /// Markers observed so far.
+        at_index: usize,
+        /// The monitor's current mode.
+        expected: Mode,
+        /// The mode the marker claims to leave.
+        found: Mode,
+    },
+    /// A LO → HI switch happened with no recorded HI-task `C_LO`
+    /// overrun to justify it — a degradation without a cause.
+    UnjustifiedModeSwitch {
+        /// Markers observed so far.
+        at_index: usize,
+    },
+    /// The installed policy mandated a LO → HI switch (a HI-task `C_LO`
+    /// overrun was recorded), but the scheduler took an ordinary
+    /// dispatch/idle decision instead — the mode-change protocol was not
+    /// invoked.
+    MissedModeSwitch {
+        /// Markers observed so far.
+        at_index: usize,
+    },
+    /// A HI → LO return happened before the policy's idle-hysteresis
+    /// threshold was met.
+    PrematureModeReturn {
+        /// Markers observed so far.
+        at_index: usize,
+        /// Consecutive HI-mode idle decisions observed.
+        idle_streak: u64,
+        /// The policy's threshold.
+        required: u64,
+    },
+    /// A suspended (mode-ineligible) job was dispatched.
+    DispatchSuspended {
+        /// Markers observed so far.
+        at_index: usize,
+        /// The dispatched job.
+        job: JobId,
+    },
+    /// A suspension/resume event's precondition failed: suspension of a
+    /// non-pending or non-LO job or while in LO mode; resume while in HI
+    /// mode or of a non-pending job.
+    SuspensionPrecondition {
+        /// Markers observed so far.
+        at_index: usize,
+        /// The job in question.
+        job: JobId,
+        /// `true` for a resume event, `false` for a suspension.
+        resume: bool,
+    },
 }
 
 impl fmt::Display for SpecViolation {
@@ -105,6 +157,41 @@ impl fmt::Display for SpecViolation {
             }
             SpecViolation::ShedPrecondition { at_index, job } => {
                 write!(f, "marker {at_index}: watchdog shed non-pending job {job}")
+            }
+            SpecViolation::ModeSwitchPrecondition {
+                at_index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "marker {at_index}: mode switch leaves {found} but the monitor is in {expected}"
+            ),
+            SpecViolation::UnjustifiedModeSwitch { at_index } => write!(
+                f,
+                "marker {at_index}: LO→HI switch without a recorded HI-task C_LO overrun"
+            ),
+            SpecViolation::MissedModeSwitch { at_index } => write!(
+                f,
+                "marker {at_index}: policy mandated a mode switch but a dispatch/idle decision was taken"
+            ),
+            SpecViolation::PrematureModeReturn {
+                at_index,
+                idle_streak,
+                required,
+            } => write!(
+                f,
+                "marker {at_index}: HI→LO return after {idle_streak} idle(s), policy requires {required}"
+            ),
+            SpecViolation::DispatchSuspended { at_index, job } => {
+                write!(f, "marker {at_index}: dispatch of suspended job {job}")
+            }
+            SpecViolation::SuspensionPrecondition {
+                at_index,
+                job,
+                resume,
+            } => {
+                let what = if *resume { "resume" } else { "suspension" };
+                write!(f, "marker {at_index}: invalid {what} of job {job}")
             }
         }
     }
@@ -141,6 +228,18 @@ pub struct SpecMonitor {
     observed: usize,
     degraded: bool,
     shed: Vec<JobId>,
+    /// The mode policy the monitored scheduler runs (mode-awareness off
+    /// when `None`: switches are then unjustifiable).
+    policy: Option<ModePolicy>,
+    /// The monitor's mirror of the criticality mode.
+    mode: Mode,
+    /// A HI-task `C_LO` overrun was recorded in LO mode and no switch
+    /// has served it yet.
+    hi_overrun_pending: bool,
+    /// Consecutive idle decisions observed while in HI mode.
+    hi_idle_streak: u64,
+    /// LO → HI switches observed (feeds the adaptive hysteresis mirror).
+    lo_hi_switches: u64,
 }
 
 impl SpecMonitor {
@@ -160,7 +259,34 @@ impl SpecMonitor {
             observed: 0,
             degraded: false,
             shed: Vec::new(),
+            policy: None,
+            mode: Mode::Lo,
+            hi_overrun_pending: false,
+            hi_idle_streak: 0,
+            lo_hi_switches: 0,
         }
+    }
+
+    /// Mirrors the [`ModePolicy`] installed on the monitored scheduler,
+    /// enabling the mixed-criticality obligations: mandated switches
+    /// must happen ([`SpecViolation::MissedModeSwitch`]) and HI → LO
+    /// returns must respect the hysteresis
+    /// ([`SpecViolation::PrematureModeReturn`]).
+    pub fn with_policy(mut self, policy: ModePolicy) -> SpecMonitor {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Starts the monitor in `mode` — for observing a post-crash segment
+    /// of a scheduler recovered into that mode.
+    pub fn resume_in_mode(mut self, mode: Mode) -> SpecMonitor {
+        self.mode = mode;
+        self
+    }
+
+    /// The monitor's mirror of the criticality mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
     }
 
     /// `true` while the monitored scheduler has reported degraded mode
@@ -188,8 +314,17 @@ impl SpecMonitor {
     /// not pending (scheduler/monitor state divergence).
     pub fn observe_degradation(&mut self, event: &DegradedEvent) -> Result<(), SpecViolation> {
         match event {
-            DegradedEvent::WcetOverrun { .. } => {
-                self.degraded = true;
+            DegradedEvent::WcetOverrun { task, .. } => {
+                let arms_switch = self.mode == Mode::Lo
+                    && self.criticality_of(*task) == Criticality::Hi
+                    && self.policy.is_some_and(|p| p.switches_on_overrun());
+                if arms_switch {
+                    // The AMC-anticipated signal: the guarantee is not
+                    // void, the mode change is now due.
+                    self.hi_overrun_pending = true;
+                } else {
+                    self.degraded = true;
+                }
             }
             DegradedEvent::JobShed { job, .. } => {
                 if self.pending.remove(job).is_none() {
@@ -199,6 +334,31 @@ impl SpecMonitor {
                     });
                 }
                 self.shed.push(*job);
+            }
+            DegradedEvent::JobSuspended { job, task } => {
+                // Suspension is only justified in HI mode, only for
+                // pending LO jobs.
+                let justified = self.mode == Mode::Hi
+                    && self.pending.contains_key(job)
+                    && self.criticality_of(*task) == Criticality::Lo;
+                if !justified {
+                    return Err(SpecViolation::SuspensionPrecondition {
+                        at_index: self.observed,
+                        job: *job,
+                        resume: false,
+                    });
+                }
+            }
+            DegradedEvent::JobResumed { job, .. } => {
+                // Resume is only justified at (after) the return to LO,
+                // for jobs still pending.
+                if self.mode != Mode::Lo || !self.pending.contains_key(job) {
+                    return Err(SpecViolation::SuspensionPrecondition {
+                        at_index: self.observed,
+                        job: *job,
+                        resume: true,
+                    });
+                }
             }
             DegradedEvent::Recovered => {
                 self.degraded = false;
@@ -236,6 +396,11 @@ impl SpecMonitor {
         self.observed.hash(hasher);
         self.degraded.hash(hasher);
         self.shed.hash(hasher);
+        self.policy.hash(hasher);
+        self.mode.hash(hasher);
+        self.hi_overrun_pending.hash(hasher);
+        self.hi_idle_streak.hash(hasher);
+        self.lo_hi_switches.hash(hasher);
     }
 
     /// The current `currently_pending` cardinality.
@@ -250,6 +415,20 @@ impl SpecMonitor {
 
     fn priority_of(&self, job: &Job) -> Option<Priority> {
         self.tasks.task(job.task()).map(|t| t.priority())
+    }
+
+    fn criticality_of(&self, task: rossl_model::TaskId) -> Criticality {
+        self.tasks
+            .task(task)
+            .map(|t| t.criticality())
+            .unwrap_or_default()
+    }
+
+    /// `true` when the current mode serves `job`'s task — suspended
+    /// (ineligible) jobs stay pending but carry no dispatch/idle
+    /// obligations.
+    fn eligible(&self, job: &Job) -> bool {
+        self.mode.serves(self.criticality_of(job.task()))
     }
 
     /// Checks `marker` against its specification and advances the
@@ -270,6 +449,13 @@ impl SpecMonitor {
                     at_index,
                     violation,
                 })?;
+
+        // A mandated mode switch must happen at the first selection
+        // decision after the arming overrun — an ordinary dispatch/idle
+        // decision there means the mode-change protocol was skipped.
+        if self.hi_overrun_pending && matches!(marker, Marker::Dispatch(_) | Marker::Idling) {
+            return Err(SpecViolation::MissedModeSwitch { at_index });
+        }
 
         // Marker-specific preconditions over `currently_pending`.
         match marker {
@@ -294,10 +480,21 @@ impl SpecMonitor {
                         better: None,
                     });
                 }
+                if !self.eligible(j) {
+                    return Err(SpecViolation::DispatchSuspended {
+                        at_index,
+                        job: j.id(),
+                    });
+                }
                 let p = self
                     .priority_of(j)
                     .ok_or(SpecViolation::UnknownTask { at_index })?;
+                // The priority obligation quantifies over mode-eligible
+                // pending jobs only (Def. 3.2 under eligibility).
                 for other in self.pending.values() {
+                    if !self.eligible(other) {
+                        continue;
+                    }
                     let po = self
                         .priority_of(other)
                         .ok_or(SpecViolation::UnknownTask { at_index })?;
@@ -310,14 +507,56 @@ impl SpecMonitor {
                     }
                 }
                 self.pending.remove(&j.id());
+                self.hi_idle_streak = 0;
             }
-            Marker::Idling
-                if !self.pending.is_empty() => {
+            Marker::Idling => {
+                let eligible = self.pending.values().filter(|j| self.eligible(j)).count();
+                if eligible > 0 {
                     return Err(SpecViolation::IdlingPrecondition {
                         at_index,
-                        pending: self.pending.len(),
+                        pending: eligible,
                     });
                 }
+                if self.mode == Mode::Hi {
+                    self.hi_idle_streak += 1;
+                }
+            }
+            Marker::ModeSwitch { from, to } => {
+                if *from != self.mode {
+                    return Err(SpecViolation::ModeSwitchPrecondition {
+                        at_index,
+                        expected: self.mode,
+                        found: *from,
+                    });
+                }
+                match to {
+                    Mode::Hi => {
+                        // Every degradation needs a cause: the switch must
+                        // serve a recorded HI-task C_LO overrun.
+                        if !self.hi_overrun_pending {
+                            return Err(SpecViolation::UnjustifiedModeSwitch { at_index });
+                        }
+                        self.hi_overrun_pending = false;
+                        self.lo_hi_switches += 1;
+                    }
+                    Mode::Lo => {
+                        if let Some(required) = self
+                            .policy
+                            .and_then(|p| p.return_hysteresis(self.lo_hi_switches))
+                        {
+                            if self.hi_idle_streak < required {
+                                return Err(SpecViolation::PrematureModeReturn {
+                                    at_index,
+                                    idle_streak: self.hi_idle_streak,
+                                    required,
+                                });
+                            }
+                        }
+                    }
+                }
+                self.mode = *to;
+                self.hi_idle_streak = 0;
+            }
             _ => {}
         }
 

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rossl::{ClientConfig, ConfigError, FirstByteCodec};
 use rossl_model::{
-    Curve, Duration, Instant, ModelError, Priority, Task, TaskId, TaskSet, WcetTable,
+    Criticality, Curve, Duration, Instant, ModelError, Priority, Task, TaskId, TaskSet, WcetTable,
 };
 use rossl::WatchdogConfig;
 use rossl_faults::{FaultPlan, FaultyCostModel, FaultySocketSet, InjectionRecord};
@@ -119,6 +119,28 @@ impl SystemBuilder {
     ) -> SystemBuilder {
         let id = TaskId(self.tasks.len());
         self.tasks.push(Task::new(id, name, priority, wcet, curve));
+        self
+    }
+
+    /// Registers a mixed-criticality task: like [`SystemBuilder::task`]
+    /// but with an explicit criticality level and HI-mode budget.
+    /// `wcet` is the LO-mode budget `C_LO`; `wcet_hi` is clamped up to
+    /// at least `wcet` (Vestal's monotonicity, `C_LO <= C_HI`).
+    pub fn mc_task(
+        mut self,
+        name: impl Into<String>,
+        priority: Priority,
+        wcet: Duration,
+        curve: Curve,
+        criticality: Criticality,
+        wcet_hi: Duration,
+    ) -> SystemBuilder {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(
+            Task::new(id, name, priority, wcet, curve)
+                .with_criticality(criticality)
+                .with_wcet_hi(wcet_hi),
+        );
         self
     }
 

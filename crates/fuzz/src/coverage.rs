@@ -59,6 +59,7 @@ fn kind_code(kind: MarkerKind) -> u8 {
         MarkerKind::Execution => 5,
         MarkerKind::Completion => 6,
         MarkerKind::Idling => 7,
+        MarkerKind::ModeSwitch => 8,
     }
 }
 

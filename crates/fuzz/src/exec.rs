@@ -39,12 +39,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use refined_prosa::RosslSystem;
 use rossl::{
-    ClientConfig, FirstByteCodec, Request, Response, RestartPolicy, Scheduler, SeededBug,
-    Supervisor,
+    ClientConfig, DegradedEvent, FirstByteCodec, Request, Response, RestartPolicy, Scheduler,
+    SeededBug, Supervisor,
 };
 use rossl_faults::{FaultyCostModel, FaultySocketSet};
 use rossl_journal::{recover, JournalWriter, KIND_EVENT};
-use rossl_model::{Duration, Instant, Job, MsgData, TaskSet, WcetTable};
+use rossl_model::{Duration, Instant, Job, Mode, MsgData, TaskSet, WcetTable};
 use rossl_obs::{Registry, SchedSink, SchedulerMetrics};
 use rossl_timing::{
     check_consistency, check_wcet_compliance, SimulationResult, Simulator, UniformCost,
@@ -152,7 +152,26 @@ fn marker_cost(marker: &Marker, wcet: &WcetTable, tasks: &TaskSet) -> u64 {
             .unwrap_or(1)
             .max(1),
         Marker::Completion(_) => wcet.completion.ticks(),
-        Marker::Idling => wcet.idling.ticks(),
+        // Mode switches are bounded like one idle iteration (see
+        // `rossl_timing::wcet_check`).
+        Marker::Idling | Marker::ModeSwitch { .. } => wcet.idling.ticks(),
+    }
+}
+
+/// The environment's answer to an `Execute` request. Jobs named by the
+/// input's overrun plan report a measured execution time of
+/// `min(C_LO + extra, C_HI)` — always inside the Vestal model, so the
+/// honest scheduler's reaction (arming a mode switch) is *correct*
+/// behaviour, not a finding. Everything else completes within budget.
+fn execute_response(input: &FuzzInput, tasks: &TaskSet, job: &Job) -> Response {
+    let Some(o) = input.overruns.iter().find(|o| o.job == job.id().0) else {
+        return Response::Executed;
+    };
+    match tasks.task(job.task()) {
+        Some(t) => Response::ExecutedIn(Duration(
+            (t.wcet().ticks() + o.extra).min(t.wcet_hi().ticks()),
+        )),
+        None => Response::Executed,
     }
 }
 
@@ -186,11 +205,26 @@ fn raw_drive(
     let tasks = system.tasks();
     let registry = Registry::new();
     let bundle = SchedulerMetrics::register(&registry);
+    let policy = input.mode_policy();
     let mut sched = Scheduler::with_shared_config(Arc::clone(config), FirstByteCodec)
         .with_telemetry(SchedSink::Metrics(Arc::clone(&bundle)));
+    if let Some(p) = policy {
+        sched = sched.with_mode_policy(p);
+    }
     if let Some(b) = bug {
         sched = sched.with_seeded_bug(b);
     }
+
+    // The streaming monitor runs *online*, fed each marker and each
+    // degradation event as the scheduler produces them — this is the
+    // oracle that ties every mode switch to a recorded overrun and
+    // every suspension to an eligible LO job.
+    let mut monitor = SpecMonitor::new(tasks.clone(), input.n_sockets);
+    if let Some(p) = policy {
+        monitor = monitor.with_policy(p);
+    }
+    let mut monitor_dead = false;
+    let mut events: Vec<DegradedEvent> = Vec::new();
 
     let mut env = Env::new(input);
     let mut journal = JournalWriter::new();
@@ -229,6 +263,36 @@ fn raw_drive(
         trace.push(step.marker.clone());
         out.coverage.digest(sched.digest64());
 
+        // Feed the online monitor: the marker first (it may change the
+        // monitor's mode), then the degradation events the same step
+        // produced (a suspension needs its ReadEnd observed, a resume
+        // its ModeSwitch). A dead monitor stops eating but the drive
+        // continues, so the remaining oracles still run.
+        if !monitor_dead {
+            if let Err(v) = monitor.observe(&step.marker) {
+                finding(
+                    &mut out.findings,
+                    "monitor",
+                    format!("online monitor rejected marker {}: {v}", trace.len() - 1),
+                );
+                monitor_dead = true;
+            }
+        }
+        let step_events = sched.take_degradation_events();
+        for ev in &step_events {
+            if !monitor_dead {
+                if let Err(v) = monitor.observe_degradation(ev) {
+                    finding(
+                        &mut out.findings,
+                        "monitor",
+                        format!("online monitor rejected degradation event {ev:?}: {v}"),
+                    );
+                    monitor_dead = true;
+                }
+            }
+        }
+        events.extend(step_events);
+
         // Crash lands after the marker is journaled, before the request
         // is served — the same fork point CrashSweep uses, so consumed
         // cursors never outrun the committed prefix.
@@ -241,12 +305,19 @@ fn raw_drive(
             Some(Request::Read(sock)) => {
                 response = Some(Response::ReadResult(env.try_read(sock.0, now)));
             }
-            Some(Request::Execute(_)) => response = Some(Response::Executed),
+            Some(Request::Execute(job)) => {
+                response = Some(execute_response(input, tasks, &job));
+            }
             None => {}
         }
 
         if matches!(step.marker, Marker::Idling) {
-            if env.drained() {
+            // Quiesce only back in LO mode with an empty suspension
+            // buffer: a HI-mode scheduler must idle through its
+            // hysteresis, switch back to LO and resume (then run) its
+            // suspended jobs before the run may end — degraded work is
+            // deferred, never abandoned.
+            if env.drained() && sched.suspended_count() == 0 && sched.mode() == Mode::Lo {
                 quiesced = true;
                 break;
             }
@@ -276,18 +347,19 @@ fn raw_drive(
     if let Err(e) = check_functional(&trace, tasks) {
         finding(&mut out.findings, "functional", format!("{e}"));
     }
-    // Online/offline differential: the streaming monitor must agree with
-    // the batch checkers marker for marker.
-    let mut monitor = SpecMonitor::new(tasks.clone(), input.n_sockets);
-    for (i, m) in trace.iter().enumerate() {
-        if let Err(v) = monitor.observe(m) {
-            finding(
-                &mut out.findings,
-                "monitor",
-                format!("online monitor rejected marker {i}: {v}"),
-            );
-            break;
-        }
+    // Mode-quiescence differential: a clean end of run must be back in
+    // LO mode with nothing suspended — HI mode without HI backlog is
+    // exactly what the hysteresis exists to leave.
+    if quiesced && (sched.mode() != Mode::Lo || monitor.mode() != Mode::Lo) {
+        finding(
+            &mut out.findings,
+            "monitor",
+            format!(
+                "quiesced in mode {:?} (monitor: {:?}), expected LO",
+                sched.mode(),
+                monitor.mode()
+            ),
+        );
     }
     // Ghost-set differential: at quiescence the scheduler's live queue
     // must match the trace's pending-jobs set.
@@ -336,7 +408,7 @@ fn raw_drive(
         }
         Err(e) => finding(&mut out.findings, "journal", format!("unreadable journal: {e}")),
     }
-    telemetry_recount(&trace, 0, 0, &registry, &mut out.findings);
+    telemetry_recount(&trace, &events, &registry, &mut out.findings);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -401,6 +473,7 @@ fn crash_oracles(
     let mut in_flight: Option<Job> = None;
     let mut next_id = 0u64;
     let mut completed = 0u64;
+    let mut mode = Mode::Lo;
     for m in &committed {
         match m {
             Marker::ReadEnd { job: Some(j), .. } => {
@@ -415,6 +488,7 @@ fn crash_oracles(
                 completed += 1;
                 in_flight = None;
             }
+            Marker::ModeSwitch { to, .. } => mode = *to,
             _ => {}
         }
     }
@@ -422,6 +496,16 @@ fn crash_oracles(
         pending.insert(0, j);
     }
 
+    if state.mode != mode {
+        finding(
+            &mut out.findings,
+            "recovery",
+            format!(
+                "recovered mode {:?} disagrees with the last committed mode switch ({mode:?})",
+                state.mode
+            ),
+        );
+    }
     if state.next_job_id != next_id || state.jobs_completed != completed {
         finding(
             &mut out.findings,
@@ -453,8 +537,23 @@ fn crash_oracles(
         );
     }
 
+    // Re-install the mode machinery on the restarted scheduler: the
+    // supervisor recovers the *state* (including the mode); the policy
+    // is configuration and comes from the deployment, exactly as the
+    // crash sweep does it. A crash mid-switch (armed, unenacted) loses
+    // the arming legitimately — no ModeSwitch was committed.
+    let policy = input.mode_policy();
+    let mut sched2 = sched2;
+    if let Some(p) = policy {
+        sched2 = sched2.with_mode_policy(p).resume_in_mode(state.mode);
+    }
+    if let Some(b) = bug {
+        sched2 = sched2.with_seeded_bug(b);
+    }
+
     // Digest differential: a scheduler rebuilt from our own recount must
-    // be bit-for-bit indistinguishable from the supervisor's.
+    // be bit-for-bit indistinguishable from the supervisor's — the same
+    // policy/mode chain is applied so the comparison is like for like.
     match Scheduler::recovered_shared(
         Arc::clone(config),
         FirstByteCodec,
@@ -463,6 +562,13 @@ fn crash_oracles(
         completed,
     ) {
         Ok(mine) => {
+            let mut mine = mine;
+            if let Some(p) = policy {
+                mine = mine.with_mode_policy(p).resume_in_mode(mode);
+            }
+            if let Some(b) = bug {
+                mine = mine.with_seeded_bug(b);
+            }
             if mine.digest64() != sched2.digest64() {
                 finding(
                     &mut out.findings,
@@ -478,12 +584,6 @@ fn crash_oracles(
             "recovery",
             format!("journal recount references an unknown task: {e}"),
         ),
-    }
-
-    // Drive the post-crash segment — same buggy binary, same environment.
-    let mut sched2 = sched2;
-    if let Some(b) = bug {
-        sched2 = sched2.with_seeded_bug(b);
     }
     let mut seg1: Vec<Marker> = Vec::new();
     let mut response: Option<Response> = None;
@@ -507,11 +607,15 @@ fn crash_oracles(
             Some(Request::Read(sock)) => {
                 response = Some(Response::ReadResult(env.try_read(sock.0, now)));
             }
-            Some(Request::Execute(_)) => response = Some(Response::Executed),
+            Some(Request::Execute(job)) => {
+                response = Some(execute_response(input, tasks, &job));
+            }
             None => {}
         }
         if matches!(step.marker, Marker::Idling) {
-            if env.drained() {
+            // Same quiescence rule as the pre-crash drive: suspended
+            // work recovered into HI mode must be resumed and run.
+            if env.drained() && sched2.suspended_count() == 0 && sched2.mode() == Mode::Lo {
                 break;
             }
             if let Some(next) = env.next_arrival() {
@@ -639,17 +743,7 @@ fn timed_drive(
             finding(&mut out.findings, "wcet", format!("{e}"));
         }
     }
-    let sheds = result
-        .degradation
-        .iter()
-        .filter(|e| matches!(e, rossl::DegradedEvent::JobShed { .. }))
-        .count() as u64;
-    let overruns = result
-        .degradation
-        .iter()
-        .filter(|e| matches!(e, rossl::DegradedEvent::WcetOverrun { .. }))
-        .count() as u64;
-    telemetry_recount(markers, sheds, overruns, &registry, &mut out.findings);
+    telemetry_recount(markers, &result.degradation, &registry, &mut out.findings);
 
     // The Prosa bound oracle: sound only for honest, curve-respecting
     // runs of a schedulable system.
@@ -691,13 +785,13 @@ fn timed_drive(
 /// truth (one marker per step, flush-complete at run end).
 fn telemetry_recount(
     markers: &[Marker],
-    sheds: u64,
-    overruns: u64,
+    events: &[DegradedEvent],
     registry: &Registry,
     findings: &mut Vec<Finding>,
 ) {
     let snap = registry.snapshot();
     let count = |k: MarkerKind| markers.iter().filter(|m| m.kind() == k).count() as u64;
+    let event = |f: fn(&DegradedEvent) -> bool| events.iter().filter(|e| f(e)).count() as u64;
     let expected = [
         ("sched.steps", markers.len() as u64),
         ("sched.reads_ok", count(MarkerKind::ReadEndSuccess)),
@@ -705,8 +799,23 @@ fn telemetry_recount(
         ("sched.dispatches", count(MarkerKind::Dispatch)),
         ("sched.completions", count(MarkerKind::Completion)),
         ("sched.idles", count(MarkerKind::Idling)),
-        ("sched.sheds", sheds),
-        ("sched.overruns", overruns),
+        ("sched.mode_switches", count(MarkerKind::ModeSwitch)),
+        (
+            "sched.sheds",
+            event(|e| matches!(e, DegradedEvent::JobShed { .. })),
+        ),
+        (
+            "sched.overruns",
+            event(|e| matches!(e, DegradedEvent::WcetOverrun { .. })),
+        ),
+        (
+            "sched.suspensions",
+            event(|e| matches!(e, DegradedEvent::JobSuspended { .. })),
+        ),
+        (
+            "sched.resumes",
+            event(|e| matches!(e, DegradedEvent::JobResumed { .. })),
+        ),
     ];
     for (name, want) in expected {
         let got = snap.counter(name).unwrap_or(0);

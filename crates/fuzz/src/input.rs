@@ -17,8 +17,9 @@
 use std::fmt::Write as _;
 
 use refined_prosa::{RosslSystem, SystemBuilder};
+use rossl::ModePolicy;
 use rossl_faults::{FaultClass, FaultPlan, FaultSpec};
-use rossl_model::{Duration, Instant, Message, Priority, SocketId, TaskId};
+use rossl_model::{Criticality, Duration, Instant, Message, Priority, SocketId, TaskId};
 use rossl_model::Curve;
 use rossl_sockets::{ArrivalEvent, ArrivalSequence};
 
@@ -44,6 +45,12 @@ pub mod bounds {
     pub const HORIZON: (u64, u64) = (200, 20_000);
     /// Maximum crash point, in markers into the raw drive.
     pub const MAX_CRASH_AT: u64 = 300;
+    /// Maximum number of overrun-plan clauses.
+    pub const MAX_OVERRUNS: usize = 3;
+    /// Overrun extra-execution range in ticks (inclusive).
+    pub const OVERRUN_EXTRA: (u64, u64) = (1, 25);
+    /// Maximum HI-mode WCET in ticks (LO WCET is the lower bound).
+    pub const WCET_HI_MAX: u64 = 75;
 }
 
 /// One task of the generated task set.
@@ -51,10 +58,30 @@ pub mod bounds {
 pub struct TaskSpec {
     /// Fixed priority (higher wins).
     pub priority: u64,
-    /// Declared worst-case execution time, ticks.
+    /// Declared LO-mode worst-case execution time `C_LO`, ticks.
     pub wcet: u64,
     /// Sporadic minimum inter-arrival time, ticks.
     pub period: u64,
+    /// HI criticality? Codec v1 inputs default every task to HI with
+    /// `wcet_hi == wcet`, which makes the system behaviourally
+    /// single-criticality.
+    pub hi: bool,
+    /// HI-mode budget `C_HI` (>= `wcet` after sanitization).
+    pub wcet_hi: u64,
+}
+
+/// An overrun plan clause: when the raw drive executes the job with
+/// this id, the environment reports an execution time of
+/// `min(C_LO + extra, C_HI)` ticks instead of completing within budget.
+/// Always inside the Vestal model (never past `C_HI`), so honest runs
+/// stay honest — the clause only *triggers* mode switching, it cannot
+/// falsify the HI-mode analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OverrunSpec {
+    /// The job id (raw-drive read order) that overruns.
+    pub job: u64,
+    /// Extra ticks past `C_LO` the execution takes.
+    pub extra: u64,
 }
 
 /// One message arrival.
@@ -191,6 +218,9 @@ pub struct FuzzInput {
     pub arrivals: Vec<ArrivalSpec>,
     /// Environment/cost fault clauses (empty = honest environment).
     pub faults: Vec<FaultEntry>,
+    /// Overrun plan: per-job execution-time extensions that exercise
+    /// the mixed-criticality switching machinery (empty = within `C_LO`).
+    pub overruns: Vec<OverrunSpec>,
     /// Crash the scheduler after this many markers of the raw drive.
     pub crash_at: Option<u64>,
     /// Timed-simulation horizon, ticks.
@@ -214,17 +244,35 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-const HEADER: &str = "rossl-fuzz-input v1";
+/// Codec v1: single-criticality grammar. Still emitted for inputs that
+/// use no mixed-criticality clause, so the pre-existing corpus stays
+/// byte-stable and old tools keep parsing new plain inputs.
+const HEADER_V1: &str = "rossl-fuzz-input v1";
+/// Codec v2: v1 plus `crit` and `overrun` clauses.
+const HEADER_V2: &str = "rossl-fuzz-input v2";
 
 impl FuzzInput {
     /// Generates a fresh input from `rng`; the result is sanitized.
     pub fn generate(rng: &mut SplitRng) -> FuzzInput {
         let n_tasks = rng.range(1, bounds::MAX_TASKS as u64) as usize;
         let tasks = (0..n_tasks)
-            .map(|_| TaskSpec {
-                priority: rng.range(bounds::PRIORITY.0, bounds::PRIORITY.1),
-                wcet: rng.range(bounds::WCET.0, bounds::WCET.1),
-                period: rng.range(bounds::PERIOD.0, bounds::PERIOD.1),
+            .map(|_| {
+                let wcet = rng.range(bounds::WCET.0, bounds::WCET.1);
+                // HI tasks with an extended C_HI are where mode switching
+                // lives; keep them common enough that short teeth
+                // campaigns exercise the switch path.
+                let wcet_hi = if rng.chance(500) {
+                    wcet + rng.range(bounds::OVERRUN_EXTRA.0, bounds::OVERRUN_EXTRA.1)
+                } else {
+                    wcet
+                };
+                TaskSpec {
+                    priority: rng.range(bounds::PRIORITY.0, bounds::PRIORITY.1),
+                    wcet,
+                    period: rng.range(bounds::PERIOD.0, bounds::PERIOD.1),
+                    hi: !rng.chance(350),
+                    wcet_hi,
+                }
             })
             .collect::<Vec<_>>();
         let n_sockets = rng.range(1, bounds::MAX_SOCKETS as u64) as usize;
@@ -254,6 +302,16 @@ impl FuzzInput {
         } else {
             Vec::new()
         };
+        let overruns = if rng.chance(400) {
+            (0..rng.range(1, bounds::MAX_OVERRUNS as u64))
+                .map(|_| OverrunSpec {
+                    job: rng.range(0, bounds::MAX_ARRIVALS as u64 / 2),
+                    extra: rng.range(bounds::OVERRUN_EXTRA.0, bounds::OVERRUN_EXTRA.1),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let crash_at = rng
             .chance(350)
             .then(|| rng.range(1, bounds::MAX_CRASH_AT));
@@ -263,6 +321,7 @@ impl FuzzInput {
             tasks,
             arrivals,
             faults,
+            overruns,
             crash_at,
             horizon,
         };
@@ -280,6 +339,8 @@ impl FuzzInput {
                 priority: 1,
                 wcet: 5,
                 period: 100,
+                hi: true,
+                wcet_hi: 5,
             });
         }
         self.tasks.truncate(bounds::MAX_TASKS);
@@ -287,6 +348,8 @@ impl FuzzInput {
             t.priority = t.priority.clamp(bounds::PRIORITY.0, bounds::PRIORITY.1);
             t.wcet = t.wcet.clamp(bounds::WCET.0, bounds::WCET.1);
             t.period = t.period.clamp(bounds::PERIOD.0, bounds::PERIOD.1);
+            // Vestal monotonicity: C_LO <= C_HI <= WCET_HI_MAX.
+            t.wcet_hi = t.wcet_hi.clamp(t.wcet, bounds::WCET_HI_MAX);
         }
         self.n_sockets = self.n_sockets.clamp(1, bounds::MAX_SOCKETS);
         self.horizon = self.horizon.clamp(bounds::HORIZON.0, bounds::HORIZON.1);
@@ -305,6 +368,15 @@ impl FuzzInput {
         for f in &mut self.faults {
             f.rate_permille = f.rate_permille.clamp(1, 1000);
         }
+        self.overruns.truncate(bounds::MAX_OVERRUNS);
+        for o in &mut self.overruns {
+            o.job = o.job.min(bounds::MAX_ARRIVALS as u64);
+            o.extra = o.extra.clamp(bounds::OVERRUN_EXTRA.0, bounds::OVERRUN_EXTRA.1);
+        }
+        // Canonical form: at most one clause per job, sorted; the
+        // smallest extra wins so shrinking is monotone.
+        self.overruns.sort_by_key(|o| (o.job, o.extra));
+        self.overruns.dedup_by_key(|o| o.job);
         if let Some(at) = &mut self.crash_at {
             *at = (*at).clamp(1, bounds::MAX_CRASH_AT);
         }
@@ -319,14 +391,30 @@ impl FuzzInput {
     pub fn system(&self) -> RosslSystem {
         let mut b = SystemBuilder::new().sockets(self.n_sockets);
         for (i, t) in self.tasks.iter().enumerate() {
-            b = b.task(
+            b = b.mc_task(
                 format!("t{i}"),
                 Priority(t.priority as u32),
                 Duration(t.wcet),
                 Curve::sporadic(Duration(t.period)),
+                if t.hi { Criticality::Hi } else { Criticality::Lo },
+                Duration(t.wcet_hi),
             );
         }
         b.build().expect("sanitized input must build")
+    }
+
+    /// `true` when the input uses no mixed-criticality clause: every
+    /// task is HI with `C_HI == C_LO` and the overrun plan is empty.
+    /// Plain inputs serialize as codec v1 and run without a mode policy,
+    /// exactly as before the grammar grew criticality.
+    pub fn is_plain(&self) -> bool {
+        self.tasks.iter().all(|t| t.hi && t.wcet_hi == t.wcet) && self.overruns.is_empty()
+    }
+
+    /// The mode policy the raw drive installs: AMC with a short
+    /// hysteresis for mixed inputs, none for plain ones.
+    pub fn mode_policy(&self) -> Option<ModePolicy> {
+        (!self.is_plain()).then_some(ModePolicy::Amc { hysteresis_idles: 2 })
     }
 
     /// Lowers the arrival schedule. Message payloads are the task index
@@ -377,12 +465,27 @@ impl FuzzInput {
     /// of a sanitized input re-parses to an equal input.
     pub fn to_text(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "{HEADER}");
+        let _ = writeln!(
+            s,
+            "{}",
+            if self.is_plain() { HEADER_V1 } else { HEADER_V2 }
+        );
         let _ = writeln!(s, "seed {}", self.seed);
         let _ = writeln!(s, "sockets {}", self.n_sockets);
         let _ = writeln!(s, "horizon {}", self.horizon);
         for t in &self.tasks {
             let _ = writeln!(s, "task {} {} {}", t.priority, t.wcet, t.period);
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if !t.hi || t.wcet_hi != t.wcet {
+                let _ = writeln!(
+                    s,
+                    "crit {} {} {}",
+                    i,
+                    if t.hi { "hi" } else { "lo" },
+                    t.wcet_hi
+                );
+            }
         }
         for a in &self.arrivals {
             let _ = writeln!(s, "arrival {} {} {}", a.time, a.sock, a.task);
@@ -395,6 +498,9 @@ impl FuzzInput {
                 f.kind.param(),
                 f.rate_permille
             );
+        }
+        for o in &self.overruns {
+            let _ = writeln!(s, "overrun {} {}", o.job, o.extra);
         }
         if let Some(at) = self.crash_at {
             let _ = writeln!(s, "crash {at}");
@@ -414,7 +520,7 @@ impl FuzzInput {
         };
         let mut lines = text.lines().enumerate();
         match lines.next() {
-            Some((_, h)) if h.trim() == HEADER => {}
+            Some((_, h)) if h.trim() == HEADER_V1 || h.trim() == HEADER_V2 => {}
             _ => return Err(err(1, "missing header")),
         }
         let mut input = FuzzInput {
@@ -423,6 +529,7 @@ impl FuzzInput {
             tasks: Vec::new(),
             arrivals: Vec::new(),
             faults: Vec::new(),
+            overruns: Vec::new(),
             crash_at: None,
             horizon: 1_000,
         };
@@ -447,11 +554,42 @@ impl FuzzInput {
                     let priority = num("bad task priority")?;
                     let wcet = num("bad task wcet")?;
                     let period = num("bad task period")?;
+                    // v1 default: HI criticality, C_HI == C_LO; a later
+                    // `crit` clause (v2) overrides both.
                     input.tasks.push(TaskSpec {
                         priority,
                         wcet,
                         period,
+                        hi: true,
+                        wcet_hi: wcet,
                     });
+                }
+                "crit" => {
+                    let mut rest = line.split_whitespace().skip(1);
+                    let idx: usize = rest
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| err(i + 1, "bad crit task index"))?;
+                    let hi = match rest.next().unwrap_or("") {
+                        "hi" => true,
+                        "lo" => false,
+                        _ => return Err(err(i + 1, "bad criticality level")),
+                    };
+                    let wcet_hi = rest
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| err(i + 1, "bad crit wcet_hi"))?;
+                    let t = input
+                        .tasks
+                        .get_mut(idx)
+                        .ok_or_else(|| err(i + 1, "crit clause for unknown task"))?;
+                    t.hi = hi;
+                    t.wcet_hi = wcet_hi;
+                }
+                "overrun" => {
+                    let job = num("bad overrun job")?;
+                    let extra = num("bad overrun extra")?;
+                    input.overruns.push(OverrunSpec { job, extra });
                 }
                 "arrival" => {
                     let time = num("bad arrival time")?;
@@ -526,5 +664,57 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(FuzzInput::from_text("not a corpus file").is_err());
         assert!(FuzzInput::from_text("rossl-fuzz-input v1\nbogus 1").is_err());
+        assert!(FuzzInput::from_text("rossl-fuzz-input v3\nseed 1").is_err());
+        // A crit clause must name an already-declared task.
+        assert!(FuzzInput::from_text("rossl-fuzz-input v2\ncrit 0 lo 9").is_err());
+        assert!(
+            FuzzInput::from_text("rossl-fuzz-input v2\ntask 1 5 100\ncrit 0 mid 9").is_err()
+        );
+    }
+
+    /// Inputs that use no mixed-criticality clause serialize under the
+    /// v1 header — bytes the pre-v2 parser (and corpus) understands.
+    #[test]
+    fn plain_inputs_serialize_as_v1() {
+        let mut rng = SplitRng::new(0xA11);
+        for _ in 0..50 {
+            let mut input = FuzzInput::generate(&mut rng);
+            for t in &mut input.tasks {
+                t.hi = true;
+                t.wcet_hi = t.wcet;
+            }
+            input.overruns.clear();
+            assert!(input.is_plain());
+            assert!(input.mode_policy().is_none());
+            let text = input.to_text();
+            assert!(text.starts_with("rossl-fuzz-input v1\n"));
+            assert!(!text.contains("\ncrit ") && !text.contains("\noverrun "));
+            assert_eq!(FuzzInput::from_text(&text).expect("parse"), input);
+        }
+    }
+
+    /// Mixed inputs serialize as v2 and round-trip, and a v1 body
+    /// parses to the all-HI / zero-overrun defaults.
+    #[test]
+    fn mixed_inputs_round_trip_as_v2() {
+        let text = "rossl-fuzz-input v2\n\
+                    seed 7\nsockets 1\nhorizon 500\n\
+                    task 3 5 100\ntask 1 4 120\n\
+                    crit 0 lo 5\ncrit 1 hi 20\n\
+                    arrival 10 0 1\n\
+                    overrun 0 6\n";
+        let input = FuzzInput::from_text(text).expect("parse");
+        assert!(!input.tasks[0].hi);
+        assert!(input.tasks[1].hi);
+        assert_eq!(input.tasks[1].wcet_hi, 20);
+        assert_eq!(input.overruns, vec![OverrunSpec { job: 0, extra: 6 }]);
+        assert!(input.mode_policy().is_some());
+        let reparsed = FuzzInput::from_text(&input.to_text()).expect("reparse");
+        assert_eq!(reparsed, input);
+
+        let v1 = FuzzInput::from_text("rossl-fuzz-input v1\ntask 3 5 100\n").expect("v1");
+        assert!(v1.is_plain());
+        assert!(v1.tasks[0].hi && v1.tasks[0].wcet_hi == v1.tasks[0].wcet);
+        assert!(v1.overruns.is_empty());
     }
 }

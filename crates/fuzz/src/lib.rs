@@ -61,7 +61,9 @@ pub use corpus::Corpus;
 pub use coverage::{channel, CoverageMap, CoverageSample};
 pub use exec::{execute, Finding, RunOutcome};
 pub use fuzzer::{run_campaign, CampaignFinding, FuzzConfig, FuzzReport};
-pub use input::{bounds, ArrivalSpec, FaultEntry, FaultKind, FuzzInput, ParseError, TaskSpec};
+pub use input::{
+    bounds, ArrivalSpec, FaultEntry, FaultKind, FuzzInput, OverrunSpec, ParseError, TaskSpec,
+};
 pub use mutate::mutate;
 pub use repro::to_rust_test;
 pub use rng::SplitRng;

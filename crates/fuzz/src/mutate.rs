@@ -6,7 +6,7 @@
 //! fuzzer never wastes budget on parse or build failures (the classic
 //! argument for structured fuzzing of highly-constrained inputs).
 
-use crate::input::{bounds, ArrivalSpec, FaultEntry, FaultKind, FuzzInput, TaskSpec};
+use crate::input::{bounds, ArrivalSpec, FaultEntry, FaultKind, FuzzInput, OverrunSpec, TaskSpec};
 use crate::rng::SplitRng;
 
 /// Produces a mutant of `input`, applying 1–3 random mutation operators.
@@ -21,7 +21,7 @@ pub fn mutate(input: &FuzzInput, rng: &mut SplitRng) -> FuzzInput {
 }
 
 fn apply_one(input: &mut FuzzInput, rng: &mut SplitRng) {
-    match rng.below(12) {
+    match rng.below(15) {
         // Arrival schedule.
         0 => {
             // Add an arrival; half the time duplicate an existing
@@ -64,10 +64,13 @@ fn apply_one(input: &mut FuzzInput, rng: &mut SplitRng) {
         // Task set.
         4 => {
             if input.tasks.len() < bounds::MAX_TASKS {
+                let wcet = rng.range(bounds::WCET.0, bounds::WCET.1);
                 input.tasks.push(TaskSpec {
                     priority: rng.range(bounds::PRIORITY.0, bounds::PRIORITY.1),
-                    wcet: rng.range(bounds::WCET.0, bounds::WCET.1),
+                    wcet,
                     period: rng.range(bounds::PERIOD.0, bounds::PERIOD.1),
+                    hi: !rng.chance(350),
+                    wcet_hi: wcet + rng.range(0, bounds::OVERRUN_EXTRA.1),
                 });
             }
         }
@@ -114,10 +117,40 @@ fn apply_one(input: &mut FuzzInput, rng: &mut SplitRng) {
         }
         // Environment shape.
         10 => input.n_sockets = rng.range(1, bounds::MAX_SOCKETS as u64) as usize,
-        _ => {
+        11 => {
             input.seed = rng.next_u64();
             if rng.chance(300) {
                 input.horizon = rng.range(bounds::HORIZON.0, bounds::HORIZON.1);
+            }
+        }
+        // Mixed criticality: toggle a task's level / retune its C_HI.
+        12 => {
+            let i = rng.index(input.tasks.len());
+            let t = &mut input.tasks[i];
+            if rng.chance(500) {
+                t.hi = !t.hi;
+            } else {
+                t.wcet_hi = t.wcet + rng.range(0, bounds::OVERRUN_EXTRA.1);
+            }
+        }
+        // Overrun plan: add a clause or perturb/drop an existing one.
+        13 => {
+            if input.overruns.len() < bounds::MAX_OVERRUNS {
+                input.overruns.push(OverrunSpec {
+                    job: rng.range(0, bounds::MAX_ARRIVALS as u64 / 2),
+                    extra: rng.range(bounds::OVERRUN_EXTRA.0, bounds::OVERRUN_EXTRA.1),
+                });
+            }
+        }
+        _ => {
+            if !input.overruns.is_empty() {
+                let i = rng.index(input.overruns.len());
+                if rng.chance(400) {
+                    input.overruns.remove(i);
+                } else {
+                    input.overruns[i].extra =
+                        rng.range(bounds::OVERRUN_EXTRA.0, bounds::OVERRUN_EXTRA.1);
+                }
             }
         }
     }

@@ -70,6 +70,8 @@ pub fn shrink(input: &FuzzInput, bug: Option<SeededBug>) -> FuzzInput {
         changed |= shrink_arrivals(&mut sh, &mut best);
         changed |= drop_unused_tasks(&mut sh, &mut best);
         changed |= shrink_faults(&mut sh, &mut best);
+        changed |= shrink_overruns(&mut sh, &mut best);
+        changed |= shrink_criticality(&mut sh, &mut best);
         changed |= shrink_scalars(&mut sh, &mut best);
         if !changed || sh.execs >= MAX_SHRINK_EXECS {
             break;
@@ -140,6 +142,44 @@ fn shrink_faults(sh: &mut Shrinker, best: &mut FuzzInput) -> bool {
             changed = true;
         } else {
             k += 1;
+        }
+    }
+    changed
+}
+
+/// Removes overrun-plan clauses one at a time, then tries `extra = 1`.
+fn shrink_overruns(sh: &mut Shrinker, best: &mut FuzzInput) -> bool {
+    let mut changed = false;
+    let mut k = 0;
+    while k < best.overruns.len() {
+        if sh.attempt(best, |c| {
+            c.overruns.remove(k);
+        }) {
+            changed = true;
+        } else {
+            k += 1;
+        }
+    }
+    for k in 0..best.overruns.len() {
+        if best.overruns[k].extra > 1 && sh.attempt(best, |c| c.overruns[k].extra = 1) {
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Simplifies the mixed-criticality surface toward the plain (v1)
+/// grammar: promote LO tasks back to HI and collapse `C_HI` to `C_LO`.
+fn shrink_criticality(sh: &mut Shrinker, best: &mut FuzzInput) -> bool {
+    let mut changed = false;
+    for k in 0..best.tasks.len() {
+        if !best.tasks[k].hi && sh.attempt(best, |c| c.tasks[k].hi = true) {
+            changed = true;
+        }
+        if best.tasks[k].wcet_hi > best.tasks[k].wcet
+            && sh.attempt(best, |c| c.tasks[k].wcet_hi = c.tasks[k].wcet)
+        {
+            changed = true;
         }
     }
     changed

@@ -13,12 +13,16 @@
 //!        | 5 job                              M_Execution j
 //!        | 6 job                              M_Completion j
 //!        | 7                                  M_Idling
+//!        | 8 from:u8 to:u8                    M_ModeSwitch from to
 //! job    ≜ id:u64le task:u64le dlen:u32le data[dlen]
 //! ```
+//!
+//! Modes are encoded by [`Mode::to_byte`] (`0` = LO, `1` = HI); unknown
+//! mode bytes are rejected as [`MarkerDecodeError::UnknownMode`].
 
 use std::fmt;
 
-use rossl_model::{Job, JobId, SocketId, TaskId};
+use rossl_model::{Job, JobId, Mode, SocketId, TaskId};
 use rossl_trace::Marker;
 
 /// A marker payload that could not be decoded. The offset is relative to
@@ -48,6 +52,11 @@ pub enum MarkerDecodeError {
         /// Number of leftover bytes.
         extra: usize,
     },
+    /// A mode-switch marker carried a byte that is not a known mode.
+    UnknownMode {
+        /// The unrecognized mode byte.
+        byte: u8,
+    },
 }
 
 impl fmt::Display for MarkerDecodeError {
@@ -66,6 +75,9 @@ impl fmt::Display for MarkerDecodeError {
             ),
             MarkerDecodeError::TrailingBytes { extra } => {
                 write!(f, "{extra} unconsumed byte(s) after the marker")
+            }
+            MarkerDecodeError::UnknownMode { byte } => {
+                write!(f, "unknown criticality-mode byte {byte}")
             }
         }
     }
@@ -107,6 +119,11 @@ pub fn encode_marker(marker: &Marker, out: &mut Vec<u8>) {
             put_job(out, j);
         }
         Marker::Idling => out.push(7),
+        Marker::ModeSwitch { from, to } => {
+            out.push(8);
+            out.push(from.to_byte());
+            out.push(to.to_byte());
+        }
     }
 }
 
@@ -139,6 +156,11 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes([
             s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
         ]))
+    }
+
+    fn mode(&mut self) -> Result<Mode, MarkerDecodeError> {
+        let byte = self.u8()?;
+        Mode::from_byte(byte).ok_or(MarkerDecodeError::UnknownMode { byte })
     }
 
     fn job(&mut self) -> Result<Job, MarkerDecodeError> {
@@ -183,6 +205,10 @@ pub fn decode_marker(bytes: &[u8]) -> Result<Marker, MarkerDecodeError> {
         5 => Marker::Execution(c.job()?),
         6 => Marker::Completion(c.job()?),
         7 => Marker::Idling,
+        8 => Marker::ModeSwitch {
+            from: c.mode()?,
+            to: c.mode()?,
+        },
         tag => return Err(MarkerDecodeError::UnknownTag { tag }),
     };
     if c.pos != bytes.len() {
@@ -214,6 +240,14 @@ mod tests {
             Marker::Execution(j.clone()),
             Marker::Completion(j),
             Marker::Idling,
+            Marker::ModeSwitch {
+                from: Mode::Lo,
+                to: Mode::Hi,
+            },
+            Marker::ModeSwitch {
+                from: Mode::Hi,
+                to: Mode::Lo,
+            },
         ]
     }
 
@@ -278,6 +312,18 @@ mod tests {
         assert_eq!(
             decode_marker(&[7, 0]),
             Err(MarkerDecodeError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_mode_bytes_are_rejected() {
+        assert_eq!(
+            decode_marker(&[8, 0, 7]),
+            Err(MarkerDecodeError::UnknownMode { byte: 7 })
+        );
+        assert_eq!(
+            decode_marker(&[8, 9, 0]),
+            Err(MarkerDecodeError::UnknownMode { byte: 9 })
         );
     }
 }

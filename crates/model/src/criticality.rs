@@ -1,0 +1,151 @@
+//! Vestal-style mixed criticality: criticality levels and system modes.
+//!
+//! A task is assigned a [`Criticality`] at design time; the running system
+//! is always in exactly one [`Mode`]. In [`Mode::Lo`] every task is served
+//! and every callback is budgeted by its optimistic WCET `C_LO`. When a
+//! HI-criticality callback overruns `C_LO`, the scheduler switches to
+//! [`Mode::Hi`]: LO-criticality work is suspended (never silently dropped)
+//! and HI tasks are budgeted by their pessimistic `C_HI`. The per-mode
+//! response-time bounds are computed by the AMC-rtb analysis in `prosa`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Design-time criticality level of a task (Vestal's `L_i`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Criticality {
+    /// Best-effort work: served only in [`Mode::Lo`], suspended in
+    /// [`Mode::Hi`].
+    Lo,
+    /// Safety-critical work: served in every mode, bounded in every mode.
+    /// The default — a task set that never mentions criticality behaves
+    /// exactly as before mixed criticality existed.
+    #[default]
+    Hi,
+}
+
+impl Criticality {
+    /// Stable kebab-case name used by text codecs and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Criticality::Lo => "lo",
+            Criticality::Hi => "hi",
+        }
+    }
+
+    /// Parses a criticality from its [`name`](Criticality::name).
+    pub fn from_name(name: &str) -> Option<Criticality> {
+        match name {
+            "lo" => Some(Criticality::Lo),
+            "hi" => Some(Criticality::Hi),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Criticality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The system's runtime criticality mode.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Mode {
+    /// Nominal operation: all tasks served, `C_LO` budgets enforced.
+    /// The initial mode of every scheduler and of every recovery that
+    /// finds no journaled mode switch.
+    #[default]
+    Lo,
+    /// Degraded operation after a HI-task budget overrun: LO-criticality
+    /// jobs are suspended, HI tasks run under their `C_HI` budgets.
+    Hi,
+}
+
+impl Mode {
+    /// `true` when a task of criticality `crit` is served in this mode.
+    pub fn serves(&self, crit: Criticality) -> bool {
+        match self {
+            Mode::Lo => true,
+            Mode::Hi => crit == Criticality::Hi,
+        }
+    }
+
+    /// Stable kebab-case name used by text codecs and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Lo => "lo",
+            Mode::Hi => "hi",
+        }
+    }
+
+    /// Parses a mode from its [`name`](Mode::name).
+    pub fn from_name(name: &str) -> Option<Mode> {
+        match name {
+            "lo" => Some(Mode::Lo),
+            "hi" => Some(Mode::Hi),
+            _ => None,
+        }
+    }
+
+    /// Canonical one-byte encoding for journals and fingerprints.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Mode::Lo => 0,
+            Mode::Hi => 1,
+        }
+    }
+
+    /// Decodes [`Mode::to_byte`]; rejects unknown bytes.
+    pub fn from_byte(b: u8) -> Option<Mode> {
+        match b {
+            0 => Some(Mode::Lo),
+            1 => Some(Mode::Hi),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_preserve_single_criticality_behaviour() {
+        assert_eq!(Criticality::default(), Criticality::Hi);
+        assert_eq!(Mode::default(), Mode::Lo);
+    }
+
+    #[test]
+    fn hi_mode_serves_only_hi_tasks() {
+        assert!(Mode::Lo.serves(Criticality::Lo));
+        assert!(Mode::Lo.serves(Criticality::Hi));
+        assert!(!Mode::Hi.serves(Criticality::Lo));
+        assert!(Mode::Hi.serves(Criticality::Hi));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for c in [Criticality::Lo, Criticality::Hi] {
+            assert_eq!(Criticality::from_name(c.name()), Some(c));
+        }
+        for m in [Mode::Lo, Mode::Hi] {
+            assert_eq!(Mode::from_name(m.name()), Some(m));
+            assert_eq!(Mode::from_byte(m.to_byte()), Some(m));
+        }
+        assert_eq!(Mode::from_byte(9), None);
+        assert_eq!(Mode::from_name("nominal"), None);
+        assert_eq!(Criticality::from_name(""), None);
+    }
+}

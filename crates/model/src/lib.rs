@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod criticality;
 mod curve;
 mod error;
 mod job;
@@ -40,6 +41,7 @@ mod task;
 mod time;
 mod wcet;
 
+pub use criticality::{Criticality, Mode};
 pub use curve::{check_respects, ArrivalCurve, Curve, CurveValidationError, CurveViolation};
 pub use error::ModelError;
 pub use job::{Job, JobId, Message, MsgData, SocketId};

@@ -10,6 +10,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::criticality::{Criticality, Mode};
 use crate::curve::{ArrivalCurve, Curve};
 use crate::error::ModelError;
 use crate::time::Duration;
@@ -46,10 +47,15 @@ pub struct Task {
     priority: Priority,
     wcet: Duration,
     arrival_curve: Curve,
+    criticality: Criticality,
+    wcet_hi: Duration,
 }
 
 impl Task {
-    /// Creates a task.
+    /// Creates a task. The task defaults to [`Criticality::Hi`] with
+    /// `C_HI = C_LO = wcet`, so single-criticality task sets behave
+    /// exactly as before mixed criticality existed; use
+    /// [`Task::with_criticality`] / [`Task::with_wcet_hi`] to opt in.
     pub fn new(
         id: TaskId,
         name: impl Into<String>,
@@ -63,7 +69,23 @@ impl Task {
             priority,
             wcet,
             arrival_curve,
+            criticality: Criticality::default(),
+            wcet_hi: wcet,
         }
+    }
+
+    /// Sets the task's criticality level (builder style).
+    pub fn with_criticality(mut self, criticality: Criticality) -> Task {
+        self.criticality = criticality;
+        self
+    }
+
+    /// Sets the pessimistic HI-mode budget `C_HI` (builder style). The
+    /// budget is clamped from below by the nominal WCET: `C_HI ≥ C_LO`
+    /// is a structural invariant of Vestal task systems.
+    pub fn with_wcet_hi(mut self, wcet_hi: Duration) -> Task {
+        self.wcet_hi = wcet_hi.max(self.wcet);
+        self
     }
 
     /// The task's identifier.
@@ -81,9 +103,30 @@ impl Task {
         self.priority
     }
 
-    /// The worst-case execution time `C_i` of the task's callback.
+    /// The worst-case execution time `C_i` of the task's callback. In
+    /// mixed-criticality terms this is the optimistic budget `C_i(LO)`.
     pub fn wcet(&self) -> Duration {
         self.wcet
+    }
+
+    /// The pessimistic HI-mode budget `C_i(HI)`; equals [`Task::wcet`]
+    /// unless [`Task::with_wcet_hi`] raised it.
+    pub fn wcet_hi(&self) -> Duration {
+        self.wcet_hi
+    }
+
+    /// The task's criticality level `L_i`.
+    pub fn criticality(&self) -> Criticality {
+        self.criticality
+    }
+
+    /// The execution budget the mode `m` enforces for this task:
+    /// `C_i(LO)` in LO mode, `C_i(HI)` in HI mode.
+    pub fn wcet_in_mode(&self, mode: Mode) -> Duration {
+        match mode {
+            Mode::Lo => self.wcet,
+            Mode::Hi => self.wcet_hi,
+        }
     }
 
     /// The arrival curve `α_i` bounding the task's job arrivals.
@@ -347,6 +390,31 @@ mod tests {
         assert_eq!(ts.highest_priority().unwrap().id(), TaskId(0));
         assert_eq!(ts.higher_priority_than(TaskId(0)).count(), 0);
         assert_eq!(ts.equal_or_higher_priority_than(TaskId(0)).count(), 1);
+    }
+
+    #[test]
+    fn criticality_defaults_and_budgets() {
+        let t = Task::new(
+            TaskId(0),
+            "t",
+            Priority(1),
+            Duration(10),
+            Curve::sporadic(Duration(100)),
+        );
+        // Defaults keep single-criticality behaviour: HI task, C_HI = C_LO.
+        assert_eq!(t.criticality(), Criticality::Hi);
+        assert_eq!(t.wcet_hi(), t.wcet());
+        assert_eq!(t.wcet_in_mode(Mode::Lo), Duration(10));
+        assert_eq!(t.wcet_in_mode(Mode::Hi), Duration(10));
+
+        let mc = t
+            .clone()
+            .with_criticality(Criticality::Lo)
+            .with_wcet_hi(Duration(25));
+        assert_eq!(mc.criticality(), Criticality::Lo);
+        assert_eq!(mc.wcet_in_mode(Mode::Hi), Duration(25));
+        // C_HI is clamped from below by C_LO.
+        assert_eq!(t.clone().with_wcet_hi(Duration(3)).wcet_hi(), Duration(10));
     }
 
     #[test]

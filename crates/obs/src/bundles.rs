@@ -41,6 +41,12 @@ pub struct StepCounts {
     pub sheds: u64,
     /// Watchdog-detected budget overruns.
     pub overruns: u64,
+    /// Criticality-mode switches (either direction).
+    pub mode_switches: u64,
+    /// LO jobs suspended for HI mode.
+    pub suspensions: u64,
+    /// Suspended jobs resumed on return to LO mode.
+    pub resumes: u64,
 }
 
 impl StepCounts {
@@ -69,6 +75,16 @@ pub struct SchedulerMetrics {
     pub sheds: Arc<Counter>,
     /// Watchdog overruns.
     pub overruns: Arc<Counter>,
+    /// Criticality-mode switches.
+    pub mode_switches: Arc<Counter>,
+    /// LO-job suspensions (HI mode entered or read while HI).
+    pub suspensions: Arc<Counter>,
+    /// Suspended-job resumes (LO mode re-entered).
+    pub resumes: Arc<Counter>,
+    /// Criticality mode at the last flush (`0` = LO, `1` = HI).
+    pub mode: Arc<Gauge>,
+    /// Suspended-buffer depth at the last flush.
+    pub suspended_depth: Arc<Gauge>,
     /// Pending-queue depth at the last flush.
     pub queue_depth: Arc<Gauge>,
     /// Deepest pending queue seen at any flush.
@@ -89,14 +105,20 @@ impl SchedulerMetrics {
             idles: registry.counter("sched.idles"),
             sheds: registry.counter("sched.sheds"),
             overruns: registry.counter("sched.overruns"),
+            mode_switches: registry.counter("sched.mode_switches"),
+            suspensions: registry.counter("sched.suspensions"),
+            resumes: registry.counter("sched.resumes"),
+            mode: registry.gauge("sched.mode"),
+            suspended_depth: registry.gauge("sched.suspended_depth"),
             queue_depth: registry.gauge("sched.queue_depth"),
             queue_high_water: registry.high_water("sched.queue_high_water"),
             flushes: registry.counter("sched.telemetry_flushes"),
         })
     }
 
-    /// Applies one accumulated batch plus the current queue depth.
-    pub fn apply(&self, batch: StepCounts, queue_depth: u64) {
+    /// Applies one accumulated batch plus the current queue/mode state.
+    pub fn apply(&self, batch: StepCounts, depths: SchedDepths) {
+        let queue_depth = depths.queue;
         self.steps.add(batch.steps);
         self.reads_ok.add(batch.reads_ok);
         self.reads_empty.add(batch.reads_empty);
@@ -105,10 +127,38 @@ impl SchedulerMetrics {
         self.idles.add(batch.idles);
         self.sheds.add(batch.sheds);
         self.overruns.add(batch.overruns);
+        self.mode_switches.add(batch.mode_switches);
+        self.suspensions.add(batch.suspensions);
+        self.resumes.add(batch.resumes);
+        self.mode.set(i64::from(depths.mode));
+        self.suspended_depth
+            .set(i64::try_from(depths.suspended).unwrap_or(i64::MAX));
         self.queue_depth
             .set(i64::try_from(queue_depth).unwrap_or(i64::MAX));
         self.queue_high_water.observe(queue_depth);
         self.flushes.inc();
+    }
+}
+
+/// The scheduler's queue/mode snapshot accompanying each batch flush.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedDepths {
+    /// Pending (mode-eligible) queue depth.
+    pub queue: u64,
+    /// Suspended-buffer depth (LO jobs parked for HI mode).
+    pub suspended: u64,
+    /// Criticality mode byte (`0` = LO, `1` = HI).
+    pub mode: u8,
+}
+
+impl SchedDepths {
+    /// A snapshot with only a queue depth — single-criticality flushes.
+    pub fn queue_only(queue: u64) -> SchedDepths {
+        SchedDepths {
+            queue,
+            suspended: 0,
+            mode: 0,
+        }
     }
 }
 
@@ -130,9 +180,9 @@ impl SchedSink {
     }
 
     /// Delivers one batch (no-op for [`SchedSink::Noop`]).
-    pub fn flush(&self, batch: StepCounts, queue_depth: u64) {
+    pub fn flush(&self, batch: StepCounts, depths: SchedDepths) {
         if let SchedSink::Metrics(m) = self {
-            m.apply(batch, queue_depth);
+            m.apply(batch, depths);
         }
     }
 }
@@ -354,22 +404,38 @@ mod tests {
             idles: 1,
             sheds: 0,
             overruns: 0,
+            mode_switches: 1,
+            suspensions: 2,
+            resumes: 2,
         };
         assert!(!SchedSink::Noop.enabled());
-        SchedSink::Noop.flush(batch, 4); // must not panic, goes nowhere
+        // Must not panic, goes nowhere.
+        SchedSink::Noop.flush(batch, SchedDepths::queue_only(4));
 
         let reg = Registry::new();
         let bundle = SchedulerMetrics::register(&reg);
         let sink = SchedSink::Metrics(Arc::clone(&bundle));
         assert!(sink.enabled());
-        sink.flush(batch, 4);
-        sink.flush(batch, 2);
+        sink.flush(batch, SchedDepths::queue_only(4));
+        sink.flush(
+            batch,
+            SchedDepths {
+                queue: 2,
+                suspended: 3,
+                mode: 1,
+            },
+        );
         let snap = reg.snapshot();
         assert_eq!(snap.counter("sched.steps"), Some(20));
         assert_eq!(snap.counter("sched.completions"), Some(4));
         assert_eq!(snap.gauge("sched.queue_depth"), Some(2));
         assert_eq!(snap.high_water("sched.queue_high_water"), Some(4));
         assert_eq!(snap.counter("sched.telemetry_flushes"), Some(2));
+        assert_eq!(snap.counter("sched.mode_switches"), Some(2));
+        assert_eq!(snap.counter("sched.suspensions"), Some(4));
+        assert_eq!(snap.counter("sched.resumes"), Some(4));
+        assert_eq!(snap.gauge("sched.mode"), Some(1));
+        assert_eq!(snap.gauge("sched.suspended_depth"), Some(3));
     }
 
     #[test]

@@ -46,7 +46,8 @@ mod registry;
 mod span;
 
 pub use bundles::{
-    CampaignMetrics, SchedSink, SchedulerMetrics, StepCounts, SupervisorMetrics, VerifierMetrics,
+    CampaignMetrics, SchedDepths, SchedSink, SchedulerMetrics, StepCounts, SupervisorMetrics,
+    VerifierMetrics,
 };
 pub use export::{
     decode_snapshot, encode_snapshot, render_json, render_text, SnapshotDecodeError,
@@ -54,6 +55,6 @@ pub use export::{
 };
 pub use hist::{bucket_floor, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
 pub use metrics::{Counter, Gauge, HighWater};
-pub use observatory::{BoundObservatory, BoundViolation};
+pub use observatory::{BoundObservatory, BoundViolation, ModeObservatory, ModeThrashAlert};
 pub use registry::{MetricSnapshot, MetricValue, Registry, Snapshot};
 pub use span::{SpanEvent, SpanLog};

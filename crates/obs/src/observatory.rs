@@ -203,6 +203,143 @@ impl BoundObservatory {
     }
 }
 
+/// Mode thrashing: too many LO → HI switches landed inside the
+/// observatory's sliding window — the system oscillates between modes
+/// instead of settling, each oscillation suspending and resuming the
+/// LO workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeThrashAlert {
+    /// LO → HI switches inside the window, including this one.
+    pub switches: usize,
+    /// The window, in ticks.
+    pub window_ticks: u64,
+    /// The tick of the switch that tripped the alert.
+    pub at_tick: u64,
+}
+
+impl std::fmt::Display for ModeThrashAlert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} LO→HI switches within {} ticks (at tick {}): mode thrashing",
+            self.switches, self.window_ticks, self.at_tick
+        )
+    }
+}
+
+/// Default thrash window, in ticks.
+const DEFAULT_THRASH_WINDOW: u64 = 10_000;
+/// Default LO → HI switch count inside the window that trips the alert.
+const DEFAULT_THRASH_THRESHOLD: usize = 3;
+
+/// Mutable thrash-detection state, behind one mutex touched only on
+/// mode switches (never on the per-step hot path).
+#[derive(Debug, Default)]
+struct ModeState {
+    /// Ticks of recent LO → HI switches, oldest first.
+    recent_lo_hi: Vec<u64>,
+    /// Tick the current HI episode started, while in HI mode.
+    hi_entered_at: Option<u64>,
+}
+
+/// The mixed-criticality counterpart of [`BoundObservatory`]: live
+/// `obs.mode.*` instruments over the scheduler's mode automaton, plus a
+/// typed [`ModeThrashAlert`] when LO → HI switches bunch up.
+///
+/// Registered instruments:
+///
+/// - `obs.mode.current` (gauge): the mode byte (0 = LO, 1 = HI).
+/// - `obs.mode.suspended` (gauge): current suspension-buffer depth.
+/// - `obs.mode.lo_hi_switches` / `obs.mode.hi_lo_switches` (counters).
+/// - `obs.mode.hi_residency` (histogram): ticks per completed HI episode.
+/// - `obs.mode.thrash_alerts` (counter): sliding-window trips.
+///
+/// Identities are plain integers (the crate is dependency-free):
+/// callers pass `Mode::to_byte()`.
+#[derive(Debug)]
+pub struct ModeObservatory {
+    current: Arc<Gauge>,
+    suspended: Arc<Gauge>,
+    lo_hi: Arc<Counter>,
+    hi_lo: Arc<Counter>,
+    hi_residency: Arc<Histogram>,
+    thrash_alerts: Arc<Counter>,
+    window_ticks: u64,
+    thrash_threshold: usize,
+    state: Mutex<ModeState>,
+}
+
+impl ModeObservatory {
+    /// An observatory registered under `obs.mode.*` in `registry`,
+    /// starting in LO mode with the default thrash window.
+    pub fn register(registry: &Registry) -> ModeObservatory {
+        ModeObservatory {
+            current: registry.gauge("obs.mode.current"),
+            suspended: registry.gauge("obs.mode.suspended"),
+            lo_hi: registry.counter("obs.mode.lo_hi_switches"),
+            hi_lo: registry.counter("obs.mode.hi_lo_switches"),
+            hi_residency: registry.histogram("obs.mode.hi_residency"),
+            thrash_alerts: registry.counter("obs.mode.thrash_alerts"),
+            window_ticks: DEFAULT_THRASH_WINDOW,
+            thrash_threshold: DEFAULT_THRASH_THRESHOLD,
+            state: Mutex::new(ModeState::default()),
+        }
+    }
+
+    /// Overrides the thrash detector: `threshold` LO → HI switches
+    /// within any `window_ticks`-tick window raise an alert. A
+    /// `threshold` of zero is treated as one.
+    pub fn with_thrash_window(mut self, window_ticks: u64, threshold: usize) -> ModeObservatory {
+        self.window_ticks = window_ticks;
+        self.thrash_threshold = threshold.max(1);
+        self
+    }
+
+    /// Feeds one observed mode switch (`to_byte` per `Mode::to_byte`:
+    /// 0 = LO, 1 = HI) at `now_ticks`. Returns the thrash alert when
+    /// this switch is the `threshold`-th LO → HI inside the window.
+    pub fn observe_switch(&self, to_byte: u8, now_ticks: u64) -> Option<ModeThrashAlert> {
+        self.current.set(i64::from(to_byte));
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if to_byte == 0 {
+            self.hi_lo.inc();
+            if let Some(entered) = state.hi_entered_at.take() {
+                self.hi_residency.observe(now_ticks.saturating_sub(entered));
+            }
+            return None;
+        }
+        self.lo_hi.inc();
+        state.hi_entered_at = Some(now_ticks);
+        let horizon = now_ticks.saturating_sub(self.window_ticks);
+        state.recent_lo_hi.retain(|&t| t >= horizon);
+        state.recent_lo_hi.push(now_ticks);
+        if state.recent_lo_hi.len() < self.thrash_threshold {
+            return None;
+        }
+        self.thrash_alerts.inc();
+        Some(ModeThrashAlert {
+            switches: state.recent_lo_hi.len(),
+            window_ticks: self.window_ticks,
+            at_tick: now_ticks,
+        })
+    }
+
+    /// Feeds the current suspension-buffer depth.
+    pub fn observe_suspended(&self, depth: u64) {
+        self.suspended.set(saturating_i64(depth));
+    }
+
+    /// The current mode byte (0 = LO, 1 = HI).
+    pub fn current_mode(&self) -> u8 {
+        u8::try_from(self.current.get().clamp(0, 1)).unwrap_or(0)
+    }
+
+    /// Thrash alerts raised so far.
+    pub fn thrash_count(&self) -> u64 {
+        self.thrash_alerts.get()
+    }
+}
+
 fn saturating_i64(v: u64) -> i64 {
     i64::try_from(v).unwrap_or(i64::MAX)
 }
@@ -272,6 +409,61 @@ mod tests {
         assert_eq!(obs.alerts().len(), 2);
         assert_eq!(obs.violation_count(), 5);
         assert_eq!(obs.alerts_dropped(), 3);
+    }
+
+    #[test]
+    fn mode_observatory_tracks_switches_and_residency() {
+        let reg = Registry::new();
+        let obs = ModeObservatory::register(&reg);
+        assert_eq!(obs.current_mode(), 0);
+        assert_eq!(obs.observe_switch(1, 100), None);
+        assert_eq!(obs.current_mode(), 1);
+        obs.observe_suspended(3);
+        assert_eq!(obs.observe_switch(0, 450), None);
+        assert_eq!(obs.current_mode(), 0);
+        obs.observe_suspended(0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("obs.mode.lo_hi_switches"), Some(1));
+        assert_eq!(snap.counter("obs.mode.hi_lo_switches"), Some(1));
+        assert_eq!(snap.gauge("obs.mode.current"), Some(0));
+        assert_eq!(snap.gauge("obs.mode.suspended"), Some(0));
+        let residency = snap.histogram("obs.mode.hi_residency").expect("registered");
+        assert_eq!(residency.count, 1);
+        assert_eq!(residency.max, 350);
+        assert_eq!(obs.thrash_count(), 0);
+    }
+
+    #[test]
+    fn bunched_switches_raise_the_thrash_alert() {
+        let reg = Registry::new();
+        let obs = ModeObservatory::register(&reg).with_thrash_window(1_000, 3);
+        // Two LO→HI switches inside the window: quiet.
+        assert_eq!(obs.observe_switch(1, 0), None);
+        assert_eq!(obs.observe_switch(0, 100), None);
+        assert_eq!(obs.observe_switch(1, 200), None);
+        assert_eq!(obs.observe_switch(0, 300), None);
+        // The third trips the alert.
+        let alert = obs.observe_switch(1, 400).expect("third switch in window");
+        assert_eq!(alert.switches, 3);
+        assert_eq!(alert.window_ticks, 1_000);
+        assert_eq!(alert.at_tick, 400);
+        assert!(alert.to_string().contains("mode thrashing"));
+        assert_eq!(obs.thrash_count(), 1);
+        assert_eq!(reg.snapshot().counter("obs.mode.thrash_alerts"), Some(1));
+    }
+
+    #[test]
+    fn spread_out_switches_age_out_of_the_window() {
+        let reg = Registry::new();
+        let obs = ModeObservatory::register(&reg).with_thrash_window(500, 2);
+        assert_eq!(obs.observe_switch(1, 0), None);
+        assert_eq!(obs.observe_switch(0, 10), None);
+        // 501 ticks later the first switch has aged out.
+        assert_eq!(obs.observe_switch(1, 600), None);
+        assert_eq!(obs.observe_switch(0, 610), None);
+        // But a quick third one pairs with the second: alert.
+        assert!(obs.observe_switch(1, 700).is_some());
+        assert_eq!(obs.thrash_count(), 1);
     }
 
     #[test]

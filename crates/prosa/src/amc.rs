@@ -1,0 +1,724 @@
+//! AMC-rtb: per-mode response-time analysis for mixed criticality
+//! (Vestal's model under adaptive mixed criticality, after Baruah,
+//! Burns and Davis' AMC-rtb test, transposed to restricted supply).
+//!
+//! The runtime ([`rossl`]'s mode automaton) starts in LO mode, budgets
+//! every callback by its optimistic `C_LO`, and switches to HI mode the
+//! moment a HI-criticality callback overruns `C_LO`; LO-criticality
+//! work is suspended until hysteresis returns the system to LO. The
+//! analysis mirrors that automaton with three bounds per task:
+//!
+//! * **LO steady state** — every task, all budgets `C_LO`: exactly the
+//!   single-criticality analysis of [`analyse`](crate::analyse).
+//! * **HI steady state** — HI tasks only (LO work is suspended), all
+//!   budgets `C_HI`, blocking from lower-priority *HI* tasks only.
+//! * **Mode change** (the AMC-rtb recurrence) — the window of a HI job
+//!   that crosses the switch: HI interference at `C_HI`, plus the LO
+//!   interference *frozen* at the job's own LO-mode response bound
+//!   (no LO job is released into the window after the switch), plus
+//!   blocking by whichever job ran when the switch hit — a LO job at
+//!   `C_LO` or a lower-priority HI job at `C_HI`.
+//!
+//! All three run on the same overhead-derived restricted supply and
+//! release-jitter bound as [`analyse`](crate::analyse): the scheduler's
+//! basic actions (and hence §4's blackout attribution) are the same in
+//! every mode. A task set that never uses criticality (`C_HI = C_LO`,
+//! all tasks HI) collapses all three bounds to the single-criticality
+//! bound — pinned by `degenerate_task_sets_collapse_to_plain_analysis`.
+//!
+//! Per-task *deadline* verdicts follow the AMC convention: a HI task
+//! must meet its deadline in every mode (the max of the three bounds),
+//! a LO task only in LO steady state — its HI-mode latency is
+//! unbounded by design, the degradation the runtime makes explicit
+//! with `DegradedEvent`s.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use rossl_model::{Criticality, Duration, Task, TaskId, TaskSet};
+
+use crate::analysis::{AnalysisParams, AnalysisResult, RtaError};
+use crate::blackout::BlackoutBound;
+use crate::curves::{release_curves, ReleaseCurve};
+use crate::sbf::{RosslSupply, SupplyBound};
+use crate::schedulability::{Schedulability, TaskVerdict};
+use crate::solver::SolverError;
+
+use rossl_model::ArrivalCurve;
+
+/// Upper bound on fixed-point iterations, matching the plain solver:
+/// the workload functions step at finitely many points, so genuine
+/// convergence happens in far fewer.
+const MAX_ITERATIONS: usize = 100_000;
+
+/// The per-mode bounds of one task, all w.r.t. the release sequence;
+/// add [`jitter`](ModeBound::jitter) (or use the `total_*` accessors)
+/// for bounds w.r.t. the arrival sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeBound {
+    /// The task.
+    pub task: TaskId,
+    /// Its design-time criticality level.
+    pub criticality: Criticality,
+    /// The release-jitter bound `J_i` (mode-independent: the overhead
+    /// table covers scheduler actions, not callback budgets).
+    pub jitter: Duration,
+    /// LO-steady-state bound: every task interferes at `C_LO`.
+    pub lo: Duration,
+    /// HI-steady-state bound: HI tasks only, at `C_HI`. `None` for LO
+    /// tasks — they are suspended in HI mode.
+    pub hi: Option<Duration>,
+    /// Mode-change (AMC-rtb) bound for the job crossing the switch.
+    /// `None` for LO tasks. Dominates [`hi`](ModeBound::hi) pointwise.
+    pub transition: Option<Duration>,
+}
+
+impl ModeBound {
+    /// LO-mode bound w.r.t. the arrival sequence: `lo + J_i`.
+    pub fn total_lo(&self) -> Duration {
+        self.lo.saturating_add(self.jitter)
+    }
+
+    /// HI-steady bound w.r.t. the arrival sequence, for HI tasks.
+    pub fn total_hi(&self) -> Option<Duration> {
+        Some(self.hi?.saturating_add(self.jitter))
+    }
+
+    /// Mode-change bound w.r.t. the arrival sequence, for HI tasks.
+    pub fn total_transition(&self) -> Option<Duration> {
+        Some(self.transition?.saturating_add(self.jitter))
+    }
+
+    /// The bound the task's deadline is judged against: the max over
+    /// all modes for HI tasks, the LO bound for LO tasks (whose HI-mode
+    /// latency is unbounded by design).
+    pub fn worst_total(&self) -> Duration {
+        let mut worst = self.total_lo();
+        if let Some(h) = self.total_hi() {
+            worst = worst.max(h);
+        }
+        if let Some(t) = self.total_transition() {
+            worst = worst.max(t);
+        }
+        worst
+    }
+}
+
+/// The outcome of the AMC analysis of a whole task set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmcResult {
+    bounds: Vec<ModeBound>,
+}
+
+impl AmcResult {
+    /// The per-task mode bounds, in task order.
+    pub fn bounds(&self) -> &[ModeBound] {
+        &self.bounds
+    }
+
+    /// The bounds for a specific task.
+    pub fn bound_for(&self, task: TaskId) -> Option<&ModeBound> {
+        self.bounds.iter().find(|b| b.task == task)
+    }
+
+    /// Iterates over the per-task bounds.
+    pub fn iter(&self) -> std::slice::Iter<'_, ModeBound> {
+        self.bounds.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a AmcResult {
+    type Item = &'a ModeBound;
+    type IntoIter = std::slice::Iter<'a, ModeBound>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.bounds.iter()
+    }
+}
+
+/// The mode-parametric solver context: like the plain solver's, but
+/// each task carries `Option<Duration>` — `None` excludes it from the
+/// mode entirely (a suspended LO task in HI mode).
+struct ModeCtx<'a, S> {
+    tasks: &'a TaskSet,
+    curves: &'a [ReleaseCurve],
+    supply: &'a S,
+    horizon: Duration,
+    wcet_of: &'a [Option<Duration>],
+    beta_cache: RefCell<HashMap<(TaskId, Duration), u64>>,
+}
+
+impl<S: SupplyBound> ModeCtx<'_, S> {
+    fn beta(&self, task: TaskId, delta: Duration) -> u64 {
+        if let Some(&cached) = self.beta_cache.borrow().get(&(task, delta)) {
+            return cached;
+        }
+        let value = self.curves[task.0].max_arrivals(delta);
+        self.beta_cache.borrow_mut().insert((task, delta), value);
+        value
+    }
+
+    /// Σ over `others` of `β_j(Δ)·C_j(mode)`, skipping excluded tasks.
+    fn demand<'t>(&self, others: impl Iterator<Item = &'t Task>, delta: Duration) -> Duration {
+        others
+            .filter_map(|t| {
+                let c = self.wcet_of[t.id().0]?;
+                Some(c.saturating_mul(self.beta(t.id(), delta)))
+            })
+            .sum()
+    }
+
+    /// The busy-window / offset-enumeration recurrence of the plain
+    /// solver, generalized: `blocking` and `frozen` are fixed demand
+    /// terms added to every window (non-preemptive blocking; the
+    /// carried-over LO interference of the mode-change analysis).
+    fn response_time(
+        &self,
+        this: &Task,
+        own_wcet: Duration,
+        blocking: Duration,
+        frozen: Duration,
+    ) -> Result<Duration, SolverError> {
+        let task = this.id();
+        let no_convergence = SolverError::NoConvergence {
+            task,
+            horizon: self.horizon,
+        };
+
+        // Busy-window length.
+        let mut busy = Duration(1);
+        let mut settled = false;
+        for _ in 0..MAX_ITERATIONS {
+            let hep_incl_self = self
+                .tasks
+                .iter()
+                .filter(|t| t.priority() >= this.priority());
+            let need = blocking
+                .saturating_add(frozen)
+                .saturating_add(self.demand(hep_incl_self, busy));
+            let next = self
+                .supply
+                .inverse(need, self.horizon)
+                .ok_or_else(|| no_convergence.clone())?
+                .max(Duration(1));
+            if next <= busy {
+                settled = true;
+                break;
+            }
+            busy = next;
+        }
+        if !settled {
+            return Err(SolverError::Divergent {
+                task,
+                iterations: MAX_ITERATIONS,
+            });
+        }
+
+        // Candidate offsets: where β_i steps, within the busy window.
+        let mut offsets: Vec<Duration> = self.curves[task.0]
+            .increase_points(busy)
+            .into_iter()
+            .map(|p| p - Duration(1))
+            .collect();
+        if offsets.is_empty() {
+            offsets.push(Duration::ZERO);
+        }
+
+        let mut worst = Duration::ZERO;
+        for a in offsets {
+            let prior_own = self.beta(task, a + Duration(1)).saturating_sub(1);
+            let fixed = blocking
+                .saturating_add(frozen)
+                .saturating_add(own_wcet.saturating_mul(prior_own))
+                .saturating_add(Duration(1));
+
+            let mut s = Duration(1);
+            let mut converged = false;
+            for _ in 0..MAX_ITERATIONS {
+                let hep_other = self.tasks.equal_or_higher_priority_than(task);
+                let need = fixed.saturating_add(self.demand(hep_other, s + Duration(1)));
+                let next = self
+                    .supply
+                    .inverse(need, self.horizon)
+                    .ok_or_else(|| no_convergence.clone())?
+                    .max(Duration(1));
+                if next <= s {
+                    converged = true;
+                    break;
+                }
+                s = next;
+            }
+            if !converged {
+                return Err(SolverError::Divergent {
+                    task,
+                    iterations: MAX_ITERATIONS,
+                });
+            }
+            if s <= a {
+                continue;
+            }
+            let response = (s - Duration(1)).saturating_add(own_wcet).saturating_sub(a);
+            worst = worst.max(response);
+        }
+        Ok(worst)
+    }
+}
+
+fn is_hi(t: &Task) -> bool {
+    t.criticality() == Criticality::Hi
+}
+
+/// The AMC-rtb analysis: per-task LO, HI-steady and mode-change bounds
+/// (see the module docs for the recurrences). `horizon` caps every
+/// busy-window search, as in [`analyse`](crate::analyse).
+///
+/// # Errors
+///
+/// Returns [`RtaError::Solver`] when any recurrence fails to converge
+/// within `horizon` — the task set is not AMC-schedulable at these
+/// parameters (or the horizon is too small). Use
+/// [`check_amc_schedulability`] for per-task verdicts instead of a
+/// poisoned analysis.
+pub fn analyse_amc(params: &AnalysisParams, horizon: Duration) -> Result<AmcResult, RtaError> {
+    let tasks = params.tasks();
+    let blackout = BlackoutBound::for_config(tasks, params.wcet(), params.n_sockets());
+    let jitter = blackout.overhead_bounds().max_release_jitter();
+    let curves = release_curves(tasks, jitter);
+    let supply = RosslSupply::new(blackout, horizon);
+
+    let lo_wcets: Vec<Option<Duration>> = tasks.iter().map(|t| Some(t.wcet())).collect();
+    let hi_wcets: Vec<Option<Duration>> = tasks
+        .iter()
+        .map(|t| is_hi(t).then(|| t.wcet_hi()))
+        .collect();
+
+    let lo_ctx = ModeCtx {
+        tasks,
+        curves: &curves,
+        supply: &supply,
+        horizon,
+        wcet_of: &lo_wcets,
+        beta_cache: RefCell::new(HashMap::new()),
+    };
+    let hi_ctx = ModeCtx {
+        tasks,
+        curves: &curves,
+        supply: &supply,
+        horizon,
+        wcet_of: &hi_wcets,
+        beta_cache: RefCell::new(HashMap::new()),
+    };
+
+    let mut bounds = Vec::with_capacity(tasks.len());
+    for task in tasks {
+        let lo_blocking = tasks
+            .lower_priority_than(task.id())
+            .map(Task::wcet)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let lo = lo_ctx.response_time(task, task.wcet(), lo_blocking, Duration::ZERO)?;
+
+        let (hi, transition) = if is_hi(task) {
+            // HI steady state: only HI tasks exist; blocking by a
+            // lower-priority HI job at its C_HI.
+            let hi_blocking = tasks
+                .lower_priority_than(task.id())
+                .filter(|t| is_hi(t))
+                .map(Task::wcet_hi)
+                .max()
+                .unwrap_or(Duration::ZERO);
+            let hi = hi_ctx.response_time(task, task.wcet_hi(), hi_blocking, Duration::ZERO)?;
+
+            // Mode change: LO releases stop at the switch, so the LO
+            // interference is frozen at what fits into the LO-mode
+            // response window of this very job; the blocking job may
+            // still be a LO one (at C_LO) or a HI one (at C_HI).
+            let frozen: Duration = tasks
+                .iter()
+                .filter(|t| !is_hi(t) && t.priority() >= task.priority() && t.id() != task.id())
+                .map(|t| {
+                    t.wcet()
+                        .saturating_mul(hi_ctx.beta(t.id(), lo.saturating_add(Duration(1))))
+                })
+                .sum();
+            let switch_blocking = tasks
+                .lower_priority_than(task.id())
+                .map(|t| if is_hi(t) { t.wcet_hi() } else { t.wcet() })
+                .max()
+                .unwrap_or(Duration::ZERO);
+            let transition =
+                hi_ctx.response_time(task, task.wcet_hi(), switch_blocking, frozen)?;
+            // The recurrence's demand dominates the HI-steady one term
+            // by term (frozen ≥ 0, switch blocking ≥ HI blocking), so
+            // the max is a formality kept for the reader.
+            (Some(hi), Some(transition.max(hi)))
+        } else {
+            (None, None)
+        };
+
+        bounds.push(ModeBound {
+            task: task.id(),
+            criticality: task.criticality(),
+            jitter,
+            lo,
+            hi,
+            transition,
+        });
+    }
+    Ok(AmcResult { bounds })
+}
+
+/// The static-FP baseline for the E21 acceptance sweep: no mode
+/// switching at all — every task is provisioned at its pessimistic
+/// `C_HI` in the single-criticality analysis. Sound but wasteful; AMC
+/// admits every set this admits (its LO bounds use the smaller `C_LO`
+/// and its HI/transition bounds shed LO interference).
+///
+/// # Errors
+///
+/// As [`analyse`](crate::analyse).
+pub fn analyse_static_hi(
+    params: &AnalysisParams,
+    horizon: Duration,
+) -> Result<AnalysisResult, RtaError> {
+    let inflated: Vec<Task> = params
+        .tasks()
+        .iter()
+        .map(|t| {
+            Task::new(
+                t.id(),
+                t.name(),
+                t.priority(),
+                t.wcet_hi(),
+                t.arrival_curve().clone(),
+            )
+            .with_criticality(t.criticality())
+            .with_wcet_hi(t.wcet_hi())
+        })
+        .collect();
+    let tasks = TaskSet::new(inflated).map_err(RtaError::Model)?;
+    let p = AnalysisParams::new(tasks, *params.wcet(), params.n_sockets())?;
+    crate::analysis::analyse(&p, horizon)
+}
+
+/// Per-task AMC deadline verdicts: a HI task is schedulable iff its
+/// worst per-mode bound meets the deadline, a LO task iff its LO-mode
+/// bound does. Non-convergence is a verdict (`bound: None`), not an
+/// error, so partially schedulable sets still report per task — the
+/// shape the acceptance-ratio sweep needs.
+///
+/// # Errors
+///
+/// Returns [`RtaError::DeadlineCountMismatch`] for malformed inputs.
+pub fn check_amc_schedulability(
+    params: &AnalysisParams,
+    deadlines: &[Duration],
+    horizon: Duration,
+) -> Result<Schedulability, RtaError> {
+    if deadlines.len() != params.tasks().len() {
+        return Err(RtaError::DeadlineCountMismatch {
+            tasks: params.tasks().len(),
+            deadlines: deadlines.len(),
+        });
+    }
+    let verdicts = match analyse_amc(params, horizon) {
+        Ok(result) => result
+            .iter()
+            .zip(deadlines)
+            .map(|(b, &deadline)| TaskVerdict {
+                task: b.task,
+                bound: Some(b.worst_total()),
+                deadline,
+            })
+            .collect(),
+        Err(_) => {
+            // Isolate per-task failures: one diverging task must not
+            // poison the others' verdicts.
+            params
+                .tasks()
+                .iter()
+                .zip(deadlines)
+                .map(|(task, &deadline)| {
+                    let bound = single_task_worst(params, task.id(), horizon);
+                    TaskVerdict {
+                        task: task.id(),
+                        bound,
+                        deadline,
+                    }
+                })
+                .collect()
+        }
+    };
+    Ok(Schedulability::from_verdicts(verdicts))
+}
+
+/// The worst per-mode bound of one task, `None` if any of its own
+/// recurrences fails to converge. Used for failure isolation only —
+/// re-runs the full analysis shape, which costs one solve per mode.
+fn single_task_worst(params: &AnalysisParams, task: TaskId, horizon: Duration) -> Option<Duration> {
+    // `analyse_amc` fails at the *first* non-converging task, so probe
+    // a reduced problem: same task set, but we only need this task's
+    // bounds. The recurrences are independent across analysed tasks,
+    // so running the full analysis and asking for this task would
+    // poison on an unrelated earlier task; instead, inline the per-task
+    // loop by filtering on the result when it succeeds and falling back
+    // to None when this task itself cannot converge.
+    let tasks = params.tasks();
+    let blackout = BlackoutBound::for_config(tasks, params.wcet(), params.n_sockets());
+    let jitter = blackout.overhead_bounds().max_release_jitter();
+    let curves = release_curves(tasks, jitter);
+    let supply = RosslSupply::new(blackout, horizon);
+    let this = tasks.task(task)?;
+
+    let lo_wcets: Vec<Option<Duration>> = tasks.iter().map(|t| Some(t.wcet())).collect();
+    let hi_wcets: Vec<Option<Duration>> = tasks
+        .iter()
+        .map(|t| is_hi(t).then(|| t.wcet_hi()))
+        .collect();
+    let lo_ctx = ModeCtx {
+        tasks,
+        curves: &curves,
+        supply: &supply,
+        horizon,
+        wcet_of: &lo_wcets,
+        beta_cache: RefCell::new(HashMap::new()),
+    };
+    let lo_blocking = tasks
+        .lower_priority_than(task)
+        .map(Task::wcet)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let lo = lo_ctx
+        .response_time(this, this.wcet(), lo_blocking, Duration::ZERO)
+        .ok()?;
+    let mut worst = lo.saturating_add(jitter);
+    if is_hi(this) {
+        let hi_ctx = ModeCtx {
+            tasks,
+            curves: &curves,
+            supply: &supply,
+            horizon,
+            wcet_of: &hi_wcets,
+            beta_cache: RefCell::new(HashMap::new()),
+        };
+        let frozen: Duration = tasks
+            .iter()
+            .filter(|t| !is_hi(t) && t.priority() >= this.priority() && t.id() != task)
+            .map(|t| {
+                t.wcet()
+                    .saturating_mul(hi_ctx.beta(t.id(), lo.saturating_add(Duration(1))))
+            })
+            .sum();
+        let switch_blocking = tasks
+            .lower_priority_than(task)
+            .map(|t| if is_hi(t) { t.wcet_hi() } else { t.wcet() })
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let transition = hi_ctx
+            .response_time(this, this.wcet_hi(), switch_blocking, frozen)
+            .ok()?;
+        worst = worst.max(transition.saturating_add(jitter));
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyse;
+    use rossl_model::{Curve, Priority, WcetTable};
+
+    fn mc_tasks(specs: &[(u32, u64, u64, Criticality, u64)]) -> TaskSet {
+        // (priority, C_LO, sporadic period, criticality, C_HI)
+        TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(p, c, t, crit, ch))| {
+                    Task::new(
+                        TaskId(i),
+                        format!("t{i}"),
+                        Priority(p),
+                        Duration(c),
+                        Curve::sporadic(Duration(t)),
+                    )
+                    .with_criticality(crit)
+                    .with_wcet_hi(Duration(ch))
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn mixed() -> AnalysisParams {
+        use Criticality::{Hi, Lo};
+        let tasks = mc_tasks(&[
+            (1, 50, 2_000, Lo, 50),
+            (5, 30, 1_500, Hi, 80),
+            (9, 20, 1_000, Hi, 45),
+        ]);
+        AnalysisParams::new(tasks, WcetTable::example(), 1).unwrap()
+    }
+
+    #[test]
+    fn degenerate_task_sets_collapse_to_plain_analysis() {
+        // All-HI, C_HI == C_LO: every per-mode bound equals the
+        // single-criticality bound — mixed criticality must cost
+        // nothing when unused.
+        use Criticality::Hi;
+        let tasks = mc_tasks(&[(1, 50, 2_000, Hi, 50), (9, 20, 1_000, Hi, 20)]);
+        let p = AnalysisParams::new(tasks, WcetTable::example(), 1).unwrap();
+        let horizon = Duration(200_000);
+        let plain = analyse(&p, horizon).unwrap();
+        let amc = analyse_amc(&p, horizon).unwrap();
+        for (a, b) in amc.iter().zip(plain.iter()) {
+            assert_eq!(a.lo, b.response_bound);
+            assert_eq!(a.hi, Some(b.response_bound));
+            assert_eq!(a.transition, Some(b.response_bound));
+            assert_eq!(a.jitter, b.jitter);
+            assert_eq!(a.worst_total(), b.total_bound());
+        }
+    }
+
+    #[test]
+    fn lo_bounds_match_plain_analysis_on_mixed_sets() {
+        // The LO steady state ignores C_HI entirely.
+        let p = mixed();
+        let horizon = Duration(400_000);
+        let plain = analyse(&p, horizon).unwrap();
+        let amc = analyse_amc(&p, horizon).unwrap();
+        for (a, b) in amc.iter().zip(plain.iter()) {
+            assert_eq!(a.lo, b.response_bound, "{}", a.task);
+        }
+    }
+
+    #[test]
+    fn lo_tasks_have_no_hi_bounds() {
+        let amc = analyse_amc(&mixed(), Duration(400_000)).unwrap();
+        let lo_task = amc.bound_for(TaskId(0)).unwrap();
+        assert_eq!(lo_task.criticality, Criticality::Lo);
+        assert_eq!(lo_task.hi, None);
+        assert_eq!(lo_task.transition, None);
+        assert_eq!(lo_task.worst_total(), lo_task.total_lo());
+        for b in amc.iter().filter(|b| b.criticality == Criticality::Hi) {
+            assert!(b.hi.is_some() && b.transition.is_some());
+            assert!(
+                b.transition >= b.hi,
+                "{}: the mode-change bound dominates the HI steady state",
+                b.task
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_wcet_hi() {
+        use Criticality::{Hi, Lo};
+        let horizon = Duration(400_000);
+        let base = analyse_amc(
+            &AnalysisParams::new(
+                mc_tasks(&[(1, 50, 2_000, Lo, 50), (9, 20, 1_000, Hi, 40)]),
+                WcetTable::example(),
+                1,
+            )
+            .unwrap(),
+            horizon,
+        )
+        .unwrap();
+        let bigger = analyse_amc(
+            &AnalysisParams::new(
+                mc_tasks(&[(1, 50, 2_000, Lo, 50), (9, 20, 1_000, Hi, 70)]),
+                WcetTable::example(),
+                1,
+            )
+            .unwrap(),
+            horizon,
+        )
+        .unwrap();
+        let (b0, b1) = (base.bounds()[1], bigger.bounds()[1]);
+        assert!(b1.hi >= b0.hi);
+        assert!(b1.transition >= b0.transition);
+        assert_eq!(b1.lo, b0.lo, "the LO bound never sees C_HI");
+    }
+
+    #[test]
+    fn static_hi_baseline_dominates_amc() {
+        // Provisioning everything at C_HI can only inflate bounds: the
+        // AMC analysis admits every set the static baseline admits.
+        let p = mixed();
+        let horizon = Duration(400_000);
+        let amc = analyse_amc(&p, horizon).unwrap();
+        let static_hi = analyse_static_hi(&p, horizon).unwrap();
+        for (a, s) in amc.iter().zip(static_hi.iter()) {
+            assert!(
+                a.total_lo() <= s.total_bound(),
+                "{}: LO bound must not exceed the static-HI bound",
+                a.task
+            );
+            if let Some(h) = a.total_hi() {
+                assert!(
+                    h <= s.total_bound(),
+                    "{}: HI-steady sheds LO interference the baseline keeps",
+                    a.task
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn amc_verdicts_judge_lo_tasks_in_lo_mode_only() {
+        let p = mixed();
+        let horizon = Duration(400_000);
+        let amc = analyse_amc(&p, horizon).unwrap();
+        // Deadline squeezed between the LO task's LO bound and the
+        // (larger) worst HI-task bound: the LO task passes because only
+        // LO mode counts for it.
+        let lo_total = amc.bounds()[0].total_lo();
+        let s = check_amc_schedulability(
+            &p,
+            &[lo_total, Duration(100_000), Duration(100_000)],
+            horizon,
+        )
+        .unwrap();
+        assert!(s.all_schedulable());
+        // One tick less and it fails.
+        let s = check_amc_schedulability(
+            &p,
+            &[lo_total - Duration(1), Duration(100_000), Duration(100_000)],
+            horizon,
+        )
+        .unwrap();
+        assert!(!s.verdicts()[0].schedulable());
+        assert_eq!(s.schedulable_count(), 2);
+    }
+
+    #[test]
+    fn amc_overload_yields_verdicts_not_errors() {
+        use Criticality::Hi;
+        // The low-priority task's C_HI saturates its period: its own
+        // HI/transition recurrences cannot converge, but the
+        // higher-priority task (which sees it only as blocking) still
+        // gets its verdict.
+        let tasks = mc_tasks(&[(1, 10, 1_000, Hi, 990), (9, 10, 1_000, Hi, 10)]);
+        let p = AnalysisParams::new(tasks, WcetTable::example(), 1).unwrap();
+        assert!(matches!(
+            analyse_amc(&p, Duration(50_000)),
+            Err(RtaError::Solver(_))
+        ));
+        let s = check_amc_schedulability(
+            &p,
+            &[Duration(50_000), Duration(50_000)],
+            Duration(50_000),
+        )
+        .unwrap();
+        assert!(!s.verdicts()[0].schedulable());
+        assert_eq!(s.verdicts()[0].bound, None);
+        assert!(s.verdicts()[1].bound.is_some());
+    }
+
+    #[test]
+    fn deadline_count_mismatch_is_rejected() {
+        assert!(matches!(
+            check_amc_schedulability(&mixed(), &[Duration(1)], Duration(1_000)),
+            Err(RtaError::DeadlineCountMismatch { .. })
+        ));
+    }
+}

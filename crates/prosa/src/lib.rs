@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod amc;
 mod analysis;
 mod blackout;
 mod curves;
@@ -55,6 +56,9 @@ mod sbf;
 mod schedulability;
 mod solver;
 
+pub use amc::{
+    analyse_amc, analyse_static_hi, check_amc_schedulability, AmcResult, ModeBound,
+};
 pub use analysis::{
     analyse, analyse_baseline, analyse_tight, AnalysisParams, AnalysisResult, RtaError, TaskBound,
 };

@@ -48,6 +48,12 @@ pub struct Schedulability {
 }
 
 impl Schedulability {
+    /// Assembles a result from per-task verdicts (used by the AMC
+    /// schedulability test, which shares this verdict shape).
+    pub(crate) fn from_verdicts(verdicts: Vec<TaskVerdict>) -> Schedulability {
+        Schedulability { verdicts }
+    }
+
     /// Per-task verdicts, in task order.
     pub fn verdicts(&self) -> &[TaskVerdict] {
         &self.verdicts

@@ -67,6 +67,7 @@
 mod codec;
 mod config;
 mod error;
+mod mode;
 mod mutation;
 mod queue;
 mod scheduler;
@@ -76,6 +77,7 @@ mod watchdog;
 pub use codec::{CodecError, FirstByteCodec, MessageCodec};
 pub use config::{ClientConfig, ConfigError};
 pub use error::DriveError;
+pub use mode::ModePolicy;
 pub use mutation::SeededBug;
 pub use queue::NpfpQueue;
 pub use scheduler::{Request, Response, Scheduler, Step};

@@ -1,0 +1,149 @@
+//! Mixed-criticality mode policies (Vestal/AMC-style degradation).
+//!
+//! A [`ModePolicy`] tells the scheduler *when* to change criticality
+//! [`Mode`](rossl_model::Mode) and how eagerly to return. The mechanism is
+//! fixed by the protocol (Def. 3.1 extended with `M_ModeSwitch` out of the
+//! selection phase); the policy only arms it:
+//!
+//! - LO → HI is armed when a HI-criticality task's callback overruns its
+//!   LO-mode budget `C_LO` (detected by the same measurement channel as
+//!   the PR 1 watchdog) and enacted at the next selection decision, where
+//!   a mode switch takes the place of the dispatch/idle decision.
+//! - While in HI mode, LO-criticality jobs are *suspended*, never silently
+//!   dropped: pending LO jobs move to a suspension buffer with a typed
+//!   [`DegradedEvent`](crate::DegradedEvent), and LO jobs read while in HI
+//!   mode go straight there.
+//! - HI → LO is armed by hysteresis: after enough consecutive idle
+//!   decisions in HI mode the backlog is demonstrably gone, the scheduler
+//!   returns to LO and resumes every suspended job.
+//!
+//! Priority order is **never** reassigned across a switch: Def. 3.2's
+//! dispatch obligation quantifies over mode-eligible jobs with their
+//! static priorities, so any runtime reassignment would be flagged by the
+//! functional checker. The [`ModePolicy::Adaptive`] variant therefore
+//! adapts the *hysteresis* (doubling the idle threshold after each LO→HI
+//! switch) to damp mode thrashing, not the priorities.
+
+use std::fmt;
+
+/// When the scheduler changes criticality mode.
+///
+/// Installed with
+/// [`Scheduler::with_mode_policy`](crate::Scheduler::with_mode_policy).
+/// The policy is part of the modelled machine: it is digested into the
+/// state fingerprint used by the exploration engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModePolicy {
+    /// Never switch: classic single-criticality fixed priority. Overruns
+    /// still feed the watchdog (shedding), but the mode stays LO and no
+    /// job is ever suspended.
+    StaticFp,
+    /// Adaptive mixed criticality: switch LO → HI on the first HI-task
+    /// `C_LO` overrun; return HI → LO after `hysteresis_idles`
+    /// consecutive idle decisions in HI mode.
+    Amc {
+        /// Consecutive idle decisions in HI mode required before the
+        /// scheduler returns to LO. Must be ≥ 1; `0` is treated as `1`.
+        hysteresis_idles: u32,
+    },
+    /// [`ModePolicy::Amc`] with thrash damping: the effective idle
+    /// threshold doubles after every LO → HI switch (capped), so a
+    /// system that oscillates pays an increasing price to come back.
+    Adaptive {
+        /// Base idle threshold for the first HI episode.
+        hysteresis_idles: u32,
+    },
+}
+
+/// Cap on the adaptive doubling exponent, bounding the effective
+/// hysteresis at `base << 10` so it stays finite and explorable.
+const ADAPTIVE_DOUBLING_CAP: u32 = 10;
+
+impl ModePolicy {
+    /// `true` when a HI-task `C_LO` overrun in LO mode arms a switch.
+    pub fn switches_on_overrun(&self) -> bool {
+        !matches!(self, ModePolicy::StaticFp)
+    }
+
+    /// The idle-decision threshold for returning HI → LO, given how many
+    /// LO → HI switches have happened so far. `None` for policies that
+    /// never enter HI mode.
+    pub fn return_hysteresis(&self, lo_hi_switches: u64) -> Option<u64> {
+        match self {
+            ModePolicy::StaticFp => None,
+            ModePolicy::Amc { hysteresis_idles } => Some(u64::from(*hysteresis_idles).max(1)),
+            ModePolicy::Adaptive { hysteresis_idles } => {
+                // First switch (count 1) uses the base threshold; each
+                // further switch doubles it, up to the cap.
+                let exp = (lo_hi_switches.saturating_sub(1) as u32).min(ADAPTIVE_DOUBLING_CAP);
+                Some((u64::from(*hysteresis_idles).max(1)) << exp)
+            }
+        }
+    }
+
+    /// Stable kebab-case name, used in reports and experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModePolicy::StaticFp => "static-fp",
+            ModePolicy::Amc { .. } => "amc",
+            ModePolicy::Adaptive { .. } => "adaptive",
+        }
+    }
+}
+
+impl fmt::Display for ModePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModePolicy::StaticFp => f.write_str("static-fp"),
+            ModePolicy::Amc { hysteresis_idles } => {
+                write!(f, "amc(hysteresis={hysteresis_idles})")
+            }
+            ModePolicy::Adaptive { hysteresis_idles } => {
+                write!(f, "adaptive(hysteresis={hysteresis_idles})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_fp_never_switches() {
+        assert!(!ModePolicy::StaticFp.switches_on_overrun());
+        assert_eq!(ModePolicy::StaticFp.return_hysteresis(3), None);
+    }
+
+    #[test]
+    fn amc_hysteresis_is_constant_and_at_least_one() {
+        let p = ModePolicy::Amc { hysteresis_idles: 4 };
+        assert!(p.switches_on_overrun());
+        assert_eq!(p.return_hysteresis(1), Some(4));
+        assert_eq!(p.return_hysteresis(100), Some(4));
+        assert_eq!(
+            ModePolicy::Amc { hysteresis_idles: 0 }.return_hysteresis(1),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn adaptive_hysteresis_doubles_per_switch_and_saturates() {
+        let p = ModePolicy::Adaptive { hysteresis_idles: 2 };
+        assert_eq!(p.return_hysteresis(1), Some(2));
+        assert_eq!(p.return_hysteresis(2), Some(4));
+        assert_eq!(p.return_hysteresis(3), Some(8));
+        // Capped: never more than base << 10.
+        assert_eq!(p.return_hysteresis(10_000), Some(2 << 10));
+    }
+
+    #[test]
+    fn names_and_displays() {
+        assert_eq!(ModePolicy::StaticFp.name(), "static-fp");
+        assert_eq!(
+            ModePolicy::Amc { hysteresis_idles: 3 }.to_string(),
+            "amc(hysteresis=3)"
+        );
+        assert_eq!(ModePolicy::Adaptive { hysteresis_idles: 3 }.name(), "adaptive");
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`LostPendingJob`](SeededBug::LostPendingJob) | accepted jobs stay pending | functional: `IdleWithPendingJobs` + pending-count differential |
 //! | [`StaleJobId`](SeededBug::StaleJobId) | `σ_trace.idx` uniqueness (Fig. 6) | functional: `DuplicateJobId` |
 //! | [`SkippedCommit`](SeededBug::SkippedCommit) | journal durability at crash | stitched seam: `LostAcceptedJob` |
+//! | [`SkippedModeSwitch`](SeededBug::SkippedModeSwitch) | AMC switch on HI `C_LO` overrun | monitor: missed mode switch |
 
 use std::fmt;
 
@@ -40,15 +41,22 @@ pub enum SeededBug {
     /// environment already handed over. Interpreted by journaling
     /// drivers (the fuzz executor), not by the scheduler itself.
     SkippedCommit,
+    /// The scheduler records a HI task's `C_LO` overrun but never arms
+    /// the LO → HI mode switch the installed
+    /// [`ModePolicy`](crate::ModePolicy) demands — the classic "mode
+    /// change protocol not invoked" defect. Only observable with an
+    /// AMC-style policy installed.
+    SkippedModeSwitch,
 }
 
 impl SeededBug {
     /// All seeded bugs, in teeth-harness order.
-    pub const ALL: [SeededBug; 4] = [
+    pub const ALL: [SeededBug; 5] = [
         SeededBug::OffByOnePriorityPick,
         SeededBug::LostPendingJob,
         SeededBug::StaleJobId,
         SeededBug::SkippedCommit,
+        SeededBug::SkippedModeSwitch,
     ];
 
     /// Stable kebab-case name, used in reports and CLI flags.
@@ -58,6 +66,7 @@ impl SeededBug {
             SeededBug::LostPendingJob => "lost-pending-job",
             SeededBug::StaleJobId => "stale-job-id",
             SeededBug::SkippedCommit => "skipped-commit",
+            SeededBug::SkippedModeSwitch => "skipped-mode-switch",
         }
     }
 

@@ -28,13 +28,14 @@
 use std::fmt;
 use std::sync::Arc;
 
-use rossl_model::{Duration, Job, JobId, MsgData, SocketId, TaskId};
-use rossl_obs::{SchedSink, StepCounts};
+use rossl_model::{Criticality, Duration, Job, JobId, Mode, MsgData, Priority, SocketId, TaskId};
+use rossl_obs::{SchedDepths, SchedSink, StepCounts};
 use rossl_trace::Marker;
 
 use crate::codec::MessageCodec;
 use crate::config::ClientConfig;
 use crate::error::DriveError;
+use crate::mode::ModePolicy;
 use crate::mutation::SeededBug;
 use crate::queue::NpfpQueue;
 use crate::watchdog::{DegradedEvent, WatchdogConfig};
@@ -111,6 +112,22 @@ pub struct Scheduler<C> {
     watchdog: Option<WatchdogConfig>,
     degraded: bool,
     degradation: Vec<DegradedEvent>,
+    /// Mixed-criticality policy (`None` = single-criticality, mode LO
+    /// forever — exactly the pre-mixed-criticality machine).
+    mode_policy: Option<ModePolicy>,
+    /// Current criticality mode. Always [`Mode::Lo`] without a policy.
+    mode: Mode,
+    /// LO jobs parked while in HI mode, in suspension order. Never
+    /// dropped: resumed on return to LO, counted by
+    /// [`Scheduler::pending_count`], re-pended by crash recovery.
+    suspended: Vec<Job>,
+    /// A mode switch armed by the budget checker or the hysteresis
+    /// counter, enacted at the next selection decision.
+    pending_switch: Option<Mode>,
+    /// Consecutive idle decisions while in HI mode (hysteresis input).
+    hi_idle_streak: u64,
+    /// Total LO → HI switches (feeds the adaptive hysteresis).
+    lo_hi_switches: u64,
     /// Where batched loop telemetry goes; [`SchedSink::Noop`] by
     /// default, in which case a flush is one discriminant test.
     sink: SchedSink,
@@ -159,6 +176,12 @@ impl<C: MessageCodec> Scheduler<C> {
             watchdog: None,
             degraded: false,
             degradation: Vec::new(),
+            mode_policy: None,
+            mode: Mode::Lo,
+            suspended: Vec::new(),
+            pending_switch: None,
+            hi_idle_streak: 0,
+            lo_hi_switches: 0,
             sink: SchedSink::Noop,
             batch: StepCounts::default(),
             seeded_bug: None,
@@ -230,6 +253,47 @@ impl<C: MessageCodec> Scheduler<C> {
         self
     }
 
+    /// Installs a mixed-criticality [`ModePolicy`] (§ mixed criticality).
+    ///
+    /// With an AMC-style policy, a HI-criticality task whose callback
+    /// overruns its LO-mode budget `C_LO` arms a LO → HI switch, enacted
+    /// at the next selection decision as a [`Marker::ModeSwitch`] step.
+    /// In HI mode LO jobs are suspended (never silently dropped); the
+    /// policy's hysteresis governs the return to LO, which resumes them.
+    /// Composes freely with [`Scheduler::with_watchdog`]: overruns that
+    /// do not arm a switch still degrade/shed as before.
+    pub fn with_mode_policy(mut self, policy: ModePolicy) -> Scheduler<C> {
+        self.mode_policy = Some(policy);
+        self
+    }
+
+    /// Re-enters `mode` after crash recovery, parking recovered LO jobs
+    /// in the suspension buffer when `mode` is HI. Pre-crash suspension
+    /// events were already reported, so this emits none — the jobs were
+    /// never *newly* degraded by the restart.
+    pub fn resume_in_mode(mut self, mode: Mode) -> Scheduler<C> {
+        self.mode = mode;
+        if mode == Mode::Hi {
+            self.park_ineligible_pending(false);
+        }
+        self
+    }
+
+    /// The current criticality mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The installed mode policy, if any.
+    pub fn mode_policy(&self) -> Option<ModePolicy> {
+        self.mode_policy
+    }
+
+    /// Number of LO jobs currently suspended for HI mode.
+    pub fn suspended_count(&self) -> usize {
+        self.suspended.len()
+    }
+
     /// Routes batched loop telemetry to `sink` (see `rossl-obs`).
     ///
     /// The scheduler accumulates plain-integer step counts locally and
@@ -262,7 +326,14 @@ impl<C: MessageCodec> Scheduler<C> {
     /// [`SchedSink::Noop`].
     pub fn flush_telemetry(&mut self) {
         if !self.batch.is_empty() {
-            self.sink.flush(self.batch, self.queue.len() as u64);
+            self.sink.flush(
+                self.batch,
+                SchedDepths {
+                    queue: self.queue.len() as u64,
+                    suspended: self.suspended.len() as u64,
+                    mode: self.mode.to_byte(),
+                },
+            );
             self.batch = StepCounts::default();
         }
     }
@@ -288,9 +359,10 @@ impl<C: MessageCodec> Scheduler<C> {
         std::mem::take(&mut self.degradation)
     }
 
-    /// Number of jobs currently pending (read, not yet dispatched).
+    /// Number of jobs currently pending (read, not yet dispatched) —
+    /// including suspended LO jobs, which remain accepted work.
     pub fn pending_count(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.suspended.len()
     }
 
     /// Number of jobs whose callbacks have completed.
@@ -320,6 +392,12 @@ impl<C: MessageCodec> Scheduler<C> {
         self.watchdog.hash(hasher);
         self.degraded.hash(hasher);
         self.degradation.hash(hasher);
+        self.mode_policy.hash(hasher);
+        self.mode.hash(hasher);
+        self.suspended.hash(hasher);
+        self.pending_switch.hash(hasher);
+        self.hi_idle_streak.hash(hasher);
+        self.lo_hi_switches.hash(hasher);
     }
 
     /// [`Scheduler::state_digest`] folded through the standard library's
@@ -408,7 +486,7 @@ impl<C: MessageCodec> Scheduler<C> {
                             .ok_or(DriveError::UnknownTask { task: task.0 })?
                             .priority();
                         if !self.bug_fires(SeededBug::LostPendingJob) {
-                            self.queue.enqueue(job.clone(), priority);
+                            self.accept(job.clone(), priority);
                         }
                         Some(job)
                     }
@@ -454,11 +532,28 @@ impl<C: MessageCodec> Scheduler<C> {
                 })
             }
             LoopState::Decide => {
-                self.expect_no_response(&response, "M_Dispatch/M_Idling")?;
+                self.expect_no_response(&response, "M_Dispatch/M_Idling/M_ModeSwitch")?;
+                if let Some(to) = self.pending_switch.take() {
+                    // The armed mode switch takes the place of this
+                    // selection decision (Def. 3.1: `M_ModeSwitch` out of
+                    // the selected state, back to polling).
+                    let from = self.mode;
+                    self.enact_switch(to);
+                    self.maybe_flush_telemetry();
+                    self.state = LoopState::StartRead {
+                        next: 0,
+                        round_success: false,
+                    };
+                    return Ok(Step {
+                        marker: Marker::ModeSwitch { from, to },
+                        request: None,
+                    });
+                }
                 self.shed_if_degraded();
                 match self.dequeue_for_dispatch() {
                     Some(job) => {
                         self.batch.dispatches += 1;
+                        self.hi_idle_streak = 0;
                         self.state = LoopState::StartExecution(job.clone());
                         Ok(Step {
                             marker: Marker::Dispatch(job),
@@ -473,6 +568,18 @@ impl<C: MessageCodec> Scheduler<C> {
                             // again from here on.
                             self.degraded = false;
                             self.degradation.push(DegradedEvent::Recovered);
+                        }
+                        // Hysteresis: consecutive idle decisions in HI
+                        // mode prove the HI backlog is gone; past the
+                        // policy threshold, arm the return to LO.
+                        if self.mode == Mode::Hi {
+                            self.hi_idle_streak += 1;
+                            let threshold = self
+                                .mode_policy
+                                .and_then(|p| p.return_hysteresis(self.lo_hi_switches));
+                            if threshold.is_some_and(|t| self.hi_idle_streak >= t) {
+                                self.pending_switch = Some(Mode::Lo);
+                            }
                         }
                         self.state = LoopState::StartRead {
                             next: 0,
@@ -551,29 +658,130 @@ impl<C: MessageCodec> Scheduler<C> {
         Some(first)
     }
 
-    /// Compares a measured execution time against the job's task budget
-    /// and enters degraded mode on overrun (watchdog installed only).
+    /// Routes an accepted job to the pending queue or — a LO job read
+    /// while in HI mode — straight to the suspension buffer.
+    fn accept(&mut self, job: Job, priority: Priority) {
+        let crit = self
+            .config
+            .tasks()
+            .task(job.task())
+            .map(|t| t.criticality())
+            .unwrap_or_default();
+        if self.mode == Mode::Hi && crit == Criticality::Lo {
+            self.batch.suspensions += 1;
+            self.degradation.push(DegradedEvent::JobSuspended {
+                job: job.id(),
+                task: job.task(),
+            });
+            self.suspended.push(job);
+        } else {
+            self.queue.enqueue(job, priority);
+        }
+    }
+
+    /// Performs an armed mode switch: entering HI parks every pending LO
+    /// job; returning to LO resumes every suspended job at its static
+    /// priority (JobId tie-breaking restores read order among equals).
+    fn enact_switch(&mut self, to: Mode) {
+        self.batch.mode_switches += 1;
+        self.hi_idle_streak = 0;
+        self.mode = to;
+        match to {
+            Mode::Hi => {
+                self.lo_hi_switches += 1;
+                self.park_ineligible_pending(true);
+            }
+            Mode::Lo => {
+                for job in std::mem::take(&mut self.suspended) {
+                    let priority = self
+                        .config
+                        .tasks()
+                        .task(job.task())
+                        .map(|t| t.priority())
+                        .unwrap_or(Priority(0));
+                    self.batch.resumes += 1;
+                    self.degradation.push(DegradedEvent::JobResumed {
+                        job: job.id(),
+                        task: job.task(),
+                    });
+                    self.queue.enqueue(job, priority);
+                }
+            }
+        }
+    }
+
+    /// Moves every pending LO job into the suspension buffer. `report`
+    /// is `false` for crash re-entry, where the suspension events were
+    /// already reported before the crash.
+    fn park_ineligible_pending(&mut self, report: bool) {
+        let mut kept = NpfpQueue::new();
+        let mut parked = Vec::new();
+        while let Some(job) = self.queue.dequeue() {
+            let task = self.config.tasks().task(job.task());
+            if task.map(|t| t.criticality()).unwrap_or_default() == Criticality::Lo {
+                parked.push(job);
+            } else {
+                let priority = task.map(|t| t.priority()).unwrap_or(Priority(0));
+                kept.enqueue(job, priority);
+            }
+        }
+        self.queue = kept;
+        // Dequeue yields priority order; park in read order so the
+        // buffer (and hence the state digest) is canonical.
+        parked.sort_by_key(|j| j.id());
+        for job in parked {
+            if report {
+                self.batch.suspensions += 1;
+                self.degradation.push(DegradedEvent::JobSuspended {
+                    job: job.id(),
+                    task: job.task(),
+                });
+            }
+            self.suspended.push(job);
+        }
+    }
+
+    /// Compares a measured execution time against the job's per-mode
+    /// budget. Overruns are always recorded; a HI task blowing its
+    /// `C_LO` budget in LO mode arms the AMC mode switch, every other
+    /// overrun degrades the scheduler (watchdog installed only).
     fn check_budget(&mut self, job: &Job, measured: Duration) -> Result<(), DriveError> {
-        if self.watchdog.is_none() {
+        if self.watchdog.is_none() && self.mode_policy.is_none() {
             return Ok(());
         }
-        let budget = self
+        let task = self
             .config
             .tasks()
             .task(job.task())
             .ok_or(DriveError::UnknownTask {
                 task: job.task().0,
-            })?
-            .wcet();
-        if measured > budget {
+            })?;
+        let budget = match self.mode_policy {
+            Some(_) => task.wcet_in_mode(self.mode),
+            None => task.wcet(),
+        };
+        if measured <= budget {
+            return Ok(());
+        }
+        self.batch.overruns += 1;
+        self.degradation.push(DegradedEvent::WcetOverrun {
+            job: job.id(),
+            task: job.task(),
+            budget,
+            measured,
+        });
+        let arms_switch = self.mode == Mode::Lo
+            && task.criticality() == Criticality::Hi
+            && self.mode_policy.is_some_and(|p| p.switches_on_overrun());
+        if arms_switch {
+            // AMC: a HI task's `C_LO` overrun is the anticipated signal
+            // for the mode change, not a violated guarantee — unless
+            // the seeded "mode change protocol not invoked" bug eats it.
+            if self.seeded_bug != Some(SeededBug::SkippedModeSwitch) {
+                self.pending_switch = Some(Mode::Hi);
+            }
+        } else if self.watchdog.is_some() {
             self.degraded = true;
-            self.batch.overruns += 1;
-            self.degradation.push(DegradedEvent::WcetOverrun {
-                job: job.id(),
-                task: job.task(),
-                budget,
-                measured,
-            });
         }
         Ok(())
     }
@@ -626,9 +834,11 @@ impl<C> fmt::Display for Scheduler<C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Rössl: {} pending, {} completed",
-            self.queue.len(),
-            self.jobs_completed
+            "Rössl: {} pending ({} suspended), {} completed, mode {}",
+            self.queue.len() + self.suspended.len(),
+            self.suspended.len(),
+            self.jobs_completed,
+            self.mode
         )
     }
 }

@@ -30,7 +30,7 @@
 use std::fmt;
 
 use rossl_journal::{recover, Corruption, JournalError, TimedEvent};
-use rossl_model::{Duration, Job, JobId};
+use rossl_model::{Duration, Job, JobId, Mode};
 use rossl_trace::Marker;
 
 use crate::codec::MessageCodec;
@@ -81,6 +81,12 @@ pub struct RecoveredState {
     /// execution becomes at-least-once: it is in `pending` and will be
     /// dispatched again.
     pub redispatch: Option<JobId>,
+    /// The criticality mode in force when the crash hit: the target of
+    /// the last committed `M_ModeSwitch`, or LO if none was journaled.
+    /// A switch that was armed but not yet enacted left no committed
+    /// record, so it is legitimately lost — the overrun that caused it
+    /// re-arms the switch if it recurs after the restart.
+    pub mode: Mode,
 }
 
 impl RecoveredState {
@@ -90,6 +96,7 @@ impl RecoveredState {
         let mut in_flight: Option<Job> = None;
         let mut next_job_id = 0u64;
         let mut jobs_completed = 0u64;
+        let mut mode = Mode::Lo;
 
         for ev in events {
             match &ev.marker {
@@ -105,6 +112,9 @@ impl RecoveredState {
                     jobs_completed += 1;
                     in_flight = None;
                 }
+                Marker::ModeSwitch { to, .. } => {
+                    mode = *to;
+                }
                 _ => {}
             }
         }
@@ -118,6 +128,7 @@ impl RecoveredState {
             next_job_id,
             jobs_completed,
             redispatch,
+            mode,
         }
     }
 }
@@ -247,13 +258,15 @@ impl Supervisor {
                 max_restarts: self.policy.max_restarts,
             });
         }
-        let backoff = Duration(
-            self.policy
-                .backoff_base
-                .ticks()
-                .checked_shl(self.restarts)
-                .unwrap_or(u64::MAX),
-        );
+        // Saturating exponential backoff: `checked_shl` only rejects
+        // shifts >= 64, so a shift that pushes set bits past the top of
+        // the word would silently truncate. Saturate as soon as the
+        // shift cannot be represented exactly.
+        let ticks = self.policy.backoff_base.ticks();
+        let backoff = Duration(match ticks.checked_shl(self.restarts) {
+            Some(v) if self.restarts <= ticks.leading_zeros() => v,
+            _ => u64::MAX,
+        });
         let started = std::time::Instant::now();
         let recovered = recover(journal).map_err(|e| {
             if let Some(m) = &self.metrics {
@@ -432,6 +445,63 @@ mod tests {
         );
         // Exponential backoff: 3, then 6.
         assert_eq!(sup.backoff_log(), &[Duration(3), Duration(6)]);
+    }
+
+    /// Backoff saturates at the integer-width boundary instead of
+    /// silently truncating: `checked_shl` only rejects shifts >= 64, so
+    /// without the leading-zeros guard `3 << 63` would quietly drop the
+    /// high bits and *decrease* the recorded backoff.
+    #[test]
+    fn backoff_saturates_at_integer_width() {
+        let journal = JournalWriter::new().into_bytes();
+        let mut sup = Supervisor::new(RestartPolicy::new(200, Duration(3)));
+        for _ in 0..66 {
+            sup.restart(&journal, config(), FirstByteCodec)
+                .expect("within budget");
+        }
+        let log = sup.backoff_log();
+        // 3 = 0b11 has 62 leading zeros: shift 62 is the last exact one.
+        assert_eq!(log[61], Duration(3u64 << 61));
+        assert_eq!(log[62], Duration(3u64 << 62));
+        // Shift 63 would lose the top bit of 0b11 — saturate.
+        assert_eq!(log[63], Duration(u64::MAX));
+        assert_eq!(log[64], Duration(u64::MAX));
+        assert_eq!(log[65], Duration(u64::MAX));
+        // Monotone: backoff never decreases across restarts.
+        assert!(log.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// A committed `M_ModeSwitch` is replayed into the recovered state;
+    /// the last one wins, and a journal without any defaults to LO.
+    #[test]
+    fn mode_is_recovered_from_committed_switches() {
+        let empty = RecoveredState::from_events(&[]);
+        assert_eq!(empty.mode, Mode::Lo);
+
+        let events: Vec<TimedEvent> = [
+            Marker::ModeSwitch {
+                from: Mode::Lo,
+                to: Mode::Hi,
+            },
+            Marker::ModeSwitch {
+                from: Mode::Hi,
+                to: Mode::Lo,
+            },
+            Marker::ModeSwitch {
+                from: Mode::Lo,
+                to: Mode::Hi,
+            },
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, marker)| TimedEvent {
+            marker,
+            at: Instant(i as u64),
+        })
+        .collect();
+        let state = RecoveredState::from_events(&events);
+        assert_eq!(state.mode, Mode::Hi);
+        assert_eq!(RecoveredState::from_events(&events[..2]).mode, Mode::Lo);
     }
 
     #[test]

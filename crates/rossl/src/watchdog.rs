@@ -55,6 +55,26 @@ pub enum DegradedEvent {
         /// Its priority (always minimal among the jobs pending when shed).
         priority: Priority,
     },
+    /// A LO-criticality job was suspended because the scheduler is in (or
+    /// entered) HI mode. Suspended jobs stay buffered — counted by
+    /// [`Scheduler::pending_count`](crate::Scheduler::pending_count) —
+    /// and are resumed when the scheduler returns to LO mode.
+    JobSuspended {
+        /// The suspended job.
+        job: JobId,
+        /// Its (LO-criticality) task.
+        task: TaskId,
+    },
+    /// A suspended job was re-pended because the scheduler returned to LO
+    /// mode. Every [`DegradedEvent::JobSuspended`] is eventually matched
+    /// by a resume, a crash-recovery re-pend, or nothing at all only if
+    /// the run ends first — never by a silent drop.
+    JobResumed {
+        /// The resumed job.
+        job: JobId,
+        /// Its task.
+        task: TaskId,
+    },
     /// The pending queue drained while degraded; the scheduler returned to
     /// nominal mode.
     Recovered,
@@ -82,6 +102,12 @@ impl fmt::Display for DegradedEvent {
                 "shed pending job {} (task {}, priority {})",
                 job.0, task.0, priority.0
             ),
+            DegradedEvent::JobSuspended { job, task } => {
+                write!(f, "suspended LO job {} (task {}) for HI mode", job.0, task.0)
+            }
+            DegradedEvent::JobResumed { job, task } => {
+                write!(f, "resumed job {} (task {}) on return to LO mode", job.0, task.0)
+            }
             DegradedEvent::Recovered => write!(f, "recovered to nominal mode"),
         }
     }

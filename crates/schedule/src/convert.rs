@@ -162,6 +162,11 @@ pub fn convert(trace: &TimedTrace, n_sockets: usize) -> Result<Schedule, Convers
                 ProcessorState::CompletionOvh(JobRef::from(j)),
             ),
             BasicAction::Idling => push(&mut segments, start, end, ProcessorState::Idle),
+            // Mode-switch bookkeeping is not supply for any job: it maps
+            // to Idle, exactly like a bounded idle iteration.
+            BasicAction::ModeSwitch { .. } => {
+                push(&mut segments, start, end, ProcessorState::Idle)
+            }
         }
     }
 

@@ -456,6 +456,13 @@ impl<C: MessageCodec + Clone, M: CostModel> Simulator<C, M> {
                     let d = self.bound(pick, self.wcet.idling);
                     now = now.saturating_add(d);
                 }
+                // A mode switch is a bounded bookkeeping segment with the
+                // idle iteration's budget (see `wcet_check::bound_of`).
+                Marker::ModeSwitch { .. } => {
+                    let pick = self.cost.pick(Segment::Idling, self.wcet.idling);
+                    let d = self.bound(pick, self.wcet.idling);
+                    now = now.saturating_add(d);
+                }
             }
         }
 

@@ -22,7 +22,7 @@
 use std::fmt::Write as _;
 use std::num::ParseIntError;
 
-use rossl_model::{Instant, Job, JobId, Message, MsgData, SocketId, TaskId};
+use rossl_model::{Instant, Job, JobId, Message, Mode, MsgData, SocketId, TaskId};
 use rossl_sockets::{ArrivalEvent, ArrivalSequence};
 use rossl_trace::Marker;
 
@@ -144,6 +144,9 @@ pub fn write_timed_trace(trace: &TimedTrace) -> String {
                 writeln!(out, "{} Completion {}", t.ticks(), job_fields(j))
             }
             Marker::Idling => writeln!(out, "{} Idling", t.ticks()),
+            Marker::ModeSwitch { from, to } => {
+                writeln!(out, "{} ModeSwitch {} {}", t.ticks(), from.name(), to.name())
+            }
         };
     }
     out
@@ -238,6 +241,19 @@ pub fn parse_timed_trace(text: &str) -> Result<TimedTrace, ParseError> {
             "Execution" => Marker::Execution(f.job()?),
             "Completion" => Marker::Completion(f.job()?),
             "Idling" => Marker::Idling,
+            "ModeSwitch" => {
+                let mut mode = |what: &str| -> Result<Mode, ParseError> {
+                    let raw = f.next_str(what)?;
+                    Mode::from_name(raw).ok_or_else(|| ParseError {
+                        line,
+                        message: format!("unknown mode `{raw}`"),
+                    })
+                };
+                Marker::ModeSwitch {
+                    from: mode("source mode")?,
+                    to: mode("target mode")?,
+                }
+            }
             other => {
                 return Err(ParseError {
                     line,

@@ -86,7 +86,9 @@ fn bound_of(
             .ok_or(WcetViolation::UnknownTask { task: j.task() })?
             .wcet(),
         BasicAction::Completion(_) => wcet.completion,
-        BasicAction::Idling => wcet.idling,
+        // A mode switch is a bounded bookkeeping step like one idle
+        // iteration: re-tagging the queue, no callback work.
+        BasicAction::Idling | BasicAction::ModeSwitch { .. } => wcet.idling,
     })
 }
 

@@ -10,7 +10,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use rossl_model::{Job, SocketId};
+use rossl_model::{Job, Mode, SocketId};
 
 /// A basic action (Fig. 4):
 ///
@@ -38,6 +38,14 @@ pub enum BasicAction {
     Completion(Job),
     /// `Idling`: one bounded idle iteration.
     Idling,
+    /// `ModeSwitch from to`: one bounded criticality-mode transition,
+    /// taken instead of a dispatch/idle at a decision point.
+    ModeSwitch {
+        /// The mode being left.
+        from: Mode,
+        /// The mode being entered.
+        to: Mode,
+    },
 }
 
 /// The discriminant of a [`BasicAction`].
@@ -59,6 +67,8 @@ pub enum ActionKind {
     Completion,
     /// Idling.
     Idling,
+    /// Criticality-mode switch.
+    ModeSwitch,
 }
 
 impl BasicAction {
@@ -73,6 +83,7 @@ impl BasicAction {
             BasicAction::Execution(_) => ActionKind::Execution,
             BasicAction::Completion(_) => ActionKind::Completion,
             BasicAction::Idling => ActionKind::Idling,
+            BasicAction::ModeSwitch { .. } => ActionKind::ModeSwitch,
         }
     }
 
@@ -83,7 +94,7 @@ impl BasicAction {
             BasicAction::Dispatch(j) | BasicAction::Execution(j) | BasicAction::Completion(j) => {
                 Some(j)
             }
-            BasicAction::Idling => None,
+            BasicAction::Idling | BasicAction::ModeSwitch { .. } => None,
         }
     }
 }
@@ -99,6 +110,7 @@ impl fmt::Display for BasicAction {
             BasicAction::Execution(j) => write!(f, "Exec {j}"),
             BasicAction::Completion(j) => write!(f, "Compl {j}"),
             BasicAction::Idling => write!(f, "Idling"),
+            BasicAction::ModeSwitch { from, to } => write!(f, "ModeSwitch {from} {to}"),
         }
     }
 }

@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
-use rossl_model::{Job, JobId, TaskId, TaskSet};
+use rossl_model::{Job, JobId, Mode, TaskId, TaskSet};
 
 use crate::marker::Marker;
 
@@ -62,6 +62,24 @@ pub enum FunctionalError {
         /// The unknown task.
         task: TaskId,
     },
+    /// A LO-criticality job was dispatched while the system was in HI
+    /// mode — suspended work must stay suspended until the mode returns.
+    DispatchOfSuspended {
+        /// Index of the offending `M_Dispatch`.
+        index: usize,
+        /// The dispatched job's id.
+        job: JobId,
+    },
+    /// An `M_ModeSwitch` marker's `from` mode disagrees with the mode the
+    /// trace prefix established.
+    InconsistentModeSwitch {
+        /// Index of the offending `M_ModeSwitch`.
+        index: usize,
+        /// The mode the trace was actually in.
+        expected: Mode,
+        /// The `from` mode the marker claims.
+        found: Mode,
+    },
 }
 
 impl fmt::Display for FunctionalError {
@@ -87,6 +105,17 @@ impl fmt::Display for FunctionalError {
             FunctionalError::UnknownTask { index, task } => {
                 write!(f, "index {index}: marker references unknown task {task}")
             }
+            FunctionalError::DispatchOfSuspended { index, job } => {
+                write!(f, "index {index}: dispatched suspended LO job {job} in HI mode")
+            }
+            FunctionalError::InconsistentModeSwitch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "index {index}: mode switch claims to leave {found} but the trace is in {expected}"
+            ),
         }
     }
 }
@@ -126,11 +155,26 @@ impl std::error::Error for FunctionalError {}
 pub fn check_functional(trace: &[Marker], tasks: &TaskSet) -> Result<(), FunctionalError> {
     let mut pending: BTreeMap<JobId, Job> = BTreeMap::new();
     let mut seen_ids: HashSet<JobId> = HashSet::new();
+    let mut mode = Mode::default();
 
     let priority_of = |index: usize, job: &Job| {
         tasks
             .task(job.task())
             .map(|t| t.priority())
+            .ok_or(FunctionalError::UnknownTask {
+                index,
+                task: job.task(),
+            })
+    };
+    // A pending job is *eligible* when the current mode serves its task's
+    // criticality; in HI mode LO-criticality jobs are suspended, so the
+    // dispatch-priority and idle obligations quantify over eligible jobs
+    // only. For all-HI task sets (the pre-mixed-criticality default)
+    // every pending job is eligible and this is exactly Def. 3.2.
+    let eligible_in = |index: usize, mode: Mode, job: &Job| {
+        tasks
+            .task(job.task())
+            .map(|t| mode.serves(t.criticality()))
             .ok_or(FunctionalError::UnknownTask {
                 index,
                 task: job.task(),
@@ -156,9 +200,15 @@ pub fn check_functional(trace: &[Marker], tasks: &TaskSet) -> Result<(), Functio
                         job: j.id(),
                     });
                 }
+                if !eligible_in(index, mode, j)? {
+                    return Err(FunctionalError::DispatchOfSuspended {
+                        index,
+                        job: j.id(),
+                    });
+                }
                 let p = priority_of(index, j)?;
                 for other in pending.values() {
-                    if priority_of(index, other)? > p {
+                    if eligible_in(index, mode, other)? && priority_of(index, other)? > p {
                         return Err(FunctionalError::DispatchNotHighestPriority {
                             index,
                             dispatched: j.id(),
@@ -168,13 +218,30 @@ pub fn check_functional(trace: &[Marker], tasks: &TaskSet) -> Result<(), Functio
                 }
                 pending.remove(&j.id());
             }
-            Marker::Idling
-                if !pending.is_empty() => {
+            Marker::Idling => {
+                let mut eligible = 0usize;
+                for job in pending.values() {
+                    if eligible_in(index, mode, job)? {
+                        eligible += 1;
+                    }
+                }
+                if eligible > 0 {
                     return Err(FunctionalError::IdleWithPendingJobs {
                         index,
-                        pending: pending.len(),
+                        pending: eligible,
                     });
                 }
+            }
+            Marker::ModeSwitch { from, to } => {
+                if *from != mode {
+                    return Err(FunctionalError::InconsistentModeSwitch {
+                        index,
+                        expected: mode,
+                        found: *from,
+                    });
+                }
+                mode = *to;
+            }
             _ => {}
         }
     }
@@ -348,5 +415,104 @@ mod tests {
     #[test]
     fn empty_trace_is_valid() {
         assert!(check_functional(&[], &tasks()).is_ok());
+    }
+
+    /// One LO task (priority 9) and one HI task (priority 1): in HI mode
+    /// the LO job is suspended, so idling past it and dispatching the
+    /// lower-priority HI job are both legal, while dispatching the
+    /// suspended LO job is not.
+    fn mc_tasks() -> TaskSet {
+        use rossl_model::Criticality;
+        TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "hi-crit",
+                Priority(1),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+            Task::new(
+                TaskId(1),
+                "lo-crit",
+                Priority(9),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            )
+            .with_criticality(Criticality::Lo),
+        ])
+        .unwrap()
+    }
+
+    fn switch(from: Mode, to: Mode) -> Marker {
+        Marker::ModeSwitch { from, to }
+    }
+
+    #[test]
+    fn hi_mode_suspends_lo_jobs_from_dispatch_obligations() {
+        // LO job (high priority) + HI job pending; in HI mode dispatching
+        // the HI job is fine even though the LO job outranks it.
+        let tr = vec![
+            read(job(0, 0)),
+            read(job(1, 1)),
+            switch(Mode::Lo, Mode::Hi),
+            Marker::Dispatch(job(0, 0)),
+        ];
+        assert!(check_functional(&tr, &mc_tasks()).is_ok());
+        // The same dispatch in LO mode is a priority violation.
+        let tr = vec![
+            read(job(0, 0)),
+            read(job(1, 1)),
+            Marker::Dispatch(job(0, 0)),
+        ];
+        assert!(matches!(
+            check_functional(&tr, &mc_tasks()).unwrap_err(),
+            FunctionalError::DispatchNotHighestPriority { .. }
+        ));
+    }
+
+    #[test]
+    fn suspended_job_cannot_be_dispatched() {
+        let tr = vec![
+            read(job(0, 1)),
+            switch(Mode::Lo, Mode::Hi),
+            Marker::Dispatch(job(0, 1)),
+        ];
+        assert_eq!(
+            check_functional(&tr, &mc_tasks()).unwrap_err(),
+            FunctionalError::DispatchOfSuspended {
+                index: 2,
+                job: JobId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn idling_past_suspended_jobs_is_legal() {
+        let tr = vec![read(job(0, 1)), switch(Mode::Lo, Mode::Hi), Marker::Idling];
+        assert!(check_functional(&tr, &mc_tasks()).is_ok());
+        // Back in LO mode the job is eligible again: idling is rejected.
+        let tr = vec![
+            read(job(0, 1)),
+            switch(Mode::Lo, Mode::Hi),
+            switch(Mode::Hi, Mode::Lo),
+            Marker::Idling,
+        ];
+        assert!(matches!(
+            check_functional(&tr, &mc_tasks()).unwrap_err(),
+            FunctionalError::IdleWithPendingJobs { index: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn mode_switch_must_leave_the_current_mode() {
+        let tr = vec![switch(Mode::Hi, Mode::Lo)];
+        assert_eq!(
+            check_functional(&tr, &mc_tasks()).unwrap_err(),
+            FunctionalError::InconsistentModeSwitch {
+                index: 0,
+                expected: Mode::Lo,
+                found: Mode::Hi,
+            }
+        );
     }
 }

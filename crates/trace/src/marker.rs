@@ -10,7 +10,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use rossl_model::{Job, SocketId};
+use rossl_model::{Job, Mode, SocketId};
 
 /// One marker-function invocation (Fig. 4):
 ///
@@ -44,6 +44,16 @@ pub enum Marker {
     /// `M_Idling`: there was no pending job; the scheduler performs one
     /// bounded idle iteration (`idling_start()`).
     Idling,
+    /// `M_ModeSwitch from to`: the scheduler changed its criticality mode
+    /// as the outcome of a decision phase (`mode_switch(from, to)`).
+    /// Like `M_Idling` it returns the protocol to the start of the
+    /// polling phase; unlike every other marker it carries no job.
+    ModeSwitch {
+        /// The mode being left.
+        from: Mode,
+        /// The mode being entered.
+        to: Mode,
+    },
 }
 
 /// The discriminant of a [`Marker`], for reporting and statistics.
@@ -65,6 +75,8 @@ pub enum MarkerKind {
     Completion,
     /// `M_Idling`.
     Idling,
+    /// `M_ModeSwitch`.
+    ModeSwitch,
 }
 
 impl Marker {
@@ -79,6 +91,7 @@ impl Marker {
             Marker::Execution(_) => MarkerKind::Execution,
             Marker::Completion(_) => MarkerKind::Completion,
             Marker::Idling => MarkerKind::Idling,
+            Marker::ModeSwitch { .. } => MarkerKind::ModeSwitch,
         }
     }
 
@@ -110,6 +123,7 @@ impl fmt::Display for Marker {
             Marker::Execution(j) => write!(f, "M_Execution {j}"),
             Marker::Completion(j) => write!(f, "M_Completion {j}"),
             Marker::Idling => write!(f, "M_Idling"),
+            Marker::ModeSwitch { from, to } => write!(f, "M_ModeSwitch {from} {to}"),
         }
     }
 }
@@ -125,6 +139,7 @@ impl fmt::Display for MarkerKind {
             MarkerKind::Execution => "M_Execution",
             MarkerKind::Completion => "M_Completion",
             MarkerKind::Idling => "M_Idling",
+            MarkerKind::ModeSwitch => "M_ModeSwitch",
         };
         f.write_str(s)
     }
@@ -164,6 +179,18 @@ mod tests {
             job: None
         }
         .starts_action());
+    }
+
+    #[test]
+    fn mode_switch_is_a_jobless_action_start() {
+        let m = Marker::ModeSwitch {
+            from: Mode::Lo,
+            to: Mode::Hi,
+        };
+        assert_eq!(m.kind(), MarkerKind::ModeSwitch);
+        assert!(m.starts_action());
+        assert_eq!(m.job(), None);
+        assert_eq!(m.to_string(), "M_ModeSwitch lo hi");
     }
 
     #[test]

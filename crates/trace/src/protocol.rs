@@ -318,6 +318,9 @@ impl ProtocolAutomaton {
             (S::AwaitSelection, Marker::Selection) => Ok(S::Selected),
             (S::Selected, Marker::Dispatch(j)) => Ok(S::Dispatched(j.id())),
             (S::Selected, Marker::Idling) => Ok(ProtocolState::INITIAL),
+            // A mode switch is a decision outcome like Idling: it closes
+            // the selection phase and restarts the polling loop.
+            (S::Selected, Marker::ModeSwitch { .. }) => Ok(ProtocolState::INITIAL),
             (S::Dispatched(expected), Marker::Execution(j)) => {
                 if j.id() == expected {
                     Ok(S::Executing(expected))
@@ -386,8 +389,12 @@ impl ProtocolAutomaton {
                         Partial::ReadResolved(sock, job) => BasicAction::Read { sock, job },
                         Partial::SelectionPending => match marker {
                             Marker::Dispatch(j) => BasicAction::Selection(Some(j.clone())),
-                            Marker::Idling => BasicAction::Selection(None),
-                            // Unreachable: `step` only permits these two
+                            // A mode switch preempts the dispatch decision:
+                            // the selection itself selected nothing.
+                            Marker::Idling | Marker::ModeSwitch { .. } => {
+                                BasicAction::Selection(None)
+                            }
+                            // Unreachable: `step` only permits these three
                             // markers out of `Selected`.
                             _ => unreachable!("protocol admitted {marker} after M_Selection"),
                         },
@@ -413,6 +420,12 @@ impl ProtocolAutomaton {
                     Marker::Execution(j) => Partial::Fixed(BasicAction::Execution(j.clone())),
                     Marker::Completion(j) => Partial::Fixed(BasicAction::Completion(j.clone())),
                     Marker::Idling => Partial::Fixed(BasicAction::Idling),
+                    Marker::ModeSwitch { from, to } => {
+                        Partial::Fixed(BasicAction::ModeSwitch {
+                            from: *from,
+                            to: *to,
+                        })
+                    }
                     Marker::ReadEnd { .. } => unreachable!("ReadEnd does not start an action"),
                 };
                 open = Some((partial, index));
@@ -470,7 +483,7 @@ fn expected_markers(state: ProtocolState) -> &'static str {
         ProtocolState::PollReady { .. } => "M_ReadS",
         ProtocolState::PollReading { .. } => "M_ReadE",
         ProtocolState::AwaitSelection => "M_Selection",
-        ProtocolState::Selected => "M_Dispatch or M_Idling",
+        ProtocolState::Selected => "M_Dispatch, M_Idling or M_ModeSwitch",
         ProtocolState::Dispatched(_) => "M_Execution",
         ProtocolState::Executing(_) => "M_Completion",
     }
@@ -675,6 +688,43 @@ mod tests {
                 ActionKind::Idling,
             ]
         );
+    }
+
+    #[test]
+    fn mode_switch_closes_the_decision_and_restarts_polling() {
+        use rossl_model::Mode;
+        let sts = ProtocolAutomaton::new(1);
+        let mut t = Vec::new();
+        t.extend(read_fail(0));
+        t.push(Marker::Selection);
+        t.push(Marker::ModeSwitch {
+            from: Mode::Lo,
+            to: Mode::Hi,
+        });
+        t.extend(read_fail(0));
+        let run = sts.accept(&t).unwrap();
+        assert_eq!(run.final_state(), ProtocolState::AwaitSelection);
+        let kinds: Vec<_> = run.actions().iter().map(|s| s.action.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ActionKind::ReadFailure,
+                ActionKind::SelectionFailure,
+                ActionKind::ModeSwitch,
+                ActionKind::ReadFailure,
+            ]
+        );
+    }
+
+    #[test]
+    fn mode_switch_outside_decision_is_rejected() {
+        use rossl_model::Mode;
+        let sts = ProtocolAutomaton::new(1);
+        let t = vec![Marker::ModeSwitch {
+            from: Mode::Lo,
+            to: Mode::Hi,
+        }];
+        assert!(sts.accept(&t).is_err());
     }
 
     #[test]

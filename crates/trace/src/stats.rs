@@ -41,6 +41,8 @@ pub struct TraceStats {
     pub idle_iterations: usize,
     /// Selection-phase entries.
     pub selections: usize,
+    /// Criticality-mode switches.
+    pub mode_switches: usize,
     /// Jobs completed, per task.
     pub completed_per_task: BTreeMap<TaskId, usize>,
     /// Jobs read, per task.
@@ -72,6 +74,7 @@ impl TraceStats {
                 }
                 MarkerKind::Idling => s.idle_iterations += 1,
                 MarkerKind::Selection => s.selections += 1,
+                MarkerKind::ModeSwitch => s.mode_switches += 1,
                 MarkerKind::ReadStart | MarkerKind::Execution => {}
             }
         }

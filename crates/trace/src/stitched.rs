@@ -14,7 +14,10 @@
 //! * **Functional, globally** — the pending set, job-id uniqueness and
 //!   priority obligations carry *across* seams: a job accepted before a
 //!   crash is still pending after it, and must still be dispatched in
-//!   priority order.
+//!   priority order. The criticality mode carries across seams too — a
+//!   recovery resumes in the last *committed* mode switch's target, so
+//!   the dispatch and idle obligations quantify over the jobs that mode
+//!   serves, exactly as in the single-trace functional check.
 //! * **Seam well-formedness** — the crash seam itself must neither
 //!   duplicate nor lose work:
 //!   * a job already **completed** before the crash must not be
@@ -41,7 +44,7 @@
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
-use rossl_model::{Job, JobId, SocketId, TaskSet};
+use rossl_model::{Job, JobId, Mode, SocketId, TaskSet};
 
 use crate::functional::FunctionalError;
 use crate::marker::Marker;
@@ -250,6 +253,10 @@ pub fn check_stitched(
     let mut redispatched: Vec<JobId> = Vec::new();
     let mut voided: HashSet<JobId> = HashSet::new();
     let mut reads_per_sock: Vec<usize> = vec![0; n_sockets];
+    // The mode is *not* reset at a seam: a recovery resumes in the target
+    // of the last committed `M_ModeSwitch`, which is exactly what carrying
+    // the running mode across segments computes.
+    let mut mode = Mode::default();
 
     let priority_of = |segment: usize, index: usize, job: &Job| {
         tasks.task(job.task()).map(|t| t.priority()).ok_or_else(|| {
@@ -261,6 +268,21 @@ pub fn check_stitched(
                 },
             }
         })
+    };
+    // As in the single-trace functional check: the dispatch and idle
+    // obligations quantify only over the pending jobs the current mode
+    // serves (in HI mode, LO-criticality jobs are suspended).
+    let eligible_in = |segment: usize, index: usize, mode: Mode, job: &Job| {
+        tasks
+            .task(job.task())
+            .map(|t| mode.serves(t.criticality()))
+            .ok_or_else(|| StitchedError::Functional {
+                segment,
+                error: FunctionalError::UnknownTask {
+                    index,
+                    task: job.task(),
+                },
+            })
     };
 
     for (segment, trace) in stitched.segments().iter().enumerate() {
@@ -308,9 +330,20 @@ pub fn check_stitched(
                             },
                         });
                     }
+                    if !eligible_in(segment, index, mode, j)? {
+                        return Err(StitchedError::Functional {
+                            segment,
+                            error: FunctionalError::DispatchOfSuspended {
+                                index,
+                                job: j.id(),
+                            },
+                        });
+                    }
                     let p = priority_of(segment, index, j)?;
                     for other in pending.values() {
-                        if priority_of(segment, index, other)? > p {
+                        if eligible_in(segment, index, mode, other)?
+                            && priority_of(segment, index, other)? > p
+                        {
                             return Err(StitchedError::Functional {
                                 segment,
                                 error: FunctionalError::DispatchNotHighestPriority {
@@ -337,14 +370,35 @@ pub fn check_stitched(
                     }
                     in_flight = None;
                 }
-                Marker::Idling if !pending.is_empty() => {
-                    return Err(StitchedError::Functional {
-                        segment,
-                        error: FunctionalError::IdleWithPendingJobs {
-                            index,
-                            pending: pending.len(),
-                        },
-                    });
+                Marker::Idling => {
+                    let mut eligible = 0usize;
+                    for job in pending.values() {
+                        if eligible_in(segment, index, mode, job)? {
+                            eligible += 1;
+                        }
+                    }
+                    if eligible > 0 {
+                        return Err(StitchedError::Functional {
+                            segment,
+                            error: FunctionalError::IdleWithPendingJobs {
+                                index,
+                                pending: eligible,
+                            },
+                        });
+                    }
+                }
+                Marker::ModeSwitch { from, to } => {
+                    if *from != mode {
+                        return Err(StitchedError::Functional {
+                            segment,
+                            error: FunctionalError::InconsistentModeSwitch {
+                                index,
+                                expected: mode,
+                                found: *from,
+                            },
+                        });
+                    }
+                    mode = *to;
                 }
                 _ => {}
             }
@@ -664,6 +718,117 @@ mod tests {
         assert_eq!(st.seam_count(), 0);
         let report = check_stitched(&st, &tasks(), 1, Some(&[1])).unwrap();
         assert_eq!(report.jobs_completed, 1);
+    }
+
+    /// In HI mode a suspended LO job does not block idling, and the mode
+    /// carries across the crash seam: the restart (resumed in HI) may
+    /// keep idling over it, and must serve it only after switching back.
+    #[test]
+    fn mode_carries_across_seam_and_suspends_lo_jobs() {
+        use rossl_model::Criticality;
+        let tasks = TaskSet::new(vec![
+            Task::new(
+                TaskId(0),
+                "lo",
+                Priority(9),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            )
+            .with_criticality(Criticality::Lo),
+            Task::new(
+                TaskId(1),
+                "hi",
+                Priority(1),
+                Duration(5),
+                Curve::sporadic(Duration(10)),
+            ),
+        ])
+        .unwrap();
+        // A mode switch closes the decision and restarts the polling
+        // loop, so each one is followed by a fresh poll + selection.
+        let mut seg0 = Vec::new();
+        seg0.extend(read_ok(0, job(0, 0))); // LO job pends
+        seg0.extend(read_fail(0));
+        seg0.push(Marker::Selection);
+        seg0.push(Marker::ModeSwitch {
+            from: Mode::Lo,
+            to: Mode::Hi,
+        });
+        seg0.extend(read_fail(0));
+        seg0.push(Marker::Selection);
+        seg0.push(Marker::Idling); // LO job suspended: idling is fine
+        let mut seg1 = Vec::new();
+        seg1.extend(read_fail(0));
+        seg1.push(Marker::Selection);
+        seg1.push(Marker::Idling); // still HI after the seam
+        seg1.extend(read_fail(0));
+        seg1.push(Marker::Selection);
+        seg1.push(Marker::ModeSwitch {
+            from: Mode::Hi,
+            to: Mode::Lo,
+        });
+        seg1.extend(read_fail(0));
+        seg1.push(Marker::Selection);
+        seg1.push(Marker::Dispatch(job(0, 0)));
+        seg1.push(Marker::Execution(job(0, 0)));
+        seg1.push(Marker::Completion(job(0, 0)));
+        let st = StitchedTrace::new(vec![seg0, seg1]);
+        let report = check_stitched(&st, &tasks, 1, Some(&[1])).unwrap();
+        assert_eq!(report.jobs_completed, 1);
+
+        // Dispatching the suspended job while still in HI mode is the
+        // dedicated violation, not a priority error.
+        let mut bad = Vec::new();
+        bad.extend(read_ok(0, job(0, 0)));
+        bad.extend(read_fail(0));
+        bad.push(Marker::Selection);
+        bad.push(Marker::ModeSwitch {
+            from: Mode::Lo,
+            to: Mode::Hi,
+        });
+        bad.extend(read_fail(0));
+        bad.push(Marker::Selection);
+        bad.push(Marker::Dispatch(job(0, 0)));
+        let err = check_stitched(&StitchedTrace::single(bad), &tasks, 1, None).unwrap_err();
+        assert!(matches!(
+            err,
+            StitchedError::Functional {
+                segment: 0,
+                error: FunctionalError::DispatchOfSuspended { .. },
+            }
+        ));
+    }
+
+    /// A restart segment whose first mode switch claims to leave a mode
+    /// the committed prefix never entered is inconsistent.
+    #[test]
+    fn mode_switch_across_seam_must_leave_the_carried_mode() {
+        let seg0 = vec![
+            Marker::ReadStart,
+            Marker::ReadEnd {
+                sock: SocketId(0),
+                job: None,
+            },
+            Marker::Selection,
+            Marker::Idling,
+        ];
+        let seg1 = vec![Marker::ModeSwitch {
+            from: Mode::Hi,
+            to: Mode::Lo,
+        }];
+        let st = StitchedTrace::new(vec![seg0, seg1]);
+        let err = check_stitched(&st, &tasks(), 1, None).unwrap_err();
+        assert!(matches!(
+            err,
+            StitchedError::Functional {
+                segment: 1,
+                error: FunctionalError::InconsistentModeSwitch {
+                    expected: Mode::Lo,
+                    found: Mode::Hi,
+                    ..
+                },
+            }
+        ));
     }
 
     #[test]

@@ -119,6 +119,107 @@ fn skipped_commit_is_caught_by_recovery_oracle() {
     assert!(rossl_fuzz::execute(&input, None).clean());
 }
 
+/// The scheduler "forgets" to arm the AMC mode switch when a HI task
+/// overruns its `C_LO` budget — the classic missed-degradation bug.
+/// Caught by the online spec monitor ("overrun recorded, no mode switch
+/// before the next dispatch/idle decision").
+#[test]
+fn skipped_mode_switch_is_caught_by_monitor_oracle() {
+    let text = concat!(
+        "rossl-fuzz-input v2\n",
+        "seed 0\n",
+        "sockets 1\n",
+        "horizon 200\n",
+        "task 5 5 100\n",
+        "crit 0 hi 20\n",
+        "arrival 0 0 0\n",
+        "overrun 0 10\n",
+    );
+    let input = rossl_fuzz::FuzzInput::from_text(text).expect("corpus text parses");
+    let out = rossl_fuzz::execute(&input, Some(rossl::SeededBug::SkippedModeSwitch));
+    assert!(
+        out.findings.iter().any(|f| f.oracle == "monitor"),
+        "expected a 'monitor' finding, got {:?}",
+        out.findings
+    );
+    // The differential half: the honest stack switches modes correctly
+    // on the same input and stays clean.
+    assert!(rossl_fuzz::execute(&input, None).clean());
+}
+
+/// Honest mixed-criticality pin: a HI task that overruns into HI mode
+/// while a LO task has pending work — the LO job must be suspended with
+/// an event, the mode must return to LO by hysteresis, and the job must
+/// resume and complete before quiescence. The full oracle matrix
+/// (monitor, functional, telemetry recount, journal round-trip) must
+/// stay silent.
+#[test]
+fn honest_mode_switch_round_trip_stays_clean() {
+    let text = concat!(
+        "rossl-fuzz-input v2\n",
+        "seed 0\n",
+        "sockets 1\n",
+        "horizon 400\n",
+        "task 8 5 100\n",
+        "task 2 4 100\n",
+        "crit 0 hi 25\n",
+        "crit 1 lo 4\n",
+        "arrival 0 0 0\n",
+        "arrival 0 0 1\n",
+        "overrun 0 15\n",
+    );
+    let input = rossl_fuzz::FuzzInput::from_text(text).expect("corpus text parses");
+    let out = rossl_fuzz::execute(&input, None);
+    assert!(out.clean(), "oracle disagreement on honest input: {:?}", out.findings);
+}
+
+/// Forward compatibility (ISSUE 6, satellite 2): every pre-v2 corpus
+/// entry still parses, carries the single-criticality defaults (all
+/// tasks HI, `C_HI == C_LO`, no overrun plan, no mode policy), and
+/// re-serializes byte-identically — still under the v1 header. The
+/// corpus a year of campaigns accumulated is not invalidated by the
+/// grammar growing criticality clauses.
+#[test]
+fn existing_corpus_replays_unchanged_under_codec_v2() {
+    let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../fuzz/corpus"));
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(dir).expect("fuzz/corpus exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "fuzz") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable corpus entry");
+        if !text.starts_with("rossl-fuzz-input v1") {
+            continue; // future campaigns may add v2 entries
+        }
+        let input = rossl_fuzz::FuzzInput::from_text(&text)
+            .unwrap_or_else(|e| panic!("{} no longer parses: {e}", path.display()));
+        assert!(
+            input.is_plain(),
+            "{}: v1 entry must get single-criticality defaults",
+            path.display()
+        );
+        assert!(
+            input.tasks.iter().all(|t| t.hi && t.wcet_hi == t.wcet),
+            "{}: v1 tasks must default to HI with C_HI == C_LO",
+            path.display()
+        );
+        assert!(input.overruns.is_empty());
+        assert!(input.mode_policy().is_none());
+        assert_eq!(
+            input.to_text(),
+            text,
+            "{}: v1 entry must re-serialize byte-identically",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 250,
+        "expected the checked-in corpus (259 entries), found {checked}"
+    );
+}
+
 /// Honest pin: the smallest crash-path corpus entry — one arrival on a
 /// two-socket system, crash mid-drive. Exercises journal round-trip,
 /// torn-tail recovery, the state-digest differential and seam checking.

@@ -5,13 +5,19 @@
 use proptest::prelude::*;
 
 use refined_prosa::{RosslSystem, RunTelemetry, SystemBuilder};
-use rossl::{DegradedEvent, FirstByteCodec, WatchdogConfig};
+use rossl::{
+    ClientConfig, DegradedEvent, FirstByteCodec, ModePolicy, Request, Response, RestartPolicy,
+    Scheduler, Supervisor, WatchdogConfig,
+};
 use rossl_faults::{FaultClass, FaultPlan};
-use rossl_model::{Curve, Duration, Instant, Priority, TaskId};
+use rossl_journal::{JournalWriter, KIND_EVENT};
+use rossl_model::{
+    Criticality, Curve, Duration, Instant, Mode, Priority, Task, TaskId, TaskSet,
+};
 use rossl_obs::{Registry, SchedSink, SchedulerMetrics};
 use rossl_schedule::{convert, StateKind};
 use rossl_timing::{Simulator, UniformCost, WorstCase};
-use rossl_trace::{pending_jobs, MarkerKind, ProtocolAutomaton};
+use rossl_trace::{pending_jobs, Marker, MarkerKind, ProtocolAutomaton};
 use rossl_verify::SpecMonitor;
 
 use rand::rngs::StdRng;
@@ -335,6 +341,192 @@ proptest! {
             prop_assert_eq!(
                 snap.counter(name).unwrap_or(0), want,
                 "{} diverged from offline recount under {:?}", name, plan
+            );
+        }
+    }
+}
+
+/// Every mode policy the scheduler accepts, with small hysteresis so
+/// runs quiesce quickly.
+fn arb_mode_policy() -> impl Strategy<Value = ModePolicy> {
+    prop_oneof![
+        Just(ModePolicy::StaticFp),
+        (1u32..3).prop_map(|h| ModePolicy::Amc { hysteresis_idles: h }),
+        (1u32..3).prop_map(|h| ModePolicy::Adaptive { hysteresis_idles: h }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No accepted job is ever lost under any mode-switch schedule
+    /// (ISSUE 6, satellite 3): whatever sequence of HI-task overruns the
+    /// environment reports — and so whatever LO→HI switches, LO-job
+    /// suspensions, hysteresis returns and resumes the policy enacts,
+    /// with an optional crash landing before, during or after any of
+    /// them — every job whose `ReadEnd` the scheduler committed is, by
+    /// quiescence, either completed or explicitly shed with a
+    /// [`DegradedEvent`]; at a crash seam it may instead be re-pended
+    /// by recovery. Degraded work is deferred, never abandoned.
+    #[test]
+    fn no_accepted_job_lost_under_mode_switches(
+        policy in arb_mode_policy(),
+        headroom in 1u64..8,
+        msgs in proptest::collection::vec(0u8..3, 0..10),
+        overruns in proptest::collection::vec(proptest::bool::ANY, 0..20),
+        crash_at in proptest::option::of(1usize..60),
+    ) {
+        let tasks = TaskSet::new(vec![
+            Task::new(TaskId(0), "lo-a", Priority(1), Duration(5), Curve::sporadic(Duration(10)))
+                .with_criticality(Criticality::Lo),
+            Task::new(TaskId(1), "hi", Priority(9), Duration(5), Curve::sporadic(Duration(10)))
+                .with_criticality(Criticality::Hi)
+                .with_wcet_hi(Duration(5 + headroom)),
+            Task::new(TaskId(2), "lo-b", Priority(4), Duration(4), Curve::sporadic(Duration(10)))
+                .with_criticality(Criticality::Lo),
+        ])
+        .expect("valid mixed set");
+        let config = std::sync::Arc::new(ClientConfig::new(tasks.clone(), 1).expect("config"));
+        let mut sched = Scheduler::with_shared_config(std::sync::Arc::clone(&config), FirstByteCodec)
+            .with_mode_policy(policy);
+
+        let mut fifo: std::collections::VecDeque<Vec<u8>> =
+            msgs.iter().map(|&b| vec![b]).collect();
+        let mut overruns = overruns.into_iter();
+        let mut accepted = std::collections::BTreeSet::new();
+        let mut completed = std::collections::BTreeSet::new();
+        let mut shed = std::collections::BTreeSet::new();
+        // Write-ahead journal with commit-per-record discipline, exactly
+        // like the fuzzer's raw drive: a crash loses only the torn tail.
+        let mut journal = JournalWriter::new();
+        let mut response: Option<Response> = None;
+        let mut steps = 0u64;
+        let mut crashed = false;
+        let mut quiesced = false;
+        const CAP: u64 = 4_096;
+
+        loop {
+            let step = sched.advance(response.take()).expect("honest drive never sticks");
+            steps += 1;
+            journal.append(&step.marker, Instant(steps));
+            journal.commit();
+            match &step.marker {
+                Marker::ReadEnd { job: Some(j), .. } => { accepted.insert(j.id().0); }
+                Marker::Completion(j) => { completed.insert(j.id().0); }
+                _ => {}
+            }
+            for ev in sched.take_degradation_events() {
+                if let DegradedEvent::JobShed { job, .. } = ev {
+                    shed.insert(job.0);
+                }
+            }
+            // Crash after the marker is committed, before the request is
+            // served — the CrashSweep fork point.
+            if crash_at.is_some_and(|k| steps as usize >= k) {
+                crashed = true;
+                break;
+            }
+            match step.request {
+                Some(Request::Read(_)) => {
+                    response = Some(Response::ReadResult(fifo.pop_front()));
+                }
+                Some(Request::Execute(job)) => {
+                    let t = tasks.task(job.task()).expect("known task");
+                    let over = t.criticality() == Criticality::Hi
+                        && overruns.next().unwrap_or(false);
+                    response = Some(if over {
+                        Response::ExecutedIn(t.wcet_hi())
+                    } else {
+                        Response::Executed
+                    });
+                }
+                None => {}
+            }
+            if matches!(step.marker, Marker::Idling)
+                && fifo.is_empty()
+                && sched.suspended_count() == 0
+                && sched.mode() == Mode::Lo
+            {
+                quiesced = true;
+                break;
+            }
+            prop_assert!(steps < CAP, "run failed to quiesce in {CAP} steps");
+        }
+
+        if crashed {
+            let mut bytes = journal.into_bytes();
+            // The write the crash interrupted: a torn event header.
+            bytes.extend_from_slice(&[KIND_EVENT, 0xFF, 0xFF]);
+            let mut supervisor = Supervisor::new(RestartPolicy::default());
+            let (sched2, state, _corruption) = supervisor
+                .restart_shared(&bytes, std::sync::Arc::clone(&config), FirstByteCodec)
+                .expect("supervised restart succeeds");
+            // Crash-seam accounting: every accepted job is already
+            // completed, was shed, or is re-pended by recovery (the
+            // voided in-flight dispatch included).
+            let pending: std::collections::BTreeSet<u64> =
+                state.pending.iter().map(|j| j.id().0).collect();
+            for id in &accepted {
+                prop_assert!(
+                    completed.contains(id) || shed.contains(id) || pending.contains(id),
+                    "job {id} lost at the crash seam"
+                );
+            }
+            // The policy is configuration; recovery resumes the last
+            // committed mode and the drive continues to quiescence.
+            sched = sched2.with_mode_policy(policy).resume_in_mode(state.mode);
+            response = None;
+            loop {
+                let step = sched.advance(response.take()).expect("post-crash drive never sticks");
+                steps += 1;
+                match &step.marker {
+                    Marker::ReadEnd { job: Some(j), .. } => { accepted.insert(j.id().0); }
+                    Marker::Completion(j) => { completed.insert(j.id().0); }
+                    _ => {}
+                }
+                for ev in sched.take_degradation_events() {
+                    if let DegradedEvent::JobShed { job, .. } = ev {
+                        shed.insert(job.0);
+                    }
+                }
+                match step.request {
+                    Some(Request::Read(_)) => {
+                        response = Some(Response::ReadResult(fifo.pop_front()));
+                    }
+                    Some(Request::Execute(job)) => {
+                        let t = tasks.task(job.task()).expect("known task");
+                        let over = t.criticality() == Criticality::Hi
+                            && overruns.next().unwrap_or(false);
+                        response = Some(if over {
+                            Response::ExecutedIn(t.wcet_hi())
+                        } else {
+                            Response::Executed
+                        });
+                    }
+                    None => {}
+                }
+                if matches!(step.marker, Marker::Idling)
+                    && fifo.is_empty()
+                    && sched.suspended_count() == 0
+                    && sched.mode() == Mode::Lo
+                {
+                    quiesced = true;
+                    break;
+                }
+                prop_assert!(steps < 2 * CAP, "recovered run failed to quiesce");
+            }
+        }
+
+        // End-state accounting: quiescence means LO mode, nothing
+        // suspended, nothing pending — so every accepted job must have
+        // been completed or explicitly degraded. A re-executed job
+        // (crash voided its uncommitted completion) counts once.
+        prop_assert!(quiesced, "drive ended without quiescing");
+        prop_assert_eq!(sched.pending_count(), 0, "quiesced with jobs still queued");
+        for id in &accepted {
+            prop_assert!(
+                completed.contains(id) || shed.contains(id),
+                "accepted job {id} neither completed nor explicitly degraded"
             );
         }
     }
