@@ -34,6 +34,7 @@ const INDEX: &[(&str, &str, &str)] = &[
     ("E19", "obs", "runtime telemetry: bound margins, alert fidelity, hot-path overhead"),
     ("E20", "fuzz", "differential fuzzing: clean-run soundness, oracle teeth, shrink quality"),
     ("E21", "amc", "mixed criticality: two-sided degradation property + AMC acceptance sweep"),
+    ("E22", "fleet", "fleet chaos campaign: failover migration, latency, throughput, teeth"),
 ];
 
 fn main() {
@@ -151,6 +152,11 @@ fn main() {
         "amc",
         "mixed criticality: two-sided degradation property + AMC acceptance sweep (E21)",
         &|| exps::exp_amc(smoke),
+    );
+    run(
+        "fleet",
+        "fleet chaos campaign: failover migration, latency, throughput, teeth (E22)",
+        &|| exps::exp_fleet(smoke),
     );
     run("loc","code inventory vs the paper's proof-effort table (§5)", &exps::exp_loc);
 }

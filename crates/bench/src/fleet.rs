@@ -1,0 +1,337 @@
+//! E22: the fault-tolerant fleet chaos campaign — shard failover via
+//! journal-replay migration under seeded kill/pause/partition schedules
+//! (see DESIGN.md §10 and EXPERIMENTS.md row E22).
+//!
+//! Three claims, demonstrated across a seeded schedule sweep (fixed base
+//! seed, so the artifact is byte-reproducible):
+//!
+//! 1. **No accepted job is lost**: every payload the router delivered to
+//!    a shard (accepted) is eventually completed somewhere — on the
+//!    original shard, or on the successor after journal-replay
+//!    migration. Requests the router *sheds* or *fails* are refused,
+//!    never silently dropped.
+//! 2. **Prosa bounds stay honest**: every surviving in-model shard keeps
+//!    its per-shard response-time bound; faults on one shard never
+//!    corrupt another shard's timing claim.
+//! 3. **Every failover is justified**: the supervisor fences a shard
+//!    only when an injected fault explains it — kills burn the restart
+//!    budget, pauses go stale past the confirmation window, and
+//!    partitions are router-visible only and never cause a failover.
+//!
+//! A teeth subsection seeds [`rossl::SeededBug::DroppedFailover`] (the
+//! supervisor "forgets" to migrate the dead shard's journal) and asserts
+//! the fuzzer's fleet oracles catch it within budget.
+//!
+//! Results are written to `BENCH_fleet.json` (the `BENCH_*.json`
+//! perf-trajectory convention), including the failover-latency
+//! histograms and the throughput trajectory before/during/after
+//! failover that CI archives.
+
+use std::fmt::Write as _;
+use std::time::Instant as Wall;
+
+use refined_prosa::SystemBuilder;
+use rossl::SeededBug;
+use rossl_faults::{FaultClass, FaultPlan, FaultSpec};
+use rossl_fleet::{splitmix64, Fleet, FleetConfig, HashRing, Workload};
+use rossl_fuzz::{run_campaign, FuzzConfig};
+use rossl_model::{Curve, Duration, Priority};
+
+/// Histogram bucket lower edges (ticks); the last bucket is open-ended.
+const LATENCY_EDGES: [u64; 5] = [0, 5, 10, 20, 40];
+
+/// The homogeneous fleet system every schedule runs: three tasks, any
+/// shard can absorb any other shard's jobs at failover.
+fn fleet_system() -> refined_prosa::RosslSystem {
+    let mut builder = SystemBuilder::new();
+    for (i, name) in ["telemetry", "control", "safety"].iter().enumerate() {
+        builder = builder.task(
+            *name,
+            Priority(10 + i as u32),
+            Duration(2),
+            Curve::sporadic(Duration(300)),
+        );
+    }
+    builder.sockets(3).build().expect("fleet system builds")
+}
+
+/// Per-fault-kind accumulator for the sweep table.
+#[derive(Default)]
+struct KindStats {
+    runs: u64,
+    failovers: u64,
+    migrated_jobs: u64,
+    resent: u64,
+    completed: u64,
+    shed: u64,
+    failed: u64,
+}
+
+fn bucket(latency: u64) -> usize {
+    LATENCY_EDGES
+        .iter()
+        .rposition(|&lo| latency >= lo)
+        .unwrap_or(0)
+}
+
+fn histogram_json(counts: &[u64; 5]) -> String {
+    let mut s = String::new();
+    for (i, (&lo, &n)) in LATENCY_EDGES.iter().zip(counts.iter()).enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{{\"from_ticks\": {lo}, \"count\": {n}}}");
+    }
+    s
+}
+
+/// E22: the chaos sweep, failover-latency histograms, throughput
+/// trajectory, and `DroppedFailover` teeth. `smoke` shrinks the
+/// schedule count for CI; every assertion runs either way.
+pub fn exp_fleet(smoke: bool) -> String {
+    let mut out = String::new();
+    let system = fleet_system();
+    let workload = Workload { jobs_per_key: 4, gap_ticks: 400 };
+
+    // ---- 1. The seeded chaos sweep ---------------------------------
+    let per_kind: u64 = if smoke { 30 } else { 700 };
+    let kinds = ["kill", "pause", "partition"];
+    let schedules = per_kind * kinds.len() as u64;
+    let started = Wall::now();
+
+    let mut stats = [KindStats::default(), KindStats::default(), KindStats::default()];
+    let mut detect_hist = [0u64; 5];
+    let mut migrate_hist = [0u64; 5];
+    // Throughput windows, aggregated over single-failover kill runs:
+    // (completions, window ticks) before detection, between detection
+    // and migration, and from migration to the last completion.
+    let mut tp = [(0u64, 0u64); 3];
+
+    for i in 0..schedules {
+        let seed = 0xF1EE7_u64 ^ (i * 0x9E37_79B9);
+        let kind = (i % 3) as usize;
+        let shard = if kind == 0 && i % 2 == 0 {
+            // Aim half the kills at the hot shard (where key 0 routes)
+            // so migrations regularly carry in-flight journal state.
+            HashRing::new(3, seed).route(0).unwrap_or(0)
+        } else {
+            (splitmix64(seed) % 3) as usize
+        };
+        let at_tick = if kind == 0 && i % 2 == 0 {
+            // ... and land the kill right after key 0's first delivery.
+            splitmix64(seed) % workload.gap_ticks + 2 + splitmix64(seed ^ 0xA1) % 6
+        } else {
+            1 + splitmix64(seed ^ 0xA7) % 1_600
+        };
+        let for_ticks = 1 + splitmix64(seed ^ 0xB3) % 300;
+        let class = match kind {
+            0 => FaultClass::ShardKill { shard, at_tick },
+            1 => FaultClass::ShardPause { shard, at_tick, for_ticks },
+            _ => FaultClass::Partition { shard, at_tick, for_ticks },
+        };
+        let plan = FaultPlan::empty(seed).with(FaultSpec::always(class));
+        let config = FleetConfig { seed, ..FleetConfig::default() };
+        let mut fleet = Fleet::new(&system, config).expect("fleet analyses");
+        let outcome = fleet.run(workload, &plan);
+
+        // The three chaos-campaign claims, on every schedule.
+        assert!(
+            outcome.lost.is_empty(),
+            "schedule {i} ({}) lost accepted payloads: {:?}",
+            kinds[kind],
+            outcome.lost
+        );
+        assert_eq!(
+            outcome.bound_violations, 0,
+            "schedule {i} ({}) broke a surviving shard's Prosa bound",
+            kinds[kind]
+        );
+        assert!(
+            outcome.unjustified_failovers.is_empty(),
+            "schedule {i} ({}) fenced a shard without an injected fault",
+            kinds[kind]
+        );
+        let report = outcome
+            .fleet_check
+            .as_ref()
+            .unwrap_or_else(|e| panic!("schedule {i} ({}) failed the checker: {e}", kinds[kind]));
+        assert_eq!(report.shards, 3);
+        if kind == 2 {
+            // Partitions are router-visible only: the shard keeps
+            // heartbeating, so the supervisor must never fence it.
+            assert!(
+                outcome.failovers.is_empty(),
+                "schedule {i} failed over on a partition"
+            );
+        }
+
+        let st = &mut stats[kind];
+        st.runs += 1;
+        st.failovers += outcome.failovers.len() as u64;
+        st.completed += outcome.completed;
+        st.shed += outcome.shed;
+        st.failed += outcome.failed;
+        for f in &outcome.failovers {
+            st.migrated_jobs += f.migrated_jobs as u64;
+            st.resent += f.resent as u64;
+            detect_hist[bucket(f.detect_tick.saturating_sub(at_tick))] += 1;
+            migrate_hist[bucket(f.migrated_tick.saturating_sub(f.detect_tick))] += 1;
+        }
+        if kind == 0 && outcome.failovers.len() == 1 {
+            let f = &outcome.failovers[0];
+            let end = outcome.completion_ticks.iter().copied().max().unwrap_or(f.migrated_tick);
+            let windows = [
+                (0, f.detect_tick),
+                (f.detect_tick, f.migrated_tick + 1),
+                (f.migrated_tick + 1, end.max(f.migrated_tick + 1) + 1),
+            ];
+            for (w, &(lo, hi)) in windows.iter().enumerate() {
+                let jobs = outcome
+                    .completion_ticks
+                    .iter()
+                    .filter(|&&t| t >= lo && t < hi)
+                    .count() as u64;
+                tp[w].0 += jobs;
+                tp[w].1 += hi - lo;
+            }
+        }
+    }
+    let sweep_secs = started.elapsed().as_secs_f64();
+
+    assert!(
+        stats[0].failovers > 0,
+        "the kill schedules never exercised a failover"
+    );
+    assert!(
+        stats[0].migrated_jobs > 0,
+        "no kill migration ever carried journal state"
+    );
+
+    let _ = writeln!(
+        out,
+        "chaos sweep: {schedules} seeded schedules ({per_kind} per fault kind), \
+         0 lost / 0 bound violations / 0 unjustified failovers, {sweep_secs:.2}s"
+    );
+    let _ = writeln!(
+        out,
+        "{:<11} {:>6} {:>10} {:>9} {:>8} {:>10} {:>7} {:>7}",
+        "fault kind", "runs", "failovers", "migrated", "resent", "completed", "shed", "failed"
+    );
+    for (k, st) in stats.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<11} {:>6} {:>10} {:>9} {:>8} {:>10} {:>7} {:>7}",
+            kinds[k], st.runs, st.failovers, st.migrated_jobs, st.resent, st.completed, st.shed,
+            st.failed
+        );
+    }
+
+    // ---- 2. Failover latency + throughput trajectory ---------------
+    let _ = writeln!(out, "failover latency (ticks, bucket lower edges {LATENCY_EDGES:?}):");
+    let _ = writeln!(out, "  fault -> detect : {detect_hist:?}");
+    let _ = writeln!(out, "  detect -> migrate: {migrate_hist:?}");
+    let rate = |(jobs, ticks): (u64, u64)| jobs as f64 * 1_000.0 / ticks.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "throughput around kill failovers (jobs per 1k ticks): \
+         before {:.1}, during {:.1}, after {:.1}",
+        rate(tp[0]),
+        rate(tp[1]),
+        rate(tp[2]),
+    );
+
+    // ---- 3. Teeth: DroppedFailover is caught -----------------------
+    let started = Wall::now();
+    let teeth = run_campaign(&FuzzConfig {
+        seed: 0xD0F1,
+        max_iters: 300,
+        bug: Some(SeededBug::DroppedFailover),
+        force_fleet: true,
+        max_findings: 1,
+        ..FuzzConfig::default()
+    });
+    let teeth_secs = started.elapsed().as_secs_f64();
+    let f = teeth
+        .findings
+        .first()
+        .unwrap_or_else(|| panic!("DroppedFailover escaped {} iterations", teeth.iterations));
+    let _ = writeln!(
+        out,
+        "teeth: dropped-failover caught by `{}` at iteration {} ({teeth_secs:.2}s)",
+        f.finding.oracle, f.iteration
+    );
+
+    // ---- Artifact --------------------------------------------------
+    let mut kinds_json = String::new();
+    for (k, st) in stats.iter().enumerate() {
+        if k > 0 {
+            kinds_json.push_str(",\n");
+        }
+        let _ = write!(
+            kinds_json,
+            concat!(
+                "    {{\"kind\": \"{}\", \"runs\": {}, \"failovers\": {}, ",
+                "\"migrated_jobs\": {}, \"resent\": {}, \"completed\": {}, ",
+                "\"shed\": {}, \"failed\": {}, \"lost\": 0, ",
+                "\"bound_violations\": 0, \"unjustified_failovers\": 0}}"
+            ),
+            kinds[k], st.runs, st.failovers, st.migrated_jobs, st.resent, st.completed, st.shed,
+            st.failed
+        );
+    }
+    let json = format!(
+        concat!(
+            "{{\n  \"experiment\": \"E22\",\n  \"smoke\": {},\n",
+            "  \"schedules\": {},\n  \"per_kind\": [\n{}\n  ],\n",
+            "  \"failover_latency\": {{\n",
+            "    \"fault_to_detect\": [{}],\n",
+            "    \"detect_to_migrate\": [{}]\n  }},\n",
+            "  \"throughput_jobs_per_1k_ticks\": ",
+            "{{\"before\": {:.2}, \"during\": {:.2}, \"after\": {:.2}}},\n",
+            "  \"teeth\": {{\"bug\": \"dropped-failover\", \"detected\": true, ",
+            "\"oracle\": \"{}\", \"iterations\": {}, \"secs\": {:.3}}},\n",
+            "  \"sweep_secs\": {:.3}\n}}\n"
+        ),
+        smoke,
+        schedules,
+        kinds_json,
+        histogram_json(&detect_hist),
+        histogram_json(&migrate_hist),
+        rate(tp[0]),
+        rate(tp[1]),
+        rate(tp[2]),
+        f.finding.oracle,
+        f.iteration,
+        teeth_secs,
+        sweep_secs
+    );
+    match std::fs::write("BENCH_fleet.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote BENCH_fleet.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "could not write BENCH_fleet.json: {e}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_smoke_passes_and_reports() {
+        let _serial = crate::smoke_lock();
+        let report = exp_fleet(true);
+        // The test runs from the crate directory; drop the artifact it
+        // writes there (the real one is produced from the repo root).
+        let _ = std::fs::remove_file("BENCH_fleet.json");
+        assert!(
+            report.contains("0 lost / 0 bound violations / 0 unjustified failovers"),
+            "report:\n{report}"
+        );
+        assert!(report.contains("teeth: dropped-failover caught"), "report:\n{report}");
+        assert!(report.contains("wrote BENCH_fleet.json"), "report:\n{report}");
+    }
+}

@@ -83,6 +83,7 @@ pub fn exp_fuzz(smoke: bool) -> String {
             max_iters: 300,
             bug: Some(bug),
             force_crash: bug.is_driver_bug(),
+            force_fleet: bug.is_fleet_bug(),
             max_findings: 1,
             ..FuzzConfig::default()
         });
@@ -170,8 +171,9 @@ mod tests {
         // writes there (the real one is produced from the repo root).
         let _ = std::fs::remove_file("BENCH_fuzz.json");
         assert!(report.contains("0 disagreements"), "report:\n{report}");
-        assert!(report.contains("all 5 seeded bugs detected"), "report:\n{report}");
+        assert!(report.contains("all 6 seeded bugs detected"), "report:\n{report}");
         assert!(report.contains("skipped-commit"), "report:\n{report}");
         assert!(report.contains("skipped-mode-switch"), "report:\n{report}");
+        assert!(report.contains("dropped-failover"), "report:\n{report}");
     }
 }

@@ -16,6 +16,7 @@ pub mod amc;
 pub mod crash;
 pub mod experiments;
 pub mod faults;
+pub mod fleet;
 pub mod fuzz;
 pub mod jitter;
 pub mod obs;
@@ -30,12 +31,13 @@ pub use ablation::{exp_ablation, exp_busy_windows, exp_schedulability, exp_sensi
 pub use amc::exp_amc;
 pub use crash::exp_crash_recovery;
 pub use faults::exp_faults;
+pub use fleet::exp_fleet;
 pub use fuzz::exp_fuzz;
 pub use jitter::exp_fig7;
 pub use obs::exp_obs;
 pub use verify_bench::exp_verify_bench;
 
-/// Serializes the heavyweight experiment smoke tests (E18–E21): they
+/// Serializes the heavyweight experiment smoke tests (E18–E22): they
 /// write `BENCH_*.json` artifacts into the crate directory and E19
 /// measures wall-clock overhead, so running them concurrently makes
 /// the timing assertion flaky.

@@ -29,10 +29,14 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod crash;
+mod fleet;
 mod mc;
 mod monitor;
 mod shared;
 
 pub use crash::{CrashSweep, CrashSweepFailure, CrashSweepOutcome};
+pub use fleet::{
+    check_fleet, FleetCheckError, FleetReport, MigratedJob, MigrationManifest, ShardHistory,
+};
 pub use mc::{CheckFailure, CheckOutcome, ExploreStats, ModelChecker};
 pub use monitor::{SpecMonitor, SpecViolation};

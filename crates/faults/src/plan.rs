@@ -85,6 +85,42 @@ pub enum FaultClass {
         /// (and journaled, possibly torn).
         at_step: u64,
     },
+    /// A fleet shard dies permanently at a fleet tick (a *fleet* fault:
+    /// injected at the fleet layer, above any single scheduler). Like
+    /// `Crash`, it is tolerated rather than detected: the fleet
+    /// supervisor must fence the shard and migrate its committed journal
+    /// to a successor, and the chaos campaign (E22) asserts no accepted
+    /// job is lost in the process.
+    ShardKill {
+        /// Which shard dies (taken modulo the fleet size).
+        shard: usize,
+        /// Fleet tick at which the shard stops stepping forever.
+        at_tick: u64,
+    },
+    /// A fleet shard hangs — it stops stepping (and heartbeating) for a
+    /// window, then resumes. Long pauses must trigger heartbeat-timeout
+    /// failover; pauses shorter than the timeout must NOT (an unjustified
+    /// failover is itself a detected bug).
+    ShardPause {
+        /// Which shard hangs (taken modulo the fleet size).
+        shard: usize,
+        /// Fleet tick at which the hang begins.
+        at_tick: u64,
+        /// Hang duration in fleet ticks.
+        for_ticks: u64,
+    },
+    /// The router loses connectivity to a shard for a window: submissions
+    /// fail with a typed error while the shard itself keeps running and
+    /// heartbeating. The router must absorb this with retry, backoff and
+    /// circuit breaking — a partition alone must never cause failover.
+    Partition {
+        /// Which shard becomes unreachable (taken modulo the fleet size).
+        shard: usize,
+        /// Fleet tick at which the partition begins.
+        at_tick: u64,
+        /// Partition duration in fleet ticks.
+        for_ticks: u64,
+    },
 }
 
 impl FaultClass {
@@ -102,6 +138,9 @@ impl FaultClass {
             FaultClass::StalledIdle { .. } => "stalled-idle",
             FaultClass::ExecutionSlack { .. } => "execution-slack",
             FaultClass::Crash { .. } => "crash",
+            FaultClass::ShardKill { .. } => "shard-kill",
+            FaultClass::ShardPause { .. } => "shard-pause",
+            FaultClass::Partition { .. } => "partition",
         }
     }
 
@@ -119,6 +158,19 @@ impl FaultClass {
     /// fault — it is injected at the drive loop, not at a substrate.
     pub fn is_process_fault(&self) -> bool {
         matches!(self, FaultClass::Crash { .. })
+    }
+
+    /// `true` for faults injected at the fleet layer (shard death, shard
+    /// hang, router partition). Like the process fault they reach
+    /// neither the socket nor the cost substrate: a fleet chaos driver
+    /// interprets them above any single scheduler.
+    pub fn is_fleet_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultClass::ShardKill { .. }
+                | FaultClass::ShardPause { .. }
+                | FaultClass::Partition { .. }
+        )
     }
 
     /// `true` for faults applied at the socket substrate (vs the cost
@@ -169,6 +221,9 @@ impl FaultClass {
             FaultClass::ClockJitter { .. } => "§2.3 (basic-action WCET)",
             FaultClass::StalledIdle { .. } => "§2.3 (idle-segment WCET)",
             FaultClass::Crash { .. } => "Thm. 5.1 scope (uninterrupted execution)",
+            FaultClass::ShardKill { .. } => "fleet contract (shard liveness)",
+            FaultClass::ShardPause { .. } => "fleet contract (heartbeat freshness)",
+            FaultClass::Partition { .. } => "fleet contract (router connectivity)",
             FaultClass::UniformDelay { .. } | FaultClass::ExecutionSlack { .. } => "none",
         }
     }
@@ -188,6 +243,13 @@ impl FaultClass {
             // the stitched trace passes `check_stitched`, asserted by the
             // crash sweep (E17) rather than a named timing checker.
             FaultClass::Crash { .. } => &[],
+            // Fleet faults are tolerated, not detected: the obligation is
+            // the E22 chaos invariants (no lost accepted job, no
+            // unjustified failover), asserted by the fleet campaign
+            // rather than a named timing checker.
+            FaultClass::ShardKill { .. }
+            | FaultClass::ShardPause { .. }
+            | FaultClass::Partition { .. } => &[],
             FaultClass::UniformDelay { .. } | FaultClass::ExecutionSlack { .. } => &[],
         }
     }
@@ -287,9 +349,16 @@ impl FaultPlan {
 
     /// The cost-model specs.
     pub fn cost_specs(&self) -> impl Iterator<Item = &FaultSpec> {
-        self.specs
-            .iter()
-            .filter(|s| !s.class.is_socket_fault() && !s.class.is_process_fault())
+        self.specs.iter().filter(|s| {
+            !s.class.is_socket_fault()
+                && !s.class.is_process_fault()
+                && !s.class.is_fleet_fault()
+        })
+    }
+
+    /// The fleet-level specs (shard kill/pause, router partition).
+    pub fn fleet_specs(&self) -> impl Iterator<Item = &FaultSpec> {
+        self.specs.iter().filter(|s| s.class.is_fleet_fault())
     }
 
     /// A plan that crashes the scheduler after its `at_step`-th marker.
@@ -374,6 +443,35 @@ mod tests {
         assert_eq!(plan.socket_specs().count(), 0);
         assert_eq!(plan.cost_specs().count(), 0);
         assert_eq!(FaultPlan::empty(0).crash_point(), None);
+    }
+
+    #[test]
+    fn fleet_faults_are_their_own_partition() {
+        let classes = [
+            FaultClass::ShardKill { shard: 1, at_tick: 40 },
+            FaultClass::ShardPause { shard: 0, at_tick: 10, for_ticks: 30 },
+            FaultClass::Partition { shard: 2, at_tick: 5, for_ticks: 25 },
+        ];
+        for c in classes {
+            assert!(c.is_fleet_fault(), "{c} must be a fleet fault");
+            assert!(!c.is_socket_fault());
+            assert!(!c.is_process_fault());
+            assert!(!c.in_model(), "{c} must be out-of-model");
+            assert!(!c.claims_delivered());
+            // Tolerated by failover/retry, asserted by E22 — like Crash,
+            // no named timing checker is expected to fire.
+            assert!(c.expected_detectors().is_empty());
+            assert_ne!(c.violated_assumption(), "none");
+        }
+        let plan = FaultPlan::empty(3)
+            .with(FaultSpec::always(classes[0]))
+            .with(FaultSpec::always(FaultClass::Drop))
+            .with(FaultSpec::always(FaultClass::WcetOverrun { factor: 2 }));
+        // Fleet specs reach neither the socket nor the cost layer.
+        assert_eq!(plan.fleet_specs().count(), 1);
+        assert_eq!(plan.socket_specs().count(), 1);
+        assert_eq!(plan.cost_specs().count(), 1);
+        assert!(!plan.in_model());
     }
 
     #[test]

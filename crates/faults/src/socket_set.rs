@@ -90,7 +90,10 @@ impl FaultySocketSet {
                     | FaultClass::ClockJitter { .. }
                     | FaultClass::StalledIdle { .. }
                     | FaultClass::ExecutionSlack { .. }
-                    | FaultClass::Crash { .. } => continue,
+                    | FaultClass::Crash { .. }
+                    | FaultClass::ShardKill { .. }
+                    | FaultClass::ShardPause { .. }
+                    | FaultClass::Partition { .. } => continue,
                 }
                 injections.push(InjectionRecord {
                     class: spec.class,
@@ -143,6 +146,25 @@ impl FaultySocketSet {
     /// sequence).
     pub fn inner(&self) -> &SocketSet {
         &self.inner
+    }
+
+    /// Deadline-bounded read over the perturbed sequence (see
+    /// [`SocketSet::read_deadline`]). Under delayed visibility the
+    /// *delayed* arrival instant decides the timeout: a message pushed
+    /// past the deadline by the fault is reported as a typed
+    /// [`SocketError::Timeout`], exactly what the honest substrate would
+    /// say about the delivered sequence.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SocketSet::read_deadline`].
+    pub fn read_deadline(
+        &mut self,
+        sock: SocketId,
+        now: Instant,
+        deadline: Instant,
+    ) -> Result<(ReadOutcome, Instant), SocketError> {
+        self.inner.read_deadline(sock, now, deadline)
     }
 }
 
@@ -220,6 +242,30 @@ mod tests {
         let b = FaultySocketSet::with_arrivals(2, &arrivals, &plan).unwrap();
         assert_eq!(a.delivered(), b.delivered());
         assert_eq!(a.injections(), b.injections());
+    }
+
+    #[test]
+    fn delayed_visibility_turns_deadline_reads_into_timeouts() {
+        use rossl_sockets::SocketError;
+        // One arrival at t=5, delayed by up to 50 ticks at rate 1000.
+        let arrivals = seq(&[5]);
+        let plan =
+            FaultPlan::single(3, FaultClass::DelayedVisibility { delay: Duration(50) }, 1000);
+        let mut f = FaultySocketSet::with_arrivals(2, &arrivals, &plan).unwrap();
+        let delayed = f.delivered().events()[0].time;
+        assert!(delayed > Instant(5), "the fault must have delayed the arrival");
+
+        // A deadline before the delayed arrival becomes visible is a
+        // typed timeout — no hand-rolled polling loop required.
+        assert_eq!(
+            f.read_deadline(SocketId(0), Instant(0), delayed),
+            Err(SocketError::Timeout { sock: SocketId(0), deadline: delayed })
+        );
+        // One tick later the same read succeeds, reporting when.
+        let horizon = delayed.saturating_add(Duration(1));
+        let (outcome, at) = f.read_deadline(SocketId(0), Instant(0), horizon).unwrap();
+        assert!(outcome.is_data());
+        assert_eq!(at, horizon);
     }
 
     #[test]

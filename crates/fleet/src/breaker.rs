@@ -1,0 +1,141 @@
+//! Per-shard circuit breaker (DESIGN §10.3).
+//!
+//! The breaker protects the router's retry budget from a shard that is
+//! failing persistently: after `threshold` consecutive delivery
+//! failures it *opens* and rejects attempts outright for `cooldown`
+//! fleet ticks, then admits a single *half-open* probe. A successful
+//! probe closes the breaker; a failed one re-opens it for another full
+//! cooldown. All transitions are pure functions of the observed
+//! failure sequence and the tick clock — no wall time, no randomness —
+//! so a routing trace replays byte-identically from the same inputs.
+
+/// The three classic breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures are being counted.
+    Closed,
+    /// Failing fast; no deliveries attempted until the cooldown ends.
+    Open,
+    /// One probe in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// A state transition the caller should log / count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// Closed (or half-open) → open.
+    Opened,
+    /// Open → half-open (probe admitted).
+    Probing,
+    /// Half-open → closed (probe succeeded).
+    Closed,
+}
+
+/// A deterministic, tick-driven circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+    threshold: u32,
+    cooldown: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures and cools down for `cooldown` ticks. A threshold of 0
+    /// is clamped to 1 (a breaker that can never admit would wedge the
+    /// router).
+    #[must_use]
+    pub fn new(threshold: u32, cooldown: u64) -> CircuitBreaker {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            threshold: threshold.max(1),
+            cooldown,
+        }
+    }
+
+    /// The current state, after accounting for a cooldown that has
+    /// expired by `now` (open breakers report half-open once a probe
+    /// would be admitted).
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// May a delivery be attempted at `now`? Open → half-open happens
+    /// here, when the cooldown has elapsed; the returned transition is
+    /// `Probing` in that case.
+    pub fn admit(&mut self, now: u64) -> (bool, Option<BreakerTransition>) {
+        match self.state {
+            BreakerState::Closed => (true, None),
+            BreakerState::HalfOpen => (true, None),
+            BreakerState::Open => {
+                if now.saturating_sub(self.opened_at) >= self.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    (true, Some(BreakerTransition::Probing))
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// Records a delivery failure at `now`.
+    pub fn record_failure(&mut self, now: u64) -> Option<BreakerTransition> {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                    Some(BreakerTransition::Opened)
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: back to a full cooldown.
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+                Some(BreakerTransition::Opened)
+            }
+            BreakerState::Open => None,
+        }
+    }
+
+    /// Records a successful delivery.
+    pub fn record_success(&mut self) -> Option<BreakerTransition> {
+        let was_half_open = self.state == BreakerState::HalfOpen;
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        was_half_open.then_some(BreakerTransition::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_and_probes_after_cooldown() {
+        let mut b = CircuitBreaker::new(3, 10);
+        assert_eq!(b.record_failure(0), None);
+        assert_eq!(b.record_failure(1), None);
+        assert_eq!(b.record_failure(2), Some(BreakerTransition::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(5), (false, None));
+        assert_eq!(b.admit(12), (true, Some(BreakerTransition::Probing)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Failed probe re-opens for a full cooldown from the failure.
+        assert_eq!(b.record_failure(12), Some(BreakerTransition::Opened));
+        assert_eq!(b.admit(21), (false, None));
+        assert_eq!(b.admit(22), (true, Some(BreakerTransition::Probing)));
+        // Successful probe closes and resets the failure count.
+        assert_eq!(b.record_success(), Some(BreakerTransition::Closed));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.record_failure(23), None);
+    }
+}

@@ -1,0 +1,783 @@
+//! The fleet supervisor and chaos drive (DESIGN §10.4–§10.6).
+//!
+//! A [`Fleet`] steps N [`Shard`]s in lockstep on a discrete *fleet
+//! tick* clock, routes client submissions through the [`Router`], and
+//! health-checks the shards every `check_interval` ticks. Failure
+//! handling follows a strict escalation ladder:
+//!
+//! * **crash (`ShardKill`)** — the supervisor sees the machine refuse
+//!   its restart RPC and burns the shard's restart budget one attempt
+//!   per health check; when [`RecoveryError::RestartBudgetExhausted`]
+//!   escalates, the error *carries the last-good recovered state*, so
+//!   failover migrates without re-parsing the dead journal;
+//! * **hang (`ShardPause` ≥ heartbeat timeout)** — heartbeat staleness
+//!   over `confirm_checks` consecutive sweeps fences the shard and
+//!   migrates from its committed journal;
+//! * **`Partition`** — router-level unreachability only; the shard
+//!   keeps stepping and heartbeating, so a partition must *never*
+//!   cause a failover (asserted by the justification oracle).
+//!
+//! Migration is journal replay across the shard boundary: the dead
+//! shard's uncompleted accepted jobs are re-journaled as `ReadEnd`
+//! markers in the successor's (rebased) journal under fresh ids from
+//! the successor's id space, and the successor scheduler is rebuilt
+//! with `Scheduler::recovered` semantics — exactly the single-shard
+//! crash-recovery contract, extended across shards. Every migration
+//! leaves a [`MigrationManifest`] for [`rossl_verify::check_fleet`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use refined_prosa::{RosslSystem, SystemError};
+use rossl::{
+    ClientConfig, FirstByteCodec, RecoveredState, RecoveryError, RestartPolicy, Scheduler,
+    SeededBug,
+};
+use rossl_faults::{FaultClass, FaultPlan};
+use rossl_journal::{recover, JournalWriter};
+use rossl_model::{check_respects, Criticality, Duration, Instant, Job, JobId, SocketId, TaskSet};
+use rossl_obs::{BoundObservatory, FleetMetrics, Registry, SpanLog};
+use rossl_trace::Marker;
+use rossl_verify::{check_fleet, FleetCheckError, FleetReport, MigratedJob, MigrationManifest};
+
+use crate::router::{Router, RouterPolicy, ShardStatus};
+use crate::shard::{Shard, ShardEvent};
+
+/// Builds the fleet payload for `(task, seq)`: the first byte routes
+/// the task (the `FirstByteCodec` contract), the next eight carry the
+/// fleet-wide sequence number.
+#[must_use]
+pub fn payload(task: usize, seq: u64) -> Vec<u8> {
+    let mut d = Vec::with_capacity(9);
+    d.push(task as u8);
+    d.extend_from_slice(&seq.to_le_bytes());
+    d
+}
+
+/// Recovers the sequence number from a fleet payload.
+#[must_use]
+pub fn seq_of(data: &[u8]) -> Option<u64> {
+    data.get(1..9)
+        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+        .map(u64::from_le_bytes)
+}
+
+/// Fleet tunables.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of scheduler shards.
+    pub n_shards: usize,
+    /// Seed for ring layout, retry jitter and workload staggering.
+    pub seed: u64,
+    /// Heartbeat staleness (fleet ticks) that marks a shard unhealthy.
+    pub heartbeat_timeout: u64,
+    /// Health-check sweep period, in fleet ticks.
+    pub check_interval: u64,
+    /// Consecutive unhealthy sweeps before a hang is fenced.
+    pub confirm_checks: u32,
+    /// Per-shard supervisor restart budget and backoff.
+    pub restart_policy: RestartPolicy,
+    /// Router retry / breaker / shedding tunables.
+    pub router: RouterPolicy,
+    /// Horizon for the Prosa analysis backing the per-shard bound
+    /// observatories.
+    pub analysis_horizon: Duration,
+    /// Extra ticks after the last scheduled submission before the
+    /// drive gives up draining (outstanding work then counts as lost).
+    pub drain_ticks: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            n_shards: 3,
+            seed: 1,
+            heartbeat_timeout: 8,
+            check_interval: 4,
+            confirm_checks: 2,
+            restart_policy: RestartPolicy::new(2, Duration(2)),
+            router: RouterPolicy::default(),
+            analysis_horizon: Duration(100_000),
+            drain_ticks: 4_000,
+        }
+    }
+}
+
+/// A deterministic open-loop workload: `jobs_per_key` submissions per
+/// client key, `gap_ticks` apart, staggered per key by a seed hash so
+/// keys do not submit in phase.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Submissions per client key (one key per task).
+    pub jobs_per_key: u64,
+    /// Fleet ticks between a key's consecutive submissions.
+    pub gap_ticks: u64,
+}
+
+/// Why a shard was failed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverCause {
+    /// Restart-budget exhaustion after a crash (`ShardKill`).
+    Kill,
+    /// Confirmed heartbeat staleness (`ShardPause` past the timeout).
+    Hang,
+}
+
+/// One failover, as the fleet supervisor saw it.
+#[derive(Debug, Clone)]
+pub struct FailoverRecord {
+    /// The fenced shard.
+    pub dead: usize,
+    /// The migration target (`None` when no shard survived).
+    pub successor: Option<usize>,
+    /// What triggered it.
+    pub cause: FailoverCause,
+    /// Fleet tick of the first health check that saw the failure.
+    pub detect_tick: u64,
+    /// Fleet tick the migration committed.
+    pub migrated_tick: u64,
+    /// Jobs re-pended onto the successor.
+    pub migrated_jobs: usize,
+    /// Stranded socket payloads re-routed through the router.
+    pub resent: usize,
+}
+
+/// Terminal / in-flight state of one submitted payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeqState {
+    /// In the router (initial, or between retries / after a resend).
+    Routing,
+    /// On a shard's socket, not yet read. Remembers the arrival
+    /// instant on that shard's local clock.
+    Delivered { shard: usize, arrival: u64 },
+    /// Read by a shard's scheduler (a pending or executing job).
+    Accepted { shard: usize, arrival: u64 },
+    /// Ran to completion.
+    Completed,
+    /// Shed under backpressure (terminal, with reason).
+    Shed,
+    /// Terminally failed in the router (deadline / attempts / no
+    /// shard alive).
+    Failed,
+}
+
+impl SeqState {
+    fn terminal(self) -> bool {
+        matches!(self, SeqState::Completed | SeqState::Shed | SeqState::Failed)
+    }
+}
+
+/// Per-shard failure-detection state between health checks.
+#[derive(Debug, Clone, Copy)]
+struct Detect {
+    first_tick: u64,
+    unhealthy_checks: u32,
+}
+
+/// The complete outcome of one chaos run, carrying everything the E22
+/// oracles assert on.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Fleet ticks driven.
+    pub ticks: u64,
+    /// Total client submissions.
+    pub submissions: u64,
+    /// Payloads delivered to some shard's socket at least once.
+    pub delivered: u64,
+    /// Payloads that ran to completion.
+    pub completed: u64,
+    /// Payloads shed under backpressure.
+    pub shed: u64,
+    /// Payloads that terminally failed in the router.
+    pub failed: u64,
+    /// Stranded payloads re-routed during failovers.
+    pub resent: u64,
+    /// Sequence numbers accepted (delivered) but never completed —
+    /// must be empty for an honest fleet.
+    pub lost: Vec<u64>,
+    /// Every failover the supervisor performed.
+    pub failovers: Vec<FailoverRecord>,
+    /// Failovers with no justifying injected fault — each one is
+    /// itself a detected bug.
+    pub unjustified_failovers: Vec<FailoverRecord>,
+    /// Prosa bound violations observed on in-model shards.
+    pub bound_violations: u64,
+    /// Shards whose delivered arrival streams respected every task's
+    /// curve (the in-model shards the bound oracle covers).
+    pub compliant_shards: usize,
+    /// Completions observed on those in-model shards.
+    pub compliant_completions: u64,
+    /// The cross-shard trace/seam/conservation check.
+    pub fleet_check: Result<FleetReport, FleetCheckError>,
+    /// Fleet tick of every completion, for throughput-over-time plots.
+    pub completion_ticks: Vec<u64>,
+}
+
+/// A fleet of scheduler shards with routing, health checking, and
+/// journal-replay failover. Build one per run.
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    tasks: TaskSet,
+    n_sockets: usize,
+    shards: Vec<Shard>,
+    router: Router,
+    registry: Registry,
+    metrics: Arc<FleetMetrics>,
+    observatories: Vec<(Registry, Arc<BoundObservatory>)>,
+    manifests: Vec<MigrationManifest>,
+    failovers: Vec<FailoverRecord>,
+    detect: Vec<Option<Detect>>,
+    seeded_bug: Option<SeededBug>,
+    seq_state: Vec<SeqState>,
+    seq_key: Vec<u64>,
+    /// `(shard, raw job id) → seq`, maintained across migrations.
+    job_index: BTreeMap<(usize, u64), u64>,
+    /// `[shard][task] →` arrival instants on that shard's clock
+    /// (deliveries and migration re-pends), for curve compliance.
+    arrivals: Vec<Vec<Vec<Instant>>>,
+    /// Completions attributed to the shard they ran on.
+    completions_on: Vec<u64>,
+    /// Was this sequence number ever delivered to a shard socket? A
+    /// terminal router failure after a delivery is dropped work, not a
+    /// typed refusal.
+    delivered_once: Vec<bool>,
+    completion_ticks: Vec<u64>,
+    resent: u64,
+}
+
+impl Fleet {
+    /// Builds a fleet whose shards all run `system`'s task set and
+    /// socket count, with per-shard bound observatories derived from
+    /// the system's Prosa analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] when the client configuration is
+    /// invalid or the analysis cannot bound the task set.
+    pub fn new(system: &RosslSystem, config: FleetConfig) -> Result<Fleet, SystemError> {
+        let tasks = system.tasks().clone();
+        let n_sockets = system.n_sockets();
+        let client = Arc::new(
+            ClientConfig::new(tasks.clone(), n_sockets).map_err(SystemError::Config)?,
+        );
+        let registry = Registry::new();
+        let metrics = FleetMetrics::register(&registry, Arc::new(SpanLog::new()));
+        let router = Router::new(config.n_shards, config.seed, config.router.clone(), &registry);
+        let mut shards = Vec::with_capacity(config.n_shards);
+        let mut observatories = Vec::with_capacity(config.n_shards);
+        for id in 0..config.n_shards {
+            shards.push(Shard::new(
+                id,
+                Arc::clone(&client),
+                *system.wcet(),
+                config.restart_policy,
+            ));
+            let shard_registry = Registry::new();
+            let obs = system.observatory(&shard_registry, config.analysis_horizon)?;
+            observatories.push((shard_registry, obs));
+        }
+        metrics.shards_alive.set(config.n_shards as i64);
+        Ok(Fleet {
+            detect: vec![None; config.n_shards],
+            arrivals: vec![vec![Vec::new(); tasks.len()]; config.n_shards],
+            completions_on: vec![0; config.n_shards],
+            config,
+            tasks,
+            n_sockets,
+            shards,
+            router,
+            registry,
+            metrics,
+            observatories,
+            manifests: Vec::new(),
+            failovers: Vec::new(),
+            seeded_bug: None,
+            seq_state: Vec::new(),
+            seq_key: Vec::new(),
+            job_index: BTreeMap::new(),
+            delivered_once: Vec::new(),
+            completion_ticks: Vec::new(),
+            resent: 0,
+        })
+    }
+
+    /// Installs a seeded bug for mutation testing. The fleet honors
+    /// [`SeededBug::DroppedFailover`] (fence without migration);
+    /// scheduler- and driver-level bugs belong to the single-shard
+    /// harnesses and are ignored here.
+    #[must_use]
+    pub fn with_seeded_bug(mut self, bug: SeededBug) -> Fleet {
+        self.seeded_bug = Some(bug);
+        self
+    }
+
+    /// The fleet-level registry (`fleet.*` and `router.*` namespaces).
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Per-shard registries carrying each shard's `obs.*` bound
+    /// margins.
+    #[must_use]
+    pub fn shard_registries(&self) -> Vec<&Registry> {
+        self.observatories.iter().map(|(r, _)| r).collect()
+    }
+
+    /// The router's full decision trace rendered one line per event —
+    /// the determinism witness.
+    #[must_use]
+    pub fn routing_trace(&self) -> String {
+        self.router.render_trace()
+    }
+
+    /// Drives the whole chaos run: workload in, faults applied,
+    /// shards stepped, failures detected and failed over, then drains
+    /// and runs the cross-shard checker.
+    pub fn run(&mut self, workload: Workload, plan: &FaultPlan) -> FleetOutcome {
+        let schedule = self.schedule(workload);
+        let horizon = schedule.last().map_or(0, |(t, _, _)| *t);
+        let max_ticks = horizon + self.config.drain_ticks;
+        self.seq_state = vec![SeqState::Routing; schedule.len()];
+        self.delivered_once = vec![false; schedule.len()];
+        self.seq_key = schedule.iter().map(|(_, key, _)| *key).collect();
+        let mut next_sub = 0usize;
+
+        let mut tick = 0u64;
+        loop {
+            self.apply_faults(plan, tick);
+            while next_sub < schedule.len() && schedule[next_sub].0 == tick {
+                let (_, key, seq) = schedule[next_sub];
+                let task = key as usize % self.tasks.len();
+                let crit = self
+                    .tasks
+                    .task(rossl_model::TaskId(task))
+                    .map_or(Criticality::Hi, rossl_model::Task::criticality);
+                self.router.submit(tick, seq, key, crit, payload(task, seq));
+                next_sub += 1;
+            }
+            self.route_and_step(tick);
+            if self.config.check_interval > 0
+                && tick > 0
+                && tick % self.config.check_interval == 0
+            {
+                self.health_check(tick);
+            }
+            let drained = next_sub >= schedule.len()
+                && self.router.idle()
+                && self.seq_state.iter().all(|s| s.terminal());
+            if (tick >= horizon && drained) || tick >= max_ticks {
+                break;
+            }
+            tick += 1;
+        }
+
+        self.outcome(tick, plan)
+    }
+
+    /// The deterministic submission schedule: `(tick, key, seq)` in
+    /// submission order. One key per task; per-key submissions are
+    /// exactly `gap_ticks` apart, staggered by a seed hash.
+    fn schedule(&self, workload: Workload) -> Vec<(u64, u64, u64)> {
+        let gap = workload.gap_ticks.max(1);
+        let mut subs: Vec<(u64, u64)> = Vec::new();
+        for key in 0..self.tasks.len() as u64 {
+            let stagger = crate::ring::splitmix64(self.config.seed ^ (key << 8)) % gap;
+            for j in 0..workload.jobs_per_key {
+                subs.push((stagger + j * gap, key));
+            }
+        }
+        subs.sort_unstable();
+        subs.into_iter()
+            .enumerate()
+            .map(|(seq, (tick, key))| (tick, key, seq as u64))
+            .collect()
+    }
+
+    fn apply_faults(&mut self, plan: &FaultPlan, tick: u64) {
+        for spec in plan.fleet_specs() {
+            match spec.class {
+                FaultClass::ShardKill { shard, at_tick } if at_tick == tick => {
+                    if let Some(s) = self.shards.get_mut(shard) {
+                        s.killed = true;
+                    }
+                }
+                FaultClass::ShardPause { shard, at_tick, for_ticks } if at_tick == tick => {
+                    if let Some(s) = self.shards.get_mut(shard) {
+                        s.paused_until = s.paused_until.max(tick + for_ticks);
+                    }
+                }
+                FaultClass::Partition { shard, at_tick, for_ticks } if at_tick == tick => {
+                    if let Some(s) = self.shards.get_mut(shard) {
+                        s.partitioned_until = s.partitioned_until.max(tick + for_ticks);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn route_and_step(&mut self, tick: u64) {
+        let status: Vec<ShardStatus> = self
+            .shards
+            .iter()
+            .map(|s| ShardStatus { reachable: s.reachable(tick), depth: s.depth() })
+            .collect();
+        let res = self.router.process(tick, &status);
+        for (seq, _, _) in res.shed {
+            self.seq_state[seq as usize] = SeqState::Shed;
+        }
+        for (seq, _) in res.failed {
+            self.seq_state[seq as usize] = SeqState::Failed;
+        }
+        for d in res.deliveries {
+            let sock = SocketId(d.key as usize % self.n_sockets);
+            let task = d.key as usize % self.tasks.len();
+            let shard = &mut self.shards[d.shard];
+            let arrival = shard.clock();
+            shard.deliver(sock, d.seq, d.data);
+            self.arrivals[d.shard][task].push(Instant(arrival));
+            self.delivered_once[d.seq as usize] = true;
+            self.seq_state[d.seq as usize] =
+                SeqState::Delivered { shard: d.shard, arrival };
+        }
+        for i in 0..self.shards.len() {
+            for ev in self.shards[i].step(tick) {
+                self.absorb(i, &ev);
+            }
+        }
+    }
+
+    fn absorb(&mut self, shard: usize, ev: &ShardEvent) {
+        match ev {
+            ShardEvent::Accepted { seq, job, .. } => {
+                let arrival = match self.seq_state[*seq as usize] {
+                    SeqState::Delivered { arrival, .. } | SeqState::Accepted { arrival, .. } => {
+                        arrival
+                    }
+                    _ => 0,
+                };
+                self.seq_state[*seq as usize] = SeqState::Accepted { shard, arrival };
+                self.job_index.insert((shard, job.id().0), *seq);
+            }
+            ShardEvent::Completed { job, at } => {
+                if let Some(seq) = seq_of(job.data()) {
+                    if let SeqState::Accepted { arrival, .. } = self.seq_state[seq as usize] {
+                        let rt = at.saturating_sub(arrival);
+                        self.observatories[shard]
+                            .1
+                            .observe_completion(job.task().0, job.id().0, rt);
+                    }
+                    self.seq_state[seq as usize] = SeqState::Completed;
+                    self.completions_on[shard] += 1;
+                    self.completion_ticks.push(self.shards[shard].last_step_tick);
+                }
+            }
+            ShardEvent::Crashed => {}
+        }
+    }
+
+    fn health_check(&mut self, tick: u64) {
+        self.metrics.health_checks.inc();
+        for i in 0..self.shards.len() {
+            if self.shards[i].fenced {
+                continue;
+            }
+            if self.shards[i].killed {
+                let first = match self.detect[i] {
+                    Some(d) => d.first_tick,
+                    None => {
+                        self.metrics.failures_detected.inc();
+                        self.detect[i] =
+                            Some(Detect { first_tick: tick, unhealthy_checks: 1 });
+                        tick
+                    }
+                };
+                // The restart RPC against a dead machine: the attempt
+                // burns budget (the supervisor cannot tell the machine
+                // will die again) until the typed escalation fires with
+                // the last-good state attached.
+                let journal = self.shards[i].journal_bytes().to_vec();
+                let client = Arc::clone(self.shards[i].config());
+                match self.shards[i].supervisor_mut().restart_shared(
+                    &journal,
+                    client,
+                    FirstByteCodec,
+                ) {
+                    Ok(_) => {
+                        // The restarted process never comes up — the
+                        // kill is permanent. The budget just shrank.
+                        self.metrics.restarts_in_place.inc();
+                    }
+                    Err(RecoveryError::RestartBudgetExhausted { last_good, .. }) => {
+                        let state = last_good
+                            .map(|b| *b)
+                            .unwrap_or_else(|| RecoveredState::from_events(&[]));
+                        self.failover(i, FailoverCause::Kill, state, first, tick);
+                    }
+                    Err(_) => {
+                        let state = RecoveredState::from_events(&[]);
+                        self.failover(i, FailoverCause::Kill, state, first, tick);
+                    }
+                }
+                continue;
+            }
+            let stale = tick.saturating_sub(self.shards[i].last_step_tick)
+                > self.config.heartbeat_timeout;
+            if stale {
+                let d = self.detect[i].get_or_insert_with(|| {
+                    self.metrics.failures_detected.inc();
+                    Detect { first_tick: tick, unhealthy_checks: 0 }
+                });
+                d.unhealthy_checks += 1;
+                if d.unhealthy_checks >= self.config.confirm_checks {
+                    let first = d.first_tick;
+                    let state = recover(self.shards[i].journal_bytes())
+                        .map(|r| RecoveredState::from_events(&r.committed))
+                        .unwrap_or_else(|_| RecoveredState::from_events(&[]));
+                    self.failover(i, FailoverCause::Hang, state, first, tick);
+                }
+            } else {
+                self.detect[i] = None;
+            }
+        }
+    }
+
+    /// Fence `dead` and migrate its committed state to the ring
+    /// successor by journal replay.
+    fn failover(
+        &mut self,
+        dead: usize,
+        cause: FailoverCause,
+        state: RecoveredState,
+        detect_tick: u64,
+        tick: u64,
+    ) {
+        self.shards[dead].fence();
+        self.router.mark_dead(dead);
+        self.metrics
+            .shards_alive
+            .set(self.router.ring().alive_count() as i64);
+        let successor = self.router.ring().successor(dead);
+        let mut record = FailoverRecord {
+            dead,
+            successor,
+            cause,
+            detect_tick,
+            migrated_tick: tick,
+            migrated_jobs: 0,
+            resent: 0,
+        };
+        if self.seeded_bug == Some(SeededBug::DroppedFailover) {
+            // The seeded fleet bug: the shard is fenced — split-brain
+            // is still prevented — but its journal is never replayed
+            // and its stranded payloads never re-routed. The chaos
+            // oracles must catch the dropped work.
+            self.failovers.push(record);
+            return;
+        }
+        let Some(succ) = successor else {
+            self.failovers.push(record);
+            return;
+        };
+
+        // Rebuild the successor from its own committed journal plus
+        // the dead shard's uncompleted jobs under fresh ids, and
+        // rebase the successor journal so a *later* crash or failover
+        // replays to exactly this combined state. A dead shard with no
+        // uncompleted jobs has nothing to migrate: the successor is
+        // left untouched and no manifest is written.
+        if state.pending.is_empty() {
+            self.resend_unread(dead, tick, &mut record);
+            self.metrics
+                .record_failover(dead as u64, succ as u64, 0, tick - detect_tick);
+            self.failovers.push(record);
+            return;
+        }
+        let succ_state = recover(self.shards[succ].journal_bytes())
+            .map(|r| RecoveredState::from_events(&r.committed))
+            .unwrap_or_else(|_| RecoveredState::from_events(&[]));
+        let succ_clock = self.shards[succ].clock();
+        let mut journal = JournalWriter::new();
+        if let Ok(r) = recover(self.shards[succ].journal_bytes()) {
+            for ev in &r.committed {
+                journal.append(&ev.marker, ev.at);
+                journal.commit();
+            }
+        }
+        let mut next_id = succ_state.next_job_id;
+        let mut moved = Vec::with_capacity(state.pending.len());
+        let mut pending = succ_state.pending.clone();
+        for job in &state.pending {
+            let fresh = Job::new(JobId(next_id), job.task(), job.data().to_vec());
+            next_id += 1;
+            journal.append(
+                &Marker::ReadEnd {
+                    sock: SocketId(job.task().0 % self.n_sockets),
+                    job: Some(fresh.clone()),
+                },
+                Instant(succ_clock),
+            );
+            journal.commit();
+            // Migrated re-pends are arrivals into the successor's
+            // pending set: account them against the task's curve so
+            // the bound oracle knows whether this shard stayed
+            // in-model through the failover.
+            self.arrivals[succ][job.task().0 % self.tasks.len()].push(Instant(succ_clock));
+            if let Some(&seq) = self.job_index.get(&(dead, job.id().0)) {
+                self.job_index.insert((succ, fresh.id().0), seq);
+                self.seq_state[seq as usize] =
+                    SeqState::Accepted { shard: succ, arrival: succ_clock };
+            }
+            moved.push(MigratedJob { old: job.id(), job: fresh.clone() });
+            pending.push(fresh);
+        }
+        let at_segment = self.shards[succ].close_segment();
+        match Scheduler::recovered_shared(
+            Arc::clone(self.shards[succ].config()),
+            FirstByteCodec,
+            pending,
+            next_id,
+            succ_state.jobs_completed,
+        ) {
+            Ok(sched) => {
+                self.shards[succ].replace_journal(journal);
+                self.shards[succ].install(sched);
+                record.migrated_jobs = moved.len();
+                self.manifests.push(MigrationManifest {
+                    from_shard: dead,
+                    to_shard: succ,
+                    at_segment,
+                    moved,
+                });
+            }
+            Err(_) => {
+                // A migrated job's task is unknown to the successor's
+                // configuration — impossible in a homogeneous fleet,
+                // surfaced as a zero-job failover if it ever happens.
+            }
+        }
+
+        self.resend_unread(dead, tick, &mut record);
+        self.metrics.record_failover(
+            dead as u64,
+            succ as u64,
+            record.migrated_jobs as u64,
+            tick - detect_tick,
+        );
+        self.failovers.push(record);
+    }
+
+    /// Stranded socket payloads (delivered to `dead`, never read)
+    /// re-enter the router with their original sequence numbers.
+    fn resend_unread(&mut self, dead: usize, tick: u64, record: &mut FailoverRecord) {
+        for (_, seq, msg) in self.shards[dead].take_unread() {
+            let key = self.seq_key.get(seq as usize).copied().unwrap_or(0);
+            let task = key as usize % self.tasks.len();
+            let crit = self
+                .tasks
+                .task(rossl_model::TaskId(task))
+                .map_or(Criticality::Hi, rossl_model::Task::criticality);
+            self.router.resend(tick, seq, key, crit, msg.into_data(), dead);
+            self.seq_state[seq as usize] = SeqState::Routing;
+            record.resent += 1;
+            self.resent += 1;
+        }
+    }
+
+    fn outcome(&mut self, ticks: u64, plan: &FaultPlan) -> FleetOutcome {
+        let mut delivered = 0u64;
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        let mut failed = 0u64;
+        let mut lost = Vec::new();
+        for (seq, state) in self.seq_state.iter().enumerate() {
+            match state {
+                SeqState::Completed => {
+                    delivered += 1;
+                    completed += 1;
+                }
+                SeqState::Shed => shed += 1,
+                SeqState::Failed => {
+                    failed += 1;
+                    // A payload that was on a shard socket once and
+                    // then terminally failed on re-route was accepted
+                    // and dropped — that is loss, not refusal.
+                    if self.delivered_once[seq] {
+                        lost.push(seq as u64);
+                    }
+                }
+                SeqState::Routing => {
+                    if self.delivered_once[seq] {
+                        lost.push(seq as u64);
+                    }
+                }
+                SeqState::Delivered { .. } | SeqState::Accepted { .. } => {
+                    delivered += 1;
+                    lost.push(seq as u64);
+                }
+            }
+        }
+
+        // Claim (c): every failover maps to an injected fault that
+        // legitimately explains it. A partition never qualifies.
+        let justifies = |r: &FailoverRecord| {
+            plan.fleet_specs().any(|spec| match spec.class {
+                FaultClass::ShardKill { shard, at_tick } => {
+                    r.cause == FailoverCause::Kill && shard == r.dead && at_tick <= r.detect_tick
+                }
+                FaultClass::ShardPause { shard, at_tick, for_ticks } => {
+                    r.cause == FailoverCause::Hang
+                        && shard == r.dead
+                        && at_tick <= r.detect_tick
+                        && for_ticks > self.config.heartbeat_timeout
+                }
+                _ => false,
+            })
+        };
+        let unjustified_failovers: Vec<FailoverRecord> =
+            self.failovers.iter().filter(|r| !justifies(r)).cloned().collect();
+
+        // Claim (b): Prosa bounds on in-model shards. A shard is
+        // in-model when every task's arrival stream on it (deliveries
+        // plus migration re-pends, on the shard-local clock) respects
+        // that task's curve — a pause that froze the clock or a
+        // failover burst that compressed gaps takes the shard out of
+        // model, and out of the assertion.
+        let mut bound_violations = 0u64;
+        let mut compliant_shards = 0usize;
+        let mut compliant_completions = 0u64;
+        for shard in 0..self.shards.len() {
+            let compliant = self.tasks.iter().all(|t| {
+                check_respects(t.arrival_curve(), &self.arrivals[shard][t.id().0]).is_ok()
+            });
+            if compliant {
+                compliant_shards += 1;
+                bound_violations += self.observatories[shard].1.violation_count();
+                compliant_completions += self.completions_on[shard];
+            }
+        }
+
+        let histories: Vec<_> = self.shards.iter().map(Shard::history).collect();
+        let fleet_check = check_fleet(&histories, &self.manifests, &self.tasks, self.n_sockets);
+
+        FleetOutcome {
+            ticks,
+            submissions: self.seq_state.len() as u64,
+            delivered,
+            completed,
+            shed,
+            failed,
+            resent: self.resent,
+            lost,
+            failovers: self.failovers.clone(),
+            unjustified_failovers,
+            bound_violations,
+            compliant_shards,
+            compliant_completions,
+            fleet_check,
+            completion_ticks: self.completion_ticks.clone(),
+        }
+    }
+}

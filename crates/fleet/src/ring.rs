@@ -1,0 +1,169 @@
+//! Consistent-hash placement of client keys onto shards.
+//!
+//! The ring is the routing substrate of DESIGN §10.2: each shard owns
+//! `VNODES` pseudo-random points on a `u64` circle, and a client key
+//! routes to the first *alive* shard clockwise from the key's own hash.
+//! The property the fleet leans on — and the one
+//! `tests/router_properties.rs` proves — is **minimal disruption**:
+//! marking one shard dead remaps exactly the keys that shard owned;
+//! every other key keeps its placement bit-for-bit.
+
+/// Virtual nodes per shard. More vnodes smooth the key distribution;
+/// 16 keeps the ring small enough to scan linearly (the fleet is a
+/// handful of shards, not a datacenter).
+pub const VNODES: usize = 16;
+
+/// The `splitmix64` finalizer: a full-avalanche `u64 → u64` mix used
+/// for every hashing decision in this crate, so routing is a pure
+/// function of the inputs and never depends on process state.
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over `n` shards with per-shard liveness.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point; ties broken by shard index at
+    /// construction so the ring order is deterministic.
+    points: Vec<(u64, usize)>,
+    alive: Vec<bool>,
+}
+
+impl HashRing {
+    /// Builds the ring for `n_shards` shards, all alive. `seed` salts
+    /// the vnode points so distinct fleets get distinct (but
+    /// reproducible) layouts.
+    #[must_use]
+    pub fn new(n_shards: usize, seed: u64) -> HashRing {
+        let mut points = Vec::with_capacity(n_shards * VNODES);
+        for shard in 0..n_shards {
+            for replica in 0..VNODES {
+                let raw = seed
+                    ^ splitmix64((shard as u64) << 32 | replica as u64);
+                points.push((splitmix64(raw), shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, alive: vec![true; n_shards] }
+    }
+
+    /// The number of shards (alive or dead).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Is `shard` still routable?
+    #[must_use]
+    pub fn is_alive(&self, shard: usize) -> bool {
+        self.alive.get(shard).copied().unwrap_or(false)
+    }
+
+    /// Marks `shard` dead: its keys remap to their clockwise
+    /// successors; every other key keeps its placement.
+    pub fn mark_dead(&mut self, shard: usize) {
+        if let Some(a) = self.alive.get_mut(shard) {
+            *a = false;
+        }
+    }
+
+    /// How many shards are still alive.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Routes `key` to the first alive shard clockwise from the key's
+    /// hash, or `None` when every shard is dead.
+    #[must_use]
+    pub fn route(&self, key: u64) -> Option<usize> {
+        self.first_alive_from(splitmix64(key))
+    }
+
+    /// The shard that inherits `dead`'s primary range: the first alive
+    /// shard clockwise from `dead`'s lowest vnode. This is the
+    /// migration target for `dead`'s journal state — a single,
+    /// deterministic successor (per-key traffic may spread over several
+    /// survivors; the *state* moves to one).
+    #[must_use]
+    pub fn successor(&self, dead: usize) -> Option<usize> {
+        let anchor = self
+            .points
+            .iter()
+            .find(|(_, s)| *s == dead)
+            .map(|(p, _)| p.wrapping_add(1))?;
+        let start = self.points.partition_point(|(p, _)| *p < anchor);
+        let n = self.points.len();
+        for i in 0..n {
+            let (_, shard) = self.points[(start + i) % n];
+            if shard != dead && self.alive[shard] {
+                return Some(shard);
+            }
+        }
+        None
+    }
+
+    fn first_alive_from(&self, hash: u64) -> Option<usize> {
+        if self.points.is_empty() || self.alive_count() == 0 {
+            return None;
+        }
+        let start = self.points.partition_point(|(p, _)| *p < hash);
+        let n = self.points.len();
+        for i in 0..n {
+            let (_, shard) = self.points[(start + i) % n];
+            if self.alive[shard] {
+                return Some(shard);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_are_deterministic_and_in_range() {
+        let ring = HashRing::new(4, 7);
+        for key in 0..256u64 {
+            let a = ring.route(key).unwrap();
+            let b = ring.route(key).unwrap();
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn death_remaps_only_the_dead_shards_keys() {
+        let mut ring = HashRing::new(5, 42);
+        let before: Vec<usize> =
+            (0..512u64).map(|k| ring.route(k).unwrap()).collect();
+        ring.mark_dead(2);
+        for (k, owner) in before.iter().enumerate() {
+            let after = ring.route(k as u64).unwrap();
+            if *owner == 2 {
+                assert_ne!(after, 2, "key {k} must leave the dead shard");
+            } else {
+                assert_eq!(after, *owner, "key {k} must not move");
+            }
+        }
+    }
+
+    #[test]
+    fn successor_is_alive_and_stable() {
+        let mut ring = HashRing::new(3, 9);
+        let s = ring.successor(1).unwrap();
+        assert_ne!(s, 1);
+        assert_eq!(ring.successor(1).unwrap(), s);
+        ring.mark_dead(s);
+        let s2 = ring.successor(1).unwrap();
+        assert!(s2 != 1 && s2 != s);
+        ring.mark_dead(s2);
+        assert_eq!(ring.successor(1), None, "no alive successor remains");
+    }
+}

@@ -47,6 +47,8 @@ pub mod channel {
     pub const READ_LAG: u8 = 1;
     /// Trace length, bucketed.
     pub const TRACE_LEN: u8 = 2;
+    /// Fleet failover latency (fence detected → migration committed).
+    pub const FAILOVER: u8 = 3;
 }
 
 fn kind_code(kind: MarkerKind) -> u8 {

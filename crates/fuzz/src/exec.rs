@@ -31,7 +31,6 @@
 //! already consumed the message — exactly what the stitched
 //! `LostAcceptedJob` accounting exists to catch.
 
-use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
@@ -43,9 +42,11 @@ use rossl::{
     SeededBug, Supervisor,
 };
 use rossl_faults::{FaultyCostModel, FaultySocketSet};
+use rossl_fleet::{splitmix64, Fleet, FleetConfig, HashRing, Workload};
 use rossl_journal::{recover, JournalWriter, KIND_EVENT};
-use rossl_model::{Duration, Instant, Job, Mode, MsgData, TaskSet, WcetTable};
+use rossl_model::{Duration, Instant, Job, Message, Mode, MsgData, SocketId, TaskSet, WcetTable};
 use rossl_obs::{Registry, SchedSink, SchedulerMetrics};
+use rossl_sockets::{ReadOutcome, SocketSet};
 use rossl_timing::{
     check_consistency, check_wcet_compliance, SimulationResult, Simulator, UniformCost,
 };
@@ -56,7 +57,8 @@ use rossl_trace::{
 use rossl_verify::SpecMonitor;
 
 use crate::coverage::{channel, CoverageSample};
-use crate::input::FuzzInput;
+use crate::input::{bounds, FuzzInput, ShardFaultKind, ShardFaultSpec};
+use crate::rng::SplitRng;
 
 /// Step cap per drive segment — a backstop against pathological inputs,
 /// far above what any in-grammar input needs to quiesce.
@@ -99,42 +101,67 @@ fn finding(findings: &mut Vec<Finding>, oracle: &'static str, detail: String) {
     findings.push(Finding { oracle, detail });
 }
 
-/// The per-socket FIFO environment of the raw drive. Consumed cursors
+/// The per-socket FIFO environment of the raw drive, backed by the
+/// stack's own [`SocketSet`] transport (Def. 2.1 visibility: a message
+/// arriving at `t` is first readable at `t + 1`). Consumed cursors
 /// survive a crash: a message popped from the transport stays popped.
 struct Env {
-    fifos: Vec<VecDeque<(u64, MsgData)>>,
+    sockets: SocketSet,
     consumed: Vec<usize>,
+    /// Set while the scheduler idles with undelivered arrivals still in
+    /// the transport: the next read on a non-empty socket is served via
+    /// [`SocketSet::read_deadline`], whose returned instant is the
+    /// wakeup time the virtual clock fast-forwards to — no hand-rolled
+    /// poll loop.
+    hungry: bool,
 }
 
 impl Env {
     fn new(input: &FuzzInput) -> Env {
-        let mut fifos = vec![VecDeque::new(); input.n_sockets];
+        let mut sockets = SocketSet::new(input.n_sockets);
         for a in &input.arrivals {
-            fifos[a.sock].push_back((a.time, vec![a.task as u8]));
+            sockets
+                .enqueue(SocketId(a.sock), Instant(a.time), Message::new(vec![a.task as u8]))
+                .expect("sanitized arrivals target existing sockets");
         }
         Env {
-            fifos,
+            sockets,
             consumed: vec![0; input.n_sockets],
+            hungry: false,
         }
     }
 
-    fn try_read(&mut self, sock: usize, now: u64) -> Option<MsgData> {
-        if self.fifos[sock].front().is_some_and(|(t, _)| *t <= now) {
-            self.consumed[sock] += 1;
-            return self.fifos[sock].pop_front().map(|(_, m)| m);
+    /// Serves one scheduler `Read` request at virtual time `now`.
+    /// Returns the payload (if any) and the possibly fast-forwarded
+    /// clock value.
+    fn serve_read(&mut self, sock: usize, now: u64) -> (Option<MsgData>, u64) {
+        if self.hungry {
+            // Idle wakeup: an unbounded deadline always finds the
+            // socket's next message (a `Timeout` means the socket is
+            // empty — the scheduler polls its next socket).
+            return match self
+                .sockets
+                .read_deadline(SocketId(sock), Instant(now), Instant(u64::MAX))
+            {
+                Ok((ReadOutcome::Data { msg, .. }, at)) => {
+                    self.consumed[sock] += 1;
+                    self.hungry = false;
+                    (Some(msg.into_data()), at.0.max(now))
+                }
+                Ok((ReadOutcome::WouldBlock, _)) | Err(_) => (None, now),
+            };
         }
-        None
-    }
-
-    fn next_arrival(&self) -> Option<u64> {
-        self.fifos
-            .iter()
-            .filter_map(|f| f.front().map(|(t, _)| *t))
-            .min()
+        match self.sockets.try_read(SocketId(sock), Instant(now)) {
+            Ok(ReadOutcome::Data { msg, .. }) => {
+                self.consumed[sock] += 1;
+                (Some(msg.into_data()), now)
+            }
+            _ => (None, now),
+        }
     }
 
     fn drained(&self) -> bool {
-        self.next_arrival().is_none()
+        self.sockets.total_enqueued() == 0
     }
 }
 
@@ -191,7 +218,137 @@ pub fn execute(input: &FuzzInput, bug: Option<SeededBug>) -> RunOutcome {
     if input.crash_at.is_none() {
         timed_drive(input, bug, &system, &mut out);
     }
+    if input.is_fleet() {
+        fleet_drive(input, bug, &mut out);
+    }
     out
+}
+
+/// The workload submission gap for the fleet drive: one gap per floored
+/// period, plus a margin absorbing retry-delay compression (a re-routed
+/// datagram can land up to the full retry span — backoff, jitter and
+/// all — after its nominal tick), so kill-only chaos schedules stay
+/// inside every shard's sporadic curves.
+fn fleet_gap(input: &FuzzInput) -> u64 {
+    input
+        .tasks
+        .iter()
+        .map(|t| t.period.max(bounds::FLEET_PERIOD_FLOOR))
+        .max()
+        .unwrap_or(bounds::FLEET_PERIOD_FLOOR)
+        + 50
+}
+
+/// Drives the input's fleet (E22's chaos campaign, one schedule at a
+/// time): N shards, the consistent-hash router, and the input's
+/// kill/pause/partition plan, then runs the fleet oracle rows.
+fn fleet_drive(input: &FuzzInput, bug: Option<SeededBug>, out: &mut RunOutcome) {
+    let system = input.fleet_system();
+    let config = FleetConfig {
+        n_shards: input.n_shards,
+        seed: input.seed,
+        ..FleetConfig::default()
+    };
+    let workload = Workload {
+        jobs_per_key: 1 + (input.arrivals.len() as u64 / input.tasks.len() as u64).min(2),
+        gap_ticks: fleet_gap(input),
+    };
+    let Ok(fleet) = Fleet::new(&system, config) else {
+        // The floored task set always analyses (see
+        // `bounds::FLEET_PERIOD_FLOOR`); a rejection is outside the
+        // fleet oracles' contract, not a finding.
+        return;
+    };
+    let mut fleet = fleet;
+    if let Some(b) = bug.filter(SeededBug::is_fleet_bug) {
+        fleet = fleet.with_seeded_bug(b);
+    }
+    let outcome = fleet.run(workload, &input.fleet_fault_plan());
+    out.steps += outcome.ticks;
+
+    // Every failover must trace back to an injected shard fault.
+    for f in &outcome.unjustified_failovers {
+        finding(
+            &mut out.findings,
+            "fleet-failover",
+            format!(
+                "shard {} fenced ({:?}) at tick {} with no injected fault to justify it",
+                f.dead, f.cause, f.detect_tick
+            ),
+        );
+    }
+    // Per-shard Prosa bounds hold on every in-model (surviving,
+    // curve-respecting) shard, failovers and all.
+    if outcome.bound_violations > 0 {
+        finding(
+            &mut out.findings,
+            "fleet-bound",
+            format!(
+                "{} response(s) exceeded their shard's Prosa bound",
+                outcome.bound_violations
+            ),
+        );
+    }
+    // The cross-shard checker: per-shard protocol + seam accounting +
+    // conservation of accepted jobs across migrations.
+    if let Err(e) = &outcome.fleet_check {
+        finding(&mut out.findings, "fleet-check", format!("{e:?}"));
+    }
+    // Accounting conservation is only guaranteed for kill-only
+    // schedules: kills are detected well inside the router's retry
+    // span, so every resent datagram reaches a survivor. Pauses fence
+    // late and partitions can outlast the whole retry span — both can
+    // honestly strand a delivered-once payload.
+    let kill_only = !input.shard_faults.is_empty()
+        && input
+            .shard_faults
+            .iter()
+            .all(|sf| sf.kind == ShardFaultKind::Kill);
+    if (kill_only || input.shard_faults.is_empty()) && !outcome.lost.is_empty() {
+        finding(
+            &mut out.findings,
+            "fleet-lost",
+            format!("accepted payload(s) lost under kills only: seqs {:?}", outcome.lost),
+        );
+    }
+
+    // Coverage: fold the outcome shape into the digest map and feed the
+    // failover-latency channel (detect -> migrated).
+    out.coverage.digest(splitmix64(
+        outcome.completed
+            ^ (outcome.resent << 16)
+            ^ ((outcome.failovers.len() as u64) << 32)
+            ^ ((outcome.shed) << 40),
+    ));
+    for f in &outcome.failovers {
+        out.coverage
+            .latency(channel::FAILOVER, f.migrated_tick.saturating_sub(f.detect_tick));
+    }
+}
+
+/// Reshapes `input` into a fleet input with one aimed kill: the shard
+/// owning key 0 dies just after key 0's first submission, so it
+/// provably dies with accepted work in flight — the schedule shape
+/// [`SeededBug::DroppedFailover`] needs to surface. Used by teeth
+/// campaigns (`FuzzConfig::force_fleet`).
+pub(crate) fn force_fleet(input: &mut FuzzInput, rng: &mut SplitRng) {
+    input.n_shards = 3;
+    input.crash_at = None;
+    input.shard_faults.clear();
+    input.sanitize();
+    // Replicate the fleet's own submission stagger for key 0 and the
+    // ring's placement of key 0, then kill the owner a few ticks after
+    // the first delivery lands (before its job can complete).
+    let gap = fleet_gap(input);
+    let stagger = splitmix64(input.seed) % gap;
+    let hot = HashRing::new(3, input.seed).route(0).unwrap_or(0);
+    input.shard_faults.push(ShardFaultSpec {
+        kind: ShardFaultKind::Kill,
+        shard: hot,
+        at_tick: stagger + 2 + rng.range(0, 6),
+        for_ticks: 0,
+    });
+    input.sanitize();
 }
 
 fn raw_drive(
@@ -303,7 +460,9 @@ fn raw_drive(
 
         match step.request {
             Some(Request::Read(sock)) => {
-                response = Some(Response::ReadResult(env.try_read(sock.0, now)));
+                let (msg, at) = env.serve_read(sock.0, now);
+                now = at;
+                response = Some(Response::ReadResult(msg));
             }
             Some(Request::Execute(job)) => {
                 response = Some(execute_response(input, tasks, &job));
@@ -321,11 +480,10 @@ fn raw_drive(
                 quiesced = true;
                 break;
             }
-            // Fast-forward the idle gap: reads would fail until the next
-            // arrival becomes visible anyway.
-            if let Some(next) = env.next_arrival() {
-                now = now.max(next);
-            }
+            // Arrivals are still in flight: serve the next non-empty
+            // read through the deadline API, which fast-forwards the
+            // clock to the wakeup instant.
+            env.hungry = true;
         }
         if trace.len() >= MAX_DRIVE_STEPS {
             break;
@@ -605,7 +763,9 @@ fn crash_oracles(
         out.coverage.digest(sched2.digest64());
         match step.request {
             Some(Request::Read(sock)) => {
-                response = Some(Response::ReadResult(env.try_read(sock.0, now)));
+                let (msg, at) = env.serve_read(sock.0, now);
+                now = at;
+                response = Some(Response::ReadResult(msg));
             }
             Some(Request::Execute(job)) => {
                 response = Some(execute_response(input, tasks, &job));
@@ -618,9 +778,7 @@ fn crash_oracles(
             if env.drained() && sched2.suspended_count() == 0 && sched2.mode() == Mode::Lo {
                 break;
             }
-            if let Some(next) = env.next_arrival() {
-                now = now.max(next);
-            }
+            env.hungry = true;
         }
         if seg1.len() >= MAX_DRIVE_STEPS {
             break;
@@ -873,12 +1031,36 @@ mod tests {
                     input.crash_at = Some(rng.range(5, 120));
                     input.sanitize();
                 }
+                if bug.is_fleet_bug() {
+                    // Fleet bugs only surface with >= 2 shards and a
+                    // kill that strands accepted work.
+                    force_fleet(&mut input, &mut rng);
+                }
                 if !execute(&input, Some(bug)).clean() {
                     detected = true;
                     break;
                 }
             }
             assert!(detected, "seeded bug {bug} escaped 60 fuzz inputs");
+        }
+    }
+
+    /// The honest fleet is clean under forced (aimed-kill) schedules:
+    /// the same schedules the teeth harness uses to surface
+    /// `DroppedFailover` must produce zero findings without the bug.
+    #[test]
+    fn honest_forced_fleet_inputs_are_clean() {
+        let mut rng = SplitRng::new(0xF7EE);
+        for i in 0..8 {
+            let mut input = FuzzInput::generate(&mut rng);
+            force_fleet(&mut input, &mut rng);
+            let out = execute(&input, None);
+            assert!(
+                out.clean(),
+                "honest forced-fleet input #{i} produced findings: {:?}\ninput:\n{}",
+                out.findings,
+                input.to_text()
+            );
         }
     }
 }

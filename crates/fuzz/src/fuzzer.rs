@@ -40,6 +40,10 @@ pub struct FuzzConfig {
     /// Force a crash point onto every input that lacks one — used by
     /// teeth mode for driver bugs, which only crash recovery can see.
     pub force_crash: bool,
+    /// Reshape every input into a fleet input with one aimed shard
+    /// kill — used by teeth mode for fleet bugs, which only a >= 2
+    /// shard failover can see.
+    pub force_fleet: bool,
     /// Stop after this many findings (`0` = never stop on findings).
     pub max_findings: usize,
 }
@@ -54,6 +58,7 @@ impl Default for FuzzConfig {
             corpus_dir: None,
             shrink: true,
             force_crash: false,
+            force_fleet: false,
             max_findings: 5,
         }
     }
@@ -138,6 +143,9 @@ pub fn run_campaign(config: &FuzzConfig) -> FuzzReport {
         if config.force_crash && input.crash_at.is_none() {
             input.crash_at = Some(mut_rng.range(2, 150));
             input.sanitize();
+        }
+        if config.force_fleet {
+            crate::exec::force_fleet(&mut input, &mut mut_rng);
         }
 
         let out = execute(&input, config.bug);

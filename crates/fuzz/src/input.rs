@@ -51,6 +51,21 @@ pub mod bounds {
     pub const OVERRUN_EXTRA: (u64, u64) = (1, 25);
     /// Maximum HI-mode WCET in ticks (LO WCET is the lower bound).
     pub const WCET_HI_MAX: u64 = 75;
+    /// Maximum number of fleet shards (1 = no fleet, plain drives only).
+    pub const MAX_SHARDS: usize = 4;
+    /// Maximum number of shard-fault clauses.
+    pub const MAX_SHARD_FAULTS: usize = 3;
+    /// Shard pause / partition duration range in ticks (inclusive).
+    pub const SHARD_PAUSE: (u64, u64) = (1, 400);
+    /// Shard-fault injection tick range (inclusive).
+    pub const SHARD_FAULT_AT: (u64, u64) = (1, 2_400);
+    /// Minimum task period used when lowering a fuzz task set onto a
+    /// fleet shard. Fleet shards carry per-marker overheads and a HI
+    /// budget up to [`WCET_HI_MAX`], and the fleet bound oracle needs
+    /// every shard's response-time analysis to converge for *arbitrary*
+    /// grammar task sets; flooring the period at 800 keeps total demand
+    /// (4 tasks x C_HI 75 + overheads) well under one period.
+    pub const FLEET_PERIOD_FLOOR: u64 = 800;
 }
 
 /// One task of the generated task set.
@@ -205,6 +220,92 @@ impl FaultKind {
     }
 }
 
+/// The grammar's closed set of shard-fault kinds (codec v3). Mirrors
+/// the fleet-level [`FaultClass`] variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum ShardFaultKind {
+    Kill,
+    Pause,
+    Partition,
+}
+
+impl ShardFaultKind {
+    pub(crate) fn generate(rng: &mut SplitRng) -> ShardFaultKind {
+        match rng.below(3) {
+            0 => ShardFaultKind::Kill,
+            1 => ShardFaultKind::Pause,
+            _ => ShardFaultKind::Partition,
+        }
+    }
+
+    fn codec_name(self) -> &'static str {
+        match self {
+            ShardFaultKind::Kill => "kill",
+            ShardFaultKind::Pause => "pause",
+            ShardFaultKind::Partition => "partition",
+        }
+    }
+
+    fn from_codec(name: &str) -> Option<ShardFaultKind> {
+        Some(match name {
+            "kill" => ShardFaultKind::Kill,
+            "pause" => ShardFaultKind::Pause,
+            "partition" => ShardFaultKind::Partition,
+            _ => return None,
+        })
+    }
+}
+
+/// A shard-fault clause: one kill / pause / partition event against one
+/// fleet shard at a fixed fleet tick (codec v3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardFaultSpec {
+    /// What happens to the shard.
+    pub kind: ShardFaultKind,
+    /// Which shard (index into the fleet, `< n_shards`).
+    pub shard: usize,
+    /// Fleet tick at which the fault strikes.
+    pub at_tick: u64,
+    /// Duration for pause / partition; 0 for kill.
+    pub for_ticks: u64,
+}
+
+impl ShardFaultSpec {
+    pub(crate) fn generate(rng: &mut SplitRng, n_shards: usize) -> ShardFaultSpec {
+        let kind = ShardFaultKind::generate(rng);
+        ShardFaultSpec {
+            kind,
+            shard: rng.index(n_shards),
+            at_tick: rng.range(bounds::SHARD_FAULT_AT.0, bounds::SHARD_FAULT_AT.1),
+            for_ticks: match kind {
+                ShardFaultKind::Kill => 0,
+                _ => rng.range(bounds::SHARD_PAUSE.0, bounds::SHARD_PAUSE.1),
+            },
+        }
+    }
+
+    /// Lowers to the fleet-level [`FaultClass`].
+    pub fn class(self) -> FaultClass {
+        match self.kind {
+            ShardFaultKind::Kill => FaultClass::ShardKill {
+                shard: self.shard,
+                at_tick: self.at_tick,
+            },
+            ShardFaultKind::Pause => FaultClass::ShardPause {
+                shard: self.shard,
+                at_tick: self.at_tick,
+                for_ticks: self.for_ticks,
+            },
+            ShardFaultKind::Partition => FaultClass::Partition {
+                shard: self.shard,
+                at_tick: self.at_tick,
+                for_ticks: self.for_ticks,
+            },
+        }
+    }
+}
+
 /// A structured fuzz input: one point of the grammar.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FuzzInput {
@@ -225,6 +326,13 @@ pub struct FuzzInput {
     pub crash_at: Option<u64>,
     /// Timed-simulation horizon, ticks.
     pub horizon: u64,
+    /// Fleet width: 1 = no fleet drive (codec v1/v2), 2..=
+    /// [`bounds::MAX_SHARDS`] adds the chaos-campaign fleet drive
+    /// (codec v3).
+    pub n_shards: usize,
+    /// Shard-fault clauses (kill / pause / partition) for the fleet
+    /// drive; empty unless `n_shards > 1`.
+    pub shard_faults: Vec<ShardFaultSpec>,
 }
 
 /// Why a corpus file failed to parse.
@@ -250,6 +358,8 @@ impl std::error::Error for ParseError {}
 const HEADER_V1: &str = "rossl-fuzz-input v1";
 /// Codec v2: v1 plus `crit` and `overrun` clauses.
 const HEADER_V2: &str = "rossl-fuzz-input v2";
+/// Codec v3: v2 plus `shards` and `shard-fault` clauses (fleet drive).
+const HEADER_V3: &str = "rossl-fuzz-input v3";
 
 impl FuzzInput {
     /// Generates a fresh input from `rng`; the result is sanitized.
@@ -324,7 +434,21 @@ impl FuzzInput {
             overruns,
             crash_at,
             horizon,
+            n_shards: 1,
+            shard_faults: Vec::new(),
         };
+        // Fleet inputs are the rare tail of the distribution: the fleet
+        // drive is ~100x the cost of the raw drive, so one in five
+        // inputs carrying a fleet keeps campaign throughput while still
+        // exercising the failover oracles every few dozen iterations.
+        if rng.chance(200) {
+            input.n_shards = rng.range(2, bounds::MAX_SHARDS as u64) as usize;
+            for _ in 0..rng.range(0, bounds::MAX_SHARD_FAULTS as u64) {
+                input
+                    .shard_faults
+                    .push(ShardFaultSpec::generate(rng, input.n_shards));
+            }
+        }
         input.sanitize();
         input
     }
@@ -380,6 +504,46 @@ impl FuzzInput {
         if let Some(at) = &mut self.crash_at {
             *at = (*at).clamp(1, bounds::MAX_CRASH_AT);
         }
+        self.n_shards = self.n_shards.clamp(1, bounds::MAX_SHARDS);
+        if self.n_shards < 2 {
+            self.shard_faults.clear();
+        }
+        self.shard_faults.truncate(bounds::MAX_SHARD_FAULTS);
+        let n_shards = self.n_shards;
+        for sf in &mut self.shard_faults {
+            sf.shard %= n_shards;
+            sf.at_tick = sf
+                .at_tick
+                .clamp(bounds::SHARD_FAULT_AT.0, bounds::SHARD_FAULT_AT.1);
+            sf.for_ticks = match sf.kind {
+                ShardFaultKind::Kill => 0,
+                _ => sf
+                    .for_ticks
+                    .clamp(bounds::SHARD_PAUSE.0, bounds::SHARD_PAUSE.1),
+            };
+        }
+        self.shard_faults
+            .sort_by_key(|sf| (sf.shard, sf.at_tick, sf.kind, sf.for_ticks));
+        self.shard_faults.dedup();
+        // Survivor rule: the chaos-campaign oracles need at least one
+        // shard that is never fenced, otherwise the fleet honestly
+        // reports lost jobs (no successor exists for the last fence).
+        // Kills always fence; pauses may fence as hangs, so both count
+        // conservatively. Partitions never fence and stay untouched.
+        let mut fenced: Vec<usize> = Vec::new();
+        self.shard_faults.retain(|sf| {
+            if sf.kind == ShardFaultKind::Partition {
+                return true;
+            }
+            if fenced.contains(&sf.shard) {
+                return true;
+            }
+            if fenced.len() + 1 < n_shards {
+                fenced.push(sf.shard);
+                return true;
+            }
+            false
+        });
     }
 
     /// Lowers the task set and socket count to a built [`RosslSystem`].
@@ -443,6 +607,43 @@ impl FuzzInput {
         plan
     }
 
+    /// `true` when the input carries a fleet (the fleet drive runs and
+    /// the input serializes as codec v3).
+    pub fn is_fleet(&self) -> bool {
+        self.n_shards > 1
+    }
+
+    /// Lowers the shard-fault clauses to a [`FaultPlan`] for
+    /// [`rossl_fleet::Fleet::run`]. Shard faults are scheduled (always
+    /// fire at their tick), not rate-based.
+    pub fn fleet_fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::empty(self.seed);
+        for sf in &self.shard_faults {
+            plan = plan.with(FaultSpec::always(sf.class()));
+        }
+        plan
+    }
+
+    /// Lowers the task set for the fleet drive: the same tasks as
+    /// [`FuzzInput::system`] but with every period floored at
+    /// [`bounds::FLEET_PERIOD_FLOOR`], so each shard's response-time
+    /// analysis converges for any grammar task set (the fleet bound
+    /// oracle requires per-shard bounds to exist).
+    pub fn fleet_system(&self) -> RosslSystem {
+        let mut b = SystemBuilder::new().sockets(self.n_sockets);
+        for (i, t) in self.tasks.iter().enumerate() {
+            b = b.mc_task(
+                format!("t{i}"),
+                Priority(t.priority as u32),
+                Duration(t.wcet),
+                Curve::sporadic(Duration(t.period.max(bounds::FLEET_PERIOD_FLOOR))),
+                if t.hi { Criticality::Hi } else { Criticality::Lo },
+                Duration(t.wcet_hi),
+            );
+        }
+        b.build().expect("sanitized input must build")
+    }
+
     /// `true` when the (nominal) arrival schedule respects every task's
     /// sporadic curve — the precondition of the Prosa bound oracle.
     pub fn respects_curves(&self) -> bool {
@@ -465,13 +666,19 @@ impl FuzzInput {
     /// of a sanitized input re-parses to an equal input.
     pub fn to_text(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(
-            s,
-            "{}",
-            if self.is_plain() { HEADER_V1 } else { HEADER_V2 }
-        );
+        let header = if self.is_fleet() {
+            HEADER_V3
+        } else if self.is_plain() {
+            HEADER_V1
+        } else {
+            HEADER_V2
+        };
+        let _ = writeln!(s, "{header}");
         let _ = writeln!(s, "seed {}", self.seed);
         let _ = writeln!(s, "sockets {}", self.n_sockets);
+        if self.is_fleet() {
+            let _ = writeln!(s, "shards {}", self.n_shards);
+        }
         let _ = writeln!(s, "horizon {}", self.horizon);
         for t in &self.tasks {
             let _ = writeln!(s, "task {} {} {}", t.priority, t.wcet, t.period);
@@ -502,6 +709,16 @@ impl FuzzInput {
         for o in &self.overruns {
             let _ = writeln!(s, "overrun {} {}", o.job, o.extra);
         }
+        for sf in &self.shard_faults {
+            let _ = writeln!(
+                s,
+                "shard-fault {} {} {} {}",
+                sf.kind.codec_name(),
+                sf.shard,
+                sf.at_tick,
+                sf.for_ticks
+            );
+        }
         if let Some(at) = self.crash_at {
             let _ = writeln!(s, "crash {at}");
         }
@@ -520,7 +737,8 @@ impl FuzzInput {
         };
         let mut lines = text.lines().enumerate();
         match lines.next() {
-            Some((_, h)) if h.trim() == HEADER_V1 || h.trim() == HEADER_V2 => {}
+            Some((_, h))
+                if h.trim() == HEADER_V1 || h.trim() == HEADER_V2 || h.trim() == HEADER_V3 => {}
             _ => return Err(err(1, "missing header")),
         }
         let mut input = FuzzInput {
@@ -532,6 +750,8 @@ impl FuzzInput {
             overruns: Vec::new(),
             crash_at: None,
             horizon: 1_000,
+            n_shards: 1,
+            shard_faults: Vec::new(),
         };
         for (i, line) in lines {
             let line = line.trim();
@@ -615,6 +835,27 @@ impl FuzzInput {
                         rate_permille: rate,
                     });
                 }
+                "shards" => input.n_shards = num("bad shard count")? as usize,
+                "shard-fault" => {
+                    let name = line.split_whitespace().nth(1).unwrap_or("");
+                    let kind = ShardFaultKind::from_codec(name)
+                        .ok_or_else(|| err(i + 1, "unknown shard-fault kind"))?;
+                    let mut rest = line.split_whitespace().skip(2);
+                    let mut num = |what: &str| -> Result<u64, ParseError> {
+                        rest.next()
+                            .and_then(|p| p.parse().ok())
+                            .ok_or_else(|| err(i + 1, what))
+                    };
+                    let shard = num("bad shard-fault shard")? as usize;
+                    let at_tick = num("bad shard-fault tick")?;
+                    let for_ticks = num("bad shard-fault duration")?;
+                    input.shard_faults.push(ShardFaultSpec {
+                        kind,
+                        shard,
+                        at_tick,
+                        for_ticks,
+                    });
+                }
                 "crash" => input.crash_at = Some(num("bad crash point")?),
                 _ => return Err(err(i + 1, "unknown keyword")),
             }
@@ -664,7 +905,10 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(FuzzInput::from_text("not a corpus file").is_err());
         assert!(FuzzInput::from_text("rossl-fuzz-input v1\nbogus 1").is_err());
-        assert!(FuzzInput::from_text("rossl-fuzz-input v3\nseed 1").is_err());
+        assert!(FuzzInput::from_text("rossl-fuzz-input v4\nseed 1").is_err());
+        assert!(
+            FuzzInput::from_text("rossl-fuzz-input v3\nshard-fault melt 0 10 0").is_err()
+        );
         // A crit clause must name an already-declared task.
         assert!(FuzzInput::from_text("rossl-fuzz-input v2\ncrit 0 lo 9").is_err());
         assert!(
@@ -684,6 +928,8 @@ mod tests {
                 t.wcet_hi = t.wcet;
             }
             input.overruns.clear();
+            input.n_shards = 1;
+            input.shard_faults.clear();
             assert!(input.is_plain());
             assert!(input.mode_policy().is_none());
             let text = input.to_text();
@@ -716,5 +962,102 @@ mod tests {
         assert!(v1.is_plain());
         assert!(v1.tasks[0].hi && v1.tasks[0].wcet_hi == v1.tasks[0].wcet);
         assert!(v1.overruns.is_empty());
+    }
+
+    /// Fleet inputs serialize as v3 and round-trip; a v2 body parses to
+    /// the no-fleet default.
+    #[test]
+    fn fleet_inputs_round_trip_as_v3() {
+        let text = "rossl-fuzz-input v3\n\
+                    seed 11\nsockets 2\nshards 3\nhorizon 900\n\
+                    task 3 5 100\ntask 1 4 120\n\
+                    arrival 10 0 1\n\
+                    shard-fault kill 1 40 0\n\
+                    shard-fault pause 0 80 30\n\
+                    shard-fault partition 2 120 60\n";
+        let input = FuzzInput::from_text(text).expect("parse");
+        assert!(input.is_fleet());
+        assert_eq!(input.n_shards, 3);
+        assert_eq!(input.shard_faults.len(), 3);
+        assert!(input.to_text().starts_with("rossl-fuzz-input v3\n"));
+        let reparsed = FuzzInput::from_text(&input.to_text()).expect("reparse");
+        assert_eq!(reparsed, input);
+        assert_eq!(input.fleet_fault_plan().fleet_specs().count(), 3);
+
+        let v2 = FuzzInput::from_text("rossl-fuzz-input v2\ntask 3 5 100\ncrit 0 lo 9\n")
+            .expect("v2");
+        assert!(!v2.is_fleet());
+        assert!(v2.shard_faults.is_empty());
+    }
+
+    /// Sanitization never lets fencing faults (kill / pause) cover every
+    /// shard: at least one shard always survives, so honest fleet runs
+    /// always have a failover successor.
+    #[test]
+    fn sanitize_keeps_one_shard_unfenced() {
+        let mut rng = SplitRng::new(0x51AB);
+        for _ in 0..400 {
+            let mut input = FuzzInput::generate(&mut rng);
+            input.n_shards = 2;
+            input.shard_faults = vec![
+                ShardFaultSpec {
+                    kind: ShardFaultKind::Kill,
+                    shard: 0,
+                    at_tick: 40,
+                    for_ticks: 0,
+                },
+                ShardFaultSpec {
+                    kind: ShardFaultKind::Pause,
+                    shard: 1,
+                    at_tick: 80,
+                    for_ticks: rng.range(1, 400),
+                },
+                ShardFaultSpec {
+                    kind: ShardFaultKind::Partition,
+                    shard: rng.index(2),
+                    at_tick: 120,
+                    for_ticks: 60,
+                },
+            ];
+            input.sanitize();
+            let fenced: std::collections::HashSet<usize> = input
+                .shard_faults
+                .iter()
+                .filter(|sf| sf.kind != ShardFaultKind::Partition)
+                .map(|sf| sf.shard)
+                .collect();
+            assert!(
+                fenced.len() < input.n_shards,
+                "all shards fenced: {:?}",
+                input.shard_faults
+            );
+            // Partitions are never dropped by the survivor rule.
+            assert!(input
+                .shard_faults
+                .iter()
+                .any(|sf| sf.kind == ShardFaultKind::Partition));
+        }
+    }
+
+    /// The fleet task lowering floors periods so the per-shard analysis
+    /// always converges — the fleet bound oracle depends on it.
+    #[test]
+    fn fleet_system_always_analyses() {
+        let mut rng = SplitRng::new(0xF1EE);
+        for _ in 0..40 {
+            let mut input = FuzzInput::generate(&mut rng);
+            input.n_shards = 3;
+            input.sanitize();
+            let sys = input.fleet_system();
+            use rossl_model::ArrivalCurve as _;
+            for t in sys.tasks() {
+                // One job per floor-length window: the flooring took.
+                assert!(
+                    t.arrival_curve()
+                        .max_arrivals(rossl_model::Duration(bounds::FLEET_PERIOD_FLOOR))
+                        <= 1
+                );
+            }
+        }
     }
 }

@@ -23,6 +23,10 @@
 //! | `wcet`        | an action overran its Thm. 5.1 budget                 |
 //! | `bound`       | a response time exceeded the Prosa bound              |
 //! | `drive`       | the scheduler got stuck mid-loop                      |
+//! | `fleet-check` | cross-shard checker rejected a fleet run (DESIGN §10) |
+//! | `fleet-lost`  | an accepted payload vanished under kills only         |
+//! | `fleet-failover` | a shard was fenced with no injected fault          |
+//! | `fleet-bound` | a surviving shard broke its per-shard Prosa bound     |
 //!
 //! Because all oracles run on every input, the fuzzer flags *differential*
 //! findings — two views of the same run disagreeing — even when each view
@@ -62,7 +66,8 @@ pub use coverage::{channel, CoverageMap, CoverageSample};
 pub use exec::{execute, Finding, RunOutcome};
 pub use fuzzer::{run_campaign, CampaignFinding, FuzzConfig, FuzzReport};
 pub use input::{
-    bounds, ArrivalSpec, FaultEntry, FaultKind, FuzzInput, OverrunSpec, ParseError, TaskSpec,
+    bounds, ArrivalSpec, FaultEntry, FaultKind, FuzzInput, OverrunSpec, ParseError,
+    ShardFaultKind, ShardFaultSpec, TaskSpec,
 };
 pub use mutate::mutate;
 pub use repro::to_rust_test;

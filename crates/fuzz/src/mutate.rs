@@ -6,7 +6,9 @@
 //! fuzzer never wastes budget on parse or build failures (the classic
 //! argument for structured fuzzing of highly-constrained inputs).
 
-use crate::input::{bounds, ArrivalSpec, FaultEntry, FaultKind, FuzzInput, OverrunSpec, TaskSpec};
+use crate::input::{
+    bounds, ArrivalSpec, FaultEntry, FaultKind, FuzzInput, OverrunSpec, ShardFaultSpec, TaskSpec,
+};
 use crate::rng::SplitRng;
 
 /// Produces a mutant of `input`, applying 1–3 random mutation operators.
@@ -21,7 +23,7 @@ pub fn mutate(input: &FuzzInput, rng: &mut SplitRng) -> FuzzInput {
 }
 
 fn apply_one(input: &mut FuzzInput, rng: &mut SplitRng) {
-    match rng.below(15) {
+    match rng.below(17) {
         // Arrival schedule.
         0 => {
             // Add an arrival; half the time duplicate an existing
@@ -142,7 +144,7 @@ fn apply_one(input: &mut FuzzInput, rng: &mut SplitRng) {
                 });
             }
         }
-        _ => {
+        14 => {
             if !input.overruns.is_empty() {
                 let i = rng.index(input.overruns.len());
                 if rng.chance(400) {
@@ -150,6 +152,34 @@ fn apply_one(input: &mut FuzzInput, rng: &mut SplitRng) {
                 } else {
                     input.overruns[i].extra =
                         rng.range(bounds::OVERRUN_EXTRA.0, bounds::OVERRUN_EXTRA.1);
+                }
+            }
+        }
+        // Fleet shape: grow/shrink the shard count (sanitize clears the
+        // shard-fault plan when the fleet collapses to one shard).
+        15 => {
+            input.n_shards = if input.n_shards > 1 && rng.chance(300) {
+                1
+            } else {
+                rng.range(2, bounds::MAX_SHARDS as u64) as usize
+            };
+        }
+        // Shard-fault plan: add a clause or perturb/drop an existing one.
+        _ => {
+            if input.n_shards < 2 {
+                input.n_shards = rng.range(2, bounds::MAX_SHARDS as u64) as usize;
+            }
+            if input.shard_faults.len() < bounds::MAX_SHARD_FAULTS && rng.chance(600) {
+                input
+                    .shard_faults
+                    .push(ShardFaultSpec::generate(rng, input.n_shards));
+            } else if !input.shard_faults.is_empty() {
+                let i = rng.index(input.shard_faults.len());
+                if rng.chance(400) {
+                    input.shard_faults.remove(i);
+                } else {
+                    input.shard_faults[i].at_tick =
+                        rng.range(bounds::SHARD_FAULT_AT.0, bounds::SHARD_FAULT_AT.1);
                 }
             }
         }

@@ -71,6 +71,7 @@ pub fn shrink(input: &FuzzInput, bug: Option<SeededBug>) -> FuzzInput {
         changed |= drop_unused_tasks(&mut sh, &mut best);
         changed |= shrink_faults(&mut sh, &mut best);
         changed |= shrink_overruns(&mut sh, &mut best);
+        changed |= shrink_fleet(&mut sh, &mut best);
         changed |= shrink_criticality(&mut sh, &mut best);
         changed |= shrink_scalars(&mut sh, &mut best);
         if !changed || sh.execs >= MAX_SHRINK_EXECS {
@@ -163,6 +164,35 @@ fn shrink_overruns(sh: &mut Shrinker, best: &mut FuzzInput) -> bool {
     for k in 0..best.overruns.len() {
         if best.overruns[k].extra > 1 && sh.attempt(best, |c| c.overruns[k].extra = 1) {
             changed = true;
+        }
+    }
+    changed
+}
+
+/// Simplifies the fleet surface toward the plain grammar: collapse the
+/// fleet to one shard (sanitize then clears the shard-fault plan), drop
+/// shard-fault clauses one at a time, and reduce the shard count.
+fn shrink_fleet(sh: &mut Shrinker, best: &mut FuzzInput) -> bool {
+    let mut changed = false;
+    if best.n_shards > 1 && sh.attempt(best, |c| c.n_shards = 1) {
+        changed = true;
+    }
+    let mut k = 0;
+    while k < best.shard_faults.len() {
+        if sh.attempt(best, |c| {
+            c.shard_faults.remove(k);
+        }) {
+            changed = true;
+        } else {
+            k += 1;
+        }
+    }
+    while best.n_shards > 2 {
+        let cand = best.n_shards - 1;
+        if sh.attempt(best, |c| c.n_shards = cand) {
+            changed = true;
+        } else {
+            break;
         }
     }
     changed

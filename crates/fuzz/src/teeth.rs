@@ -3,13 +3,15 @@
 //! A fuzzer whose oracles silently stopped biting looks exactly like a
 //! healthy codebase. Teeth mode turns that around: for every known bug
 //! in [`SeededBug::ALL`] it runs a budgeted campaign against a scheduler
-//! (or journaling driver) seeded with that bug and reports whether the
-//! oracle matrix caught it. CI asserts all four are caught — the
-//! fuzzer's own regression test.
+//! (or journaling driver, or fleet) seeded with that bug and reports
+//! whether the oracle matrix caught it. CI asserts every bug in the
+//! roster is caught — the fuzzer's own regression test.
 //!
 //! Driver bugs ([`SeededBug::is_driver_bug`]) are only observable
 //! through crash recovery, so their campaigns force a crash point onto
-//! every input.
+//! every input. Fleet bugs ([`SeededBug::is_fleet_bug`]) are only
+//! observable across a shard failover, so their campaigns reshape every
+//! input into a fleet with one aimed shard kill.
 
 use std::fmt;
 use std::time::Duration as WallDuration;
@@ -74,6 +76,7 @@ pub fn run_teeth(
                 corpus_dir: None,
                 shrink: true,
                 force_crash: bug.is_driver_bug(),
+                force_fleet: bug.is_fleet_bug(),
                 max_findings: 1,
             };
             let report: FuzzReport = run_campaign(&config);

@@ -389,9 +389,146 @@ impl CampaignMetrics {
     }
 }
 
+/// Fleet-router instruments, registered under `router.*`.
+///
+/// The router's whole decision trail — accept, retry, shed, fail —
+/// lands here so the E22 chaos campaign can assert accounting
+/// (`submissions == accepted + shed + failed`) straight off a snapshot.
+#[derive(Debug)]
+pub struct RouterMetrics {
+    /// Submit calls received.
+    pub submissions: Arc<Counter>,
+    /// Submissions accepted by some shard.
+    pub accepted: Arc<Counter>,
+    /// Submissions shed under backpressure (low criticality first).
+    pub shed: Arc<Counter>,
+    /// Submissions that exhausted their deadline or every retry.
+    pub failed: Arc<Counter>,
+    /// Individual delivery attempts that were retried.
+    pub retries: Arc<Counter>,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_opens: Arc<Counter>,
+    /// Circuit-breaker probe admissions (open → half-open).
+    pub breaker_probes: Arc<Counter>,
+    /// Circuit-breaker recoveries (half-open → closed).
+    pub breaker_closes: Arc<Counter>,
+    /// Backoff recorded before each retry, in ticks.
+    pub backoff_ticks: Arc<Histogram>,
+    /// Delivery attempts needed per accepted submission.
+    pub attempts: Arc<Histogram>,
+}
+
+impl RouterMetrics {
+    /// Registers the `router.*` instruments in `registry`.
+    pub fn register(registry: &Registry) -> Arc<RouterMetrics> {
+        Arc::new(RouterMetrics {
+            submissions: registry.counter("router.submissions"),
+            accepted: registry.counter("router.accepted"),
+            shed: registry.counter("router.shed"),
+            failed: registry.counter("router.failed"),
+            retries: registry.counter("router.retries"),
+            breaker_opens: registry.counter("router.breaker_opens"),
+            breaker_probes: registry.counter("router.breaker_probes"),
+            breaker_closes: registry.counter("router.breaker_closes"),
+            backoff_ticks: registry.histogram("router.backoff_ticks"),
+            attempts: registry.histogram("router.attempts"),
+        })
+    }
+}
+
+/// Fleet-supervisor instruments, registered under `fleet.*`.
+#[derive(Debug)]
+pub struct FleetMetrics {
+    /// Health-check sweeps performed.
+    pub health_checks: Arc<Counter>,
+    /// Shard deaths detected (crash escalation or heartbeat timeout).
+    pub failures_detected: Arc<Counter>,
+    /// In-place supervised restarts that succeeded (no migration).
+    pub restarts_in_place: Arc<Counter>,
+    /// Cross-shard migrations performed (fence + journal replay).
+    pub failovers: Arc<Counter>,
+    /// Jobs re-pended onto a successor per migration.
+    pub migrated_jobs: Arc<Histogram>,
+    /// Failover latency per migration: fleet ticks from failure
+    /// detection to the successor accepting the replayed state.
+    pub failover_latency_ticks: Arc<Histogram>,
+    /// Shards currently alive.
+    pub shards_alive: Arc<Gauge>,
+    /// Span log receiving one `failover` span per migration.
+    pub spans: Arc<SpanLog>,
+}
+
+impl FleetMetrics {
+    /// Registers the `fleet.*` instruments in `registry`, sharing
+    /// `spans` with other bundles.
+    pub fn register(registry: &Registry, spans: Arc<SpanLog>) -> Arc<FleetMetrics> {
+        Arc::new(FleetMetrics {
+            health_checks: registry.counter("fleet.health_checks"),
+            failures_detected: registry.counter("fleet.failures_detected"),
+            restarts_in_place: registry.counter("fleet.restarts_in_place"),
+            failovers: registry.counter("fleet.failovers"),
+            migrated_jobs: registry.histogram("fleet.migrated_jobs"),
+            failover_latency_ticks: registry.histogram("fleet.failover_latency_ticks"),
+            shards_alive: registry.gauge("fleet.shards_alive"),
+            spans,
+        })
+    }
+
+    /// Records one cross-shard migration: which shard died, who took
+    /// over, how many jobs moved, and how long detection-to-migrated
+    /// took in fleet ticks.
+    pub fn record_failover(
+        &self,
+        dead_shard: u64,
+        successor: u64,
+        migrated_jobs: u64,
+        latency_ticks: u64,
+    ) {
+        self.failovers.inc();
+        self.migrated_jobs.observe(migrated_jobs);
+        self.failover_latency_ticks.observe(latency_ticks);
+        self.spans.record(
+            SpanEvent::new("fleet", "failover")
+                .field("dead_shard", dead_shard)
+                .field("successor", successor)
+                .field("migrated_jobs", migrated_jobs)
+                .field("latency_ticks", latency_ticks),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_and_router_bundles_register_their_namespaces() {
+        let reg = Registry::new();
+        let spans = Arc::new(SpanLog::new());
+        let router = RouterMetrics::register(&reg);
+        let fleet = FleetMetrics::register(&reg, Arc::clone(&spans));
+
+        router.submissions.inc();
+        router.accepted.inc();
+        router.backoff_ticks.observe(4);
+        fleet.shards_alive.set(3);
+        fleet.record_failover(1, 2, 5, 7);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("router.submissions"), Some(1));
+        assert_eq!(snap.counter("router.accepted"), Some(1));
+        assert_eq!(snap.histogram("router.backoff_ticks").map(|h| h.max), Some(4));
+        assert_eq!(snap.gauge("fleet.shards_alive"), Some(3));
+        assert_eq!(snap.counter("fleet.failovers"), Some(1));
+        assert_eq!(
+            snap.histogram("fleet.failover_latency_ticks").map(|h| h.max),
+            Some(7)
+        );
+        let span = &spans.events_in("fleet")[0];
+        assert_eq!(span.label, "failover");
+        assert_eq!(span.get("dead_shard"), Some(1));
+        assert_eq!(span.get("migrated_jobs"), Some(5));
+    }
 
     #[test]
     fn noop_sink_discards_and_metrics_sink_applies() {

@@ -46,8 +46,8 @@ mod registry;
 mod span;
 
 pub use bundles::{
-    CampaignMetrics, SchedDepths, SchedSink, SchedulerMetrics, StepCounts, SupervisorMetrics,
-    VerifierMetrics,
+    CampaignMetrics, FleetMetrics, RouterMetrics, SchedDepths, SchedSink, SchedulerMetrics,
+    StepCounts, SupervisorMetrics, VerifierMetrics,
 };
 pub use export::{
     decode_snapshot, encode_snapshot, render_json, render_text, SnapshotDecodeError,

@@ -19,6 +19,7 @@
 //! | [`StaleJobId`](SeededBug::StaleJobId) | `σ_trace.idx` uniqueness (Fig. 6) | functional: `DuplicateJobId` |
 //! | [`SkippedCommit`](SeededBug::SkippedCommit) | journal durability at crash | stitched seam: `LostAcceptedJob` |
 //! | [`SkippedModeSwitch`](SeededBug::SkippedModeSwitch) | AMC switch on HI `C_LO` overrun | monitor: missed mode switch |
+//! | [`DroppedFailover`](SeededBug::DroppedFailover) | dead shard's jobs migrate to a successor | fleet accounting: lost accepted jobs |
 
 use std::fmt;
 
@@ -47,16 +48,23 @@ pub enum SeededBug {
     /// change protocol not invoked" defect. Only observable with an
     /// AMC-style policy installed.
     SkippedModeSwitch,
+    /// The fleet supervisor fences a dead shard but silently skips the
+    /// journal-replay migration to its successor, losing every job that
+    /// was pending or in flight on the dead shard. Interpreted by the
+    /// fleet layer (`rossl-fleet`), not by the scheduler itself; only
+    /// observable with ≥ 2 shards and an injected shard death.
+    DroppedFailover,
 }
 
 impl SeededBug {
     /// All seeded bugs, in teeth-harness order.
-    pub const ALL: [SeededBug; 5] = [
+    pub const ALL: [SeededBug; 6] = [
         SeededBug::OffByOnePriorityPick,
         SeededBug::LostPendingJob,
         SeededBug::StaleJobId,
         SeededBug::SkippedCommit,
         SeededBug::SkippedModeSwitch,
+        SeededBug::DroppedFailover,
     ];
 
     /// Stable kebab-case name, used in reports and CLI flags.
@@ -67,6 +75,7 @@ impl SeededBug {
             SeededBug::StaleJobId => "stale-job-id",
             SeededBug::SkippedCommit => "skipped-commit",
             SeededBug::SkippedModeSwitch => "skipped-mode-switch",
+            SeededBug::DroppedFailover => "dropped-failover",
         }
     }
 
@@ -79,6 +88,13 @@ impl SeededBug {
     /// the scheduler state machine (the scheduler ignores them).
     pub fn is_driver_bug(&self) -> bool {
         matches!(self, SeededBug::SkippedCommit)
+    }
+
+    /// `true` for bugs interpreted by the fleet layer rather than by a
+    /// single scheduler (the scheduler and journaling drivers ignore
+    /// them). Teeth campaigns force fleet-shaped inputs for these.
+    pub fn is_fleet_bug(&self) -> bool {
+        matches!(self, SeededBug::DroppedFailover)
     }
 }
 

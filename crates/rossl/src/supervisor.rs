@@ -57,6 +57,21 @@ impl RestartPolicy {
             backoff_base,
         }
     }
+
+    /// The backoff recorded before restart `attempt` (zero-based):
+    /// `backoff_base << attempt`, saturating at the integer-width
+    /// boundary. `checked_shl` only rejects shifts >= 64, so a shift
+    /// that pushes set bits past the top of the word would silently
+    /// truncate — saturate as soon as the shift cannot be represented
+    /// exactly. Shared with the fleet router, whose retry backoff must
+    /// match the supervisor's restart backoff by construction.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let ticks = self.backoff_base.ticks();
+        Duration(match ticks.checked_shl(attempt) {
+            Some(v) if attempt <= ticks.leading_zeros() => v,
+            _ => u64::MAX,
+        })
+    }
 }
 
 impl Default for RestartPolicy {
@@ -138,12 +153,19 @@ impl RecoveredState {
 pub enum RecoveryError {
     /// The journal has no salvageable prefix at all.
     Journal(JournalError),
-    /// The restart budget is spent.
+    /// The restart budget is spent. The journal's committed prefix is
+    /// still parsed once and carried here, so an escalation handler (the
+    /// fleet supervisor migrating the shard to a successor) never
+    /// re-parses the journal; `None` only when the journal itself is
+    /// unreadable.
     RestartBudgetExhausted {
         /// Restarts already performed.
         attempts: u32,
         /// The policy's limit.
         max_restarts: u32,
+        /// The last-good state replayed from the journal's committed
+        /// prefix, for cross-boundary migration.
+        last_good: Option<Box<RecoveredState>>,
     },
     /// A recovered job does not fit the configuration.
     Rebuild(DriveError),
@@ -156,9 +178,16 @@ impl fmt::Display for RecoveryError {
             RecoveryError::RestartBudgetExhausted {
                 attempts,
                 max_restarts,
+                last_good,
             } => write!(
                 f,
-                "restart budget exhausted ({attempts} of {max_restarts} restarts used)"
+                "restart budget exhausted ({attempts} of {max_restarts} restarts used; \
+                 last-good state {})",
+                if last_good.is_some() {
+                    "preserved"
+                } else {
+                    "unavailable"
+                }
             ),
             RecoveryError::Rebuild(e) => write!(f, "recovered state rejected: {e}"),
         }
@@ -253,20 +282,22 @@ impl Supervisor {
         codec: C,
     ) -> Result<(Scheduler<C>, RecoveredState, Option<Corruption>), RecoveryError> {
         if self.restarts >= self.policy.max_restarts {
+            // Escalation path: the committed prefix is parsed exactly
+            // once here and handed to the caller, so a failover handler
+            // can migrate the state without touching the journal again.
+            let last_good = recover(journal)
+                .ok()
+                .map(|r| Box::new(RecoveredState::from_events(&r.committed)));
+            if let Some(m) = &self.metrics {
+                m.failed_restarts.inc();
+            }
             return Err(RecoveryError::RestartBudgetExhausted {
                 attempts: self.restarts,
                 max_restarts: self.policy.max_restarts,
+                last_good,
             });
         }
-        // Saturating exponential backoff: `checked_shl` only rejects
-        // shifts >= 64, so a shift that pushes set bits past the top of
-        // the word would silently truncate. Saturate as soon as the
-        // shift cannot be represented exactly.
-        let ticks = self.policy.backoff_base.ticks();
-        let backoff = Duration(match ticks.checked_shl(self.restarts) {
-            Some(v) if self.restarts <= ticks.leading_zeros() => v,
-            _ => u64::MAX,
-        });
+        let backoff = self.policy.backoff_for(self.restarts);
         let started = std::time::Instant::now();
         let recovered = recover(journal).map_err(|e| {
             if let Some(m) = &self.metrics {
@@ -436,15 +467,76 @@ mod tests {
                 .expect("within budget");
         }
         let err = sup.restart(&journal, config(), FirstByteCodec).unwrap_err();
-        assert_eq!(
-            err,
+        match err {
             RecoveryError::RestartBudgetExhausted {
-                attempts: 2,
-                max_restarts: 2,
+                attempts,
+                max_restarts,
+                last_good,
+            } => {
+                assert_eq!((attempts, max_restarts), (2, 2));
+                // The (empty) journal still parses into a last-good state.
+                assert_eq!(last_good, Some(Box::new(RecoveredState::from_events(&[]))));
             }
-        );
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
         // Exponential backoff: 3, then 6.
         assert_eq!(sup.backoff_log(), &[Duration(3), Duration(6)]);
+    }
+
+    /// The escalation contract behind fleet failover: when the budget is
+    /// spent, the error still carries the journal's committed prefix as
+    /// a parsed `RecoveredState`, so migration never re-reads the
+    /// journal — and an unreadable journal degrades to `None` rather
+    /// than masking the budget error.
+    #[test]
+    fn budget_exhaustion_preserves_last_good_state() {
+        let mut journal = JournalWriter::new();
+        let j = Job::new(JobId(7), TaskId(0), vec![0]);
+        journal.append(
+            &Marker::ReadEnd {
+                sock: rossl_model::SocketId(0),
+                job: Some(j.clone()),
+            },
+            Instant(1),
+        );
+        journal.commit();
+        let bytes = journal.into_bytes();
+
+        let mut sup = Supervisor::new(RestartPolicy::new(0, Duration(1)));
+        let err = sup.restart(&bytes, config(), FirstByteCodec).unwrap_err();
+        let RecoveryError::RestartBudgetExhausted { last_good, .. } = err else {
+            panic!("expected budget exhaustion");
+        };
+        let state = *last_good.expect("committed prefix must be preserved");
+        assert_eq!(state.pending, vec![j]);
+        assert_eq!(state.next_job_id, 8);
+        assert_eq!(state.jobs_completed, 0);
+
+        // Unreadable journal: the budget error survives, state does not.
+        let err = sup
+            .restart(b"not a journal", config(), FirstByteCodec)
+            .unwrap_err();
+        let RecoveryError::RestartBudgetExhausted { last_good, .. } = err else {
+            panic!("expected budget exhaustion");
+        };
+        assert_eq!(last_good, None);
+    }
+
+    /// `RestartPolicy::backoff_for` is the single source of backoff
+    /// truth: it matches the log the supervisor records restart by
+    /// restart, so the fleet router can reuse it directly.
+    #[test]
+    fn backoff_for_matches_recorded_log() {
+        let journal = JournalWriter::new().into_bytes();
+        let policy = RestartPolicy::new(5, Duration(3));
+        let mut sup = Supervisor::new(policy);
+        for _ in 0..5 {
+            sup.restart(&journal, config(), FirstByteCodec)
+                .expect("within budget");
+        }
+        let expected: Vec<Duration> = (0..5).map(|k| policy.backoff_for(k)).collect();
+        assert_eq!(sup.backoff_log(), expected.as_slice());
+        assert_eq!(policy.backoff_for(200), Duration(u64::MAX));
     }
 
     /// Backoff saturates at the integer-width boundary instead of

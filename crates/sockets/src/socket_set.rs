@@ -52,6 +52,16 @@ pub enum SocketError {
         /// How many sockets exist.
         n_sockets: usize,
     },
+    /// A deadline-bounded read found no message readable by its
+    /// deadline ([`SocketSet::read_deadline`]): nothing had arrived
+    /// strictly before the deadline, so even waiting until then would
+    /// block. Typed so callers stop hand-rolling "no data yet" loops.
+    Timeout {
+        /// The socket that was polled.
+        sock: SocketId,
+        /// The deadline that expired.
+        deadline: Instant,
+    },
 }
 
 impl fmt::Display for SocketError {
@@ -70,6 +80,9 @@ impl fmt::Display for SocketError {
                 referenced.saturating_sub(1),
                 n_sockets,
             ),
+            SocketError::Timeout { sock, deadline } => {
+                write!(f, "read on {sock} timed out at deadline {deadline}")
+            }
         }
     }
 }
@@ -246,6 +259,46 @@ impl SocketSet {
         })
     }
 
+    /// Deadline-bounded read: delivers the oldest message on `sock`
+    /// readable at or before `deadline` — i.e. one that arrived strictly
+    /// before `max(now, deadline)` under the Def. 2.1 visibility rule —
+    /// or fails with a typed [`SocketError::Timeout`].
+    ///
+    /// The returned instant is the earliest virtual time at which the
+    /// read succeeds: `now` if the message is already visible, otherwise
+    /// the first tick after its arrival. Callers waiting on a socket
+    /// advance their clock to it instead of hand-rolling poll loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocketError::OutOfRange`] if `sock` does not exist and
+    /// [`SocketError::Timeout`] when nothing becomes readable by
+    /// `deadline`.
+    pub fn read_deadline(
+        &mut self,
+        sock: SocketId,
+        now: Instant,
+        deadline: Instant,
+    ) -> Result<(ReadOutcome, Instant), SocketError> {
+        let n_sockets = self.queues.len();
+        let q = self
+            .queues
+            .get(sock.0)
+            .ok_or(SocketError::OutOfRange { sock, n_sockets })?;
+        // Visibility is "arrived strictly before the read", so a message
+        // arriving at `t` is first readable at `t + 1`.
+        let one = rossl_model::Duration(1);
+        let readable_at = match q.front() {
+            Some((t, _)) if *t < now => Some(now),
+            Some((t, _)) if t.saturating_add(one) <= deadline => Some(t.saturating_add(one)),
+            _ => None,
+        };
+        match readable_at {
+            Some(at) => self.try_read(sock, at).map(|o| (o, at)),
+            None => Err(SocketError::Timeout { sock, deadline }),
+        }
+    }
+
     /// Number of messages on `sock` that have arrived strictly before
     /// `now` but have not been read — used by assertions and by the
     /// work-conservation experiments. Total: an out-of-range socket holds
@@ -363,6 +416,43 @@ mod tests {
         );
         assert_eq!(s.unread_arrived(SocketId(9), Instant(100)), 0);
         assert_eq!(SocketSet::try_new(0).unwrap_err(), SocketError::NoSockets);
+    }
+
+    #[test]
+    fn read_deadline_delivers_or_times_out() {
+        let mut s = SocketSet::new(1);
+        s.enqueue(SocketId(0), Instant(5), Message::new(vec![1])).unwrap();
+
+        // Already visible at `now`: delivered immediately.
+        let (outcome, at) = s.read_deadline(SocketId(0), Instant(6), Instant(10)).unwrap();
+        assert!(outcome.is_data());
+        assert_eq!(at, Instant(6));
+
+        // Nothing left: a typed timeout, not a silent WouldBlock.
+        assert_eq!(
+            s.read_deadline(SocketId(0), Instant(6), Instant(100)),
+            Err(SocketError::Timeout { sock: SocketId(0), deadline: Instant(100) })
+        );
+
+        // Future arrival inside the deadline: the clock advances to the
+        // first tick after arrival (visibility is strictly-before).
+        s.enqueue(SocketId(0), Instant(20), Message::new(vec![2])).unwrap();
+        let (outcome, at) = s.read_deadline(SocketId(0), Instant(6), Instant(21)).unwrap();
+        assert!(outcome.is_data());
+        assert_eq!(at, Instant(21));
+
+        // Arrival exactly at the deadline is not readable by it.
+        s.enqueue(SocketId(0), Instant(30), Message::new(vec![3])).unwrap();
+        assert_eq!(
+            s.read_deadline(SocketId(0), Instant(21), Instant(30)),
+            Err(SocketError::Timeout { sock: SocketId(0), deadline: Instant(30) })
+        );
+
+        // Out-of-range sockets stay a distinct typed error.
+        assert_eq!(
+            s.read_deadline(SocketId(9), Instant(0), Instant(10)),
+            Err(SocketError::OutOfRange { sock: SocketId(9), n_sockets: 1 })
+        );
     }
 
     #[test]
