@@ -35,6 +35,7 @@ const INDEX: &[(&str, &str, &str)] = &[
     ("E20", "fuzz", "differential fuzzing: clean-run soundness, oracle teeth, shrink quality"),
     ("E21", "amc", "mixed criticality: two-sided degradation property + AMC acceptance sweep"),
     ("E22", "fleet", "fleet chaos campaign: failover migration, latency, throughput, teeth"),
+    ("E23", "trace", "causal tracing: per-term bound attribution, blame fidelity, overhead"),
 ];
 
 fn main() {
@@ -157,6 +158,11 @@ fn main() {
         "fleet",
         "fleet chaos campaign: failover migration, latency, throughput, teeth (E22)",
         &|| exps::exp_fleet(smoke),
+    );
+    run(
+        "trace",
+        "causal tracing: per-term bound attribution, blame fidelity, overhead (E23)",
+        &|| exps::exp_trace(smoke),
     );
     run("loc","code inventory vs the paper's proof-effort table (§5)", &exps::exp_loc);
 }

@@ -1,0 +1,46 @@
+//! Validates an exported Chrome trace-event JSON file (CI's "the
+//! artifact actually parses" step — no external tools, the same
+//! hand-rolled parser the library tests use).
+//!
+//! ```sh
+//! cargo run -p refined-prosa-bench --bin trace_check -- TRACE_sample.trace.json
+//! ```
+//!
+//! Exits non-zero when the file is missing, fails to parse as Chrome
+//! trace-event JSON, or contains no events.
+
+use rossl_obs::parse_chrome_trace;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <file.trace.json>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match parse_chrome_trace(&text) {
+        Ok(events) if events.is_empty() => {
+            eprintln!("trace_check: {path} parsed but holds no events");
+            std::process::exit(1);
+        }
+        Ok(events) => {
+            let complete = events.iter().filter(|e| e.ph == "X").count();
+            let flows = events.len() - complete;
+            println!(
+                "trace_check: {path} OK — {} events ({complete} complete spans, {flows} flow \
+                 endpoints)",
+                events.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path} is not valid Chrome trace-event JSON: {e:?}");
+            std::process::exit(1);
+        }
+    }
+}

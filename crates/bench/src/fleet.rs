@@ -41,8 +41,9 @@ use rossl_model::{Curve, Duration, Priority};
 const LATENCY_EDGES: [u64; 5] = [0, 5, 10, 20, 40];
 
 /// The homogeneous fleet system every schedule runs: three tasks, any
-/// shard can absorb any other shard's jobs at failover.
-fn fleet_system() -> refined_prosa::RosslSystem {
+/// shard can absorb any other shard's jobs at failover. Shared with the
+/// E23 tracing experiment so both observe the same deployment.
+pub(crate) fn fleet_system() -> refined_prosa::RosslSystem {
     let mut builder = SystemBuilder::new();
     for (i, name) in ["telemetry", "control", "safety"].iter().enumerate() {
         builder = builder.task(

@@ -171,9 +171,10 @@ mod tests {
         // writes there (the real one is produced from the repo root).
         let _ = std::fs::remove_file("BENCH_fuzz.json");
         assert!(report.contains("0 disagreements"), "report:\n{report}");
-        assert!(report.contains("all 6 seeded bugs detected"), "report:\n{report}");
+        assert!(report.contains("all 7 seeded bugs detected"), "report:\n{report}");
         assert!(report.contains("skipped-commit"), "report:\n{report}");
         assert!(report.contains("skipped-mode-switch"), "report:\n{report}");
         assert!(report.contains("dropped-failover"), "report:\n{report}");
+        assert!(report.contains("orphan-span"), "report:\n{report}");
     }
 }

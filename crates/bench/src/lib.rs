@@ -21,6 +21,7 @@ pub mod fuzz;
 pub mod jitter;
 pub mod obs;
 pub mod setup;
+pub mod tracing;
 pub mod verify_bench;
 
 pub use experiments::{
@@ -35,9 +36,10 @@ pub use fleet::exp_fleet;
 pub use fuzz::exp_fuzz;
 pub use jitter::exp_fig7;
 pub use obs::exp_obs;
+pub use tracing::exp_trace;
 pub use verify_bench::exp_verify_bench;
 
-/// Serializes the heavyweight experiment smoke tests (E18–E22): they
+/// Serializes the heavyweight experiment smoke tests (E18–E23): they
 /// write `BENCH_*.json` artifacts into the crate directory and E19
 /// measures wall-clock overhead, so running them concurrently makes
 /// the timing assertion flaky.

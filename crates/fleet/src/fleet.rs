@@ -36,12 +36,16 @@ use rossl::{
 use rossl_faults::{FaultClass, FaultPlan};
 use rossl_journal::{recover, JournalWriter};
 use rossl_model::{check_respects, Criticality, Duration, Instant, Job, JobId, SocketId, TaskSet};
-use rossl_obs::{BoundObservatory, FleetMetrics, Registry, SpanLog};
+use rossl_obs::{
+    BoundObservatory, ClockDomain, FleetMetrics, Registry, SpanKind, SpanLog, TraceCollector,
+    TraceId,
+};
 use rossl_trace::Marker;
 use rossl_verify::{check_fleet, FleetCheckError, FleetReport, MigratedJob, MigrationManifest};
 
 use crate::router::{Router, RouterPolicy, ShardStatus};
 use crate::shard::{Shard, ShardEvent};
+use crate::tracing::ShardTracer;
 
 /// Builds the fleet payload for `(task, seq)`: the first byte routes
 /// the task (the `FirstByteCodec` contract), the next eight carry the
@@ -174,6 +178,22 @@ struct Detect {
     unhealthy_checks: u32,
 }
 
+/// One completed request's ground-truth response, as the fleet
+/// measured it from the journal-commit clocks — what experiment E23
+/// checks the trace-derived attribution against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobResponse {
+    /// Fleet-wide payload sequence number.
+    pub seq: u64,
+    /// The task it ran as.
+    pub task: usize,
+    /// The shard it completed on.
+    pub shard: usize,
+    /// Response time in that shard's ticks (arrival to completion
+    /// commit).
+    pub response: u64,
+}
+
 /// The complete outcome of one chaos run, carrying everything the E22
 /// oracles assert on.
 #[derive(Debug)]
@@ -211,6 +231,8 @@ pub struct FleetOutcome {
     pub fleet_check: Result<FleetReport, FleetCheckError>,
     /// Fleet tick of every completion, for throughput-over-time plots.
     pub completion_ticks: Vec<u64>,
+    /// Per-completion ground-truth response times, in completion order.
+    pub responses: Vec<JobResponse>,
 }
 
 /// A fleet of scheduler shards with routing, health checking, and
@@ -244,6 +266,12 @@ pub struct Fleet {
     delivered_once: Vec<bool>,
     completion_ticks: Vec<u64>,
     resent: u64,
+    responses: Vec<JobResponse>,
+    collector: Option<Arc<TraceCollector>>,
+    /// The alive count the last `Heartbeat` instant reported, so the
+    /// tracer only records liveness *changes* (steady-state sweeps are
+    /// trace noise and measurable hot-path cost).
+    traced_alive: Option<u64>,
 }
 
 impl Fleet {
@@ -262,7 +290,10 @@ impl Fleet {
             ClientConfig::new(tasks.clone(), n_sockets).map_err(SystemError::Config)?,
         );
         let registry = Registry::new();
-        let metrics = FleetMetrics::register(&registry, Arc::new(SpanLog::new()));
+        let metrics = FleetMetrics::register(
+            &registry,
+            Arc::new(SpanLog::registered(1024, &registry, "fleet.spans")),
+        );
         let router = Router::new(config.n_shards, config.seed, config.router.clone(), &registry);
         let mut shards = Vec::with_capacity(config.n_shards);
         let mut observatories = Vec::with_capacity(config.n_shards);
@@ -299,16 +330,39 @@ impl Fleet {
             delivered_once: Vec::new(),
             completion_ticks: Vec::new(),
             resent: 0,
+            responses: Vec::new(),
+            collector: None,
+            traced_alive: None,
         })
     }
 
     /// Installs a seeded bug for mutation testing. The fleet honors
-    /// [`SeededBug::DroppedFailover`] (fence without migration);
-    /// scheduler- and driver-level bugs belong to the single-shard
-    /// harnesses and are ignored here.
+    /// [`SeededBug::DroppedFailover`] (fence without migration) and
+    /// [`SeededBug::OrphanSpan`] (the shard tracer skips closing
+    /// enqueue spans); scheduler- and driver-level bugs belong to the
+    /// single-shard harnesses and are ignored here.
     #[must_use]
     pub fn with_seeded_bug(mut self, bug: SeededBug) -> Fleet {
         self.seeded_bug = Some(bug);
+        if bug == SeededBug::OrphanSpan {
+            for shard in &mut self.shards {
+                shard.orphan_bug = true;
+            }
+        }
+        self
+    }
+
+    /// Attaches causal tracing: the router and every shard emit spans
+    /// into `collector`, and [`Fleet::run`] closes whatever is still
+    /// open (truncated) when the drive stops. Composable with
+    /// [`Fleet::with_seeded_bug`] in either order.
+    #[must_use]
+    pub fn with_tracer(mut self, collector: Arc<TraceCollector>) -> Fleet {
+        self.router.attach_tracer(Arc::clone(&collector));
+        for (id, shard) in self.shards.iter_mut().enumerate() {
+            shard.attach_tracer(ShardTracer::new(Arc::clone(&collector), id));
+        }
+        self.collector = Some(collector);
         self
     }
 
@@ -434,9 +488,13 @@ impl Fleet {
         for d in res.deliveries {
             let sock = SocketId(d.key as usize % self.n_sockets);
             let task = d.key as usize % self.tasks.len();
+            let route_parent = self.router.route_parent(d.seq);
             let shard = &mut self.shards[d.shard];
             let arrival = shard.clock();
             shard.deliver(sock, d.seq, d.data);
+            if let Some(tracer) = shard.tracer_mut() {
+                tracer.on_deliver(d.seq, route_parent, arrival);
+            }
             self.arrivals[d.shard][task].push(Instant(arrival));
             self.delivered_once[d.seq as usize] = true;
             self.seq_state[d.seq as usize] =
@@ -468,6 +526,12 @@ impl Fleet {
                         self.observatories[shard]
                             .1
                             .observe_completion(job.task().0, job.id().0, rt);
+                        self.responses.push(JobResponse {
+                            seq,
+                            task: job.task().0,
+                            shard,
+                            response: rt,
+                        });
                     }
                     self.seq_state[seq as usize] = SeqState::Completed;
                     self.completions_on[shard] += 1;
@@ -480,6 +544,21 @@ impl Fleet {
 
     fn health_check(&mut self, tick: u64) {
         self.metrics.health_checks.inc();
+        if let Some(collector) = &self.collector {
+            let alive =
+                self.shards.iter().filter(|s| !s.killed && !s.fenced).count() as u64;
+            if self.traced_alive != Some(alive) {
+                self.traced_alive = Some(alive);
+                collector.instant(
+                    TraceId::SYSTEM,
+                    None,
+                    SpanKind::Heartbeat,
+                    ClockDomain::Fleet,
+                    tick,
+                    &[("alive", alive)],
+                );
+            }
+        }
         for i in 0..self.shards.len() {
             if self.shards[i].fenced {
                 continue;
@@ -609,6 +688,7 @@ impl Fleet {
         let mut next_id = succ_state.next_job_id;
         let mut moved = Vec::with_capacity(state.pending.len());
         let mut pending = succ_state.pending.clone();
+        let latency = tick.saturating_sub(detect_tick);
         for job in &state.pending {
             let fresh = Job::new(JobId(next_id), job.task(), job.data().to_vec());
             next_id += 1;
@@ -629,6 +709,27 @@ impl Fleet {
                 self.job_index.insert((succ, fresh.id().0), seq);
                 self.seq_state[seq as usize] =
                     SeqState::Accepted { shard: succ, arrival: succ_clock };
+                // The migration seam in the trace: a zero-length
+                // enqueue on the successor linking back to the span
+                // the job was interrupted in on the dead shard.
+                let link = self.shards[dead]
+                    .tracer_ref()
+                    .and_then(|t| t.span_of(job.id().0));
+                let prio = self
+                    .tasks
+                    .task(job.task())
+                    .map_or(0, |t| u64::from(t.priority().0));
+                if let Some(tracer) = self.shards[succ].tracer_mut() {
+                    tracer.on_migrate_in(
+                        seq,
+                        fresh.id().0,
+                        job.task().0 as u64,
+                        prio,
+                        succ_clock,
+                        latency,
+                        link,
+                    );
+                }
             }
             moved.push(MigratedJob { old: job.id(), job: fresh.clone() });
             pending.push(fresh);
@@ -645,6 +746,21 @@ impl Fleet {
                 self.shards[succ].replace_journal(journal);
                 self.shards[succ].install(sched);
                 record.migrated_jobs = moved.len();
+                if let Some(collector) = &self.collector {
+                    collector.instant(
+                        TraceId::SYSTEM,
+                        None,
+                        SpanKind::Migrate,
+                        ClockDomain::Fleet,
+                        tick,
+                        &[
+                            ("dead", dead as u64),
+                            ("succ", succ as u64),
+                            ("moved", moved.len() as u64),
+                            ("latency", latency),
+                        ],
+                    );
+                }
                 self.manifests.push(MigrationManifest {
                     from_shard: dead,
                     to_shard: succ,
@@ -687,6 +803,15 @@ impl Fleet {
     }
 
     fn outcome(&mut self, ticks: u64, plan: &FaultPlan) -> FleetOutcome {
+        if let Some(collector) = &self.collector {
+            // Close whatever is still open as truncated, stamped with
+            // each domain's final clock reading.
+            let ends: Vec<u64> = self.shards.iter().map(Shard::clock).collect();
+            collector.finish(|domain| match domain {
+                ClockDomain::Fleet => ticks,
+                ClockDomain::Shard(s) => ends.get(*s).copied().unwrap_or(0),
+            });
+        }
         let mut delivered = 0u64;
         let mut completed = 0u64;
         let mut shed = 0u64;
@@ -778,6 +903,7 @@ impl Fleet {
             compliant_completions,
             fleet_check,
             completion_ticks: self.completion_ticks.clone(),
+            responses: self.responses.clone(),
         }
     }
 }

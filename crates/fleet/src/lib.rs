@@ -39,10 +39,12 @@ mod fleet;
 mod ring;
 mod router;
 mod shard;
+mod tracing;
 
 pub use breaker::{BreakerState, BreakerTransition, CircuitBreaker};
 pub use fleet::{
-    payload, seq_of, FailoverCause, FailoverRecord, Fleet, FleetConfig, FleetOutcome, Workload,
+    payload, seq_of, FailoverCause, FailoverRecord, Fleet, FleetConfig, FleetOutcome, JobResponse,
+    Workload,
 };
 pub use ring::{splitmix64, HashRing, VNODES};
 pub use router::{
@@ -188,6 +190,84 @@ mod tests {
         let out = fixed.run(workload(), &plan);
         assert!(out.lost.is_empty(), "lost: {:?}", out.lost);
         assert!(out.fleet_check.is_ok(), "{:?}", out.fleet_check);
+    }
+
+    #[test]
+    fn traced_run_is_wellformed_and_attribution_is_tick_exact() {
+        use rossl_obs::{attribute, check_trace, TraceCollector};
+        use std::sync::Arc;
+
+        let sys = system(3);
+        let collector = Arc::new(TraceCollector::new(1 << 15));
+        let mut fleet = Fleet::new(&sys, FleetConfig::default())
+            .unwrap()
+            .with_tracer(Arc::clone(&collector));
+        let out = fleet.run(workload(), &FaultPlan::empty(3));
+        assert_eq!(out.completed, out.submissions);
+        assert_eq!(out.responses.len(), out.completed as usize);
+
+        let spans = collector.drain();
+        assert_eq!(collector.displaced(), 0, "capacity generous enough for a quiet run");
+        let check = check_trace(&spans, 0);
+        assert!(check.defects.is_empty(), "defects: {:?}", check.defects);
+
+        let report = attribute(&spans);
+        assert!(report.skipped == 0, "no truncation in a quiet run");
+        assert_eq!(report.jobs.len(), out.responses.len());
+        for r in &out.responses {
+            let job = report
+                .jobs
+                .iter()
+                .find(|j| j.seq == r.seq)
+                .unwrap_or_else(|| panic!("no attribution for seq {}", r.seq));
+            assert_eq!(job.observed, r.response, "seq {} observed rt", r.seq);
+            assert_eq!(
+                job.attributed_total(),
+                job.observed,
+                "seq {} terms must sum exactly: {job:?}",
+                r.seq
+            );
+            assert_eq!(job.task, r.task);
+            assert_eq!(job.shard, r.shard);
+            assert_eq!(job.migration, 0, "fault-free run migrates nothing");
+        }
+    }
+
+    #[test]
+    fn traced_failover_links_the_migration_seam() {
+        use rossl_obs::{attribute, check_trace, SpanKind, TraceCollector};
+        use std::sync::Arc;
+
+        let sys = system(3);
+        let collector = Arc::new(TraceCollector::new(1 << 15));
+        let mut fleet = Fleet::new(&sys, FleetConfig::default())
+            .unwrap()
+            .with_tracer(Arc::clone(&collector));
+        let plan = FaultPlan::empty(7)
+            .with(FaultSpec::always(FaultClass::ShardKill { shard: 1, at_tick: 30 }));
+        let out = fleet.run(workload(), &plan);
+        assert_eq!(out.failovers.len(), 1);
+        assert!(out.lost.is_empty());
+
+        let spans = collector.drain();
+        let check = check_trace(&spans, collector.displaced());
+        assert!(check.defects.is_empty(), "defects: {:?}", check.defects);
+
+        let migrated = out.failovers[0].migrated_jobs;
+        let seam: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Enqueue && s.arg("migration_latency").is_some())
+            .collect();
+        assert_eq!(seam.len(), migrated, "one seam enqueue per migrated job");
+        for s in &seam {
+            assert!(s.is_empty(), "seam enqueue is zero-length");
+            assert!(s.link.is_some(), "seam enqueue links the dead shard's span");
+        }
+        if migrated > 0 {
+            let report = attribute(&spans);
+            let with_migration = report.jobs.iter().filter(|j| j.migration > 0).count();
+            assert!(with_migration > 0, "migrated jobs carry a migration term");
+        }
     }
 
     #[test]

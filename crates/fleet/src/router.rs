@@ -29,10 +29,11 @@ use std::sync::Arc;
 
 use rossl::RestartPolicy;
 use rossl_model::{Criticality, MsgData};
-use rossl_obs::{Registry, RouterMetrics};
+use rossl_obs::{Registry, RouterMetrics, SpanId, TraceCollector};
 
 use crate::breaker::{BreakerTransition, CircuitBreaker};
 use crate::ring::{splitmix64, HashRing};
+use crate::tracing::RouterTracer;
 
 /// Tunables for the retry / breaker / shedding pipeline.
 #[derive(Debug, Clone)]
@@ -285,6 +286,7 @@ pub struct Router {
     due: BTreeMap<u64, Vec<Attempt>>,
     trace: Vec<RouteEvent>,
     metrics: Arc<RouterMetrics>,
+    tracer: Option<RouterTracer>,
 }
 
 impl Router {
@@ -303,7 +305,20 @@ impl Router {
             due: BTreeMap::new(),
             trace: Vec::new(),
             metrics: RouterMetrics::register(registry),
+            tracer: None,
         }
+    }
+
+    /// Attaches causal tracing: every routing episode becomes a
+    /// fleet-domain `Route` span with `Retry`/`Breaker` instants.
+    pub(crate) fn attach_tracer(&mut self, collector: Arc<TraceCollector>) {
+        self.tracer = Some(RouterTracer::new(collector));
+    }
+
+    /// The closed route span a delivery of `seq` came from (the
+    /// cross-domain parent of the shard-side enqueue span).
+    pub(crate) fn route_parent(&self, seq: u64) -> Option<SpanId> {
+        self.tracer.as_ref().and_then(|t| t.route_parent(seq))
     }
 
     /// The placement ring (shared view; the fleet marks deaths through
@@ -323,6 +338,9 @@ impl Router {
     pub fn submit(&mut self, now: u64, seq: u64, key: u64, crit: Criticality, data: MsgData) {
         self.metrics.submissions.inc();
         self.trace.push(RouteEvent::Submitted { tick: now, seq, key, crit });
+        if let Some(t) = self.tracer.as_mut() {
+            t.on_submit(seq, now);
+        }
         self.enqueue(now, Attempt { seq, key, crit, data, submit_tick: now, attempt: 0 });
     }
 
@@ -340,6 +358,9 @@ impl Router {
         from_shard: usize,
     ) {
         self.trace.push(RouteEvent::Resent { tick: now, seq, key, from_shard });
+        if let Some(t) = self.tracer.as_mut() {
+            t.on_resend(seq, now, from_shard as u64);
+        }
         self.enqueue(now, Attempt { seq, key, crit, data, submit_tick: now, attempt: 0 });
     }
 
@@ -400,6 +421,7 @@ impl Router {
         if let Some(t) = transition {
             self.metrics.breaker_probes.inc();
             self.trace.push(RouteEvent::Breaker { tick: now, shard, transition: t });
+            self.trace_breaker(now, shard, t);
         }
         if !admitted {
             self.retry(now, a, shard, RetryCause::BreakerOpen, out);
@@ -413,6 +435,9 @@ impl Router {
         if st.reachable && st.depth >= shed_depth {
             self.metrics.shed.inc();
             self.trace.push(RouteEvent::Shed { tick: now, seq: a.seq, shard, crit: a.crit });
+            if let Some(t) = self.tracer.as_mut() {
+                t.on_shed(a.seq, shard as u64, now);
+            }
             out.shed.push((a.seq, shard, a.crit));
             return;
         }
@@ -420,6 +445,7 @@ impl Router {
             if let Some(t) = self.breakers[shard].record_failure(now) {
                 self.metrics.breaker_opens.inc();
                 self.trace.push(RouteEvent::Breaker { tick: now, shard, transition: t });
+                self.trace_breaker(now, shard, t);
             }
             self.retry(now, a, shard, RetryCause::Unreachable, out);
             return;
@@ -427,6 +453,7 @@ impl Router {
         if let Some(t) = self.breakers[shard].record_success() {
             self.metrics.breaker_closes.inc();
             self.trace.push(RouteEvent::Breaker { tick: now, shard, transition: t });
+            self.trace_breaker(now, shard, t);
         }
         self.metrics.accepted.inc();
         self.metrics.attempts.observe(u64::from(a.attempt) + 1);
@@ -436,7 +463,21 @@ impl Router {
             shard,
             attempt: a.attempt,
         });
+        if let Some(t) = self.tracer.as_mut() {
+            t.on_delivered(a.seq, shard as u64, u64::from(a.attempt), now);
+        }
         out.deliveries.push(Delivery { shard, seq: a.seq, key: a.key, data: a.data });
+    }
+
+    fn trace_breaker(&mut self, now: u64, shard: usize, transition: BreakerTransition) {
+        if let Some(t) = self.tracer.as_mut() {
+            let state = match transition {
+                BreakerTransition::Opened => 0,
+                BreakerTransition::Probing => 1,
+                BreakerTransition::Closed => 2,
+            };
+            t.on_breaker(shard as u64, state, now);
+        }
     }
 
     fn retry(
@@ -470,12 +511,23 @@ impl Router {
             cause,
             due,
         });
+        if let Some(t) = self.tracer.as_mut() {
+            t.on_retry(a.seq, shard as u64, u64::from(a.attempt), due, now);
+        }
         self.enqueue(due, Attempt { attempt: next, ..a });
     }
 
     fn fail(&mut self, now: u64, seq: u64, reason: FailReason, out: &mut ProcessResult) {
         self.metrics.failed.inc();
         self.trace.push(RouteEvent::Failed { tick: now, seq, reason });
+        if let Some(t) = self.tracer.as_mut() {
+            let code = match reason {
+                FailReason::DeadlineExceeded => 0,
+                FailReason::AttemptsExhausted => 1,
+                FailReason::NoAliveShard => 2,
+            };
+            t.on_failed(seq, code, now);
+        }
         out.failed.push((seq, reason));
     }
 }

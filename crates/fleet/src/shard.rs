@@ -28,6 +28,8 @@ use rossl_model::{Instant, Job, Message, SocketId, TaskSet, WcetTable};
 use rossl_sockets::{ReadOutcome, SocketSet};
 use rossl_trace::{Marker, Trace};
 
+use crate::tracing::ShardTracer;
+
 /// What the fleet learns from one shard step.
 #[derive(Debug, Clone)]
 pub enum ShardEvent {
@@ -98,6 +100,11 @@ pub struct Shard {
     pub(crate) fenced: bool,
     pub(crate) paused_until: u64,
     pub(crate) partitioned_until: u64,
+    /// Optional span emitter; `None` costs one branch per hook.
+    tracer: Option<ShardTracer>,
+    /// [`SeededBug::OrphanSpan`](rossl::SeededBug::OrphanSpan): the
+    /// tracer skips closing enqueue spans at `ReadEnd`.
+    pub(crate) orphan_bug: bool,
 }
 
 impl Shard {
@@ -126,10 +133,28 @@ impl Shard {
             fenced: false,
             paused_until: 0,
             partitioned_until: 0,
+            tracer: None,
+            orphan_bug: false,
             id,
             config,
             wcet,
         }
+    }
+
+    /// Attaches a span emitter (built by
+    /// [`Fleet::with_tracer`](crate::Fleet::with_tracer)).
+    pub(crate) fn attach_tracer(&mut self, tracer: ShardTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached span emitter, if any.
+    pub(crate) fn tracer_mut(&mut self) -> Option<&mut ShardTracer> {
+        self.tracer.as_mut()
+    }
+
+    /// The attached span emitter, if any (shared view).
+    pub(crate) fn tracer_ref(&self) -> Option<&ShardTracer> {
+        self.tracer.as_ref()
     }
 
     /// The shard's index in the fleet.
@@ -223,9 +248,41 @@ impl Shard {
                 return events;
             }
         };
+        let clock_before = self.clock;
         self.clock += marker_cost(&marker, &self.wcet, self.config.tasks());
         self.journal.append(&marker, Instant(self.clock));
         self.journal.commit();
+        if let Some(tracer) = self.tracer.as_mut() {
+            let commit = self.journal.commits_written();
+            let prio_of = |task: rossl_model::TaskId| {
+                self.config.tasks().task(task).map_or(0, |t| u64::from(t.priority().0))
+            };
+            match &marker {
+                Marker::ReadEnd { job: Some(j), .. } => {
+                    if let Some(seq) = read_seq {
+                        tracer.on_accept(
+                            seq,
+                            j.id().0,
+                            j.task().0 as u64,
+                            prio_of(j.task()),
+                            self.clock,
+                            commit,
+                            self.orphan_bug,
+                        );
+                    }
+                }
+                Marker::Dispatch(j) => tracer.on_dispatch(
+                    j.id().0,
+                    j.task().0 as u64,
+                    prio_of(j.task()),
+                    self.clock,
+                    commit,
+                ),
+                Marker::Completion(j) => tracer.on_complete(j.id().0, self.clock, commit),
+                Marker::ModeSwitch { .. } => tracer.on_mode_switch(clock_before, self.clock),
+                _ => {}
+            }
+        }
         match &marker {
             Marker::ReadEnd { job: Some(j), .. } => {
                 if let Some(seq) = read_seq {

@@ -1,0 +1,279 @@
+//! Fleet-side span emission (DESIGN §11.2).
+//!
+//! Tracing is strictly optional: a fleet built without
+//! [`Fleet::with_tracer`](crate::Fleet::with_tracer) carries `None`
+//! tracers and pays one branch per hook. With a collector attached, the
+//! router emits `Route`/`Retry`/`Breaker` spans on the fleet clock and
+//! each shard emits the request-phase spans (`Enqueue`, `DispatchWait`,
+//! `Execute`) plus journal and suspension spans on its local clock.
+//! Span boundaries are the *post-commit* clock readings — the same
+//! instants the fleet derives response times from — so the attribution
+//! engine's per-job sum is tick-exact by construction.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rossl_obs::{ClockDomain, SpanId, SpanKind, TraceCollector, TraceId};
+
+/// Per-job tracing context on one shard, keyed by raw job id.
+#[derive(Debug)]
+struct JobCtx {
+    trace: TraceId,
+    /// Cross-domain causal parent: the route span that delivered the
+    /// payload (none for migrated re-pends).
+    parent: Option<SpanId>,
+    wait: Option<SpanId>,
+    exec: Option<SpanId>,
+}
+
+/// The shard-side tracer: opens the enqueue span at delivery and walks
+/// it through the `ReadEnd`/`Dispatch`/`Completion` commits.
+#[derive(Debug)]
+pub(crate) struct ShardTracer {
+    collector: Arc<TraceCollector>,
+    domain: ClockDomain,
+    /// Open enqueue span (and its route parent) per fleet sequence
+    /// number, between delivery and the `ReadEnd` commit.
+    enqueue_open: HashMap<u64, (SpanId, Option<SpanId>)>,
+    jobs: HashMap<u64, JobCtx>,
+}
+
+impl ShardTracer {
+    pub(crate) fn new(collector: Arc<TraceCollector>, shard: usize) -> ShardTracer {
+        ShardTracer {
+            collector,
+            domain: ClockDomain::Shard(shard),
+            enqueue_open: HashMap::new(),
+            jobs: HashMap::new(),
+        }
+    }
+
+    /// The journal append + commit instants for a request-relevant
+    /// marker, nested in the phase span the marker closed.
+    fn journal_pair(&self, trace: TraceId, parent: Option<SpanId>, clock: u64, commit: u64) {
+        self.collector.instant(
+            trace,
+            parent,
+            SpanKind::JournalAppend,
+            self.domain,
+            clock,
+            &[("commit", commit)],
+        );
+        self.collector.instant(
+            trace,
+            parent,
+            SpanKind::JournalCommit,
+            self.domain,
+            clock,
+            &[("commit", commit)],
+        );
+    }
+
+    /// A routed payload landed on a socket at shard clock `clock`.
+    pub(crate) fn on_deliver(&mut self, seq: u64, parent: Option<SpanId>, clock: u64) {
+        let id =
+            self.collector.start(TraceId(seq), parent, SpanKind::Enqueue, self.domain, clock);
+        self.enqueue_open.insert(seq, (id, parent));
+    }
+
+    /// The `ReadEnd` for `seq` committed at `clock`: the payload became
+    /// job `job`. `skip_close` is [`SeededBug::OrphanSpan`]
+    /// (rossl::SeededBug::OrphanSpan): the enqueue span is left open.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_accept(
+        &mut self,
+        seq: u64,
+        job: u64,
+        task: u64,
+        prio: u64,
+        clock: u64,
+        commit: u64,
+        skip_close: bool,
+    ) {
+        let Some((enq, parent)) = self.enqueue_open.remove(&seq) else {
+            return; // untraced delivery
+        };
+        let trace = TraceId(seq);
+        if !skip_close {
+            self.collector.end(enq, clock);
+        }
+        self.journal_pair(trace, Some(enq), clock, commit);
+        let wait = self.collector.start(trace, parent, SpanKind::DispatchWait, self.domain, clock);
+        self.collector.annotate(wait, "task", task);
+        self.collector.annotate(wait, "prio", prio);
+        self.collector.annotate(wait, "job", job);
+        self.jobs.insert(job, JobCtx { trace, parent, wait: Some(wait), exec: None });
+    }
+
+    /// The `Dispatch` for `job` committed at `clock`.
+    pub(crate) fn on_dispatch(&mut self, job: u64, task: u64, prio: u64, clock: u64, commit: u64) {
+        let Some(ctx) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if let Some(w) = ctx.wait {
+            self.collector.end(w, clock);
+        }
+        let exec =
+            self.collector.start(ctx.trace, ctx.parent, SpanKind::Execute, self.domain, clock);
+        self.collector.annotate(exec, "task", task);
+        self.collector.annotate(exec, "prio", prio);
+        self.collector.annotate(exec, "job", job);
+        ctx.exec = Some(exec);
+        let (trace, wait) = (ctx.trace, ctx.wait);
+        self.journal_pair(trace, wait, clock, commit);
+    }
+
+    /// The `Completion` for `job` committed at `clock`.
+    pub(crate) fn on_complete(&mut self, job: u64, clock: u64, commit: u64) {
+        let Some(ctx) = self.jobs.remove(&job) else {
+            return;
+        };
+        if let Some(x) = ctx.exec {
+            self.collector.end(x, clock);
+            self.journal_pair(ctx.trace, Some(x), clock, commit);
+        }
+    }
+
+    /// A mode-switch suspension charged between `start` and `end` on
+    /// the shard clock (system trace — it belongs to no one request).
+    pub(crate) fn on_mode_switch(&mut self, start: u64, end: u64) {
+        let id =
+            self.collector.start(TraceId::SYSTEM, None, SpanKind::Suspension, self.domain, start);
+        self.collector.end(id, end);
+    }
+
+    /// The last request-phase span of `job` on this shard, for the
+    /// migration seam's causal link (the wait if the job was pending,
+    /// the interrupted execute if it was in flight).
+    pub(crate) fn span_of(&self, job: u64) -> Option<SpanId> {
+        self.jobs.get(&job).and_then(|c| c.exec.or(c.wait))
+    }
+
+    /// A migrated job re-arrived pre-accepted at successor clock
+    /// `clock`: a zero-length enqueue span carrying the migration
+    /// latency and a causal link back to the dead shard's span, then an
+    /// open wait (replay re-pended the job).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_migrate_in(
+        &mut self,
+        seq: u64,
+        job: u64,
+        task: u64,
+        prio: u64,
+        clock: u64,
+        latency: u64,
+        from: Option<SpanId>,
+    ) {
+        let trace = TraceId(seq);
+        let enq = self.collector.start(trace, None, SpanKind::Enqueue, self.domain, clock);
+        self.collector.annotate(enq, "migration_latency", latency);
+        if let Some(target) = from {
+            self.collector.link(enq, target);
+        }
+        self.collector.end(enq, clock);
+        let wait = self.collector.start(trace, None, SpanKind::DispatchWait, self.domain, clock);
+        self.collector.annotate(wait, "task", task);
+        self.collector.annotate(wait, "prio", prio);
+        self.collector.annotate(wait, "job", job);
+        self.jobs.insert(job, JobCtx { trace, parent: None, wait: Some(wait), exec: None });
+    }
+}
+
+/// The router-side tracer: one `Route` span per routing episode (a
+/// resend after failover opens a fresh episode), `Retry` instants
+/// nested inside it, and system-trace `Breaker` instants.
+#[derive(Debug)]
+pub(crate) struct RouterTracer {
+    collector: Arc<TraceCollector>,
+    open: HashMap<u64, SpanId>,
+    /// The most recently closed episode per seq — the cross-domain
+    /// parent of the shard-side enqueue span.
+    last: HashMap<u64, SpanId>,
+}
+
+/// Stable numeric codes for routing outcomes in span args.
+pub(crate) mod outcome_code {
+    pub(crate) const DELIVERED: u64 = 0;
+    pub(crate) const SHED: u64 = 1;
+    pub(crate) const FAILED: u64 = 2;
+}
+
+impl RouterTracer {
+    pub(crate) fn new(collector: Arc<TraceCollector>) -> RouterTracer {
+        RouterTracer { collector, open: HashMap::new(), last: HashMap::new() }
+    }
+
+    fn open_episode(&mut self, seq: u64, tick: u64, resend_from: Option<u64>) {
+        let id =
+            self.collector.start(TraceId(seq), None, SpanKind::Route, ClockDomain::Fleet, tick);
+        if let Some(from) = resend_from {
+            self.collector.annotate(id, "resend_from", from);
+        }
+        self.open.insert(seq, id);
+    }
+
+    pub(crate) fn on_submit(&mut self, seq: u64, tick: u64) {
+        self.open_episode(seq, tick, None);
+    }
+
+    pub(crate) fn on_resend(&mut self, seq: u64, tick: u64, from_shard: u64) {
+        self.open_episode(seq, tick, Some(from_shard));
+    }
+
+    pub(crate) fn on_retry(&mut self, seq: u64, shard: u64, attempt: u64, due: u64, tick: u64) {
+        let parent = self.open.get(&seq).copied();
+        self.collector.instant(
+            TraceId(seq),
+            parent,
+            SpanKind::Retry,
+            ClockDomain::Fleet,
+            tick,
+            &[("shard", shard), ("attempt", attempt), ("due", due)],
+        );
+    }
+
+    pub(crate) fn on_breaker(&mut self, shard: u64, state: u64, tick: u64) {
+        self.collector.instant(
+            TraceId::SYSTEM,
+            None,
+            SpanKind::Breaker,
+            ClockDomain::Fleet,
+            tick,
+            &[("shard", shard), ("state", state)],
+        );
+    }
+
+    fn close(&mut self, seq: u64, tick: u64, outcome: u64, args: &[(&'static str, u64)]) {
+        let Some(id) = self.open.remove(&seq) else {
+            return;
+        };
+        self.collector.annotate(id, "outcome", outcome);
+        for &(k, v) in args {
+            self.collector.annotate(id, k, v);
+        }
+        self.collector.end(id, tick);
+        self.last.insert(seq, id);
+    }
+
+    pub(crate) fn on_delivered(&mut self, seq: u64, shard: u64, attempt: u64, tick: u64) {
+        self.close(
+            seq,
+            tick,
+            outcome_code::DELIVERED,
+            &[("shard", shard), ("attempt", attempt)],
+        );
+    }
+
+    pub(crate) fn on_shed(&mut self, seq: u64, shard: u64, tick: u64) {
+        self.close(seq, tick, outcome_code::SHED, &[("shard", shard)]);
+    }
+
+    pub(crate) fn on_failed(&mut self, seq: u64, reason: u64, tick: u64) {
+        self.close(seq, tick, outcome_code::FAILED, &[("reason", reason)]);
+    }
+
+    /// The closed route span a delivery of `seq` came from.
+    pub(crate) fn route_parent(&self, seq: u64) -> Option<SpanId> {
+        self.last.get(&seq).copied()
+    }
+}

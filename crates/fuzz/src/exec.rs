@@ -45,7 +45,7 @@ use rossl_faults::{FaultyCostModel, FaultySocketSet};
 use rossl_fleet::{splitmix64, Fleet, FleetConfig, HashRing, Workload};
 use rossl_journal::{recover, JournalWriter, KIND_EVENT};
 use rossl_model::{Duration, Instant, Job, Message, Mode, MsgData, SocketId, TaskSet, WcetTable};
-use rossl_obs::{Registry, SchedSink, SchedulerMetrics};
+use rossl_obs::{check_trace, Registry, SchedSink, SchedulerMetrics, TraceCollector};
 use rossl_sockets::{ReadOutcome, SocketSet};
 use rossl_timing::{
     check_consistency, check_wcet_compliance, SimulationResult, Simulator, UniformCost,
@@ -259,12 +259,28 @@ fn fleet_drive(input: &FuzzInput, bug: Option<SeededBug>, out: &mut RunOutcome) 
         // fleet oracles' contract, not a finding.
         return;
     };
-    let mut fleet = fleet;
+    // Tracing rides along on every fleet drive: the well-formedness
+    // checker is an oracle row of its own (and the detection path for
+    // `SeededBug::OrphanSpan`). The cap is generous — fuzz fleets are
+    // small — so honest runs never displace and the checker runs strict.
+    let collector = Arc::new(TraceCollector::new(1 << 16));
+    let mut fleet = fleet.with_tracer(Arc::clone(&collector));
     if let Some(b) = bug.filter(SeededBug::is_fleet_bug) {
         fleet = fleet.with_seeded_bug(b);
     }
     let outcome = fleet.run(workload, &input.fleet_fault_plan());
     out.steps += outcome.ticks;
+
+    // Trace well-formedness: every span closed at its phase boundary,
+    // parents and links resolve, phases hand off tick-exactly. The
+    // structural rows are displacement-aware (check_trace relaxes
+    // eviction-explainable defects), so a bounded collector never
+    // produces false positives.
+    let spans = collector.drain();
+    let check = check_trace(&spans, collector.displaced());
+    for d in &check.defects {
+        finding(&mut out.findings, "trace-wellformed", format!("{d:?}"));
+    }
 
     // Every failover must trace back to an injected shard fault.
     for f in &outcome.unjustified_failovers {

@@ -27,6 +27,7 @@
 //! | `fleet-lost`  | an accepted payload vanished under kills only         |
 //! | `fleet-failover` | a shard was fenced with no injected fault          |
 //! | `fleet-bound` | a surviving shard broke its per-shard Prosa bound     |
+//! | `trace-wellformed` | a fleet run's span trace is malformed (DESIGN §11) |
 //!
 //! Because all oracles run on every input, the fuzzer flags *differential*
 //! findings — two views of the same run disagreeing — even when each view

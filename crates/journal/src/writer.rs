@@ -19,6 +19,7 @@ use crate::{KIND_COMMIT, KIND_EVENT, KIND_TELEMETRY, MAGIC};
 pub struct JournalWriter {
     buf: Vec<u8>,
     events_written: u64,
+    commits_written: u64,
 }
 
 impl JournalWriter {
@@ -27,6 +28,7 @@ impl JournalWriter {
         JournalWriter {
             buf: MAGIC.to_vec(),
             events_written: 0,
+            commits_written: 0,
         }
     }
 
@@ -63,11 +65,18 @@ impl JournalWriter {
     pub fn commit(&mut self) {
         let payload = self.events_written.to_le_bytes();
         self.push_record(KIND_COMMIT, &payload);
+        self.commits_written += 1;
     }
 
     /// Number of event records appended so far (committed or not).
     pub fn events_written(&self) -> u64 {
         self.events_written
+    }
+
+    /// Number of commit records sealed so far — tracing annotates each
+    /// journal-commit span with this sequence number.
+    pub fn commits_written(&self) -> u64 {
+        self.commits_written
     }
 
     /// The journal bytes accumulated so far.

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod attribution;
 mod bundles;
 mod export;
 mod hist;
@@ -44,7 +45,9 @@ mod metrics;
 mod observatory;
 mod registry;
 mod span;
+mod trace;
 
+pub use attribution::{attribute, AttributionReport, BoundTerm, JobAttribution};
 pub use bundles::{
     CampaignMetrics, FleetMetrics, RouterMetrics, SchedDepths, SchedSink, SchedulerMetrics,
     StepCounts, SupervisorMetrics, VerifierMetrics,
@@ -55,6 +58,14 @@ pub use export::{
 };
 pub use hist::{bucket_floor, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
 pub use metrics::{Counter, Gauge, HighWater};
-pub use observatory::{BoundObservatory, BoundViolation, ModeObservatory, ModeThrashAlert};
+pub use observatory::{
+    BoundObservatory, BoundViolation, ModeObservatory, ModeThrashAlert, TermAllowance,
+    TermObservatory, TermOverrun,
+};
 pub use registry::{MetricSnapshot, MetricValue, Registry, Snapshot};
 pub use span::{SpanEvent, SpanLog};
+pub use trace::{
+    check_trace, parse_chrome_trace, render_chrome_trace, ChromeEvent, ChromeParseError,
+    ClockDomain, Span, SpanId, SpanKind, TraceCheck, TraceCollector, TraceDefect, TraceId,
+    DEFAULT_TRACE_CAP,
+};

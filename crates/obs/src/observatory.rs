@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use crate::attribution::{BoundTerm, JobAttribution};
 use crate::hist::Histogram;
 use crate::metrics::{Counter, Gauge, HighWater};
 use crate::registry::Registry;
@@ -340,6 +341,200 @@ impl ModeObservatory {
     }
 }
 
+/// A decomposed response-time term exceeded its analytical allowance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TermOverrun {
+    /// The fleet sequence number of the offending job.
+    pub seq: u64,
+    /// The raw task id (`TaskId.0`) the job ran as.
+    pub task: usize,
+    /// The shard the job completed on.
+    pub shard: usize,
+    /// Which term broke its allowance.
+    pub term: BoundTerm,
+    /// The observed term value, in ticks.
+    pub observed_ticks: u64,
+    /// The analytical allowance it was compared against, in ticks.
+    pub allowance_ticks: u64,
+}
+
+impl std::fmt::Display for TermOverrun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} (task {}, shard {}): {} term spent {} ticks against an allowance of {}",
+            self.seq, self.task, self.shard, self.term, self.observed_ticks, self.allowance_ticks
+        )
+    }
+}
+
+/// Per-task analytical allowances for the decomposed terms, derived
+/// from the response-time recurrence (`prosa::term_allowances` computes
+/// them; this crate stays dependency-free, so callers pass plain
+/// ticks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TermAllowance {
+    /// Release-jitter allowance `J_i`.
+    pub jitter: u64,
+    /// Non-preemptive blocking allowance (largest lower-priority
+    /// execution window).
+    pub blocking: u64,
+    /// Own-execution allowance (`C_i` plus the completion action).
+    pub self_exec: u64,
+    /// Interference-window allowance: the recurrence residual
+    /// `R_i + J_i − self_exec`, which bounds interference + overhead +
+    /// suspension together (unused jitter/blocking headroom flows into
+    /// it, exactly as in the fixed point).
+    pub interference: u64,
+}
+
+#[derive(Debug)]
+struct TermChannel {
+    allowance: TermAllowance,
+    overruns: Arc<Counter>,
+}
+
+/// The attribution-side observatory: compares each [`JobAttribution`]
+/// term against its analytical allowance and raises typed
+/// [`TermOverrun`] alerts naming job, task and term.
+///
+/// Fleet-era terms get fleet-wide allowances: a routing episode may
+/// take up to the router's deadline, and migration delay has an
+/// allowance of zero — the single-shard analysis knows nothing of
+/// failover, so *every* migrated job's extra latency is an attributed
+/// model exceedance, which is exactly what E23's failover scenario
+/// asserts.
+#[derive(Debug, Default)]
+pub struct TermObservatory {
+    channels: HashMap<usize, TermChannel>,
+    router_allowance: u64,
+    migration_allowance: u64,
+    checked: Counter,
+    alerts: Mutex<Vec<TermOverrun>>,
+    alerts_dropped: Counter,
+    alert_cap: usize,
+}
+
+impl TermObservatory {
+    /// An observatory tracking no tasks yet, with router/migration
+    /// allowances of zero.
+    pub fn new() -> TermObservatory {
+        TermObservatory {
+            channels: HashMap::new(),
+            router_allowance: 0,
+            migration_allowance: 0,
+            checked: Counter::new(),
+            alerts: Mutex::new(Vec::new()),
+            alerts_dropped: Counter::new(),
+            alert_cap: DEFAULT_ALERT_CAP,
+        }
+    }
+
+    /// Sets the fleet-era allowances: `router` ticks per routing
+    /// episode (the router's deadline) and `migration` ticks of
+    /// tolerated migration delay (0 = any failover overruns).
+    pub fn with_fleet_allowances(mut self, router: u64, migration: u64) -> TermObservatory {
+        self.router_allowance = router;
+        self.migration_allowance = migration;
+        self
+    }
+
+    /// Caps the alert buffer at `cap` overruns (further ones are
+    /// counted but not stored).
+    pub fn with_alert_capacity(mut self, cap: usize) -> TermObservatory {
+        self.alert_cap = cap;
+        self
+    }
+
+    /// Starts tracking `task` against `allowance`, registering its
+    /// overrun counter as `obs.term.overruns.{name}` in `registry`.
+    pub fn track(&mut self, registry: &Registry, task: usize, name: &str, allowance: TermAllowance) {
+        registry
+            .gauge(&format!("obs.term.allowance.interference.{name}"))
+            .set(saturating_i64(allowance.interference));
+        self.channels.insert(
+            task,
+            TermChannel {
+                allowance,
+                overruns: registry.counter(&format!("obs.term.overruns.{name}")),
+            },
+        );
+    }
+
+    /// The allowance `task` is tracked against, if any.
+    pub fn allowance(&self, task: usize) -> Option<TermAllowance> {
+        self.channels.get(&task).map(|c| c.allowance)
+    }
+
+    fn raise(&self, overruns: &mut Vec<TermOverrun>, overrun: TermOverrun) {
+        let mut alerts = self.alerts.lock().unwrap_or_else(|e| e.into_inner());
+        if alerts.len() < self.alert_cap {
+            alerts.push(overrun);
+        } else {
+            self.alerts_dropped.inc();
+        }
+        overruns.push(overrun);
+    }
+
+    /// Checks one attributed job against its task's allowances.
+    /// Returns every term that overran (empty in-model). Per-task
+    /// terms of untracked tasks are skipped; the fleet-era terms are
+    /// always checked.
+    pub fn observe(&self, job: &JobAttribution) -> Vec<TermOverrun> {
+        self.checked.inc();
+        let mut out = Vec::new();
+        let mut check = |term: BoundTerm, observed: u64, allowance: u64, count: Option<&Counter>| {
+            if observed > allowance {
+                if let Some(c) = count {
+                    c.inc();
+                }
+                self.raise(
+                    &mut out,
+                    TermOverrun {
+                        seq: job.seq,
+                        task: job.task,
+                        shard: job.shard,
+                        term,
+                        observed_ticks: observed,
+                        allowance_ticks: allowance,
+                    },
+                );
+            }
+        };
+        if let Some(ch) = self.channels.get(&job.task) {
+            let a = ch.allowance;
+            let counter = Some(&*ch.overruns);
+            check(BoundTerm::Jitter, job.jitter, a.jitter, counter);
+            check(BoundTerm::Blocking, job.blocking, a.blocking, counter);
+            check(BoundTerm::SelfExecution, job.self_exec, a.self_exec, counter);
+            check(
+                BoundTerm::Interference,
+                job.interference + job.overhead + job.suspension,
+                a.interference,
+                counter,
+            );
+        }
+        check(BoundTerm::RouterQueue, job.router_queue, self.router_allowance, None);
+        check(BoundTerm::Migration, job.migration, self.migration_allowance, None);
+        out
+    }
+
+    /// All stored overruns, in observation order.
+    pub fn alerts(&self) -> Vec<TermOverrun> {
+        self.alerts.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Attributed jobs checked so far.
+    pub fn checked(&self) -> u64 {
+        self.checked.get()
+    }
+
+    /// Overruns counted but not stored because the buffer was full.
+    pub fn alerts_dropped(&self) -> u64 {
+        self.alerts_dropped.get()
+    }
+}
+
 fn saturating_i64(v: u64) -> i64 {
     i64::try_from(v).unwrap_or(i64::MAX)
 }
@@ -464,6 +659,86 @@ mod tests {
         // But a quick third one pairs with the second: alert.
         assert!(obs.observe_switch(1, 700).is_some());
         assert_eq!(obs.thrash_count(), 1);
+    }
+
+    fn attribution(task: usize, observed: u64) -> JobAttribution {
+        JobAttribution {
+            trace: crate::trace::TraceId(7),
+            seq: 7,
+            task,
+            shard: 0,
+            observed,
+            jitter: 2,
+            blocking: 1,
+            interference: observed.saturating_sub(8),
+            suspension: 0,
+            overhead: 2,
+            self_exec: 3,
+            router_queue: 0,
+            migration: 0,
+        }
+    }
+
+    #[test]
+    fn in_allowance_attribution_raises_nothing() {
+        let reg = Registry::new();
+        let mut obs = TermObservatory::new().with_fleet_allowances(200, 0);
+        obs.track(
+            &reg,
+            1,
+            "control",
+            TermAllowance { jitter: 5, blocking: 4, self_exec: 3, interference: 40 },
+        );
+        let overruns = obs.observe(&attribution(1, 20));
+        assert!(overruns.is_empty(), "{overruns:?}");
+        assert_eq!(obs.checked(), 1);
+        assert!(obs.alerts().is_empty());
+    }
+
+    #[test]
+    fn overrun_names_job_task_and_term() {
+        let reg = Registry::new();
+        let mut obs = TermObservatory::new().with_fleet_allowances(200, 0);
+        obs.track(
+            &reg,
+            1,
+            "control",
+            TermAllowance { jitter: 5, blocking: 4, self_exec: 2, interference: 500 },
+        );
+        // self_exec 3 > allowance 2: a WCET overrun attributed to the
+        // self-execution term.
+        let overruns = obs.observe(&attribution(1, 20));
+        assert_eq!(overruns.len(), 1);
+        assert_eq!(overruns[0].term, BoundTerm::SelfExecution);
+        assert_eq!(overruns[0].seq, 7);
+        assert_eq!(overruns[0].task, 1);
+        assert!(overruns[0].to_string().contains("self-execution"));
+        assert_eq!(obs.alerts(), overruns);
+        assert_eq!(reg.snapshot().counter("obs.term.overruns.control"), Some(1));
+    }
+
+    #[test]
+    fn migration_overruns_its_zero_allowance() {
+        let obs = TermObservatory::new().with_fleet_allowances(200, 0);
+        let mut a = attribution(9, 20); // untracked task: fleet terms only
+        a.migration = 12;
+        let overruns = obs.observe(&a);
+        assert_eq!(overruns.len(), 1);
+        assert_eq!(overruns[0].term, BoundTerm::Migration);
+        assert_eq!(overruns[0].observed_ticks, 12);
+    }
+
+    #[test]
+    fn term_alert_buffer_caps_but_counting_continues() {
+        let reg = Registry::new();
+        let mut obs = TermObservatory::new().with_alert_capacity(2);
+        obs.track(&reg, 1, "t", TermAllowance::default());
+        for _ in 0..4 {
+            assert!(!obs.observe(&attribution(1, 20)).is_empty());
+        }
+        assert_eq!(obs.alerts().len(), 2);
+        assert!(obs.alerts_dropped() > 0);
+        assert_eq!(obs.checked(), 4);
     }
 
     #[test]

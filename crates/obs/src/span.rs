@@ -8,9 +8,10 @@
 //! truncation is never silent.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::metrics::Counter;
+use crate::registry::Registry;
 
 /// Default event capacity of a [`SpanLog`].
 const DEFAULT_CAP: usize = 1024;
@@ -62,8 +63,8 @@ impl std::fmt::Display for SpanEvent {
 #[derive(Debug)]
 pub struct SpanLog {
     inner: Mutex<VecDeque<SpanEvent>>,
-    recorded: Counter,
-    displaced: Counter,
+    recorded: Arc<Counter>,
+    displaced: Arc<Counter>,
     cap: usize,
 }
 
@@ -83,10 +84,21 @@ impl SpanLog {
     pub fn with_capacity(cap: usize) -> SpanLog {
         SpanLog {
             inner: Mutex::new(VecDeque::with_capacity(cap.min(DEFAULT_CAP))),
-            recorded: Counter::new(),
-            displaced: Counter::new(),
+            recorded: Arc::new(Counter::new()),
+            displaced: Arc::new(Counter::new()),
             cap: cap.max(1),
         }
+    }
+
+    /// Like [`SpanLog::with_capacity`], but binds the recorded and
+    /// displaced counters into `registry` (as `{prefix}.recorded` /
+    /// `{prefix}.displaced`) so snapshot exports surface ring
+    /// truncation instead of losing it silently.
+    pub fn registered(cap: usize, registry: &Registry, prefix: &str) -> SpanLog {
+        let mut log = SpanLog::with_capacity(cap);
+        log.recorded = registry.counter(&format!("{prefix}.recorded"));
+        log.displaced = registry.counter(&format!("{prefix}.displaced"));
+        log
     }
 
     /// Appends an event, displacing the oldest if the ring is full.
@@ -155,6 +167,18 @@ mod tests {
         assert_eq!(events[1].label, "e4");
         assert_eq!(log.recorded(), 5);
         assert_eq!(log.displaced(), 3);
+    }
+
+    #[test]
+    fn registered_log_surfaces_displacement_in_snapshots() {
+        let reg = Registry::new();
+        let log = SpanLog::registered(2, &reg, "fleet.spans");
+        for i in 0..5u64 {
+            log.record(SpanEvent::new("s", format!("e{i}")));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("fleet.spans.recorded"), Some(5));
+        assert_eq!(snap.counter("fleet.spans.displaced"), Some(3));
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Property coverage for the log-linear histogram (ISSUE 9,
+//! satellite 3): bucket indexing is monotone and self-consistent,
+//! snapshots conserve the recorded sum, and quantile estimates are
+//! bracketed by the bucket edges under arbitrary value streams.
+
+use proptest::prelude::*;
+
+use rossl_obs::{bucket_floor, bucket_index, Histogram, BUCKETS};
+
+proptest! {
+    /// `bucket_index` is monotone non-decreasing, stays in range, and
+    /// `bucket_floor` round-trips: every value lands in a bucket whose
+    /// floor does not exceed it, and the floor maps back to its own
+    /// bucket.
+    #[test]
+    fn bucket_index_is_monotone_and_floor_round_trips(v in 0u64..u64::MAX) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < BUCKETS);
+        prop_assert!(bucket_floor(idx) <= v, "floor exceeds its member");
+        prop_assert_eq!(bucket_index(bucket_floor(idx)), idx, "floor is in its own bucket");
+        // Monotonicity at the neighbours of v.
+        if v > 0 {
+            prop_assert!(bucket_index(v - 1) <= idx);
+        }
+        if v < u64::MAX {
+            prop_assert!(bucket_index(v + 1) >= idx);
+        }
+    }
+
+    /// A snapshot conserves what was recorded: the count equals the
+    /// number of observations and the bucket counts sum to it, the sum
+    /// equals the (wrapping) arithmetic sum, and the max is exact.
+    #[test]
+    fn snapshot_conserves_count_sum_and_max(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, snap.count, "bucket counts sum to the count");
+        let expected_sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(snap.sum, expected_sum);
+        prop_assert_eq!(snap.max, values.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Every quantile estimate is bracketed by the bucket edges: it is
+    /// at least the floor of the bucket holding the true rank-q sample,
+    /// and never exceeds the exact observed maximum. The extreme
+    /// quantile is exact.
+    #[test]
+    fn quantiles_are_bounded_by_bucket_edges(
+        values in proptest::collection::vec(0u64..10_000_000, 1..150),
+        qs_mille in proptest::collection::vec(0u64..=1000, 1..6),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let max = *sorted.last().expect("non-empty");
+        for &q_mille in &qs_mille {
+            let q = q_mille as f64 / 1000.0;
+            let est = snap.quantile(q);
+            prop_assert!(est <= max, "estimate {est} above the exact max {max}");
+            // The true rank-q sample, mirroring the snapshot's rank
+            // arithmetic (ceil(q * count), 1-based, clamped).
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            prop_assert!(
+                est >= bucket_floor(bucket_index(truth)).min(max),
+                "estimate {est} below the floor of the bucket holding {truth}"
+            );
+        }
+        prop_assert_eq!(snap.quantile(1.0), max, "the extreme quantile is the exact max");
+    }
+}

@@ -14,7 +14,7 @@
 
 use std::fmt;
 
-use rossl_model::{Duration, ModelError, TaskId, TaskSet, WcetTable};
+use rossl_model::{Duration, ModelError, Task, TaskId, TaskSet, WcetTable};
 
 use crate::blackout::BlackoutBound;
 use crate::curves::{release_curves, ReleaseCurve};
@@ -270,6 +270,79 @@ pub fn analyse_baseline(
     )
 }
 
+/// Per-term spending allowances carved out of a task's analytical
+/// bound, for runtime bound-term attribution (DESIGN §11).
+///
+/// The NPFP recurrence bounds a job's response as release jitter plus
+/// lower-priority blocking plus higher-or-equal-priority interference
+/// plus the job's own execution. [`term_allowances`] splits the proven
+/// total `R_i + J_i` along those seams so an observatory can check each
+/// observed term against its analytical budget instead of only the sum:
+///
+/// * `jitter` — the release-jitter bound `J_i` (Def. 4.3);
+/// * `blocking` — at most one lower-priority job can be in flight when
+///   a job becomes visible (non-preemptive FP), so its execution plus
+///   the completion action bound the blocking term;
+/// * `self_exec` — the job's own execution `C_i` plus the completion
+///   action that retires it;
+/// * `interference` — everything the total bound leaves after the
+///   deterministic self-execution: hep-interference, scheduler
+///   overheads, and any jitter/blocking headroom the run did not use.
+///   Checked against the *combined* interference + overhead +
+///   suspension observation, this is conservative by construction —
+///   a sound in-model run can never overrun it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TermAllowances {
+    /// The task these allowances budget.
+    pub task: TaskId,
+    /// Release-jitter allowance `J_i`.
+    pub jitter: Duration,
+    /// Lower-priority blocking allowance.
+    pub blocking: Duration,
+    /// Own-execution allowance (`C_i` + completion).
+    pub self_exec: Duration,
+    /// Residual allowance for interference + overhead + suspension.
+    pub interference: Duration,
+    /// The proven total `R_i + J_i` the terms are carved from.
+    pub total: Duration,
+}
+
+/// Splits each task's proven bound in `result` into per-term spending
+/// allowances (see [`TermAllowances`]). `params` must be the inputs the
+/// result was computed from.
+pub fn term_allowances(params: &AnalysisParams, result: &AnalysisResult) -> Vec<TermAllowances> {
+    let tasks = params.tasks();
+    let completion = params.wcet().completion;
+    result
+        .iter()
+        .map(|bound| {
+            let task = tasks
+                .task(bound.task)
+                .expect("analysis result refers to a task in its own params");
+            let blocking_exec = tasks
+                .lower_priority_than(bound.task)
+                .map(Task::wcet)
+                .max()
+                .unwrap_or(Duration::ZERO);
+            let blocking = if blocking_exec == Duration::ZERO {
+                Duration::ZERO
+            } else {
+                blocking_exec.saturating_add(completion)
+            };
+            let self_exec = task.wcet().saturating_add(completion);
+            let total = bound.total_bound();
+            TermAllowances {
+                task: bound.task,
+                jitter: bound.jitter,
+                blocking,
+                self_exec,
+                interference: total.saturating_sub(self_exec),
+                total,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +452,36 @@ mod tests {
             standard.bounds()[0].total_bound(),
             tight.bounds()[0].total_bound()
         );
+    }
+
+    #[test]
+    fn term_allowances_partition_the_bound() {
+        let p = params(2);
+        let result = analyse(&p, Duration(400_000)).unwrap();
+        let terms = term_allowances(&p, &result);
+        assert_eq!(terms.len(), 2);
+        let completion = p.wcet().completion;
+        for t in &terms {
+            let bound = result.bound_for(t.task).unwrap();
+            assert_eq!(t.jitter, bound.jitter);
+            assert_eq!(t.total, bound.total_bound());
+            // Self-execution + its residual reconstitute the total.
+            assert_eq!(t.self_exec.saturating_add(t.interference), t.total);
+            let task = p.tasks().task(t.task).unwrap();
+            assert_eq!(t.self_exec, task.wcet().saturating_add(completion));
+        }
+        // The highest-priority task can be blocked by the lower one;
+        // the lowest-priority task has nobody below it to block it.
+        let low = terms.iter().find(|t| t.task == TaskId(0)).unwrap();
+        let high = terms.iter().find(|t| t.task == TaskId(1)).unwrap();
+        assert_eq!(low.blocking, Duration::ZERO);
+        assert_eq!(high.blocking, Duration(50).saturating_add(completion));
+        // Every per-term allowance fits inside the proven total.
+        for t in &terms {
+            assert!(t.blocking <= t.total);
+            assert!(t.jitter <= t.total);
+            assert!(t.self_exec <= t.total);
+        }
     }
 
     #[test]

@@ -60,7 +60,8 @@ pub use amc::{
     analyse_amc, analyse_static_hi, check_amc_schedulability, AmcResult, ModeBound,
 };
 pub use analysis::{
-    analyse, analyse_baseline, analyse_tight, AnalysisParams, AnalysisResult, RtaError, TaskBound,
+    analyse, analyse_baseline, analyse_tight, term_allowances, AnalysisParams, AnalysisResult,
+    RtaError, TaskBound, TermAllowances,
 };
 pub use blackout::BlackoutBound;
 pub use curves::{max_release_jitter, rbf, ReleaseCurve};

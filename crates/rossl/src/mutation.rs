@@ -20,6 +20,7 @@
 //! | [`SkippedCommit`](SeededBug::SkippedCommit) | journal durability at crash | stitched seam: `LostAcceptedJob` |
 //! | [`SkippedModeSwitch`](SeededBug::SkippedModeSwitch) | AMC switch on HI `C_LO` overrun | monitor: missed mode switch |
 //! | [`DroppedFailover`](SeededBug::DroppedFailover) | dead shard's jobs migrate to a successor | fleet accounting: lost accepted jobs |
+//! | [`OrphanSpan`](SeededBug::OrphanSpan) | every opened span is closed at its phase boundary | trace well-formedness: `trace-wellformed` |
 
 use std::fmt;
 
@@ -54,17 +55,24 @@ pub enum SeededBug {
     /// fleet layer (`rossl-fleet`), not by the scheduler itself; only
     /// observable with ≥ 2 shards and an injected shard death.
     DroppedFailover,
+    /// The shard's tracer never closes a job's enqueue span when the
+    /// scheduler reads the job in — the span chain loses its first
+    /// causal hop and downstream phases dangle. Interpreted by the
+    /// fleet tracing layer (`rossl-fleet`), not by the scheduler
+    /// itself; only observable with tracing attached.
+    OrphanSpan,
 }
 
 impl SeededBug {
     /// All seeded bugs, in teeth-harness order.
-    pub const ALL: [SeededBug; 6] = [
+    pub const ALL: [SeededBug; 7] = [
         SeededBug::OffByOnePriorityPick,
         SeededBug::LostPendingJob,
         SeededBug::StaleJobId,
         SeededBug::SkippedCommit,
         SeededBug::SkippedModeSwitch,
         SeededBug::DroppedFailover,
+        SeededBug::OrphanSpan,
     ];
 
     /// Stable kebab-case name, used in reports and CLI flags.
@@ -76,6 +84,7 @@ impl SeededBug {
             SeededBug::SkippedCommit => "skipped-commit",
             SeededBug::SkippedModeSwitch => "skipped-mode-switch",
             SeededBug::DroppedFailover => "dropped-failover",
+            SeededBug::OrphanSpan => "orphan-span",
         }
     }
 
@@ -94,7 +103,7 @@ impl SeededBug {
     /// single scheduler (the scheduler and journaling drivers ignore
     /// them). Teeth campaigns force fleet-shaped inputs for these.
     pub fn is_fleet_bug(&self) -> bool {
-        matches!(self, SeededBug::DroppedFailover)
+        matches!(self, SeededBug::DroppedFailover | SeededBug::OrphanSpan)
     }
 }
 
