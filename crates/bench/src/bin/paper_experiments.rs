@@ -36,6 +36,7 @@ const INDEX: &[(&str, &str, &str)] = &[
     ("E21", "amc", "mixed criticality: two-sided degradation property + AMC acceptance sweep"),
     ("E22", "fleet", "fleet chaos campaign: failover migration, latency, throughput, teeth"),
     ("E23", "trace", "causal tracing: per-term bound attribution, blame fidelity, overhead"),
+    ("E24", "admission", "workload generation + incremental admission, differentially tested"),
 ];
 
 fn main() {
@@ -163,6 +164,11 @@ fn main() {
         "trace",
         "causal tracing: per-term bound attribution, blame fidelity, overhead (E23)",
         &|| exps::exp_trace(smoke),
+    );
+    run(
+        "admission",
+        "workload generation + incremental admission, differentially tested (E24)",
+        &|| exps::exp_admission(smoke),
     );
     run("loc","code inventory vs the paper's proof-effort table (§5)", &exps::exp_loc);
 }

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod admission;
 pub mod amc;
 pub mod crash;
 pub mod experiments;
@@ -29,6 +30,7 @@ pub use experiments::{
     exp_validity,
 };
 pub use ablation::{exp_ablation, exp_busy_windows, exp_schedulability, exp_sensitivity, exp_tight};
+pub use admission::exp_admission;
 pub use amc::exp_amc;
 pub use crash::exp_crash_recovery;
 pub use faults::exp_faults;

@@ -1,0 +1,36 @@
+//! Seeds the checked-in corpus with generator-derived entries.
+//!
+//! Usage: `cargo run -p rossl-fuzz --bin seed_corpus [-- <corpus-dir>]`
+//! (default `fuzz/corpus`). Idempotent: entries are content-hashed, so
+//! re-running adds nothing once the corpus is seeded.
+
+use rossl_fuzz::{generated_corpus_inputs, Corpus};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fuzz/corpus".to_string());
+    let mut corpus = match Corpus::load(std::path::Path::new(&dir)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("seed_corpus: cannot load corpus at {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let before = corpus.len();
+    let mut added = 0;
+    for input in generated_corpus_inputs() {
+        match corpus.add(&input) {
+            Ok(true) => added += 1,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("seed_corpus: failed to persist an entry: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "seed_corpus: {before} entries before, {added} added, {} total",
+        corpus.len()
+    );
+}

@@ -505,6 +505,19 @@ impl FuzzInput {
             *at = (*at).clamp(1, bounds::MAX_CRASH_AT);
         }
         self.n_shards = self.n_shards.clamp(1, bounds::MAX_SHARDS);
+        // One shared period floor for fleet inputs. Flooring used to
+        // happen only at `fleet_system` lowering, which left the specs
+        // themselves (and hence `system`, `respects_curves`, and the
+        // serialized form) carrying periods the per-shard RTA can stall
+        // on: generated high-utilization sporadic sets with shards were
+        // degenerate — every shard's busy window exceeded any workable
+        // horizon. Sanitizing the floor in makes the canonical form of a
+        // fleet input self-consistent across all lowerings.
+        if self.n_shards > 1 {
+            for t in &mut self.tasks {
+                t.period = t.period.max(bounds::FLEET_PERIOD_FLOOR);
+            }
+        }
         if self.n_shards < 2 {
             self.shard_faults.clear();
         }
@@ -624,24 +637,21 @@ impl FuzzInput {
         plan
     }
 
-    /// Lowers the task set for the fleet drive: the same tasks as
-    /// [`FuzzInput::system`] but with every period floored at
-    /// [`bounds::FLEET_PERIOD_FLOOR`], so each shard's response-time
-    /// analysis converges for any grammar task set (the fleet bound
-    /// oracle requires per-shard bounds to exist).
+    /// Lowers the task set for the fleet drive. Identical to
+    /// [`FuzzInput::system`]: [`FuzzInput::sanitize`] already floors
+    /// fleet periods at [`bounds::FLEET_PERIOD_FLOOR`], so each shard's
+    /// response-time analysis converges for any grammar task set (the
+    /// fleet bound oracle requires per-shard bounds to exist).
     pub fn fleet_system(&self) -> RosslSystem {
-        let mut b = SystemBuilder::new().sockets(self.n_sockets);
-        for (i, t) in self.tasks.iter().enumerate() {
-            b = b.mc_task(
-                format!("t{i}"),
-                Priority(t.priority as u32),
-                Duration(t.wcet),
-                Curve::sporadic(Duration(t.period.max(bounds::FLEET_PERIOD_FLOOR))),
-                if t.hi { Criticality::Hi } else { Criticality::Lo },
-                Duration(t.wcet_hi),
-            );
-        }
-        b.build().expect("sanitized input must build")
+        debug_assert!(
+            !self.is_fleet()
+                || self
+                    .tasks
+                    .iter()
+                    .all(|t| t.period >= bounds::FLEET_PERIOD_FLOOR),
+            "fleet inputs must be sanitized before lowering"
+        );
+        self.system()
     }
 
     /// `true` when the (nominal) arrival schedule respects every task's
@@ -1059,5 +1069,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fleet_period_floor_rescues_degenerate_generated_sets() {
+        // Regression: a generated high-utilization sporadic set that the
+        // per-shard RTA cannot handle at its raw periods — four maximal
+        // tasks saturate every horizon (4 × C_HI 75 ≫ period 40) and the
+        // analysis stalls. Before the floor moved into `sanitize`, this
+        // exact shape reached the fleet drive unfloored via `system()`
+        // paths and any lowering that read `tasks` directly.
+        let degenerate = TaskSpec {
+            priority: 1,
+            wcet: bounds::WCET.1,
+            period: bounds::PERIOD.0,
+            hi: true,
+            wcet_hi: bounds::WCET_HI_MAX,
+        };
+        let unfloored = rossl_model::TaskSet::new(
+            (0..bounds::MAX_TASKS)
+                .map(|i| {
+                    rossl_model::Task::new(
+                        TaskId(i),
+                        format!("t{i}"),
+                        Priority(degenerate.priority as u32),
+                        Duration(degenerate.wcet),
+                        Curve::sporadic(Duration(degenerate.period)),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        let params =
+            prosa::AnalysisParams::new(unfloored, rossl_model::WcetTable::example(), 1).unwrap();
+        assert!(
+            prosa::analyse(&params, Duration(100_000)).is_err(),
+            "the raw periods must genuinely stall the RTA for this regression to mean anything"
+        );
+
+        // The same set as a sanitized fleet input: periods floored, and
+        // now *every* lowering of the input converges.
+        let mut input = FuzzInput {
+            seed: 7,
+            n_sockets: 1,
+            tasks: vec![degenerate; bounds::MAX_TASKS],
+            arrivals: Vec::new(),
+            faults: Vec::new(),
+            overruns: Vec::new(),
+            crash_at: None,
+            horizon: 2_000,
+            n_shards: 2,
+            shard_faults: Vec::new(),
+        };
+        input.sanitize();
+        assert!(input
+            .tasks
+            .iter()
+            .all(|t| t.period >= bounds::FLEET_PERIOD_FLOOR));
+        let floored = input.fleet_system();
+        let params = prosa::AnalysisParams::new(
+            floored.tasks().clone(),
+            rossl_model::WcetTable::example(),
+            input.n_sockets,
+        )
+        .unwrap();
+        prosa::analyse(&params, Duration(100_000)).expect("floored fleet set analyses");
     }
 }

@@ -59,6 +59,7 @@ mod input;
 mod mutate;
 mod repro;
 mod rng;
+mod seeds;
 mod shrink;
 mod teeth;
 
@@ -73,5 +74,6 @@ pub use input::{
 pub use mutate::mutate;
 pub use repro::to_rust_test;
 pub use rng::SplitRng;
+pub use seeds::{generated_corpus_inputs, GENERATED_SEEDS};
 pub use shrink::shrink;
 pub use teeth::{run_teeth, ToothReport};

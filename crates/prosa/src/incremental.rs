@@ -1,0 +1,460 @@
+//! Incremental response-time analysis for admission control.
+//!
+//! An admission controller answers a stream of *related* queries: task
+//! sets that differ from recently analysed ones by one add / remove /
+//! parameter change, plus outright repeats (probe-then-commit, revert
+//! after reject). [`IncrementalSolver`] memoizes the analysis pipeline at
+//! three grains so that each query recomputes only what its delta
+//! actually invalidated, while staying **bit-identical** to
+//! [`crate::analyse`] — the differential guarantee experiment E24 and the
+//! property tests in `tests/incremental_properties.rs` enforce:
+//!
+//! 1. **`β` memo** (cross-set): `β(Δ)` is a pure function of the release
+//!    curve, so evaluations are shared between *all* queries through a
+//!    memo keyed by the curve's content fingerprint
+//!    ([`BetaMemo::Shared`][crate::solver] inside the solver).
+//! 2. **Per-task memo**: a task's response bound depends on an exact,
+//!    finite dependency set — its own curve and WCET, the blocking
+//!    scalar, the multiset of higher-or-equal-priority interferers, and
+//!    the supply. A 128-bit fingerprint of that set keys the solved
+//!    bound; any query whose delta leaves a task's dependency set
+//!    untouched gets the cached fixed point back.
+//! 3. **Set memo**: the whole [`AnalysisResult`] (or the error) keyed by
+//!    the set fingerprint — the warm path for repeated and reverted
+//!    queries, which dominate admission-control traffic.
+//!
+//! Fingerprints are FNV-1a/128 over the structural content (curve shape
+//! parameters, ticks, priorities), not addresses, so equal inputs hash
+//! equal across task sets and sessions. 128 bits makes accidental
+//! collision (which would silently return a wrong bound) negligible.
+//!
+//! Cached [`SolverError`]s are re-tagged with the queried task id before
+//! being returned, so error verdicts — including
+//! [`SolverError::Divergent`] — also match the from-scratch analysis
+//! exactly.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rossl_model::{Curve, Duration, TaskId, TaskSet, WcetTable};
+
+use crate::analysis::{AnalysisParams, AnalysisResult, RtaError, TaskBound};
+use crate::blackout::BlackoutBound;
+use crate::curves::{release_curves, ReleaseCurve};
+use crate::sbf::{RosslSupply, SupplyBound};
+use crate::solver::{solve_shared, SolverError};
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// An incrementally built FNV-1a/128 content fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fp(u128);
+
+impl Fp {
+    fn new() -> Fp {
+        Fp(FNV_OFFSET)
+    }
+
+    fn u64(mut self, v: u64) -> Fp {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u128::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    fn u128(self, v: u128) -> Fp {
+        self.u64(v as u64).u64((v >> 64) as u64)
+    }
+}
+
+/// Content fingerprint of an arrival curve: shape tag plus parameters.
+pub fn curve_fingerprint(curve: &Curve) -> u128 {
+    let fp = Fp::new();
+    match curve {
+        Curve::Sporadic { min_inter_arrival } => fp.u64(1).u64(min_inter_arrival.0),
+        Curve::Periodic { period } => fp.u64(2).u64(period.0),
+        Curve::LeakyBucket {
+            burst,
+            rate_num,
+            rate_den,
+        } => fp.u64(3).u64(*burst).u64(*rate_num).u64(*rate_den),
+        Curve::Staircase { points } => points
+            .iter()
+            .fold(fp.u64(4).u64(points.len() as u64), |acc, &(d, n)| {
+                acc.u64(d.0).u64(n)
+            }),
+    }
+    .0
+}
+
+/// Content fingerprint of a jitter-shifted release curve.
+pub fn release_curve_fingerprint(curve: &ReleaseCurve) -> u128 {
+    Fp::new()
+        .u128(curve_fingerprint(curve.base()))
+        .u64(curve.jitter().0)
+        .0
+}
+
+fn wcet_table_fingerprint(w: &WcetTable) -> Fp {
+    Fp::new()
+        .u64(w.failed_read.0)
+        .u64(w.successful_read.0)
+        .u64(w.selection.0)
+        .u64(w.dispatch.0)
+        .u64(w.completion.0)
+        .u64(w.idling.0)
+}
+
+/// Fingerprint of an entire analysis query — task set (ids, priorities,
+/// WCETs, curves, in order), WCET table, socket count, and horizon. Two
+/// queries with equal fingerprints produce equal [`crate::analyse`]
+/// output, so this is a sound memo key for whole results (and for
+/// admission verdicts layered on top).
+pub fn set_fingerprint(params: &AnalysisParams, horizon: Duration) -> u128 {
+    let mut fp = wcet_table_fingerprint(params.wcet())
+        .u64(params.n_sockets() as u64)
+        .u64(horizon.0)
+        .u64(params.tasks().len() as u64);
+    for t in params.tasks() {
+        fp = fp
+            .u64(t.id().0 as u64)
+            .u64(u64::from(t.priority().0))
+            .u64(t.wcet().0)
+            .u128(curve_fingerprint(t.arrival_curve()));
+    }
+    fp.0
+}
+
+/// Supply fingerprint: everything [`RosslSupply`] is a function of. The
+/// blackout bound folds curves with order-independent saturating sums,
+/// so the **sorted** curve-fingerprint multiset (plus the count, the
+/// overhead table, the socket count, and the horizon) determines the
+/// SBF exactly.
+fn supply_fingerprint(
+    wcet: &WcetTable,
+    n_sockets: usize,
+    rel_fps: &[u128],
+    horizon: Duration,
+) -> u128 {
+    let mut sorted: Vec<u128> = rel_fps.to_vec();
+    sorted.sort_unstable();
+    let mut fp = wcet_table_fingerprint(wcet)
+        .u64(n_sockets as u64)
+        .u64(horizon.0)
+        .u64(sorted.len() as u64);
+    for f in sorted {
+        fp = fp.u128(f);
+    }
+    fp.0
+}
+
+/// Per-task dependency fingerprint: the exact inputs of
+/// [`crate::npfp_response_time`] for one task — own curve and WCET, the
+/// blocking scalar, the sorted multiset of higher-or-equal-priority
+/// interferers (curve, WCET) excluding self, the supply, and the
+/// horizon. The solver's demand sums are order-independent (saturating
+/// arithmetic), so sorting the interferer multiset is sound.
+fn task_dep_fingerprint(
+    tasks: &TaskSet,
+    rel_fps: &[u128],
+    supply_fp: u128,
+    horizon: Duration,
+    task: TaskId,
+) -> u128 {
+    let this = tasks.task(task).expect("caller validated the id");
+    let blocking = tasks
+        .lower_priority_than(task)
+        .map(|t| t.wcet())
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let mut hep: Vec<(u128, u64)> = tasks
+        .equal_or_higher_priority_than(task)
+        .map(|t| (rel_fps[t.id().0], t.wcet().0))
+        .collect();
+    hep.sort_unstable();
+    let mut fp = Fp::new()
+        .u128(supply_fp)
+        .u64(horizon.0)
+        .u128(rel_fps[task.0])
+        .u64(this.wcet().0)
+        .u64(blocking.0)
+        .u64(hep.len() as u64);
+    for (f, c) in hep {
+        fp = fp.u128(f).u64(c);
+    }
+    fp.0
+}
+
+/// Re-tags a cached solver error with the queried task id, so cache hits
+/// report the same error the from-scratch solver would.
+fn retag(err: &SolverError, task: TaskId) -> SolverError {
+    match err {
+        SolverError::NoConvergence { horizon, .. } => SolverError::NoConvergence {
+            task,
+            horizon: *horizon,
+        },
+        SolverError::Divergent { iterations, .. } => SolverError::Divergent {
+            task,
+            iterations: *iterations,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Cache-effectiveness counters, cumulative since construction (or the
+/// last [`IncrementalSolver::clear`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Queries answered wholly from the set memo.
+    pub set_hits: u64,
+    /// Queries that ran the per-task pipeline.
+    pub set_misses: u64,
+    /// Per-task bounds served from the dependency-fingerprint memo.
+    pub task_hits: u64,
+    /// Per-task bounds solved from scratch (through the shared `β` memo).
+    pub task_misses: u64,
+    /// Supply bound functions rebuilt (cache misses).
+    pub supplies_built: u64,
+}
+
+/// A memoizing, delta-friendly front end to [`crate::analyse`].
+///
+/// Feed it any sequence of analysis queries; results are bit-identical
+/// to calling [`crate::analyse`] fresh each time (including errors),
+/// but shared structure between queries is solved once. See the module
+/// docs for the three memo layers and the soundness argument.
+#[derive(Debug, Default)]
+pub struct IncrementalSolver {
+    beta: RefCell<HashMap<(u128, u64), u64>>,
+    task_memo: HashMap<u128, Result<Duration, SolverError>>,
+    supply_cache: HashMap<u128, Rc<RosslSupply>>,
+    set_memo: HashMap<u128, Result<AnalysisResult, RtaError>>,
+    stats: SolverStats,
+}
+
+impl IncrementalSolver {
+    /// An empty solver: every memo cold.
+    pub fn new() -> IncrementalSolver {
+        IncrementalSolver::default()
+    }
+
+    /// The cumulative cache counters.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Drops every memo and resets the counters.
+    pub fn clear(&mut self) {
+        self.beta.borrow_mut().clear();
+        self.task_memo.clear();
+        self.supply_cache.clear();
+        self.set_memo.clear();
+        self.stats = SolverStats::default();
+    }
+
+    /// The incremental equivalent of [`crate::analyse`]: same inputs,
+    /// bit-identical output (bounds **and** errors), memoized across
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`crate::analyse`] returns for the same query.
+    pub fn analyse(
+        &mut self,
+        params: &AnalysisParams,
+        horizon: Duration,
+    ) -> Result<AnalysisResult, RtaError> {
+        let set_fp = set_fingerprint(params, horizon);
+        if let Some(cached) = self.set_memo.get(&set_fp) {
+            self.stats.set_hits += 1;
+            return cached.clone();
+        }
+        self.stats.set_misses += 1;
+
+        // The pipeline mirrors `analyse` exactly: blackout → jitter →
+        // release curves → supply → per-task solve in task order.
+        let jitter = BlackoutBound::for_config(params.tasks(), params.wcet(), params.n_sockets())
+            .overhead_bounds()
+            .max_release_jitter();
+        let curves = release_curves(params.tasks(), jitter);
+        let rel_fps: Vec<u128> = curves.iter().map(release_curve_fingerprint).collect();
+        let supply_fp = supply_fingerprint(params.wcet(), params.n_sockets(), &rel_fps, horizon);
+        let supply = match self.supply_cache.get(&supply_fp) {
+            Some(s) => Rc::clone(s),
+            None => {
+                self.stats.supplies_built += 1;
+                let blackout =
+                    BlackoutBound::for_config(params.tasks(), params.wcet(), params.n_sockets());
+                let s = Rc::new(RosslSupply::new(blackout, horizon));
+                self.supply_cache.insert(supply_fp, Rc::clone(&s));
+                s
+            }
+        };
+
+        let result = self.analyse_tasks(
+            params.tasks(),
+            &curves,
+            &rel_fps,
+            supply.as_ref(),
+            supply_fp,
+            jitter,
+            horizon,
+        );
+        self.set_memo.insert(set_fp, result.clone());
+        result
+    }
+
+    /// Test hook: the per-task memoized pipeline against an **arbitrary**
+    /// supply (e.g. a deliberately divergent one), so property tests can
+    /// check error-verdict parity on paths `analyse` cannot reach.
+    /// `supply_fp` must change whenever the supply's behaviour does.
+    ///
+    /// # Errors
+    ///
+    /// As [`IncrementalSolver::analyse`].
+    pub fn analyse_with_supply<S: SupplyBound>(
+        &mut self,
+        tasks: &TaskSet,
+        supply: &S,
+        supply_fp: u128,
+        jitter: Duration,
+        horizon: Duration,
+    ) -> Result<AnalysisResult, RtaError> {
+        let curves = release_curves(tasks, jitter);
+        let rel_fps: Vec<u128> = curves.iter().map(release_curve_fingerprint).collect();
+        self.analyse_tasks(tasks, &curves, &rel_fps, supply, supply_fp, jitter, horizon)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn analyse_tasks<S: SupplyBound>(
+        &mut self,
+        tasks: &TaskSet,
+        curves: &[ReleaseCurve],
+        rel_fps: &[u128],
+        supply: &S,
+        supply_fp: u128,
+        jitter: Duration,
+        horizon: Duration,
+    ) -> Result<AnalysisResult, RtaError> {
+        let mut bounds = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            let dep_fp = task_dep_fingerprint(tasks, rel_fps, supply_fp, horizon, task.id());
+            let solved = match self.task_memo.get(&dep_fp) {
+                Some(cached) => {
+                    self.stats.task_hits += 1;
+                    match cached {
+                        Ok(r) => Ok(*r),
+                        Err(e) => Err(retag(e, task.id())),
+                    }
+                }
+                None => {
+                    self.stats.task_misses += 1;
+                    let solved =
+                        solve_shared(tasks, curves, supply, task.id(), horizon, rel_fps, &self.beta);
+                    self.task_memo.insert(dep_fp, solved.clone());
+                    solved
+                }
+            };
+            bounds.push(TaskBound {
+                task: task.id(),
+                jitter,
+                response_bound: solved?,
+            });
+        }
+        Ok(AnalysisResult::from_bounds(bounds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyse;
+    use rossl_model::{Priority, Task};
+
+    fn params(specs: &[(u32, u64, u64)]) -> AnalysisParams {
+        let tasks = TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(p, c, t))| {
+                    Task::new(
+                        TaskId(i),
+                        format!("t{i}"),
+                        Priority(p),
+                        Duration(c),
+                        Curve::sporadic(Duration(t)),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        AnalysisParams::new(tasks, WcetTable::example(), 1).unwrap()
+    }
+
+    #[test]
+    fn matches_scratch_analysis_bit_for_bit() {
+        let horizon = Duration(200_000);
+        let queries = [
+            params(&[(1, 10, 1_000)]),
+            params(&[(1, 10, 1_000), (9, 5, 500)]),
+            params(&[(1, 10, 1_000), (9, 5, 500), (5, 7, 700)]),
+            params(&[(1, 10, 1_000), (9, 5, 500)]), // revert: set-memo hit
+            params(&[(1, 12, 1_000), (9, 5, 500)]), // wcet delta
+            params(&[(1, 200, 210)]),               // heavy but schedulable alone
+            // A mid-priority WCET tweak (3 → 2, below the blocking max of
+            // 10) leaves the top task's dependency set untouched: its
+            // bound is a task-memo hit even though the set is new.
+            params(&[(1, 10, 1_000), (2, 3, 700), (9, 5, 500)]),
+            params(&[(1, 10, 1_000), (2, 2, 700), (9, 5, 500)]),
+        ];
+        let mut inc = IncrementalSolver::new();
+        for q in &queries {
+            assert_eq!(inc.analyse(q, horizon), analyse(q, horizon));
+        }
+        let stats = inc.stats();
+        assert_eq!(stats.set_hits, 1, "the revert repeats a set: {stats:?}");
+        assert!(stats.task_hits > 0, "curve-preserving deltas reuse: {stats:?}");
+    }
+
+    #[test]
+    fn unschedulable_sets_report_identical_errors() {
+        let horizon = Duration(10_000);
+        let q = params(&[(1, 9, 10), (9, 5, 20)]); // U > 1
+        let mut inc = IncrementalSolver::new();
+        let scratch = analyse(&q, horizon);
+        assert!(scratch.is_err());
+        assert_eq!(inc.analyse(&q, horizon), scratch);
+        // Warm path replays the same error.
+        assert_eq!(inc.analyse(&q, horizon), scratch);
+        assert_eq!(inc.stats().set_hits, 1);
+    }
+
+    #[test]
+    fn fingerprints_separate_different_curves() {
+        let a = curve_fingerprint(&Curve::sporadic(Duration(100)));
+        let b = curve_fingerprint(&Curve::periodic(Duration(100)));
+        let c = curve_fingerprint(&Curve::sporadic(Duration(101)));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        let lb = curve_fingerprint(&Curve::leaky_bucket(2, 1, 30));
+        let st = curve_fingerprint(&Curve::staircase(vec![(Duration(2), 1), (Duration(30), 3)]));
+        assert_ne!(lb, st);
+    }
+
+    #[test]
+    fn set_fingerprint_is_order_and_content_sensitive() {
+        let horizon = Duration(1_000);
+        let a = set_fingerprint(&params(&[(1, 10, 100), (2, 5, 50)]), horizon);
+        let b = set_fingerprint(&params(&[(2, 5, 50), (1, 10, 100)]), horizon);
+        let c = set_fingerprint(&params(&[(1, 10, 100), (2, 5, 50)]), Duration(2_000));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(
+            a,
+            set_fingerprint(&params(&[(1, 10, 100), (2, 5, 50)]), horizon)
+        );
+    }
+}

@@ -98,32 +98,60 @@ impl std::error::Error for SolverError {}
 /// finitely many points, so genuine convergence happens in far fewer.
 const MAX_ITERATIONS: usize = 100_000;
 
+/// How the solver memoizes `β` (curve) evaluations. Curve evaluation is
+/// the hot inner operation of the fixed-point loops — every iteration
+/// re-evaluates every task's curve at the trial window, and within one
+/// solver call the same `(task, Δ)` pairs recur across iterations and
+/// across offsets (the busy-window loop and all per-offset start-time
+/// loops probe overlapping windows).
+pub(crate) enum BetaMemo<'m> {
+    /// No memoization: the reference path kept for differential testing.
+    Off,
+    /// A memo scoped to one solver call, keyed by task id — the default.
+    PerCall(RefCell<HashMap<(TaskId, Duration), u64>>),
+    /// A memo shared **across** solver calls and task sets, keyed by the
+    /// release curve's content fingerprint instead of the task id.
+    /// `β` is a pure function of the curve alone, so fingerprint-keyed
+    /// sharing returns bit-identical values — this is what lets the
+    /// incremental solver reuse curve work between admission queries.
+    Shared {
+        /// `fps[i]` fingerprints `curves[i]`.
+        fps: &'m [u128],
+        /// The cross-call memo, owned by the incremental solver.
+        memo: &'m RefCell<HashMap<(u128, u64), u64>>,
+    },
+}
+
 struct Ctx<'a, S> {
     tasks: &'a TaskSet,
     curves: &'a [ReleaseCurve],
     supply: &'a S,
     horizon: Duration,
-    /// Per-call `β` memo. Curve evaluation is the hot inner operation of
-    /// the fixed-point loops — every iteration re-evaluates every task's
-    /// curve at the trial window, and within one solver call the same
-    /// `(task, Δ)` pairs recur across iterations and across offsets
-    /// (the busy-window loop and all per-offset start-time loops probe
-    /// overlapping windows). `None` is the memoization-free reference
-    /// path kept for differential testing.
-    beta_cache: Option<RefCell<HashMap<(TaskId, Duration), u64>>>,
+    beta_memo: BetaMemo<'a>,
 }
 
 impl<S: SupplyBound> Ctx<'_, S> {
     fn beta(&self, task: TaskId, delta: Duration) -> u64 {
-        let Some(cache) = &self.beta_cache else {
-            return self.curves[task.0].max_arrivals(delta);
-        };
-        if let Some(&cached) = cache.borrow().get(&(task, delta)) {
-            return cached;
+        match &self.beta_memo {
+            BetaMemo::Off => self.curves[task.0].max_arrivals(delta),
+            BetaMemo::PerCall(cache) => {
+                if let Some(&cached) = cache.borrow().get(&(task, delta)) {
+                    return cached;
+                }
+                let value = self.curves[task.0].max_arrivals(delta);
+                cache.borrow_mut().insert((task, delta), value);
+                value
+            }
+            BetaMemo::Shared { fps, memo } => {
+                let key = (fps[task.0], delta.0);
+                if let Some(&cached) = memo.borrow().get(&key) {
+                    return cached;
+                }
+                let value = self.curves[task.0].max_arrivals(delta);
+                memo.borrow_mut().insert(key, value);
+                value
+            }
         }
-        let value = self.curves[task.0].max_arrivals(delta);
-        cache.borrow_mut().insert((task, delta), value);
-        value
     }
 
     /// Σ over `others` of `β_j(Δ)·C_j`.
@@ -164,7 +192,7 @@ pub fn busy_window_length(
         curves,
         supply,
         horizon,
-        beta_cache: Some(RefCell::new(HashMap::new())),
+        beta_memo: BetaMemo::PerCall(RefCell::new(HashMap::new())),
     };
     busy_window_in(&ctx, this)
 }
@@ -225,7 +253,40 @@ pub fn npfp_response_time(
     task: TaskId,
     horizon: Duration,
 ) -> Result<Duration, SolverError> {
-    solve(tasks, curves, supply, task, horizon, true)
+    solve(
+        tasks,
+        curves,
+        supply,
+        task,
+        horizon,
+        BetaMemo::PerCall(RefCell::new(HashMap::new())),
+    )
+}
+
+/// [`npfp_response_time`] with a **cross-call** `β` memo keyed by curve
+/// fingerprint (see [`BetaMemo::Shared`]). Bit-identical results — `β`
+/// depends only on the curve, which the fingerprint captures — but curve
+/// work done for one task set is reused for every later set that shares
+/// curves, which is what the incremental admission solver banks on.
+///
+/// `fps[i]` must fingerprint `curves[i]` (content fingerprints, e.g.
+/// [`crate::incremental::release_curve_fingerprint`]); collisions would
+/// silently corrupt results, so callers use 128-bit fingerprints.
+///
+/// # Errors
+///
+/// As [`npfp_response_time`].
+pub(crate) fn solve_shared(
+    tasks: &TaskSet,
+    curves: &[ReleaseCurve],
+    supply: &impl SupplyBound,
+    task: TaskId,
+    horizon: Duration,
+    fps: &[u128],
+    memo: &RefCell<HashMap<(u128, u64), u64>>,
+) -> Result<Duration, SolverError> {
+    debug_assert_eq!(fps.len(), curves.len());
+    solve(tasks, curves, supply, task, horizon, BetaMemo::Shared { fps, memo })
 }
 
 /// The memoization-free reference path of [`npfp_response_time`]: bit-for
@@ -243,7 +304,7 @@ pub fn npfp_response_time_uncached(
     task: TaskId,
     horizon: Duration,
 ) -> Result<Duration, SolverError> {
-    solve(tasks, curves, supply, task, horizon, false)
+    solve(tasks, curves, supply, task, horizon, BetaMemo::Off)
 }
 
 fn solve(
@@ -252,7 +313,7 @@ fn solve(
     supply: &impl SupplyBound,
     task: TaskId,
     horizon: Duration,
-    memoize: bool,
+    beta_memo: BetaMemo<'_>,
 ) -> Result<Duration, SolverError> {
     if curves.len() != tasks.len() {
         return Err(SolverError::CurveCountMismatch {
@@ -268,7 +329,7 @@ fn solve(
         curves,
         supply,
         horizon,
-        beta_cache: memoize.then(|| RefCell::new(HashMap::new())),
+        beta_memo,
     };
 
     // Non-preemptive blocking by a lower-priority job.

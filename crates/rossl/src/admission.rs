@@ -1,0 +1,144 @@
+//! The run-time half of admission control: a cache of design-time
+//! response-time bounds with the `feasible_schedule_online` split.
+//!
+//! Full RTA is a design-time activity — the fixed-point solver is far
+//! too heavy for a scheduler's hot path. The split mirrors the classic
+//! online-admission architecture: the analysis side (here,
+//! `rossl-workloads`' `AdmissionController` driving `prosa`'s
+//! incremental solver) installs each admitted task's bound `R_i + J_i`
+//! into an [`AdmissionCache`]; the runtime then answers "can this task
+//! set still meet its deadlines?" with a table lookup. A task whose
+//! analysis has not (yet) landed falls back to the pessimistic
+//! placeholder `R_i = T_i` — sound to *check* against (a task that is
+//! feasible with `R_i = T_i` under constrained deadlines `D_i ≤ T_i`
+//! needs `D_i = T_i`), and the standard stop-gap while the design-time
+//! verdict is pending.
+
+use std::collections::HashMap;
+
+use rossl_model::{ArrivalCurve, Duration, TaskId, TaskSet};
+
+/// A runtime lookup table of design-time response-time bounds
+/// (`R_i + J_i`, w.r.t. the arrival sequence).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmissionCache {
+    bounds: HashMap<TaskId, Duration>,
+}
+
+impl AdmissionCache {
+    /// An empty cache: every query falls back to `R_i = T_i`.
+    pub fn new() -> AdmissionCache {
+        AdmissionCache::default()
+    }
+
+    /// Installs (or replaces) the design-time bound for `task`.
+    pub fn install(&mut self, task: TaskId, bound: Duration) {
+        self.bounds.insert(task, bound);
+    }
+
+    /// Evicts `task`'s bound (on removal or parameter change — a stale
+    /// bound is unsound, so change means evict-then-reinstall).
+    pub fn evict(&mut self, task: TaskId) {
+        self.bounds.remove(&task);
+    }
+
+    /// Drops every cached bound.
+    pub fn clear(&mut self) {
+        self.bounds.clear();
+    }
+
+    /// The cached bound, if the design-time analysis has landed.
+    pub fn bound(&self, task: TaskId) -> Option<Duration> {
+        self.bounds.get(&task).copied()
+    }
+
+    /// Number of cached bounds.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// `true` when no bound is cached.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// The `feasible_schedule_online` check: every task's response-time
+    /// bound must fit its deadline, using the cached design-time bound
+    /// when available and the pessimistic fallback `R_i = T_i`
+    /// (the task's minimum inter-arrival time, when its curve has a
+    /// long-run rate) otherwise. Tasks with neither a cached bound nor
+    /// a finite fallback fail the check — the runtime must not wave
+    /// through what it cannot bound.
+    ///
+    /// `deadlines` pairs positionally with `tasks`.
+    pub fn feasible_online(&self, tasks: &TaskSet, deadlines: &[Duration]) -> bool {
+        debug_assert_eq!(deadlines.len(), tasks.len());
+        tasks.iter().zip(deadlines).all(|(task, &deadline)| {
+            let bound = self.bound(task.id()).or_else(|| {
+                // R_i = T_i fallback: T_i is the largest window with at
+                // most one arrival — recoverable from the curve as the
+                // reciprocal of its long-run rate.
+                task.arrival_curve()
+                    .long_run_rate()
+                    .filter(|r| *r > 0.0)
+                    .map(|r| Duration((1.0 / r).floor() as u64))
+            });
+            bound.is_some_and(|b| b <= deadline)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{Curve, Priority, Task};
+
+    fn ts(periods: &[u64]) -> TaskSet {
+        TaskSet::new(
+            periods
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| {
+                    Task::new(
+                        TaskId(i),
+                        format!("t{i}"),
+                        Priority(i as u32 + 1),
+                        Duration(1),
+                        Curve::sporadic(Duration(t)),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cached_bounds_gate_on_deadlines() {
+        let tasks = ts(&[100, 200]);
+        let mut cache = AdmissionCache::new();
+        cache.install(TaskId(0), Duration(30));
+        cache.install(TaskId(1), Duration(50));
+        assert!(cache.feasible_online(&tasks, &[Duration(30), Duration(50)]));
+        assert!(!cache.feasible_online(&tasks, &[Duration(29), Duration(50)]));
+    }
+
+    #[test]
+    fn fallback_is_r_equals_t() {
+        let tasks = ts(&[100]);
+        let cache = AdmissionCache::new();
+        // No cached bound: R = T = 100.
+        assert!(cache.feasible_online(&tasks, &[Duration(100)]));
+        assert!(!cache.feasible_online(&tasks, &[Duration(99)]));
+    }
+
+    #[test]
+    fn eviction_restores_the_fallback() {
+        let tasks = ts(&[100]);
+        let mut cache = AdmissionCache::new();
+        cache.install(TaskId(0), Duration(10));
+        assert!(cache.feasible_online(&tasks, &[Duration(50)]));
+        cache.evict(TaskId(0));
+        assert!(!cache.feasible_online(&tasks, &[Duration(50)]));
+        assert!(cache.is_empty());
+    }
+}

@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod admission;
 mod codec;
 mod config;
 mod error;
@@ -74,6 +75,7 @@ mod scheduler;
 mod supervisor;
 mod watchdog;
 
+pub use admission::AdmissionCache;
 pub use codec::{CodecError, FirstByteCodec, MessageCodec};
 pub use config::{ClientConfig, ConfigError};
 pub use error::DriveError;

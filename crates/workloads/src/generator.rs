@@ -1,0 +1,412 @@
+//! Synthetic task-set generation: UUniFast shares, Weibull budgets,
+//! periodic / sporadic / bursty arrival families.
+//!
+//! The generator mirrors the fuzzer's architecture: it produces plain
+//! data ([`WorkloadSpec`]) and funnels **every** output through one
+//! validity chokepoint, [`WorkloadSpec::sanitize`], before lowering to
+//! the stack's real types — so [`WorkloadSpec::task_set`] cannot fail
+//! for generation reasons, the same guarantee `FuzzInput::sanitize`
+//! gives `FuzzInput::system`. Determinism is total: a [`GeneratorConfig`]
+//! plus a [`SplitRng`] seed reproduces the task set byte for byte.
+
+use rossl_model::{Criticality, Curve, Duration, Priority, Task, TaskId, TaskSet};
+
+use crate::rng::SplitRng;
+use crate::uunifast::uunifast;
+use crate::weibull::Weibull;
+
+/// Generator bounds, enforced by [`WorkloadSpec::sanitize`].
+pub mod bounds {
+    /// Maximum number of tasks per generated set.
+    pub const MAX_TASKS: usize = 32;
+    /// Task WCET range in ticks (inclusive).
+    pub const WCET: (u64, u64) = (1, 1_000_000);
+    /// Period / minimum inter-arrival range in ticks (inclusive).
+    pub const PERIOD: (u64, u64) = (10, 10_000_000);
+    /// Maximum instantaneous burst for the bursty family.
+    pub const MAX_BURST: u64 = 4;
+}
+
+/// The arrival-curve family a generated task draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrivalFamily {
+    /// Strictly periodic releases: `Curve::periodic(T)`.
+    Periodic,
+    /// Sporadic releases with minimum inter-arrival `T`:
+    /// `Curve::sporadic(T)`.
+    Sporadic,
+    /// Token-bucket bursts: up to `burst` releases at once, sustained
+    /// rate `1/T` — `Curve::leaky_bucket(burst, 1, T)`.
+    Bursty,
+}
+
+/// What to generate: task count, target utilization, period band,
+/// arrival family, and the mixed-criticality switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of tasks (clamped to `1..=`[`bounds::MAX_TASKS`]).
+    pub n_tasks: usize,
+    /// Target total long-run utilization, split by UUniFast.
+    pub utilization: f64,
+    /// Periods are drawn log-uniformly from this inclusive band.
+    pub period_range: (u64, u64),
+    /// The arrival family every task in the set uses.
+    pub family: ArrivalFamily,
+    /// When `true`, alternate tasks are HI-criticality with a
+    /// Weibull-inflated `C_HI ≥ C_LO`; when `false`, every task is HI
+    /// with `C_HI = C_LO` (behaviourally single-criticality, matching
+    /// the rest of the stack's plain default).
+    pub mixed_criticality: bool,
+}
+
+impl GeneratorConfig {
+    /// A sensible default band for acceptance-ratio sweeps: `n` tasks at
+    /// utilization `u`, sporadic, periods log-uniform in `[500, 8000]`.
+    pub fn sweep(n_tasks: usize, utilization: f64) -> GeneratorConfig {
+        GeneratorConfig {
+            n_tasks,
+            utilization,
+            period_range: (500, 8_000),
+            family: ArrivalFamily::Sporadic,
+            mixed_criticality: false,
+        }
+    }
+}
+
+/// One generated task, as plain data (pre-lowering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskGenSpec {
+    /// Fixed priority (higher wins); rate-monotonic by construction.
+    pub priority: u32,
+    /// LO-mode WCET `C_LO`, ticks.
+    pub wcet: u64,
+    /// Period / minimum inter-arrival time, ticks.
+    pub period: u64,
+    /// Burst size (1 except for the bursty family).
+    pub burst: u64,
+    /// HI criticality?
+    pub hi: bool,
+    /// HI-mode budget `C_HI` (`≥ wcet` after sanitization).
+    pub wcet_hi: u64,
+}
+
+/// A generated workload: tasks plus the family they were drawn from.
+///
+/// All validity lives in [`WorkloadSpec::sanitize`]; a sanitized spec
+/// lowers to a [`TaskSet`] infallibly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkloadSpec {
+    /// The generated tasks, in priority order (highest first).
+    pub tasks: Vec<TaskGenSpec>,
+    /// The arrival family of every task.
+    pub family: ArrivalFamily,
+}
+
+impl WorkloadSpec {
+    /// Clamps every field into the generator bounds and restores the
+    /// canonical invariants: at least one task, positive WCETs,
+    /// `C_LO ≤ C_HI`, `C_LO ≤ T` (a task may not out-demand its own
+    /// period), bursts only for the bursty family. Idempotent; every
+    /// generator output passes through here, so [`WorkloadSpec::task_set`]
+    /// never fails.
+    pub fn sanitize(&mut self) {
+        if self.tasks.is_empty() {
+            self.tasks.push(TaskGenSpec {
+                priority: 1,
+                wcet: 10,
+                period: 1_000,
+                burst: 1,
+                hi: true,
+                wcet_hi: 10,
+            });
+        }
+        self.tasks.truncate(bounds::MAX_TASKS);
+        for t in &mut self.tasks {
+            t.period = t.period.clamp(bounds::PERIOD.0, bounds::PERIOD.1);
+            t.wcet = t.wcet.clamp(bounds::WCET.0, bounds::WCET.1).min(t.period);
+            // Vestal monotonicity: C_LO ≤ C_HI.
+            t.wcet_hi = t.wcet_hi.clamp(t.wcet, bounds::WCET.1);
+            t.burst = match self.family {
+                ArrivalFamily::Bursty => t.burst.clamp(1, bounds::MAX_BURST),
+                _ => 1,
+            };
+        }
+    }
+
+    /// The arrival curve of `task` under this spec's family.
+    pub fn curve_of(&self, task: &TaskGenSpec) -> Curve {
+        match self.family {
+            ArrivalFamily::Periodic => Curve::periodic(Duration(task.period)),
+            ArrivalFamily::Sporadic => Curve::sporadic(Duration(task.period)),
+            ArrivalFamily::Bursty => Curve::leaky_bucket(task.burst, 1, task.period),
+        }
+    }
+
+    /// Lowers to a validated [`TaskSet`] (dense ids in spec order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec was not sanitized; every constructor in this
+    /// crate sanitizes.
+    pub fn task_set(&self) -> TaskSet {
+        let tasks = self
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                Task::new(
+                    TaskId(i),
+                    format!("gen{i}"),
+                    Priority(t.priority),
+                    Duration(t.wcet),
+                    self.curve_of(t),
+                )
+                .with_criticality(if t.hi { Criticality::Hi } else { Criticality::Lo })
+                .with_wcet_hi(Duration(t.wcet_hi))
+            })
+            .collect();
+        TaskSet::new(tasks).expect("sanitized specs lower to valid task sets")
+    }
+
+    /// The spec's total long-run utilization bound (`Σ C_i · rate_i`),
+    /// `None` when a curve has no long-run rate.
+    pub fn utilization(&self) -> Option<f64> {
+        self.task_set().utilization_bound()
+    }
+}
+
+/// Generates one workload from `cfg`; the result is sanitized and
+/// deterministic in (`cfg`, the `rng` stream position).
+///
+/// Construction:
+///
+/// 1. **Shares** — [`uunifast`] splits `cfg.utilization` into per-task
+///    utilizations.
+/// 2. **Periods** — log-uniform over `cfg.period_range`, then sorted
+///    ascending so priorities can be rate-monotonic.
+/// 3. **Budgets** — `C_LO = max(1, ⌊u_i · T_i⌋)`; for mixed sets, HI
+///    tasks get `C_HI = C_LO · (1 + w)` with `w` Weibull(k = 1.5,
+///    λ = 0.5) clamped to `[0, 2]` — right-skewed inflation, Vestal
+///    monotone by construction.
+/// 4. **Family** — every task draws its curve from `cfg.family`; the
+///    bursty family adds a burst of 2..=[`bounds::MAX_BURST`].
+pub fn generate(cfg: &GeneratorConfig, rng: &mut SplitRng) -> WorkloadSpec {
+    let n = cfg.n_tasks.clamp(1, bounds::MAX_TASKS);
+    // Independent child streams per concern: adding a draw to one phase
+    // must not shift the others (the fuzzer's determinism discipline).
+    let mut share_rng = rng.split();
+    let mut period_rng = rng.split();
+    let mut budget_rng = rng.split();
+
+    let shares = uunifast(n, cfg.utilization.max(0.0), &mut share_rng);
+
+    let (lo, hi) = cfg.period_range;
+    let (lo, hi) = (lo.max(bounds::PERIOD.0), hi.max(lo.max(bounds::PERIOD.0)));
+    let (ln_lo, ln_hi) = ((lo as f64).ln(), (hi as f64).ln());
+    let mut periods: Vec<u64> = (0..n)
+        .map(|_| {
+            let ln = ln_lo + (ln_hi - ln_lo) * period_rng.unit_f64();
+            (ln.exp() as u64).clamp(lo, hi)
+        })
+        .collect();
+    periods.sort_unstable();
+
+    let inflation = Weibull::new(1.5, 0.5);
+    let tasks = (0..n)
+        .map(|i| {
+            let wcet = ((shares[i] * periods[i] as f64) as u64).max(1);
+            // Rate-monotonic: shorter period = higher priority; spec
+            // order is ascending period, so descending priority index.
+            let priority = (n - i) as u32;
+            let hi_task = !cfg.mixed_criticality || i % 2 == 0;
+            let wcet_hi = if cfg.mixed_criticality && hi_task {
+                let w = inflation.sample_clamped(&mut budget_rng, 0.0, 2.0);
+                ((wcet as f64 * (1.0 + w)) as u64).max(wcet)
+            } else {
+                wcet
+            };
+            let burst = match cfg.family {
+                ArrivalFamily::Bursty => budget_rng.range(2, bounds::MAX_BURST),
+                _ => 1,
+            };
+            TaskGenSpec {
+                priority,
+                wcet,
+                period: periods[i],
+                burst,
+                hi: hi_task,
+                wcet_hi,
+            }
+        })
+        .collect();
+
+    let mut spec = WorkloadSpec {
+        tasks,
+        family: cfg.family,
+    };
+    spec.sanitize();
+    spec
+}
+
+/// Generates an arrival schedule for `spec` that respects every task's
+/// curve: periodic tasks release exactly every `T`, sporadic tasks
+/// every `T + slack`, bursty tasks in bursts of up to `burst` separated
+/// by enough ticks to refill the bucket. Returns `(time, task_index)`
+/// pairs sorted by time, at most `max_arrivals` of them, all `< horizon`.
+pub fn arrival_times(
+    spec: &WorkloadSpec,
+    horizon: u64,
+    max_arrivals: usize,
+    rng: &mut SplitRng,
+) -> Vec<(u64, usize)> {
+    let mut out: Vec<(u64, usize)> = Vec::new();
+    for (idx, t) in spec.tasks.iter().enumerate() {
+        let mut time = rng.range(0, t.period.min(horizon.max(1) - 1).max(1));
+        while time < horizon {
+            match spec.family {
+                ArrivalFamily::Periodic => {
+                    out.push((time, idx));
+                    time += t.period;
+                }
+                ArrivalFamily::Sporadic => {
+                    out.push((time, idx));
+                    time += t.period + rng.range(0, t.period / 2 + 1);
+                }
+                ArrivalFamily::Bursty => {
+                    // One burst, then a refill gap: `burst` tokens take
+                    // `burst · T` ticks to restore at rate 1/T.
+                    let burst = rng.range(1, t.burst);
+                    for _ in 0..burst {
+                        out.push((time, idx));
+                    }
+                    time += burst * t.period + 1;
+                }
+            }
+        }
+    }
+    out.sort_by_key(|&(time, idx)| (time, idx));
+    out.truncate(max_arrivals);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rossl_model::{check_respects, ArrivalCurve, Instant};
+
+    #[test]
+    fn generated_sets_are_valid_and_deterministic() {
+        for seed in 0..20u64 {
+            let cfg = GeneratorConfig::sweep(4, 0.6);
+            let a = generate(&cfg, &mut SplitRng::new(seed));
+            let b = generate(&cfg, &mut SplitRng::new(seed));
+            assert_eq!(a, b);
+            let set = a.task_set();
+            assert_eq!(set.len(), 4);
+        }
+    }
+
+    #[test]
+    fn utilization_tracks_the_target() {
+        // C = ⌊u·T⌋ only loses fractional ticks, so the realized
+        // utilization sits at or just under the target.
+        let cfg = GeneratorConfig::sweep(6, 0.75);
+        for seed in 0..10u64 {
+            let spec = generate(&cfg, &mut SplitRng::new(seed));
+            let u = spec.utilization().expect("sporadic has a rate");
+            assert!(u <= 0.75 + 1e-9, "overshoot: {u}");
+            assert!(u > 0.45, "undershoot: {u}");
+        }
+    }
+
+    #[test]
+    fn families_lower_to_their_curves() {
+        type CurveCheck = fn(&Curve) -> bool;
+        let cases: [(ArrivalFamily, CurveCheck); 3] = [
+            (ArrivalFamily::Periodic, |c| matches!(c, Curve::Periodic { .. })),
+            (ArrivalFamily::Sporadic, |c| matches!(c, Curve::Sporadic { .. })),
+            (ArrivalFamily::Bursty, |c| matches!(c, Curve::LeakyBucket { .. })),
+        ];
+        for (family, check) in cases {
+            let cfg = GeneratorConfig {
+                family,
+                ..GeneratorConfig::sweep(3, 0.5)
+            };
+            let spec = generate(&cfg, &mut SplitRng::new(3));
+            for task in spec.task_set().iter() {
+                assert!(check(task.arrival_curve()), "{family:?}: {:?}", task.arrival_curve());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_sets_are_vestal_monotone() {
+        let cfg = GeneratorConfig {
+            mixed_criticality: true,
+            ..GeneratorConfig::sweep(5, 0.6)
+        };
+        let spec = generate(&cfg, &mut SplitRng::new(11));
+        assert!(spec.tasks.iter().any(|t| t.hi && t.wcet_hi > t.wcet));
+        assert!(spec.tasks.iter().any(|t| !t.hi));
+        for t in &spec.tasks {
+            assert!(t.wcet_hi >= t.wcet);
+        }
+    }
+
+    #[test]
+    fn sanitize_is_idempotent_and_enforces_bounds() {
+        let mut spec = WorkloadSpec {
+            tasks: vec![TaskGenSpec {
+                priority: 3,
+                wcet: 0,
+                period: 5,
+                burst: 99,
+                hi: true,
+                wcet_hi: 0,
+            }],
+            family: ArrivalFamily::Bursty,
+        };
+        spec.sanitize();
+        let once = spec.clone();
+        spec.sanitize();
+        assert_eq!(spec, once);
+        let t = spec.tasks[0];
+        assert!(t.wcet >= 1 && t.period >= bounds::PERIOD.0);
+        assert!(t.wcet <= t.period && t.wcet_hi >= t.wcet);
+        assert!(t.burst <= bounds::MAX_BURST);
+        spec.task_set(); // must not panic
+    }
+
+    #[test]
+    fn arrivals_respect_the_curves() {
+        for family in [
+            ArrivalFamily::Periodic,
+            ArrivalFamily::Sporadic,
+            ArrivalFamily::Bursty,
+        ] {
+            let cfg = GeneratorConfig {
+                family,
+                period_range: (50, 200),
+                ..GeneratorConfig::sweep(3, 0.5)
+            };
+            let mut rng = SplitRng::new(21);
+            let spec = generate(&cfg, &mut rng);
+            let arrivals = arrival_times(&spec, 2_000, 64, &mut rng);
+            assert!(!arrivals.is_empty());
+            assert!(arrivals.windows(2).all(|w| w[0].0 <= w[1].0));
+            for (idx, task) in spec.tasks.iter().enumerate() {
+                let times: Vec<Instant> = arrivals
+                    .iter()
+                    .filter(|&&(_, t)| t == idx)
+                    .map(|&(at, _)| Instant(at))
+                    .collect();
+                let curve = spec.curve_of(task);
+                assert!(
+                    check_respects(&curve, &times).is_ok(),
+                    "{family:?} task {idx} violates its curve"
+                );
+                let _ = curve.max_arrivals(Duration(1)); // curve is usable
+            }
+        }
+    }
+}

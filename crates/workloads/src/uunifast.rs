@@ -1,0 +1,91 @@
+//! UUniFast utilization sampling (Bini & Buttazzo, RTSJ'05).
+//!
+//! UUniFast draws `n` per-task utilizations uniformly from the simplex
+//! `{u ∈ R^n : u_i ≥ 0, Σ u_i = U}` — the unbiased sampler every RTA
+//! acceptance-ratio evaluation uses. The classic recurrence telescopes
+//! (`u_i = S_i − S_{i+1}` with `S_1 = U`), which is exact in real
+//! arithmetic but accumulates rounding in floating point; we therefore
+//! recompute the **last** share as `U − Σ_{i<n} u_i` (the naive
+//! left-to-right partial sum), which pins the naive re-sum of the
+//! output to within one ulp of `U` — the property test in
+//! `tests/generator_properties.rs` asserts exactly that.
+
+use crate::rng::SplitRng;
+
+/// Draws `n` utilizations summing to `total` (±1 ulp), uniformly over
+/// the simplex. `n` must be nonzero and `total` non-negative and finite;
+/// every returned share is `≥ 0`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `total` is negative or non-finite.
+pub fn uunifast(n: usize, total: f64, rng: &mut SplitRng) -> Vec<f64> {
+    assert!(n > 0, "uunifast needs at least one task");
+    assert!(
+        total >= 0.0 && total.is_finite(),
+        "uunifast needs a finite non-negative utilization, got {total}"
+    );
+    let mut shares = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        // S_{i+1} = S_i · r^{1/(n−i)} keeps (S_{i+1}/S_i) distributed as
+        // the maximum of (n−i) uniforms — the UUniFast recurrence.
+        let next = sum * rng.unit_f64().powf(1.0 / (n - i) as f64);
+        shares.push(sum - next);
+        sum = next;
+    }
+    // The telescoped remainder would be `sum`, but re-deriving it from
+    // the emitted shares pins the naive re-sum to within 1 ulp of
+    // `total`: with s = fl(Σ shares), the final share `fl(total − s)`
+    // satisfies fl(s + fl(total − s)) ∈ {total ± 1 ulp} (Sterbenz-style
+    // cancellation: s and total agree to within a factor of two here).
+    let partial: f64 = shares.iter().sum();
+    shares.push((total - partial).max(0.0));
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ulp(x: f64) -> f64 {
+        let bits = x.abs().to_bits();
+        f64::from_bits(bits + 1) - f64::from_bits(bits)
+    }
+
+    #[test]
+    fn shares_sum_to_total_within_one_ulp() {
+        let mut rng = SplitRng::new(0xBEEF);
+        for _ in 0..500 {
+            let n = rng.range(1, 12) as usize;
+            let total = rng.range(1, 95) as f64 / 100.0;
+            let shares = uunifast(n, total, &mut rng);
+            assert_eq!(shares.len(), n);
+            assert!(shares.iter().all(|&s| s >= 0.0));
+            let sum: f64 = shares.iter().sum();
+            assert!(
+                (sum - total).abs() <= ulp(total),
+                "n={n} total={total} sum={sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let mut rng = SplitRng::new(1);
+        assert_eq!(uunifast(1, 0.7, &mut rng), vec![0.7]);
+    }
+
+    #[test]
+    fn same_seed_same_shares() {
+        let a = uunifast(5, 0.8, &mut SplitRng::new(77));
+        let b = uunifast(5, 0.8, &mut SplitRng::new(77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_rejected() {
+        uunifast(0, 0.5, &mut SplitRng::new(1));
+    }
+}

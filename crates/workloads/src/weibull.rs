@@ -1,0 +1,104 @@
+//! Weibull execution-time variation.
+//!
+//! Measured execution times of real callbacks are right-skewed with a
+//! hard lower bound — the distribution the RTA evaluation literature
+//! models as Weibull. The generator uses it for two things:
+//!
+//! * drawing *actual* execution-time factors below the WCET (shape > 1
+//!   concentrates mass near the scale, the typical "most runs are near
+//!   the mode, few are near the budget" profile), and
+//! * inflating `C_LO` into a HI-mode budget `C_HI ≥ C_LO` for
+//!   mixed-criticality sets (Vestal monotonicity by construction).
+//!
+//! Sampling is by inverse CDF — `F⁻¹(u) = λ·(−ln(1−u))^{1/k}` — so one
+//! uniform draw maps to one sample and determinism is inherited from
+//! [`SplitRng`].
+
+use crate::rng::SplitRng;
+
+/// A two-parameter Weibull distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// A Weibull with shape `k` and scale `λ`; both must be positive
+    /// and finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive or non-finite parameters.
+    pub fn new(shape: f64, scale: f64) -> Weibull {
+        assert!(
+            shape > 0.0 && shape.is_finite() && scale > 0.0 && scale.is_finite(),
+            "Weibull parameters must be positive and finite (k = {shape}, λ = {scale})"
+        );
+        Weibull { shape, scale }
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// One sample via inverse-CDF transform; always finite and `≥ 0`.
+    pub fn sample(&self, rng: &mut SplitRng) -> f64 {
+        // u ∈ [0, 1); 1 − u ∈ (0, 1] keeps the log finite.
+        let u = rng.unit_f64();
+        self.scale * (-(1.0 - u).ln()).powf(1.0 / self.shape)
+    }
+
+    /// A sample clamped into `[lo, hi]` — the bounded-variation form the
+    /// generator uses so execution-time factors stay inside a budget.
+    pub fn sample_clamped(&self, rng: &mut SplitRng, lo: f64, hi: f64) -> f64 {
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_finite_and_non_negative() {
+        let w = Weibull::new(2.0, 1.0);
+        let mut rng = SplitRng::new(5);
+        for _ in 0..5000 {
+            let s = w.sample(&mut rng);
+            assert!(s.is_finite() && s >= 0.0, "sample {s}");
+        }
+    }
+
+    #[test]
+    fn mean_tracks_the_scale() {
+        // E[X] = λ·Γ(1 + 1/k); for k = 1 (exponential) that is λ.
+        let w = Weibull::new(1.0, 3.0);
+        let mut rng = SplitRng::new(6);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| w.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((2.8..3.2).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn clamped_samples_respect_the_band() {
+        let w = Weibull::new(1.5, 1.0);
+        let mut rng = SplitRng::new(7);
+        for _ in 0..2000 {
+            let s = w.sample_clamped(&mut rng, 0.25, 1.75);
+            assert!((0.25..=1.75).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_parameters_rejected() {
+        Weibull::new(0.0, 1.0);
+    }
+}

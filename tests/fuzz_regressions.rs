@@ -183,14 +183,30 @@ fn honest_mode_switch_round_trip_stays_clean() {
 fn existing_corpus_replays_unchanged_under_codec_v2() {
     let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../fuzz/corpus"));
     let mut checked = 0usize;
+    let mut total = 0usize;
+    let mut v3 = 0usize;
     for entry in std::fs::read_dir(dir).expect("fuzz/corpus exists") {
         let path = entry.expect("readable dir entry").path();
         if path.extension().is_none_or(|e| e != "fuzz") {
             continue;
         }
         let text = std::fs::read_to_string(&path).expect("readable corpus entry");
+        total += 1;
+        if text.starts_with("rossl-fuzz-input v3") {
+            v3 += 1;
+        }
+        // Every entry of any codec era must parse and re-serialize
+        // byte-identically (the generator-seeded v2/v3 entries included).
+        let reparsed = rossl_fuzz::FuzzInput::from_text(&text)
+            .unwrap_or_else(|e| panic!("{} no longer parses: {e}", path.display()));
+        assert_eq!(
+            reparsed.to_text(),
+            text,
+            "{}: corpus entry must re-serialize byte-identically",
+            path.display()
+        );
         if !text.starts_with("rossl-fuzz-input v1") {
-            continue; // future campaigns may add v2 entries
+            continue; // v2/v3 entries skip the v1-specific checks below
         }
         let input = rossl_fuzz::FuzzInput::from_text(&text)
             .unwrap_or_else(|e| panic!("{} no longer parses: {e}", path.display()));
@@ -216,8 +232,34 @@ fn existing_corpus_replays_unchanged_under_codec_v2() {
     }
     assert!(
         checked >= 250,
-        "expected the checked-in corpus (259 entries), found {checked}"
+        "expected the checked-in v1 corpus (at least 250 entries), found {checked}"
     );
+    assert!(
+        total >= 323,
+        "expected the checked-in corpus (323 entries after generator seeding), found {total}"
+    );
+    assert!(
+        v3 >= 16,
+        "expected the generator-seeded fleet entries (16 codec v3 files), found {v3}"
+    );
+}
+
+/// The generator-seeded corpus entries are a pure function of their
+/// index: re-running the seeder against the checked-in corpus must add
+/// nothing (content-hash dedup), and every seeded entry must already be
+/// present.
+#[test]
+fn generated_seeds_are_checked_in_and_stable() {
+    let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../fuzz/corpus"));
+    let corpus = rossl_fuzz::Corpus::load(dir).expect("fuzz/corpus loads");
+    let before = corpus.len();
+    for input in rossl_fuzz::generated_corpus_inputs() {
+        assert!(
+            corpus.entries().contains(&input),
+            "a generated seed is missing from the checked-in corpus — rerun seed_corpus"
+        );
+    }
+    assert!(before >= 323, "seeded corpus holds {before} entries");
 }
 
 /// Honest pin: the smallest crash-path corpus entry — one arrival on a
